@@ -1,0 +1,90 @@
+//===-- bench/BenchCommon.h - Shared bench harness helpers -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared scaffolding for the per-table/per-figure bench binaries: common
+/// environment knobs, workload iteration, result formatting, and the CSV
+/// mirror each bench prints for plotting.
+///
+/// Environment variables:
+///   HPMVM_SCALE      data-set scale in percent (default: per-bench)
+///   HPMVM_WORKLOADS  comma-separated subset, e.g. "db,compress"
+///   HPMVM_SEED       base RNG seed (default 42)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_BENCH_BENCHCOMMON_H
+#define HPMVM_BENCH_BENCHCOMMON_H
+
+#include "harness/ExperimentRunner.h"
+#include "support/Format.h"
+#include "support/TableWriter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace hpmvm::bench {
+
+inline uint32_t envScale(uint32_t Default) {
+  if (const char *S = getenv("HPMVM_SCALE"))
+    return static_cast<uint32_t>(atoi(S));
+  return Default;
+}
+
+inline uint64_t envSeed() {
+  if (const char *S = getenv("HPMVM_SEED"))
+    return static_cast<uint64_t>(atoll(S));
+  return 42;
+}
+
+/// The workload names to run: all 16, or the HPMVM_WORKLOADS subset.
+inline std::vector<std::string> selectedWorkloads() {
+  std::vector<std::string> Names;
+  if (const char *Env = getenv("HPMVM_WORKLOADS")) {
+    std::string S(Env);
+    size_t Pos = 0;
+    while (Pos != std::string::npos) {
+      size_t Comma = S.find(',', Pos);
+      std::string Name = S.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      if (!Name.empty() && findWorkload(Name))
+        Names.push_back(Name);
+      Pos = Comma == std::string::npos ? Comma : Comma + 1;
+    }
+    return Names;
+  }
+  for (const WorkloadSpec &W : allWorkloads())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+/// Standard banner: which experiment, which scale/seed, how to read it.
+inline void banner(const char *Title, const char *PaperRef, uint32_t Scale,
+                   const char *ShapeNote) {
+  printf("=== %s ===\n", Title);
+  printf("Reproduces: %s\n", PaperRef);
+  printf("Scale: %u%% of default data sizes, seed %llu "
+         "(HPMVM_SCALE / HPMVM_SEED / HPMVM_WORKLOADS to override)\n",
+         Scale, static_cast<unsigned long long>(envSeed()));
+  printf("Expected shape: %s\n\n", ShapeNote);
+}
+
+/// Prints a table and its CSV mirror.
+inline void emit(TableWriter &T, const char *CsvTag) {
+  T.print(stdout);
+  printf("\nCSV (%s):\n", CsvTag);
+  T.printCsv(stdout);
+  printf("\n");
+}
+
+/// Percent formatting of a ratio-1 (e.g. 0.861 -> "-13.9%").
+inline std::string pct(double Ratio) { return asPercent(Ratio - 1.0); }
+
+} // namespace hpmvm::bench
+
+#endif // HPMVM_BENCH_BENCHCOMMON_H

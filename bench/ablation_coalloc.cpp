@@ -1,0 +1,228 @@
+//===-- bench/ablation_coalloc.cpp - Design-choice ablations --------------===//
+//
+// Ablations for the design choices DESIGN.md calls out, all on db at 4x
+// heap (L1 misses vs the no-coalloc baseline):
+//
+//   A. Pair-size ceiling: 256 B / 1 KB / 4 KB. db's pairs are ~100 bytes,
+//      so the ceiling barely matters for db but demonstrates the knob;
+//      pseudojbb's >192-byte pairs vanish under a 128-byte ceiling.
+//   B. Hot-field threshold: 1 / 2 / 8 / 32 sampled misses. Too high and
+//      co-allocation starts too late (or never, at coarse intervals).
+//   C. Interval randomization on/off: with periodic access patterns a
+//      non-randomized interval can alias and bias per-field attribution.
+//   D. Event driver: L1 misses vs DTLB misses. The paper: "Using TLB
+//      misses as driver for the optimization decisions does not improve
+//      the results."
+//   E. What to do with the feedback: co-allocation vs prefetch injection
+//      (Adl-Tabatabai et al.-style) vs both, on db.
+//   F. What signal to use: miss-driven (this paper) vs access-frequency-
+//      driven placement (online object reordering-style).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/FrequencyAdvisor.h"
+#include "core/PrefetchInjector.h"
+
+using namespace hpmvm;
+using namespace hpmvm::bench;
+
+namespace {
+
+RunConfig base(const char *Workload, uint32_t Scale) {
+  RunConfig C;
+  C.Workload = Workload;
+  C.Params.ScalePercent = Scale;
+  C.Params.Seed = envSeed();
+  C.HeapFactor = 4.0;
+  return C;
+}
+
+} // namespace
+
+int main() {
+  uint32_t Scale = envScale(60);
+  banner("Ablations: co-allocation design choices",
+         "DESIGN.md section 5 (not a paper figure)", Scale,
+         "pair ceiling gates pseudojbb not db; low thresholds engage "
+         "earlier; randomization costs nothing");
+
+  RunResult DbBase = runExperiment(base("db", Scale));
+  RunResult JbbBase = runExperiment(base("pseudojbb", Scale));
+
+  // --- A: pair-size ceiling -------------------------------------------------
+  {
+    TableWriter T({"ceiling", "db pairs", "db L1 vs base",
+                   "pseudojbb pairs", "pseudojbb L1 vs base"});
+    for (uint32_t Ceiling : {128u, 256u, 1024u, 4096u}) {
+      RunConfig Db = base("db", Scale);
+      Db.Monitoring = true;
+      Db.Coallocation = true;
+      Db.Monitor.SamplingInterval = 5000;
+      Db.MaxCoallocPairBytes = Ceiling;
+      RunResult RDb = runExperiment(Db);
+
+      RunConfig Jbb = base("pseudojbb", Scale);
+      Jbb.Monitoring = true;
+      Jbb.Coallocation = true;
+      Jbb.Monitor.SamplingInterval = 5000;
+      Jbb.MaxCoallocPairBytes = Ceiling;
+      RunResult RJbb = runExperiment(Jbb);
+
+      T.addRow({formatString("%u B", Ceiling),
+                withThousandsSep(RDb.CoallocatedPairs),
+                pct(static_cast<double>(RDb.Memory.L1Misses) /
+                    DbBase.Memory.L1Misses),
+                withThousandsSep(RJbb.CoallocatedPairs),
+                pct(static_cast<double>(RJbb.Memory.L1Misses) /
+                    JbbBase.Memory.L1Misses)});
+    }
+    printf("--- A: pair-size ceiling ---\n");
+    emit(T, "ablation_ceiling");
+  }
+
+  // --- B: hot-field threshold -----------------------------------------------
+  {
+    TableWriter T({"threshold", "pairs", "L1 vs base", "time vs base"});
+    for (uint64_t Th : {1ull, 2ull, 8ull, 32ull}) {
+      RunConfig Db = base("db", Scale);
+      Db.Monitoring = true;
+      Db.Coallocation = true;
+      Db.Monitor.SamplingInterval = 5000;
+      Db.Monitor.Advisor.MinMissSamples = Th;
+      RunResult R = runExperiment(Db);
+      T.addRow({withThousandsSep(Th), withThousandsSep(R.CoallocatedPairs),
+                pct(static_cast<double>(R.Memory.L1Misses) /
+                    DbBase.Memory.L1Misses),
+                pct(static_cast<double>(R.TotalCycles) /
+                    DbBase.TotalCycles)});
+    }
+    printf("--- B: hot-field sample threshold ---\n");
+    emit(T, "ablation_threshold");
+  }
+
+  // --- C: interval randomization ---------------------------------------------
+  {
+    TableWriter T({"randomized low bits", "samples", "attributed",
+                   "pairs"});
+    for (bool Rand : {true, false}) {
+      RunConfig Db = base("db", Scale);
+      Db.Monitoring = true;
+      Db.Coallocation = true;
+      Db.Monitor.SamplingInterval = 5000;
+      Db.Monitor.RandomizeIntervalBits = Rand;
+      Experiment E(Db);
+      E.run();
+      RunResult R = E.result();
+      T.addRow({Rand ? "on" : "off", withThousandsSep(R.SamplesTaken),
+                withThousandsSep(E.monitor()->stats().SamplesAttributed),
+                withThousandsSep(R.CoallocatedPairs)});
+    }
+    printf("--- C: sampling-interval randomization ---\n");
+    emit(T, "ablation_randomization");
+  }
+
+  // --- D: event driver (L1 vs DTLB) ------------------------------------------
+  {
+    TableWriter T({"event driver", "samples", "pairs", "L1 vs base",
+                   "time vs base"});
+    for (HpmEventKind Kind :
+         {HpmEventKind::L1DMiss, HpmEventKind::DtlbMiss}) {
+      RunConfig Db = base("db", Scale);
+      Db.Monitoring = true;
+      Db.Coallocation = true;
+      Db.Monitor.Event = Kind;
+      // DTLB misses are ~20x rarer; scale the interval so sample counts
+      // stay comparable.
+      Db.Monitor.SamplingInterval =
+          Kind == HpmEventKind::L1DMiss ? 5000 : 250;
+      RunResult R = runExperiment(Db);
+      T.addRow({eventKindName(Kind), withThousandsSep(R.SamplesTaken),
+                withThousandsSep(R.CoallocatedPairs),
+                pct(static_cast<double>(R.Memory.L1Misses) /
+                    DbBase.Memory.L1Misses),
+                pct(static_cast<double>(R.TotalCycles) /
+                    DbBase.TotalCycles)});
+    }
+    printf("--- D: event driver (paper: TLB-driven does not improve on "
+           "L1-driven) ---\n");
+    emit(T, "ablation_event");
+  }
+
+  // --- E: co-allocation vs prefetch injection --------------------------------
+  {
+    TableWriter T({"policy", "pairs", "prefetches issued", "L1 vs base",
+                   "time vs base"});
+    for (int Mode = 0; Mode != 3; ++Mode) {
+      RunConfig Db = base("db", Scale);
+      Db.Monitoring = true;
+      Db.Coallocation = Mode == 0 || Mode == 2;
+      Db.Monitor.SamplingInterval = 5000;
+      Experiment E(Db);
+      bool Injected = false;
+      if (Mode >= 1) {
+        // Inject prefetches once the miss profile is established.
+        E.monitor()->setPeriodObserver([&] {
+          if (!Injected && E.monitor()->missTable().totalMisses() >= 16) {
+            Injected = true;
+            PrefetchInjector::injectHotPrefetches(
+                E.vm(), E.monitor()->missTable(), /*MinMisses=*/4);
+          }
+        });
+      }
+      E.run();
+      RunResult R = E.result();
+      T.addRow({Mode == 0   ? "co-allocation"
+                : Mode == 1 ? "prefetch injection"
+                            : "both",
+                withThousandsSep(R.CoallocatedPairs),
+                withThousandsSep(R.Memory.SwPrefetches),
+                pct(static_cast<double>(R.Memory.L1Misses) /
+                    DbBase.Memory.L1Misses),
+                pct(static_cast<double>(R.TotalCycles) /
+                    DbBase.TotalCycles)});
+    }
+    printf("--- E: what to do with the feedback (prefetching hides "
+           "latency; co-allocation removes the misses) ---\n");
+    emit(T, "ablation_policy");
+  }
+
+  // --- F: miss-driven vs frequency-driven placement ---------------------------
+  {
+    TableWriter T({"signal", "pairs", "L1 vs base", "time vs base"});
+    // Miss-driven: the normal pipeline.
+    {
+      RunConfig Db = base("db", Scale);
+      Db.Monitoring = true;
+      Db.Coallocation = true;
+      Db.Monitor.SamplingInterval = 5000;
+      RunResult R = runExperiment(Db);
+      T.addRow({"cache misses (paper)",
+                withThousandsSep(R.CoallocatedPairs),
+                pct(static_cast<double>(R.Memory.L1Misses) /
+                    DbBase.Memory.L1Misses),
+                pct(static_cast<double>(R.TotalCycles) /
+                    DbBase.TotalCycles)});
+    }
+    // Frequency-driven: software profiling, no HPM at all.
+    {
+      RunConfig Db = base("db", Scale);
+      Db.ProfileFieldAccess = true;
+      Experiment E(Db);
+      FrequencyAdvisor Advisor(E.vm(), /*MinAccesses=*/2000);
+      E.collector().setPlacementAdvisor(&Advisor);
+      E.run();
+      RunResult R = E.result();
+      T.addRow({"access frequency",
+                withThousandsSep(Advisor.coallocationCount()),
+                pct(static_cast<double>(R.Memory.L1Misses) /
+                    DbBase.Memory.L1Misses),
+                pct(static_cast<double>(R.TotalCycles) /
+                    DbBase.TotalCycles)});
+    }
+    printf("--- F: what signal drives placement ---\n");
+    emit(T, "ablation_signal");
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+//===-- bench/micro_components.cpp - Substrate microbenchmarks ------------===//
+//
+// google-benchmark microbenchmarks of the simulator substrate itself:
+// the cache model, TLB, the PEBS event path, the free-list allocator, the
+// sample resolver, and the two execution engines. These measure *host*
+// performance of the simulation (how fast experiments run), not simulated
+// quantities.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SampleResolver.h"
+#include "gc/GenMSPlan.h"
+#include "heap/FreeListAllocator.h"
+#include "hpm/PebsUnit.h"
+#include "memsim/MemoryHierarchy.h"
+#include "support/Random.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace hpmvm;
+
+namespace {
+
+void BM_CacheAccessHit(benchmark::State &State) {
+  Cache C(l1DefaultConfig());
+  C.access(0x40000000);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(C.access(0x40000000));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheAccessStream(benchmark::State &State) {
+  Cache C(l2DefaultConfig());
+  Address A = 0x40000000;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(C.access(A));
+    A += 128;
+  }
+}
+BENCHMARK(BM_CacheAccessStream);
+
+void BM_TlbAccess(benchmark::State &State) {
+  Tlb T(dtlbDefaultConfig());
+  SplitMix64 Rng(1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        T.access(0x40000000 + (Rng.next() & 0xffffff)));
+}
+BENCHMARK(BM_TlbAccess);
+
+void BM_HierarchyRandomAccess(benchmark::State &State) {
+  MemoryHierarchy M;
+  SplitMix64 Rng(1);
+  for (auto _ : State) {
+    Address A = 0x40000000 + (Rng.next() & 0x3fffff);
+    benchmark::DoNotOptimize(M.access(A, 4, false, 0x20000000));
+  }
+}
+BENCHMARK(BM_HierarchyRandomAccess);
+
+void BM_PebsEventPath(benchmark::State &State) {
+  PebsUnit U;
+  PebsConfig C;
+  C.Interval = 100000;
+  U.configure(C);
+  U.start();
+  std::vector<PebsSample> Drain;
+  for (auto _ : State) {
+    U.onMemoryEvent(HpmEventKind::L1DMiss, 0x20000000, 0x40000000);
+    if (U.interruptPending()) {
+      Drain.clear();
+      U.drainInto(Drain);
+    }
+  }
+}
+BENCHMARK(BM_PebsEventPath);
+
+void BM_FreeListAllocSweep(benchmark::State &State) {
+  for (auto _ : State) {
+    BlockPool Pool(kHeapBase, 64 * kBlockBytes);
+    FreeListAllocator A(Pool);
+    for (int I = 0; I != 10000; ++I)
+      benchmark::DoNotOptimize(A.alloc(16 + (I % 40) * 8));
+    A.sweep([](Address Cell) { return (Cell & 0x40) != 0; });
+  }
+}
+BENCHMARK(BM_FreeListAllocSweep);
+
+/// Shared VM for the engine benchmarks.
+struct EngineRig {
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+  MethodId Loop;
+
+  EngineRig()
+      : Vm([] {
+          VmConfig C;
+          C.HeapBytes = 8 * 1024 * 1024;
+          return C;
+        }()),
+        Gc(Vm.objects(), Vm.clock(),
+           CollectorConfig{.HeapBytes = 8 * 1024 * 1024}) {
+    Vm.setCollector(&Gc);
+    BytecodeBuilder B("loop");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t Acc = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Int);
+    B.iconst(0).istore(Acc).iconst(0).istore(I);
+    Label L = B.label(), D = B.label();
+    B.bind(L).iload(I).iload(N).ifICmp(CondKind::Ge, D);
+    B.iload(Acc).iload(I).ixor().istore(Acc).iinc(I, 1).jump(L);
+    B.bind(D).iload(Acc).iret();
+    Loop = Vm.addMethod(B.build());
+    AosConfig AC;
+    AC.Enabled = false;
+    Vm.aos().setConfig(AC);
+  }
+};
+
+void BM_InterpreterThroughput(benchmark::State &State) {
+  EngineRig R;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        R.Vm.invoke(R.Loop, {Value::makeInt(1000)}));
+  State.SetItemsProcessed(State.iterations() * 6000); // ~6 bytecodes/iter.
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void BM_MachineExecutorThroughput(benchmark::State &State) {
+  EngineRig R;
+  R.Vm.aos().compileNow(R.Vm.method(R.Loop));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        R.Vm.invoke(R.Loop, {Value::makeInt(1000)}));
+  State.SetItemsProcessed(State.iterations() * 6000);
+}
+BENCHMARK(BM_MachineExecutorThroughput);
+
+void BM_SampleResolution(benchmark::State &State) {
+  EngineRig R;
+  R.Vm.aos().compileNow(R.Vm.method(R.Loop));
+  SampleResolver Res(R.Vm);
+  const MachineFunction &F = R.Vm.compiledCode(0);
+  SplitMix64 Rng(1);
+  for (auto _ : State) {
+    Address Pc = F.addressOf(static_cast<uint32_t>(
+        Rng.nextBelow(F.Insts.size())));
+    benchmark::DoNotOptimize(Res.resolve(Pc));
+  }
+}
+BENCHMARK(BM_SampleResolution);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+//===-- bench/table1_benchmarks.cpp - Paper Table 1 -----------------------===//
+//
+// Table 1: the benchmark programs. Prints the suite roster together with
+// measured per-program basics (allocation volume, executed instructions)
+// from a quick run, so the table documents what the synthetic analogues
+// actually do.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace hpmvm;
+using namespace hpmvm::bench;
+
+int main() {
+  uint32_t Scale = envScale(40);
+  banner("Table 1: benchmark programs",
+         "Table 1 (SPECjvm98 s=100 x3, DaCapo 10-2006 MR-2, pseudojbb)",
+         Scale,
+         "16 programs across three suites, as in the paper (chart, eclipse "
+         "and xalan excluded for Jikes 2.4.2 compatibility)");
+
+  TableWriter T({"program", "suite", "min heap", "alloc MB", "objects",
+                 "insns (M)", "description"});
+  for (const std::string &Name : selectedWorkloads()) {
+    const WorkloadSpec *W = findWorkload(Name);
+    RunConfig C;
+    C.Workload = Name;
+    C.Params.ScalePercent = Scale;
+    C.Params.Seed = envSeed();
+    C.HeapFactor = 4.0;
+    RunResult R = runExperiment(C);
+    uint64_t Insns =
+        R.Vm.BytecodesInterpreted + R.Vm.MachineInstsExecuted;
+    T.addRow({Name, W->Suite,
+              formatString("%.1f MB", scaledMinHeap(*W, C.Params) / 1e6),
+              formatString("%.1f", R.Vm.BytesAllocated / 1e6),
+              withThousandsSep(R.Vm.ObjectsAllocated),
+              formatString("%.1f", Insns / 1e6), W->Description});
+  }
+  emit(T, "table1");
+  return 0;
+}

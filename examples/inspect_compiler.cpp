@@ -1,0 +1,61 @@
+//===-- examples/inspect_compiler.cpp - Look inside the pipeline ----------===//
+//
+// Developer tooling tour: build the paper's Figure 1 expression (p.y.i),
+// show the bytecode, the optimizing compiler's machine IR with its
+// per-instruction machine-code map and GC points, and the
+// instructions-of-interest annotations the monitoring system computes.
+//
+// Build & run:   ./examples/inspect_compiler
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InterestAnalysis.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/Disassembler.h"
+#include "vm/OptCompiler.h"
+#include "vm/VirtualMachine.h"
+
+#include <cstdio>
+
+using namespace hpmvm;
+
+int main() {
+  VirtualMachine Vm;
+  ClassRegistry &C = Vm.classes();
+
+  // The paper's Figure 1: class A { A y; int i; }  ...  p.y.i
+  ClassId A = C.defineClass("A", {{"y", true}, {"i", false}});
+  FieldId FY = C.fieldId(A, "y");
+  FieldId FI = C.fieldId(A, "i");
+
+  BytecodeBuilder B("foo");
+  uint32_t P = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Int);
+  B.aload(P)       // I1: aload p
+      .getfield(FY) // I2: getfield y
+      .getfield(FI) // I3: getfield i
+      .iret();
+  MethodId Id = Vm.addMethod(B.build());
+
+  printf("=== Figure 1: the expression p.y.i ===\n\n");
+  printf("%s\n", disassembleMethod(Vm.method(Id), C, Vm.methods()).c_str());
+
+  MachineFunction F = OptCompiler::compile(Vm.method(Id), C, Vm.methods(),
+                                           Vm.globalKinds());
+  Vm.installCompiledCode(Vm.method(Id), std::move(F));
+  const MachineFunction &Installed =
+      Vm.compiledCode(Vm.method(Id).OptIndex);
+
+  std::vector<FieldId> Interest =
+      computeInstructionsOfInterest(Installed, C);
+  printf("%s\n",
+         disassembleMachineFunction(Installed, C, Vm.methods(), &Interest)
+             .c_str());
+
+  printf("The paper: \"Our analysis would create a mapping with "
+         "instruction and field y (I3, A::y)\" -- the load of i above is "
+         "annotated with \"misses -> A::y\": a cache miss sampled there "
+         "is charged to the reference field y, so the GC will co-allocate "
+         "A objects with their y referents.\n");
+  return 0;
+}

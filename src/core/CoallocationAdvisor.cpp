@@ -1,0 +1,66 @@
+//===-- core/CoallocationAdvisor.cpp --------------------------------------===//
+
+#include "core/CoallocationAdvisor.h"
+
+#include "vm/ClassRegistry.h"
+
+#include <algorithm>
+
+using namespace hpmvm;
+
+CoallocationAdvisor::CoallocationAdvisor(const ClassRegistry &Classes,
+                                         const FieldMissTable &Table,
+                                         const AdvisorConfig &Config)
+    : Classes(Classes), Table(Table), Config(Config) {}
+
+std::vector<std::pair<FieldId, uint64_t>>
+CoallocationAdvisor::sortedFields(ClassId Cls) const {
+  std::vector<std::pair<FieldId, uint64_t>> Result;
+  for (FieldId F : Classes.fieldsOf(Cls))
+    if (Classes.field(F).IsRef)
+      Result.emplace_back(F, Table.misses(F));
+  std::stable_sort(Result.begin(), Result.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  return Result;
+}
+
+CoallocationHint CoallocationAdvisor::coallocationHint(ClassId Cls) {
+  if (!Config.Enabled)
+    return {};
+  if (Table.version() != CacheVersion) {
+    Cache.clear();
+    CacheVersion = Table.version();
+  }
+  auto It = Cache.find(Cls);
+  if (It != Cache.end())
+    return It->second;
+
+  CoallocationHint Hint;
+  uint64_t Best = 0;
+  for (FieldId F : Classes.fieldsOf(Cls)) {
+    const FieldInfo &FI = Classes.field(F);
+    if (!FI.IsRef)
+      continue;
+    uint64_t Misses = Table.misses(F);
+    if (Misses >= Config.MinMissSamples && Misses > Best) {
+      Best = Misses;
+      Hint.Field = F;
+      Hint.SlotOffset = FI.Offset;
+    }
+  }
+  Cache.emplace(Cls, Hint);
+  return Hint;
+}
+
+void CoallocationAdvisor::noteCoallocation(ClassId Cls, FieldId Field) {
+  (void)Cls;
+  ++TotalCoallocations;
+  ++PerField[Field];
+}
+
+uint64_t CoallocationAdvisor::coallocationCount(FieldId F) const {
+  auto It = PerField.find(F);
+  return It == PerField.end() ? 0 : It->second;
+}

@@ -1,0 +1,78 @@
+//===-- core/CoallocationAdvisor.h - Hot-field placement advice *- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bridge between miss statistics and the GC: "The VM keeps a list [of]
+/// the reference fields for each class type sorted by number of associated
+/// cache misses. When deciding to co-allocate two objects the GC just
+/// requests enough space to fit both objects." For each promoted class the
+/// advisor returns the hottest reference field above a sample threshold.
+/// It also implements the Figure 8 lever: a forced gap between parent and
+/// child that deliberately undoes the locality win.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_COALLOCATIONADVISOR_H
+#define HPMVM_CORE_COALLOCATIONADVISOR_H
+
+#include "core/FieldMissTable.h"
+#include "heap/GcApi.h"
+#include "support/Types.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace hpmvm {
+
+class ClassRegistry;
+
+/// Advisor policy knobs.
+struct AdvisorConfig {
+  /// Minimum sampled misses before a field is considered hot. Low because
+  /// sampled counts are already heavily decimated by the PEBS interval.
+  uint64_t MinMissSamples = 2;
+  bool Enabled = true;
+  /// Padding (bytes) forced between co-allocated pairs; 0 in normal
+  /// operation, one cache line (128) in the Figure 8 experiment.
+  uint32_t ForcedGapBytes = 0;
+};
+
+/// PlacementAdvisor driven by the per-field miss table.
+class CoallocationAdvisor : public PlacementAdvisor {
+public:
+  CoallocationAdvisor(const ClassRegistry &Classes,
+                      const FieldMissTable &Table,
+                      const AdvisorConfig &Config = {});
+
+  CoallocationHint coallocationHint(ClassId Cls) override;
+  uint32_t gapBytes() override { return Config.ForcedGapBytes; }
+  void noteCoallocation(ClassId Cls, FieldId Field) override;
+
+  void setEnabled(bool E) { Config.Enabled = E; }
+  void setForcedGapBytes(uint32_t B) { Config.ForcedGapBytes = B; }
+  const AdvisorConfig &config() const { return Config; }
+
+  /// The reference fields of \p Cls sorted by miss count, hottest first
+  /// (exposed for diagnostics and tests).
+  std::vector<std::pair<FieldId, uint64_t>> sortedFields(ClassId Cls) const;
+
+  uint64_t coallocationCount() const { return TotalCoallocations; }
+  uint64_t coallocationCount(FieldId F) const;
+
+private:
+  const ClassRegistry &Classes;
+  const FieldMissTable &Table;
+  AdvisorConfig Config;
+  /// Hint cache, invalidated when the table's version moves.
+  std::unordered_map<ClassId, CoallocationHint> Cache;
+  uint64_t CacheVersion = ~0ull;
+  uint64_t TotalCoallocations = 0;
+  std::unordered_map<FieldId, uint64_t> PerField;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_COALLOCATIONADVISOR_H

@@ -1,0 +1,49 @@
+//===-- core/FieldMissTable.cpp -------------------------------------------===//
+
+#include "core/FieldMissTable.h"
+
+using namespace hpmvm;
+
+void FieldMissTable::addMiss(FieldId F, uint64_t N) {
+  Counts[F] += N;
+  Total += N;
+  auto It = Timelines.find(F);
+  if (It != Timelines.end())
+    PeriodCounts[F] += N;
+}
+
+uint64_t FieldMissTable::misses(FieldId F) const {
+  auto It = Counts.find(F);
+  return It == Counts.end() ? 0 : It->second;
+}
+
+void FieldMissTable::trackField(FieldId F) {
+  Timelines.try_emplace(F);
+  PeriodCounts.try_emplace(F, 0);
+}
+
+void FieldMissTable::endPeriod(Cycles Now) {
+  for (auto &[Field, Line] : Timelines) {
+    uint64_t Delta = PeriodCounts[Field];
+    PeriodCounts[Field] = 0;
+    uint64_t Cum = Line.empty() ? Delta : Line.back().Cumulative + Delta;
+    Line.push_back(PeriodPoint{Now, Delta, Cum});
+  }
+  ++Version;
+}
+
+const std::vector<PeriodPoint> &FieldMissTable::timeline(FieldId F) const {
+  static const std::vector<PeriodPoint> Empty;
+  auto It = Timelines.find(F);
+  return It == Timelines.end() ? Empty : It->second;
+}
+
+void FieldMissTable::reset() {
+  Counts.clear();
+  Total = 0;
+  for (auto &[Field, Line] : Timelines)
+    Line.clear();
+  for (auto &[Field, C] : PeriodCounts)
+    C = 0;
+  ++Version;
+}

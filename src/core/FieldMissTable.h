@@ -1,0 +1,73 @@
+//===-- core/FieldMissTable.h - Per-reference-field miss counts *- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "We keep a per-reference event count which tells the runtime system how
+/// many misses occurred when dereferencing the corresponding access path
+/// expressions." Counts are updated in batches as the collector thread
+/// processes samples; the table also records per-period timelines for
+/// tracked fields (the data behind Figures 7 and 8: cumulative miss counts
+/// and miss rates over time, including the stepwise-constant shape caused
+/// by batch processing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_FIELDMISSTABLE_H
+#define HPMVM_CORE_FIELDMISSTABLE_H
+
+#include "support/Types.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace hpmvm {
+
+/// One timeline point: the end of a measurement period.
+struct PeriodPoint {
+  Cycles At = 0;          ///< Virtual time at the period boundary.
+  uint64_t Delta = 0;     ///< Sampled misses during the period.
+  uint64_t Cumulative = 0;///< Sampled misses since the start.
+};
+
+/// Per-field sampled-miss accounting.
+class FieldMissTable {
+public:
+  /// Records \p N sampled misses attributed to \p F.
+  void addMiss(FieldId F, uint64_t N = 1);
+
+  /// Cumulative sampled misses for \p F.
+  uint64_t misses(FieldId F) const;
+
+  uint64_t totalMisses() const { return Total; }
+
+  /// Ends the current measurement period (one collector batch): snapshots
+  /// deltas for tracked fields and bumps the version that invalidates
+  /// advisor caches.
+  void endPeriod(Cycles Now);
+
+  /// Starts recording a timeline for \p F.
+  void trackField(FieldId F);
+
+  /// Timeline of \p F (empty unless tracked).
+  const std::vector<PeriodPoint> &timeline(FieldId F) const;
+
+  /// Bumped by endPeriod; consumers cache derived data against it.
+  uint64_t version() const { return Version; }
+
+  /// Zeroes all counters and timelines (not the tracked-field set).
+  void reset();
+
+private:
+  std::unordered_map<FieldId, uint64_t> Counts;
+  std::unordered_map<FieldId, uint64_t> PeriodCounts;
+  std::unordered_map<FieldId, std::vector<PeriodPoint>> Timelines;
+  uint64_t Total = 0;
+  uint64_t Version = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_FIELDMISSTABLE_H

@@ -1,0 +1,29 @@
+//===-- core/FrequencyAdvisor.cpp -----------------------------------------===//
+
+#include "core/FrequencyAdvisor.h"
+
+#include "vm/VirtualMachine.h"
+
+using namespace hpmvm;
+
+FrequencyAdvisor::FrequencyAdvisor(const VirtualMachine &Vm,
+                                   uint64_t MinAccesses)
+    : Vm(Vm), MinAccesses(MinAccesses) {}
+
+CoallocationHint FrequencyAdvisor::coallocationHint(ClassId Cls) {
+  const ClassRegistry &Classes = Vm.classes();
+  CoallocationHint Hint;
+  uint64_t Best = 0;
+  for (FieldId F : Classes.fieldsOf(Cls)) {
+    const FieldInfo &FI = Classes.field(F);
+    if (!FI.IsRef)
+      continue;
+    uint64_t Accesses = Vm.fieldAccessCount(F);
+    if (Accesses >= MinAccesses && Accesses > Best) {
+      Best = Accesses;
+      Hint.Field = F;
+      Hint.SlotOffset = FI.Offset;
+    }
+  }
+  return Hint;
+}

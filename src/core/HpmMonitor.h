@@ -1,0 +1,149 @@
+//===-- core/HpmMonitor.h - The online monitoring system -------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete runtime monitoring system of paper section 4, assembled:
+///
+///   PEBS unit -> perfmon "kernel module" -> native library (pre-allocated
+///   int[] marshalling, GC disabled during the copy) -> collector thread
+///   (adaptive 10-1000 ms polling) -> sample resolution (method table +
+///   machine-code maps) -> instructions-of-interest filter -> per-field
+///   miss table -> co-allocation advisor consulted by the GC.
+///
+/// Every stage charges its cycle cost to the VM's virtual clock, so the
+/// sampling-overhead experiments (Figure 2) measure the same pipeline the
+/// optimization uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_HPMMONITOR_H
+#define HPMVM_CORE_HPMMONITOR_H
+
+#include "core/CoallocationAdvisor.h"
+#include "core/FieldMissTable.h"
+#include "core/SampleResolver.h"
+#include "hpm/NativeSampleLibrary.h"
+#include "hpm/PebsUnit.h"
+#include "hpm/PerfmonModule.h"
+#include "hpm/SampleCollector.h"
+#include "hpm/SamplingIntervalController.h"
+#include "support/Types.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// Monitoring configuration.
+struct MonitorConfig {
+  HpmEventKind Event = HpmEventKind::L1DMiss;
+  /// Fixed sampling interval (paper sweeps 25K/50K/100K)...
+  uint64_t SamplingInterval = 100000;
+  /// ...or fully autonomous mode: adapt the interval to a samples/sec
+  /// target (paper default 200/s on ~minutes-long runs; benches scale it
+  /// for the scaled-down workloads -- see DESIGN.md section 6).
+  bool AutoInterval = false;
+  double TargetSamplesPerSec = 200.0;
+  bool RandomizeIntervalBits = true;
+  /// Monitor application methods only (VM-internal excluded), as in the
+  /// paper.
+  bool MonitorVmInternal = false;
+  AdvisorConfig Advisor;
+  /// Collector-thread policy. The paper polls every 10-1000 ms on runs of
+  /// minutes; our scaled workloads run for tens of virtual milliseconds,
+  /// so the default here scales the polling window by ~500x (DESIGN.md
+  /// section 6) -- otherwise samples would only be delivered at the final
+  /// drain and no online decision could ever fire. Construct a
+  /// SampleCollectorConfig explicitly to get the paper's literal values.
+  SampleCollectorConfig Collector = {.MinPollMs = 0.02,
+                                     .MaxPollMs = 2.0,
+                                     .LowFill = 0.05,
+                                     .HighFill = 0.50,
+                                     // Scaled with the window: the *share*
+                                     // of runtime spent polling matches the
+                                     // paper's.
+                                     .PollCost = 2500};
+  uint64_t Seed = 0x5eed;
+};
+
+/// Monitoring-side statistics.
+struct MonitorStats {
+  uint64_t SamplesProcessed = 0;
+  uint64_t SamplesAttributed = 0; ///< Landed on an instruction of interest.
+  uint64_t SamplesVmInternal = 0;
+  uint64_t SamplesBaselineCode = 0;
+  Cycles ProcessingCycles = 0;
+  /// Where the sampled accesses' *data* addresses live (the PEBS record
+  /// carries the register state; the simulated EAX holds the faulting
+  /// address). Mature-space dominance here is what makes promotion-time
+  /// placement the right lever.
+  uint64_t DataInNursery = 0;
+  uint64_t DataInMature = 0; ///< Free-list cells or copy semispaces.
+  uint64_t DataInLos = 0;
+};
+
+/// The assembled monitoring system. Construct after the VM has a collector
+/// attached; call attach() before running and finish() after.
+class HpmMonitor {
+public:
+  HpmMonitor(VirtualMachine &Vm, const MonitorConfig &Config = {});
+
+  /// Starts sampling and installs all hooks (memory-event listener,
+  /// safepoint poll, GC lock, placement advisor).
+  void attach();
+
+  /// Final drain + stop. Idempotent.
+  void finish();
+
+  /// Called after every measurement period (one processed batch) -- the
+  /// hook from which online controllers (Figure 8) observe rates and
+  /// apply/revert policies.
+  void setPeriodObserver(std::function<void()> Fn) {
+    PeriodObserver = std::move(Fn);
+  }
+
+  /// Total monitoring overhead charged to the clock: PEBS microcode +
+  /// native library + collector polling + VM-side sample processing.
+  Cycles overheadCycles() const;
+
+  // Component access.
+  PebsUnit &pebs() { return Pebs; }
+  PerfmonModule &perfmon() { return Perfmon; }
+  SampleCollector &collector() { return *Collector; }
+  FieldMissTable &missTable() { return Table; }
+  CoallocationAdvisor &advisor() { return *Advisor; }
+  SampleResolver &resolver() { return *Resolver; }
+  const MonitorStats &stats() const { return Stats; }
+  const MonitorConfig &config() const { return Config; }
+
+private:
+  void processBatch(const PebsSample *Samples, size_t N);
+
+  /// Instructions-of-interest cache, keyed by OptIndex.
+  const std::vector<FieldId> &interestFor(uint32_t OptIndex);
+
+  VirtualMachine &Vm;
+  MonitorConfig Config;
+  PebsUnit Pebs;
+  PerfmonModule Perfmon;
+  NativeSampleLibrary Native;
+  std::unique_ptr<SampleCollector> Collector;
+  std::unique_ptr<SamplingIntervalController> AutoCtl;
+  std::unique_ptr<SampleResolver> Resolver;
+  FieldMissTable Table;
+  std::unique_ptr<CoallocationAdvisor> Advisor;
+  std::unordered_map<uint32_t, std::vector<FieldId>> InterestCache;
+  std::function<void()> PeriodObserver;
+  MonitorStats Stats;
+  bool Attached = false;
+  bool Finished = false;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_HPMMONITOR_H

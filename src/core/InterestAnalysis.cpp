@@ -1,0 +1,196 @@
+//===-- core/InterestAnalysis.cpp -----------------------------------------===//
+//
+// "The opt-compiler computes this mapping by walking the use-def edges
+// upwards from heap access instructions": implemented as a dataflow over a
+// per-register *origin* lattice tracking which reference field (if any)
+// produced the value currently in each register.
+//
+// Lattice per register:
+//   None      -- nothing assigned yet / null constant (merge identity);
+//   Field(f)  -- the value was loaded by `getfield f` (f a ref field),
+//                possibly moved through register copies since;
+//   NotField  -- produced some other way (parameter, array element,
+//                allocation, call result).
+//
+// The merge is *optimistic* for Field vs NotField (the field wins): in the
+// canonical pointer-chase loop `cur = head; while (..) cur = cur.next;`
+// the loop header merges a non-field initial value with a Field(next)
+// back-edge value, and the misses inside the loop overwhelmingly belong to
+// the `next` dereferences -- exactly the association the GC needs. Two
+// *different* fields merge to NotField (ambiguous attribution is worse
+// than none). Because the field-wins rule is not monotone, the solver runs
+// a fixed number of rounds; the result is a deterministic heuristic, which
+// is all a profile consumer needs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InterestAnalysis.h"
+
+#include "vm/ClassRegistry.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Origin encoding: field ids < kNotField, plus the two sentinels.
+constexpr uint32_t kOriginNone = 0xffffffffu;
+constexpr uint32_t kOriginNotField = 0xfffffffeu;
+
+bool isBranch(MOp Op) {
+  switch (Op) {
+  case MOp::Br:
+  case MOp::BrCmp:
+  case MOp::BrZero:
+  case MOp::BrNull:
+  case MOp::BrNonNull:
+    return true;
+  default:
+    return false;
+  }
+}
+
+uint32_t mergeOrigin(uint32_t A, uint32_t B, const ClassRegistry &Classes) {
+  if (A == B)
+    return A;
+  if (A == kOriginNone)
+    return B;
+  if (B == kOriginNone)
+    return A;
+  if (A == kOriginNotField)
+    return B; // Field wins (optimistic).
+  if (B == kOriginNotField)
+    return A;
+  // Two different fields. If they belong to the same class (the
+  // tree-walk pattern `cur = flag ? cur.left : cur.right`), any of them
+  // identifies the same parent class for co-allocation purposes; keep the
+  // lower id deterministically. Fields of different classes are genuinely
+  // ambiguous.
+  if (Classes.field(A).Owner == Classes.field(B).Owner)
+    return A < B ? A : B;
+  return kOriginNotField;
+}
+
+} // namespace
+
+std::vector<FieldId>
+hpmvm::computeInstructionsOfInterest(const MachineFunction &F,
+                                     const ClassRegistry &Classes) {
+  const uint32_t N = static_cast<uint32_t>(F.Insts.size());
+  std::vector<FieldId> Interest(N, kInvalidId);
+  if (N == 0)
+    return Interest;
+
+  // --- Block structure ------------------------------------------------------
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  for (uint32_t I = 0; I != N; ++I) {
+    const MachineInst &MI = F.Insts[I];
+    if (isBranch(MI.Op)) {
+      Leader[static_cast<uint32_t>(MI.Imm)] = true;
+      if (I + 1 < N)
+        Leader[I + 1] = true;
+    } else if (MI.Op == MOp::Ret && I + 1 < N) {
+      Leader[I + 1] = true;
+    }
+  }
+  std::vector<uint32_t> BlockStart;
+  std::vector<uint32_t> BlockOf(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    if (Leader[I])
+      BlockStart.push_back(I);
+    BlockOf[I] = static_cast<uint32_t>(BlockStart.size() - 1);
+  }
+  const uint32_t NumBlocks = static_cast<uint32_t>(BlockStart.size());
+  auto BlockEnd = [&](uint32_t B) {
+    return B + 1 < NumBlocks ? BlockStart[B + 1] : N;
+  };
+
+  // --- Origin dataflow ------------------------------------------------------
+  const uint32_t R = F.NumRegs;
+  std::vector<std::vector<uint32_t>> In(
+      NumBlocks, std::vector<uint32_t>(R, kOriginNone));
+  // Parameters carry caller values: NotField.
+  for (uint32_t Reg = 0; Reg != R; ++Reg)
+    if (Reg < F.RegIsRefAtEntry.size() && F.RegIsRefAtEntry[Reg])
+      In[0][Reg] = kOriginNotField;
+
+  auto Transfer = [&](const MachineInst &MI, std::vector<uint32_t> &S) {
+    if (MI.Dst == kNoReg)
+      return;
+    switch (MI.Op) {
+    case MOp::LoadField:
+      S[MI.Dst] = Classes.field(MI.Imm).IsRef
+                      ? static_cast<uint32_t>(MI.Imm)
+                      : kOriginNotField;
+      break;
+    case MOp::Mov:
+      S[MI.Dst] = S[MI.SrcA];
+      break;
+    case MOp::MovImm:
+      // A null-reference constant is the merge identity: `x = null; loop
+      // { x = a.next; }` still attributes to next.
+      S[MI.Dst] = MI.DstIsRef && MI.Imm == 0 ? kOriginNone
+                                             : kOriginNotField;
+      break;
+    default:
+      S[MI.Dst] = kOriginNotField;
+      break;
+    }
+  };
+
+  // Fixed-round solver (see the file comment on non-monotonicity).
+  const int kRounds = 6;
+  for (int Round = 0; Round != kRounds; ++Round) {
+    bool Changed = false;
+    for (uint32_t B = 0; B != NumBlocks; ++B) {
+      std::vector<uint32_t> State = In[B];
+      for (uint32_t I = BlockStart[B]; I != BlockEnd(B); ++I)
+        Transfer(F.Insts[I], State);
+      auto FlowTo = [&](uint32_t Target) {
+        std::vector<uint32_t> &TIn = In[BlockOf[Target]];
+        for (uint32_t Reg = 0; Reg != R; ++Reg) {
+          uint32_t Merged = mergeOrigin(TIn[Reg], State[Reg], Classes);
+          if (Merged != TIn[Reg]) {
+            TIn[Reg] = Merged;
+            Changed = true;
+          }
+        }
+      };
+      uint32_t LastIdx = BlockEnd(B) - 1;
+      const MachineInst &LastI = F.Insts[LastIdx];
+      if (isBranch(LastI.Op)) {
+        FlowTo(static_cast<uint32_t>(LastI.Imm));
+        if (LastI.Op != MOp::Br && LastIdx + 1 < N)
+          FlowTo(LastIdx + 1);
+      } else if (LastI.Op != MOp::Ret && LastIdx + 1 < N) {
+        FlowTo(LastIdx + 1);
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // --- Final pass: record (S, f) pairs --------------------------------------
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    std::vector<uint32_t> State = In[B];
+    for (uint32_t I = BlockStart[B]; I != BlockEnd(B); ++I) {
+      const MachineInst &MI = F.Insts[I];
+      switch (MI.Op) {
+      case MOp::LoadField:
+      case MOp::StoreField:
+      case MOp::LoadElem:
+      case MOp::StoreElem:
+      case MOp::ArrayLen:
+        if (MI.SrcA != kNoReg && State[MI.SrcA] < kOriginNotField)
+          Interest[I] = static_cast<FieldId>(State[MI.SrcA]);
+        break;
+      default:
+        break;
+      }
+      Transfer(MI, State);
+    }
+  }
+  return Interest;
+}

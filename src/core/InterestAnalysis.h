@@ -1,0 +1,46 @@
+//===-- core/InterestAnalysis.h - (S, f) instruction pairs -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's "finding source instructions" pass (section 5.2): "For each
+/// heap access instruction S it checks if the target address is loaded from
+/// a field variable f (also located on the heap). If yes, it saves a tuple
+/// (S, f). ... The opt-compiler computes this mapping by walking the
+/// use-def edges upwards from heap access instructions (field/array access,
+/// virtual calls and object-header access)."
+///
+/// A cache miss sampled at instruction S is then charged to reference field
+/// f: co-allocating f's holder with f's referent makes the referent land on
+/// (or next to) the holder's cache line.
+///
+/// The walk tracks reaching definitions within basic blocks (boundaries:
+/// branch targets and the instruction after a branch), which covers the
+/// dominant pattern the paper illustrates in Figure 1 (p.y.i ->
+/// getfield y; getfield i).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_INTERESTANALYSIS_H
+#define HPMVM_CORE_INTERESTANALYSIS_H
+
+#include "support/Types.h"
+#include "vm/MachineCode.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+class ClassRegistry;
+
+/// Computes, for every machine instruction of \p F, the reference field
+/// through which its base address was loaded (kInvalidId when the
+/// instruction is not a heap access or its base is not a field load).
+std::vector<FieldId> computeInstructionsOfInterest(const MachineFunction &F,
+                                                   const ClassRegistry &C);
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_INTERESTANALYSIS_H

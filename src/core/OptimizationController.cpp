@@ -1,0 +1,61 @@
+//===-- core/OptimizationController.cpp -----------------------------------===//
+
+#include "core/OptimizationController.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace hpmvm;
+
+OptimizationController::OptimizationController(const ControllerConfig &Config)
+    : Config(Config) {
+  assert(Config.BaselineWindow > 0 && Config.DecisionWindow > 0 &&
+         "windows must be non-empty");
+}
+
+void OptimizationController::observePeriod(double Rate) {
+  if (Config.IgnoreZeroRatePeriods && Rate == 0.0)
+    return;
+  ++Observed;
+  switch (Current) {
+  case State::Monitoring:
+  case State::Accepted:
+  case State::Reverted: {
+    Window.push_back(Rate);
+    if (Window.size() > Config.BaselineWindow)
+      Window.erase(Window.begin());
+    Baseline = std::accumulate(Window.begin(), Window.end(), 0.0) /
+               static_cast<double>(Window.size());
+    return;
+  }
+  case State::Warmup:
+    if (++Skipped >= Config.WarmupPeriods) {
+      Current = State::Assessing;
+      Window.clear();
+    }
+    return;
+  case State::Assessing: {
+    Window.push_back(Rate);
+    if (Window.size() < Config.DecisionWindow)
+      return;
+    Assessed = std::accumulate(Window.begin(), Window.end(), 0.0) /
+               static_cast<double>(Window.size());
+    BaselineAtDecision = Baseline;
+    if (Baseline > 0.0 && Assessed > Baseline * Config.RegressionFactor) {
+      Current = State::Reverted;
+      if (Revert)
+        Revert();
+    } else {
+      Current = State::Accepted;
+    }
+    Window.clear();
+    return;
+  }
+  }
+}
+
+void OptimizationController::notePolicyChange() {
+  Current = State::Warmup;
+  Skipped = 0;
+  // Baseline stays: it describes the pre-change behaviour.
+}

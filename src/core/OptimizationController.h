@@ -1,0 +1,100 @@
+//===-- core/OptimizationController.h - Assess & revert --------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online feedback loop of section 5.3 / Figure 8: "The rate of events
+/// for each reference field is measured throughout the execution and this
+/// allows ... checking whether an optimization decision by the JIT or the
+/// GC had a positive or a negative impact. If the transformation improved
+/// performance, the system can proceed normally. If the transformation
+/// reduced performance, either a different optimization step can be
+/// performed or it is possible to revert to the old code."
+///
+/// The controller watches a per-period miss rate. Before any policy change
+/// it maintains a baseline (mean over a sliding window). After
+/// notePolicyChange() it collects a decision window; if the post-change
+/// mean exceeds baseline by the regression threshold, it fires the revert
+/// action ("after several measurement periods it triggers a switch back to
+/// the original configuration"). Note that, as in the paper, objects
+/// already placed stay where they are -- only newly promoted objects follow
+/// the restored policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_OPTIMIZATIONCONTROLLER_H
+#define HPMVM_CORE_OPTIMIZATIONCONTROLLER_H
+
+#include "support/Types.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hpmvm {
+
+/// Controller policy.
+struct ControllerConfig {
+  size_t BaselineWindow = 4;  ///< Periods averaged for the baseline.
+  size_t DecisionWindow = 4;  ///< Periods observed after a change.
+  /// Revert when post-change mean rate > baseline * this factor.
+  double RegressionFactor = 1.3;
+  /// Ignore this many periods right after the change (placement effects
+  /// only appear once the GC has promoted objects under the new policy).
+  size_t WarmupPeriods = 1;
+  /// Skip periods with a zero rate entirely (program phases with no
+  /// activity on the monitored class carry no information; deciding on
+  /// them would compare lulls against load).
+  bool IgnoreZeroRatePeriods = false;
+};
+
+/// Assesses one optimization decision via measured event rates.
+class OptimizationController {
+public:
+  enum class State : uint8_t {
+    Monitoring, ///< Maintaining the baseline.
+    Warmup,     ///< Change applied; skipping warm-up periods.
+    Assessing,  ///< Collecting the decision window.
+    Reverted,   ///< Regression detected; revert action fired.
+    Accepted,   ///< Change kept (no regression).
+  };
+
+  explicit OptimizationController(const ControllerConfig &Config = {});
+
+  /// Feeds one measurement period's event rate (events per period or per
+  /// second -- any consistent unit).
+  void observePeriod(double Rate);
+
+  /// Declares that a policy change was just applied; assessment starts.
+  void notePolicyChange();
+
+  /// Action invoked when a regression is detected.
+  void setRevertAction(std::function<void()> Fn) {
+    Revert = std::move(Fn);
+  }
+
+  State state() const { return Current; }
+  double baselineRate() const { return Baseline; }
+  double assessedRate() const { return Assessed; }
+  /// The baseline as it stood when the last verdict was reached (the
+  /// running baseline keeps moving afterwards).
+  double decisionBaseline() const { return BaselineAtDecision; }
+  size_t periodsObserved() const { return Observed; }
+
+private:
+  ControllerConfig Config;
+  State Current = State::Monitoring;
+  std::vector<double> Window;
+  double Baseline = 0.0;
+  double Assessed = 0.0;
+  double BaselineAtDecision = 0.0;
+  size_t Observed = 0;
+  size_t Skipped = 0;
+  std::function<void()> Revert;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_OPTIMIZATIONCONTROLLER_H

@@ -1,0 +1,58 @@
+//===-- core/PhaseDetector.cpp --------------------------------------------===//
+
+#include "core/PhaseDetector.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+PhaseDetector::PhaseDetector(const PhaseDetectorConfig &Config)
+    : Config(Config), Short(Config.Window) {
+  assert(Config.Window > 0 && Config.ChangeFactor > 1.0 &&
+         "degenerate phase-detector configuration");
+}
+
+bool PhaseDetector::observe(double Rate) {
+  ++Observed;
+  ++SincePhaseStart;
+  double Avg = Short.add(Rate);
+
+  if (Phase == 0) {
+    // First observation opens phase 1.
+    Phase = 1;
+    Level = Rate;
+    LevelActive = Rate >= Config.ActivityFloor;
+    SincePhaseStart = 1;
+    return true;
+  }
+
+  // Compare against the level *before* updating it, so a step change is
+  // judged against the old phase's regime, not a level already chasing
+  // the new one.
+  bool Changed = false;
+  if (Observed >= Config.MinPeriods && SincePhaseStart >= Config.Window) {
+    bool AvgActive = Avg >= Config.ActivityFloor;
+    if (AvgActive != LevelActive) {
+      Changed = true; // Entered or left a lull.
+    } else if (AvgActive && LevelActive) {
+      double Base = Level > Config.ActivityFloor ? Level
+                                                 : Config.ActivityFloor;
+      Changed = Avg > Base * Config.ChangeFactor ||
+                Avg < Base / Config.ChangeFactor;
+    }
+  }
+
+  if (Changed) {
+    ++Phase;
+    Level = Avg;
+    LevelActive = Avg >= Config.ActivityFloor;
+    SincePhaseStart = 0;
+    return true;
+  }
+
+  // Track the level slowly within the phase (small-alpha EMA) so gradual
+  // drift does not masquerade as a phase change -- but genuine steps still
+  // outrun it.
+  Level = 0.95 * Level + 0.05 * Rate;
+  return false;
+}

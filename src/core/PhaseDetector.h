@@ -1,0 +1,79 @@
+//===-- core/PhaseDetector.h - Execution phase detection -------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Paper section 5.3: "The rate of events for each reference field is
+/// measured throughout the execution and this allows detecting phase
+/// changes in the execution or checking whether an optimization decision
+/// ... had a positive or a negative impact." The checking half lives in
+/// OptimizationController; this is the phase-change half: a change-point
+/// detector over per-period event rates. A phase change is flagged when
+/// the recent short-window average departs from the established level by
+/// a configurable factor in either direction; the level then re-anchors
+/// to the new regime.
+///
+/// Used by the Figure 7 bench to annotate db's build/scan phase structure
+/// and available to adaptive policies that want to, e.g., re-evaluate
+/// placement decisions when the program changes behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_PHASEDETECTOR_H
+#define HPMVM_CORE_PHASEDETECTOR_H
+
+#include "support/Statistics.h"
+#include "support/Types.h"
+
+#include <cstddef>
+
+namespace hpmvm {
+
+/// Change-point policy.
+struct PhaseDetectorConfig {
+  /// Short window whose average is compared against the phase level.
+  size_t Window = 3;
+  /// Flag a change when the window average exceeds level*Factor or drops
+  /// below level/Factor.
+  double ChangeFactor = 2.5;
+  /// Observations before the first change can be flagged (establishes the
+  /// initial level).
+  size_t MinPeriods = 4;
+  /// Treat rates below this as zero-activity (lulls): entering/leaving a
+  /// lull is also a phase change.
+  double ActivityFloor = 0.5;
+};
+
+/// Streaming phase-change detector over one metric.
+class PhaseDetector {
+public:
+  explicit PhaseDetector(const PhaseDetectorConfig &Config = {});
+
+  /// Feeds one measurement period's rate. \returns true when this period
+  /// starts a new phase.
+  bool observe(double Rate);
+
+  /// Number of the current phase (the first phase is 1; 0 before any
+  /// observation).
+  size_t currentPhase() const { return Phase; }
+
+  /// The established rate level of the current phase.
+  double level() const { return Level; }
+
+  size_t periodsObserved() const { return Observed; }
+
+private:
+  PhaseDetectorConfig Config;
+  MovingAverage Short;
+  double Level = 0.0;
+  bool LevelActive = false; ///< Is the current phase above the floor?
+  size_t Phase = 0;
+  size_t Observed = 0;
+  size_t SincePhaseStart = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_PHASEDETECTOR_H

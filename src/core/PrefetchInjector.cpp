@@ -1,0 +1,117 @@
+//===-- core/PrefetchInjector.cpp -----------------------------------------===//
+
+#include "core/PrefetchInjector.h"
+
+#include "vm/VirtualMachine.h"
+
+#include <set>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+bool isBranch(MOp Op) {
+  switch (Op) {
+  case MOp::Br:
+  case MOp::BrCmp:
+  case MOp::BrZero:
+  case MOp::BrNull:
+  case MOp::BrNonNull:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// \returns a copy of \p F with a Prefetch inserted after every LoadField
+/// of a field in \p HotFields, with branch targets remapped. Returns an
+/// empty Insts vector when nothing was inserted.
+MachineFunction rewriteWithPrefetches(const MachineFunction &F,
+                                      const std::set<FieldId> &HotFields,
+                                      uint32_t &Inserted) {
+  // New index of each old instruction.
+  std::vector<uint32_t> NewIndex(F.Insts.size() + 1);
+  uint32_t Shift = 0;
+  for (size_t I = 0; I != F.Insts.size(); ++I) {
+    NewIndex[I] = static_cast<uint32_t>(I) + Shift;
+    const MachineInst &MI = F.Insts[I];
+    if (MI.Op == MOp::LoadField && MI.DstIsRef &&
+        HotFields.count(static_cast<FieldId>(MI.Imm)))
+      ++Shift;
+  }
+  NewIndex[F.Insts.size()] = static_cast<uint32_t>(F.Insts.size()) + Shift;
+  Inserted = Shift;
+  if (Shift == 0)
+    return MachineFunction();
+
+  MachineFunction Out;
+  Out.Method = F.Method;
+  Out.NumRegs = F.NumRegs;
+  Out.CallSites = F.CallSites;
+  Out.RegIsRefAtEntry = F.RegIsRefAtEntry;
+  Out.Insts.reserve(F.Insts.size() + Shift);
+  for (const MachineInst &MI : F.Insts) {
+    MachineInst Copy = MI;
+    if (isBranch(Copy.Op))
+      Copy.Imm = static_cast<int32_t>(NewIndex[Copy.Imm]);
+    Out.Insts.push_back(Copy);
+    if (MI.Op == MOp::LoadField && MI.DstIsRef &&
+        HotFields.count(static_cast<FieldId>(MI.Imm))) {
+      MachineInst Pf;
+      Pf.Op = MOp::Prefetch;
+      Pf.SrcA = MI.Dst;
+      Pf.Bci = MI.Bci; // Maps back to the same source bytecode.
+      Out.Insts.push_back(Pf);
+    }
+  }
+  return Out;
+}
+
+} // namespace
+
+PrefetchInjectionStats PrefetchInjector::injectHotPrefetches(
+    VirtualMachine &Vm, const FieldMissTable &Table, uint64_t MinMisses) {
+  PrefetchInjectionStats Stats;
+
+  std::set<FieldId> HotFields;
+  const ClassRegistry &Classes = Vm.classes();
+  for (size_t F = 0; F != Classes.numFields(); ++F)
+    if (Classes.field(static_cast<FieldId>(F)).IsRef &&
+        Table.misses(static_cast<FieldId>(F)) >= MinMisses)
+      HotFields.insert(static_cast<FieldId>(F));
+  if (HotFields.empty())
+    return Stats;
+
+  // Walk methods (not CompiledFns: retired bodies must not be rewritten).
+  for (const Method &ConstM : Vm.methods()) {
+    if (!ConstM.isOptCompiled() || ConstM.IsVmInternal)
+      continue;
+    Method &M = Vm.method(ConstM.Id);
+    const MachineFunction &F = Vm.compiledCode(M.OptIndex);
+    // Idempotence: skip bodies that already prefetch every current hot
+    // load (a previous pass handled them).
+    bool NeedsWork = false;
+    for (size_t I = 0; I != F.Insts.size(); ++I) {
+      const MachineInst &MI = F.Insts[I];
+      if (MI.Op == MOp::LoadField && MI.DstIsRef &&
+          HotFields.count(static_cast<FieldId>(MI.Imm)) &&
+          (I + 1 == F.Insts.size() ||
+           F.Insts[I + 1].Op != MOp::Prefetch)) {
+        NeedsWork = true;
+        break;
+      }
+    }
+    if (!NeedsWork)
+      continue;
+
+    uint32_t Inserted = 0;
+    MachineFunction NewF = rewriteWithPrefetches(F, HotFields, Inserted);
+    if (Inserted == 0)
+      continue;
+    Vm.installCompiledCode(M, std::move(NewF));
+    ++Stats.MethodsRewritten;
+    Stats.PrefetchesInserted += Inserted;
+  }
+  return Stats;
+}

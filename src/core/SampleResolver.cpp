@@ -1,0 +1,68 @@
+//===-- core/SampleResolver.cpp -------------------------------------------===//
+
+#include "core/SampleResolver.h"
+
+#include "heap/AddressSpace.h"
+#include "vm/VirtualMachine.h"
+
+using namespace hpmvm;
+
+void SampleResolver::refreshOptIndex() {
+  size_t N = Vm.numCompiledFunctions();
+  for (; IndexedFns < N; ++IndexedFns) {
+    const MachineFunction &F =
+        Vm.compiledCode(static_cast<uint32_t>(IndexedFns));
+    OptByBase.emplace(F.CodeBase, static_cast<uint32_t>(IndexedFns));
+  }
+}
+
+ResolvedSample SampleResolver::resolve(Address Pc) {
+  ResolvedSample R;
+  // "Addresses outside the VM address space (e.g., from kernel space or
+  // native libraries) are dropped immediately."
+  if (!isInCompiledCode(Pc)) {
+    ++Stats.DroppedOutsideVm;
+    return R;
+  }
+
+  const MethodRange *Range = Vm.methodTable().lookup(Pc);
+  if (!Range) {
+    ++Stats.DroppedUnknownCode;
+    return R;
+  }
+
+  R.Method = Range->Method;
+  R.Flavor = Range->Flavor;
+  const Method &M = Vm.method(Range->Method);
+
+  if (Range->Flavor == CodeFlavor::Baseline) {
+    R.Bci = (Pc - Range->Start) / kBaselineBytesPerBytecode;
+    R.Valid = true;
+    ++Stats.Resolved;
+    return R;
+  }
+
+  // Optimized code: find the compiled function covering this PC (the
+  // method may have been recompiled; stale ranges resolve against their
+  // own function).
+  refreshOptIndex();
+  auto It = OptByBase.upper_bound(Pc);
+  if (It == OptByBase.begin()) {
+    ++Stats.DroppedUnknownCode;
+    return R;
+  }
+  --It;
+  const MachineFunction &F = Vm.compiledCode(It->second);
+  if (Pc >= F.codeLimit()) {
+    ++Stats.DroppedUnknownCode;
+    return R;
+  }
+  (void)M;
+  R.OptIndex = It->second;
+  R.InstIdx = F.instIndexFor(Pc);
+  R.Bci = F.Insts[R.InstIdx].Bci;
+  R.Valid = true;
+  ++Stats.Resolved;
+  ++Stats.ResolvedOptimized;
+  return R;
+}

@@ -1,0 +1,73 @@
+//===-- core/SampleResolver.h - PC -> method/bytecode mapping --*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps a raw PEBS sample to source-level constructs (paper section 4.2):
+///   1. Samples whose PC lies outside the VM's compiled-code space (kernel,
+///      native libraries) are dropped immediately.
+///   2. The sorted method table resolves the PC to a method.
+///   3. The machine-code map resolves the PC to a bytecode index: trivial
+///      arithmetic for baseline code; the per-instruction map for
+///      opt-compiled code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_SAMPLERESOLVER_H
+#define HPMVM_CORE_SAMPLERESOLVER_H
+
+#include "support/Types.h"
+#include "vm/MethodTable.h"
+
+#include <map>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// A sample resolved to source constructs.
+struct ResolvedSample {
+  bool Valid = false;
+  MethodId Method = kInvalidId;
+  CodeFlavor Flavor = CodeFlavor::Baseline;
+  uint32_t Bci = 0;
+  /// Machine-instruction index within the compiled function (optimized
+  /// code only; kInvalidId for baseline samples).
+  uint32_t InstIdx = kInvalidId;
+  /// Index into VirtualMachine::compiledCode (optimized code only).
+  uint32_t OptIndex = kInvalidId;
+};
+
+/// Resolution statistics (mirrors the paper's filtering steps).
+struct ResolverStats {
+  uint64_t Resolved = 0;
+  uint64_t ResolvedOptimized = 0;
+  uint64_t DroppedOutsideVm = 0; ///< Kernel / native library PCs.
+  uint64_t DroppedUnknownCode = 0;
+};
+
+/// Resolves sample PCs against a VM's method table and code maps.
+class SampleResolver {
+public:
+  explicit SampleResolver(VirtualMachine &Vm) : Vm(Vm) {}
+
+  ResolvedSample resolve(Address Pc);
+
+  const ResolverStats &stats() const { return Stats; }
+
+private:
+  /// Lazily (re)builds the CodeBase -> OptIndex index when new methods have
+  /// been compiled since the last build.
+  void refreshOptIndex();
+
+  VirtualMachine &Vm;
+  ResolverStats Stats;
+  std::map<Address, uint32_t> OptByBase;
+  size_t IndexedFns = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_SAMPLERESOLVER_H

@@ -1,0 +1,44 @@
+//===-- gc/CollectorPlan.cpp ----------------------------------------------===//
+
+#include "gc/CollectorPlan.h"
+
+using namespace hpmvm;
+
+CollectorPlanBase::CollectorPlanBase(ObjectModel &Objects, VirtualClock &Clock,
+                                     const CollectorConfig &Config)
+    : Objects(Objects), Clock(Clock), Config(Config),
+      Pool(Objects.memory().base(),
+           alignUp(Config.HeapBytes, kBlockBytes)),
+      Nursery(Pool, SpaceId::Nursery), Los(Pool) {
+  assert(Objects.memory().size() >= alignUp(Config.HeapBytes, kBlockBytes) &&
+         "heap backing store smaller than the collector's heap");
+  retuneNurseryBudget(0);
+}
+
+void CollectorPlanBase::scanRoots(const std::function<void(Address &)> &Fn) {
+  assert(Roots && "collector has no root provider");
+  uint64_t Count = 0;
+  Roots->forEachRoot([&](Address &Slot) {
+    ++Count;
+    Fn(Slot);
+  });
+  chargeGc(Count * Config.Cost.PerRootSlot);
+}
+
+void CollectorPlanBase::retuneNurseryBudget(uint32_t ReservedBlocks) {
+  // Appel-style variable nursery: the young generation may use half of
+  // whatever the mature space has not claimed (minus any copy reserve).
+  // Shave a few blocks off the half so a worst-case (fully live) nursery
+  // still promotes successfully despite size-class/block fragmentation --
+  // the other half is the promotion reserve.
+  const uint32_t FragSlackBlocks = 8;
+  uint32_t Free = Pool.freeBlocks() + Nursery.blocksOwned();
+  uint32_t Avail = Free > ReservedBlocks ? Free - ReservedBlocks : 0;
+  uint32_t Budget = Avail / 2;
+  Budget = Budget > FragSlackBlocks ? Budget - FragSlackBlocks : 0;
+  if (Budget < Config.MinNurseryBlocks)
+    Budget = Config.MinNurseryBlocks;
+  if (Config.MaxNurseryBlocks && Budget > Config.MaxNurseryBlocks)
+    Budget = Config.MaxNurseryBlocks;
+  Nursery.setBlockBudget(Budget);
+}

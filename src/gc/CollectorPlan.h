@@ -1,0 +1,110 @@
+//===-- gc/CollectorPlan.h - Shared collector infrastructure ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared base for the two collector plans (GenMS, GenCopy): configuration,
+/// the GC cycle-cost model, the block pool over the heap range, remembered
+/// set, Appel-style nursery budgeting, and root iteration. Mirrors MMTk's
+/// Plan layering, which the paper's collectors are built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_GC_COLLECTORPLAN_H
+#define HPMVM_GC_COLLECTORPLAN_H
+
+#include "gc/RememberedSet.h"
+#include "heap/BlockPool.h"
+#include "heap/BlockedBumpAllocator.h"
+#include "heap/GcApi.h"
+#include "heap/LargeObjectSpace.h"
+#include "heap/ObjectModel.h"
+#include "heap/SizeClasses.h"
+#include "support/Types.h"
+#include "support/VirtualClock.h"
+
+#include <cassert>
+#include <functional>
+
+namespace hpmvm {
+
+/// Cycle costs of GC work items.
+struct GcCostModel {
+  Cycles CollectionSetup = 30000; ///< Stop-the-world + root-scan base.
+  Cycles PerRootSlot = 3;
+  Cycles PerScannedSlot = 2;
+  Cycles PerCopiedByte = 1;
+  Cycles PerMarkedObject = 10;
+  Cycles PerSweptCell = 2;
+  Cycles PerReleasedBlock = 200;
+};
+
+/// Collector construction parameters.
+struct CollectorConfig {
+  uint32_t HeapBytes = 64 * 1024 * 1024;
+  GcCostModel Cost;
+  /// Appel nursery: lower bound on the nursery block budget.
+  uint32_t MinNurseryBlocks = 4;
+  /// 0 = unbounded (pure Appel); otherwise a fixed-nursery variant.
+  uint32_t MaxNurseryBlocks = 0;
+  /// Size ceiling for a co-allocated pair (parent + gap + child). The
+  /// free-list ceiling (4 KB) is the hard limit; lowering it is the
+  /// ablation knob for "should pairs larger than a cache line bother?".
+  uint32_t MaxCoallocPairBytes = kMaxFreeListBytes;
+};
+
+/// Common state/machinery for both plans.
+class CollectorPlanBase : public GarbageCollector {
+public:
+  CollectorPlanBase(ObjectModel &Objects, VirtualClock &Clock,
+                    const CollectorConfig &Config);
+
+  void setRootProvider(RootProvider *P) override { Roots = P; }
+  void setPlacementAdvisor(PlacementAdvisor *A) override { Advisor = A; }
+  void setGcAllowed(bool Allowed) override { GcAllowed = Allowed; }
+  const GcStats &stats() const override { return Stats; }
+  void setGcNotify(std::function<void(bool)> Fn) override {
+    Notify = std::move(Fn);
+  }
+
+  SpaceId spaceOf(Address A) const override { return Pool.ownerOf(A); }
+
+  BlockPool &pool() { return Pool; }
+  const CollectorConfig &config() const { return Config; }
+  uint32_t nurseryBlockBudget() const { return Nursery.blockBudget(); }
+
+protected:
+  /// Charges \p C cycles of GC work to the virtual clock and the GC total.
+  void chargeGc(Cycles C) {
+    Clock.advance(C);
+    Stats.GcCycles += C;
+  }
+
+  /// Iterates mutator roots, charging per-slot cost.
+  void scanRoots(const std::function<void(Address &)> &Fn);
+
+  /// Recomputes the Appel-style nursery budget from the pool's free space,
+  /// reserving \p ReservedBlocks for the mature space's needs (GenCopy's
+  /// copy reserve; 0 for GenMS).
+  void retuneNurseryBudget(uint32_t ReservedBlocks);
+
+  ObjectModel &Objects;
+  VirtualClock &Clock;
+  CollectorConfig Config;
+  BlockPool Pool;
+  BlockedBumpAllocator Nursery;
+  LargeObjectSpace Los;
+  RememberedSet RemSet;
+  RootProvider *Roots = nullptr;
+  PlacementAdvisor *Advisor = nullptr;
+  std::function<void(bool)> Notify;
+  GcStats Stats;
+  bool GcAllowed = true;
+  bool InCollection = false;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_GC_COLLECTORPLAN_H

@@ -1,0 +1,239 @@
+//===-- gc/GenCopyPlan.cpp ------------------------------------------------===//
+
+#include "gc/GenCopyPlan.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hpmvm;
+using namespace hpmvm::objheader;
+
+GenCopyPlan::GenCopyPlan(ObjectModel &Objects, VirtualClock &Clock,
+                         const CollectorConfig &Config)
+    : CollectorPlanBase(Objects, Clock, Config),
+      SpaceA(Pool, SpaceId::FromSpace), SpaceB(Pool, SpaceId::ToSpace),
+      Current(&SpaceA), Next(&SpaceB) {
+  retuneBudgets();
+}
+
+void GenCopyPlan::retuneBudgets() {
+  // Appel nursery with a copy reserve. Invariant: even if the entire
+  // nursery survives a minor collection, the mature space (matureUsed +
+  // nursery) must still be copyable into free space at the next full
+  // collection, i.e. 2*(matureUsed + nursery) + los <= total. Solving for
+  // the nursery and giving it half of what that leaves (Appel):
+  uint32_t Total = Pool.totalBlocks();
+  uint32_t LosBlocks = Los.footprintBytes() / kBlockBytes;
+  uint32_t MatureUsed = Current->blocksOwned();
+  uint32_t Claimed = LosBlocks + 2 * MatureUsed;
+  uint32_t Avail = Total > Claimed ? Total - Claimed : 0;
+  uint32_t NurseryBudget = Avail / 4; // Half of the copy-safe half.
+  if (NurseryBudget < Config.MinNurseryBlocks)
+    NurseryBudget = Config.MinNurseryBlocks;
+  if (Config.MaxNurseryBlocks && NurseryBudget > Config.MaxNurseryBlocks)
+    NurseryBudget = Config.MaxNurseryBlocks;
+  Nursery.setBlockBudget(NurseryBudget);
+  // The mature space must be able to absorb a fully-live nursery without
+  // tripping its own budget; the copy target is bounded only by the pool
+  // (the reserve discipline above guarantees it fits).
+  Current->setBlockBudget(MatureUsed + NurseryBudget + 2);
+  Next->setBlockBudget(Total);
+}
+
+Address GenCopyPlan::allocate(ClassId Cls, uint32_t TotalBytes,
+                              uint32_t ArrayLen) {
+  assert(!InCollection && "allocation during collection");
+
+  if (TotalBytes > kMaxFreeListBytes) {
+    Address A = Los.alloc(TotalBytes);
+    if (A == kNullRef) {
+      collectFull();
+      A = Los.alloc(TotalBytes);
+    }
+    if (A == kNullRef)
+      return kNullRef;
+    Objects.initObject(A, Cls, TotalBytes, ArrayLen);
+    return A;
+  }
+
+  Address A = Nursery.alloc(TotalBytes);
+  if (A == kNullRef) {
+    collectMinor();
+    A = Nursery.alloc(TotalBytes);
+    if (A == kNullRef) {
+      collectFull();
+      A = Nursery.alloc(TotalBytes);
+    }
+  }
+  if (A == kNullRef)
+    return kNullRef;
+  Objects.initObject(A, Cls, TotalBytes, ArrayLen);
+  return A;
+}
+
+void GenCopyPlan::writeBarrier(Address Holder, Address SlotAddr,
+                               Address NewValue) {
+  (void)Holder;
+  if (NewValue == kNullRef)
+    return;
+  if (Pool.ownerOf(NewValue) == SpaceId::Nursery &&
+      Pool.ownerOf(SlotAddr) != SpaceId::Nursery)
+    RemSet.insert(SlotAddr);
+}
+
+void GenCopyPlan::collectMinor() {
+  assert(GcAllowed && "collection triggered while GC is disabled");
+  // Escalate when promoting the nursery could overrun the mature budget or
+  // the pool (the copy reserve must stay intact). Dead mature objects are
+  // only reclaimed by a full collection, so also escalate when the mature
+  // space (live + accumulated garbage) plus its copy reserve approaches
+  // the whole heap.
+  uint32_t LosBlocks = Los.footprintBytes() / kBlockBytes;
+  uint32_t WorstMature = Current->blocksOwned() + Nursery.blocksOwned();
+  if (Current->blocksOwned() + Nursery.blocksOwned() + 2 >
+          Current->blockBudget() ||
+      Pool.freeBlocks() < Nursery.blocksOwned() + 2 ||
+      2 * WorstMature + LosBlocks + 4 > Pool.totalBlocks()) {
+    collectFull();
+    return;
+  }
+
+  InCollection = true;
+  ++Stats.MinorCollections;
+  chargeGc(Config.Cost.CollectionSetup);
+  ScanQueue.clear();
+
+  scanRoots([&](Address &Slot) { Slot = processRef(Slot, false); });
+
+  HeapMemory &Mem = Objects.memory();
+  RemSet.forEach([&](Address SlotAddr) {
+    Address V = Mem.readWord(SlotAddr);
+    if (V != kNullRef)
+      Mem.writeWord(SlotAddr, processRef(V, false));
+  });
+  chargeGc(RemSet.size() * Config.Cost.PerScannedSlot);
+
+  drainQueue(false);
+
+  uint32_t Released = Nursery.blocksOwned();
+  Nursery.releaseAll();
+  chargeGc(Released * Config.Cost.PerReleasedBlock);
+  RemSet.clear();
+  retuneBudgets();
+  InCollection = false;
+  if (Notify)
+    Notify(false);
+}
+
+void GenCopyPlan::collectFull() {
+  assert(GcAllowed && "collection triggered while GC is disabled");
+  assert(!InCollection && "recursive collection");
+  InCollection = true;
+  ++Stats.MajorCollections;
+  if (Nursery.usedBytes() != 0)
+    ++Stats.NurseryCollDuringFull;
+  chargeGc(2 * Config.Cost.CollectionSetup);
+  ScanQueue.clear();
+
+  // Clear LOS marks; the semispaces need none (forwarding is the mark).
+  uint64_t LosObjects = 0;
+  Los.forEachObject([&](Address Obj) {
+    ++LosObjects;
+    Objects.clearFlag(Obj, kMarkBit);
+  });
+  chargeGc(LosObjects * Config.Cost.PerSweptCell);
+
+  scanRoots([&](Address &Slot) { Slot = processRef(Slot, true); });
+  drainQueue(true);
+
+  Los.sweep([&](Address Obj) { return Objects.testFlag(Obj, kMarkBit); });
+
+  uint32_t Released = Nursery.blocksOwned() + Current->blocksOwned();
+  Nursery.releaseAll();
+  Current->releaseAll();
+  chargeGc(Released * Config.Cost.PerReleasedBlock);
+  std::swap(Current, Next);
+  RemSet.clear();
+  retuneBudgets();
+  InCollection = false;
+  if (Notify)
+    Notify(true);
+}
+
+void GenCopyPlan::copyFailure(uint32_t Bytes) {
+  fprintf(stderr,
+          "GenCopy: heap exhausted copying %u bytes (heap too small for "
+          "the live set plus copy reserve)\n",
+          Bytes);
+  abort();
+}
+
+Address GenCopyPlan::copyInto(Address Obj, BlockedBumpAllocator &Dest) {
+  uint32_t Size = Objects.sizeOf(Obj);
+  Address NewObj = Dest.alloc(Size);
+  if (NewObj == kNullRef)
+    copyFailure(Size);
+  Objects.memory().copy(NewObj, Obj, Size);
+  Objects.forwardTo(Obj, NewObj);
+  chargeGc(Size * Config.Cost.PerCopiedByte);
+  Stats.BytesCopied += Size;
+  ScanQueue.push_back(NewObj);
+  return NewObj;
+}
+
+Address GenCopyPlan::processRef(Address Ref, bool FullTrace) {
+  SpaceId S = Pool.ownerOf(Ref);
+  if (S == SpaceId::Nursery) {
+    if (Objects.isForwarded(Ref))
+      return Objects.forwardingAddress(Ref);
+    Address NewObj = copyInto(Ref, FullTrace ? *Next : *Current);
+    ++Stats.ObjectsPromoted;
+    Stats.BytesPromoted += Objects.sizeOf(NewObj);
+    return NewObj;
+  }
+  if (S == SpaceId::Los) {
+    if (FullTrace && !Objects.testFlag(Ref, kMarkBit)) {
+      Objects.orFlag(Ref, kMarkBit);
+      chargeGc(Config.Cost.PerMarkedObject);
+      ScanQueue.push_back(Ref);
+    }
+    return Ref;
+  }
+  // Mature semispaces.
+  if (!FullTrace)
+    return Ref; // Minor collections do not touch the mature space.
+  if (S == (Current == &SpaceA ? SpaceId::FromSpace : SpaceId::ToSpace)) {
+    if (Objects.isForwarded(Ref))
+      return Objects.forwardingAddress(Ref);
+    return copyInto(Ref, *Next);
+  }
+  // Already in the copy target.
+  return Ref;
+}
+
+void GenCopyPlan::scanObject(Address Obj, bool FullTrace) {
+  HeapMemory &Mem = Objects.memory();
+  uint64_t Slots = 0;
+  Objects.forEachRefSlot(Obj, [&](Address SlotAddr) {
+    ++Slots;
+    Address V = Mem.readWord(SlotAddr);
+    if (V == kNullRef)
+      return;
+    Address NV = processRef(V, FullTrace);
+    if (NV != V)
+      Mem.writeWord(SlotAddr, NV);
+  });
+  chargeGc(Slots * Config.Cost.PerScannedSlot + 1);
+}
+
+void GenCopyPlan::drainQueue(bool FullTrace) {
+  // Breadth-first (Cheney) order: siblings end up adjacent, parents and
+  // children a generation apart -- the copy-order property co-allocation
+  // in GenMS improves on.
+  while (!ScanQueue.empty()) {
+    Address Obj = ScanQueue.front();
+    ScanQueue.pop_front();
+    scanObject(Obj, FullTrace);
+  }
+}

@@ -1,0 +1,282 @@
+//===-- gc/GenMSPlan.cpp --------------------------------------------------===//
+
+#include "gc/GenMSPlan.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hpmvm;
+using namespace hpmvm::objheader;
+
+GenMSPlan::GenMSPlan(ObjectModel &Objects, VirtualClock &Clock,
+                     const CollectorConfig &Config)
+    : CollectorPlanBase(Objects, Clock, Config), Mature(Pool) {}
+
+Address GenMSPlan::allocate(ClassId Cls, uint32_t TotalBytes,
+                            uint32_t ArrayLen) {
+  assert(!InCollection && "allocation during collection");
+
+  if (TotalBytes > kMaxFreeListBytes) {
+    // Large objects are born in the LOS ("larger objects are handled in a
+    // separate portion of the heap").
+    Address A = Los.alloc(TotalBytes);
+    if (A == kNullRef) {
+      collectFull();
+      A = Los.alloc(TotalBytes);
+    }
+    if (A == kNullRef)
+      return kNullRef;
+    Objects.initObject(A, Cls, TotalBytes, ArrayLen);
+    return A;
+  }
+
+  Address A = Nursery.alloc(TotalBytes);
+  if (A == kNullRef) {
+    collectMinor();
+    // Mark-sweep reclaims mature garbage only at full collections; run one
+    // proactively while there is still promotion headroom, instead of
+    // riding the free-block count down to where even the full collection
+    // could not promote a live nursery.
+    if (Pool.freeBlocks() < Nursery.blockBudget() + 8)
+      collectFull();
+    A = Nursery.alloc(TotalBytes);
+    if (A == kNullRef) {
+      collectFull();
+      A = Nursery.alloc(TotalBytes);
+    }
+  }
+  if (A == kNullRef)
+    return kNullRef;
+  Objects.initObject(A, Cls, TotalBytes, ArrayLen);
+  return A;
+}
+
+void GenMSPlan::writeBarrier(Address Holder, Address SlotAddr,
+                             Address NewValue) {
+  (void)Holder;
+  if (NewValue == kNullRef)
+    return;
+  if (Pool.ownerOf(NewValue) == SpaceId::Nursery &&
+      Pool.ownerOf(SlotAddr) != SpaceId::Nursery)
+    RemSet.insert(SlotAddr);
+}
+
+void GenMSPlan::collectMinor() {
+  assert(GcAllowed && "collection triggered while GC is disabled");
+  // The Appel budget guarantees a promotion reserve at least the nursery's
+  // size (plus fragmentation slack); escalate to a full collection only
+  // when the reserve was eaten by direct LOS allocation since the last
+  // retune.
+  if (Pool.freeBlocks() < Nursery.blocksOwned() + 4) {
+    collectFull();
+    return;
+  }
+
+  InCollection = true;
+  ++Stats.MinorCollections;
+  chargeGc(Config.Cost.CollectionSetup);
+  FullTraceActive = false;
+  ScanList.clear();
+
+  scanRoots([&](Address &Slot) { Slot = processRef(Slot, false); });
+
+  // Remembered-set slots are the other nursery roots.
+  HeapMemory &Mem = Objects.memory();
+  RemSet.forEach([&](Address SlotAddr) {
+    Address V = Mem.readWord(SlotAddr);
+    if (V != kNullRef)
+      Mem.writeWord(SlotAddr, processRef(V, false));
+  });
+  chargeGc(RemSet.size() * Config.Cost.PerScannedSlot);
+
+  traceLoop(false);
+
+  uint32_t Released = Nursery.blocksOwned();
+  Nursery.releaseAll();
+  chargeGc(Released * Config.Cost.PerReleasedBlock);
+  RemSet.clear();
+  retuneNurseryBudget(0);
+  InCollection = false;
+  if (Notify)
+    Notify(false);
+}
+
+void GenMSPlan::collectFull() {
+  assert(GcAllowed && "collection triggered while GC is disabled");
+  assert(!InCollection && "recursive collection");
+  InCollection = true;
+  ++Stats.MajorCollections;
+  if (Nursery.usedBytes() != 0)
+    ++Stats.NurseryCollDuringFull;
+  chargeGc(2 * Config.Cost.CollectionSetup);
+  FullTraceActive = true;
+  ScanList.clear();
+
+  clearMatureMarks();
+  scanRoots([&](Address &Slot) { Slot = processRef(Slot, true); });
+  traceLoop(true);
+
+  // Sweep: dead cells return to the free lists, dead large objects to the
+  // pool. Visiting cost covers live and dead cells alike.
+  uint32_t Visited = Mature.stats().CellsInUse;
+  Mature.sweep([&](Address Cell) { return isLiveCell(Cell); });
+  chargeGc(Visited * Config.Cost.PerSweptCell);
+  Los.sweep([&](Address Obj) { return Objects.testFlag(Obj, kMarkBit); });
+
+  uint32_t Released = Nursery.blocksOwned();
+  Nursery.releaseAll();
+  chargeGc(Released * Config.Cost.PerReleasedBlock);
+  RemSet.clear();
+  retuneNurseryBudget(0);
+  FullTraceActive = false;
+  InCollection = false;
+  if (Notify)
+    Notify(true);
+}
+
+void GenMSPlan::promotionFailure(uint32_t Bytes) {
+  fprintf(stderr,
+          "GenMS: heap exhausted promoting %u bytes out of the nursery "
+          "(heap too small for the live set)\n",
+          Bytes);
+  abort();
+}
+
+Address GenMSPlan::promote(Address Obj) {
+  HeapMemory &Mem = Objects.memory();
+  uint32_t Size = Objects.sizeOf(Obj);
+  ClassId Cls = Objects.classOf(Obj);
+
+  // HPM-guided co-allocation: place the most-missed child right after the
+  // parent in a single free-list cell.
+  if (Advisor && !Objects.descOf(Obj).isArray()) {
+    CoallocationHint Hint = Advisor->coallocationHint(Cls);
+    if (Hint.valid()) {
+      Address Child = Mem.readWord(Obj + Hint.SlotOffset);
+      if (Child != kNullRef && Child != Obj &&
+          Pool.ownerOf(Child) == SpaceId::Nursery &&
+          !Objects.isForwarded(Child)) {
+        uint32_t ChildSize = Objects.sizeOf(Child);
+        uint32_t Gap = alignUp(Advisor->gapBytes(), kObjectAlign);
+        uint32_t Total = Size + Gap + ChildSize;
+        // "we have to check if both objects together do not exceed the
+        // size limit for the free-list allocator".
+        if (Total <= Config.MaxCoallocPairBytes) {
+          if (Address Cell = Mature.alloc(Total)) {
+            Address NewChild = Cell + Size + Gap;
+            Mem.copy(Cell, Obj, Size);
+            Mem.copy(NewChild, Child, ChildSize);
+            Objects.forwardTo(Obj, Cell);
+            Objects.forwardTo(Child, NewChild);
+            // The new copies are live by construction in this collection.
+            Objects.orFlag(Cell, kMarkBit | kCoallocBit);
+            Objects.orFlag(NewChild, kMarkBit | kCoallocBit);
+            // Scalar parents do not use the aux word; record the child's
+            // offset there so the sweep can find the cell's co-tenant.
+            Mem.writeWord(Cell + kAuxOffset, Size + Gap);
+            // Keep the hot field coherent immediately.
+            Mem.writeWord(Cell + Hint.SlotOffset, NewChild);
+            chargeGc(Total * Config.Cost.PerCopiedByte +
+                     2 * Config.Cost.PerMarkedObject);
+            Stats.ObjectsPromoted += 2;
+            Stats.BytesPromoted += Total;
+            Stats.BytesCopied += Size + ChildSize;
+            ++Stats.ObjectsCoallocated;
+            Stats.CoallocGapBytes += Gap;
+            Advisor->noteCoallocation(Cls, Hint.Field);
+            ScanList.push_back(Cell);
+            ScanList.push_back(NewChild);
+            return Cell;
+          }
+        }
+      }
+    }
+  }
+
+  Address Cell = Mature.alloc(Size);
+  if (Cell == kNullRef)
+    promotionFailure(Size);
+  Mem.copy(Cell, Obj, Size);
+  Objects.forwardTo(Obj, Cell);
+  Objects.orFlag(Cell, kMarkBit);
+  chargeGc(Size * Config.Cost.PerCopiedByte + Config.Cost.PerMarkedObject);
+  ++Stats.ObjectsPromoted;
+  Stats.BytesPromoted += Size;
+  Stats.BytesCopied += Size;
+  ScanList.push_back(Cell);
+  return Cell;
+}
+
+Address GenMSPlan::processRef(Address Ref, bool FullTrace) {
+  switch (Pool.ownerOf(Ref)) {
+  case SpaceId::Nursery:
+    if (Objects.isForwarded(Ref))
+      return Objects.forwardingAddress(Ref);
+    return promote(Ref);
+  case SpaceId::Mature:
+  case SpaceId::Los:
+    if (FullTrace && !Objects.testFlag(Ref, kMarkBit)) {
+      Objects.orFlag(Ref, kMarkBit);
+      chargeGc(Config.Cost.PerMarkedObject);
+      ScanList.push_back(Ref);
+    }
+    return Ref;
+  default:
+    assert(false && "reference outside the collected heap");
+    return Ref;
+  }
+}
+
+void GenMSPlan::scanObject(Address Obj, bool FullTrace) {
+  HeapMemory &Mem = Objects.memory();
+  uint64_t Slots = 0;
+  Objects.forEachRefSlot(Obj, [&](Address SlotAddr) {
+    ++Slots;
+    Address V = Mem.readWord(SlotAddr);
+    if (V == kNullRef)
+      return;
+    Address NV = processRef(V, FullTrace);
+    if (NV != V)
+      Mem.writeWord(SlotAddr, NV);
+  });
+  chargeGc(Slots * Config.Cost.PerScannedSlot + 1);
+}
+
+void GenMSPlan::traceLoop(bool FullTrace) {
+  while (!ScanList.empty()) {
+    Address Obj = ScanList.back();
+    ScanList.pop_back();
+    scanObject(Obj, FullTrace);
+  }
+}
+
+void GenMSPlan::clearMatureMarks() {
+  HeapMemory &Mem = Objects.memory();
+  uint64_t Cells = 0;
+  Mature.forEachCell([&](Address Cell) {
+    ++Cells;
+    Objects.clearFlag(Cell, kMarkBit);
+    if (Objects.testFlag(Cell, kCoallocBit)) {
+      Address Child = Cell + Mem.readWord(Cell + kAuxOffset);
+      Objects.clearFlag(Child, kMarkBit);
+    }
+  });
+  Los.forEachObject([&](Address Obj) {
+    ++Cells;
+    Objects.clearFlag(Obj, kMarkBit);
+  });
+  chargeGc(Cells * Config.Cost.PerSweptCell);
+}
+
+bool GenMSPlan::isLiveCell(Address Cell) const {
+  if (Objects.testFlag(Cell, kMarkBit))
+    return true;
+  if (Objects.testFlag(Cell, kCoallocBit)) {
+    // A co-allocated cell is shared: the child keeps it alive even when
+    // the parent has died (space drag the design accepts).
+    Address Child = Cell + Objects.memory().readWord(Cell + kAuxOffset);
+    return Objects.testFlag(Child, kMarkBit);
+  }
+  return false;
+}

@@ -1,0 +1,78 @@
+//===-- gc/GenMSPlan.h - Generational mark-sweep + co-allocation *- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's collector: "Our system uses a generational mark-and-sweep
+/// garbage collector. It does bump-pointer allocation for young objects and
+/// copies matured objects into a mark-and-sweep collected heap. Tenured
+/// objects are managed using a free-list allocator that allocates objects
+/// into 40 different size classes up to 4 KBytes..." with an Appel-style
+/// variable-size nursery (the FastAdaptiveGenMS baseline configuration).
+///
+/// Co-allocation (paper section 5.4): when the nursery trace promotes an
+/// object whose class has a hot reference field (per the PlacementAdvisor),
+/// and parent+child together fit under the 4 KB free-list ceiling, the GC
+/// requests ONE free-list cell sized for both and places the child directly
+/// after the parent. A cell holding a co-allocated pair stays live while
+/// either member is marked; the pair may waste space because only 40 cell
+/// sizes exist -- the internal-fragmentation effect the paper measures at
+/// small heaps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_GC_GENMSPLAN_H
+#define HPMVM_GC_GENMSPLAN_H
+
+#include "gc/CollectorPlan.h"
+#include "heap/FreeListAllocator.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+/// Generational mark-and-sweep plan with HPM-guided co-allocation.
+class GenMSPlan : public CollectorPlanBase {
+public:
+  GenMSPlan(ObjectModel &Objects, VirtualClock &Clock,
+            const CollectorConfig &Config);
+
+  Address allocate(ClassId Cls, uint32_t TotalBytes,
+                   uint32_t ArrayLen) override;
+  void writeBarrier(Address Holder, Address SlotAddr,
+                    Address NewValue) override;
+  void collectFull() override;
+  const char *name() const override { return "GenMS"; }
+
+  /// Nursery collection (public for tests).
+  void collectMinor();
+
+  const FreeListAllocator &matureSpace() const { return Mature; }
+  const LargeObjectSpace &largeObjectSpace() const { return Los; }
+  const RememberedSet &rememberedSet() const { return RemSet; }
+  const BlockedBumpAllocator &nursery() const { return Nursery; }
+
+private:
+  /// Copies \p Obj out of the nursery (with co-allocation when advised).
+  Address promote(Address Obj);
+  /// Traces one reference; \returns the object's post-GC address.
+  Address processRef(Address Ref, bool FullTrace);
+  /// Scans the ref slots of a gray object.
+  void scanObject(Address Obj, bool FullTrace);
+  void traceLoop(bool FullTrace);
+  void clearMatureMarks();
+  /// Liveness of a free-list cell: parent marked, or co-allocated child
+  /// marked (the cell is shared).
+  bool isLiveCell(Address Cell) const;
+  [[noreturn]] void promotionFailure(uint32_t Bytes);
+
+  FreeListAllocator Mature;
+  std::vector<Address> ScanList;
+  bool FullTraceActive = false;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_GC_GENMSPLAN_H

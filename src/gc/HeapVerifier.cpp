@@ -1,0 +1,225 @@
+//===-- gc/HeapVerifier.cpp -----------------------------------------------===//
+
+#include "gc/HeapVerifier.h"
+
+#include "support/Format.h"
+
+#include <unordered_set>
+#include <vector>
+
+using namespace hpmvm;
+using namespace hpmvm::objheader;
+
+namespace {
+
+/// Accumulated walk state shared by both plans.
+struct WalkState {
+  ObjectModel &Objects;
+  std::string Error;
+  std::unordered_set<Address> Bases;
+  std::vector<std::pair<Address, SpaceId>> Live;
+  HeapCensus Census;
+
+  explicit WalkState(ObjectModel &Objects) : Objects(Objects) {}
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+
+  /// Validates the header at \p Obj; \returns its size (0 on failure).
+  uint32_t validateHeader(Address Obj, const char *Where) {
+    ClassId Cls = Objects.classOf(Obj);
+    if (Cls >= Objects.classes().size()) {
+      fail(formatString("%s: object 0x%08x has unknown class id %u", Where,
+                        Obj, Cls));
+      return 0;
+    }
+    const HeapClassDesc &D = Objects.classes().desc(Cls);
+    uint32_t Size = Objects.sizeOf(Obj);
+    uint32_t Expected =
+        D.isArray()
+            ? Objects.arrayObjectBytes(Cls, Objects.arrayLength(Obj))
+            : D.InstanceBytes;
+    if (Size != Expected) {
+      fail(formatString(
+          "%s: object 0x%08x (%s) size %u does not match expected %u",
+          Where, Obj, D.Name.c_str(), Size, Expected));
+      return 0;
+    }
+    if (Objects.testFlag(Obj, kForwardedBit)) {
+      fail(formatString(
+          "%s: object 0x%08x (%s) carries a forwarding bit outside a "
+          "collection",
+          Where, Obj, D.Name.c_str()));
+      return 0;
+    }
+    return Size;
+  }
+
+  void record(Address Obj, uint32_t Size, SpaceId Space) {
+    Bases.insert(Obj);
+    Live.emplace_back(Obj, Space);
+    auto &Stat = Census.PerClass[Objects.classOf(Obj)];
+    ++Stat.Count;
+    Stat.Bytes += Size;
+    switch (Space) {
+    case SpaceId::Nursery:
+      ++Census.NurseryObjects;
+      Census.NurseryBytes += Size;
+      break;
+    case SpaceId::Los:
+      ++Census.LosObjects;
+      Census.LosBytes += Size;
+      break;
+    default:
+      ++Census.MatureObjects;
+      Census.MatureBytes += Size;
+      break;
+    }
+  }
+
+  void walkNursery(const BlockedBumpAllocator &Nursery) {
+    Nursery.forEachObject([&](Address Obj) -> uint32_t {
+      uint32_t Size = validateHeader(Obj, "nursery");
+      if (Size == 0)
+        return kBlockBytes; // Skip out of the corrupt block.
+      record(Obj, Size, SpaceId::Nursery);
+      return Size;
+    });
+  }
+
+  void walkLos(const LargeObjectSpace &Los) {
+    Los.forEachObject([&](Address Obj) {
+      uint32_t Size = validateHeader(Obj, "los");
+      if (Size)
+        record(Obj, Size, SpaceId::Los);
+    });
+  }
+
+  /// Reference-slot pass: every ref must land on a live base; every
+  /// old-to-young slot must be remembered.
+  void checkRefs(const RememberedSet &RemSet, const BlockPool &Pool) {
+    for (auto [Obj, Space] : Live) {
+      Objects.forEachRefSlot(Obj, [&](Address Slot) {
+        Address V = Objects.memory().readWord(Slot);
+        if (V == kNullRef)
+          return;
+        if (!Bases.count(V)) {
+          fail(formatString(
+              "object 0x%08x slot 0x%08x points at 0x%08x, which is not "
+              "a live object base",
+              Obj, Slot, V));
+          return;
+        }
+        if (Space != SpaceId::Nursery &&
+            Pool.ownerOf(V) == SpaceId::Nursery && !RemSet.contains(Slot))
+          fail(formatString(
+              "old-to-young slot 0x%08x (in 0x%08x) -> 0x%08x missing "
+              "from the remembered set (lost write barrier?)",
+              Slot, Obj, V));
+      });
+    }
+  }
+};
+
+} // namespace
+
+std::string HeapVerifier::verify(GenMSPlan &Plan, ObjectModel &Objects) {
+  WalkState W(Objects);
+  W.walkNursery(Plan.nursery());
+  W.walkLos(Plan.largeObjectSpace());
+
+  const FreeListAllocator &Mature = Plan.matureSpace();
+  Mature.forEachCell([&](Address Cell) {
+    uint32_t CellBytes = Mature.cellSizeAt(Cell);
+    uint32_t Size = W.validateHeader(Cell, "mature cell");
+    if (Size == 0)
+      return;
+    if (Size > CellBytes) {
+      W.fail(formatString("mature cell 0x%08x: object size %u exceeds "
+                          "cell size %u",
+                          Cell, Size, CellBytes));
+      return;
+    }
+    W.record(Cell, Size, SpaceId::Mature);
+    if (!Objects.testFlag(Cell, kCoallocBit))
+      return;
+    // Shared cell: validate the co-tenant child.
+    ++W.Census.CoallocatedCells;
+    uint32_t ChildOff = Objects.memory().readWord(Cell + kAuxOffset);
+    if (ChildOff < Size || ChildOff >= CellBytes) {
+      W.fail(formatString("co-allocated cell 0x%08x: child offset %u "
+                          "outside the cell (object %u, cell %u)",
+                          Cell, ChildOff, Size, CellBytes));
+      return;
+    }
+    Address Child = Cell + ChildOff;
+    uint32_t ChildSize = W.validateHeader(Child, "co-allocated child");
+    if (ChildSize == 0)
+      return;
+    if (ChildOff + ChildSize > CellBytes) {
+      W.fail(formatString("co-allocated cell 0x%08x: child 0x%08x "
+                          "overruns the cell",
+                          Cell, Child));
+      return;
+    }
+    W.record(Child, ChildSize, SpaceId::Mature);
+  });
+
+  if (W.Error.empty())
+    W.checkRefs(Plan.rememberedSet(), Plan.pool());
+  return W.Error;
+}
+
+std::string HeapVerifier::verify(GenCopyPlan &Plan, ObjectModel &Objects) {
+  WalkState W(Objects);
+  W.walkNursery(Plan.nursery());
+  W.walkLos(Plan.largeObjectSpace());
+  Plan.matureSpace().forEachObject([&](Address Obj) -> uint32_t {
+    uint32_t Size = W.validateHeader(Obj, "mature");
+    if (Size == 0)
+      return kBlockBytes;
+    W.record(Obj, Size, Plan.pool().ownerOf(Obj));
+    return Size;
+  });
+  if (W.Error.empty())
+    W.checkRefs(Plan.rememberedSet(), Plan.pool());
+  return W.Error;
+}
+
+HeapCensus HeapVerifier::census(GenMSPlan &Plan, ObjectModel &Objects) {
+  WalkState W(Objects);
+  W.walkNursery(Plan.nursery());
+  W.walkLos(Plan.largeObjectSpace());
+  const FreeListAllocator &Mature = Plan.matureSpace();
+  Mature.forEachCell([&](Address Cell) {
+    uint32_t Size = W.validateHeader(Cell, "mature cell");
+    if (Size == 0)
+      return;
+    W.record(Cell, Size, SpaceId::Mature);
+    if (Objects.testFlag(Cell, kCoallocBit)) {
+      ++W.Census.CoallocatedCells;
+      Address Child =
+          Cell + Objects.memory().readWord(Cell + kAuxOffset);
+      uint32_t ChildSize = W.validateHeader(Child, "child");
+      if (ChildSize)
+        W.record(Child, ChildSize, SpaceId::Mature);
+    }
+  });
+  return W.Census;
+}
+
+HeapCensus HeapVerifier::census(GenCopyPlan &Plan, ObjectModel &Objects) {
+  WalkState W(Objects);
+  W.walkNursery(Plan.nursery());
+  W.walkLos(Plan.largeObjectSpace());
+  Plan.matureSpace().forEachObject([&](Address Obj) -> uint32_t {
+    uint32_t Size = W.validateHeader(Obj, "mature");
+    if (Size == 0)
+      return kBlockBytes;
+    W.record(Obj, Size, SpaceId::FromSpace);
+    return Size;
+  });
+  return W.Census;
+}

@@ -1,0 +1,76 @@
+//===-- gc/HeapVerifier.h - Heap invariant checking & census ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-heap structural verification, in the spirit of a debug-build
+/// MMTk sanity checker:
+///
+///   - every live object (nursery allocation area, in-use free-list cells
+///     including co-allocated co-tenants, LOS objects, GenCopy's mature
+///     bump space) carries a well-formed header: known class, size that
+///     matches the class/array length, no stray forwarding bit outside a
+///     collection;
+///   - every non-null reference slot reachable in those objects points at
+///     the base of a live object;
+///   - every mature->nursery reference slot is present in the remembered
+///     set (a missing write barrier is the classic generational-GC bug
+///     and is exactly what this check catches);
+///   - co-allocated cells are internally consistent (child offset inside
+///     the cell, child header valid).
+///
+/// Also provides a per-class heap census (object counts/bytes per space),
+/// the data a heap profiler would show.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_GC_HEAPVERIFIER_H
+#define HPMVM_GC_HEAPVERIFIER_H
+
+#include "gc/GenCopyPlan.h"
+#include "gc/GenMSPlan.h"
+#include "support/Types.h"
+
+#include <map>
+#include <string>
+
+namespace hpmvm {
+
+/// Per-class, per-space population snapshot.
+struct HeapCensus {
+  struct ClassStat {
+    uint64_t Count = 0;
+    uint64_t Bytes = 0;
+  };
+  std::map<ClassId, ClassStat> PerClass;
+  uint64_t NurseryObjects = 0;
+  uint64_t NurseryBytes = 0;
+  uint64_t MatureObjects = 0;
+  uint64_t MatureBytes = 0;
+  uint64_t LosObjects = 0;
+  uint64_t LosBytes = 0;
+  uint64_t CoallocatedCells = 0;
+
+  uint64_t totalObjects() const {
+    return NurseryObjects + MatureObjects + LosObjects;
+  }
+};
+
+/// Invariant checks over live collector heaps.
+class HeapVerifier {
+public:
+  /// \returns the empty string if \p Plan's heap is well-formed, else the
+  /// first diagnostic found.
+  static std::string verify(GenMSPlan &Plan, ObjectModel &Objects);
+  static std::string verify(GenCopyPlan &Plan, ObjectModel &Objects);
+
+  /// Population census over all spaces.
+  static HeapCensus census(GenMSPlan &Plan, ObjectModel &Objects);
+  static HeapCensus census(GenCopyPlan &Plan, ObjectModel &Objects);
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_GC_HEAPVERIFIER_H

@@ -1,0 +1,7 @@
+//===-- gc/RememberedSet.cpp ----------------------------------------------===//
+//
+// RememberedSet is header-only; anchor TU.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/RememberedSet.h"

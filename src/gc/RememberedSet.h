@@ -1,0 +1,55 @@
+//===-- gc/RememberedSet.h - Mature->nursery slot log ----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generational write barrier's remembered set: addresses of reference
+/// slots in the mature generation (or LOS) that point into the nursery.
+/// Minor collections treat these slots as additional roots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_GC_REMEMBEREDSET_H
+#define HPMVM_GC_REMEMBEREDSET_H
+
+#include "support/Types.h"
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+namespace hpmvm {
+
+/// Deduplicated set of remembered slot addresses.
+class RememberedSet {
+public:
+  /// Records \p SlotAddr (idempotent).
+  void insert(Address SlotAddr) {
+    if (Members.insert(SlotAddr).second)
+      Slots.push_back(SlotAddr);
+  }
+
+  /// Invokes \p Fn for every remembered slot, in insertion order.
+  void forEach(const std::function<void(Address)> &Fn) const {
+    for (Address S : Slots)
+      Fn(S);
+  }
+
+  void clear() {
+    Members.clear();
+    Slots.clear();
+  }
+
+  size_t size() const { return Slots.size(); }
+  bool contains(Address SlotAddr) const { return Members.count(SlotAddr); }
+
+private:
+  std::unordered_set<Address> Members;
+  std::vector<Address> Slots;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_GC_REMEMBEREDSET_H

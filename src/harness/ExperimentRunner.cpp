@@ -1,0 +1,87 @@
+//===-- harness/ExperimentRunner.cpp --------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+
+#include "vm/AdaptiveOptimizationSystem.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hpmvm;
+
+Experiment::Experiment(const RunConfig &Config) : Config(Config) {
+  Spec = findWorkload(Config.Workload);
+  if (!Spec) {
+    fprintf(stderr, "unknown workload '%s'\n", Config.Workload.c_str());
+    abort();
+  }
+  assert((!Config.Coallocation || Config.Monitoring) &&
+         "co-allocation needs the monitoring system's miss data");
+
+  HeapBytes = Config.HeapBytesOverride
+                  ? Config.HeapBytesOverride
+                  : static_cast<uint32_t>(
+                        scaledMinHeap(*Spec, Config.Params) *
+                        Config.HeapFactor);
+  HeapBytes = alignUp(HeapBytes, 64 * 1024);
+
+  VmConfig VC;
+  VC.HeapBytes = HeapBytes;
+  VC.Seed = Config.Params.Seed;
+  VC.ProfileFieldAccess = Config.ProfileFieldAccess;
+  Vm = std::make_unique<VirtualMachine>(VC);
+
+  CollectorConfig CC;
+  CC.HeapBytes = HeapBytes;
+  if (Config.MaxCoallocPairBytes)
+    CC.MaxCoallocPairBytes = Config.MaxCoallocPairBytes;
+  if (Config.Collector == CollectorKind::GenMS)
+    Gc = std::make_unique<GenMSPlan>(Vm->objects(), Vm->clock(), CC);
+  else
+    Gc = std::make_unique<GenCopyPlan>(Vm->objects(), Vm->clock(), CC);
+  Vm->setCollector(Gc.get());
+
+  Prog = Spec->Build(*Vm, Config.Params);
+
+  if (Config.PseudoAdaptive)
+    Vm->aos().applyCompilationPlan(Prog.CompilationPlan);
+
+  if (Config.Monitoring) {
+    Monitor = std::make_unique<HpmMonitor>(*Vm, Config.Monitor);
+    Monitor->attach();
+    Monitor->advisor().setEnabled(Config.Coallocation);
+  }
+}
+
+Experiment::~Experiment() = default;
+
+void Experiment::run() {
+  assert(!Ran && "experiment ran twice");
+  Ran = true;
+  Vm->run(Prog.Main);
+  if (Monitor)
+    Monitor->finish();
+}
+
+RunResult Experiment::result() {
+  RunResult R;
+  R.TotalCycles = Vm->clock().now();
+  R.GcCycles = Gc->stats().GcCycles;
+  R.Memory = Vm->memory().stats();
+  R.Gc = Gc->stats();
+  R.Vm = Vm->stats();
+  R.HeapBytes = HeapBytes;
+  R.CoallocatedPairs = Gc->stats().ObjectsCoallocated;
+  if (Monitor) {
+    R.MonitorOverheadCycles = Monitor->overheadCycles();
+    R.SamplesTaken = Monitor->pebs().samplesTaken();
+  }
+  return R;
+}
+
+RunResult hpmvm::runExperiment(const RunConfig &Config) {
+  Experiment E(Config);
+  E.run();
+  return E.result();
+}

@@ -1,0 +1,116 @@
+//===-- harness/ExperimentRunner.h - One-experiment assembly ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Standard assembly of one experiment run: VM + collector plan + workload
+/// program + (optionally) the HPM monitoring system with co-allocation.
+/// Every bench, example and integration test goes through this, so the
+/// configurations compared in the paper's figures differ in exactly the
+/// intended knobs.
+///
+/// The paper's configurations map as:
+///   baseline            Monitoring=false, Coallocation=false, GenMS
+///   monitoring only     Monitoring=true,  Coallocation=false (Figure 2)
+///   dyn-coalloc         Monitoring=true,  Coallocation=true  (Figures 3-7)
+///   GenCopy             Collector=GenCopy                     (Figure 6)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HARNESS_EXPERIMENTRUNNER_H
+#define HPMVM_HARNESS_EXPERIMENTRUNNER_H
+
+#include "core/HpmMonitor.h"
+#include "gc/GenCopyPlan.h"
+#include "gc/GenMSPlan.h"
+#include "vm/VirtualMachine.h"
+#include "workloads/Workload.h"
+
+#include <memory>
+#include <string>
+
+namespace hpmvm {
+
+/// Which collector plan to run.
+enum class CollectorKind : uint8_t { GenMS, GenCopy };
+
+/// Full configuration of one run.
+struct RunConfig {
+  std::string Workload = "db";
+  WorkloadParams Params;
+  /// Heap size as a multiple of the workload's (scaled) minimum heap; the
+  /// paper sweeps 1x-4x.
+  double HeapFactor = 4.0;
+  /// Absolute override (0 = use HeapFactor).
+  uint32_t HeapBytesOverride = 0;
+  CollectorKind Collector = CollectorKind::GenMS;
+  /// Run the HPM monitoring system.
+  bool Monitoring = false;
+  MonitorConfig Monitor;
+  /// Enable HPM-guided co-allocation (requires Monitoring).
+  bool Coallocation = false;
+  /// Pseudo-adaptive mode: opt-compile the workload's pre-generated plan
+  /// up front (the paper's evaluation configuration). When false, the AOS
+  /// compiles adaptively.
+  bool PseudoAdaptive = true;
+  /// Ablation: ceiling for co-allocated pair size (0 = the free-list
+  /// default of 4 KB).
+  uint32_t MaxCoallocPairBytes = 0;
+  /// Count executed getfield operations (for the frequency-driven
+  /// comparison advisor).
+  bool ProfileFieldAccess = false;
+};
+
+/// Headline numbers of one run.
+struct RunResult {
+  Cycles TotalCycles = 0;
+  Cycles GcCycles = 0;
+  Cycles MonitorOverheadCycles = 0;
+  MemoryStats Memory;
+  GcStats Gc;
+  VmRuntimeStats Vm;
+  uint64_t SamplesTaken = 0;
+  uint64_t CoallocatedPairs = 0;
+  uint32_t HeapBytes = 0;
+
+  double seconds() const { return VirtualClock::toSeconds(TotalCycles); }
+};
+
+/// Owns all components of one experiment.
+class Experiment {
+public:
+  explicit Experiment(const RunConfig &Config);
+  ~Experiment();
+
+  /// Runs the workload to completion (and finishes the monitor).
+  void run();
+
+  RunResult result();
+
+  VirtualMachine &vm() { return *Vm; }
+  GarbageCollector &collector() { return *Gc; }
+  /// Null when Monitoring is off.
+  HpmMonitor *monitor() { return Monitor.get(); }
+  const WorkloadProgram &program() const { return Prog; }
+  const WorkloadSpec &spec() const { return *Spec; }
+  uint32_t heapBytes() const { return HeapBytes; }
+
+private:
+  RunConfig Config;
+  const WorkloadSpec *Spec;
+  uint32_t HeapBytes;
+  std::unique_ptr<VirtualMachine> Vm;
+  std::unique_ptr<GarbageCollector> Gc;
+  std::unique_ptr<HpmMonitor> Monitor;
+  WorkloadProgram Prog;
+  bool Ran = false;
+};
+
+/// Convenience: configure, run, return the result.
+RunResult runExperiment(const RunConfig &Config);
+
+} // namespace hpmvm
+
+#endif // HPMVM_HARNESS_EXPERIMENTRUNNER_H

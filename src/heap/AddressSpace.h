@@ -1,0 +1,53 @@
+//===-- heap/AddressSpace.h - Simulated address-space layout ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed layout of the simulated 32-bit address space. The split matters to
+/// the monitoring system: the collector thread drops samples whose PC lies
+/// outside the VM's code space (kernel, native libraries), and compiled
+/// method code lives in the immortal space so the copying GC never moves it
+/// and the sorted method lookup table stays valid (paper section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_ADDRESSSPACE_H
+#define HPMVM_HEAP_ADDRESSSPACE_H
+
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// Addresses below this are "kernel or native library" territory; samples
+/// landing there are dropped immediately by the collector.
+inline constexpr Address kNativeLimit = 0x08000000;
+
+/// The VM boot image (VM-internal code). Samples here are resolvable but
+/// excluded from optimization (the paper monitors application classes only).
+inline constexpr Address kBootImageBase = 0x08000000;
+inline constexpr Address kBootImageLimit = 0x10000000;
+
+/// Immortal space: JIT-compiled machine code and VM meta objects. Never
+/// garbage-collected, never moved.
+inline constexpr Address kImmortalBase = 0x20000000;
+inline constexpr Address kImmortalLimit = 0x30000000;
+
+/// The garbage-collected heap (nursery + mature + large object space).
+inline constexpr Address kHeapBase = 0x40000000;
+inline constexpr Address kHeapMaxLimit = 0x80000000;
+
+/// \returns true if \p A is inside JIT-compiled (immortal) code.
+constexpr bool isInCompiledCode(Address A) {
+  return A >= kImmortalBase && A < kImmortalLimit;
+}
+
+/// \returns true if \p A is inside the garbage-collected heap.
+constexpr bool isInHeapRange(Address A) {
+  return A >= kHeapBase && A < kHeapMaxLimit;
+}
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_ADDRESSSPACE_H

@@ -1,0 +1,81 @@
+//===-- heap/BlockPool.cpp ------------------------------------------------===//
+
+#include "heap/BlockPool.h"
+
+using namespace hpmvm;
+
+BlockPool::BlockPool(Address Base, uint32_t SizeBytes) : Base(Base) {
+  assert(isAligned(SizeBytes, kBlockBytes) && "pool size not block-aligned");
+  assert(isAligned(Base, kBlockBytes) && "pool base not block-aligned");
+  Owners.assign(SizeBytes / kBlockBytes, SpaceId::Free);
+  FreeCount = static_cast<uint32_t>(Owners.size());
+}
+
+Address BlockPool::allocBlock(SpaceId Owner) {
+  assert(Owner != SpaceId::Free && "cannot allocate to the free space");
+  if (FreeCount == 0)
+    return kNullRef;
+  uint32_t N = totalBlocks();
+  for (uint32_t Step = 0; Step != N; ++Step) {
+    uint32_t I = (NextSearchHint + Step) % N;
+    if (Owners[I] == SpaceId::Free) {
+      Owners[I] = Owner;
+      --FreeCount;
+      NextSearchHint = I + 1;
+      return Base + I * kBlockBytes;
+    }
+  }
+  return kNullRef; // Unreachable while FreeCount is accurate.
+}
+
+Address BlockPool::allocRun(uint32_t N, SpaceId Owner) {
+  assert(N != 0 && "zero-length run");
+  assert(Owner != SpaceId::Free && "cannot allocate to the free space");
+  if (FreeCount < N)
+    return kNullRef;
+  uint32_t Total = totalBlocks();
+  uint32_t RunLen = 0;
+  for (uint32_t I = 0; I != Total; ++I) {
+    if (Owners[I] == SpaceId::Free) {
+      if (++RunLen == N) {
+        uint32_t First = I + 1 - N;
+        for (uint32_t J = First; J <= I; ++J)
+          Owners[J] = Owner;
+        FreeCount -= N;
+        return Base + First * kBlockBytes;
+      }
+    } else {
+      RunLen = 0;
+    }
+  }
+  return kNullRef;
+}
+
+void BlockPool::freeBlock(Address A) {
+  uint32_t I = blockIndex(A);
+  assert(Owners[I] != SpaceId::Free && "double free of a heap block");
+  Owners[I] = SpaceId::Free;
+  ++FreeCount;
+  if (I < NextSearchHint)
+    NextSearchHint = I;
+}
+
+void BlockPool::freeRun(Address RunBase, uint32_t N) {
+  assert(isAligned(RunBase - Base, kBlockBytes) && "run base not aligned");
+  for (uint32_t J = 0; J != N; ++J)
+    freeBlock(RunBase + J * kBlockBytes);
+}
+
+SpaceId BlockPool::ownerOf(Address A) const {
+  if (!contains(A))
+    return SpaceId::Free;
+  return Owners[(A - Base) / kBlockBytes];
+}
+
+uint32_t BlockPool::blocksOwnedBy(SpaceId S) const {
+  uint32_t Count = 0;
+  for (SpaceId O : Owners)
+    if (O == S)
+      ++Count;
+  return Count;
+}

@@ -1,0 +1,117 @@
+//===-- heap/BlockPool.h - Block-grained heap partitioning -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The garbage-collected heap is partitioned into 64 KB blocks handed out
+/// by a single pool (the MMTk approach). Every space -- nursery, mature
+/// free-list, copying semispaces, large object space -- owns a set of
+/// blocks, which makes the Appel-style *variable-size nursery* natural: the
+/// nursery is simply allowed to take whatever block budget remains after
+/// the mature space's holdings. ownerOf() gives O(1) space membership for
+/// any heap address, which the write barrier and tracing loops rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_BLOCKPOOL_H
+#define HPMVM_HEAP_BLOCKPOOL_H
+
+#include "support/Types.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hpmvm {
+
+/// Identity of the space owning a block.
+enum class SpaceId : uint8_t {
+  Free,      ///< In the pool, unowned.
+  Nursery,   ///< Young generation (bump allocation).
+  Mature,    ///< GenMS mature space (free-list blocks).
+  FromSpace, ///< GenCopy semispace (old copy).
+  ToSpace,   ///< GenCopy semispace (new copy).
+  Los,       ///< Large object space (contiguous runs).
+};
+
+inline const char *spaceName(SpaceId S) {
+  switch (S) {
+  case SpaceId::Free:
+    return "free";
+  case SpaceId::Nursery:
+    return "nursery";
+  case SpaceId::Mature:
+    return "mature";
+  case SpaceId::FromSpace:
+    return "from-space";
+  case SpaceId::ToSpace:
+    return "to-space";
+  case SpaceId::Los:
+    return "los";
+  }
+  return "?";
+}
+
+/// Fixed block granularity of the heap.
+inline constexpr uint32_t kBlockBytes = 64 * 1024;
+
+/// Allocates and tracks ownership of heap blocks.
+class BlockPool {
+public:
+  /// Manages [Base, Base+SizeBytes); SizeBytes must be block-aligned.
+  BlockPool(Address Base, uint32_t SizeBytes);
+
+  /// Claims one free block for \p Owner; \returns its base or kNullRef.
+  Address allocBlock(SpaceId Owner);
+
+  /// Claims \p N contiguous free blocks (first fit, low addresses first).
+  /// \returns the base of the run or kNullRef.
+  Address allocRun(uint32_t N, SpaceId Owner);
+
+  /// Returns the block containing \p A to the pool.
+  void freeBlock(Address A);
+
+  /// Returns the \p N-block run starting at \p RunBase to the pool.
+  void freeRun(Address RunBase, uint32_t N);
+
+  /// \returns the owner of the block containing \p A (Free if \p A is
+  /// outside the pool's range).
+  SpaceId ownerOf(Address A) const;
+
+  /// \returns the base address of the block containing \p A.
+  Address blockBase(Address A) const {
+    return Base + (blockIndex(A) * kBlockBytes);
+  }
+
+  uint32_t totalBlocks() const { return static_cast<uint32_t>(Owners.size()); }
+  uint32_t freeBlocks() const { return FreeCount; }
+  uint32_t usedBlocks() const { return totalBlocks() - FreeCount; }
+  uint32_t blocksOwnedBy(SpaceId S) const;
+
+  Address base() const { return Base; }
+  Address limit() const { return Base + totalBlocks() * kBlockBytes; }
+  bool contains(Address A) const { return A >= Base && A < limit(); }
+
+  /// Invokes \p Fn with the base address of every block owned by \p S.
+  template <typename Fn> void forEachBlock(SpaceId S, Fn &&Callback) const {
+    for (uint32_t I = 0; I != Owners.size(); ++I)
+      if (Owners[I] == S)
+        Callback(Base + I * kBlockBytes);
+  }
+
+private:
+  uint32_t blockIndex(Address A) const {
+    assert(contains(A) && "address outside the block pool");
+    return (A - Base) / kBlockBytes;
+  }
+
+  Address Base;
+  std::vector<SpaceId> Owners;
+  uint32_t FreeCount;
+  uint32_t NextSearchHint = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_BLOCKPOOL_H

@@ -1,0 +1,63 @@
+//===-- heap/BlockedBumpAllocator.cpp -------------------------------------===//
+
+#include "heap/BlockedBumpAllocator.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+Address BlockedBumpAllocator::alloc(uint32_t Bytes) {
+  assert(isAligned(Bytes, kObjectAlign) && "unaligned allocation size");
+  assert(Bytes <= kBlockBytes && "oversized request belongs in the LOS");
+  if (BumpLimit - BumpCursor < Bytes || Blocks.empty()) {
+    // Seal the current block's fill line and chain a new block.
+    if (!Blocks.empty())
+      Fills.back() = BumpCursor - Blocks.back();
+    if (blocksOwned() >= Budget)
+      return kNullRef;
+    Address NewBlock = Pool.allocBlock(Space);
+    if (NewBlock == kNullRef)
+      return kNullRef;
+    Blocks.push_back(NewBlock);
+    Fills.push_back(0);
+    BumpCursor = NewBlock;
+    BumpLimit = NewBlock + kBlockBytes;
+  }
+  Address Result = BumpCursor;
+  BumpCursor += Bytes;
+  Fills.back() = BumpCursor - Blocks.back();
+  return Result;
+}
+
+void BlockedBumpAllocator::releaseAll() {
+  for (Address B : Blocks)
+    Pool.freeBlock(B);
+  Blocks.clear();
+  Fills.clear();
+  BumpCursor = 0;
+  BumpLimit = 0;
+}
+
+uint32_t BlockedBumpAllocator::usedBytes() const {
+  uint32_t Sum = 0;
+  for (uint32_t F : Fills)
+    Sum += F;
+  return Sum;
+}
+
+uint32_t BlockedBumpAllocator::headroomBytes() const {
+  uint32_t OwnedHeadroom = BumpLimit - BumpCursor;
+  uint32_t UnownedBlocks =
+      Budget > blocksOwned() ? Budget - blocksOwned() : 0;
+  uint32_t PoolBlocks = Pool.freeBlocks();
+  if (UnownedBlocks > PoolBlocks)
+    UnownedBlocks = PoolBlocks;
+  return OwnedHeadroom + UnownedBlocks * kBlockBytes;
+}
+
+bool BlockedBumpAllocator::containsAllocated(Address A) const {
+  for (size_t I = 0; I != Blocks.size(); ++I)
+    if (A >= Blocks[I] && A < Blocks[I] + Fills[I])
+      return true;
+  return false;
+}

@@ -1,0 +1,81 @@
+//===-- heap/BlockedBumpAllocator.h - Bump over a block chain --*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bump-pointer allocation over a chain of pool blocks, used by the nursery
+/// and by GenCopy's semispaces. The space has a *block budget* rather than
+/// a fixed address range, which implements the Appel-style variable-size
+/// nursery: the collector recomputes the budget after every collection from
+/// the space left over by the mature generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_BLOCKEDBUMPALLOCATOR_H
+#define HPMVM_HEAP_BLOCKEDBUMPALLOCATOR_H
+
+#include "heap/BlockPool.h"
+#include "support/Types.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+/// Bump allocator drawing 64 KB blocks from a BlockPool up to a budget.
+class BlockedBumpAllocator {
+public:
+  BlockedBumpAllocator(BlockPool &Pool, SpaceId Space)
+      : Pool(Pool), Space(Space) {}
+
+  /// Sets the maximum number of blocks this space may own.
+  void setBlockBudget(uint32_t Blocks) { Budget = Blocks; }
+  uint32_t blockBudget() const { return Budget; }
+
+  /// Allocates \p Bytes (8-byte aligned, at most kBlockBytes). \returns 0
+  /// when the budget or the pool is exhausted -- the caller triggers a GC.
+  Address alloc(uint32_t Bytes);
+
+  /// Releases every owned block back to the pool (post-collection).
+  void releaseAll();
+
+  /// Iterates objects in allocation order; \p Fn(Address) must return the
+  /// object's size in bytes so the walk can skip to the next object. Used
+  /// by collectors and heap verifiers.
+  template <typename Fn> void forEachObject(Fn &&SizeOf) const {
+    for (size_t I = 0; I != Blocks.size(); ++I) {
+      Address Cursor = Blocks[I];
+      Address End = (I + 1 == Blocks.size()) ? BumpCursor
+                                             : Blocks[I] + FillOf(I);
+      while (Cursor < End)
+        Cursor += SizeOf(Cursor);
+    }
+  }
+
+  uint32_t blocksOwned() const { return static_cast<uint32_t>(Blocks.size()); }
+  uint32_t usedBytes() const;
+  /// Bytes still allocatable within the current budget.
+  uint32_t headroomBytes() const;
+
+  /// \returns true if \p A lies in an owned block below its fill line.
+  bool containsAllocated(Address A) const;
+
+private:
+  uint32_t FillOf(size_t I) const {
+    // All blocks except the last are filled to their recorded fill line.
+    return Fills[I];
+  }
+
+  BlockPool &Pool;
+  SpaceId Space;
+  uint32_t Budget = 0;
+  std::vector<Address> Blocks;
+  std::vector<uint32_t> Fills; ///< Bytes used in each owned block.
+  Address BumpCursor = 0;
+  Address BumpLimit = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_BLOCKEDBUMPALLOCATOR_H

@@ -1,0 +1,7 @@
+//===-- heap/BumpAllocator.cpp --------------------------------------------===//
+//
+// BumpAllocator is header-only; anchor TU.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/BumpAllocator.h"

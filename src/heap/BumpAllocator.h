@@ -1,0 +1,71 @@
+//===-- heap/BumpAllocator.h - Bump-pointer allocation ---------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bump-pointer allocator: used for the nursery ("It does bump-pointer
+/// allocation for young objects") and for GenCopy's to-space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_BUMPALLOCATOR_H
+#define HPMVM_HEAP_BUMPALLOCATOR_H
+
+#include "support/Types.h"
+
+#include <cassert>
+
+namespace hpmvm {
+
+/// Contiguous bump allocation over [start, limit).
+class BumpAllocator {
+public:
+  BumpAllocator() = default;
+  BumpAllocator(Address Start, Address Limit) { setRange(Start, Limit); }
+
+  /// (Re)binds the allocator to [Start, Limit) and resets the cursor.
+  void setRange(Address Start, Address Limit) {
+    assert(Start <= Limit && "inverted range");
+    assert(isAligned(Start, kObjectAlign) && "unaligned region start");
+    this->Start = Start;
+    this->Limit = Limit;
+    Cursor = Start;
+  }
+
+  /// Allocates \p Bytes (caller pre-aligns); \returns 0 on exhaustion.
+  Address alloc(uint32_t Bytes) {
+    assert(isAligned(Bytes, kObjectAlign) && "unaligned allocation size");
+    if (Limit - Cursor < Bytes)
+      return kNullRef;
+    Address Result = Cursor;
+    Cursor += Bytes;
+    return Result;
+  }
+
+  /// Empties the region (e.g. after a nursery collection).
+  void reset() { Cursor = Start; }
+
+  Address start() const { return Start; }
+  Address limit() const { return Limit; }
+  Address cursor() const { return Cursor; }
+  uint32_t usedBytes() const { return Cursor - Start; }
+  uint32_t freeBytes() const { return Limit - Cursor; }
+  uint32_t capacity() const { return Limit - Start; }
+
+  /// \returns true if \p A points into the allocated part of this region.
+  bool containsAllocated(Address A) const { return A >= Start && A < Cursor; }
+
+  /// \returns true if \p A lies anywhere in the region.
+  bool containsRange(Address A) const { return A >= Start && A < Limit; }
+
+private:
+  Address Start = 0;
+  Address Limit = 0;
+  Address Cursor = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_BUMPALLOCATOR_H

@@ -1,0 +1,129 @@
+//===-- heap/FreeListAllocator.cpp ----------------------------------------===//
+
+#include "heap/FreeListAllocator.h"
+
+#include <algorithm>
+
+using namespace hpmvm;
+
+FreeListAllocator::BlockMeta *FreeListAllocator::addBlock(uint32_t Cls) {
+  Address Block = Pool.allocBlock(SpaceId::Mature);
+  if (Block == kNullRef)
+    return nullptr;
+  BlockMeta M;
+  M.SizeClass = Cls;
+  M.CellBytes = SizeClasses::cellBytes(Cls);
+  M.NumCells = kBlockBytes / M.CellBytes;
+  M.Used.assign(M.NumCells, false);
+  M.FreeStack.reserve(M.NumCells);
+  // Push high indices first so cells are handed out low-address-first.
+  for (uint32_t I = M.NumCells; I != 0; --I)
+    M.FreeStack.push_back(static_cast<uint16_t>(I - 1));
+  auto [It, Inserted] = Meta.emplace(Block, std::move(M));
+  assert(Inserted && "block already had metadata");
+  Partial[Cls].push_back(Block);
+  return &It->second;
+}
+
+Address FreeListAllocator::alloc(uint32_t Bytes) {
+  uint32_t Cls = SizeClasses::classFor(Bytes);
+  assert(Cls != kInvalidId && "request exceeds the free-list ceiling");
+
+  // Find a block with a free cell, pruning exhausted entries.
+  BlockMeta *M = nullptr;
+  Address Block = kNullRef;
+  auto &List = Partial[Cls];
+  while (!List.empty()) {
+    Block = List.back();
+    BlockMeta &Candidate = Meta.at(Block);
+    if (!Candidate.FreeStack.empty()) {
+      M = &Candidate;
+      break;
+    }
+    List.pop_back();
+  }
+  if (!M) {
+    M = addBlock(Cls);
+    if (!M)
+      return kNullRef;
+    Block = List.back();
+  }
+
+  uint16_t Cell = M->FreeStack.back();
+  M->FreeStack.pop_back();
+  assert(!M->Used[Cell] && "free list handed out an in-use cell");
+  M->Used[Cell] = true;
+  ++M->UsedCount;
+
+  ++Stats.CellsAllocated;
+  Stats.BytesRequested += Bytes;
+  Stats.BytesWasted += M->CellBytes - Bytes;
+  ++Stats.CellsInUse;
+  Stats.CellBytesInUse += M->CellBytes;
+  return Block + Cell * M->CellBytes;
+}
+
+uint32_t
+FreeListAllocator::sweep(const std::function<bool(Address)> &IsLive) {
+  uint32_t Freed = 0;
+  std::vector<Address> DeadBlocks;
+  for (auto &[Block, M] : Meta) {
+    for (uint32_t I = 0; I != M.NumCells; ++I) {
+      if (!M.Used[I])
+        continue;
+      Address Cell = Block + I * M.CellBytes;
+      if (IsLive(Cell))
+        continue;
+      M.Used[I] = false;
+      M.FreeStack.push_back(static_cast<uint16_t>(I));
+      --M.UsedCount;
+      ++Freed;
+      --Stats.CellsInUse;
+      Stats.CellBytesInUse -= M.CellBytes;
+    }
+    if (M.UsedCount == 0)
+      DeadBlocks.push_back(Block);
+  }
+
+  for (Address Block : DeadBlocks) {
+    Meta.erase(Block);
+    Pool.freeBlock(Block);
+  }
+
+  // Rebuild the partial lists: membership may have changed arbitrarily.
+  for (auto &List : Partial)
+    List.clear();
+  for (auto &[Block, M] : Meta)
+    if (!M.FreeStack.empty())
+      Partial[M.SizeClass].push_back(Block);
+  return Freed;
+}
+
+void FreeListAllocator::forEachCell(
+    const std::function<void(Address)> &Fn) const {
+  for (const auto &[Block, M] : Meta)
+    for (uint32_t I = 0; I != M.NumCells; ++I)
+      if (M.Used[I])
+        Fn(Block + I * M.CellBytes);
+}
+
+uint32_t FreeListAllocator::cellSizeAt(Address Cell) const {
+  Address Block = Pool.blockBase(Cell);
+  auto It = Meta.find(Block);
+  assert(It != Meta.end() && "address not in a free-list block");
+  return It->second.CellBytes;
+}
+
+bool FreeListAllocator::isInUseCell(Address A) const {
+  if (Pool.ownerOf(A) != SpaceId::Mature)
+    return false;
+  Address Block = Pool.blockBase(A);
+  auto It = Meta.find(Block);
+  if (It == Meta.end())
+    return false;
+  const BlockMeta &M = It->second;
+  uint32_t Offset = A - Block;
+  if (Offset % M.CellBytes != 0)
+    return false;
+  return M.Used[Offset / M.CellBytes];
+}

@@ -1,0 +1,100 @@
+//===-- heap/FreeListAllocator.h - Segregated free list --------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mature space's segregated free-list allocator: "Tenured objects are
+/// managed using a free-list allocator that allocates objects into 40
+/// different size classes up to 4 KBytes to minimize heap fragmentation."
+/// Each 64 KB pool block is dedicated to one size class and carved into
+/// equal cells; cell occupancy is tracked per block so mark-and-sweep can
+/// return dead cells (and wholly-empty blocks) to the free lists.
+///
+/// This structure is what makes co-allocation profitable: *without*
+/// co-allocation a parent and child of different sizes land in different
+/// size classes, hence in different blocks, hence on different cache lines
+/// and often different pages. Co-allocation requests one cell sized for
+/// both objects, so the pair is contiguous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_FREELISTALLOCATOR_H
+#define HPMVM_HEAP_FREELISTALLOCATOR_H
+
+#include "heap/BlockPool.h"
+#include "heap/SizeClasses.h"
+#include "support/Types.h"
+
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace hpmvm {
+
+/// Usage statistics of the free-list space.
+struct FreeListStats {
+  uint64_t CellsAllocated = 0;   ///< Lifetime allocations.
+  uint64_t BytesRequested = 0;   ///< Lifetime requested bytes.
+  uint64_t BytesWasted = 0;      ///< Lifetime internal fragmentation.
+  uint32_t CellsInUse = 0;
+  uint32_t CellBytesInUse = 0;   ///< Cells in use, at cell granularity.
+};
+
+/// Segregated-fit allocator over pool blocks.
+class FreeListAllocator {
+public:
+  explicit FreeListAllocator(BlockPool &Pool) : Pool(Pool) {}
+
+  /// Allocates a cell for a request of \p Bytes.
+  /// \returns the cell address, or 0 when the pool is exhausted (caller
+  /// triggers a full collection). Pre: Bytes <= kMaxFreeListBytes.
+  Address alloc(uint32_t Bytes);
+
+  /// Sweeps the space: every in-use cell is passed to \p IsLive; dead cells
+  /// return to their free list and blocks with no survivors return to the
+  /// pool. \returns the number of cells freed.
+  uint32_t sweep(const std::function<bool(Address)> &IsLive);
+
+  /// Invokes \p Fn for every in-use cell (heap walkers, verifiers).
+  void forEachCell(const std::function<void(Address)> &Fn) const;
+
+  /// \returns the cell size of the block containing \p Cell. Pre: \p Cell
+  /// is in a free-list block.
+  uint32_t cellSizeAt(Address Cell) const;
+
+  /// \returns true if \p A points at the base of an in-use cell.
+  bool isInUseCell(Address A) const;
+
+  const FreeListStats &stats() const { return Stats; }
+  uint32_t blocksOwned() const { return static_cast<uint32_t>(Meta.size()); }
+  /// Bytes owned by the space, at block granularity (the quantity heap
+  /// sizing decisions use).
+  uint32_t footprintBytes() const { return blocksOwned() * kBlockBytes; }
+
+private:
+  struct BlockMeta {
+    uint32_t SizeClass = 0;
+    uint32_t CellBytes = 0;
+    uint32_t NumCells = 0;
+    uint32_t UsedCount = 0;
+    std::vector<bool> Used;
+    std::vector<uint16_t> FreeStack; ///< Indices of free cells.
+  };
+
+  /// Claims a new block for \p Cls and threads its cells.
+  BlockMeta *addBlock(uint32_t Cls);
+
+  BlockPool &Pool;
+  std::unordered_map<Address, BlockMeta> Meta;
+  /// Blocks with at least one free cell, per size class (stack; stale
+  /// entries are pruned lazily).
+  std::vector<Address> Partial[kNumSizeClasses];
+  FreeListStats Stats;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_FREELISTALLOCATOR_H

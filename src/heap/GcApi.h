@@ -1,0 +1,131 @@
+//===-- heap/GcApi.h - Collector interface seen by the VM ------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface between the VM/mutator and a garbage collector plan, plus
+/// the hooks the HPM-feedback system uses to steer the GC:
+///
+///   - RootProvider: the VM enumerates root slots (globals + active
+///     frames); collectors update them in place when objects move.
+///   - PlacementAdvisor: the paper's contribution surface. GenMS consults
+///     it while promoting a nursery object to decide which child (if any)
+///     to co-allocate, and reports the pairs it placed. The Figure 8
+///     experiment injects a deliberate gap through gapBytes().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_GCAPI_H
+#define HPMVM_HEAP_GCAPI_H
+
+#include "heap/BlockPool.h"
+#include "support/Types.h"
+
+#include <functional>
+
+namespace hpmvm {
+
+/// Enumerates the mutator's root slots. Collectors may rewrite each slot.
+class RootProvider {
+public:
+  virtual ~RootProvider() = default;
+
+  /// Invokes \p Fn once per root slot; the collector may update the slot
+  /// through the reference.
+  virtual void forEachRoot(const std::function<void(Address &)> &Fn) = 0;
+};
+
+/// What the advisor tells the GC about one class's hottest reference field.
+struct CoallocationHint {
+  /// Byte offset of the reference slot within the parent object.
+  uint32_t SlotOffset = 0;
+  /// The global field id (for attribution/statistics); kInvalidId when the
+  /// class has no co-allocation candidate.
+  FieldId Field = kInvalidId;
+
+  bool valid() const { return Field != kInvalidId; }
+};
+
+/// Guides object placement during promotion (implemented by the HPM
+/// feedback system in src/core; a null advisor means plain promotion).
+class PlacementAdvisor {
+public:
+  virtual ~PlacementAdvisor() = default;
+
+  /// \returns the reference field of \p Cls whose referent should be
+  /// co-allocated directly after a promoted instance of \p Cls, or an
+  /// invalid hint for plain promotion. (The VM keeps, per class type, the
+  /// reference fields sorted by number of associated cache misses; this
+  /// returns the hottest one above threshold.)
+  virtual CoallocationHint coallocationHint(ClassId Cls) = 0;
+
+  /// Padding inserted between the parent and the co-allocated child. Always
+  /// 0 in normal operation; the Figure 8 experiment forces one cache line
+  /// (128 bytes) to create a deliberately bad placement.
+  virtual uint32_t gapBytes() { return 0; }
+
+  /// Notification that a (parent class, field) pair was just co-allocated.
+  virtual void noteCoallocation(ClassId Cls, FieldId Field) {
+    (void)Cls;
+    (void)Field;
+  }
+};
+
+/// Collector statistics.
+struct GcStats {
+  uint64_t MinorCollections = 0;
+  uint64_t MajorCollections = 0;
+  Cycles GcCycles = 0;
+  uint64_t ObjectsPromoted = 0;
+  uint64_t BytesPromoted = 0;
+  uint64_t BytesCopied = 0;
+  uint64_t ObjectsCoallocated = 0;  ///< Co-allocated pairs placed.
+  uint64_t CoallocGapBytes = 0;     ///< Padding bytes inserted (Fig. 8).
+  uint64_t NurseryCollDuringFull = 0;
+};
+
+/// A garbage collector plan (GenMS or GenCopy).
+class GarbageCollector {
+public:
+  virtual ~GarbageCollector() = default;
+
+  /// Allocates an object of \p TotalBytes for class \p Cls (header
+  /// included, 8-byte aligned; \p ArrayLen is the element count for
+  /// arrays). Collects as needed; initializes the object header.
+  /// \returns 0 only on genuine out-of-memory.
+  virtual Address allocate(ClassId Cls, uint32_t TotalBytes,
+                           uint32_t ArrayLen) = 0;
+
+  /// Generational write barrier: the mutator stored \p NewValue into the
+  /// reference slot at \p SlotAddr of object \p Holder.
+  virtual void writeBarrier(Address Holder, Address SlotAddr,
+                            Address NewValue) = 0;
+
+  /// Forces a full-heap collection.
+  virtual void collectFull() = 0;
+
+  virtual void setRootProvider(RootProvider *P) = 0;
+  virtual void setPlacementAdvisor(PlacementAdvisor *A) = 0;
+
+  /// Disables/enables collection (held around the native sample-copy
+  /// window). Allocation that would need a GC while disabled is a bug and
+  /// asserts.
+  virtual void setGcAllowed(bool Allowed) = 0;
+
+  virtual const GcStats &stats() const = 0;
+  virtual const char *name() const = 0;
+
+  /// \returns which space the heap address \p A currently belongs to
+  /// (SpaceId::Free for non-heap addresses). Diagnostics only.
+  virtual SpaceId spaceOf(Address A) const = 0;
+
+  /// Post-GC callback hook (the monitor uses it to timestamp collections
+  /// in the miss-rate timelines). Argument: true for full collections.
+  virtual void setGcNotify(std::function<void(bool)> Fn) = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_GCAPI_H

@@ -1,0 +1,8 @@
+//===-- heap/HeapMemory.cpp -----------------------------------------------===//
+//
+// HeapMemory is header-only; this anchor keeps one TU per header in the
+// heap library.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/HeapMemory.h"

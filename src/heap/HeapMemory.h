@@ -1,0 +1,97 @@
+//===-- heap/HeapMemory.h - Byte-addressable heap backing ------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backing store for the simulated heap: a contiguous byte array addressed
+/// by simulated 32-bit addresses. These accessors move data only -- cache
+/// behaviour and cycle costs are charged separately by the execution engine
+/// (mutator accesses run through memsim; GC work is charged by the GC cost
+/// model), so the GC can move objects without polluting the mutator's
+/// simulated cache statistics unrealistically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_HEAPMEMORY_H
+#define HPMVM_HEAP_HEAPMEMORY_H
+
+#include "heap/AddressSpace.h"
+#include "support/Types.h"
+
+#include <cassert>
+#include <cstring>
+#include <vector>
+
+namespace hpmvm {
+
+/// Byte-addressable backing store for [base, base+size).
+class HeapMemory {
+public:
+  HeapMemory(Address Base, uint32_t SizeBytes)
+      : Base(Base), Bytes(SizeBytes, 0) {}
+
+  Address base() const { return Base; }
+  uint32_t size() const { return static_cast<uint32_t>(Bytes.size()); }
+  Address limit() const { return Base + size(); }
+
+  bool contains(Address A) const { return A >= Base && A < limit(); }
+
+  uint32_t readWord(Address A) const {
+    assert(contains(A) && A + 4 <= limit() && "heap read out of bounds");
+    uint32_t V;
+    std::memcpy(&V, &Bytes[A - Base], 4);
+    return V;
+  }
+
+  void writeWord(Address A, uint32_t V) {
+    assert(contains(A) && A + 4 <= limit() && "heap write out of bounds");
+    std::memcpy(&Bytes[A - Base], &V, 4);
+  }
+
+  uint16_t readHalf(Address A) const {
+    assert(contains(A) && A + 2 <= limit() && "heap read out of bounds");
+    uint16_t V;
+    std::memcpy(&V, &Bytes[A - Base], 2);
+    return V;
+  }
+
+  void writeHalf(Address A, uint16_t V) {
+    assert(contains(A) && A + 2 <= limit() && "heap write out of bounds");
+    std::memcpy(&Bytes[A - Base], &V, 2);
+  }
+
+  uint8_t readByte(Address A) const {
+    assert(contains(A) && "heap read out of bounds");
+    return Bytes[A - Base];
+  }
+
+  void writeByte(Address A, uint8_t V) {
+    assert(contains(A) && "heap write out of bounds");
+    Bytes[A - Base] = V;
+  }
+
+  /// memmove within the heap (GC copying). Ranges may not overlap in
+  /// practice (copying GC copies between disjoint spaces) but memmove is
+  /// used defensively.
+  void copy(Address Dst, Address Src, uint32_t Len) {
+    assert(contains(Dst) && Dst + Len <= limit() && "copy dst out of bounds");
+    assert(contains(Src) && Src + Len <= limit() && "copy src out of bounds");
+    std::memmove(&Bytes[Dst - Base], &Bytes[Src - Base], Len);
+  }
+
+  /// Zero-fills [A, A+Len).
+  void zero(Address A, uint32_t Len) {
+    assert(contains(A) && A + Len <= limit() && "zero out of bounds");
+    std::memset(&Bytes[A - Base], 0, Len);
+  }
+
+private:
+  Address Base;
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_HEAPMEMORY_H

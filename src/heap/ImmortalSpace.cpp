@@ -1,0 +1,7 @@
+//===-- heap/ImmortalSpace.cpp --------------------------------------------===//
+//
+// ImmortalSpace is header-only; anchor TU.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/ImmortalSpace.h"

@@ -1,0 +1,64 @@
+//===-- heap/ImmortalSpace.h - Non-collected code/meta space ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The immortal object space. The paper: "For simplicity, code for compiled
+/// methods is allocated in the immortal object space of the VM which is not
+/// garbage-collected. This way the copying GC does not move compiled code
+/// which would require an update of the lookup table after every GC run."
+/// The space also records stale bytes left behind by re-compiled methods,
+/// which the paper argues stay small because only a small fraction of
+/// methods are recompiled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_IMMORTALSPACE_H
+#define HPMVM_HEAP_IMMORTALSPACE_H
+
+#include "heap/AddressSpace.h"
+#include "support/Types.h"
+
+#include <cassert>
+
+namespace hpmvm {
+
+/// Monotonic allocator for compiled code and VM meta-data addresses.
+class ImmortalSpace {
+public:
+  ImmortalSpace(Address Base = kImmortalBase, Address Limit = kImmortalLimit)
+      : Base(Base), Limit(Limit), Cursor(Base) {}
+
+  /// Reserves \p Bytes (16-byte aligned, like a code allocator).
+  /// \returns the base address; asserts on exhaustion (the immortal space
+  /// is sized generously -- running out is a configuration bug).
+  Address alloc(uint32_t Bytes) {
+    uint32_t Aligned = alignUp(Bytes, 16);
+    assert(Limit - Cursor >= Aligned && "immortal space exhausted");
+    Address Result = Cursor;
+    Cursor += Aligned;
+    BytesAllocated += Aligned;
+    return Result;
+  }
+
+  /// Records that \p Bytes previously allocated became stale (a method was
+  /// recompiled and its old code abandoned in place).
+  void noteStale(uint32_t Bytes) { StaleBytes += Bytes; }
+
+  uint64_t bytesAllocated() const { return BytesAllocated; }
+  uint64_t staleBytes() const { return StaleBytes; }
+  bool contains(Address A) const { return A >= Base && A < Cursor; }
+
+private:
+  Address Base;
+  Address Limit;
+  Address Cursor;
+  uint64_t BytesAllocated = 0;
+  uint64_t StaleBytes = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_IMMORTALSPACE_H

@@ -1,0 +1,45 @@
+//===-- heap/LargeObjectSpace.cpp -----------------------------------------===//
+
+#include "heap/LargeObjectSpace.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace hpmvm;
+
+Address LargeObjectSpace::alloc(uint32_t Bytes) {
+  assert(Bytes != 0 && "zero-sized large object");
+  uint32_t N = (Bytes + kBlockBytes - 1) / kBlockBytes;
+  Address Base = Pool.allocRun(N, SpaceId::Los);
+  if (Base == kNullRef)
+    return kNullRef;
+  Runs.emplace(Base, N);
+  BlocksOwned += N;
+  BytesRequested += Bytes;
+  return Base;
+}
+
+uint32_t
+LargeObjectSpace::sweep(const std::function<bool(Address)> &IsLive) {
+  std::vector<Address> Dead;
+  for (const auto &[Base, N] : Runs) {
+    (void)N;
+    if (!IsLive(Base))
+      Dead.push_back(Base);
+  }
+  for (Address Base : Dead) {
+    auto It = Runs.find(Base);
+    Pool.freeRun(Base, It->second);
+    BlocksOwned -= It->second;
+    Runs.erase(It);
+  }
+  return static_cast<uint32_t>(Dead.size());
+}
+
+void LargeObjectSpace::forEachObject(
+    const std::function<void(Address)> &Fn) const {
+  for (const auto &[Base, N] : Runs) {
+    (void)N;
+    Fn(Base);
+  }
+}

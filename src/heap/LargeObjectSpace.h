@@ -1,0 +1,59 @@
+//===-- heap/LargeObjectSpace.h - Non-moving large objects -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Larger objects are handled in a separate portion of the heap": objects
+/// exceeding the 4 KB free-list ceiling live here, in contiguous runs of
+/// pool blocks, never moved. Workloads dominated by large objects
+/// (compress, mpegaudio) have no co-allocation candidates precisely because
+/// their data lives in this space -- the paper calls this out in Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_LARGEOBJECTSPACE_H
+#define HPMVM_HEAP_LARGEOBJECTSPACE_H
+
+#include "heap/BlockPool.h"
+#include "support/Types.h"
+
+#include <functional>
+#include <map>
+
+namespace hpmvm {
+
+/// Tracks large objects as block runs.
+class LargeObjectSpace {
+public:
+  explicit LargeObjectSpace(BlockPool &Pool) : Pool(Pool) {}
+
+  /// Allocates \p Bytes (rounded up to whole blocks); \returns 0 on
+  /// exhaustion.
+  Address alloc(uint32_t Bytes);
+
+  /// Frees every object for which \p IsLive returns false.
+  /// \returns the number of objects freed.
+  uint32_t sweep(const std::function<bool(Address)> &IsLive);
+
+  /// Invokes \p Fn for every live large object's base address.
+  void forEachObject(const std::function<void(Address)> &Fn) const;
+
+  /// \returns true if \p A is the base of a live large object.
+  bool isObjectBase(Address A) const { return Runs.count(A) != 0; }
+
+  uint32_t objectCount() const { return static_cast<uint32_t>(Runs.size()); }
+  uint32_t footprintBytes() const { return BlocksOwned * kBlockBytes; }
+  uint64_t bytesRequested() const { return BytesRequested; }
+
+private:
+  BlockPool &Pool;
+  std::map<Address, uint32_t> Runs; ///< base -> run length in blocks.
+  uint32_t BlocksOwned = 0;
+  uint64_t BytesRequested = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_LARGEOBJECTSPACE_H

@@ -1,0 +1,81 @@
+//===-- heap/ObjectModel.cpp ----------------------------------------------===//
+
+#include "heap/ObjectModel.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+uint32_t hpmvm::elemKindSize(ElemKind Kind) {
+  switch (Kind) {
+  case ElemKind::None:
+    return 0;
+  case ElemKind::Ref:
+  case ElemKind::I32:
+    return 4;
+  case ElemKind::I16:
+    return 2;
+  case ElemKind::I8:
+    return 1;
+  case ElemKind::I64:
+    return 8;
+  }
+  return 0;
+}
+
+ClassId HeapClassTable::addScalarClass(std::string Name, uint32_t NumFields,
+                                       std::vector<uint32_t> RefOffsets) {
+  HeapClassDesc D;
+  D.Name = std::move(Name);
+  D.InstanceBytes =
+      alignUp(objheader::kHeaderBytes + NumFields * 4, kObjectAlign);
+  D.RefOffsets = std::move(RefOffsets);
+  for ([[maybe_unused]] uint32_t Off : D.RefOffsets) {
+    assert(Off >= objheader::kHeaderBytes && Off < D.InstanceBytes &&
+           "reference offset outside the object body");
+    assert(isAligned(Off, 4) && "unaligned reference field");
+  }
+  Descs.push_back(std::move(D));
+  return static_cast<ClassId>(Descs.size() - 1);
+}
+
+ClassId HeapClassTable::addArrayClass(std::string Name, ElemKind Elem) {
+  assert(Elem != ElemKind::None && "array class needs an element kind");
+  HeapClassDesc D;
+  D.Name = std::move(Name);
+  D.ArrayElem = Elem;
+  Descs.push_back(std::move(D));
+  return static_cast<ClassId>(Descs.size() - 1);
+}
+
+uint32_t ObjectModel::scalarObjectBytes(ClassId Id) const {
+  const HeapClassDesc &D = Classes.desc(Id);
+  assert(!D.isArray() && "scalar size requested for an array class");
+  return D.InstanceBytes;
+}
+
+uint32_t ObjectModel::arrayObjectBytes(ClassId Id, uint32_t Length) const {
+  const HeapClassDesc &D = Classes.desc(Id);
+  assert(D.isArray() && "array size requested for a scalar class");
+  uint64_t Body = static_cast<uint64_t>(Length) * elemKindSize(D.ArrayElem);
+  assert(Body <= 0x7fffffff && "array too large for the simulated heap");
+  return alignUp(objheader::kHeaderBytes + static_cast<uint32_t>(Body),
+                 kObjectAlign);
+}
+
+void ObjectModel::initObject(Address Obj, ClassId Id, uint32_t TotalBytes,
+                             uint32_t ArrayLength) {
+  assert(isAligned(Obj, kObjectAlign) && "misaligned object address");
+  Mem.zero(Obj, TotalBytes);
+  Mem.writeWord(Obj + objheader::kClassOffset, Id);
+  Mem.writeWord(Obj + objheader::kSizeOffset, TotalBytes);
+  Mem.writeWord(Obj + objheader::kFlagsOffset, 0);
+  Mem.writeWord(Obj + objheader::kAuxOffset, ArrayLength);
+}
+
+Address ObjectModel::elementAddress(Address Obj, uint32_t Index) const {
+  const HeapClassDesc &D = descOf(Obj);
+  assert(D.isArray() && "element address of a non-array");
+  assert(Index < arrayLength(Obj) && "array index out of bounds");
+  return Obj + objheader::kHeaderBytes + Index * elemKindSize(D.ArrayElem);
+}

@@ -1,0 +1,190 @@
+//===-- heap/ObjectModel.h - Object layout & class descriptors -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated Java-like object model shared by the VM and the garbage
+/// collectors.
+///
+/// Object layout (all offsets in bytes):
+///   +0  ClassId   (forwarding address once kForwarded is set)
+///   +4  SizeBytes (total, header included, 8-byte aligned)
+///   +8  Flags     (GC mark, forwarded, logged-in-remset, coallocated)
+///   +12 AuxWord   (array length for arrays; scratch otherwise)
+///   +16 fields / array elements
+///
+/// HeapClassTable holds the GC-relevant part of a class: instance size,
+/// which offsets hold references, and array element kind. The VM's richer
+/// ClassRegistry (field names etc.) layers on top of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_OBJECTMODEL_H
+#define HPMVM_HEAP_OBJECTMODEL_H
+
+#include "heap/HeapMemory.h"
+#include "support/Types.h"
+
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// Array element kinds (Java-ish primitive widths).
+enum class ElemKind : uint8_t {
+  None, ///< Not an array class.
+  Ref,  ///< Object references (4 bytes).
+  I32,  ///< ints (4 bytes).
+  I16,  ///< chars/shorts (2 bytes).
+  I8,   ///< bytes/booleans (1 byte).
+  I64,  ///< longs (8 bytes) -- pseudojbb's long[] payloads exceed a line.
+};
+
+/// \returns the element width in bytes; 0 for ElemKind::None.
+uint32_t elemKindSize(ElemKind Kind);
+
+/// GC-level description of one class.
+struct HeapClassDesc {
+  std::string Name;
+  /// Total instance size (header included) for scalar classes; 0 for arrays
+  /// (whose size depends on length).
+  uint32_t InstanceBytes = 0;
+  /// Byte offsets (from object start) of reference-typed fields.
+  std::vector<uint32_t> RefOffsets;
+  ElemKind ArrayElem = ElemKind::None;
+
+  bool isArray() const { return ArrayElem != ElemKind::None; }
+};
+
+/// Registry of HeapClassDescs, indexed by ClassId.
+class HeapClassTable {
+public:
+  /// Registers a scalar class with \p NumFields 4-byte fields of which the
+  /// offsets in \p RefOffsets are references. \returns its ClassId.
+  ClassId addScalarClass(std::string Name, uint32_t NumFields,
+                         std::vector<uint32_t> RefOffsets);
+
+  /// Registers an array class with the given element kind.
+  ClassId addArrayClass(std::string Name, ElemKind Elem);
+
+  const HeapClassDesc &desc(ClassId Id) const {
+    assert(Id < Descs.size() && "unknown class id");
+    return Descs[Id];
+  }
+
+  size_t size() const { return Descs.size(); }
+
+private:
+  std::vector<HeapClassDesc> Descs;
+};
+
+/// Object header field offsets and flag bits.
+namespace objheader {
+inline constexpr uint32_t kClassOffset = 0;
+inline constexpr uint32_t kSizeOffset = 4;
+inline constexpr uint32_t kFlagsOffset = 8;
+inline constexpr uint32_t kAuxOffset = 12;
+inline constexpr uint32_t kHeaderBytes = 16;
+
+inline constexpr uint32_t kMarkBit = 1u << 0;
+inline constexpr uint32_t kForwardedBit = 1u << 1;
+inline constexpr uint32_t kLoggedBit = 1u << 2;    ///< In the remembered set.
+inline constexpr uint32_t kCoallocBit = 1u << 3;   ///< Placed by co-allocation.
+} // namespace objheader
+
+/// Typed accessors over raw heap bytes. Owned by the VM; shared by
+/// interpreter, machine executor and collectors.
+class ObjectModel {
+public:
+  ObjectModel(HeapMemory &Mem, const HeapClassTable &Classes)
+      : Mem(Mem), Classes(Classes) {}
+
+  /// \returns the total allocation size for an instance of scalar class
+  /// \p Id (8-byte aligned).
+  uint32_t scalarObjectBytes(ClassId Id) const;
+
+  /// \returns the total allocation size for an array of class \p Id with
+  /// \p Length elements (8-byte aligned).
+  uint32_t arrayObjectBytes(ClassId Id, uint32_t Length) const;
+
+  /// Writes a fresh header at \p Obj and zero-fills the body.
+  void initObject(Address Obj, ClassId Id, uint32_t TotalBytes,
+                  uint32_t ArrayLength);
+
+  ClassId classOf(Address Obj) const {
+    return Mem.readWord(Obj + objheader::kClassOffset);
+  }
+  uint32_t sizeOf(Address Obj) const {
+    return Mem.readWord(Obj + objheader::kSizeOffset);
+  }
+  uint32_t flagsOf(Address Obj) const {
+    return Mem.readWord(Obj + objheader::kFlagsOffset);
+  }
+  void setFlags(Address Obj, uint32_t Flags) {
+    Mem.writeWord(Obj + objheader::kFlagsOffset, Flags);
+  }
+  bool testFlag(Address Obj, uint32_t Bit) const {
+    return (flagsOf(Obj) & Bit) != 0;
+  }
+  void orFlag(Address Obj, uint32_t Bit) { setFlags(Obj, flagsOf(Obj) | Bit); }
+  void clearFlag(Address Obj, uint32_t Bit) {
+    setFlags(Obj, flagsOf(Obj) & ~Bit);
+  }
+
+  uint32_t arrayLength(Address Obj) const {
+    return Mem.readWord(Obj + objheader::kAuxOffset);
+  }
+
+  /// Marks \p Obj as forwarded to \p NewAddr (copying/ promoting GC).
+  void forwardTo(Address Obj, Address NewAddr) {
+    orFlag(Obj, objheader::kForwardedBit);
+    Mem.writeWord(Obj + objheader::kClassOffset, NewAddr);
+  }
+  bool isForwarded(Address Obj) const {
+    return testFlag(Obj, objheader::kForwardedBit);
+  }
+  Address forwardingAddress(Address Obj) const {
+    assert(isForwarded(Obj) && "object is not forwarded");
+    return Mem.readWord(Obj + objheader::kClassOffset);
+  }
+
+  /// \returns the address of the 4-byte field at byte offset \p Offset.
+  Address fieldAddress(Address Obj, uint32_t Offset) const {
+    return Obj + Offset;
+  }
+
+  /// \returns the address of array element \p Index.
+  Address elementAddress(Address Obj, uint32_t Index) const;
+
+  const HeapClassDesc &descOf(Address Obj) const {
+    return Classes.desc(classOf(Obj));
+  }
+
+  /// Invokes \p Fn for the address of every reference slot in \p Obj
+  /// (fields of scalar objects, all elements of reference arrays).
+  template <typename Fn> void forEachRefSlot(Address Obj, Fn &&Callback) const {
+    const HeapClassDesc &D = descOf(Obj);
+    if (D.ArrayElem == ElemKind::Ref) {
+      uint32_t Len = arrayLength(Obj);
+      for (uint32_t I = 0; I != Len; ++I)
+        Callback(Obj + objheader::kHeaderBytes + I * 4);
+      return;
+    }
+    for (uint32_t Off : D.RefOffsets)
+      Callback(Obj + Off);
+  }
+
+  HeapMemory &memory() { return Mem; }
+  const HeapMemory &memory() const { return Mem; }
+  const HeapClassTable &classes() const { return Classes; }
+
+private:
+  HeapMemory &Mem;
+  const HeapClassTable &Classes;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_OBJECTMODEL_H

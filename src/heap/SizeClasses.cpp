@@ -1,0 +1,47 @@
+//===-- heap/SizeClasses.cpp ----------------------------------------------===//
+
+#include "heap/SizeClasses.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+const std::array<uint32_t, kNumSizeClasses> &SizeClasses::table() {
+  // 40 classes, 16..4096 bytes, 8-byte aligned, granularity coarsening with
+  // size (MMTk-style): 15 classes at 8-byte steps, 8 at 16, 8 at 32, 4 at
+  // 128, 4 at 512, and the 4 KB ceiling.
+  static const std::array<uint32_t, kNumSizeClasses> Table = {
+      16,   24,   32,   40,   48,   56,   64,   72,   80,   88,
+      96,   104,  112,  120,  128,  144,  160,  176,  192,  208,
+      224,  240,  256,  288,  320,  352,  384,  416,  448,  480,
+      512,  640,  768,  896,  1024, 1536, 2048, 2560, 3072, 4096};
+  return Table;
+}
+
+uint32_t SizeClasses::cellBytes(uint32_t Index) {
+  assert(Index < kNumSizeClasses && "size class index out of range");
+  return table()[Index];
+}
+
+uint32_t SizeClasses::classFor(uint32_t Bytes) {
+  if (Bytes > kMaxFreeListBytes)
+    return kInvalidId;
+  const auto &T = table();
+  // Binary search for the first cell size >= Bytes.
+  uint32_t Lo = 0, Hi = kNumSizeClasses - 1;
+  while (Lo < Hi) {
+    uint32_t Mid = (Lo + Hi) / 2;
+    if (T[Mid] < Bytes)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  assert(T[Lo] >= Bytes && "size class lookup broken");
+  return Lo;
+}
+
+uint32_t SizeClasses::wasteFor(uint32_t Bytes) {
+  uint32_t Cls = classFor(Bytes);
+  assert(Cls != kInvalidId && "request exceeds free-list ceiling");
+  return cellBytes(Cls) - Bytes;
+}

@@ -1,0 +1,54 @@
+//===-- heap/SizeClasses.h - The 40 free-list size classes -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's mature-space free-list allocator "allocates objects into 40
+/// different size classes up to 4 KBytes (=VM default setting) to minimize
+/// heap fragmentation". This table defines those 40 cell sizes: 8-byte
+/// steps for small objects (where most allocation happens), coarsening
+/// toward 4 KB. The limited number of classes is exactly why co-allocation
+/// can increase internal fragmentation (paper section 5.4) -- the
+/// fragmentation experiments depend on this structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HEAP_SIZECLASSES_H
+#define HPMVM_HEAP_SIZECLASSES_H
+
+#include "support/Types.h"
+
+#include <array>
+
+namespace hpmvm {
+
+/// Number of free-list size classes (paper/VM default).
+inline constexpr uint32_t kNumSizeClasses = 40;
+
+/// Maximum cell size handled by the free list; anything larger goes to the
+/// large object space.
+inline constexpr uint32_t kMaxFreeListBytes = 4096;
+
+/// Size-class table and lookup.
+class SizeClasses {
+public:
+  /// \returns the cell size in bytes of class \p Index.
+  static uint32_t cellBytes(uint32_t Index);
+
+  /// \returns the smallest class whose cell fits \p Bytes, or kInvalidId if
+  /// Bytes > kMaxFreeListBytes.
+  static uint32_t classFor(uint32_t Bytes);
+
+  /// \returns internal fragmentation for a request of \p Bytes: cell size
+  /// minus request. Pre: Bytes <= kMaxFreeListBytes.
+  static uint32_t wasteFor(uint32_t Bytes);
+
+private:
+  static const std::array<uint32_t, kNumSizeClasses> &table();
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HEAP_SIZECLASSES_H

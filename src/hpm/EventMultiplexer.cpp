@@ -1,0 +1,76 @@
+//===-- hpm/EventMultiplexer.cpp ------------------------------------------===//
+
+#include "hpm/EventMultiplexer.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+EventMultiplexer::EventMultiplexer(PerfmonModule &Module,
+                                   VirtualClock &Clock,
+                                   const MultiplexerConfig &Config)
+    : Module(Module), Clock(Clock), Config(Config) {
+  assert(!Config.Rotation.empty() && "nothing to multiplex");
+  assert(Config.SliceMs > 0 && "slice must be positive");
+  Samples.assign(Config.Rotation.size(), 0);
+  ActiveTime.assign(Config.Rotation.size(), 0);
+}
+
+void EventMultiplexer::start() {
+  assert(!Running && "multiplexer already running");
+  Running = true;
+  Slot = 0;
+  SliceStart = TotalStart = Clock.now();
+  Module.startSampling(Config.Rotation[0].Kind, Config.Rotation[0].Interval);
+}
+
+bool EventMultiplexer::onPoll(uint64_t SamplesSinceLastPoll) {
+  assert(Running && "poll on a stopped multiplexer");
+  Samples[Slot] += SamplesSinceLastPoll;
+  Cycles Now = Clock.now();
+  if (VirtualClock::toSeconds(Now - SliceStart) * 1e3 < Config.SliceMs)
+    return false;
+
+  // Slice over: account the time, rotate to the next kind. The hardware
+  // can only hold one event, so this is a full stop/reprogram/start.
+  ActiveTime[Slot] += Now - SliceStart;
+  Slot = (Slot + 1) % Config.Rotation.size();
+  Module.stopSampling();
+  Module.startSampling(Config.Rotation[Slot].Kind,
+                       Config.Rotation[Slot].Interval);
+  SliceStart = Now;
+  ++Rotations;
+  return true;
+}
+
+void EventMultiplexer::stop() {
+  if (!Running)
+    return;
+  Running = false;
+  ActiveTime[Slot] += Clock.now() - SliceStart;
+  Module.stopSampling();
+}
+
+size_t EventMultiplexer::slotIndex(HpmEventKind Kind) const {
+  for (size_t I = 0; I != Config.Rotation.size(); ++I)
+    if (Config.Rotation[I].Kind == Kind)
+      return I;
+  return Config.Rotation.size();
+}
+
+uint64_t EventMultiplexer::samples(HpmEventKind Kind) const {
+  size_t I = slotIndex(Kind);
+  return I < Samples.size() ? Samples[I] : 0;
+}
+
+double EventMultiplexer::estimatedEvents(HpmEventKind Kind) const {
+  size_t I = slotIndex(Kind);
+  if (I >= Samples.size() || ActiveTime[I] == 0)
+    return 0.0;
+  Cycles Total = Clock.now() - TotalStart;
+  double DutyCycle = static_cast<double>(ActiveTime[I]) /
+                     static_cast<double>(Total ? Total : 1);
+  return static_cast<double>(Samples[I]) *
+         static_cast<double>(Config.Rotation[I].Interval) /
+         (DutyCycle > 0 ? DutyCycle : 1.0);
+}

@@ -1,0 +1,47 @@
+//===-- hpm/NativeSampleLibrary.cpp ---------------------------------------===//
+
+#include "hpm/NativeSampleLibrary.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hpmvm;
+
+NativeSampleLibrary::NativeSampleLibrary(PerfmonModule &Module,
+                                         size_t ArrayInts)
+    : Module(Module), Array(ArrayInts) {
+  assert(ArrayInts >= kSampleInts && "array cannot hold even one sample");
+}
+
+size_t NativeSampleLibrary::readIntoArray() {
+  size_t Capacity = capacitySamples();
+  Scratch.resize(Capacity);
+
+  // Disable GC for the short period while samples are copied; no allocation
+  // happens on this path, so the lock can never deadlock against a
+  // collection triggered from here.
+  if (GcLock)
+    GcLock(true);
+  size_t N = Module.readSamples(Scratch.data(), Capacity);
+  // One bulk copy into the pre-allocated array; no per-sample JNI calls.
+  static_assert(sizeof(PebsSample) == kSampleInts * sizeof(uint32_t));
+  if (N)
+    std::memcpy(Array.data(), Scratch.data(), N * sizeof(PebsSample));
+  if (GcLock)
+    GcLock(false);
+
+  ValidSamples = N;
+  Cycles Cost = Costs.PerCall + Costs.PerSample * N;
+  TotalCost += Cost;
+  if (Clock)
+    Clock->advance(Cost);
+  return N;
+}
+
+PebsSample NativeSampleLibrary::decode(size_t I) const {
+  assert(I < ValidSamples && "decoding past the marshalled samples");
+  PebsSample S;
+  std::memcpy(static_cast<void *>(&S), Array.data() + I * kSampleInts,
+              sizeof(PebsSample));
+  return S;
+}

@@ -1,0 +1,87 @@
+//===-- hpm/NativeSampleLibrary.h - JNI shim layer --------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulation of the paper's native shared library (part 2 of the system):
+/// the VM cannot call the kernel module directly, so a native C library is
+/// accessed via JNI. Efficiency trick reproduced from the paper: the VM
+/// provides a pre-allocated int[] array once; the native function copies all
+/// collected samples into that array directly, with no per-sample JNI calls.
+/// The GC must not run while the copy is in progress (no allocation happens
+/// in the native code, and the VM additionally holds a GC lock around the
+/// copy) -- modeled by the GcLock hook, which tests and the VM wire up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HPM_NATIVESAMPLELIBRARY_H
+#define HPMVM_HPM_NATIVESAMPLELIBRARY_H
+
+#include "hpm/PerfmonModule.h"
+#include "hpm/Sample.h"
+#include "support/Types.h"
+#include "support/VirtualClock.h"
+
+#include <functional>
+#include <vector>
+
+namespace hpmvm {
+
+/// Cost model of one native read call (JNI transition + copy loop).
+struct NativeLibraryCosts {
+  Cycles PerCall = 4000;  ///< JNI transition + syscall into the module.
+  Cycles PerSample = 100; ///< memcpy of one 40-byte record.
+};
+
+/// User-space native library marshalling samples into a pre-allocated
+/// int[] array.
+class NativeSampleLibrary {
+public:
+  /// The paper's user-space library keeps an 80 KB buffer; 80 KB of 40-byte
+  /// samples is 2048 samples = 20480 ints.
+  static constexpr size_t kDefaultArrayInts = 80 * 1024 / sizeof(uint32_t);
+
+  explicit NativeSampleLibrary(PerfmonModule &Module,
+                               size_t ArrayInts = kDefaultArrayInts);
+
+  /// Reads all currently available samples (up to array capacity) into the
+  /// pre-allocated array. Calls the GC lock hook around the copy.
+  /// \returns the number of samples now valid in the array.
+  size_t readIntoArray();
+
+  /// \returns the number of samples readIntoArray() marshalled last time.
+  size_t arrayedSamples() const { return ValidSamples; }
+
+  /// Decodes sample \p I from the int[] array. Pre: I < arrayedSamples().
+  PebsSample decode(size_t I) const;
+
+  /// Raw view of the marshalled array (what "Java" sees).
+  const std::vector<uint32_t> &array() const { return Array; }
+
+  /// Hook invoked with true before the copy and false after; the VM uses it
+  /// to disable GC during the transfer.
+  void setGcLock(std::function<void(bool)> Hook) { GcLock = std::move(Hook); }
+
+  /// If set, call costs advance this clock.
+  void setClock(VirtualClock *C) { Clock = C; }
+  void setCosts(const NativeLibraryCosts &C) { Costs = C; }
+
+  Cycles totalCostCycles() const { return TotalCost; }
+  size_t capacitySamples() const { return Array.size() / kSampleInts; }
+
+private:
+  PerfmonModule &Module;
+  std::vector<uint32_t> Array;
+  std::vector<PebsSample> Scratch;
+  size_t ValidSamples = 0;
+  std::function<void(bool)> GcLock;
+  VirtualClock *Clock = nullptr;
+  NativeLibraryCosts Costs;
+  Cycles TotalCost = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HPM_NATIVESAMPLELIBRARY_H

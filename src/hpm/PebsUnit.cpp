@@ -1,0 +1,86 @@
+//===-- hpm/PebsUnit.cpp --------------------------------------------------===//
+
+#include "hpm/PebsUnit.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+PebsUnit::PebsUnit(uint64_t Seed) : Rng(Seed) {}
+
+void PebsUnit::configure(const PebsConfig &NewConfig) {
+  assert(!Running && "reconfiguring a running PEBS unit");
+  assert(NewConfig.Interval > 0 && "sampling interval must be positive");
+  Config = NewConfig;
+  Buffer.reserve(Config.BufferCapacity);
+}
+
+void PebsUnit::start() {
+  assert(!Running && "PEBS unit already running");
+  Running = true;
+  Countdown = nextCountdown();
+}
+
+void PebsUnit::stop() { Running = false; }
+
+void PebsUnit::setInterval(uint64_t Interval) {
+  assert(Interval > 0 && "sampling interval must be positive");
+  Config.Interval = Interval;
+}
+
+uint64_t PebsUnit::nextCountdown() {
+  // Randomize the 8 low-order bits so we do not repeatedly sample the same
+  // program locations when event arrivals are periodic. Intervals that are
+  // not meaningfully larger than the randomized range are used as-is
+  // (clearing their high bits would destroy the interval entirely).
+  if (!Config.RandomizeLowBits || Config.Interval <= 512)
+    return Config.Interval;
+  uint64_t Base = Config.Interval & ~0xffull;
+  uint64_t Value = Base | (Rng.next() & 0xffull);
+  return Value ? Value : 1;
+}
+
+void PebsUnit::onMemoryEvent(HpmEventKind Kind, Address Pc, Address DataAddr) {
+  ++EventCounts[static_cast<size_t>(Kind)];
+  if (!Running || Kind != Config.SelectedEvent)
+    return;
+  assert(Countdown > 0 && "countdown must be armed while running");
+  if (--Countdown != 0)
+    return;
+  Countdown = nextCountdown();
+
+  // The microcode routine stores EIP + register state into the debug store
+  // buffer. We model the register file by stashing the data address in EAX.
+  if (Buffer.size() >= Config.BufferCapacity) {
+    ++SamplesDropped;
+    return;
+  }
+  PebsSample S;
+  S.Eip = Pc;
+  S.Regs[0] = DataAddr;
+  Buffer.push_back(S);
+  ++SamplesTaken;
+  MicrocodeCycles += Config.MicrocodeCyclesPerSample;
+  if (Clock)
+    Clock->advance(Config.MicrocodeCyclesPerSample);
+
+  if (static_cast<double>(Buffer.size()) >=
+      Config.InterruptFillMark * static_cast<double>(Config.BufferCapacity))
+    InterruptPending = true;
+}
+
+void PebsUnit::drainInto(std::vector<PebsSample> &Out) {
+  Out.insert(Out.end(), Buffer.begin(), Buffer.end());
+  Buffer.clear();
+  InterruptPending = false;
+}
+
+void PebsUnit::reset() {
+  Buffer.clear();
+  InterruptPending = false;
+  EventCounts[0] = EventCounts[1] = EventCounts[2] = 0;
+  SamplesTaken = 0;
+  SamplesDropped = 0;
+  MicrocodeCycles = 0;
+  Countdown = Running ? nextCountdown() : 0;
+}

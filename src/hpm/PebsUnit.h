@@ -1,0 +1,115 @@
+//===-- hpm/PebsUnit.h - Precise event-based sampling unit -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulation of the Pentium 4 precise event-based sampling (PEBS)
+/// mechanism:
+///   - event detectors count every occurrence of each event kind ("normal
+///     counting" mode: totals readable after execution);
+///   - exactly one event kind can be selected for sampling at a time;
+///   - an interval counter is decremented per selected event; when it hits
+///     zero a microcode routine stores a 40-byte sample (EIP + registers)
+///     into a buffer supplied by the OS, and the counter is re-armed with
+///     the interval whose low 8 bits are randomized (the paper randomizes
+///     8 low-order bits to avoid sampling the same locations repeatedly);
+///   - an interrupt is raised only when the buffer is filled to a
+///     configured mark, keeping sampling overhead low.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HPM_PEBSUNIT_H
+#define HPMVM_HPM_PEBSUNIT_H
+
+#include "hpm/Sample.h"
+#include "memsim/MemoryEvent.h"
+#include "support/Random.h"
+#include "support/Types.h"
+#include "support/VirtualClock.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+/// PEBS configuration (what the kernel module programs into the MSRs).
+struct PebsConfig {
+  HpmEventKind SelectedEvent = HpmEventKind::L1DMiss;
+  /// Sample every Interval-th occurrence of the selected event.
+  uint64_t Interval = 100000;
+  /// Randomize the low 8 bits of the interval (paper section 6.1).
+  bool RandomizeLowBits = true;
+  /// Capacity of the CPU's debug-store sample buffer, in samples.
+  size_t BufferCapacity = 2048;
+  /// Raise the buffer-overflow interrupt when the buffer reaches this
+  /// fraction of its capacity.
+  double InterruptFillMark = 0.9;
+  /// Cycles the sampling microcode steals per stored sample.
+  Cycles MicrocodeCyclesPerSample = 500;
+};
+
+/// Counting + sampling state of the performance monitoring unit.
+class PebsUnit : public MemoryEventListener {
+public:
+  explicit PebsUnit(uint64_t Seed = 0x5eed);
+
+  /// Programs the unit. Allowed while stopped only.
+  void configure(const PebsConfig &Config);
+
+  /// Starts/stops event sampling. Counting of raw event totals is always on
+  /// (the event detectors run continuously).
+  void start();
+  void stop();
+  bool isRunning() const { return Running; }
+
+  /// Changes the sampling interval on the fly (used by the auto-interval
+  /// controller). Takes effect when the counter is next re-armed.
+  void setInterval(uint64_t Interval);
+  uint64_t interval() const { return Config.Interval; }
+
+  /// If set, microcode sample-store cycles advance this clock directly.
+  void setClock(VirtualClock *C) { Clock = C; }
+
+  // MemoryEventListener: called by the memory hierarchy for every event.
+  void onMemoryEvent(HpmEventKind Kind, Address Pc, Address DataAddr) override;
+
+  /// Moves all buffered samples into \p Out (appending) and clears the
+  /// interrupt. Models the kernel interrupt handler / poll path reading the
+  /// debug store area.
+  void drainInto(std::vector<PebsSample> &Out);
+
+  bool interruptPending() const { return InterruptPending; }
+  size_t bufferedSamples() const { return Buffer.size(); }
+
+  /// Raw event totals ("normal counting" mode), indexed by HpmEventKind.
+  uint64_t eventCount(HpmEventKind Kind) const {
+    return EventCounts[static_cast<size_t>(Kind)];
+  }
+  uint64_t samplesTaken() const { return SamplesTaken; }
+  uint64_t samplesDropped() const { return SamplesDropped; }
+  Cycles microcodeCycles() const { return MicrocodeCycles; }
+  const PebsConfig &config() const { return Config; }
+
+  /// Zeroes counters and buffer (between experiments).
+  void reset();
+
+private:
+  uint64_t nextCountdown();
+
+  PebsConfig Config;
+  SplitMix64 Rng;
+  VirtualClock *Clock = nullptr;
+  bool Running = false;
+  uint64_t Countdown = 0;
+  std::vector<PebsSample> Buffer;
+  bool InterruptPending = false;
+  uint64_t EventCounts[3] = {};
+  uint64_t SamplesTaken = 0;
+  uint64_t SamplesDropped = 0;
+  Cycles MicrocodeCycles = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HPM_PEBSUNIT_H

@@ -1,0 +1,42 @@
+//===-- hpm/PerfmonModule.cpp ---------------------------------------------===//
+
+#include "hpm/PerfmonModule.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+void PerfmonModule::startSampling(HpmEventKind Kind, uint64_t Interval,
+                                  bool RandomizeLowBits) {
+  PebsConfig Config = Unit.config();
+  Config.SelectedEvent = Kind;
+  Config.Interval = Interval;
+  Config.RandomizeLowBits = RandomizeLowBits;
+  Unit.configure(Config);
+  Unit.start();
+}
+
+void PerfmonModule::stopSampling() { Unit.stop(); }
+
+void PerfmonModule::serviceInterrupt() {
+  DrainScratch.clear();
+  Unit.drainInto(DrainScratch);
+  KernelBuffer.insert(KernelBuffer.end(), DrainScratch.begin(),
+                      DrainScratch.end());
+}
+
+size_t PerfmonModule::readSamples(PebsSample *Dest, size_t Max) {
+  assert(Dest != nullptr || Max == 0);
+  // A poll from user space always empties the debug store, whether or not
+  // the overflow interrupt has fired yet; this is what lets the collector
+  // thread's adaptive polling guarantee no samples are dropped.
+  if (Unit.interruptPending() || KernelBuffer.empty())
+    serviceInterrupt();
+  size_t N = 0;
+  while (N < Max && !KernelBuffer.empty()) {
+    Dest[N++] = KernelBuffer.front();
+    KernelBuffer.pop_front();
+  }
+  TotalDelivered += N;
+  return N;
+}

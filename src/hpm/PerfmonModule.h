@@ -1,0 +1,67 @@
+//===-- hpm/PerfmonModule.h - "Kernel module" layer -------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulation of the HP perfmon loadable kernel module (part 1 of the
+/// paper's three-part system). It owns access to the performance counter
+/// hardware, hides platform-specific details from the VM, services the
+/// buffer-overflow interrupt by moving samples from the CPU's debug store
+/// into a kernel buffer, and exposes a read interface user space polls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HPM_PERFMONMODULE_H
+#define HPMVM_HPM_PERFMONMODULE_H
+
+#include "hpm/PebsUnit.h"
+#include "hpm/Sample.h"
+
+#include <deque>
+
+namespace hpmvm {
+
+/// Kernel-side sampling service over the PEBS hardware.
+class PerfmonModule {
+public:
+  explicit PerfmonModule(PebsUnit &Unit) : Unit(Unit) {}
+
+  /// Programs and starts sampling of \p Kind every \p Interval events.
+  /// Mirrors pfm_self_start(); the platform-specific MSR programming is
+  /// hidden behind this call, as the paper requires of the interface.
+  void startSampling(HpmEventKind Kind, uint64_t Interval,
+                     bool RandomizeLowBits = true);
+
+  void stopSampling();
+  bool isSampling() const { return Unit.isRunning(); }
+
+  /// Copies up to \p Max samples into \p Dest, consuming them. Services the
+  /// hardware interrupt (drains the debug store) first if one is pending or
+  /// if the kernel buffer is empty. \returns the number of samples copied.
+  size_t readSamples(PebsSample *Dest, size_t Max);
+
+  /// \returns the number of samples currently available kernel-side
+  /// (debug store + kernel buffer).
+  size_t samplesAvailable() const {
+    return KernelBuffer.size() + Unit.bufferedSamples();
+  }
+
+  PebsUnit &unit() { return Unit; }
+  const PebsUnit &unit() const { return Unit; }
+  uint64_t totalDelivered() const { return TotalDelivered; }
+
+private:
+  /// The interrupt handler: moves debug-store contents into KernelBuffer.
+  void serviceInterrupt();
+
+  PebsUnit &Unit;
+  std::deque<PebsSample> KernelBuffer;
+  std::vector<PebsSample> DrainScratch;
+  uint64_t TotalDelivered = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HPM_PERFMONMODULE_H

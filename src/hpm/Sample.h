@@ -1,0 +1,41 @@
+//===-- hpm/Sample.h - 40-byte PEBS sample record ---------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PEBS sample record. The paper: "One sample on the P4 platform has a
+/// size of 40 bytes. It contains the program counter (EIP) where the sampled
+/// event occurred and the values of all registers at that time." The VM only
+/// analyzes EIP (as the paper does); by convention the simulated machine
+/// stashes the faulting data address in EAX so tests can verify precision.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HPM_SAMPLE_H
+#define HPMVM_HPM_SAMPLE_H
+
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// One precise event-based sample: EIP + EFLAGS + the 8 IA-32 GP registers.
+struct PebsSample {
+  Address Eip = 0;
+  uint32_t Eflags = 0;
+  /// EAX, EBX, ECX, EDX, ESI, EDI, EBP, ESP. Regs[0] (EAX) carries the
+  /// faulting data address in this simulation.
+  uint32_t Regs[8] = {};
+};
+
+static_assert(sizeof(PebsSample) == 40,
+              "the P4 PEBS record is exactly 40 bytes");
+
+/// Number of 32-bit ints per sample when marshalled through the native
+/// library's pre-allocated int[] array.
+inline constexpr size_t kSampleInts = sizeof(PebsSample) / sizeof(uint32_t);
+
+} // namespace hpmvm
+
+#endif // HPMVM_HPM_SAMPLE_H

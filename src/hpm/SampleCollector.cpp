@@ -1,0 +1,57 @@
+//===-- hpm/SampleCollector.cpp -------------------------------------------===//
+
+#include "hpm/SampleCollector.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+SampleCollector::SampleCollector(NativeSampleLibrary &Library,
+                                 VirtualClock &Clock,
+                                 const SampleCollectorConfig &Config)
+    : Library(Library), Clock(Clock), Config(Config),
+      IntervalMs(Config.MinPollMs) {
+  assert(Config.MinPollMs > 0 && Config.MinPollMs <= Config.MaxPollMs &&
+         "polling interval bounds are inverted");
+  NextPollAt = Clock.now() + VirtualClock::fromMillis(IntervalMs);
+}
+
+size_t SampleCollector::maybePoll() {
+  if (Clock.now() < NextPollAt)
+    return 0;
+  return pollNow();
+}
+
+size_t SampleCollector::pollNow() {
+  ++Polls;
+  Cycles Before = Clock.now();
+  Clock.advance(Config.PollCost);
+  size_t N = Library.readIntoArray();
+  if (N && Deliver) {
+    // Decode the int[] back into sample records for the consumer. The
+    // consumer charges its own (much larger) per-sample processing cost.
+    static thread_local std::vector<PebsSample> Batch;
+    Batch.clear();
+    for (size_t I = 0; I != N; ++I)
+      Batch.push_back(Library.decode(I));
+    Deliver(Batch.data(), Batch.size());
+  }
+  Delivered += N;
+  Overhead += Clock.now() - Before;
+  adaptInterval(N);
+  NextPollAt = Clock.now() + VirtualClock::fromMillis(IntervalMs);
+  return N;
+}
+
+void SampleCollector::adaptInterval(size_t BatchSize) {
+  double Fill = static_cast<double>(BatchSize) /
+                static_cast<double>(Library.capacitySamples());
+  if (Fill > Config.HighFill)
+    IntervalMs *= 0.5;
+  else if (Fill < Config.LowFill)
+    IntervalMs *= 2.0;
+  if (IntervalMs < Config.MinPollMs)
+    IntervalMs = Config.MinPollMs;
+  if (IntervalMs > Config.MaxPollMs)
+    IntervalMs = Config.MaxPollMs;
+}

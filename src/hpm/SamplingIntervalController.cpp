@@ -1,0 +1,49 @@
+//===-- hpm/SamplingIntervalController.cpp --------------------------------===//
+
+#include "hpm/SamplingIntervalController.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+SamplingIntervalController::SamplingIntervalController(
+    PebsUnit &Unit, VirtualClock &Clock, const AutoIntervalConfig &Config)
+    : Unit(Unit), Clock(Clock), Config(Config), LastAdjustAt(Clock.now()),
+      LastSampleCount(Unit.samplesTaken()) {
+  assert(Config.TargetSamplesPerSec > 0 && "target rate must be positive");
+  assert(Config.MinInterval > 0 && Config.MinInterval <= Config.MaxInterval &&
+         "interval bounds are inverted");
+}
+
+void SamplingIntervalController::onPoll() {
+  Cycles Now = Clock.now();
+  double DtSec = VirtualClock::toSeconds(Now - LastAdjustAt);
+  if (DtSec * 1000.0 < Config.AdjustPeriodMs)
+    return;
+
+  uint64_t Taken = Unit.samplesTaken();
+  uint64_t NewSamples = Taken - LastSampleCount;
+  double ObservedRate = static_cast<double>(NewSamples) / DtSec;
+  LastAdjustAt = Now;
+  LastSampleCount = Taken;
+
+  // interval' = interval * observed/target: too many samples -> widen the
+  // interval, too few -> tighten it. Clamp the step so one noisy period
+  // cannot swing the interval wildly. With zero samples this period, halve
+  // the interval (bounded exploration toward more samples).
+  double Step = NewSamples == 0
+                    ? 0.5
+                    : ObservedRate / Config.TargetSamplesPerSec;
+  if (Step > Config.MaxStep)
+    Step = Config.MaxStep;
+  if (Step < 1.0 / Config.MaxStep)
+    Step = 1.0 / Config.MaxStep;
+
+  double NewInterval = static_cast<double>(Unit.interval()) * Step;
+  if (NewInterval < static_cast<double>(Config.MinInterval))
+    NewInterval = static_cast<double>(Config.MinInterval);
+  if (NewInterval > static_cast<double>(Config.MaxInterval))
+    NewInterval = static_cast<double>(Config.MaxInterval);
+  Unit.setInterval(static_cast<uint64_t>(NewInterval));
+  ++Adjustments;
+}

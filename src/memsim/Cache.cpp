@@ -1,0 +1,122 @@
+//===-- memsim/Cache.cpp --------------------------------------------------===//
+
+#include "memsim/Cache.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+static uint32_t log2Exact(uint32_t V) {
+  assert(V != 0 && (V & (V - 1)) == 0 && "value must be a power of two");
+  uint32_t Log = 0;
+  while (V > 1) {
+    V >>= 1;
+    ++Log;
+  }
+  return Log;
+}
+
+CacheConfig hpmvm::l1DefaultConfig() {
+  return CacheConfig{/*SizeBytes=*/16 * 1024, /*LineBytes=*/128,
+                     /*Associativity=*/8};
+}
+
+CacheConfig hpmvm::l2DefaultConfig() {
+  return CacheConfig{/*SizeBytes=*/1024 * 1024, /*LineBytes=*/128,
+                     /*Associativity=*/8};
+}
+
+Cache::Cache(const CacheConfig &Config) : Config(Config) {
+  assert(Config.LineBytes != 0 && (Config.LineBytes & (Config.LineBytes - 1)) == 0 &&
+         "line size must be a power of two");
+  uint32_t NumSets = Config.numSets();
+  assert(NumSets != 0 && (NumSets & (NumSets - 1)) == 0 &&
+         "set count must be a power of two");
+  LineShift = log2Exact(Config.LineBytes);
+  SetMask = NumSets - 1;
+  Ways.resize(static_cast<size_t>(NumSets) * Config.Associativity);
+}
+
+void Cache::split(Address Addr, uint32_t &SetIdx, uint64_t &Tag) const {
+  uint64_t Line = Addr >> LineShift;
+  SetIdx = static_cast<uint32_t>(Line) & SetMask;
+  Tag = Line >> log2Exact(SetMask + 1);
+}
+
+Cache::Way *Cache::findWay(uint32_t SetIdx, uint64_t Tag) {
+  Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
+  for (uint32_t W = 0; W != Config.Associativity; ++W)
+    if (Set[W].Valid && Set[W].Tag == Tag)
+      return &Set[W];
+  return nullptr;
+}
+
+const Cache::Way *Cache::findWay(uint32_t SetIdx, uint64_t Tag) const {
+  return const_cast<Cache *>(this)->findWay(SetIdx, Tag);
+}
+
+bool Cache::access(Address Addr) {
+  uint32_t SetIdx;
+  uint64_t Tag;
+  split(Addr, SetIdx, Tag);
+  ++UseTick;
+  if (Way *Hit = findWay(SetIdx, Tag)) {
+    Hit->LastUse = UseTick;
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  // Fill: evict the LRU way (or use an invalid one).
+  Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
+  Way *Victim = &Set[0];
+  for (uint32_t W = 0; W != Config.Associativity; ++W) {
+    if (!Set[W].Valid) {
+      Victim = &Set[W];
+      break;
+    }
+    if (Set[W].LastUse < Victim->LastUse)
+      Victim = &Set[W];
+  }
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = UseTick;
+  return false;
+}
+
+bool Cache::contains(Address Addr) const {
+  uint32_t SetIdx;
+  uint64_t Tag;
+  split(Addr, SetIdx, Tag);
+  return findWay(SetIdx, Tag) != nullptr;
+}
+
+bool Cache::prefetch(Address Addr) {
+  uint32_t SetIdx;
+  uint64_t Tag;
+  split(Addr, SetIdx, Tag);
+  if (findWay(SetIdx, Tag))
+    return false;
+  // Insert with the current tick but do not count a miss: prefetch fills are
+  // not demand misses.
+  Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
+  Way *Victim = &Set[0];
+  for (uint32_t W = 0; W != Config.Associativity; ++W) {
+    if (!Set[W].Valid) {
+      Victim = &Set[W];
+      break;
+    }
+    if (Set[W].LastUse < Victim->LastUse)
+      Victim = &Set[W];
+  }
+  ++UseTick;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = UseTick;
+  return true;
+}
+
+void Cache::flush() {
+  for (Way &W : Ways)
+    W.Valid = false;
+  UseTick = 0;
+}

@@ -1,0 +1,97 @@
+//===-- memsim/Cache.h - Set-associative cache model -----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative, LRU, write-allocate cache model. Geometry defaults
+/// follow the paper's platform: a Pentium 4 with a 16 KB L1 data cache and a
+/// 1 MB unified L2, both with 128-byte lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_MEMSIM_CACHE_H
+#define HPMVM_MEMSIM_CACHE_H
+
+#include "support/Types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace hpmvm {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  uint32_t SizeBytes;
+  uint32_t LineBytes;
+  uint32_t Associativity;
+
+  uint32_t numSets() const {
+    return SizeBytes / (LineBytes * Associativity);
+  }
+};
+
+/// The paper's L1 data cache: 16 KB, 128-byte lines ("One cache line
+/// contains 128 bytes"), 8-way (P4 L1D associativity).
+CacheConfig l1DefaultConfig();
+
+/// The paper's L2: 1 MB, 128-byte lines, 8-way.
+CacheConfig l2DefaultConfig();
+
+/// One level of set-associative cache with true-LRU replacement.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config);
+
+  /// Looks up the line containing \p Addr; on a miss, fills it (evicting the
+  /// LRU way). \returns true on hit.
+  bool access(Address Addr);
+
+  /// \returns true if the line containing \p Addr is present, without
+  /// touching LRU state (for tests and the prefetcher).
+  bool contains(Address Addr) const;
+
+  /// Inserts the line containing \p Addr if absent without counting a
+  /// hit/miss (models a hardware prefetch fill). \returns true if the line
+  /// was newly inserted.
+  bool prefetch(Address Addr);
+
+  /// Invalidates all lines (e.g. between experiments).
+  void flush();
+
+  const CacheConfig &config() const { return Config; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+  /// \returns the address of the first byte of the line containing \p Addr.
+  Address lineBase(Address Addr) const {
+    return Addr & ~(Config.LineBytes - 1);
+  }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  /// \returns (set index, tag) for \p Addr.
+  void split(Address Addr, uint32_t &SetIdx, uint64_t &Tag) const;
+
+  /// \returns a pointer to the matching way in \p SetIdx, or nullptr.
+  Way *findWay(uint32_t SetIdx, uint64_t Tag);
+  const Way *findWay(uint32_t SetIdx, uint64_t Tag) const;
+
+  CacheConfig Config;
+  uint32_t LineShift;
+  uint32_t SetMask;
+  std::vector<Way> Ways; // NumSets * Associativity, row-major by set.
+  uint64_t UseTick = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_MEMSIM_CACHE_H

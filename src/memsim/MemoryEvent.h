@@ -1,0 +1,58 @@
+//===-- memsim/MemoryEvent.h - Performance event kinds ---------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kinds of machine-level events the simulated performance monitoring
+/// unit can observe. The paper's P4 PEBS supports (among others) L1 and L2
+/// cache misses and DTLB misses, and can monitor exactly one event kind at a
+/// time; we model that set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_MEMSIM_MEMORYEVENT_H
+#define HPMVM_MEMSIM_MEMORYEVENT_H
+
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// Machine-level event kinds observable by the HPM unit.
+enum class HpmEventKind : uint8_t {
+  L1DMiss,  ///< L1 data cache miss (replay-tagged, PEBS-capable on the P4).
+  L2Miss,   ///< Unified L2 miss (goes to main memory).
+  DtlbMiss, ///< Data TLB miss (page walk).
+};
+
+inline const char *eventKindName(HpmEventKind Kind) {
+  switch (Kind) {
+  case HpmEventKind::L1DMiss:
+    return "L1D_MISS";
+  case HpmEventKind::L2Miss:
+    return "L2_MISS";
+  case HpmEventKind::DtlbMiss:
+    return "DTLB_MISS";
+  }
+  return "UNKNOWN";
+}
+
+/// Observer of memory-hierarchy events. The PEBS unit implements this to
+/// count/sample events; the hook carries the exact instruction address so
+/// precise event-based sampling can attribute the event to one instruction
+/// (the P4 PEBS property the whole paper builds on).
+class MemoryEventListener {
+public:
+  virtual ~MemoryEventListener() = default;
+
+  /// Called once per event occurrence. \p Pc is the simulated machine-code
+  /// address of the instruction performing the access; \p DataAddr the
+  /// faulting data address.
+  virtual void onMemoryEvent(HpmEventKind Kind, Address Pc,
+                             Address DataAddr) = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_MEMSIM_MEMORYEVENT_H

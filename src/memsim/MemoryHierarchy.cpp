@@ -1,0 +1,104 @@
+//===-- memsim/MemoryHierarchy.cpp ----------------------------------------===//
+
+#include "memsim/MemoryHierarchy.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &Config)
+    : Config(Config), L1(Config.L1), L2(Config.L2), Dtlb(Config.Dtlb) {
+  assert(Config.L1.LineBytes == Config.L2.LineBytes &&
+         "the model assumes a uniform line size across levels");
+}
+
+void MemoryHierarchy::accessLine(Address LineAddr, Address Pc,
+                                 AccessResult &Result) {
+  // TLB first: one translation per page touched. (A line never spans pages
+  // because line size divides page size.)
+  if (!Dtlb.access(LineAddr)) {
+    ++Result.TlbMisses;
+    ++Stats.TlbMisses;
+    Result.Penalty += Config.Latency.TlbMissPenalty;
+    if (Listener)
+      Listener->onMemoryEvent(HpmEventKind::DtlbMiss, Pc, LineAddr);
+  }
+
+  if (L1.access(LineAddr))
+    return;
+
+  ++Result.L1Misses;
+  ++Stats.L1Misses;
+  if (Listener)
+    Listener->onMemoryEvent(HpmEventKind::L1DMiss, Pc, LineAddr);
+
+  // Stream prefetcher: when L1 misses continue an ascending line stream,
+  // keep pulling the next line into L2 ahead of the demand accesses, so
+  // streaming workloads (compress, mpegaudio) are not dominated by memory
+  // latency -- as on the real P4. The stream stays alive across L2 hits
+  // (that is what makes it a *stream* prefetcher, not a miss predictor).
+  if (Config.StreamPrefetch) {
+    uint32_t LineBytes = Config.L2.LineBytes;
+    if (LineAddr == LastMissLine + LineBytes) {
+      if (L2.prefetch(LineAddr + LineBytes))
+        ++Stats.PrefetchFills;
+    }
+    LastMissLine = LineAddr;
+  }
+
+  if (L2.access(LineAddr)) {
+    Result.Penalty += Config.Latency.L2HitPenalty;
+    return;
+  }
+
+  ++Result.L2Misses;
+  ++Stats.L2Misses;
+  Result.Penalty += Config.Latency.MemoryPenalty;
+  if (Listener)
+    Listener->onMemoryEvent(HpmEventKind::L2Miss, Pc, LineAddr);
+}
+
+AccessResult MemoryHierarchy::access(Address Addr, uint32_t Size, bool IsWrite,
+                                     Address Pc) {
+  (void)IsWrite; // Write-allocate: reads and writes behave identically here.
+  assert(Size != 0 && "zero-sized access");
+  AccessResult Result;
+  ++Stats.Accesses;
+  uint32_t LineBytes = Config.L1.LineBytes;
+  Address First = L1.lineBase(Addr);
+  Address Last = L1.lineBase(Addr + Size - 1);
+  for (Address Line = First;; Line += LineBytes) {
+    accessLine(Line, Pc, Result);
+    if (Line == Last)
+      break;
+  }
+  return Result;
+}
+
+Cycles MemoryHierarchy::softwarePrefetch(Address Addr, Address Pc) {
+  (void)Pc; // Prefetches are not precise-sampled; kept for symmetry.
+  ++Stats.SwPrefetches;
+  Address Line = L1.lineBase(Addr);
+  Cycles Penalty = 0;
+  // The prefetch still translates its address.
+  Dtlb.access(Line);
+  if (L1.contains(Line))
+    return Penalty;
+  if (L2.contains(Line)) {
+    Penalty += Config.Latency.L2HitPenalty / 2;
+  } else {
+    Penalty += Config.Latency.MemoryPenalty / 2;
+    L2.prefetch(Line);
+  }
+  L1.prefetch(Line);
+  ++Stats.SwPrefetchFills;
+  return Penalty;
+}
+
+void MemoryHierarchy::reset() {
+  L1.flush();
+  L2.flush();
+  Dtlb.flush();
+  Stats = MemoryStats();
+  LastMissLine = 0;
+}

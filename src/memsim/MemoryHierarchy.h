@@ -1,0 +1,112 @@
+//===-- memsim/MemoryHierarchy.h - L1/L2/DTLB + cost model -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete simulated memory hierarchy the VM executes against: L1 data
+/// cache, unified L2, DTLB, an optional hardware stream prefetcher (the
+/// paper notes the P4 "includes hardware-based prefetching of data
+/// streams"), a cycle-cost model, and the event hook the PEBS unit attaches
+/// to. Every semantic heap access performed by the interpreter or by
+/// simulated optimized machine code goes through MemoryHierarchy::access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_MEMSIM_MEMORYHIERARCHY_H
+#define HPMVM_MEMSIM_MEMORYHIERARCHY_H
+
+#include "memsim/Cache.h"
+#include "memsim/MemoryEvent.h"
+#include "memsim/Tlb.h"
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// Latency model (cycles added on top of the instruction's base cost).
+struct LatencyConfig {
+  Cycles L2HitPenalty = 18;    ///< L1 miss that hits in L2.
+  Cycles MemoryPenalty = 200;  ///< L2 miss (main-memory access).
+  Cycles TlbMissPenalty = 30;  ///< Page-table walk.
+};
+
+/// Whole-hierarchy configuration.
+struct MemoryHierarchyConfig {
+  CacheConfig L1 = l1DefaultConfig();
+  CacheConfig L2 = l2DefaultConfig();
+  TlbConfig Dtlb = dtlbDefaultConfig();
+  LatencyConfig Latency;
+  /// Model the P4's hardware stream prefetcher: on an L2 demand miss that
+  /// continues an ascending line stride, the next line is prefetched into L2.
+  bool StreamPrefetch = true;
+};
+
+/// Outcome of one access (aggregated over the lines it touches).
+struct AccessResult {
+  Cycles Penalty = 0;
+  uint8_t L1Misses = 0;
+  uint8_t L2Misses = 0;
+  uint8_t TlbMisses = 0;
+};
+
+/// Aggregate counters (the "normal counting" mode of the P4 HPM: total event
+/// counts readable after execution).
+struct MemoryStats {
+  uint64_t Accesses = 0;
+  uint64_t L1Misses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t TlbMisses = 0;
+  uint64_t PrefetchFills = 0;   ///< Hardware stream-prefetch fills.
+  uint64_t SwPrefetches = 0;    ///< Software prefetches issued.
+  uint64_t SwPrefetchFills = 0; ///< ...that actually fetched a line.
+};
+
+/// L1 + L2 + DTLB with event notification and a cycle cost model.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const MemoryHierarchyConfig &Config = {});
+
+  /// Performs one data access of \p Size bytes at \p Addr issued by the
+  /// instruction at \p Pc. Accesses spanning line boundaries touch each line
+  /// (the common case is 1 line; object headers and small fields never span
+  /// more than 2). Fires one listener event per miss, tagged with \p Pc --
+  /// this is the "precise" in precise event-based sampling.
+  AccessResult access(Address Addr, uint32_t Size, bool IsWrite, Address Pc);
+
+  /// Issues a software prefetch for the line containing \p Addr (the
+  /// JIT-inserted prefetch instructions of the prefetch-injection
+  /// extension). Fills L1 and L2 without counting demand misses or firing
+  /// PEBS events; \returns the stall cycles charged at the prefetch point
+  /// (half the demand penalty: the fetch overlaps the short window before
+  /// first use).
+  Cycles softwarePrefetch(Address Addr, Address Pc);
+
+  /// Registers the event observer (the PEBS unit). Pass nullptr to detach.
+  void setListener(MemoryEventListener *L) { Listener = L; }
+
+  /// Empties caches and TLB and zeroes statistics.
+  void reset();
+
+  const MemoryStats &stats() const { return Stats; }
+  const MemoryHierarchyConfig &config() const { return Config; }
+  const Cache &l1() const { return L1; }
+  const Cache &l2() const { return L2; }
+  const Tlb &dtlb() const { return Dtlb; }
+
+private:
+  /// Accesses a single line; updates \p Result.
+  void accessLine(Address LineAddr, Address Pc, AccessResult &Result);
+
+  MemoryHierarchyConfig Config;
+  Cache L1;
+  Cache L2;
+  Tlb Dtlb;
+  MemoryEventListener *Listener = nullptr;
+  MemoryStats Stats;
+  Address LastMissLine = 0; ///< For the stream-prefetch heuristic.
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_MEMSIM_MEMORYHIERARCHY_H

@@ -1,0 +1,49 @@
+//===-- memsim/Tlb.cpp ----------------------------------------------------===//
+
+#include "memsim/Tlb.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+TlbConfig hpmvm::dtlbDefaultConfig() {
+  return TlbConfig{/*Entries=*/64, /*PageBytes=*/4096};
+}
+
+Tlb::Tlb(const TlbConfig &Config) : Config(Config) {
+  assert(Config.PageBytes != 0 &&
+         (Config.PageBytes & (Config.PageBytes - 1)) == 0 &&
+         "page size must be a power of two");
+  PageShift = 0;
+  for (uint32_t V = Config.PageBytes; V > 1; V >>= 1)
+    ++PageShift;
+  Entries.resize(Config.Entries);
+}
+
+bool Tlb::access(Address Addr) {
+  uint64_t Page = Addr >> PageShift;
+  ++UseTick;
+  Entry *Victim = &Entries[0];
+  for (Entry &E : Entries) {
+    if (E.Valid && E.Page == Page) {
+      E.LastUse = UseTick;
+      ++Hits;
+      return true;
+    }
+    if (!E.Valid)
+      Victim = &E;
+    else if (Victim->Valid && E.LastUse < Victim->LastUse)
+      Victim = &E;
+  }
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Page = Page;
+  Victim->LastUse = UseTick;
+  return false;
+}
+
+void Tlb::flush() {
+  for (Entry &E : Entries)
+    E.Valid = false;
+  UseTick = 0;
+}

@@ -1,0 +1,65 @@
+//===-- memsim/Tlb.h - Data TLB model ---------------------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fully-associative LRU data TLB (the P4 DTLB holds 64 entries for 4 KB
+/// pages). DTLB misses are one of the PEBS-selectable events the paper's
+/// infrastructure can monitor; the evaluation notes that driving
+/// co-allocation by TLB misses instead of L1 misses did not improve jbb.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_MEMSIM_TLB_H
+#define HPMVM_MEMSIM_TLB_H
+
+#include "support/Types.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+/// TLB geometry.
+struct TlbConfig {
+  uint32_t Entries;
+  uint32_t PageBytes;
+};
+
+/// The P4 DTLB: 64 entries, 4 KB pages, fully associative.
+TlbConfig dtlbDefaultConfig();
+
+/// Fully-associative LRU TLB.
+class Tlb {
+public:
+  explicit Tlb(const TlbConfig &Config);
+
+  /// Looks up the page containing \p Addr, filling on a miss.
+  /// \returns true on hit.
+  bool access(Address Addr);
+
+  void flush();
+
+  const TlbConfig &config() const { return Config; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  struct Entry {
+    uint64_t Page = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  TlbConfig Config;
+  uint32_t PageShift;
+  std::vector<Entry> Entries;
+  uint64_t UseTick = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_MEMSIM_TLB_H

@@ -1,0 +1,49 @@
+//===-- support/Format.cpp ------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+using namespace hpmvm;
+
+std::string hpmvm::formatStringV(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  assert(Needed >= 0 && "invalid format string");
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  // C++11 guarantees contiguous storage; +1 for the terminating NUL that
+  // vsnprintf writes into the reserved byte past size().
+  vsnprintf(Result.data(), static_cast<size_t>(Needed) + 1, Fmt, Args);
+  return Result;
+}
+
+std::string hpmvm::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Result = formatStringV(Fmt, Args);
+  va_end(Args);
+  return Result;
+}
+
+std::string hpmvm::withThousandsSep(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  size_t Lead = Digits.size() % 3;
+  if (Lead == 0)
+    Lead = 3;
+  for (size_t I = 0; I != Digits.size(); ++I) {
+    if (I != 0 && (I - Lead) % 3 == 0 && I >= Lead)
+      Result.push_back(',');
+    Result.push_back(Digits[I]);
+  }
+  return Result;
+}
+
+std::string hpmvm::asPercent(double Fraction) {
+  return formatString("%+.1f%%", Fraction * 100.0);
+}

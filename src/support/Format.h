@@ -1,0 +1,39 @@
+//===-- support/Format.h - printf-style std::string formatting -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers returning std::string, used instead
+/// of iostreams throughout the library (library code never includes
+/// <iostream>).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_FORMAT_H
+#define HPMVM_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace hpmvm {
+
+/// Formats \p Fmt with printf semantics into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatString.
+std::string formatStringV(const char *Fmt, va_list Args);
+
+/// Renders \p Value with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string withThousandsSep(uint64_t Value);
+
+/// Renders a ratio as a signed percentage with one decimal, e.g. 0.861 ->
+/// "-13.9%" when interpreted as new/old (pass Ratio-1 yourself); this simply
+/// formats \p Fraction*100 with a sign.
+std::string asPercent(double Fraction);
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_FORMAT_H

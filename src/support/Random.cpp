@@ -1,0 +1,36 @@
+//===-- support/Random.cpp ------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+uint64_t SplitMix64::next() {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t SplitMix64::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow(0) is meaningless");
+  // Rejection sampling to avoid modulo bias; the loop terminates with
+  // probability 1 and almost always on the first iteration.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+uint64_t SplitMix64::nextInRange(uint64_t Lo, uint64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  return Lo + nextBelow(Hi - Lo + 1);
+}
+
+double SplitMix64::nextDouble() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}

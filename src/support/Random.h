@@ -1,0 +1,64 @@
+//===-- support/Random.h - Deterministic pseudo-random numbers -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (SplitMix64) used everywhere randomness
+/// is needed: PEBS interval randomization (the paper randomizes the low 8
+/// bits of the sampling interval), workload data generation, and property
+/// tests. Determinism matters: every experiment must be reproducible from
+/// its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_RANDOM_H
+#define HPMVM_SUPPORT_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpmvm {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Cheap enough to sit on the PEBS
+/// event path.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// \returns the next 64 random bits.
+  uint64_t next();
+
+  /// \returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// \returns a uniform value in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi);
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Reseeds the generator.
+  void seed(uint64_t Seed) { State = Seed; }
+
+private:
+  uint64_t State;
+};
+
+/// Fisher-Yates shuffles \p Data[0..N) using \p Rng.
+template <typename T>
+void shuffle(T *Data, size_t N, SplitMix64 &Rng) {
+  if (N < 2)
+    return;
+  for (size_t I = N - 1; I != 0; --I) {
+    size_t J = static_cast<size_t>(Rng.nextBelow(I + 1));
+    T Tmp = Data[I];
+    Data[I] = Data[J];
+    Data[J] = Tmp;
+  }
+}
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_RANDOM_H

@@ -1,0 +1,56 @@
+//===-- support/Statistics.cpp --------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace hpmvm;
+
+void RunningStat::add(double X) {
+  ++N;
+  if (N == 1) {
+    Mean = Min = Max = X;
+    M2 = 0.0;
+    return;
+  }
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  if (X < Min)
+    Min = X;
+  if (X > Max)
+    Max = X;
+}
+
+double RunningStat::stddev() const {
+  if (N < 2)
+    return 0.0;
+  return std::sqrt(M2 / static_cast<double>(N - 1));
+}
+
+double MovingAverage::add(double X) {
+  assert(Window > 0 && "window must be positive");
+  if (Ring.size() < Window) {
+    Ring.push_back(X);
+    Sum += X;
+  } else {
+    size_t Slot = Count % Window;
+    Sum -= Ring[Slot];
+    Ring[Slot] = X;
+    Sum += X;
+  }
+  ++Count;
+  return value();
+}
+
+double hpmvm::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 1.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

@@ -1,0 +1,69 @@
+//===-- support/Statistics.h - Running stats & moving averages -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Numeric helpers used by the evaluation harness: Welford running
+/// mean/stddev (the paper reports execution-time averages over 3 runs with
+/// standard deviations) and the 3-period moving average the paper plots in
+/// Figure 7(b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_STATISTICS_H
+#define HPMVM_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace hpmvm {
+
+/// Online mean / standard deviation (Welford's algorithm).
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Sample standard deviation (divides by N-1); 0 for fewer than 2 points.
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Fixed-window moving average over the last \c Window values; used for the
+/// "moving average over the last 3 periods" trend lines of Figure 7(b).
+class MovingAverage {
+public:
+  explicit MovingAverage(size_t Window) : Window(Window) {}
+
+  /// Adds a value and returns the average over the last min(count, Window)
+  /// values.
+  double add(double X);
+
+  double value() const { return Count ? Sum / static_cast<double>(
+                                            Count < Window ? Count : Window)
+                                      : 0.0; }
+
+private:
+  size_t Window;
+  size_t Count = 0;
+  double Sum = 0.0;
+  std::vector<double> Ring;
+};
+
+/// \returns the geometric mean of \p Values; 1.0 for an empty vector.
+double geometricMean(const std::vector<double> &Values);
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_STATISTICS_H

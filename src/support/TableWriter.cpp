@@ -1,0 +1,78 @@
+//===-- support/TableWriter.cpp -------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+TableWriter::TableWriter(std::vector<std::string> Headers)
+    : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row/header arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::print(FILE *Out) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      if (Row[C].size() > Widths[C])
+        Widths[C] = Row[C].size();
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        fputs("  ", Out);
+      int W = static_cast<int>(Widths[C]);
+      // Left-align the first (label) column, right-align the rest.
+      if (C == 0)
+        fprintf(Out, "%-*s", W, Row[C].c_str());
+      else
+        fprintf(Out, "%*s", W, Row[C].c_str());
+    }
+    fputc('\n', Out);
+  };
+
+  PrintRow(Headers);
+  size_t Total = Headers.size() - 1;
+  for (size_t W : Widths)
+    Total += W + 1;
+  for (size_t I = 0; I != Total; ++I)
+    fputc('-', Out);
+  fputc('\n', Out);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void TableWriter::printCsv(FILE *Out) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        fputc(',', Out);
+      // Quote cells containing commas or quotes.
+      const std::string &Cell = Row[C];
+      if (Cell.find(',') != std::string::npos ||
+          Cell.find('"') != std::string::npos) {
+        fputc('"', Out);
+        for (char Ch : Cell) {
+          if (Ch == '"')
+            fputc('"', Out);
+          fputc(Ch, Out);
+        }
+        fputc('"', Out);
+      } else {
+        fputs(Cell.c_str(), Out);
+      }
+    }
+    fputc('\n', Out);
+  };
+  PrintRow(Headers);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

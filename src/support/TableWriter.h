@@ -1,0 +1,49 @@
+//===-- support/TableWriter.h - Aligned text & CSV tables ------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned plain-text table output (for the benchmark harness, which
+/// reprints the paper's tables/figures as rows) plus a CSV mirror so results
+/// can be plotted. Writes to a C FILE* (normally stdout); the library avoids
+/// <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_TABLEWRITER_H
+#define HPMVM_SUPPORT_TABLEWRITER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class TableWriter {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit TableWriter(std::vector<std::string> Headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Prints the table, column-aligned, to \p Out (default stdout). The first
+  /// column is left-aligned, the rest right-aligned (numeric convention).
+  void print(FILE *Out = stdout) const;
+
+  /// Writes the table as CSV to \p Out.
+  void printCsv(FILE *Out) const;
+
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_TABLEWRITER_H

@@ -1,0 +1,65 @@
+//===-- support/Types.h - Fundamental simulated-machine types --*- C++ -*-===//
+//
+// Part of the hpmvm project: a reproduction of "Online Optimizations Driven
+// by Hardware Performance Monitoring" (Schneider, Payer, Gross; PLDI 2007).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fundamental integer types of the simulated 32-bit machine (the paper's
+/// platform is a 32-bit Pentium 4) plus the virtual cycle type shared by the
+/// memory-hierarchy, HPM, and VM cost models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_TYPES_H
+#define HPMVM_SUPPORT_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpmvm {
+
+/// A simulated 32-bit virtual address (the P4 is a 32-bit machine).
+using Address = uint32_t;
+
+/// A count of simulated CPU cycles. The nominal clock is 3 GHz (see
+/// VirtualClock), matching the paper's experimental platform.
+using Cycles = uint64_t;
+
+/// Identifier of a VM class (type). Index into the ClassRegistry.
+using ClassId = uint32_t;
+
+/// Identifier of a field within the global field table. Reference fields get
+/// miss counters attached to this id (the paper's "per-reference event
+/// count").
+using FieldId = uint32_t;
+
+/// Identifier of a VM method.
+using MethodId = uint32_t;
+
+/// Sentinel for "no class" / "no field" / "no method".
+inline constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/// Null simulated reference.
+inline constexpr Address kNullRef = 0;
+
+/// The simulated machine's word size in bytes (32-bit words).
+inline constexpr uint32_t kWordBytes = 4;
+
+/// Object alignment in the simulated heap.
+inline constexpr uint32_t kObjectAlign = 8;
+
+/// Align \p Value up to the next multiple of \p Align (a power of two).
+constexpr uint32_t alignUp(uint32_t Value, uint32_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// \returns true if \p Value is aligned to \p Align (a power of two).
+constexpr bool isAligned(uint32_t Value, uint32_t Align) {
+  return (Value & (Align - 1)) == 0;
+}
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_TYPES_H

@@ -1,0 +1,17 @@
+//===-- support/VirtualClock.cpp ------------------------------------------===//
+//
+// VirtualClock is header-only; this file exists so the support library has a
+// translation unit anchoring the module and to static_assert platform
+// assumptions in exactly one place.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/VirtualClock.h"
+
+namespace hpmvm {
+
+static_assert(sizeof(Address) == 4, "the simulated machine is 32-bit");
+static_assert(VirtualClock::kHz == 3000000000ull,
+              "cost-model constants are calibrated for a 3 GHz clock");
+
+} // namespace hpmvm

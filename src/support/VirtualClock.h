@@ -1,0 +1,55 @@
+//===-- support/VirtualClock.h - Deterministic cycle clock -----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated machine's cycle counter. All components (VM execution,
+/// memory-hierarchy penalties, GC work, PEBS microcode, the sample-collector
+/// "thread") advance this single clock, so runs are fully deterministic and
+/// "execution time" is a reproducible quantity. The nominal frequency is
+/// 3 GHz, matching the paper's 3 GHz Pentium 4, so cycle counts convert to
+/// virtual seconds for the 10-1000 ms polling interval and the samples/sec
+/// auto-interval target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_VIRTUALCLOCK_H
+#define HPMVM_SUPPORT_VIRTUALCLOCK_H
+
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// Deterministic cycle counter with a fixed nominal frequency.
+class VirtualClock {
+public:
+  /// Nominal CPU frequency: 3 GHz, as in the paper's experimental platform.
+  static constexpr uint64_t kHz = 3000000000ull;
+
+  Cycles now() const { return Now; }
+
+  /// Advances the clock by \p Delta cycles.
+  void advance(Cycles Delta) { Now += Delta; }
+
+  /// Resets the clock to zero (for back-to-back experiments).
+  void reset() { Now = 0; }
+
+  /// Converts cycles to virtual seconds at the nominal frequency.
+  static double toSeconds(Cycles C) {
+    return static_cast<double>(C) / static_cast<double>(kHz);
+  }
+
+  /// Converts virtual milliseconds to cycles at the nominal frequency.
+  static Cycles fromMillis(double Ms) {
+    return static_cast<Cycles>(Ms * 1e-3 * static_cast<double>(kHz));
+  }
+
+private:
+  Cycles Now = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_VIRTUALCLOCK_H

@@ -1,0 +1,84 @@
+//===-- vm/AdaptiveOptimizationSystem.cpp ---------------------------------===//
+
+#include "vm/AdaptiveOptimizationSystem.h"
+
+#include "vm/OptCompiler.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+AdaptiveOptimizationSystem::AdaptiveOptimizationSystem(VirtualMachine &Vm,
+                                                       const AosConfig &Config)
+    : Vm(Vm), Config(Config) {
+  NextTimerSampleAt =
+      Vm.clock().now() + VirtualClock::fromMillis(Config.TimerSampleMs);
+}
+
+void AdaptiveOptimizationSystem::setConfig(const AosConfig &C) {
+  Config = C;
+  NextTimerSampleAt =
+      Vm.clock().now() + VirtualClock::fromMillis(Config.TimerSampleMs);
+}
+
+bool AdaptiveOptimizationSystem::shouldCompile(const Method &M) const {
+  if (!Config.Enabled || M.isOptCompiled() || M.Code.empty())
+    return false;
+  return M.Invocations >= Config.HotInvocationThreshold ||
+         M.BackEdges >= Config.HotBackEdgeThreshold;
+}
+
+void AdaptiveOptimizationSystem::onInvoke(Method &M) {
+  if (shouldCompile(M))
+    compileNow(M);
+}
+
+void AdaptiveOptimizationSystem::onBackEdge(Method &M) {
+  // A long-running loop makes the method hot even with few invocations; the
+  // newly compiled code takes effect at the *next* invocation (we do not
+  // model on-stack replacement).
+  if (shouldCompile(M))
+    compileNow(M);
+}
+
+void AdaptiveOptimizationSystem::onSafepoint(MethodId Current) {
+  Cycles Now = Vm.clock().now();
+  if (Now < NextTimerSampleAt)
+    return;
+  NextTimerSampleAt = Now + VirtualClock::fromMillis(Config.TimerSampleMs);
+  if (Current == kInvalidId)
+    return;
+  ++TimerSamples;
+  if (SamplesPerMethod.size() <= Current)
+    SamplesPerMethod.resize(Current + 1, 0);
+  ++SamplesPerMethod[Current];
+}
+
+uint64_t AdaptiveOptimizationSystem::timerSamplesOf(MethodId Id) const {
+  return Id < SamplesPerMethod.size() ? SamplesPerMethod[Id] : 0;
+}
+
+void AdaptiveOptimizationSystem::compileNow(Method &M) {
+  if (M.isOptCompiled() || M.Code.empty())
+    return;
+  MachineFunction F = OptCompiler::compile(M, Vm.classes(), Vm.methods(),
+                                           Vm.globalKinds());
+  // Charge the compile time to the virtual clock, as a real JIT would steal
+  // mutator time (Jikes compiles on the application thread by default).
+  Cycles Cost = static_cast<Cycles>(M.Code.size()) * kCompileCyclesPerBytecode;
+  Vm.clock().advance(Cost);
+  Vm.stats().CompileCycles += Cost;
+  Vm.installCompiledCode(M, std::move(F));
+}
+
+void AdaptiveOptimizationSystem::applyCompilationPlan(
+    const std::vector<std::string> &MethodNames) {
+  // Pseudo-adaptive mode: compile exactly the plan, then freeze.
+  for (const std::string &Name : MethodNames) {
+    MethodId Id = Vm.findMethod(Name);
+    assert(Id != kInvalidId && "compilation plan names an unknown method");
+    compileNow(Vm.method(Id));
+  }
+  Config.Enabled = false;
+}

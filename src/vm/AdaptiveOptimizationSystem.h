@@ -1,0 +1,85 @@
+//===-- vm/AdaptiveOptimizationSystem.h - AOS -------------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive optimization system, after Jikes' AOS: methods start
+/// baseline; invocation/back-edge counters plus timer-based call-stack
+/// sampling identify hot methods, which are recompiled with the optimizing
+/// compiler (cost charged to the virtual clock).
+///
+/// The paper evaluates with a *pseudo-adaptive* configuration: "Each
+/// program runs with a pre-generated compilation plan. This ensures that
+/// the compiler optimizes exactly the same methods and the variations due
+/// to the adaptive optimization system are minimized." applyCompilationPlan
+/// implements that mode and disables online recompilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_ADAPTIVEOPTIMIZATIONSYSTEM_H
+#define HPMVM_VM_ADAPTIVEOPTIMIZATIONSYSTEM_H
+
+#include "support/Types.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// AOS policy parameters.
+struct AosConfig {
+  bool Enabled = true;
+  uint64_t HotInvocationThreshold = 32;
+  uint64_t HotBackEdgeThreshold = 2048;
+  /// Period of timer-based call-stack sampling, virtual milliseconds.
+  double TimerSampleMs = 10.0;
+};
+
+/// Tracks hotness and drives recompilation.
+class AdaptiveOptimizationSystem {
+public:
+  AdaptiveOptimizationSystem(VirtualMachine &Vm, const AosConfig &Config = {});
+
+  /// Replaces the policy; re-arms the sampling timer under the new period.
+  void setConfig(const AosConfig &C);
+  const AosConfig &config() const { return Config; }
+
+  /// Called on every invocation (before dispatch); may opt-compile \p M.
+  void onInvoke(Method &M);
+
+  /// Called on every loop back-edge executed in baseline code.
+  void onBackEdge(Method &M);
+
+  /// Called from VM safepoints; performs timer-based sampling of the
+  /// currently executing method (top of stack), as Jikes does to estimate
+  /// method execution frequency.
+  void onSafepoint(MethodId Current);
+
+  /// Pseudo-adaptive mode: opt-compiles exactly the named methods now and
+  /// disables adaptive recompilation.
+  void applyCompilationPlan(const std::vector<std::string> &MethodNames);
+
+  /// Opt-compiles \p M immediately (idempotent).
+  void compileNow(Method &M);
+
+  uint64_t timerSamples() const { return TimerSamples; }
+  uint64_t timerSamplesOf(MethodId Id) const;
+
+private:
+  bool shouldCompile(const Method &M) const;
+
+  VirtualMachine &Vm;
+  AosConfig Config;
+  Cycles NextTimerSampleAt = 0;
+  uint64_t TimerSamples = 0;
+  std::vector<uint64_t> SamplesPerMethod;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_ADAPTIVEOPTIMIZATIONSYSTEM_H

@@ -1,0 +1,367 @@
+//===-- vm/Bytecode.cpp - opName and the bytecode verifier ----------------===//
+
+#include "vm/Bytecode.h"
+
+#include "support/Format.h"
+#include "vm/ClassRegistry.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace hpmvm;
+
+const char *hpmvm::opName(Op O) {
+  switch (O) {
+  case Op::IConst:   return "iconst";
+  case Op::AConstNull: return "aconst_null";
+  case Op::ILoad:    return "iload";
+  case Op::IStore:   return "istore";
+  case Op::ALoad:    return "aload";
+  case Op::AStore:   return "astore";
+  case Op::IInc:     return "iinc";
+  case Op::IAdd:     return "iadd";
+  case Op::ISub:     return "isub";
+  case Op::IMul:     return "imul";
+  case Op::IDiv:     return "idiv";
+  case Op::IRem:     return "irem";
+  case Op::IAnd:     return "iand";
+  case Op::IOr:      return "ior";
+  case Op::IXor:     return "ixor";
+  case Op::IShl:     return "ishl";
+  case Op::IShr:     return "ishr";
+  case Op::INeg:     return "ineg";
+  case Op::Goto:     return "goto";
+  case Op::IfICmp:   return "if_icmp";
+  case Op::IfZ:      return "ifz";
+  case Op::IfNull:   return "ifnull";
+  case Op::IfNonNull:return "ifnonnull";
+  case Op::New:      return "new";
+  case Op::NewArray: return "newarray";
+  case Op::GetField: return "getfield";
+  case Op::PutField: return "putfield";
+  case Op::ALoadI:   return "aload_i";
+  case Op::AStoreI:  return "astore_i";
+  case Op::ALoadR:   return "aload_r";
+  case Op::AStoreR:  return "astore_r";
+  case Op::ArrayLen: return "arraylen";
+  case Op::GGet:     return "gget";
+  case Op::GPut:     return "gput";
+  case Op::Call:     return "call";
+  case Op::Ret:      return "ret";
+  case Op::IRet:     return "iret";
+  case Op::ARet:     return "aret";
+  case Op::Pop:      return "pop";
+  case Op::Dup:      return "dup";
+  case Op::Rand:     return "rand";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-local abstract type: None (never written), a concrete kind, or
+/// Conflict (different kinds on different paths; reads are rejected).
+enum class LKind : uint8_t { None, Int, Ref, Conflict };
+
+LKind toLKind(ValKind K) {
+  return K == ValKind::Int ? LKind::Int : LKind::Ref;
+}
+
+/// Abstract state at one program point.
+struct AbsState {
+  std::vector<ValKind> Stack;
+  std::vector<LKind> Locals;
+
+  bool operator==(const AbsState &O) const = default;
+};
+
+/// Merges \p In into \p Cur. \returns false on a stack mismatch (fatal),
+/// true otherwise; sets \p Changed when Cur grew.
+bool mergeInto(AbsState &Cur, const AbsState &In, bool &Changed) {
+  if (Cur.Stack != In.Stack)
+    return false;
+  for (size_t I = 0; I != Cur.Locals.size(); ++I) {
+    LKind &C = Cur.Locals[I];
+    LKind N = In.Locals[I];
+    if (C == N)
+      continue;
+    LKind Merged = (C == LKind::None) ? N
+                   : (N == LKind::None) ? C
+                                        : LKind::Conflict;
+    if (Merged != C) {
+      C = Merged;
+      Changed = true;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+std::string hpmvm::verifyMethod(const Method &M,
+                                const std::vector<Method> &AllMethods,
+                                const ClassRegistry &Classes,
+                                const std::vector<ValKind> &GlobalKinds) {
+  auto Err = [&](uint32_t Pc, const std::string &Msg) {
+    return formatString("%s@%u: %s", M.Name.c_str(), Pc, Msg.c_str());
+  };
+
+  if (M.NumParams != M.ParamKinds.size())
+    return M.Name + ": NumParams disagrees with ParamKinds";
+  if (M.NumLocals < M.NumParams)
+    return M.Name + ": fewer locals than parameters";
+  if (M.Code.empty())
+    return M.Name + ": empty body";
+
+  const uint32_t N = static_cast<uint32_t>(M.Code.size());
+
+  // Entry state: parameters typed, other locals untouched.
+  AbsState Entry;
+  Entry.Locals.assign(M.NumLocals, LKind::None);
+  for (uint32_t I = 0; I != M.NumParams; ++I)
+    Entry.Locals[I] = toLKind(M.ParamKinds[I]);
+
+  std::vector<std::optional<AbsState>> InStates(N);
+  InStates[0] = Entry;
+  std::vector<uint32_t> Worklist = {0};
+
+  auto Flow = [&](uint32_t To, const AbsState &S) -> std::string {
+    if (To >= N)
+      return formatString("%s: branch/fallthrough to %u out of range",
+                          M.Name.c_str(), To);
+    if (!InStates[To]) {
+      InStates[To] = S;
+      Worklist.push_back(To);
+      return "";
+    }
+    bool Changed = false;
+    if (!mergeInto(*InStates[To], S, Changed))
+      return formatString("%s@%u: stack shape mismatch at merge",
+                          M.Name.c_str(), To);
+    if (Changed)
+      Worklist.push_back(To);
+    return "";
+  };
+
+  while (!Worklist.empty()) {
+    uint32_t Pc = Worklist.back();
+    Worklist.pop_back();
+    AbsState S = *InStates[Pc];
+    const Insn &I = M.Code[Pc];
+
+    auto Pop = [&](ValKind Want, const char *What) -> std::string {
+      if (S.Stack.empty())
+        return Err(Pc, formatString("stack underflow popping %s", What));
+      ValKind Got = S.Stack.back();
+      S.Stack.pop_back();
+      if (Got != Want)
+        return Err(Pc, formatString("expected %s operand for %s",
+                                    Want == ValKind::Int ? "int" : "ref",
+                                    What));
+      return "";
+    };
+    auto Push = [&](ValKind K) { S.Stack.push_back(K); };
+
+    bool FallsThrough = true;
+    std::string E;
+    switch (I.Opcode) {
+    case Op::IConst:
+      Push(ValKind::Int);
+      break;
+    case Op::AConstNull:
+      Push(ValKind::Ref);
+      break;
+    case Op::ILoad:
+    case Op::ALoad: {
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= M.NumLocals)
+        return Err(Pc, "local index out of range");
+      LKind K = S.Locals[I.A];
+      LKind Want = I.Opcode == Op::ILoad ? LKind::Int : LKind::Ref;
+      if (K != Want)
+        return Err(Pc, K == LKind::None ? "read of uninitialized local"
+                                        : "local type mismatch");
+      Push(I.Opcode == Op::ILoad ? ValKind::Int : ValKind::Ref);
+      break;
+    }
+    case Op::IStore:
+    case Op::AStore: {
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= M.NumLocals)
+        return Err(Pc, "local index out of range");
+      ValKind Want = I.Opcode == Op::IStore ? ValKind::Int : ValKind::Ref;
+      if (!(E = Pop(Want, "store")).empty())
+        return E;
+      S.Locals[I.A] = toLKind(Want);
+      break;
+    }
+    case Op::IInc:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= M.NumLocals)
+        return Err(Pc, "local index out of range");
+      if (S.Locals[I.A] != LKind::Int)
+        return Err(Pc, "iinc of a non-int local");
+      break;
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv:
+    case Op::IRem: case Op::IAnd: case Op::IOr: case Op::IXor:
+    case Op::IShl: case Op::IShr:
+      if (!(E = Pop(ValKind::Int, "arithmetic rhs")).empty())
+        return E;
+      if (!(E = Pop(ValKind::Int, "arithmetic lhs")).empty())
+        return E;
+      Push(ValKind::Int);
+      break;
+    case Op::INeg:
+      if (!(E = Pop(ValKind::Int, "negation")).empty())
+        return E;
+      Push(ValKind::Int);
+      break;
+    case Op::Goto:
+      if (!(E = Flow(static_cast<uint32_t>(I.B), S)).empty())
+        return E;
+      FallsThrough = false;
+      break;
+    case Op::IfICmp:
+      if (!(E = Pop(ValKind::Int, "compare rhs")).empty())
+        return E;
+      if (!(E = Pop(ValKind::Int, "compare lhs")).empty())
+        return E;
+      if (!(E = Flow(static_cast<uint32_t>(I.B), S)).empty())
+        return E;
+      break;
+    case Op::IfZ:
+      if (!(E = Pop(ValKind::Int, "zero compare")).empty())
+        return E;
+      if (!(E = Flow(static_cast<uint32_t>(I.B), S)).empty())
+        return E;
+      break;
+    case Op::IfNull:
+    case Op::IfNonNull:
+      if (!(E = Pop(ValKind::Ref, "null test")).empty())
+        return E;
+      if (!(E = Flow(static_cast<uint32_t>(I.B), S)).empty())
+        return E;
+      break;
+    case Op::New:
+      if (I.A < 0 || static_cast<size_t>(I.A) >= Classes.numClasses())
+        return Err(Pc, "unknown class");
+      if (Classes.heapClasses().desc(I.A).isArray())
+        return Err(Pc, "New of an array class (use NewArray)");
+      Push(ValKind::Ref);
+      break;
+    case Op::NewArray:
+      if (I.A < 0 || static_cast<size_t>(I.A) >= Classes.numClasses())
+        return Err(Pc, "unknown class");
+      if (!Classes.heapClasses().desc(I.A).isArray())
+        return Err(Pc, "NewArray of a scalar class");
+      if (!(E = Pop(ValKind::Int, "array length")).empty())
+        return E;
+      Push(ValKind::Ref);
+      break;
+    case Op::GetField: {
+      if (I.A < 0 || static_cast<size_t>(I.A) >= Classes.numFields())
+        return Err(Pc, "unknown field");
+      if (!(E = Pop(ValKind::Ref, "getfield receiver")).empty())
+        return E;
+      Push(Classes.field(I.A).IsRef ? ValKind::Ref : ValKind::Int);
+      break;
+    }
+    case Op::PutField: {
+      if (I.A < 0 || static_cast<size_t>(I.A) >= Classes.numFields())
+        return Err(Pc, "unknown field");
+      ValKind VK = Classes.field(I.A).IsRef ? ValKind::Ref : ValKind::Int;
+      if (!(E = Pop(VK, "putfield value")).empty())
+        return E;
+      if (!(E = Pop(ValKind::Ref, "putfield receiver")).empty())
+        return E;
+      break;
+    }
+    case Op::ALoadI:
+    case Op::ALoadR:
+      if (!(E = Pop(ValKind::Int, "array index")).empty())
+        return E;
+      if (!(E = Pop(ValKind::Ref, "array ref")).empty())
+        return E;
+      Push(I.Opcode == Op::ALoadI ? ValKind::Int : ValKind::Ref);
+      break;
+    case Op::AStoreI:
+    case Op::AStoreR:
+      if (!(E = Pop(I.Opcode == Op::AStoreI ? ValKind::Int : ValKind::Ref,
+                    "array store value")).empty())
+        return E;
+      if (!(E = Pop(ValKind::Int, "array index")).empty())
+        return E;
+      if (!(E = Pop(ValKind::Ref, "array ref")).empty())
+        return E;
+      break;
+    case Op::ArrayLen:
+      if (!(E = Pop(ValKind::Ref, "arraylen")).empty())
+        return E;
+      Push(ValKind::Int);
+      break;
+    case Op::GGet:
+      if (I.A < 0 || static_cast<size_t>(I.A) >= GlobalKinds.size())
+        return Err(Pc, "unknown global");
+      Push(GlobalKinds[I.A]);
+      break;
+    case Op::GPut:
+      if (I.A < 0 || static_cast<size_t>(I.A) >= GlobalKinds.size())
+        return Err(Pc, "unknown global");
+      if (!(E = Pop(GlobalKinds[I.A], "gput value")).empty())
+        return E;
+      break;
+    case Op::Call: {
+      if (I.A < 0 || static_cast<size_t>(I.A) >= AllMethods.size())
+        return Err(Pc, "unknown callee");
+      const Method &Callee = AllMethods[I.A];
+      for (uint32_t P = Callee.NumParams; P != 0; --P)
+        if (!(E = Pop(Callee.ParamKinds[P - 1], "call argument")).empty())
+          return E;
+      if (Callee.Return == RetKind::Int)
+        Push(ValKind::Int);
+      else if (Callee.Return == RetKind::Ref)
+        Push(ValKind::Ref);
+      break;
+    }
+    case Op::Ret:
+      if (M.Return != RetKind::Void)
+        return Err(Pc, "void return from a non-void method");
+      FallsThrough = false;
+      break;
+    case Op::IRet:
+      if (M.Return != RetKind::Int)
+        return Err(Pc, "int return from a non-int method");
+      if (!(E = Pop(ValKind::Int, "return value")).empty())
+        return E;
+      FallsThrough = false;
+      break;
+    case Op::ARet:
+      if (M.Return != RetKind::Ref)
+        return Err(Pc, "ref return from a non-ref method");
+      if (!(E = Pop(ValKind::Ref, "return value")).empty())
+        return E;
+      FallsThrough = false;
+      break;
+    case Op::Pop:
+      if (S.Stack.empty())
+        return Err(Pc, "stack underflow on pop");
+      S.Stack.pop_back();
+      break;
+    case Op::Dup:
+      if (S.Stack.empty())
+        return Err(Pc, "stack underflow on dup");
+      Push(S.Stack.back());
+      break;
+    case Op::Rand:
+      if (!(E = Pop(ValKind::Int, "rand bound")).empty())
+        return E;
+      Push(ValKind::Int);
+      break;
+    }
+
+    if (FallsThrough) {
+      if (Pc + 1 == N)
+        return Err(Pc, "control falls off the end of the method");
+      if (!(E = Flow(Pc + 1, S)).empty())
+        return E;
+    }
+  }
+  return "";
+}

@@ -1,0 +1,136 @@
+//===-- vm/Bytecode.h - The stack bytecode ISA ------------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Java-flavoured stack bytecode: 32-bit int and reference values,
+/// locals, an operand stack, field/array access, allocation, calls, and
+/// structured conditionals. Workload programs are written in this bytecode
+/// (via BytecodeBuilder), executed by the baseline Interpreter, and lowered
+/// by the OptCompiler into the machine IR the monitoring system attributes
+/// samples to.
+///
+/// The ISA deliberately mirrors the paper's Figure 1 example: an access
+/// path expression `p.y.i` compiles to `ALoad p; GetField y; GetField i`,
+/// and the interest analysis recovers the (instruction, field) pair
+/// (I3, A::y) from the lowered form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_BYTECODE_H
+#define HPMVM_VM_BYTECODE_H
+
+#include "support/Types.h"
+
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// Bytecode opcodes.
+enum class Op : uint8_t {
+  // Constants and locals.
+  IConst,   ///< push int A
+  AConstNull, ///< push null reference
+  ILoad,    ///< push int local A
+  IStore,   ///< pop int into local A
+  ALoad,    ///< push ref local A
+  AStore,   ///< pop ref into local A
+  IInc,     ///< local A += B (no stack traffic)
+
+  // Arithmetic / logic (pop 2 ints, push int; Neg pops 1).
+  IAdd, ISub, IMul, IDiv, IRem, IAnd, IOr, IXor, IShl, IShr, INeg,
+
+  // Control flow. A = CondKind for conditional forms, B = target index.
+  Goto,     ///< jump to B
+  IfICmp,   ///< pop int b, int a; jump to B if a <cond:A> b
+  IfZ,      ///< pop int a; jump to B if a <cond:A> 0
+  IfNull,   ///< pop ref; jump to B if null
+  IfNonNull,///< pop ref; jump to B if non-null
+
+  // Heap access.
+  New,      ///< push new instance of class A
+  NewArray, ///< pop length; push new array of class A
+  GetField, ///< pop ref; push field A (int or ref per field type)
+  PutField, ///< pop value, ref; store into field A
+  ALoadI,   ///< pop index, arrayref; push int element (I8/I16/I32/I64 low)
+  AStoreI,  ///< pop int value, index, arrayref
+  ALoadR,   ///< pop index, arrayref; push ref element
+  AStoreR,  ///< pop ref value, index, arrayref
+  ArrayLen, ///< pop arrayref; push length
+
+  // Globals (VM-level root slots, registered with isRef).
+  GGet,     ///< push global A
+  GPut,     ///< pop into global A
+
+  // Calls and returns. A = MethodId.
+  Call,     ///< pop args (right to left); push return value if non-void
+  Ret,      ///< return void
+  IRet,     ///< return int
+  ARet,     ///< return ref
+
+  // Misc.
+  Pop,      ///< discard top of stack
+  Dup,      ///< duplicate top of stack
+  Rand,     ///< pop int bound; push uniform [0, bound)
+};
+
+const char *opName(Op O);
+
+/// Comparison kinds for IfICmp / IfZ.
+enum class CondKind : uint8_t { Eq, Ne, Lt, Ge, Gt, Le };
+
+/// One bytecode instruction. A and B are operand fields whose meaning
+/// depends on the opcode (see Op).
+struct Insn {
+  Op Opcode;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+/// Return kind of a method.
+enum class RetKind : uint8_t { Void, Int, Ref };
+
+/// Static type of a stack slot / local / global.
+enum class ValKind : uint8_t { Int, Ref };
+
+/// A method: bytecode plus signature and compile-state metadata filled in
+/// by the VM as it runs.
+struct Method {
+  std::string Name;
+  MethodId Id = kInvalidId;
+  uint32_t NumParams = 0;
+  std::vector<ValKind> ParamKinds;
+  RetKind Return = RetKind::Void;
+  uint32_t NumLocals = 0; ///< Including parameters.
+  std::vector<Insn> Code;
+  /// VM-internal methods are resolvable but excluded from optimization
+  /// (the paper monitors events in application classes only).
+  bool IsVmInternal = false;
+
+  // --- filled by the VM ---
+  uint64_t Invocations = 0;
+  uint64_t BackEdges = 0;
+  Address BaselineCodeBase = 0; ///< Baseline "machine code" start address.
+  uint32_t OptIndex = kInvalidId; ///< Index of compiled code, if opt-compiled.
+
+  bool isOptCompiled() const { return OptIndex != kInvalidId; }
+};
+
+class ClassRegistry;
+
+/// Bytecode verifier: simulates types and stack depth along all paths.
+/// \returns the empty string if \p M is well-formed, else a diagnostic.
+/// Checks: operand stack discipline, local/global index bounds, branch
+/// targets, type agreement at merges, field/class operand validity,
+/// signature conformance of calls and returns.
+std::string verifyMethod(const Method &M,
+                         const std::vector<Method> &AllMethods,
+                         const ClassRegistry &Classes,
+                         const std::vector<ValKind> &GlobalKinds);
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_BYTECODE_H

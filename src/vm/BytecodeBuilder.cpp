@@ -1,0 +1,61 @@
+//===-- vm/BytecodeBuilder.cpp --------------------------------------------===//
+
+#include "vm/BytecodeBuilder.h"
+
+using namespace hpmvm;
+
+BytecodeBuilder::BytecodeBuilder(std::string Name) { M.Name = std::move(Name); }
+
+uint32_t BytecodeBuilder::addParam(ValKind Kind) {
+  assert(M.NumLocals == M.NumParams &&
+         "declare all parameters before allocating locals");
+  M.ParamKinds.push_back(Kind);
+  ++M.NumParams;
+  return M.NumLocals++;
+}
+
+uint32_t BytecodeBuilder::newLocal() { return M.NumLocals++; }
+
+BytecodeBuilder &BytecodeBuilder::returns(RetKind Kind) {
+  M.Return = Kind;
+  return *this;
+}
+
+BytecodeBuilder &BytecodeBuilder::vmInternal() {
+  M.IsVmInternal = true;
+  return *this;
+}
+
+Label BytecodeBuilder::label() {
+  LabelPos.push_back(-1);
+  return Label{static_cast<uint32_t>(LabelPos.size() - 1)};
+}
+
+BytecodeBuilder &BytecodeBuilder::bind(Label L) {
+  assert(L.Id < LabelPos.size() && "binding an unknown label");
+  assert(LabelPos[L.Id] < 0 && "label bound twice");
+  LabelPos[L.Id] = static_cast<int32_t>(M.Code.size());
+  return *this;
+}
+
+BytecodeBuilder &BytecodeBuilder::emit(Op O, int32_t A, int32_t B) {
+  assert(!Built && "builder reused after build()");
+  M.Code.push_back(Insn{O, A, B});
+  return *this;
+}
+
+BytecodeBuilder &BytecodeBuilder::emitBranch(Op O, int32_t A, Label L) {
+  assert(L.Id < LabelPos.size() && "branch to an unknown label");
+  Fixups.emplace_back(static_cast<uint32_t>(M.Code.size()), L.Id);
+  return emit(O, A, /*B=*/-1);
+}
+
+Method BytecodeBuilder::build() {
+  assert(!Built && "build() called twice");
+  Built = true;
+  for (auto [InsnIdx, LabelId] : Fixups) {
+    assert(LabelPos[LabelId] >= 0 && "branch to an unbound label");
+    M.Code[InsnIdx].B = LabelPos[LabelId];
+  }
+  return std::move(M);
+}

@@ -1,0 +1,139 @@
+//===-- vm/BytecodeBuilder.h - Fluent bytecode assembly --------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for Method bodies with labels and forward-reference
+/// patching. All workload programs (src/workloads) and most VM tests are
+/// written against this API.
+///
+/// \code
+///   BytecodeBuilder B("sum");
+///   uint32_t N = B.addParam(ValKind::Int);
+///   uint32_t Acc = B.newLocal(), I = B.newLocal();
+///   B.returns(RetKind::Int);
+///   B.iconst(0).istore(Acc).iconst(0).istore(I);
+///   Label Loop = B.label(), Done = B.label();
+///   B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+///   B.iload(Acc).iload(I).iadd().istore(Acc).iinc(I, 1).jump(Loop);
+///   B.bind(Done).iload(Acc).iret();
+///   Method M = B.build();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_BYTECODEBUILDER_H
+#define HPMVM_VM_BYTECODEBUILDER_H
+
+#include "vm/Bytecode.h"
+
+#include <cassert>
+
+namespace hpmvm {
+
+/// An abstract jump target; create with BytecodeBuilder::label(), place
+/// with bind(), reference from branch emitters.
+struct Label {
+  uint32_t Id = kInvalidId;
+};
+
+/// Assembles one Method.
+class BytecodeBuilder {
+public:
+  explicit BytecodeBuilder(std::string Name);
+
+  /// Declares the next parameter; \returns its local index.
+  uint32_t addParam(ValKind Kind);
+  /// Reserves a non-parameter local; \returns its index.
+  uint32_t newLocal();
+  BytecodeBuilder &returns(RetKind Kind);
+  /// Marks the method as VM-internal (excluded from optimization).
+  BytecodeBuilder &vmInternal();
+
+  Label label();
+  BytecodeBuilder &bind(Label L);
+
+  // Constants, locals, arithmetic.
+  BytecodeBuilder &iconst(int32_t V) { return emit(Op::IConst, V); }
+  BytecodeBuilder &aconstNull() { return emit(Op::AConstNull); }
+  BytecodeBuilder &iload(uint32_t L) { return emit(Op::ILoad, (int32_t)L); }
+  BytecodeBuilder &istore(uint32_t L) { return emit(Op::IStore, (int32_t)L); }
+  BytecodeBuilder &aload(uint32_t L) { return emit(Op::ALoad, (int32_t)L); }
+  BytecodeBuilder &astore(uint32_t L) { return emit(Op::AStore, (int32_t)L); }
+  BytecodeBuilder &iinc(uint32_t L, int32_t D) {
+    return emit(Op::IInc, (int32_t)L, D);
+  }
+  BytecodeBuilder &iadd() { return emit(Op::IAdd); }
+  BytecodeBuilder &isub() { return emit(Op::ISub); }
+  BytecodeBuilder &imul() { return emit(Op::IMul); }
+  BytecodeBuilder &idiv() { return emit(Op::IDiv); }
+  BytecodeBuilder &irem() { return emit(Op::IRem); }
+  BytecodeBuilder &iand() { return emit(Op::IAnd); }
+  BytecodeBuilder &ior() { return emit(Op::IOr); }
+  BytecodeBuilder &ixor() { return emit(Op::IXor); }
+  BytecodeBuilder &ishl() { return emit(Op::IShl); }
+  BytecodeBuilder &ishr() { return emit(Op::IShr); }
+  BytecodeBuilder &ineg() { return emit(Op::INeg); }
+
+  // Control flow.
+  BytecodeBuilder &jump(Label L) { return emitBranch(Op::Goto, 0, L); }
+  BytecodeBuilder &ifICmp(CondKind C, Label L) {
+    return emitBranch(Op::IfICmp, static_cast<int32_t>(C), L);
+  }
+  BytecodeBuilder &ifZ(CondKind C, Label L) {
+    return emitBranch(Op::IfZ, static_cast<int32_t>(C), L);
+  }
+  BytecodeBuilder &ifNull(Label L) { return emitBranch(Op::IfNull, 0, L); }
+  BytecodeBuilder &ifNonNull(Label L) {
+    return emitBranch(Op::IfNonNull, 0, L);
+  }
+
+  // Heap.
+  BytecodeBuilder &newObj(ClassId C) { return emit(Op::New, (int32_t)C); }
+  BytecodeBuilder &newArray(ClassId C) {
+    return emit(Op::NewArray, (int32_t)C);
+  }
+  BytecodeBuilder &getfield(FieldId F) {
+    return emit(Op::GetField, (int32_t)F);
+  }
+  BytecodeBuilder &putfield(FieldId F) {
+    return emit(Op::PutField, (int32_t)F);
+  }
+  BytecodeBuilder &aloadI() { return emit(Op::ALoadI); }
+  BytecodeBuilder &astoreI() { return emit(Op::AStoreI); }
+  BytecodeBuilder &aloadR() { return emit(Op::ALoadR); }
+  BytecodeBuilder &astoreR() { return emit(Op::AStoreR); }
+  BytecodeBuilder &arraylen() { return emit(Op::ArrayLen); }
+
+  // Globals, calls, misc.
+  BytecodeBuilder &gget(uint32_t G) { return emit(Op::GGet, (int32_t)G); }
+  BytecodeBuilder &gput(uint32_t G) { return emit(Op::GPut, (int32_t)G); }
+  BytecodeBuilder &call(MethodId M) { return emit(Op::Call, (int32_t)M); }
+  BytecodeBuilder &ret() { return emit(Op::Ret); }
+  BytecodeBuilder &iret() { return emit(Op::IRet); }
+  BytecodeBuilder &aret() { return emit(Op::ARet); }
+  BytecodeBuilder &popv() { return emit(Op::Pop); }
+  BytecodeBuilder &dup() { return emit(Op::Dup); }
+  BytecodeBuilder &rand() { return emit(Op::Rand); }
+
+  /// Finalizes the method: patches branch targets (all labels must be
+  /// bound) and returns it. The builder must not be reused afterwards.
+  Method build();
+
+  uint32_t nextPc() const { return static_cast<uint32_t>(M.Code.size()); }
+
+private:
+  BytecodeBuilder &emit(Op O, int32_t A = 0, int32_t B = 0);
+  BytecodeBuilder &emitBranch(Op O, int32_t A, Label L);
+
+  Method M;
+  std::vector<int32_t> LabelPos;                   ///< -1 while unbound.
+  std::vector<std::pair<uint32_t, uint32_t>> Fixups; ///< (insn, label).
+  bool Built = false;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_BYTECODEBUILDER_H

@@ -1,0 +1,44 @@
+//===-- vm/ClassRegistry.cpp ----------------------------------------------===//
+
+#include "vm/ClassRegistry.h"
+
+using namespace hpmvm;
+
+ClassId ClassRegistry::defineClass(const std::string &Name,
+                                   const std::vector<FieldSpec> &Specs) {
+  std::vector<uint32_t> RefOffsets;
+  for (size_t I = 0; I != Specs.size(); ++I)
+    if (Specs[I].IsRef)
+      RefOffsets.push_back(objheader::kHeaderBytes +
+                           static_cast<uint32_t>(I) * 4);
+
+  ClassId Cls = Table.addScalarClass(Name, static_cast<uint32_t>(Specs.size()),
+                                     std::move(RefOffsets));
+  FieldsByClass.resize(Table.size());
+  for (size_t I = 0; I != Specs.size(); ++I) {
+    FieldInfo Info;
+    Info.Name = Name + "::" + Specs[I].Name;
+    Info.Owner = Cls;
+    Info.Offset = objheader::kHeaderBytes + static_cast<uint32_t>(I) * 4;
+    Info.IsRef = Specs[I].IsRef;
+    Fields.push_back(std::move(Info));
+    FieldsByClass[Cls].push_back(static_cast<FieldId>(Fields.size() - 1));
+  }
+  return Cls;
+}
+
+ClassId ClassRegistry::defineArrayClass(const std::string &Name,
+                                        ElemKind Elem) {
+  ClassId Cls = Table.addArrayClass(Name, Elem);
+  FieldsByClass.resize(Table.size());
+  return Cls;
+}
+
+FieldId ClassRegistry::fieldId(ClassId Cls, const std::string &Field) const {
+  assert(Cls < FieldsByClass.size() && "unknown class id");
+  for (FieldId Id : FieldsByClass[Cls])
+    if (Fields[Id].Name.ends_with("::" + Field))
+      return Id;
+  assert(false && "field not found in class");
+  return kInvalidId;
+}

@@ -1,0 +1,85 @@
+//===-- vm/ClassRegistry.h - Classes, fields, globals ----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM-level type registry. Extends the GC-level HeapClassTable with
+/// field names and a *global field table*: every reference field gets a
+/// FieldId, which is the key the monitoring system attributes cache misses
+/// to ("we keep a per-reference event count which tells the runtime system
+/// how many misses occurred when dereferencing the corresponding access
+/// path expressions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_CLASSREGISTRY_H
+#define HPMVM_VM_CLASSREGISTRY_H
+
+#include "heap/ObjectModel.h"
+#include "support/Types.h"
+
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// Declaration of one instance field.
+struct FieldSpec {
+  std::string Name;
+  bool IsRef = false;
+};
+
+/// Resolved information about one field.
+struct FieldInfo {
+  std::string Name;      ///< "Class::field" qualified name.
+  ClassId Owner = kInvalidId;
+  uint32_t Offset = 0;   ///< Byte offset from object start.
+  bool IsRef = false;
+};
+
+/// VM class/field registry, layered over the GC's HeapClassTable.
+class ClassRegistry {
+public:
+  /// Defines a scalar class with 4-byte fields laid out in declaration
+  /// order after the header.
+  ClassId defineClass(const std::string &Name,
+                      const std::vector<FieldSpec> &Fields);
+
+  /// Defines an array class of the given element kind.
+  ClassId defineArrayClass(const std::string &Name, ElemKind Elem);
+
+  /// \returns the FieldId of \p Field in \p Cls; asserts if absent.
+  FieldId fieldId(ClassId Cls, const std::string &Field) const;
+
+  const FieldInfo &field(FieldId Id) const {
+    assert(Id < Fields.size() && "unknown field id");
+    return Fields[Id];
+  }
+
+  /// FieldIds of all fields declared by \p Cls.
+  const std::vector<FieldId> &fieldsOf(ClassId Cls) const {
+    assert(Cls < FieldsByClass.size() && "unknown class id");
+    return FieldsByClass[Cls];
+  }
+
+  size_t numFields() const { return Fields.size(); }
+  size_t numClasses() const { return Table.size(); }
+
+  const std::string &className(ClassId Cls) const {
+    return Table.desc(Cls).Name;
+  }
+
+  /// The GC-level view of the registered classes.
+  const HeapClassTable &heapClasses() const { return Table; }
+
+private:
+  HeapClassTable Table;
+  std::vector<FieldInfo> Fields;
+  std::vector<std::vector<FieldId>> FieldsByClass;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_CLASSREGISTRY_H

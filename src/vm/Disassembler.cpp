@@ -1,0 +1,208 @@
+//===-- vm/Disassembler.cpp -----------------------------------------------===//
+
+#include "vm/Disassembler.h"
+
+#include "support/Format.h"
+#include "vm/ClassRegistry.h"
+
+using namespace hpmvm;
+
+namespace {
+
+const char *condName(CondKind C) {
+  switch (C) {
+  case CondKind::Eq: return "eq";
+  case CondKind::Ne: return "ne";
+  case CondKind::Lt: return "lt";
+  case CondKind::Ge: return "ge";
+  case CondKind::Gt: return "gt";
+  case CondKind::Le: return "le";
+  }
+  return "?";
+}
+
+std::string className(const ClassRegistry &Classes, int32_t Id) {
+  if (Id < 0 || static_cast<size_t>(Id) >= Classes.numClasses())
+    return formatString("class#%d", Id);
+  return Classes.className(static_cast<ClassId>(Id));
+}
+
+std::string fieldName(const ClassRegistry &Classes, int32_t Id) {
+  if (Id < 0 || static_cast<size_t>(Id) >= Classes.numFields())
+    return formatString("field#%d", Id);
+  return Classes.field(static_cast<FieldId>(Id)).Name;
+}
+
+std::string methodName(const std::vector<Method> &Methods, int32_t Id) {
+  if (Id < 0 || static_cast<size_t>(Id) >= Methods.size())
+    return formatString("method#%d", Id);
+  return Methods[Id].Name;
+}
+
+std::string reg(uint16_t R) {
+  return R == kNoReg ? std::string("-") : formatString("r%u", R);
+}
+
+} // namespace
+
+std::string hpmvm::disassembleInsn(const Insn &I,
+                                   const ClassRegistry &Classes,
+                                   const std::vector<Method> &Methods) {
+  switch (I.Opcode) {
+  case Op::IConst:
+    return formatString("iconst %d", I.A);
+  case Op::ILoad:
+  case Op::IStore:
+  case Op::ALoad:
+  case Op::AStore:
+  case Op::GGet:
+  case Op::GPut:
+    return formatString("%s %d", opName(I.Opcode), I.A);
+  case Op::IInc:
+    return formatString("iinc %d, %d", I.A, I.B);
+  case Op::Goto:
+    return formatString("goto -> %d", I.B);
+  case Op::IfICmp:
+    return formatString("if_icmp%s -> %d",
+                        condName(static_cast<CondKind>(I.A)), I.B);
+  case Op::IfZ:
+    return formatString("if%sz -> %d",
+                        condName(static_cast<CondKind>(I.A)), I.B);
+  case Op::IfNull:
+  case Op::IfNonNull:
+    return formatString("%s -> %d", opName(I.Opcode), I.B);
+  case Op::New:
+  case Op::NewArray:
+    return formatString("%s %s", opName(I.Opcode),
+                        className(Classes, I.A).c_str());
+  case Op::GetField:
+  case Op::PutField:
+    return formatString("%s %s", opName(I.Opcode),
+                        fieldName(Classes, I.A).c_str());
+  case Op::Call:
+    return formatString("call %s", methodName(Methods, I.A).c_str());
+  default:
+    return opName(I.Opcode);
+  }
+}
+
+std::string hpmvm::disassembleMethod(const Method &M,
+                                     const ClassRegistry &Classes,
+                                     const std::vector<Method> &Methods) {
+  std::string Out = formatString(
+      "method %s (%u params, %u locals, %zu bytecodes)\n", M.Name.c_str(),
+      M.NumParams, M.NumLocals, M.Code.size());
+  for (size_t I = 0; I != M.Code.size(); ++I)
+    Out += formatString("  %4zu: %s\n", I,
+                        disassembleInsn(M.Code[I], Classes, Methods).c_str());
+  return Out;
+}
+
+std::string
+hpmvm::disassembleMachineInst(const MachineInst &I,
+                              const ClassRegistry &Classes,
+                              const std::vector<Method> &Methods) {
+  switch (I.Op) {
+  case MOp::MovImm:
+    return I.DstIsRef && I.Imm == 0
+               ? formatString("mov %s <- null", reg(I.Dst).c_str())
+               : formatString("mov %s <- %d", reg(I.Dst).c_str(), I.Imm);
+  case MOp::Mov:
+    return formatString("mov %s <- %s", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str());
+  case MOp::Add: case MOp::Sub: case MOp::Mul: case MOp::Div:
+  case MOp::Rem: case MOp::And: case MOp::Or: case MOp::Xor:
+  case MOp::Shl: case MOp::Shr:
+    return formatString("%s %s <- %s, %s", mopName(I.Op),
+                        reg(I.Dst).c_str(), reg(I.SrcA).c_str(),
+                        reg(I.SrcB).c_str());
+  case MOp::AddImm:
+    return formatString("add %s <- %s, %d", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str(), I.Imm);
+  case MOp::Neg:
+    return formatString("neg %s <- %s", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str());
+  case MOp::Br:
+    return formatString("br -> @%d", I.Imm);
+  case MOp::BrCmp:
+    return formatString("br.%s %s, %s -> @%d",
+                        condName(static_cast<CondKind>(I.Aux)),
+                        reg(I.SrcA).c_str(), reg(I.SrcB).c_str(), I.Imm);
+  case MOp::BrZero:
+    return formatString("br.%sz %s -> @%d",
+                        condName(static_cast<CondKind>(I.Aux)),
+                        reg(I.SrcA).c_str(), I.Imm);
+  case MOp::BrNull:
+    return formatString("br.null %s -> @%d", reg(I.SrcA).c_str(), I.Imm);
+  case MOp::BrNonNull:
+    return formatString("br.nonnull %s -> @%d", reg(I.SrcA).c_str(),
+                        I.Imm);
+  case MOp::NewObject:
+    return formatString("new %s <- %s", reg(I.Dst).c_str(),
+                        className(Classes, I.Imm).c_str());
+  case MOp::NewArray:
+    return formatString("newarray %s <- %s[%s]", reg(I.Dst).c_str(),
+                        className(Classes, I.Imm).c_str(),
+                        reg(I.SrcA).c_str());
+  case MOp::LoadField:
+    return formatString("loadfield %s <- [%s + %s]", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str(),
+                        fieldName(Classes, I.Imm).c_str());
+  case MOp::StoreField:
+    return formatString("storefield [%s + %s] <- %s",
+                        reg(I.SrcA).c_str(),
+                        fieldName(Classes, I.Imm).c_str(),
+                        reg(I.SrcB).c_str());
+  case MOp::LoadElem:
+    return formatString("loadelem %s <- %s[%s]", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str(), reg(I.SrcB).c_str());
+  case MOp::StoreElem:
+    return formatString("storeelem %s[%s] <- %s", reg(I.SrcA).c_str(),
+                        reg(I.SrcB).c_str(), reg(I.SrcC).c_str());
+  case MOp::ArrayLen:
+    return formatString("arraylen %s <- %s", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str());
+  case MOp::GlobalGet:
+    return formatString("gget %s <- g%d", reg(I.Dst).c_str(), I.Imm);
+  case MOp::GlobalSet:
+    return formatString("gput g%d <- %s", I.Imm, reg(I.SrcA).c_str());
+  case MOp::Prefetch:
+    return formatString("prefetch [%s]", reg(I.SrcA).c_str());
+  case MOp::Call:
+    return formatString("call %s%s%s",
+                        methodName(Methods, I.Imm).c_str(),
+                        I.Dst == kNoReg ? "" : " -> ",
+                        I.Dst == kNoReg ? "" : reg(I.Dst).c_str());
+  case MOp::Ret:
+    return I.SrcA == kNoReg ? std::string("ret")
+                            : formatString("ret %s", reg(I.SrcA).c_str());
+  case MOp::RandInt:
+    return formatString("rand %s <- [0, %s)", reg(I.Dst).c_str(),
+                        reg(I.SrcA).c_str());
+  }
+  return "?";
+}
+
+std::string hpmvm::disassembleMachineFunction(
+    const MachineFunction &F, const ClassRegistry &Classes,
+    const std::vector<Method> &Methods,
+    const std::vector<FieldId> *Interest) {
+  std::string Out = formatString(
+      "compiled %s: %zu insts, %u regs, code @0x%08x\n",
+      methodName(Methods, static_cast<int32_t>(F.Method)).c_str(),
+      F.Insts.size(), F.NumRegs, F.CodeBase);
+  for (size_t I = 0; I != F.Insts.size(); ++I) {
+    const MachineInst &MI = F.Insts[I];
+    Out += formatString(
+        "  0x%08x @%-4zu bci=%-3u %s %s", F.addressOf(static_cast<uint32_t>(I)),
+        I, MI.Bci, MI.IsGcPoint ? "[gc]" : "    ",
+        disassembleMachineInst(MI, Classes, Methods).c_str());
+    if (Interest && I < Interest->size() && (*Interest)[I] != kInvalidId)
+      Out += formatString("  ; misses -> %s",
+                          fieldName(Classes,
+                                    static_cast<int32_t>((*Interest)[I]))
+                              .c_str());
+    Out += "\n";
+  }
+  return Out;
+}

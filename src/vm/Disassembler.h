@@ -1,0 +1,55 @@
+//===-- vm/Disassembler.h - Bytecode & machine-IR printing ----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable listings of bytecode and compiled machine IR, with
+/// symbolic class/field/method names and (for machine code) the simulated
+/// addresses and per-instruction bytecode map -- the view the paper's
+/// Figure 1 shows. Used by the tooling example and by tests that assert
+/// on lowering structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_DISASSEMBLER_H
+#define HPMVM_VM_DISASSEMBLER_H
+
+#include "vm/Bytecode.h"
+#include "vm/MachineCode.h"
+
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+class ClassRegistry;
+
+/// Renders one bytecode instruction, e.g. "getfield dbRecord::value".
+std::string disassembleInsn(const Insn &I, const ClassRegistry &Classes,
+                            const std::vector<Method> &Methods);
+
+/// Renders \p M's body, one "bci: mnemonic operands" line each.
+std::string disassembleMethod(const Method &M, const ClassRegistry &Classes,
+                              const std::vector<Method> &Methods);
+
+/// Renders one machine instruction, e.g.
+/// "loadfield r5 <- [r5 + dbRecord::value]".
+std::string disassembleMachineInst(const MachineInst &I,
+                                   const ClassRegistry &Classes,
+                                   const std::vector<Method> &Methods);
+
+/// Renders a compiled function: "addr  idx  bci  [gc]  inst" lines. When
+/// \p Interest is non-null (one FieldId per instruction, from the
+/// instructions-of-interest analysis), attributed instructions are
+/// annotated with "; misses -> field".
+std::string
+disassembleMachineFunction(const MachineFunction &F,
+                           const ClassRegistry &Classes,
+                           const std::vector<Method> &Methods,
+                           const std::vector<FieldId> *Interest = nullptr);
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_DISASSEMBLER_H

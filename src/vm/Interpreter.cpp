@@ -1,0 +1,251 @@
+//===-- vm/Interpreter.cpp ------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+bool hpmvm::evalCond(CondKind Cond, int32_t A, int32_t B) {
+  switch (Cond) {
+  case CondKind::Eq:
+    return A == B;
+  case CondKind::Ne:
+    return A != B;
+  case CondKind::Lt:
+    return A < B;
+  case CondKind::Ge:
+    return A >= B;
+  case CondKind::Gt:
+    return A > B;
+  case CondKind::Le:
+    return A <= B;
+  }
+  return false;
+}
+
+namespace {
+
+/// One interpreter activation; registered as a GC root while live.
+struct InterpFrame : public FrameRefVisitor {
+  std::vector<Value> Locals;
+  std::vector<Value> Stack;
+
+  void visitRefs(const std::function<void(Address &)> &Fn) override {
+    for (Value &V : Locals)
+      if (V.IsRef && V.Bits != kNullRef)
+        Fn(V.Bits);
+    for (Value &V : Stack)
+      if (V.IsRef && V.Bits != kNullRef)
+        Fn(V.Bits);
+  }
+};
+
+} // namespace
+
+Value Interpreter::run(VirtualMachine &Vm, Method &M,
+                       std::vector<Value> Args) {
+  InterpFrame F;
+  F.Locals.resize(M.NumLocals);
+  for (size_t I = 0; I != Args.size(); ++I)
+    F.Locals[I] = Args[I];
+  F.Stack.reserve(16);
+  VirtualMachine::FrameScope Scope(Vm, &F);
+
+  VirtualClock &Clock = Vm.clock();
+  VmRuntimeStats &Stats = Vm.stats();
+  uint64_t SinceSafepoint = 0;
+
+  auto Pop = [&]() -> Value {
+    assert(!F.Stack.empty() && "operand stack underflow (verifier bug)");
+    Value V = F.Stack.back();
+    F.Stack.pop_back();
+    return V;
+  };
+  auto Push = [&](Value V) { F.Stack.push_back(V); };
+
+  uint32_t Pc = 0;
+  for (;;) {
+    assert(Pc < M.Code.size() && "PC ran off the end (verifier bug)");
+    const Insn &I = M.Code[Pc];
+    Clock.advance(kInterpretedInsnCycles);
+    ++Stats.BytecodesInterpreted;
+    if (++SinceSafepoint >= kSafepointStride) {
+      SinceSafepoint = 0;
+      Vm.safepoint();
+    }
+    const Address MPc = VirtualMachine::baselinePc(M, Pc);
+    uint32_t Next = Pc + 1;
+
+    switch (I.Opcode) {
+    case Op::IConst:
+      Push(Value::makeInt(I.A));
+      break;
+    case Op::AConstNull:
+      Push(Value::makeRef(kNullRef));
+      break;
+    case Op::ILoad:
+    case Op::ALoad:
+      Push(F.Locals[I.A]);
+      break;
+    case Op::IStore:
+    case Op::AStore:
+      F.Locals[I.A] = Pop();
+      break;
+    case Op::IInc:
+      F.Locals[I.A] = Value::makeInt(F.Locals[I.A].asInt() + I.B);
+      break;
+
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv:
+    case Op::IRem: case Op::IAnd: case Op::IOr: case Op::IXor:
+    case Op::IShl: case Op::IShr: {
+      int32_t B = Pop().asInt();
+      int32_t A = Pop().asInt();
+      int32_t R = 0;
+      switch (I.Opcode) {
+      case Op::IAdd: R = A + B; break;
+      case Op::ISub: R = A - B; break;
+      case Op::IMul: R = A * B; break;
+      case Op::IDiv:
+        if (B == 0)
+          Vm.trap("division by zero");
+        R = A / B;
+        break;
+      case Op::IRem:
+        if (B == 0)
+          Vm.trap("division by zero (rem)");
+        R = A % B;
+        break;
+      case Op::IAnd: R = A & B; break;
+      case Op::IOr:  R = A | B; break;
+      case Op::IXor: R = A ^ B; break;
+      case Op::IShl: R = A << (B & 31); break;
+      case Op::IShr: R = A >> (B & 31); break;
+      default: break;
+      }
+      Push(Value::makeInt(R));
+      break;
+    }
+    case Op::INeg:
+      Push(Value::makeInt(-Pop().asInt()));
+      break;
+
+    case Op::Goto:
+      Next = static_cast<uint32_t>(I.B);
+      break;
+    case Op::IfICmp: {
+      int32_t B = Pop().asInt();
+      int32_t A = Pop().asInt();
+      if (evalCond(static_cast<CondKind>(I.A), A, B))
+        Next = static_cast<uint32_t>(I.B);
+      break;
+    }
+    case Op::IfZ: {
+      int32_t A = Pop().asInt();
+      if (evalCond(static_cast<CondKind>(I.A), A, 0))
+        Next = static_cast<uint32_t>(I.B);
+      break;
+    }
+    case Op::IfNull:
+      if (Pop().asRef() == kNullRef)
+        Next = static_cast<uint32_t>(I.B);
+      break;
+    case Op::IfNonNull:
+      if (Pop().asRef() != kNullRef)
+        Next = static_cast<uint32_t>(I.B);
+      break;
+
+    case Op::New:
+      Push(Value::makeRef(Vm.allocateObject(I.A, MPc)));
+      break;
+    case Op::NewArray: {
+      int32_t Len = Pop().asInt();
+      if (Len < 0)
+        Vm.trap("negative array length");
+      Push(Value::makeRef(
+          Vm.allocateArray(I.A, static_cast<uint32_t>(Len), MPc)));
+      break;
+    }
+    case Op::GetField: {
+      Address Ref = Pop().asRef();
+      Push(Vm.getFieldOp(Ref, I.A, MPc));
+      break;
+    }
+    case Op::PutField: {
+      Value V = Pop();
+      Address Ref = Pop().asRef();
+      Vm.putFieldOp(Ref, I.A, V, MPc);
+      break;
+    }
+    case Op::ALoadI:
+    case Op::ALoadR: {
+      int32_t Idx = Pop().asInt();
+      Address Arr = Pop().asRef();
+      Push(Vm.arrayLoadOp(Arr, Idx, I.Opcode == Op::ALoadR, MPc));
+      break;
+    }
+    case Op::AStoreI:
+    case Op::AStoreR: {
+      Value V = Pop();
+      int32_t Idx = Pop().asInt();
+      Address Arr = Pop().asRef();
+      Vm.arrayStoreOp(Arr, Idx, V, I.Opcode == Op::AStoreR, MPc);
+      break;
+    }
+    case Op::ArrayLen: {
+      Address Arr = Pop().asRef();
+      Push(Value::makeInt(Vm.arrayLenOp(Arr, MPc)));
+      break;
+    }
+
+    case Op::GGet:
+      Push(Vm.global(I.A));
+      break;
+    case Op::GPut:
+      Vm.setGlobal(I.A, Pop());
+      break;
+
+    case Op::Call: {
+      const Method &Callee = Vm.method(I.A);
+      std::vector<Value> CallArgs(Callee.NumParams);
+      for (uint32_t P = Callee.NumParams; P != 0; --P)
+        CallArgs[P - 1] = Pop();
+      Value R = Vm.invoke(I.A, std::move(CallArgs));
+      if (Callee.Return != RetKind::Void)
+        Push(R);
+      break;
+    }
+    case Op::Ret:
+      return Value::makeInt(0);
+    case Op::IRet:
+    case Op::ARet:
+      return Pop();
+
+    case Op::Pop:
+      (void)Pop();
+      break;
+    case Op::Dup:
+      Push(F.Stack.back());
+      break;
+    case Op::Rand: {
+      int32_t Bound = Pop().asInt();
+      if (Bound <= 0)
+        Vm.trap("rand bound must be positive");
+      Push(Value::makeInt(static_cast<int32_t>(
+          Vm.mutatorRng().nextBelow(static_cast<uint64_t>(Bound)))));
+      break;
+    }
+    }
+
+    // Loop back-edges feed the AOS's hotness estimate and are safepoints.
+    if (Next <= Pc) {
+      ++M.BackEdges;
+      Vm.aos().onBackEdge(M);
+      Vm.safepoint();
+    }
+    Pc = Next;
+  }
+}

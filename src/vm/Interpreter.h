@@ -1,0 +1,46 @@
+//===-- vm/Interpreter.h - Baseline bytecode interpreter -------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline execution engine: every method starts out "baseline
+/// compiled" (Jikes compiles everything with the quick baseline compiler
+/// first); we model the resulting code as direct interpretation at a higher
+/// per-instruction cost. Heap accesses are issued at the bytecode's
+/// baseline PC, so samples landing in baseline code still resolve to a
+/// method + bytecode -- but the monitoring system only computes
+/// instructions-of-interest for opt-compiled methods, exactly as in the
+/// paper ("the monitoring system does not consider instructions in
+/// non-optimized methods").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_INTERPRETER_H
+#define HPMVM_VM_INTERPRETER_H
+
+#include "vm/Bytecode.h"
+#include "vm/Value.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// Executes bytecode directly.
+class Interpreter {
+public:
+  /// Runs \p M with \p Args; \returns the method's result (a dummy int 0
+  /// for void methods).
+  static Value run(VirtualMachine &Vm, Method &M, std::vector<Value> Args);
+};
+
+/// Evaluates \p Cond over (A, B); shared by interpreter and machine
+/// executor so comparison semantics cannot drift apart.
+bool evalCond(CondKind Cond, int32_t A, int32_t B);
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_INTERPRETER_H

@@ -1,0 +1,56 @@
+//===-- vm/MachineCode.cpp ------------------------------------------------===//
+
+#include "vm/MachineCode.h"
+
+using namespace hpmvm;
+
+const char *hpmvm::mopName(MOp O) {
+  switch (O) {
+  case MOp::MovImm:     return "movimm";
+  case MOp::Mov:        return "mov";
+  case MOp::Add:        return "add";
+  case MOp::Sub:        return "sub";
+  case MOp::Mul:        return "mul";
+  case MOp::Div:        return "div";
+  case MOp::Rem:        return "rem";
+  case MOp::And:        return "and";
+  case MOp::Or:         return "or";
+  case MOp::Xor:        return "xor";
+  case MOp::Shl:        return "shl";
+  case MOp::Shr:        return "shr";
+  case MOp::AddImm:     return "addimm";
+  case MOp::Neg:        return "neg";
+  case MOp::Br:         return "br";
+  case MOp::BrCmp:      return "brcmp";
+  case MOp::BrZero:     return "brzero";
+  case MOp::BrNull:     return "brnull";
+  case MOp::BrNonNull:  return "brnonnull";
+  case MOp::NewObject:  return "newobject";
+  case MOp::NewArray:   return "newarray";
+  case MOp::LoadField:  return "loadfield";
+  case MOp::StoreField: return "storefield";
+  case MOp::LoadElem:   return "loadelem";
+  case MOp::StoreElem:  return "storeelem";
+  case MOp::ArrayLen:   return "arraylen";
+  case MOp::GlobalGet:  return "globalget";
+  case MOp::GlobalSet:  return "globalset";
+  case MOp::Prefetch:   return "prefetch";
+  case MOp::Call:       return "call";
+  case MOp::Ret:        return "ret";
+  case MOp::RandInt:    return "rand";
+  }
+  return "?";
+}
+
+CompiledMethodMaps hpmvm::computeMaps(const MachineFunction &F) {
+  CompiledMethodMaps Maps;
+  Maps.MachineCodeBytes = F.codeBytes();
+  uint32_t GcPoints = 0;
+  for (const MachineInst &I : F.Insts)
+    if (I.IsGcPoint)
+      ++GcPoints;
+  Maps.GcMapBytes = GcPoints * kGcMapBytesPerEntry;
+  Maps.McMapBytes =
+      static_cast<uint32_t>(F.Insts.size()) * kMcMapBytesPerEntry;
+  return Maps;
+}

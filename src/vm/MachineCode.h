@@ -1,0 +1,135 @@
+//===-- vm/MachineCode.h - The opt-compiler's machine IR -------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-based machine IR emitted by the optimizing compiler. Each
+/// instruction occupies 4 simulated bytes in the immortal code space, so a
+/// PEBS sample's EIP identifies exactly one MachineInst -- the property
+/// that lets the monitoring system map raw samples back to bytecode.
+///
+/// Every instruction carries:
+///   - its bytecode index (Bci): the *machine code map*. The paper extends
+///     Jikes' opt compiler to keep this per instruction rather than only at
+///     GC points, growing maps 4-5x (Table 2) but enabling precise
+///     attribution;
+///   - a GC-point flag (allocations and calls): the *GC map* subset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_MACHINECODE_H
+#define HPMVM_VM_MACHINECODE_H
+
+#include "support/Types.h"
+#include "vm/Bytecode.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hpmvm {
+
+/// Machine IR opcodes.
+enum class MOp : uint8_t {
+  MovImm,    ///< Dst = Imm
+  Mov,       ///< Dst = SrcA
+  Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr, ///< Dst = SrcA op SrcB
+  AddImm,    ///< Dst = SrcA + Imm (immediate-folding peephole, IInc)
+  Neg,       ///< Dst = -SrcA
+  Br,        ///< jump to inst index Imm
+  BrCmp,     ///< if SrcA <Cond> SrcB jump to Imm
+  BrZero,    ///< if SrcA <Cond> 0 jump to Imm
+  BrNull,    ///< if SrcA == null jump to Imm
+  BrNonNull, ///< if SrcA != null jump to Imm
+  NewObject, ///< Dst = allocate(class Imm)            [GC point]
+  NewArray,  ///< Dst = allocate(class Imm, len SrcA)  [GC point]
+  LoadField, ///< Dst = SrcA.field(Imm)                [heap access]
+  StoreField,///< SrcA.field(Imm) = SrcB               [heap access]
+  LoadElem,  ///< Dst = SrcA[SrcB]                     [heap access x2]
+  StoreElem, ///< SrcA[SrcB] = SrcC                    [heap access x2]
+  ArrayLen,  ///< Dst = SrcA.length                    [header access]
+  GlobalGet, ///< Dst = globals[Imm]
+  GlobalSet, ///< globals[Imm] = SrcA
+  Prefetch,  ///< software-prefetch the line of the address in SrcA
+  Call,      ///< Dst = call method Imm, args CallSites[Aux] [GC point]
+  Ret,       ///< return (SrcA when the method is non-void)
+  RandInt,   ///< Dst = uniform [0, SrcA)
+};
+
+const char *mopName(MOp O);
+
+/// Register number placeholder for "no register".
+inline constexpr uint16_t kNoReg = 0xffff;
+
+/// One machine instruction. Register operands index the function's virtual
+/// register file (locals first, then stack-slot temps).
+struct MachineInst {
+  MOp Op;
+  uint16_t Dst = kNoReg;
+  uint16_t SrcA = kNoReg;
+  uint16_t SrcB = kNoReg;
+  uint16_t SrcC = kNoReg;
+  int32_t Imm = 0;     ///< Immediate / class / field / global / target / callee.
+  uint16_t Aux = 0;    ///< CondKind for branches; call-site index for Call.
+  uint32_t Bci = 0;    ///< Bytecode index (machine code map entry).
+  bool IsGcPoint = false;
+  bool DstIsRef = false; ///< The defined value is a reference.
+};
+
+/// Per-call-site argument registers (kept out of MachineInst to keep it
+/// small).
+struct CallSite {
+  std::vector<uint16_t> ArgRegs;
+};
+
+/// Simulated encoded size of one machine instruction.
+inline constexpr uint32_t kMachineInstBytes = 4;
+
+/// A compiled method body.
+struct MachineFunction {
+  MethodId Method = kInvalidId;
+  uint32_t NumRegs = 0;
+  std::vector<MachineInst> Insts;
+  std::vector<CallSite> CallSites;
+  /// Which registers hold references at function entry (parameters); the
+  /// executor tags the rest as instructions define them.
+  std::vector<bool> RegIsRefAtEntry;
+
+  Address CodeBase = 0; ///< Assigned in the immortal space.
+  uint32_t codeBytes() const {
+    return static_cast<uint32_t>(Insts.size()) * kMachineInstBytes;
+  }
+  Address codeLimit() const { return CodeBase + codeBytes(); }
+
+  /// \returns the instruction index for code address \p Pc.
+  uint32_t instIndexFor(Address Pc) const {
+    assert(Pc >= CodeBase && Pc < codeLimit() && "PC outside this function");
+    return (Pc - CodeBase) / kMachineInstBytes;
+  }
+  Address addressOf(uint32_t InstIdx) const {
+    return CodeBase + InstIdx * kMachineInstBytes;
+  }
+};
+
+/// Sizes of the mapping metadata a compiled method carries (Table 2). The
+/// encodings model Jikes': a GC map entry per GC point (offset + compressed
+/// reference map), an MC map entry per machine instruction (offset +
+/// delta-encoded bytecode index).
+struct CompiledMethodMaps {
+  uint32_t MachineCodeBytes = 0;
+  uint32_t GcMapBytes = 0;
+  uint32_t McMapBytes = 0;
+};
+
+/// Bytes per GC-map entry in the modeled encoding.
+inline constexpr uint32_t kGcMapBytesPerEntry = 8;
+/// Bytes per machine-code-map entry in the modeled encoding.
+inline constexpr uint32_t kMcMapBytesPerEntry = 5;
+
+/// Computes map sizes for \p F.
+CompiledMethodMaps computeMaps(const MachineFunction &F);
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_MACHINECODE_H

@@ -1,0 +1,185 @@
+//===-- vm/MachineExecutor.cpp --------------------------------------------===//
+
+#include "vm/MachineExecutor.h"
+
+#include "vm/Interpreter.h" // evalCond
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+namespace {
+
+/// One optimized-code activation; its virtual register file is a GC root
+/// set (the real system's GC maps describe exactly this).
+struct MachineFrame : public FrameRefVisitor {
+  std::vector<Value> Regs;
+
+  void visitRefs(const std::function<void(Address &)> &Fn) override {
+    for (Value &V : Regs)
+      if (V.IsRef && V.Bits != kNullRef)
+        Fn(V.Bits);
+  }
+};
+
+} // namespace
+
+Value MachineExecutor::run(VirtualMachine &Vm, Method &M,
+                           const MachineFunction &F,
+                           std::vector<Value> Args) {
+  (void)M; // The method is implicit in F; kept for symmetry/debugging.
+  assert(F.CodeBase != 0 && "executing uninstalled code");
+  MachineFrame Frame;
+  Frame.Regs.resize(F.NumRegs);
+  for (size_t I = 0; I != Args.size(); ++I)
+    Frame.Regs[I] = Args[I];
+  VirtualMachine::FrameScope Scope(Vm, &Frame);
+
+  VirtualClock &Clock = Vm.clock();
+  VmRuntimeStats &Stats = Vm.stats();
+  std::vector<Value> &R = Frame.Regs;
+  uint64_t SinceSafepoint = 0;
+
+  auto Int = [&](uint16_t Reg) { return R[Reg].asInt(); };
+  auto Ref = [&](uint16_t Reg) { return R[Reg].asRef(); };
+  auto SetInt = [&](uint16_t Reg, int32_t V) { R[Reg] = Value::makeInt(V); };
+
+  uint32_t Idx = 0;
+  for (;;) {
+    assert(Idx < F.Insts.size() && "machine PC ran off the end");
+    const MachineInst &I = F.Insts[Idx];
+    const Address Pc = F.addressOf(Idx);
+    Clock.advance(kMachineInstCycles);
+    ++Stats.MachineInstsExecuted;
+    if (++SinceSafepoint >= kSafepointStride) {
+      SinceSafepoint = 0;
+      Vm.safepoint();
+    }
+    uint32_t Next = Idx + 1;
+
+    switch (I.Op) {
+    case MOp::MovImm:
+      if (I.DstIsRef)
+        R[I.Dst] = Value::makeRef(static_cast<Address>(I.Imm));
+      else
+        SetInt(I.Dst, I.Imm);
+      break;
+    case MOp::Mov:
+      R[I.Dst] = R[I.SrcA];
+      break;
+    case MOp::Add: SetInt(I.Dst, Int(I.SrcA) + Int(I.SrcB)); break;
+    case MOp::Sub: SetInt(I.Dst, Int(I.SrcA) - Int(I.SrcB)); break;
+    case MOp::Mul: SetInt(I.Dst, Int(I.SrcA) * Int(I.SrcB)); break;
+    case MOp::Div:
+      if (Int(I.SrcB) == 0)
+        Vm.trap("division by zero");
+      SetInt(I.Dst, Int(I.SrcA) / Int(I.SrcB));
+      break;
+    case MOp::Rem:
+      if (Int(I.SrcB) == 0)
+        Vm.trap("division by zero (rem)");
+      SetInt(I.Dst, Int(I.SrcA) % Int(I.SrcB));
+      break;
+    case MOp::And: SetInt(I.Dst, Int(I.SrcA) & Int(I.SrcB)); break;
+    case MOp::Or:  SetInt(I.Dst, Int(I.SrcA) | Int(I.SrcB)); break;
+    case MOp::Xor: SetInt(I.Dst, Int(I.SrcA) ^ Int(I.SrcB)); break;
+    case MOp::Shl: SetInt(I.Dst, Int(I.SrcA) << (Int(I.SrcB) & 31)); break;
+    case MOp::Shr: SetInt(I.Dst, Int(I.SrcA) >> (Int(I.SrcB) & 31)); break;
+    case MOp::AddImm:
+      SetInt(I.Dst, Int(I.SrcA) + I.Imm);
+      break;
+    case MOp::Neg:
+      SetInt(I.Dst, -Int(I.SrcA));
+      break;
+
+    case MOp::Br:
+      Next = static_cast<uint32_t>(I.Imm);
+      break;
+    case MOp::BrCmp:
+      if (evalCond(static_cast<CondKind>(I.Aux), Int(I.SrcA), Int(I.SrcB)))
+        Next = static_cast<uint32_t>(I.Imm);
+      break;
+    case MOp::BrZero:
+      if (evalCond(static_cast<CondKind>(I.Aux), Int(I.SrcA), 0))
+        Next = static_cast<uint32_t>(I.Imm);
+      break;
+    case MOp::BrNull:
+      if (Ref(I.SrcA) == kNullRef)
+        Next = static_cast<uint32_t>(I.Imm);
+      break;
+    case MOp::BrNonNull:
+      if (Ref(I.SrcA) != kNullRef)
+        Next = static_cast<uint32_t>(I.Imm);
+      break;
+
+    case MOp::NewObject:
+      R[I.Dst] = Value::makeRef(Vm.allocateObject(I.Imm, Pc));
+      break;
+    case MOp::NewArray: {
+      int32_t Len = Int(I.SrcA);
+      if (Len < 0)
+        Vm.trap("negative array length");
+      R[I.Dst] = Value::makeRef(
+          Vm.allocateArray(I.Imm, static_cast<uint32_t>(Len), Pc));
+      break;
+    }
+    case MOp::LoadField:
+      R[I.Dst] = Vm.getFieldOp(Ref(I.SrcA), I.Imm, Pc);
+      break;
+    case MOp::StoreField:
+      Vm.putFieldOp(Ref(I.SrcA), I.Imm, R[I.SrcB], Pc);
+      break;
+    case MOp::LoadElem:
+      R[I.Dst] = Vm.arrayLoadOp(Ref(I.SrcA), Int(I.SrcB), I.DstIsRef, Pc);
+      break;
+    case MOp::StoreElem:
+      Vm.arrayStoreOp(Ref(I.SrcA), Int(I.SrcB), R[I.SrcC],
+                      /*IsRefStore=*/I.Aux != 0, Pc);
+      break;
+    case MOp::ArrayLen:
+      SetInt(I.Dst, Vm.arrayLenOp(Ref(I.SrcA), Pc));
+      break;
+
+    case MOp::GlobalGet:
+      R[I.Dst] = Vm.global(I.Imm);
+      break;
+    case MOp::GlobalSet:
+      Vm.setGlobal(I.Imm, R[I.SrcA]);
+      break;
+
+    case MOp::Prefetch:
+      if (Address A = Ref(I.SrcA))
+        Vm.prefetchHint(A, Pc);
+      break;
+
+    case MOp::Call: {
+      const CallSite &Site = F.CallSites[I.Aux];
+      const Method &Callee = Vm.method(I.Imm);
+      std::vector<Value> CallArgs(Site.ArgRegs.size());
+      for (size_t P = 0; P != Site.ArgRegs.size(); ++P)
+        CallArgs[P] = R[Site.ArgRegs[P]];
+      Value Result = Vm.invoke(I.Imm, std::move(CallArgs));
+      if (Callee.Return != RetKind::Void)
+        R[I.Dst] = Result;
+      break;
+    }
+    case MOp::Ret:
+      return I.SrcA == kNoReg ? Value::makeInt(0) : R[I.SrcA];
+
+    case MOp::RandInt: {
+      int32_t Bound = Int(I.SrcA);
+      if (Bound <= 0)
+        Vm.trap("rand bound must be positive");
+      SetInt(I.Dst, static_cast<int32_t>(
+                        Vm.mutatorRng().nextBelow(
+                            static_cast<uint64_t>(Bound))));
+      break;
+    }
+    }
+
+    if (Next <= Idx)
+      Vm.safepoint(); // Loop back-edge: poll.
+    Idx = Next;
+  }
+}

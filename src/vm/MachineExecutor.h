@@ -1,0 +1,40 @@
+//===-- vm/MachineExecutor.h - Simulated optimized execution ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a MachineFunction: the simulation of running JIT-optimized
+/// machine code. Each instruction costs one base cycle plus memory
+/// penalties; heap accesses are issued at the instruction's immortal-space
+/// address, so every cache-miss event the PEBS unit samples carries the
+/// exact optimized-code PC -- the precision the whole feedback system is
+/// built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_MACHINEEXECUTOR_H
+#define HPMVM_VM_MACHINEEXECUTOR_H
+
+#include "vm/Bytecode.h"
+#include "vm/MachineCode.h"
+#include "vm/Value.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// Executes compiled machine IR.
+class MachineExecutor {
+public:
+  /// Runs \p F (the optimized code of \p M) with \p Args.
+  static Value run(VirtualMachine &Vm, Method &M, const MachineFunction &F,
+                   std::vector<Value> Args);
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_MACHINEEXECUTOR_H

@@ -1,0 +1,35 @@
+//===-- vm/MethodTable.cpp ------------------------------------------------===//
+
+#include "vm/MethodTable.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hpmvm;
+
+void MethodTable::add(Address Start, Address End, MethodId Method,
+                      CodeFlavor Flavor) {
+  assert(Start < End && "empty or inverted code range");
+  MethodRange R{Start, End, Method, Flavor};
+  auto It = std::lower_bound(
+      Ranges.begin(), Ranges.end(), R,
+      [](const MethodRange &A, const MethodRange &B) {
+        return A.Start < B.Start;
+      });
+  assert((It == Ranges.end() || It->Start >= End) &&
+         "new code range overlaps an existing one");
+  assert((It == Ranges.begin() || std::prev(It)->End <= Start) &&
+         "new code range overlaps an existing one");
+  Ranges.insert(It, R);
+}
+
+const MethodRange *MethodTable::lookup(Address Pc) const {
+  // First range with Start > Pc; the candidate is its predecessor.
+  auto It = std::upper_bound(
+      Ranges.begin(), Ranges.end(), Pc,
+      [](Address A, const MethodRange &R) { return A < R.Start; });
+  if (It == Ranges.begin())
+    return nullptr;
+  const MethodRange &R = *std::prev(It);
+  return Pc < R.End ? &R : nullptr;
+}

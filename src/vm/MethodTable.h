@@ -1,0 +1,55 @@
+//===-- vm/MethodTable.h - Sorted code-address lookup ----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "For this lookup we keep a sorted table of all methods with their start
+/// and end address. Whenever a method is compiled the first time or
+/// recompiled by the optimizing compiler we update its entry accordingly."
+/// Samples resolve PC -> (method, code flavor) through this table; entries
+/// never move because compiled code lives in the immortal space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_METHODTABLE_H
+#define HPMVM_VM_METHODTABLE_H
+
+#include "support/Types.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+/// Which compiler produced a code range.
+enum class CodeFlavor : uint8_t { Baseline, Optimized };
+
+/// One code range.
+struct MethodRange {
+  Address Start = 0;
+  Address End = 0; ///< Exclusive.
+  MethodId Method = kInvalidId;
+  CodeFlavor Flavor = CodeFlavor::Baseline;
+};
+
+/// Sorted, non-overlapping table of compiled code ranges.
+class MethodTable {
+public:
+  /// Registers [Start, End) for \p Method. Ranges must not overlap live
+  /// entries. A recompiled method's stale range stays resolvable (old code
+  /// can still be on a simulated stack) unless explicitly removed.
+  void add(Address Start, Address End, MethodId Method, CodeFlavor Flavor);
+
+  /// \returns the entry containing \p Pc, or nullptr.
+  const MethodRange *lookup(Address Pc) const;
+
+  size_t size() const { return Ranges.size(); }
+
+private:
+  std::vector<MethodRange> Ranges; ///< Sorted by Start.
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_METHODTABLE_H

@@ -1,0 +1,418 @@
+//===-- vm/OptCompiler.cpp ------------------------------------------------===//
+
+#include "vm/OptCompiler.h"
+
+#include "vm/ClassRegistry.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+std::vector<std::vector<ValKind>> OptCompiler::stackKindsPerBci(
+    const Method &M, const ClassRegistry &Classes,
+    const std::vector<Method> &AllMethods,
+    const std::vector<ValKind> &GlobalKinds) {
+  const uint32_t N = static_cast<uint32_t>(M.Code.size());
+  std::vector<std::vector<ValKind>> In(N);
+  std::vector<bool> Known(N, false);
+
+  std::vector<uint32_t> Worklist;
+  In[0] = {};
+  Known[0] = true;
+  Worklist.push_back(0);
+
+  auto Flow = [&](uint32_t To, const std::vector<ValKind> &S) {
+    assert(To < N && "branch target out of range (method not verified?)");
+    if (!Known[To]) {
+      In[To] = S;
+      Known[To] = true;
+      Worklist.push_back(To);
+      return;
+    }
+    assert(In[To] == S && "inconsistent stack kinds (method not verified?)");
+  };
+
+  while (!Worklist.empty()) {
+    uint32_t Pc = Worklist.back();
+    Worklist.pop_back();
+    std::vector<ValKind> S = In[Pc];
+    const Insn &I = M.Code[Pc];
+
+    auto Pop = [&]() {
+      assert(!S.empty());
+      S.pop_back();
+    };
+    auto Push = [&](ValKind K) { S.push_back(K); };
+
+    bool Falls = true;
+    switch (I.Opcode) {
+    case Op::IConst: Push(ValKind::Int); break;
+    case Op::AConstNull: Push(ValKind::Ref); break;
+    case Op::ILoad:  Push(ValKind::Int); break;
+    case Op::ALoad:  Push(ValKind::Ref); break;
+    case Op::IStore:
+    case Op::AStore: Pop(); break;
+    case Op::IInc:   break;
+    case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv:
+    case Op::IRem: case Op::IAnd: case Op::IOr: case Op::IXor:
+    case Op::IShl: case Op::IShr:
+      Pop();
+      Pop();
+      Push(ValKind::Int);
+      break;
+    case Op::INeg: break; // pop int, push int: no net kind change.
+    case Op::Goto:
+      Flow(static_cast<uint32_t>(I.B), S);
+      Falls = false;
+      break;
+    case Op::IfICmp:
+      Pop();
+      Pop();
+      Flow(static_cast<uint32_t>(I.B), S);
+      break;
+    case Op::IfZ:
+    case Op::IfNull:
+    case Op::IfNonNull:
+      Pop();
+      Flow(static_cast<uint32_t>(I.B), S);
+      break;
+    case Op::New: Push(ValKind::Ref); break;
+    case Op::NewArray:
+      Pop();
+      Push(ValKind::Ref);
+      break;
+    case Op::GetField:
+      Pop();
+      Push(Classes.field(I.A).IsRef ? ValKind::Ref : ValKind::Int);
+      break;
+    case Op::PutField:
+      Pop();
+      Pop();
+      break;
+    case Op::ALoadI:
+      Pop();
+      Pop();
+      Push(ValKind::Int);
+      break;
+    case Op::ALoadR:
+      Pop();
+      Pop();
+      Push(ValKind::Ref);
+      break;
+    case Op::AStoreI:
+    case Op::AStoreR:
+      Pop();
+      Pop();
+      Pop();
+      break;
+    case Op::ArrayLen:
+      Pop();
+      Push(ValKind::Int);
+      break;
+    case Op::GGet: Push(GlobalKinds[I.A]); break;
+    case Op::GPut: Pop(); break;
+    case Op::Call: {
+      const Method &Callee = AllMethods[I.A];
+      for (uint32_t P = 0; P != Callee.NumParams; ++P)
+        Pop();
+      if (Callee.Return == RetKind::Int)
+        Push(ValKind::Int);
+      else if (Callee.Return == RetKind::Ref)
+        Push(ValKind::Ref);
+      break;
+    }
+    case Op::Ret:
+    case Op::IRet:
+    case Op::ARet:
+      Falls = false;
+      break;
+    case Op::Pop: Pop(); break;
+    case Op::Dup: Push(S.back()); break;
+    case Op::Rand: break; // pop int, push int.
+    }
+
+    if (Falls)
+      Flow(Pc + 1, S);
+  }
+  return In;
+}
+
+MachineFunction OptCompiler::compile(const Method &M,
+                                     const ClassRegistry &Classes,
+                                     const std::vector<Method> &AllMethods,
+                                     const std::vector<ValKind> &GlobalKinds) {
+  const uint32_t N = static_cast<uint32_t>(M.Code.size());
+  auto Kinds = stackKindsPerBci(M, Classes, AllMethods, GlobalKinds);
+
+  // Reachability over the bytecode CFG: only reachable bytecodes are
+  // lowered (their stack depths are well-defined by the kinds pass).
+  std::vector<bool> Reachable(N, false);
+  {
+    std::vector<uint32_t> Stack = {0};
+    while (!Stack.empty()) {
+      uint32_t Pc = Stack.back();
+      Stack.pop_back();
+      if (Reachable[Pc])
+        continue;
+      Reachable[Pc] = true;
+      const Insn &I = M.Code[Pc];
+      switch (I.Opcode) {
+      case Op::Goto:
+        Stack.push_back(static_cast<uint32_t>(I.B));
+        break;
+      case Op::IfICmp: case Op::IfZ: case Op::IfNull: case Op::IfNonNull:
+        Stack.push_back(static_cast<uint32_t>(I.B));
+        Stack.push_back(Pc + 1);
+        break;
+      case Op::Ret: case Op::IRet: case Op::ARet:
+        break;
+      default:
+        Stack.push_back(Pc + 1);
+        break;
+      }
+    }
+  }
+
+  // Branch targets of *reachable* branches: the peephole must not fold a
+  // constant materialization across one.
+  std::vector<bool> IsTarget(N, false);
+  for (uint32_t Pc = 0; Pc != N; ++Pc) {
+    if (!Reachable[Pc])
+      continue;
+    const Insn &I = M.Code[Pc];
+    switch (I.Opcode) {
+    case Op::Goto: case Op::IfICmp: case Op::IfZ:
+    case Op::IfNull: case Op::IfNonNull:
+      IsTarget[static_cast<uint32_t>(I.B)] = true;
+      break;
+    default:
+      break;
+    }
+  }
+
+  uint32_t MaxDepth = 0;
+  for (uint32_t Pc = 0; Pc != N; ++Pc)
+    if (Kinds[Pc].size() > MaxDepth)
+      MaxDepth = static_cast<uint32_t>(Kinds[Pc].size());
+  // The deepest transient depth is entry-depth+pushes within one bytecode;
+  // +2 headroom covers every opcode's intermediate state.
+  const uint32_t NumStackRegs = MaxDepth + 2;
+
+  MachineFunction F;
+  F.Method = M.Id;
+  F.NumRegs = M.NumLocals + NumStackRegs;
+  F.RegIsRefAtEntry.assign(F.NumRegs, false);
+  for (uint32_t P = 0; P != M.NumParams; ++P)
+    F.RegIsRefAtEntry[P] = M.ParamKinds[P] == ValKind::Ref;
+
+  auto LocalReg = [&](int32_t L) { return static_cast<uint16_t>(L); };
+  auto StackReg = [&](uint32_t Depth) {
+    assert(Depth < NumStackRegs && "stack register overflow");
+    return static_cast<uint16_t>(M.NumLocals + Depth);
+  };
+
+  std::vector<uint32_t> BciFirstInst(N + 1, 0);
+
+  // Pass 1: emit, recording branch targets as *bytecode* indices in Imm.
+  for (uint32_t Pc = 0; Pc != N; ++Pc) {
+    BciFirstInst[Pc] = static_cast<uint32_t>(F.Insts.size());
+    if (!Reachable[Pc])
+      continue;
+
+    const Insn &I = M.Code[Pc];
+    const uint32_t D = static_cast<uint32_t>(Kinds[Pc].size());
+
+    auto Emit = [&](MachineInst MI) {
+      MI.Bci = Pc;
+      F.Insts.push_back(MI);
+    };
+    auto EmitArith = [&](MOp O) {
+      // Peephole: MovImm r, k ; <r = a op k>  ==>  AddImm when op is
+      // add/sub. Safe because the consumed stack slot is dead afterwards
+      // and this bytecode is not a branch target (a jump here would expect
+      // the operand to be materialized by the source path -- which it is,
+      // since that path also folds or materializes; forbid to stay simple).
+      if ((O == MOp::Add || O == MOp::Sub) && !IsTarget[Pc] &&
+          !F.Insts.empty()) {
+        MachineInst &Last = F.Insts.back();
+        if (Last.Op == MOp::MovImm && Last.Dst == StackReg(D - 1)) {
+          int32_t K = O == MOp::Add ? Last.Imm : -Last.Imm;
+          uint32_t LastBci = Last.Bci;
+          F.Insts.pop_back();
+          // Keep jumps to the folded constant's bci working: it now begins
+          // at the AddImm we are about to emit.
+          BciFirstInst[LastBci] =
+              static_cast<uint32_t>(F.Insts.size());
+          Emit({.Op = MOp::AddImm, .Dst = StackReg(D - 2),
+                .SrcA = StackReg(D - 2), .Imm = K});
+          return;
+        }
+      }
+      Emit({.Op = O, .Dst = StackReg(D - 2), .SrcA = StackReg(D - 2),
+            .SrcB = StackReg(D - 1)});
+    };
+
+    switch (I.Opcode) {
+    case Op::IConst:
+      Emit({.Op = MOp::MovImm, .Dst = StackReg(D), .Imm = I.A});
+      break;
+    case Op::AConstNull:
+      Emit({.Op = MOp::MovImm, .Dst = StackReg(D), .Imm = 0,
+            .DstIsRef = true});
+      break;
+    case Op::ILoad:
+      Emit({.Op = MOp::Mov, .Dst = StackReg(D), .SrcA = LocalReg(I.A)});
+      break;
+    case Op::ALoad:
+      Emit({.Op = MOp::Mov, .Dst = StackReg(D), .SrcA = LocalReg(I.A),
+            .DstIsRef = true});
+      break;
+    case Op::IStore:
+      Emit({.Op = MOp::Mov, .Dst = LocalReg(I.A), .SrcA = StackReg(D - 1)});
+      break;
+    case Op::AStore:
+      Emit({.Op = MOp::Mov, .Dst = LocalReg(I.A), .SrcA = StackReg(D - 1),
+            .DstIsRef = true});
+      break;
+    case Op::IInc:
+      Emit({.Op = MOp::AddImm, .Dst = LocalReg(I.A), .SrcA = LocalReg(I.A),
+            .Imm = I.B});
+      break;
+    case Op::IAdd: EmitArith(MOp::Add); break;
+    case Op::ISub: EmitArith(MOp::Sub); break;
+    case Op::IMul: EmitArith(MOp::Mul); break;
+    case Op::IDiv: EmitArith(MOp::Div); break;
+    case Op::IRem: EmitArith(MOp::Rem); break;
+    case Op::IAnd: EmitArith(MOp::And); break;
+    case Op::IOr:  EmitArith(MOp::Or); break;
+    case Op::IXor: EmitArith(MOp::Xor); break;
+    case Op::IShl: EmitArith(MOp::Shl); break;
+    case Op::IShr: EmitArith(MOp::Shr); break;
+    case Op::INeg:
+      Emit({.Op = MOp::Neg, .Dst = StackReg(D - 1), .SrcA = StackReg(D - 1)});
+      break;
+    case Op::Goto:
+      Emit({.Op = MOp::Br, .Imm = I.B});
+      break;
+    case Op::IfICmp:
+      Emit({.Op = MOp::BrCmp, .SrcA = StackReg(D - 2),
+            .SrcB = StackReg(D - 1), .Imm = I.B,
+            .Aux = static_cast<uint16_t>(I.A)});
+      break;
+    case Op::IfZ:
+      Emit({.Op = MOp::BrZero, .SrcA = StackReg(D - 1), .Imm = I.B,
+            .Aux = static_cast<uint16_t>(I.A)});
+      break;
+    case Op::IfNull:
+      Emit({.Op = MOp::BrNull, .SrcA = StackReg(D - 1), .Imm = I.B});
+      break;
+    case Op::IfNonNull:
+      Emit({.Op = MOp::BrNonNull, .SrcA = StackReg(D - 1), .Imm = I.B});
+      break;
+    case Op::New:
+      Emit({.Op = MOp::NewObject, .Dst = StackReg(D), .Imm = I.A,
+            .IsGcPoint = true, .DstIsRef = true});
+      break;
+    case Op::NewArray:
+      Emit({.Op = MOp::NewArray, .Dst = StackReg(D - 1),
+            .SrcA = StackReg(D - 1), .Imm = I.A, .IsGcPoint = true,
+            .DstIsRef = true});
+      break;
+    case Op::GetField:
+      Emit({.Op = MOp::LoadField, .Dst = StackReg(D - 1),
+            .SrcA = StackReg(D - 1), .Imm = I.A,
+            .DstIsRef = Classes.field(I.A).IsRef});
+      break;
+    case Op::PutField:
+      Emit({.Op = MOp::StoreField, .SrcA = StackReg(D - 2),
+            .SrcB = StackReg(D - 1), .Imm = I.A});
+      break;
+    case Op::ALoadI:
+      Emit({.Op = MOp::LoadElem, .Dst = StackReg(D - 2),
+            .SrcA = StackReg(D - 2), .SrcB = StackReg(D - 1)});
+      break;
+    case Op::ALoadR:
+      Emit({.Op = MOp::LoadElem, .Dst = StackReg(D - 2),
+            .SrcA = StackReg(D - 2), .SrcB = StackReg(D - 1),
+            .DstIsRef = true});
+      break;
+    case Op::AStoreI:
+      Emit({.Op = MOp::StoreElem, .SrcA = StackReg(D - 3),
+            .SrcB = StackReg(D - 2), .SrcC = StackReg(D - 1)});
+      break;
+    case Op::AStoreR:
+      Emit({.Op = MOp::StoreElem, .SrcA = StackReg(D - 3),
+            .SrcB = StackReg(D - 2), .SrcC = StackReg(D - 1), .Aux = 1});
+      break;
+    case Op::ArrayLen:
+      Emit({.Op = MOp::ArrayLen, .Dst = StackReg(D - 1),
+            .SrcA = StackReg(D - 1)});
+      break;
+    case Op::GGet:
+      Emit({.Op = MOp::GlobalGet, .Dst = StackReg(D), .Imm = I.A,
+            .DstIsRef = GlobalKinds[I.A] == ValKind::Ref});
+      break;
+    case Op::GPut:
+      Emit({.Op = MOp::GlobalSet, .SrcA = StackReg(D - 1), .Imm = I.A});
+      break;
+    case Op::Call: {
+      const Method &Callee = AllMethods[I.A];
+      CallSite Site;
+      for (uint32_t P = 0; P != Callee.NumParams; ++P)
+        Site.ArgRegs.push_back(StackReg(D - Callee.NumParams + P));
+      F.CallSites.push_back(std::move(Site));
+      uint16_t Dst = Callee.Return == RetKind::Void
+                         ? kNoReg
+                         : StackReg(D - Callee.NumParams);
+      Emit({.Op = MOp::Call, .Dst = Dst, .Imm = I.A,
+            .Aux = static_cast<uint16_t>(F.CallSites.size() - 1),
+            .IsGcPoint = true,
+            .DstIsRef = Callee.Return == RetKind::Ref});
+      break;
+    }
+    case Op::Ret:
+      Emit({.Op = MOp::Ret});
+      break;
+    case Op::IRet:
+    case Op::ARet:
+      Emit({.Op = MOp::Ret, .SrcA = StackReg(D - 1)});
+      break;
+    case Op::Pop:
+      break; // Stack-slot registers above the live depth are simply dead.
+    case Op::Dup:
+      Emit({.Op = MOp::Mov, .Dst = StackReg(D), .SrcA = StackReg(D - 1),
+            .DstIsRef = Kinds[Pc].back() == ValKind::Ref});
+      break;
+    case Op::Rand:
+      Emit({.Op = MOp::RandInt, .Dst = StackReg(D - 1),
+            .SrcA = StackReg(D - 1)});
+      break;
+    }
+  }
+  BciFirstInst[N] = static_cast<uint32_t>(F.Insts.size());
+
+  // Pass 2: rewrite branch targets from bytecode indices to machine
+  // instruction indices. Loop back-edges become yieldpoints (GC points),
+  // as in Jikes, which inserts yieldpoints at loop back-edges and method
+  // prologues -- these dominate the GC-map population.
+  for (uint32_t I = 0; I != F.Insts.size(); ++I) {
+    MachineInst &MI = F.Insts[I];
+    switch (MI.Op) {
+    case MOp::Br: case MOp::BrCmp: case MOp::BrZero:
+    case MOp::BrNull: case MOp::BrNonNull:
+      MI.Imm = static_cast<int32_t>(BciFirstInst[MI.Imm]);
+      assert(MI.Imm >= 0 &&
+             static_cast<size_t>(MI.Imm) < F.Insts.size() &&
+             "branch lowered to an out-of-range instruction");
+      if (static_cast<uint32_t>(MI.Imm) <= I)
+        MI.IsGcPoint = true; // Back-edge yieldpoint.
+      break;
+    default:
+      break;
+    }
+  }
+  if (!F.Insts.empty())
+    F.Insts.front().IsGcPoint = true; // Prologue yieldpoint.
+
+  return F;
+}

@@ -1,0 +1,40 @@
+//===-- vm/Value.h - Tagged runtime values ----------------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's runtime value: a 32-bit payload plus a reference tag. The tag
+/// exists so frames can enumerate their reference slots exactly for the
+/// GC's root scan (Jikes gets the same information from its compilers'
+/// reference maps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_VALUE_H
+#define HPMVM_VM_VALUE_H
+
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// A tagged 32-bit runtime value.
+struct Value {
+  uint32_t Bits = 0;
+  bool IsRef = false;
+
+  static Value makeInt(int32_t V) {
+    return Value{static_cast<uint32_t>(V), false};
+  }
+  static Value makeRef(Address A) { return Value{A, true}; }
+
+  int32_t asInt() const { return static_cast<int32_t>(Bits); }
+  Address asRef() const { return Bits; }
+
+  bool operator==(const Value &O) const = default;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_VALUE_H

@@ -1,0 +1,328 @@
+//===-- vm/VirtualMachine.cpp ---------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include "support/Format.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/Interpreter.h"
+#include "vm/MachineExecutor.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace hpmvm;
+
+VirtualMachine::VirtualMachine(const VmConfig &Config)
+    : Config(Config), Mem(Config.Mem),
+      Heap(kHeapBase, alignUp(Config.HeapBytes, 64 * 1024)),
+      Objects(Heap, Registry.heapClasses()), MutatorRng(Config.Seed) {
+  Aos = std::make_unique<AdaptiveOptimizationSystem>(*this);
+}
+
+VirtualMachine::~VirtualMachine() = default;
+
+MethodId VirtualMachine::declareMethod(const std::string &Name,
+                                       std::vector<ValKind> Params,
+                                       RetKind Ret) {
+  Method M;
+  M.Name = Name;
+  M.Id = static_cast<MethodId>(Methods.size());
+  M.NumParams = static_cast<uint32_t>(Params.size());
+  M.ParamKinds = std::move(Params);
+  M.NumLocals = M.NumParams;
+  M.Return = Ret;
+  Methods.push_back(std::move(M));
+  return Methods.back().Id;
+}
+
+void VirtualMachine::defineMethod(MethodId Id, Method M) {
+  assert(Id < Methods.size() && "defining an undeclared method");
+  Method &Slot = Methods[Id];
+  assert(Slot.Code.empty() && "method body defined twice");
+  assert(Slot.NumParams == M.NumParams && Slot.ParamKinds == M.ParamKinds &&
+         Slot.Return == M.Return && "body signature disagrees with declaration");
+  M.Id = Id;
+  M.Name = Slot.Name.empty() ? M.Name : Slot.Name;
+  Slot = std::move(M);
+  Slot.Id = Id;
+
+  std::string Diag = verifyMethod(Slot, Methods, Registry, GlobalKinds);
+  if (!Diag.empty())
+    trap("bytecode verification failed: " + Diag);
+
+  // Baseline-compile: reserve simulated machine code in the immortal space
+  // so every bytecode has a PC samples can resolve.
+  uint32_t CodeBytes =
+      static_cast<uint32_t>(Slot.Code.size()) * kBaselineBytesPerBytecode;
+  Slot.BaselineCodeBase = Immortal.alloc(CodeBytes);
+  CodeTable.add(Slot.BaselineCodeBase, Slot.BaselineCodeBase + CodeBytes,
+                Id, CodeFlavor::Baseline);
+}
+
+MethodId VirtualMachine::addMethod(Method M) {
+  MethodId Id = declareMethod(M.Name, M.ParamKinds, M.Return);
+  defineMethod(Id, std::move(M));
+  return Id;
+}
+
+uint32_t VirtualMachine::addGlobal(ValKind Kind) {
+  GlobalKinds.push_back(Kind);
+  Globals.push_back(Kind == ValKind::Ref ? Value::makeRef(kNullRef)
+                                         : Value::makeInt(0));
+  return static_cast<uint32_t>(Globals.size() - 1);
+}
+
+Method &VirtualMachine::method(MethodId Id) {
+  assert(Id < Methods.size() && "unknown method id");
+  return Methods[Id];
+}
+
+MethodId VirtualMachine::findMethod(const std::string &Name) const {
+  for (const Method &M : Methods)
+    if (M.Name == Name)
+      return M.Id;
+  return kInvalidId;
+}
+
+void VirtualMachine::setCollector(GarbageCollector *C) {
+  Gc = C;
+  if (Gc)
+    Gc->setRootProvider(this);
+}
+
+Value VirtualMachine::invoke(MethodId Id, std::vector<Value> Args) {
+  Method &M = method(Id);
+  assert(Args.size() == M.NumParams && "argument count mismatch");
+  ++M.Invocations;
+  ++Stats.Invocations;
+  Clock.advance(kCallOverheadCycles);
+  Aos->onInvoke(M);
+
+  MethodId Saved = CurrentMethod;
+  CurrentMethod = Id;
+  Value Result = M.isOptCompiled()
+                     ? MachineExecutor::run(*this, M, CompiledFns[M.OptIndex],
+                                            std::move(Args))
+                     : Interpreter::run(*this, M, std::move(Args));
+  CurrentMethod = Saved;
+  return Result;
+}
+
+void VirtualMachine::run(MethodId Main) {
+  invoke(Main, {});
+  safepoint(); // Final poll so tail samples are not stranded.
+}
+
+uint32_t VirtualMachine::mutatorLoad(Address A, uint32_t Size, Address Pc) {
+  AccessResult R = Mem.access(A, Size, /*IsWrite=*/false, Pc);
+  Clock.advance(R.Penalty);
+  switch (Size) {
+  case 1:
+    return Heap.readByte(A);
+  case 2:
+    return Heap.readHalf(A);
+  case 4:
+  case 8: // 64-bit loads return the low word on this 32-bit machine.
+    return Heap.readWord(A);
+  default:
+    trap(formatString("unsupported load size %u", Size));
+  }
+}
+
+void VirtualMachine::mutatorStore(Address A, uint32_t Size, uint32_t V,
+                                  Address Pc) {
+  AccessResult R = Mem.access(A, Size, /*IsWrite=*/true, Pc);
+  Clock.advance(R.Penalty);
+  switch (Size) {
+  case 1:
+    Heap.writeByte(A, static_cast<uint8_t>(V));
+    return;
+  case 2:
+    Heap.writeHalf(A, static_cast<uint16_t>(V));
+    return;
+  case 8:
+    Heap.writeWord(A + 4, 0);
+    [[fallthrough]];
+  case 4:
+    Heap.writeWord(A, V);
+    return;
+  default:
+    trap(formatString("unsupported store size %u", Size));
+  }
+}
+
+void VirtualMachine::chargeAllocation(Address Obj, uint32_t Bytes,
+                                      Address Pc) {
+  ++Stats.ObjectsAllocated;
+  Stats.BytesAllocated += Bytes;
+  Clock.advance(kAllocCycles + (Bytes / 16) * kZeroCyclesPer16Bytes);
+  if (Config.CountAllocationTraffic) {
+    // The zero-initializing stores touch every line of the new object.
+    AccessResult R = Mem.access(Obj, Bytes, /*IsWrite=*/true, Pc);
+    Clock.advance(R.Penalty);
+  }
+}
+
+Address VirtualMachine::allocateObject(ClassId Cls, Address Pc) {
+  uint32_t Bytes = Objects.scalarObjectBytes(Cls);
+  Address Obj = collector().allocate(Cls, Bytes, 0);
+  if (Obj == kNullRef)
+    trap(formatString("out of memory allocating %s (%u bytes)",
+                      Registry.className(Cls).c_str(), Bytes));
+  chargeAllocation(Obj, Bytes, Pc);
+  return Obj;
+}
+
+Address VirtualMachine::allocateArray(ClassId Cls, uint32_t Length,
+                                      Address Pc) {
+  uint32_t Bytes = Objects.arrayObjectBytes(Cls, Length);
+  Address Obj = collector().allocate(Cls, Bytes, Length);
+  if (Obj == kNullRef)
+    trap(formatString("out of memory allocating %s[%u] (%u bytes)",
+                      Registry.className(Cls).c_str(), Length, Bytes));
+  chargeAllocation(Obj, Bytes, Pc);
+  return Obj;
+}
+
+void VirtualMachine::refStore(Address Holder, Address SlotAddr,
+                              Address NewVal) {
+  Clock.advance(kWriteBarrierCycles);
+  collector().writeBarrier(Holder, SlotAddr, NewVal);
+}
+
+void VirtualMachine::prefetchHint(Address A, Address Pc) {
+  Clock.advance(Mem.softwarePrefetch(A, Pc));
+}
+
+void VirtualMachine::safepoint() {
+  if (SafepointHook)
+    SafepointHook();
+  Aos->onSafepoint(CurrentMethod);
+}
+
+Value VirtualMachine::global(uint32_t Idx) const {
+  assert(Idx < Globals.size() && "unknown global");
+  return Globals[Idx];
+}
+
+void VirtualMachine::setGlobal(uint32_t Idx, Value V) {
+  assert(Idx < Globals.size() && "unknown global");
+  assert(V.IsRef == (GlobalKinds[Idx] == ValKind::Ref) &&
+         "global kind mismatch");
+  Globals[Idx] = V;
+}
+
+void VirtualMachine::trap(const std::string &Msg) {
+  ++Stats.Traps;
+  fprintf(stderr, "hpmvm trap: %s\n", Msg.c_str());
+  abort();
+}
+
+void VirtualMachine::installCompiledCode(Method &M, MachineFunction F) {
+  if (M.isOptCompiled()) {
+    // Recompilation abandons the old code in place (the immortal space is
+    // never collected); account the stale bytes as the paper does.
+    Immortal.noteStale(CompiledFns[M.OptIndex].codeBytes());
+  }
+  F.Method = M.Id;
+  F.CodeBase = Immortal.alloc(F.codeBytes());
+  CodeTable.add(F.CodeBase, F.codeLimit(), M.Id, CodeFlavor::Optimized);
+  CompiledFns.push_back(std::move(F));
+  M.OptIndex = static_cast<uint32_t>(CompiledFns.size() - 1);
+  ++Stats.MethodsOptCompiled;
+}
+
+void VirtualMachine::forEachRoot(const std::function<void(Address &)> &Fn) {
+  for (Value &G : Globals)
+    if (G.IsRef && G.Bits != kNullRef)
+      Fn(G.Bits);
+  for (FrameRefVisitor *F : Frames)
+    F->visitRefs(Fn);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared semantic heap operations (used by both execution engines).
+//===----------------------------------------------------------------------===//
+
+Value VirtualMachine::getFieldOp(Address Ref, FieldId Fid, Address Pc) {
+  if (Ref == kNullRef)
+    trap("null pointer dereference (getfield " +
+         Registry.field(Fid).Name + ")");
+  const FieldInfo &FI = Registry.field(Fid);
+  if (Objects.classOf(Ref) != FI.Owner)
+    trap("getfield " + FI.Name + " on an object of class " +
+         Registry.className(Objects.classOf(Ref)));
+  if (Config.ProfileFieldAccess) {
+    if (FieldAccessCounts.size() <= Fid)
+      FieldAccessCounts.resize(Registry.numFields(), 0);
+    ++FieldAccessCounts[Fid];
+    Clock.advance(1); // The instrumentation is not free.
+  }
+  uint32_t Bits = mutatorLoad(Ref + FI.Offset, 4, Pc);
+  return FI.IsRef ? Value::makeRef(Bits)
+                  : Value::makeInt(static_cast<int32_t>(Bits));
+}
+
+void VirtualMachine::putFieldOp(Address Ref, FieldId Fid, Value V,
+                                Address Pc) {
+  if (Ref == kNullRef)
+    trap("null pointer dereference (putfield " +
+         Registry.field(Fid).Name + ")");
+  const FieldInfo &FI = Registry.field(Fid);
+  if (Objects.classOf(Ref) != FI.Owner)
+    trap("putfield " + FI.Name + " on an object of class " +
+         Registry.className(Objects.classOf(Ref)));
+  assert(V.IsRef == FI.IsRef && "field store kind mismatch");
+  if (FI.IsRef)
+    refStore(Ref, Ref + FI.Offset, V.Bits);
+  mutatorStore(Ref + FI.Offset, 4, V.Bits, Pc);
+}
+
+int32_t VirtualMachine::arrayLenOp(Address Arr, Address Pc) {
+  if (Arr == kNullRef)
+    trap("null pointer dereference (arraylength)");
+  // Object-header access: the length word lives in the header.
+  uint32_t Len = mutatorLoad(Arr + objheader::kAuxOffset, 4, Pc);
+  return static_cast<int32_t>(Len);
+}
+
+Value VirtualMachine::arrayLoadOp(Address Arr, int32_t Idx, bool WantRef,
+                                  Address Pc) {
+  if (Arr == kNullRef)
+    trap("null pointer dereference (array load)");
+  const HeapClassDesc &D = Objects.descOf(Arr);
+  if (!D.isArray())
+    trap("array load from a non-array object of class " + D.Name);
+  if (WantRef != (D.ArrayElem == ElemKind::Ref))
+    trap("array load element-kind mismatch on " + D.Name);
+  // Bounds check reads the header's length word, then the element.
+  int32_t Len = arrayLenOp(Arr, Pc);
+  if (Idx < 0 || Idx >= Len)
+    trap(formatString("array index %d out of bounds [0, %d)", Idx, Len));
+  uint32_t ElemSize = elemKindSize(D.ArrayElem);
+  Address EA = Arr + objheader::kHeaderBytes +
+               static_cast<uint32_t>(Idx) * ElemSize;
+  uint32_t Bits = mutatorLoad(EA, ElemSize, Pc);
+  return WantRef ? Value::makeRef(Bits)
+                 : Value::makeInt(static_cast<int32_t>(Bits));
+}
+
+void VirtualMachine::arrayStoreOp(Address Arr, int32_t Idx, Value V,
+                                  bool IsRefStore, Address Pc) {
+  if (Arr == kNullRef)
+    trap("null pointer dereference (array store)");
+  const HeapClassDesc &D = Objects.descOf(Arr);
+  if (!D.isArray())
+    trap("array store to a non-array object of class " + D.Name);
+  if (IsRefStore != (D.ArrayElem == ElemKind::Ref))
+    trap("array store element-kind mismatch on " + D.Name);
+  int32_t Len = arrayLenOp(Arr, Pc);
+  if (Idx < 0 || Idx >= Len)
+    trap(formatString("array index %d out of bounds [0, %d)", Idx, Len));
+  uint32_t ElemSize = elemKindSize(D.ArrayElem);
+  Address EA = Arr + objheader::kHeaderBytes +
+               static_cast<uint32_t>(Idx) * ElemSize;
+  if (IsRefStore)
+    refStore(Arr, EA, V.Bits);
+  mutatorStore(EA, ElemSize, V.Bits, Pc);
+}

@@ -1,0 +1,254 @@
+//===-- vm/VirtualMachine.h - The VM facade ---------------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual machine: owns the simulated clock, memory hierarchy, heap
+/// backing store, class/method registries, globals, compiled code, and the
+/// adaptive optimization system; dispatches method invocations to the
+/// baseline interpreter or to optimized machine code; provides the
+/// mutator's memory-access services (every semantic heap access is charged
+/// through the memory hierarchy at a precise code address, which is what
+/// the PEBS unit samples); and acts as the GC's root provider.
+///
+/// Wiring: the collector plan (src/gc) and the HPM monitor (src/core) are
+/// attached from outside; see harness/ExperimentRunner for the standard
+/// assembly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_VIRTUALMACHINE_H
+#define HPMVM_VM_VIRTUALMACHINE_H
+
+#include "heap/GcApi.h"
+#include "heap/HeapMemory.h"
+#include "heap/ImmortalSpace.h"
+#include "heap/ObjectModel.h"
+#include "memsim/MemoryHierarchy.h"
+#include "support/Random.h"
+#include "support/Types.h"
+#include "support/VirtualClock.h"
+#include "vm/Bytecode.h"
+#include "vm/ClassRegistry.h"
+#include "vm/CostModel.h"
+#include "vm/MachineCode.h"
+#include "vm/MethodTable.h"
+#include "vm/Value.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+class AdaptiveOptimizationSystem;
+
+/// VM construction parameters.
+struct VmConfig {
+  uint32_t HeapBytes = 64 * 1024 * 1024;
+  uint64_t Seed = 1;
+  MemoryHierarchyConfig Mem;
+  /// Charge the cache traffic of zero-initializing fresh objects (the
+  /// allocation-site stores real hardware would issue).
+  bool CountAllocationTraffic = true;
+  /// Count executed getfield operations per field (the light-weight
+  /// software profiling the frequency-driven comparison advisor uses;
+  /// costs one cycle per field read when enabled).
+  bool ProfileFieldAccess = false;
+};
+
+/// Mutator-side runtime statistics.
+struct VmRuntimeStats {
+  uint64_t BytecodesInterpreted = 0;
+  uint64_t MachineInstsExecuted = 0;
+  uint64_t Invocations = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t MethodsOptCompiled = 0;
+  Cycles CompileCycles = 0;
+  uint64_t Traps = 0;
+};
+
+/// A frame that can enumerate its reference slots for the root scan.
+class FrameRefVisitor {
+public:
+  virtual ~FrameRefVisitor() = default;
+  virtual void visitRefs(const std::function<void(Address &)> &Fn) = 0;
+};
+
+/// The virtual machine.
+class VirtualMachine : public RootProvider {
+public:
+  explicit VirtualMachine(const VmConfig &Config = {});
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine &) = delete;
+  VirtualMachine &operator=(const VirtualMachine &) = delete;
+
+  // --- Program definition -------------------------------------------------
+  ClassRegistry &classes() { return Registry; }
+  const ClassRegistry &classes() const { return Registry; }
+
+  /// Declares a method signature without a body (for mutual recursion);
+  /// provide the body later with defineMethod.
+  MethodId declareMethod(const std::string &Name,
+                         std::vector<ValKind> Params, RetKind Ret);
+
+  /// Fills in the body of a declared method. \p M's signature must match.
+  /// Verifies the bytecode (fatal on failure) and assigns baseline code
+  /// addresses.
+  void defineMethod(MethodId Id, Method M);
+
+  /// declare + define in one step; \returns the new MethodId.
+  MethodId addMethod(Method M);
+
+  /// Registers a VM-level global slot. Reference globals are GC roots.
+  uint32_t addGlobal(ValKind Kind);
+
+  Method &method(MethodId Id);
+  const std::vector<Method> &methods() const { return Methods; }
+  const std::vector<ValKind> &globalKinds() const { return GlobalKinds; }
+
+  MethodId findMethod(const std::string &Name) const;
+
+  // --- Collector / monitor wiring ------------------------------------------
+  void setCollector(GarbageCollector *C);
+  GarbageCollector &collector() {
+    assert(Gc && "no collector attached");
+    return *Gc;
+  }
+
+  /// Hook run at safepoints (the harness polls the sample collector and
+  /// the auto-interval controller here).
+  void setSafepointHook(std::function<void()> Hook) {
+    SafepointHook = std::move(Hook);
+  }
+
+  // --- Execution ------------------------------------------------------------
+  /// Invokes a method (dispatching to interpreter or optimized code).
+  Value invoke(MethodId Id, std::vector<Value> Args);
+
+  /// Runs \p Main (no arguments) to completion.
+  void run(MethodId Main);
+
+  // --- Services used by the execution engines -------------------------------
+  /// Loads \p Size bytes at \p A, charging the memory hierarchy with the
+  /// access issued from code address \p Pc. \returns the (low) 32 bits.
+  uint32_t mutatorLoad(Address A, uint32_t Size, Address Pc);
+  /// Stores the low \p Size bytes of \p V at \p A.
+  void mutatorStore(Address A, uint32_t Size, uint32_t V, Address Pc);
+
+  Address allocateObject(ClassId Cls, Address Pc);
+  Address allocateArray(ClassId Cls, uint32_t Length, Address Pc);
+
+  /// Reference store with generational write barrier; the caller has
+  /// already charged the cache access.
+  void refStore(Address Holder, Address SlotAddr, Address NewVal);
+
+  // Shared semantic heap operations (null/type/bounds checked, memory
+  // traffic charged at \p Pc). Used by both execution engines so their
+  // semantics cannot diverge.
+  Value getFieldOp(Address Ref, FieldId Fid, Address Pc);
+  void putFieldOp(Address Ref, FieldId Fid, Value V, Address Pc);
+  Value arrayLoadOp(Address Arr, int32_t Idx, bool WantRef, Address Pc);
+  void arrayStoreOp(Address Arr, int32_t Idx, Value V, bool IsRefStore,
+                    Address Pc);
+  int32_t arrayLenOp(Address Arr, Address Pc);
+
+  /// Software-prefetch service for JIT-inserted Prefetch instructions.
+  void prefetchHint(Address A, Address Pc);
+
+  /// Safepoint: runs the harness hook and AOS timer sampling.
+  void safepoint();
+
+  Value global(uint32_t Idx) const;
+  void setGlobal(uint32_t Idx, Value V);
+
+  [[noreturn]] void trap(const std::string &Msg);
+
+  // --- Components -----------------------------------------------------------
+  VirtualClock &clock() { return Clock; }
+  MemoryHierarchy &memory() { return Mem; }
+  HeapMemory &heapMemory() { return Heap; }
+  ObjectModel &objects() { return Objects; }
+  ImmortalSpace &immortal() { return Immortal; }
+  MethodTable &methodTable() { return CodeTable; }
+  SplitMix64 &mutatorRng() { return MutatorRng; }
+  AdaptiveOptimizationSystem &aos() { return *Aos; }
+  VmRuntimeStats &stats() { return Stats; }
+  const VmConfig &config() const { return Config; }
+
+  /// The method currently executing (innermost frame), for AOS timer
+  /// sampling; kInvalidId outside invoke().
+  MethodId currentMethod() const { return CurrentMethod; }
+
+  /// Executed getfield count for \p F (0 unless ProfileFieldAccess).
+  uint64_t fieldAccessCount(FieldId F) const {
+    return F < FieldAccessCounts.size() ? FieldAccessCounts[F] : 0;
+  }
+
+  const MachineFunction &compiledCode(uint32_t OptIndex) const {
+    return CompiledFns.at(OptIndex);
+  }
+  size_t numCompiledFunctions() const { return CompiledFns.size(); }
+
+  /// Installs \p F as \p M's optimized code: assigns immortal addresses,
+  /// updates the method table, retires old code. Called by the AOS.
+  void installCompiledCode(Method &M, MachineFunction F);
+
+  /// Baseline "machine code" address of bytecode \p Bci in \p M.
+  static Address baselinePc(const Method &M, uint32_t Bci) {
+    return M.BaselineCodeBase + Bci * kBaselineBytesPerBytecode;
+  }
+
+  // --- Roots -----------------------------------------------------------------
+  void forEachRoot(const std::function<void(Address &)> &Fn) override;
+
+  /// RAII registration of an active frame for root scanning.
+  class FrameScope {
+  public:
+    FrameScope(VirtualMachine &Vm, FrameRefVisitor *Frame) : Vm(Vm) {
+      Vm.Frames.push_back(Frame);
+    }
+    ~FrameScope() { Vm.Frames.pop_back(); }
+    FrameScope(const FrameScope &) = delete;
+    FrameScope &operator=(const FrameScope &) = delete;
+
+  private:
+    VirtualMachine &Vm;
+  };
+
+private:
+  friend class FrameScope;
+
+  void chargeAllocation(Address Obj, uint32_t Bytes, Address Pc);
+
+  VmConfig Config;
+  VirtualClock Clock;
+  MemoryHierarchy Mem;
+  HeapMemory Heap;
+  ClassRegistry Registry;
+  ObjectModel Objects;
+  ImmortalSpace Immortal;
+  MethodTable CodeTable;
+  SplitMix64 MutatorRng;
+  std::vector<Method> Methods;
+  std::deque<MachineFunction> CompiledFns;
+  std::vector<Value> Globals;
+  std::vector<ValKind> GlobalKinds;
+  std::vector<FrameRefVisitor *> Frames;
+  GarbageCollector *Gc = nullptr;
+  std::unique_ptr<AdaptiveOptimizationSystem> Aos;
+  std::function<void()> SafepointHook;
+  VmRuntimeStats Stats;
+  MethodId CurrentMethod = kInvalidId;
+  std::vector<uint64_t> FieldAccessCounts;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_VM_VIRTUALMACHINE_H

@@ -1,0 +1,164 @@
+//===-- workloads/DaCapo.cpp - The eight DaCapo programs ------------------===//
+//
+// Synthetic analogues of the DaCapo 10-2006 MR-2 programs the paper uses
+// (chart, eclipse and xalan excluded, as in the paper, for Jikes 2.4.2
+// compatibility).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PatternKernels.h"
+
+#include "vm/VirtualMachine.h"
+
+using namespace hpmvm;
+
+namespace hpmvm::workloads {
+
+/// antlr: grammar parsing; AST-heavy with moderate token churn.
+WorkloadProgram buildAntlr(VirtualMachine &Vm, const WorkloadParams &P) {
+  ParserParams Pp;
+  Pp.Prefix = "antlr";
+  Pp.TokenWaves = 80;
+  Pp.TokensPerWave = scaled(3000, P);
+  Pp.TokenChars = 8;
+  Pp.RingSize = 64;
+  Pp.AstNodes = scaled(12000, P);
+  Pp.AstWalks = 25000;
+  Pp.WalkSteps = 14;
+  Pp.SymbolRows = scaled(2000, P);
+  return buildParser(Vm, Pp);
+}
+
+/// bloat: bytecode optimizer; long pointer walks over a persistent IR
+/// graph -- one of the programs Figure 4 shows benefiting.
+WorkloadProgram buildBloat(VirtualMachine &Vm, const WorkloadParams &P) {
+  TreeParams T;
+  T.Prefix = "bloat";
+  T.Depth = P.ScalePercent >= 100 ? 14 : 12;
+  T.Traversals = 1;
+  T.Walks = scaled(30000, P);
+  T.WalkSteps = 24;
+  T.PayloadInts = 4;
+  T.Iterations = 2;
+  T.GarbageEvery = 4;
+  return buildTree(Vm, T);
+}
+
+/// fop: XSL-FO to PDF; a single small document -- the tiniest program in
+/// the paper's Table 2 (16 KB of MC maps).
+WorkloadProgram buildFop(VirtualMachine &Vm, const WorkloadParams &P) {
+  ParserParams Pp;
+  Pp.Prefix = "fop";
+  Pp.TokenWaves = 12;
+  Pp.TokensPerWave = scaled(800, P);
+  Pp.TokenChars = 8;
+  Pp.RingSize = 32;
+  Pp.AstNodes = scaled(2500, P);
+  Pp.AstWalks = 4000;
+  Pp.WalkSteps = 10;
+  Pp.SymbolRows = scaled(500, P);
+  return buildParser(Vm, Pp);
+}
+
+/// hsqldb: in-memory database; large persistent bucket-chained tables with
+/// char[] keys. Large co-allocated populations (Figure 3).
+WorkloadProgram buildHsqldb(VirtualMachine &Vm, const WorkloadParams &P) {
+  HashProbeParams H;
+  H.Prefix = "hsqldb";
+  H.NumRows = scaled(8000, P);
+  H.TableSize = 2048;
+  H.KeyChars = 12;
+  H.RowInts = 8;
+  H.Probes = scaled(100000, P);
+  H.Iterations = 2;
+  H.GarbageEvery = 1;
+  return buildHashProbe(Vm, H);
+}
+
+/// jython: Python interpreter on the JVM; frame/token churn plus dict
+/// (hash) probes. Biggest code footprint in the paper's Table 2.
+WorkloadProgram buildJython(VirtualMachine &Vm, const WorkloadParams &P) {
+  ParserParams Pp;
+  Pp.Prefix = "jython";
+  Pp.TokenWaves = 50;
+  Pp.TokensPerWave = scaled(2000, P);
+  Pp.TokenChars = 10;
+  Pp.RingSize = 96;
+  Pp.AstNodes = scaled(8000, P);
+  Pp.AstWalks = 12000;
+  Pp.WalkSteps = 12;
+  Pp.SymbolRows = scaled(3000, P);
+  WorkloadProgram Interp = buildParser(Vm, Pp);
+
+  HashProbeParams H;
+  H.Prefix = "jythonDict";
+  H.NumRows = scaled(5000, P);
+  H.TableSize = 1024;
+  H.KeyChars = 10;
+  H.RowInts = 4;
+  H.Probes = scaled(50000, P);
+  H.Iterations = 2;
+  H.GarbageEvery = 1;
+  WorkloadProgram Dict = buildHashProbe(Vm, H);
+
+  return combinePrograms(Vm, "jython", {Interp, Dict});
+}
+
+/// luindex: Lucene indexing; allocation-heavy construction of per-term
+/// posting lists that survive (large co-allocated populations).
+WorkloadProgram buildLuindex(VirtualMachine &Vm, const WorkloadParams &P) {
+  PostingsParams Po;
+  Po.Prefix = "luindex";
+  Po.NumTerms = scaled(3000, P);
+  Po.NumPostings = scaled(50000, P);
+  Po.Queries = scaled(10000, P);
+  Po.MaxChain = 16;
+  Po.Iterations = 4;
+  Po.GarbageEvery = 1;
+  return buildPostings(Vm, Po);
+}
+
+/// lusearch: Lucene search; walks existing posting lists hard.
+WorkloadProgram buildLusearch(VirtualMachine &Vm, const WorkloadParams &P) {
+  PostingsParams Po;
+  Po.Prefix = "lusearch";
+  Po.NumTerms = scaled(3000, P);
+  Po.NumPostings = scaled(40000, P);
+  Po.Queries = scaled(65000, P);
+  Po.MaxChain = 20;
+  Po.Iterations = 2;
+  Po.GarbageEvery = 1;
+  return buildPostings(Vm, Po);
+}
+
+/// pmd: source-code analyzer; AST walks plus rule-table scans (one of the
+/// benefiting programs in Figure 4).
+WorkloadProgram buildPmd(VirtualMachine &Vm, const WorkloadParams &P) {
+  TreeParams T;
+  T.Prefix = "pmdAst";
+  T.Depth = 13;
+  T.Traversals = 2;
+  T.Walks = scaled(20000, P);
+  T.WalkSteps = 20;
+  T.PayloadInts = 2;
+  T.Iterations = 2;
+  T.GarbageEvery = 4;
+  WorkloadProgram Ast = buildTree(Vm, T);
+
+  RecordTableParams R;
+  R.Prefix = "pmdRules";
+  R.NumRecords = scaled(5000, P);
+  R.MinChars = 6;
+  R.MaxChars = 16;
+  R.TouchChars = 6;
+  R.ScanPasses = 12;
+  R.SortPasses = 1;
+  R.Iterations = 2;
+  R.GarbageEvery = 1;
+  R.GarbageChars = 16;
+  WorkloadProgram Rules = buildRecordTable(Vm, R);
+
+  return combinePrograms(Vm, "pmd", {Ast, Rules});
+}
+
+} // namespace hpmvm::workloads

@@ -1,0 +1,329 @@
+//===-- workloads/KernelsChurn.cpp - Warehouse & Parser kernels -----------===//
+//
+// Warehouse (pseudojbb): transactions allocate Order objects holding
+// 20-element long[] item arrays (160-byte bodies -- larger than one
+// 128-byte cache line). A sliding window keeps recent orders live, so the
+// GC promotes and co-allocates millions of pairs over a run, but because
+// the child spans multiple lines anyway the cache-line benefit is small:
+// the paper measures only 2-6% miss reduction for jbb despite 2.4 million
+// co-allocated objects.
+//
+// Parser (javac/antlr/jack/jython/fop): waves of short-lived token objects
+// (high nursery churn, low survival -> few promotions, so monitoring
+// overhead dominates any gain), plus a persistent symbol table and an AST
+// walked through child pointers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PatternKernels.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+WorkloadProgram hpmvm::buildWarehouse(VirtualMachine &Vm,
+                                      const WarehouseParams &P) {
+  assert(P.WindowSize >= 16 && P.ItemsPerOrder >= 2 &&
+         "degenerate warehouse parameters");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId Order = C.defineClass(Px + "Order", {{"items", true},
+                                               {"customer", true},
+                                               {"total", false},
+                                               {"status", false}});
+  ClassId Cust = C.defineClass(Px + "Customer", {{"name", true},
+                                                 {"id", false}});
+  ClassId LongArr = C.defineArrayClass(Px + "long[]", ElemKind::I64);
+  ClassId Chars = C.defineArrayClass(Px + "char[]", ElemKind::I16);
+  ClassId OrderArr = C.defineArrayClass(Px + "Order[]", ElemKind::Ref);
+  FieldId FItems = C.fieldId(Order, "items");
+  FieldId FCustomer = C.fieldId(Order, "customer");
+  FieldId FTotal = C.fieldId(Order, "total");
+  FieldId FName = C.fieldId(Cust, "name");
+  uint32_t GRing = Vm.addGlobal(ValKind::Ref);
+
+  const int32_t Items = static_cast<int32_t>(P.ItemsPerOrder);
+  const int32_t Window = static_cast<int32_t>(P.WindowSize);
+
+  // --- setup(): the live window --------------------------------------------
+  MethodId Setup;
+  {
+    BytecodeBuilder B(Px + ".setup");
+    B.returns(RetKind::Void);
+    B.iconst(Window).newArray(OrderArr).gput(GRing);
+    B.ret();
+    Setup = Vm.addMethod(B.build());
+  }
+
+  // --- newOrder(slot): one transaction's allocations -----------------------
+  MethodId NewOrder;
+  {
+    BytecodeBuilder B(Px + ".newOrder");
+    uint32_t Slot = B.addParam(ValKind::Int);
+    uint32_t O = B.newLocal(), A = B.newLocal(), Cu = B.newLocal(),
+             Nm = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.newObj(Order).astore(O);
+    B.iconst(Items).newArray(LongArr).astore(A);
+    Label FHead = B.label(), FDone = B.label();
+    B.iconst(0).istore(I);
+    B.bind(FHead).iload(I).iconst(Items).ifICmp(CondKind::Ge, FDone);
+    B.aload(A).iload(I).iconst(10000).rand().astoreI();
+    B.iinc(I, 1).jump(FHead);
+    B.bind(FDone);
+    B.newObj(Cust).astore(Cu);
+    B.iconst(static_cast<int32_t>(P.NameChars)).newArray(Chars).astore(Nm);
+    B.aload(Nm).iconst(0).iconst(26).rand().iconst(65).iadd().astoreI();
+    B.aload(Cu).aload(Nm).putfield(FName);
+    B.aload(Cu).iconst(1 << 20).rand().putfield(C.fieldId(Cust, "id"));
+    B.aload(O).aload(A).putfield(FItems);
+    B.aload(O).aload(Cu).putfield(FCustomer);
+    B.aload(O).iconst(100000).rand().putfield(FTotal);
+    B.gget(GRing).iload(Slot).aload(O).astoreR();
+    B.ret();
+    NewOrder = Vm.addMethod(B.build());
+  }
+
+  // --- scanOrders(k) -> acc: payment/stock-level pass ----------------------
+  MethodId Scan;
+  {
+    BytecodeBuilder B(Px + ".scanOrders");
+    uint32_t K = B.addParam(ValKind::Int);
+    uint32_t R = B.newLocal(), O = B.newLocal(), A = B.newLocal(),
+             Cu = B.newLocal(), Acc = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GRing).astore(R);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label(), Skip = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(K).ifICmp(CondKind::Ge, Done);
+    B.aload(R).iconst(Window).rand().aloadR().astore(O);
+    B.aload(O).ifNull(Skip);
+    B.aload(O).getfield(FTotal).iload(Acc).iadd().istore(Acc);
+    B.aload(O).getfield(FItems).astore(A);
+    // Touch items spread across the (multi-line) array.
+    B.aload(A).iconst(0).aloadI().iload(Acc).iadd().istore(Acc);
+    B.aload(A).iconst(Items / 2).aloadI().iload(Acc).iadd().istore(Acc);
+    B.aload(A).iconst(Items - 1).aloadI().iload(Acc).iadd().istore(Acc);
+    B.aload(O).getfield(FCustomer).astore(Cu);
+    B.aload(Cu).getfield(FName).iconst(0).aloadI().iload(Acc).iadd()
+        .istore(Acc);
+    B.bind(Skip).iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    Scan = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t T = B.newLocal();
+    B.returns(RetKind::Void);
+    B.call(Setup);
+    Label Head = B.label(), Done = B.label(), NoScan = B.label();
+    B.iconst(0).istore(T);
+    B.bind(Head).iload(T).iconst(static_cast<int32_t>(P.Transactions))
+        .ifICmp(CondKind::Ge, Done);
+    B.iload(T).iconst(Window).irem().call(NewOrder);
+    B.iload(T).iconst(static_cast<int32_t>(P.ScanEvery)).irem()
+        .ifZ(CondKind::Ne, NoScan);
+    B.iconst(static_cast<int32_t>(P.ScanOrders)).call(Scan).popv();
+    B.bind(NoScan).iinc(T, 1).jump(Head);
+    B.bind(Done).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".setup", Px + ".newOrder",
+                          Px + ".scanOrders", Px + ".run"};
+  return Prog;
+}
+
+WorkloadProgram hpmvm::buildParser(VirtualMachine &Vm,
+                                   const ParserParams &P) {
+  assert(P.RingSize >= 2 && P.SymbolRows >= 16 &&
+         "degenerate parser parameters");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId Tok = C.defineClass(Px + "Token", {{"text", true},
+                                             {"kind", false}});
+  ClassId Ast = C.defineClass(Px + "AstNode", {{"c0", true},
+                                               {"c1", true},
+                                               {"c2", true},
+                                               {"kind", false}});
+  ClassId Sym = C.defineClass(Px + "Symbol", {{"name", true},
+                                              {"val", false}});
+  ClassId Chars = C.defineArrayClass(Px + "char[]", ElemKind::I16);
+  ClassId TokArr = C.defineArrayClass(Px + "Token[]", ElemKind::Ref);
+  ClassId AstArr = C.defineArrayClass(Px + "AstNode[]", ElemKind::Ref);
+  ClassId SymArr = C.defineArrayClass(Px + "Symbol[]", ElemKind::Ref);
+  FieldId FText = C.fieldId(Tok, "text");
+  FieldId FC0 = C.fieldId(Ast, "c0");
+  FieldId FC1 = C.fieldId(Ast, "c1");
+  FieldId FC2 = C.fieldId(Ast, "c2");
+  FieldId FAstKind = C.fieldId(Ast, "kind");
+  FieldId FSymName = C.fieldId(Sym, "name");
+  uint32_t GRing = Vm.addGlobal(ValKind::Ref);
+  uint32_t GAst = Vm.addGlobal(ValKind::Ref);
+  uint32_t GSym = Vm.addGlobal(ValKind::Ref);
+
+  const int32_t Ring = static_cast<int32_t>(P.RingSize);
+  const int32_t Nodes = static_cast<int32_t>(P.AstNodes);
+  const int32_t Rows = static_cast<int32_t>(P.SymbolRows);
+
+  // --- symBuild(): the persistent symbol table -----------------------------
+  MethodId SymBuild;
+  {
+    BytecodeBuilder B(Px + ".symBuild");
+    uint32_t T = B.newLocal(), I = B.newLocal(), S = B.newLocal(),
+             Nm = B.newLocal();
+    B.returns(RetKind::Void);
+    B.iconst(Rows).newArray(SymArr).astore(T);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(Rows).ifICmp(CondKind::Ge, Done);
+    B.newObj(Sym).astore(S);
+    B.iconst(8).newArray(Chars).astore(Nm);
+    B.aload(Nm).iconst(0).iconst(26).rand().iconst(97).iadd().astoreI();
+    B.aload(S).aload(Nm).putfield(FSymName);
+    B.aload(S).iload(I).putfield(C.fieldId(Sym, "val"));
+    B.aload(T).iload(I).aload(S).astoreR();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).aload(T).gput(GSym);
+    B.ret();
+    SymBuild = Vm.addMethod(B.build());
+  }
+
+  // --- astBuild(): persistent tree-ish graph over an index array -----------
+  MethodId AstBuild;
+  {
+    BytecodeBuilder B(Px + ".astBuild");
+    uint32_t T = B.newLocal(), I = B.newLocal(), Nd = B.newLocal();
+    B.returns(RetKind::Void);
+    B.iconst(Nodes).newArray(AstArr).astore(T);
+    Label H1 = B.label(), D1 = B.label();
+    B.iconst(0).istore(I);
+    B.bind(H1).iload(I).iconst(Nodes).ifICmp(CondKind::Ge, D1);
+    B.newObj(Ast).astore(Nd);
+    B.aload(Nd).iconst(256).rand().putfield(FAstKind);
+    B.aload(T).iload(I).aload(Nd).astoreR();
+    B.iinc(I, 1).jump(H1);
+    B.bind(D1);
+    // Link node[i]'s children to earlier nodes (acyclic by construction).
+    Label H2 = B.label(), D2 = B.label();
+    B.iconst(1).istore(I);
+    B.bind(H2).iload(I).iconst(Nodes).ifICmp(CondKind::Ge, D2);
+    B.aload(T).iload(I).aloadR().astore(Nd);
+    B.aload(Nd).aload(T).iload(I).rand().aloadR().putfield(FC0);
+    B.aload(Nd).aload(T).iload(I).rand().aloadR().putfield(FC1);
+    B.aload(Nd).aload(T).iload(I).rand().aloadR().putfield(FC2);
+    B.iinc(I, 1).jump(H2);
+    B.bind(D2).aload(T).gput(GAst);
+    B.ret();
+    AstBuild = Vm.addMethod(B.build());
+  }
+
+  // --- lexWave(n) -> acc: token churn + symbol probes ----------------------
+  MethodId LexWave;
+  {
+    BytecodeBuilder B(Px + ".lexWave");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t R = B.newLocal(), S = B.newLocal(), I = B.newLocal(),
+             Tk = B.newLocal(), Tx = B.newLocal(), Acc = B.newLocal(),
+             Sm = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GRing).astore(R).gget(GSym).astore(S);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label(), NoProbe = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.newObj(Tok).astore(Tk);
+    B.iconst(static_cast<int32_t>(P.TokenChars)).newArray(Chars)
+        .astore(Tx);
+    B.aload(Tx).iconst(0).iconst(26).rand().iconst(97).iadd().astoreI();
+    B.aload(Tk).aload(Tx).putfield(FText);
+    B.aload(Tk).iconst(64).rand().putfield(C.fieldId(Tok, "kind"));
+    B.aload(R).iload(I).iconst(Ring).irem().aload(Tk).astoreR();
+    // Every 5th token resolves an identifier against the symbol table.
+    B.iload(I).iconst(5).irem().ifZ(CondKind::Ne, NoProbe);
+    B.aload(S).iconst(Rows).rand().aloadR().astore(Sm);
+    B.aload(Sm).getfield(FSymName).iconst(0).aloadI().iload(Acc).iadd()
+        .istore(Acc);
+    B.bind(NoProbe).iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    LexWave = Vm.addMethod(B.build());
+  }
+
+  // --- astWalk(steps) -> acc: child-pointer descents ------------------------
+  MethodId AstWalk;
+  {
+    BytecodeBuilder B(Px + ".astWalk");
+    uint32_t Steps = B.addParam(ValKind::Int);
+    uint32_t T = B.newLocal(), Cur = B.newLocal(), Ch = B.newLocal(),
+             Acc = B.newLocal(), I = B.newLocal(), D = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GAst).astore(T);
+    B.aload(T).iconst(Nodes).rand().aloadR().astore(Cur);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label(), Pick1 = B.label(),
+          Pick2 = B.label(), Picked = B.label(), Reseed = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(Steps).ifICmp(CondKind::Ge, Done);
+    B.iconst(3).rand().istore(D);
+    B.iload(D).iconst(0).ifICmp(CondKind::Ne, Pick1);
+    B.aload(Cur).getfield(FC0).astore(Ch);
+    B.jump(Picked);
+    B.bind(Pick1).iload(D).iconst(1).ifICmp(CondKind::Ne, Pick2);
+    B.aload(Cur).getfield(FC1).astore(Ch);
+    B.jump(Picked);
+    B.bind(Pick2).aload(Cur).getfield(FC2).astore(Ch);
+    B.bind(Picked);
+    B.aload(Ch).ifNull(Reseed);
+    B.aload(Ch).astore(Cur);
+    B.aload(Cur).getfield(FAstKind).iload(Acc).iadd().istore(Acc);
+    B.iinc(I, 1).jump(Head);
+    B.bind(Reseed);
+    B.aload(T).iconst(Nodes).rand().aloadR().astore(Cur);
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    AstWalk = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t W = B.newLocal();
+    B.returns(RetKind::Void);
+    B.call(SymBuild);
+    B.call(AstBuild);
+    B.iconst(Ring).newArray(TokArr).gput(GRing);
+    // Interleave lexing (churn) with AST walks (locality pressure), as a
+    // compiler interleaves parsing with semantic passes.
+    uint32_t WalksPerWave = P.TokenWaves ? P.AstWalks / P.TokenWaves : 0;
+    uint32_t K = B.newLocal();
+    Label WHead = B.label(), WDone = B.label();
+    B.iconst(0).istore(W);
+    B.bind(WHead).iload(W).iconst(static_cast<int32_t>(P.TokenWaves))
+        .ifICmp(CondKind::Ge, WDone);
+    B.iconst(static_cast<int32_t>(P.TokensPerWave)).call(LexWave).popv();
+    Label AHead = B.label(), ADone = B.label();
+    B.iconst(0).istore(K);
+    B.bind(AHead).iload(K).iconst(static_cast<int32_t>(WalksPerWave))
+        .ifICmp(CondKind::Ge, ADone);
+    B.iconst(static_cast<int32_t>(P.WalkSteps)).call(AstWalk).popv();
+    B.iinc(K, 1).jump(AHead);
+    B.bind(ADone);
+    B.iinc(W, 1).jump(WHead);
+    B.bind(WDone).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".symBuild", Px + ".astBuild",
+                          Px + ".lexWave", Px + ".astWalk", Px + ".run"};
+  return Prog;
+}

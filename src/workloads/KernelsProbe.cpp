@@ -1,0 +1,265 @@
+//===-- workloads/KernelsProbe.cpp - HashProbe & Postings kernels ---------===//
+//
+// HashProbe: hsqldb-style bucket chains. Every probe dereferences
+// Bucket::key (a char[] compare), Bucket::row, Row::data and chases
+// Bucket::next -- four reference fields competing for hotness, with
+// key/next dominating. Thousands of buckets survive, so co-allocation has
+// a big population to act on (hsqldb is among the largest co-allocators in
+// the paper's Figure 3).
+//
+// Postings: luindex/lusearch-style per-term linked posting lists. The only
+// hot field is Posting::next, so co-allocation linearizes list prefixes --
+// each node lands in the same cell as its predecessor.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PatternKernels.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+WorkloadProgram hpmvm::buildHashProbe(VirtualMachine &Vm,
+                                      const HashProbeParams &P) {
+  assert(P.TableSize >= 16 && P.NumRows >= P.TableSize / 4 &&
+         "degenerate hash-probe parameters");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId Bucket = C.defineClass(Px + "Bucket", {{"key", true},
+                                                 {"next", true},
+                                                 {"row", true},
+                                                 {"hash", false}});
+  ClassId Row = C.defineClass(Px + "Row", {{"data", true}, {"id", false}});
+  ClassId Chars = C.defineArrayClass(Px + "char[]", ElemKind::I16);
+  ClassId IntArr = C.defineArrayClass(Px + "int[]", ElemKind::I32);
+  ClassId BucketArr = C.defineArrayClass(Px + "Bucket[]", ElemKind::Ref);
+  FieldId FKey = C.fieldId(Bucket, "key");
+  FieldId FNext = C.fieldId(Bucket, "next");
+  FieldId FRow = C.fieldId(Bucket, "row");
+  FieldId FData = C.fieldId(Row, "data");
+  uint32_t GTable = Vm.addGlobal(ValKind::Ref);
+
+  const int32_t TblSize = static_cast<int32_t>(P.TableSize);
+
+  // --- build(): table of chained buckets -----------------------------------
+  MethodId Build;
+  {
+    BytecodeBuilder B(Px + ".build");
+    uint32_t T = B.newLocal(), I = B.newLocal(), Bk = B.newLocal(),
+             K = B.newLocal(), H = B.newLocal(), R = B.newLocal(),
+             J = B.newLocal();
+    B.returns(RetKind::Void);
+    // Publish immediately: the previous iteration's table dies before this
+    // one fills (keeps the live-set peak at one table).
+    B.iconst(TblSize).newArray(BucketArr).astore(T);
+    B.aload(T).gput(GTable);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(static_cast<int32_t>(P.NumRows))
+        .ifICmp(CondKind::Ge, Done);
+    // key = random char[KeyChars]
+    B.iconst(static_cast<int32_t>(P.KeyChars)).newArray(Chars).astore(K);
+    Label KHead = B.label(), KDone = B.label();
+    B.iconst(0).istore(J);
+    B.bind(KHead).iload(J).iconst(static_cast<int32_t>(P.KeyChars))
+        .ifICmp(CondKind::Ge, KDone);
+    B.aload(K).iload(J).iconst(26).rand().iconst(97).iadd().astoreI();
+    B.iinc(J, 1).jump(KHead);
+    B.bind(KDone);
+    // row = new Row{data = int[RowInts], id = i}
+    B.newObj(Row).astore(R);
+    B.aload(R).iconst(static_cast<int32_t>(P.RowInts)).newArray(IntArr)
+        .putfield(FData);
+    B.aload(R).iload(I).putfield(C.fieldId(Row, "id"));
+    // bucket = new Bucket; chain into slot h = rand(TblSize)
+    B.iconst(TblSize).rand().istore(H);
+    B.newObj(Bucket).astore(Bk);
+    B.aload(Bk).aload(K).putfield(FKey);
+    B.aload(Bk).aload(R).putfield(FRow);
+    B.aload(Bk).iload(H).putfield(C.fieldId(Bucket, "hash"));
+    B.aload(Bk).aload(T).iload(H).aloadR().putfield(FNext);
+    B.aload(T).iload(H).aload(Bk).astoreR();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done);
+    B.ret();
+    Build = Vm.addMethod(B.build());
+  }
+
+  // --- probe(n) -> acc: random lookups walking chains ----------------------
+  MethodId Probe;
+  {
+    BytecodeBuilder B(Px + ".probe");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t T = B.newLocal(), I = B.newLocal(), Bk = B.newLocal(),
+             Acc = B.newLocal(), K = B.newLocal(), R = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GTable).astore(T);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.aload(T).iconst(TblSize).rand().aloadR().astore(Bk);
+    Label CHead = B.label(), CDone = B.label();
+    B.bind(CHead).aload(Bk).ifNull(CDone);
+    // Touch the key's first char (the compare), the row payload, then
+    // follow the chain.
+    B.aload(Bk).getfield(FKey).astore(K);
+    B.aload(K).iconst(0).aloadI().iload(Acc).iadd().istore(Acc);
+    B.aload(Bk).getfield(FRow).astore(R);
+    B.aload(R).getfield(FData).iconst(0).aloadI().iload(Acc).iadd()
+        .istore(Acc);
+    B.aload(Bk).getfield(FNext).astore(Bk);
+    B.jump(CHead);
+    B.bind(CDone);
+    if (P.GarbageEvery) {
+      // Each lookup materializes a transient result (row copy + string),
+      // as SQL layers do.
+      Label SkipG = B.label();
+      B.iload(I).iconst(static_cast<int32_t>(P.GarbageEvery)).irem()
+          .ifZ(CondKind::Ne, SkipG);
+      B.iconst(static_cast<int32_t>(2 * P.KeyChars)).newArray(Chars)
+          .popv();
+      B.iconst(static_cast<int32_t>(P.RowInts)).newArray(IntArr).popv();
+      B.bind(SkipG);
+    }
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    Probe = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t It = B.newLocal();
+    B.returns(RetKind::Void);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(It);
+    B.bind(Head).iload(It).iconst(static_cast<int32_t>(P.Iterations))
+        .ifICmp(CondKind::Ge, Done);
+    B.call(Build);
+    B.iconst(static_cast<int32_t>(P.Probes)).call(Probe).popv();
+    B.iinc(It, 1).jump(Head);
+    B.bind(Done).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".build", Px + ".probe", Px + ".run"};
+  return Prog;
+}
+
+WorkloadProgram hpmvm::buildPostings(VirtualMachine &Vm,
+                                     const PostingsParams &P) {
+  assert(P.NumTerms >= 16 && P.NumPostings >= P.NumTerms &&
+         "degenerate postings parameters");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId Posting = C.defineClass(Px + "Posting", {{"next", true},
+                                                   {"doc", false},
+                                                   {"freq", false},
+                                                   {"pad", false}});
+  ClassId PostArr = C.defineArrayClass(Px + "Posting[]", ElemKind::Ref);
+  ClassId Chars = C.defineArrayClass(Px + "char[]", ElemKind::I16);
+  FieldId FNext = C.fieldId(Posting, "next");
+  FieldId FDoc = C.fieldId(Posting, "doc");
+  FieldId FFreq = C.fieldId(Posting, "freq");
+  uint32_t GHeads = Vm.addGlobal(ValKind::Ref);
+
+  const int32_t Terms = static_cast<int32_t>(P.NumTerms);
+
+  // --- index(): build the per-term posting lists ---------------------------
+  MethodId Index;
+  {
+    BytecodeBuilder B(Px + ".index");
+    uint32_t H = B.newLocal(), I = B.newLocal(), Ps = B.newLocal(),
+             T = B.newLocal();
+    B.returns(RetKind::Void);
+    // Publish immediately: the previous index dies before this one fills.
+    B.iconst(Terms).newArray(PostArr).astore(H);
+    B.aload(H).gput(GHeads);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(static_cast<int32_t>(P.NumPostings))
+        .ifICmp(CondKind::Ge, Done);
+    B.iconst(Terms).rand().istore(T);
+    B.newObj(Posting).astore(Ps);
+    B.aload(Ps).iload(I).putfield(FDoc);
+    B.aload(Ps).iconst(64).rand().putfield(FFreq);
+    B.aload(Ps).aload(H).iload(T).aloadR().putfield(FNext);
+    B.aload(H).iload(T).aload(Ps).astoreR();
+    if (P.GarbageEvery) {
+      // The tokenizer's transient term strings.
+      Label SkipG = B.label();
+      B.iload(I).iconst(static_cast<int32_t>(P.GarbageEvery)).irem()
+          .ifZ(CondKind::Ne, SkipG);
+      B.iconst(16).newArray(Chars).popv();
+      B.bind(SkipG);
+    }
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done);
+    B.ret();
+    Index = Vm.addMethod(B.build());
+  }
+
+  // --- search(n) -> acc: walk random terms' lists --------------------------
+  MethodId Search;
+  {
+    BytecodeBuilder B(Px + ".search");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t H = B.newLocal(), I = B.newLocal(), Ps = B.newLocal(),
+             Acc = B.newLocal(), Steps = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GHeads).astore(H);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.aload(H).iconst(Terms).rand().aloadR().astore(Ps);
+    B.iconst(0).istore(Steps);
+    Label CHead = B.label(), CDone = B.label();
+    B.bind(CHead).aload(Ps).ifNull(CDone);
+    B.iload(Steps).iconst(static_cast<int32_t>(P.MaxChain))
+        .ifICmp(CondKind::Ge, CDone);
+    B.aload(Ps).getfield(FDoc).iload(Acc).iadd().istore(Acc);
+    B.aload(Ps).getfield(FFreq).iload(Acc).iadd().istore(Acc);
+    B.aload(Ps).getfield(FNext).astore(Ps);
+    B.iinc(Steps, 1).jump(CHead);
+    B.bind(CDone);
+    if (P.GarbageEvery) {
+      // Transient query/token strings.
+      Label SkipG = B.label();
+      B.iload(I).iconst(static_cast<int32_t>(P.GarbageEvery)).irem()
+          .ifZ(CondKind::Ne, SkipG);
+      B.iconst(32).newArray(Chars).popv();
+      B.bind(SkipG);
+    }
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    Search = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t It = B.newLocal();
+    B.returns(RetKind::Void);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(It);
+    B.bind(Head).iload(It).iconst(static_cast<int32_t>(P.Iterations))
+        .ifICmp(CondKind::Ge, Done);
+    B.call(Index);
+    B.iconst(static_cast<int32_t>(P.Queries)).call(Search).popv();
+    B.iinc(It, 1).jump(Head);
+    B.bind(Done).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".index", Px + ".search", Px + ".run"};
+  return Prog;
+}

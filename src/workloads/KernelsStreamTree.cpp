@@ -1,0 +1,246 @@
+//===-- workloads/KernelsStreamTree.cpp - Stream & Tree kernels -----------===//
+//
+// Stream: compress/mpegaudio-style large-array passes. The buffers exceed
+// the 4 KB free-list ceiling, so they are born in the large object space --
+// there are no (parent, child) pairs under the co-allocation size limit,
+// which is why Figure 3 shows zero co-allocated objects for these two
+// programs.
+//
+// Tree: mtrt-style linked nodes. Walking child pointers makes Node::left /
+// Node::right the hot reference fields; co-allocating a node with its
+// hotter child shortens pointer-chasing chains by a line.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PatternKernels.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+WorkloadProgram hpmvm::buildStream(VirtualMachine &Vm,
+                                   const StreamParams &P) {
+  assert(P.ArrayBytes >= 64 && "stream buffers too small to be meaningful");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId ByteArr = C.defineArrayClass(Px + "byte[]", ElemKind::I8);
+  uint32_t GIn = Vm.addGlobal(ValKind::Ref);
+  uint32_t GOut = Vm.addGlobal(ValKind::Ref);
+  const int32_t Len = static_cast<int32_t>(P.ArrayBytes);
+
+  // --- init(): allocate and fill the in/out buffers ------------------------
+  MethodId Init;
+  {
+    BytecodeBuilder B(Px + ".init");
+    uint32_t A = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.iconst(Len).newArray(ByteArr).astore(A);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(Len).ifICmp(CondKind::Ge, Done);
+    B.aload(A).iload(I).iconst(256).rand().astoreI();
+    // Fill every 8th byte only: the zero-init already touched the lines.
+    B.iinc(I, 8).jump(Head);
+    B.bind(Done);
+    B.aload(A).gput(GIn);
+    B.iconst(Len).newArray(ByteArr).gput(GOut);
+    B.ret();
+    Init = Vm.addMethod(B.build());
+  }
+
+  // --- pass() -> acc: out[i] = f(in[i]) -------------------------------------
+  MethodId Pass;
+  {
+    BytecodeBuilder B(Px + ".pass");
+    uint32_t InA = B.newLocal(), OutA = B.newLocal(), I = B.newLocal(),
+             X = B.newLocal(), Acc = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GIn).astore(InA).gget(GOut).astore(OutA);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(Len).ifICmp(CondKind::Ge, Done);
+    B.aload(InA).iload(I).aloadI().istore(X);
+    // The per-element compute knob (mpegaudio does real DSP work per
+    // sample; compress only a table lookup and a compare).
+    for (uint32_t Op = 0; Op != P.ComputeOps; ++Op)
+      B.iload(X).iconst(31).imul().iconst(7).iadd().istore(X);
+    B.iload(X).iload(Acc).iadd().istore(Acc);
+    B.aload(OutA).iload(I).iload(X).iconst(255).iand().astoreI();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    Pass = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t R = B.newLocal(), Ps = B.newLocal();
+    B.returns(RetKind::Void);
+    Label RHead = B.label(), RDone = B.label();
+    B.iconst(0).istore(R);
+    B.bind(RHead).iload(R).iconst(static_cast<int32_t>(P.Rebuilds))
+        .ifICmp(CondKind::Ge, RDone);
+    B.call(Init);
+    Label PHead = B.label(), PDone = B.label();
+    B.iconst(0).istore(Ps);
+    B.bind(PHead).iload(Ps).iconst(static_cast<int32_t>(P.Passes))
+        .ifICmp(CondKind::Ge, PDone);
+    B.call(Pass).popv();
+    B.iinc(Ps, 1).jump(PHead);
+    B.bind(PDone).iinc(R, 1).jump(RHead);
+    B.bind(RDone).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".init", Px + ".pass", Px + ".run"};
+  return Prog;
+}
+
+WorkloadProgram hpmvm::buildTree(VirtualMachine &Vm, const TreeParams &P) {
+  assert(P.Depth >= 2 && P.Depth <= 22 && "tree depth out of sane range");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId Node = C.defineClass(Px + "Node", {{"left", true},
+                                             {"right", true},
+                                             {"payload", true},
+                                             {"data", false}});
+  ClassId IntArr = C.defineArrayClass(Px + "int[]", ElemKind::I32);
+  FieldId FLeft = C.fieldId(Node, "left");
+  FieldId FRight = C.fieldId(Node, "right");
+  FieldId FPayload = C.fieldId(Node, "payload");
+  FieldId FData = C.fieldId(Node, "data");
+  uint32_t GRoot = Vm.addGlobal(ValKind::Ref);
+
+  // --- build(depth) -> Node (recursive) -------------------------------------
+  MethodId Build = Vm.declareMethod(Px + ".build", {ValKind::Int},
+                                    RetKind::Ref);
+  {
+    BytecodeBuilder B(Px + ".build");
+    uint32_t D = B.addParam(ValKind::Int);
+    uint32_t Nd = B.newLocal(), A = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Ref);
+    B.newObj(Node).astore(Nd);
+    B.iconst(static_cast<int32_t>(P.PayloadInts)).newArray(IntArr)
+        .astore(A);
+    Label FHead = B.label(), FDone = B.label();
+    B.iconst(0).istore(I);
+    B.bind(FHead).iload(I).iconst(static_cast<int32_t>(P.PayloadInts))
+        .ifICmp(CondKind::Ge, FDone);
+    B.aload(A).iload(I).iconst(1 << 20).rand().astoreI();
+    B.iinc(I, 1).jump(FHead);
+    B.bind(FDone);
+    B.aload(Nd).aload(A).putfield(FPayload);
+    B.aload(Nd).iconst(1 << 16).rand().putfield(FData);
+    Label Leaf = B.label();
+    B.iload(D).iconst(1).ifICmp(CondKind::Le, Leaf);
+    B.aload(Nd).iload(D).iconst(1).isub().call(Build).putfield(FLeft);
+    B.aload(Nd).iload(D).iconst(1).isub().call(Build).putfield(FRight);
+    B.bind(Leaf).aload(Nd).aret();
+    Vm.defineMethod(Build, B.build());
+  }
+
+  // --- traverse(node) -> sum (recursive, depth-first) -----------------------
+  MethodId Traverse = Vm.declareMethod(Px + ".traverse", {ValKind::Ref},
+                                       RetKind::Int);
+  {
+    BytecodeBuilder B(Px + ".traverse");
+    uint32_t Nd = B.addParam(ValKind::Ref);
+    uint32_t Acc = B.newLocal(), Ch = B.newLocal();
+    B.returns(RetKind::Int);
+    Label NotNull = B.label();
+    B.aload(Nd).ifNonNull(NotNull);
+    B.iconst(0).iret();
+    B.bind(NotNull);
+    B.aload(Nd).getfield(FData).istore(Acc);
+    B.aload(Nd).getfield(FPayload).iconst(0).aloadI().iload(Acc).iadd()
+        .istore(Acc);
+    B.aload(Nd).getfield(FLeft).astore(Ch);
+    B.aload(Ch).call(Traverse).iload(Acc).iadd().istore(Acc);
+    B.aload(Nd).getfield(FRight).astore(Ch);
+    B.aload(Ch).call(Traverse).iload(Acc).iadd().istore(Acc);
+    B.iload(Acc).iret();
+    Vm.defineMethod(Traverse, B.build());
+  }
+
+  ClassId Scratch = C.defineArrayClass(Px + "scratch[]", ElemKind::I16);
+
+  // --- walk(steps) -> sum: random descents from the root --------------------
+  MethodId Walk;
+  {
+    BytecodeBuilder B(Px + ".walk");
+    uint32_t Steps = B.addParam(ValKind::Int);
+    uint32_t Cur = B.newLocal(), Acc = B.newLocal(), I = B.newLocal(),
+             Ch = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GRoot).astore(Cur);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label(), GoRight = B.label(),
+          Descend = B.label(), Restart = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(Steps).ifICmp(CondKind::Ge, Done);
+    B.iconst(2).rand().ifZ(CondKind::Ne, GoRight);
+    B.aload(Cur).getfield(FLeft).astore(Ch);
+    B.jump(Descend);
+    B.bind(GoRight).aload(Cur).getfield(FRight).astore(Ch);
+    B.bind(Descend);
+    B.aload(Ch).ifNull(Restart);
+    B.aload(Ch).astore(Cur);
+    B.aload(Cur).getfield(FData).iload(Acc).iadd().istore(Acc);
+    if (P.GarbageEvery) {
+      // Transient allocation per few steps (visitor objects, temp keys):
+      // this is what keeps the nursery turning over in the originals.
+      Label SkipG = B.label();
+      B.iload(I).iconst(static_cast<int32_t>(P.GarbageEvery)).irem()
+          .ifZ(CondKind::Ne, SkipG);
+      B.iconst(24).newArray(Scratch).popv();
+      B.bind(SkipG);
+    }
+    B.iinc(I, 1).jump(Head);
+    B.bind(Restart).gget(GRoot).astore(Cur).iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    Walk = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t It = B.newLocal(), K = B.newLocal();
+    B.returns(RetKind::Void);
+    Label IHead = B.label(), IDone = B.label();
+    B.iconst(0).istore(It);
+    B.bind(IHead).iload(It).iconst(static_cast<int32_t>(P.Iterations))
+        .ifICmp(CondKind::Ge, IDone);
+    // Drop the previous tree before building its replacement so the peak
+    // live set is one tree.
+    B.aconstNull().gput(GRoot);
+    B.iconst(static_cast<int32_t>(P.Depth)).call(Build).gput(GRoot);
+    Label THead = B.label(), TDone = B.label();
+    B.iconst(0).istore(K);
+    B.bind(THead).iload(K).iconst(static_cast<int32_t>(P.Traversals))
+        .ifICmp(CondKind::Ge, TDone);
+    B.gget(GRoot).call(Traverse).popv();
+    B.iinc(K, 1).jump(THead);
+    B.bind(TDone);
+    Label WHead = B.label(), WDone = B.label();
+    B.iconst(0).istore(K);
+    B.bind(WHead).iload(K).iconst(static_cast<int32_t>(P.Walks))
+        .ifICmp(CondKind::Ge, WDone);
+    B.iconst(static_cast<int32_t>(P.WalkSteps)).call(Walk).popv();
+    B.iinc(K, 1).jump(WHead);
+    B.bind(WDone).iinc(It, 1).jump(IHead);
+    B.bind(IDone).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".build", Px + ".traverse", Px + ".walk",
+                          Px + ".run"};
+  return Prog;
+}

@@ -1,0 +1,244 @@
+//===-- workloads/KernelsTable.cpp - RecordTable kernel + helpers ---------===//
+//
+// The db-style kernel: a table of Record objects each holding a small
+// char[] payload, scanned in shuffled index order. Without co-allocation a
+// Record (32 B, size class 32) and its payload (~40-64 B, other classes)
+// are promoted into different free-list blocks, so each record visit costs
+// two cache misses; co-allocating them into one cell recovers spatial
+// locality. The paper's _209_db behaves exactly this way around
+// String::value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PatternKernels.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+uint32_t hpmvm::scaled(uint32_t N, const WorkloadParams &P) {
+  uint64_t S = static_cast<uint64_t>(N) * P.ScalePercent / 100;
+  return S ? static_cast<uint32_t>(S) : 1;
+}
+
+WorkloadProgram
+hpmvm::combinePrograms(VirtualMachine &Vm, const std::string &Name,
+                       std::initializer_list<WorkloadProgram> Parts) {
+  WorkloadProgram Result;
+  BytecodeBuilder B(Name + ".main");
+  for (const WorkloadProgram &Part : Parts) {
+    assert(Part.Main != kInvalidId && "combining an unbuilt program");
+    B.call(Part.Main);
+    for (const std::string &Hot : Part.CompilationPlan)
+      Result.CompilationPlan.push_back(Hot);
+  }
+  B.ret();
+  Result.Main = Vm.addMethod(B.build());
+  Result.CompilationPlan.push_back(Name + ".main");
+  return Result;
+}
+
+WorkloadProgram hpmvm::buildRecordTable(VirtualMachine &Vm,
+                                        const RecordTableParams &P) {
+  assert(P.MinChars >= 1 && P.MaxChars >= P.MinChars && P.NumRecords >= 2 &&
+         "degenerate record-table parameters");
+  ClassRegistry &C = Vm.classes();
+  const std::string &Px = P.Prefix;
+
+  ClassId Rec = C.defineClass(Px + "Record", {{"value", true},
+                                              {"len", false},
+                                              {"hash", false},
+                                              {"pad", false}});
+  ClassId Chars = C.defineArrayClass(Px + "char[]", ElemKind::I16);
+  ClassId RecArr = C.defineArrayClass(Px + "Record[]", ElemKind::Ref);
+  ClassId IntArr = C.defineArrayClass(Px + "int[]", ElemKind::I32);
+  FieldId FValue = C.fieldId(Rec, "value");
+  FieldId FLen = C.fieldId(Rec, "len");
+  FieldId FHash = C.fieldId(Rec, "hash");
+
+  uint32_t GTable = Vm.addGlobal(ValKind::Ref);
+  uint32_t GIndex = Vm.addGlobal(ValKind::Ref);
+
+  // --- makeRecord(len) -> Record -----------------------------------------
+  MethodId MkRec;
+  {
+    BytecodeBuilder B(Px + ".makeRecord");
+    uint32_t L = B.addParam(ValKind::Int);
+    uint32_t R = B.newLocal(), A = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Ref);
+    B.newObj(Rec).astore(R);
+    B.iload(L).newArray(Chars).astore(A);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(L).ifICmp(CondKind::Ge, Done);
+    B.aload(A).iload(I).iconst(26).rand().iconst(65).iadd().astoreI();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done);
+    B.aload(R).aload(A).putfield(FValue);
+    B.aload(R).iload(L).putfield(FLen);
+    B.aload(R).iconst(1000000).rand().putfield(FHash);
+    B.aload(R).aret();
+    MkRec = Vm.addMethod(B.build());
+  }
+
+  // --- buildTable(n): fills gTable and a shuffled gIndex ------------------
+  MethodId Build;
+  {
+    BytecodeBuilder B(Px + ".buildTable");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t T = B.newLocal(), X = B.newLocal(), I = B.newLocal(),
+             J = B.newLocal(), Tmp = B.newLocal();
+    B.returns(RetKind::Void);
+
+    // Publish the fresh table immediately so the previous iteration's
+    // table becomes garbage before this one fills (live-set peak stays at
+    // one table, as in the originals which drop old state first).
+    B.iload(N).newArray(RecArr).astore(T);
+    B.aload(T).gput(GTable);
+    Label H1 = B.label(), D1 = B.label();
+    B.iconst(0).istore(I);
+    B.bind(H1).iload(I).iload(N).ifICmp(CondKind::Ge, D1);
+    B.aload(T).iload(I);
+    B.iconst(static_cast<int32_t>(P.MaxChars - P.MinChars + 1))
+        .rand()
+        .iconst(static_cast<int32_t>(P.MinChars))
+        .iadd();
+    B.call(MkRec).astoreR();
+    B.iinc(I, 1).jump(H1);
+    B.bind(D1);
+
+    B.iload(N).newArray(IntArr).astore(X);
+    B.aload(X).gput(GIndex);
+    Label H2 = B.label(), D2 = B.label();
+    B.iconst(0).istore(I);
+    B.bind(H2).iload(I).iload(N).ifICmp(CondKind::Ge, D2);
+    B.aload(X).iload(I).iload(I).astoreI();
+    B.iinc(I, 1).jump(H2);
+    B.bind(D2);
+
+    // Fisher-Yates shuffle so scans visit records in allocation-unrelated
+    // order (the property that defeats plain bump-order locality).
+    Label H3 = B.label(), D3 = B.label();
+    B.iload(N).iconst(1).isub().istore(I);
+    B.bind(H3).iload(I).iconst(1).ifICmp(CondKind::Lt, D3);
+    B.iload(I).iconst(1).iadd().rand().istore(J);
+    B.aload(X).iload(I).aloadI().istore(Tmp);
+    B.aload(X).iload(I).aload(X).iload(J).aloadI().astoreI();
+    B.aload(X).iload(J).iload(Tmp).astoreI();
+    B.iinc(I, -1).jump(H3);
+    B.bind(D3);
+    B.ret();
+    Build = Vm.addMethod(B.build());
+  }
+
+  // --- scanPass(n) -> acc --------------------------------------------------
+  MethodId Scan;
+  {
+    BytecodeBuilder B(Px + ".scanPass");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t Acc = B.newLocal(), T = B.newLocal(), X = B.newLocal(),
+             I = B.newLocal(), R = B.newLocal(), V = B.newLocal(),
+             L = B.newLocal(), K = B.newLocal();
+    B.returns(RetKind::Int);
+    B.gget(GTable).astore(T).gget(GIndex).astore(X);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    // r = table[index[i]]
+    B.aload(T).aload(X).iload(I).aloadI().aloadR().astore(R);
+    B.aload(R).getfield(FHash).iload(Acc).iadd().istore(Acc);
+    B.aload(R).getfield(FValue).astore(V);
+    B.aload(R).getfield(FLen).istore(L);
+    // l = min(l, TouchChars)
+    Label ClampOk = B.label();
+    B.iload(L).iconst(static_cast<int32_t>(P.TouchChars))
+        .ifICmp(CondKind::Le, ClampOk);
+    B.iconst(static_cast<int32_t>(P.TouchChars)).istore(L);
+    B.bind(ClampOk);
+    Label KHead = B.label(), KDone = B.label();
+    B.iconst(0).istore(K);
+    B.bind(KHead).iload(K).iload(L).ifICmp(CondKind::Ge, KDone);
+    B.aload(V).iload(K).aloadI().iload(Acc).iadd().istore(Acc);
+    B.iinc(K, 1).jump(KHead);
+    B.bind(KDone);
+    if (P.GarbageEvery) {
+      // Short-lived comparison temporaries (as db's String operations
+      // produce); this is what keeps the nursery turning over.
+      Label SkipG = B.label();
+      B.iload(I).iconst(static_cast<int32_t>(P.GarbageEvery)).irem()
+          .ifZ(CondKind::Ne, SkipG);
+      B.iconst(static_cast<int32_t>(P.GarbageChars)).newArray(Chars)
+          .popv();
+      B.bind(SkipG);
+    }
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).iload(Acc).iret();
+    Scan = Vm.addMethod(B.build());
+  }
+
+  // --- sortPass(n): one bubble pass over the index, comparing first chars -
+  MethodId Sort;
+  {
+    BytecodeBuilder B(Px + ".sortPass");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t T = B.newLocal(), X = B.newLocal(), I = B.newLocal(),
+             R1 = B.newLocal(), R2 = B.newLocal(), C1 = B.newLocal(),
+             C2 = B.newLocal(), Tmp = B.newLocal(), Nm1 = B.newLocal();
+    B.returns(RetKind::Void);
+    B.gget(GTable).astore(T).gget(GIndex).astore(X);
+    B.iload(N).iconst(1).isub().istore(Nm1);
+    Label Head = B.label(), Done = B.label(), NoSwap = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(Nm1).ifICmp(CondKind::Ge, Done);
+    B.aload(T).aload(X).iload(I).aloadI().aloadR().astore(R1);
+    B.aload(T).aload(X).iload(I).iconst(1).iadd().aloadI().aloadR()
+        .astore(R2);
+    B.aload(R1).getfield(FValue).iconst(0).aloadI().istore(C1);
+    B.aload(R2).getfield(FValue).iconst(0).aloadI().istore(C2);
+    B.iload(C1).iload(C2).ifICmp(CondKind::Le, NoSwap);
+    B.aload(X).iload(I).aloadI().istore(Tmp);
+    B.aload(X).iload(I).aload(X).iload(I).iconst(1).iadd().aloadI()
+        .astoreI();
+    B.aload(X).iload(I).iconst(1).iadd().iload(Tmp).astoreI();
+    B.bind(NoSwap).iinc(I, 1).jump(Head);
+    B.bind(Done).ret();
+    Sort = Vm.addMethod(B.build());
+  }
+
+  // --- main ----------------------------------------------------------------
+  WorkloadProgram Prog;
+  {
+    BytecodeBuilder B(Px + ".run");
+    uint32_t It = B.newLocal(), Ps = B.newLocal();
+    B.returns(RetKind::Void);
+    Label IHead = B.label(), IDone = B.label();
+    B.iconst(0).istore(It);
+    B.bind(IHead).iload(It).iconst(static_cast<int32_t>(P.Iterations))
+        .ifICmp(CondKind::Ge, IDone);
+    B.iconst(static_cast<int32_t>(P.NumRecords)).call(Build);
+    Label PHead = B.label(), PDone = B.label();
+    B.iconst(0).istore(Ps);
+    B.bind(PHead).iload(Ps).iconst(static_cast<int32_t>(P.ScanPasses))
+        .ifICmp(CondKind::Ge, PDone);
+    B.iconst(static_cast<int32_t>(P.NumRecords)).call(Scan).popv();
+    B.iinc(Ps, 1).jump(PHead);
+    B.bind(PDone);
+    Label SHead = B.label(), SDone = B.label();
+    B.iconst(0).istore(Ps);
+    B.bind(SHead).iload(Ps).iconst(static_cast<int32_t>(P.SortPasses))
+        .ifICmp(CondKind::Ge, SDone);
+    B.iconst(static_cast<int32_t>(P.NumRecords)).call(Sort);
+    B.iinc(Ps, 1).jump(SHead);
+    B.bind(SDone).iinc(It, 1).jump(IHead);
+    B.bind(IDone).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".makeRecord", Px + ".buildTable",
+                          Px + ".scanPass", Px + ".sortPass", Px + ".run"};
+  return Prog;
+}

@@ -1,0 +1,141 @@
+//===-- workloads/PatternKernels.h - Reusable workload kernels -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized program kernels, written in the VM's bytecode, from which
+/// the 16 benchmark programs are composed. Each kernel gets its own class
+/// names (prefix) so miss statistics and co-allocation decisions stay per
+/// benchmark. The kernels model the object demographics that drive the
+/// paper's results:
+///
+///   RecordTable  parent Record -> small char[] payload, shuffled scan
+///                order (db's String/char[] pattern -- the headline case).
+///   Stream       large primitive arrays in the LOS, sequential passes
+///                (compress/mpegaudio: zero co-allocation candidates).
+///   Tree         linked nodes with child-pointer walks (mtrt/bloat/pmd).
+///   HashProbe    bucket chains with char[] keys (hsqldb).
+///   Postings     per-term linked posting lists (luindex/lusearch).
+///   Warehouse    orders holding >128-byte long[] item arrays (pseudojbb:
+///                many co-allocations, little cache-line benefit).
+///   Parser       token churn + symbol probes + AST walks (javac, antlr,
+///                jack, jython, fop).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_WORKLOADS_PATTERNKERNELS_H
+#define HPMVM_WORKLOADS_PATTERNKERNELS_H
+
+#include "workloads/Workload.h"
+
+#include <initializer_list>
+#include <string>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// Shuffled record table with char[] payloads (db-style).
+struct RecordTableParams {
+  std::string Prefix;
+  uint32_t NumRecords = 10000;
+  uint32_t MinChars = 8;       ///< Payload length range (chars).
+  uint32_t MaxChars = 24;
+  uint32_t TouchChars = 8;     ///< Chars read per record per scan.
+  uint32_t ScanPasses = 10;
+  uint32_t SortPasses = 2;     ///< Bubble passes comparing first chars.
+  uint32_t Iterations = 3;     ///< Table rebuilds (the paper runs s=100 3x).
+  uint32_t GarbageEvery = 4;   ///< Temp char[] per this many records (0=off).
+  uint32_t GarbageChars = 24;  ///< Length of each comparison temporary.
+};
+WorkloadProgram buildRecordTable(VirtualMachine &Vm,
+                                 const RecordTableParams &P);
+
+/// Large-array streaming (compress/mpegaudio-style).
+struct StreamParams {
+  std::string Prefix;
+  uint32_t ArrayBytes = 1 << 20; ///< Per buffer; > 4 KB lands in the LOS.
+  uint32_t Passes = 8;
+  uint32_t ComputeOps = 0;       ///< Extra ALU ops per element.
+  uint32_t Rebuilds = 1;         ///< Buffer reallocations ("files").
+};
+WorkloadProgram buildStream(VirtualMachine &Vm, const StreamParams &P);
+
+/// Binary tree with payload arrays and pointer walks (mtrt-style).
+struct TreeParams {
+  std::string Prefix;
+  uint32_t Depth = 14;
+  uint32_t Traversals = 4;  ///< Full recursive traversals per iteration.
+  uint32_t Walks = 20000;   ///< Random root-to-leaf-ish walks.
+  uint32_t WalkSteps = 24;
+  uint32_t PayloadInts = 4;
+  uint32_t Iterations = 2;
+  uint32_t GarbageEvery = 8;
+};
+WorkloadProgram buildTree(VirtualMachine &Vm, const TreeParams &P);
+
+/// Chained hash table with char[] keys and row payloads (hsqldb-style).
+struct HashProbeParams {
+  std::string Prefix;
+  uint32_t NumRows = 20000;
+  uint32_t TableSize = 4096;
+  uint32_t KeyChars = 12;
+  uint32_t RowInts = 8;
+  uint32_t Probes = 120000;
+  uint32_t Iterations = 2;
+  uint32_t GarbageEvery = 6;
+};
+WorkloadProgram buildHashProbe(VirtualMachine &Vm, const HashProbeParams &P);
+
+/// Per-term posting lists (luindex/lusearch-style).
+struct PostingsParams {
+  std::string Prefix;
+  uint32_t NumTerms = 4000;
+  uint32_t NumPostings = 60000;
+  uint32_t Queries = 30000;
+  uint32_t MaxChain = 24;   ///< Postings visited per query.
+  uint32_t Iterations = 2;
+  uint32_t GarbageEvery = 6;
+};
+WorkloadProgram buildPostings(VirtualMachine &Vm, const PostingsParams &P);
+
+/// Order/customer transactions with >line-sized item arrays (pseudojbb).
+struct WarehouseParams {
+  std::string Prefix;
+  uint32_t WindowSize = 12000;  ///< Live ring of recent orders.
+  uint32_t Transactions = 60000;
+  uint32_t ItemsPerOrder = 20;  ///< 20 longs = 160 B body: > one 128 B line.
+  uint32_t NameChars = 10;
+  uint32_t ScanEvery = 16;      ///< Payment/stock scan per N transactions.
+  uint32_t ScanOrders = 24;     ///< Orders touched per scan.
+};
+WorkloadProgram buildWarehouse(VirtualMachine &Vm, const WarehouseParams &P);
+
+/// Token churn + symbol-table probes + AST walks (compiler-ish programs).
+struct ParserParams {
+  std::string Prefix;
+  uint32_t TokenWaves = 60;
+  uint32_t TokensPerWave = 2000;
+  uint32_t TokenChars = 10;
+  uint32_t RingSize = 64;         ///< Live token window (survival knob).
+  uint32_t AstNodes = 12000;
+  uint32_t AstWalks = 30000;
+  uint32_t WalkSteps = 16;
+  uint32_t SymbolRows = 3000;
+  uint32_t SymbolProbesPerWave = 400;
+};
+WorkloadProgram buildParser(VirtualMachine &Vm, const ParserParams &P);
+
+/// Builds a main method that runs several sub-programs in order and merges
+/// their compilation plans.
+WorkloadProgram combinePrograms(VirtualMachine &Vm, const std::string &Name,
+                                std::initializer_list<WorkloadProgram> Parts);
+
+/// Scales \p N by \p P.ScalePercent (floor 1).
+uint32_t scaled(uint32_t N, const WorkloadParams &P);
+
+} // namespace hpmvm
+
+#endif // HPMVM_WORKLOADS_PATTERNKERNELS_H

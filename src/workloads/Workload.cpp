@@ -1,0 +1,80 @@
+//===-- workloads/Workload.cpp - The benchmark registry -------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/PatternKernels.h"
+
+using namespace hpmvm;
+
+namespace hpmvm::workloads {
+WorkloadProgram buildCompress(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildJess(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildDb(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildJavac(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildMpegaudio(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildMtrt(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildJack(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildAntlr(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildBloat(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildFop(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildHsqldb(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildJython(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildLuindex(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildLusearch(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildPmd(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildPseudoJbb(VirtualMachine &, const WorkloadParams &);
+} // namespace hpmvm::workloads
+
+const std::vector<WorkloadSpec> &hpmvm::allWorkloads() {
+  using namespace hpmvm::workloads;
+  static const std::vector<WorkloadSpec> Specs = {
+      {"compress", "SPECjvm98", "LZW compression over large byte buffers",
+       3 * 1024 * 1024, buildCompress},
+      {"jess", "SPECjvm98", "expert system scanning small fact records",
+       5 * 1024 * 1024 / 2, buildJess},
+      {"db", "SPECjvm98", "in-memory database of shuffled String records",
+       4 * 1024 * 1024, buildDb},
+      {"javac", "SPECjvm98", "compiler front end: token/AST churn",
+       3 * 1024 * 1024, buildJavac},
+      {"mpegaudio", "SPECjvm98", "compute-bound audio decoding",
+       5 * 1024 * 1024 / 2, buildMpegaudio},
+      {"mtrt", "SPECjvm98", "raytracer walking a scene tree",
+       7 * 1024 * 1024 / 2, buildMtrt},
+      {"jack", "SPECjvm98", "parser generator, 3 passes over its input",
+       5 * 1024 * 1024 / 2, buildJack},
+      {"pseudojbb", "SPEC JBB2000", "warehouse transactions, fixed count",
+       11 * 1024 * 1024 / 2, buildPseudoJbb},
+      {"antlr", "DaCapo", "grammar parsing, AST-heavy",
+       3 * 1024 * 1024, buildAntlr},
+      {"bloat", "DaCapo", "bytecode optimizer walking an IR graph",
+       7 * 1024 * 1024 / 2, buildBloat},
+      {"fop", "DaCapo", "XSL-FO formatter, single small document",
+       2 * 1024 * 1024, buildFop},
+      {"hsqldb", "DaCapo", "in-memory SQL: chained hash tables",
+       4 * 1024 * 1024, buildHsqldb},
+      {"jython", "DaCapo", "Python interpreter: churn + dict probes",
+       7 * 1024 * 1024 / 2, buildJython},
+      {"luindex", "DaCapo", "text indexing: builds posting lists",
+       9 * 1024 * 1024 / 2, buildLuindex},
+      {"lusearch", "DaCapo", "text search: walks posting lists",
+       4 * 1024 * 1024, buildLusearch},
+      {"pmd", "DaCapo", "source analyzer: AST walks + rule tables",
+       7 * 1024 * 1024 / 2, buildPmd},
+  };
+  return Specs;
+}
+
+const WorkloadSpec *hpmvm::findWorkload(const std::string &Name) {
+  for (const WorkloadSpec &S : allWorkloads())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+uint32_t hpmvm::scaledMinHeap(const WorkloadSpec &Spec,
+                              const WorkloadParams &P) {
+  uint64_t Scaled =
+      static_cast<uint64_t>(Spec.MinHeapBytes) * P.ScalePercent / 100;
+  const uint32_t Floor = 2 * 1024 * 1024;
+  return Scaled < Floor ? Floor : static_cast<uint32_t>(Scaled);
+}

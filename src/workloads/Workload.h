@@ -1,0 +1,70 @@
+//===-- workloads/Workload.h - Benchmark program registry ------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Table 1 benchmark set, rebuilt as synthetic programs in our
+/// bytecode: SPECjvm98 (compress, jess, db, javac, mpegaudio, mtrt, jack),
+/// DaCapo 10-2006 MR-2 (antlr, bloat, fop, hsqldb, jython, luindex,
+/// lusearch, pmd -- chart/eclipse/xalan excluded as in the paper), and
+/// pseudojbb. Each program mirrors the original's object demographics:
+/// which objects survive, their sizes relative to the 128-byte line, and
+/// the parent->child access patterns -- the properties the co-allocation
+/// results depend on. Per-program rationale lives with each builder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_WORKLOADS_WORKLOAD_H
+#define HPMVM_WORKLOADS_WORKLOAD_H
+
+#include "support/Types.h"
+#include "vm/Bytecode.h"
+
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+class VirtualMachine;
+
+/// Build-time knobs shared by all workloads.
+struct WorkloadParams {
+  /// Scales data-set sizes (100 = the default size used by the test suite
+  /// and benches; the paper's originals are of course far larger).
+  uint32_t ScalePercent = 100;
+  uint64_t Seed = 42;
+};
+
+/// What building a workload into a VM yields.
+struct WorkloadProgram {
+  MethodId Main = kInvalidId;
+  /// The pre-generated compilation plan (paper: pseudo-adaptive mode
+  /// compiles exactly these methods).
+  std::vector<std::string> CompilationPlan;
+};
+
+/// Registry entry for one benchmark.
+struct WorkloadSpec {
+  std::string Name;
+  std::string Suite;       ///< "SPECjvm98", "DaCapo", "SPEC JBB2000".
+  std::string Description; ///< One line, shown in Table 1.
+  /// Estimated minimum heap at 100% scale (the "1x" of the heap sweeps).
+  uint32_t MinHeapBytes;
+  WorkloadProgram (*Build)(VirtualMachine &Vm, const WorkloadParams &P);
+};
+
+/// All benchmarks, in the paper's Table 1 order.
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/// \returns the spec named \p Name, or nullptr.
+const WorkloadSpec *findWorkload(const std::string &Name);
+
+/// Minimum heap for \p Spec at the given scale (live set scales with the
+/// data sizes; a floor keeps tiny scales functional).
+uint32_t scaledMinHeap(const WorkloadSpec &Spec, const WorkloadParams &P);
+
+} // namespace hpmvm
+
+#endif // HPMVM_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,118 @@
+//===-- tests/core/CoallocationAdvisorTest.cpp ----------------------------===//
+
+#include "core/CoallocationAdvisor.h"
+
+#include "vm/ClassRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  ClassRegistry Classes;
+  ClassId Rec; ///< { ref value; ref other; int len }
+  FieldId FValue, FOther, FLen;
+  FieldMissTable Table;
+
+  Rig() {
+    Rec = Classes.defineClass("Rec", {{"value", true},
+                                      {"other", true},
+                                      {"len", false}});
+    FValue = Classes.fieldId(Rec, "value");
+    FOther = Classes.fieldId(Rec, "other");
+    FLen = Classes.fieldId(Rec, "len");
+  }
+
+  CoallocationAdvisor makeAdvisor(uint64_t Threshold = 2) {
+    AdvisorConfig C;
+    C.MinMissSamples = Threshold;
+    return CoallocationAdvisor(Classes, Table, C);
+  }
+};
+
+} // namespace
+
+TEST(CoallocationAdvisor, PicksHottestReferenceField) {
+  Rig R;
+  CoallocationAdvisor A = R.makeAdvisor();
+  R.Table.addMiss(R.FValue, 10);
+  R.Table.addMiss(R.FOther, 3);
+  R.Table.addMiss(R.FLen, 100); // Int field: never a candidate.
+  R.Table.endPeriod(1);
+  CoallocationHint H = A.coallocationHint(R.Rec);
+  ASSERT_TRUE(H.valid());
+  EXPECT_EQ(H.Field, R.FValue);
+  EXPECT_EQ(H.SlotOffset, R.Classes.field(R.FValue).Offset);
+}
+
+TEST(CoallocationAdvisor, ThresholdGates) {
+  Rig R;
+  CoallocationAdvisor A = R.makeAdvisor(/*Threshold=*/5);
+  R.Table.addMiss(R.FValue, 4);
+  R.Table.endPeriod(1);
+  EXPECT_FALSE(A.coallocationHint(R.Rec).valid());
+  R.Table.addMiss(R.FValue, 1);
+  R.Table.endPeriod(2);
+  EXPECT_TRUE(A.coallocationHint(R.Rec).valid());
+}
+
+TEST(CoallocationAdvisor, DisabledReturnsNothing) {
+  Rig R;
+  CoallocationAdvisor A = R.makeAdvisor();
+  R.Table.addMiss(R.FValue, 100);
+  R.Table.endPeriod(1);
+  A.setEnabled(false);
+  EXPECT_FALSE(A.coallocationHint(R.Rec).valid());
+  A.setEnabled(true);
+  EXPECT_TRUE(A.coallocationHint(R.Rec).valid());
+}
+
+TEST(CoallocationAdvisor, CacheInvalidatedAtPeriodBoundary) {
+  Rig R;
+  CoallocationAdvisor A = R.makeAdvisor();
+  R.Table.addMiss(R.FOther, 5);
+  R.Table.endPeriod(1);
+  EXPECT_EQ(A.coallocationHint(R.Rec).Field, R.FOther);
+  // value overtakes other, but within the same period the cached hint
+  // stays (the paper's batch-granularity updates)...
+  R.Table.addMiss(R.FValue, 50);
+  EXPECT_EQ(A.coallocationHint(R.Rec).Field, R.FOther);
+  // ...and flips at the next period boundary.
+  R.Table.endPeriod(2);
+  EXPECT_EQ(A.coallocationHint(R.Rec).Field, R.FValue);
+}
+
+TEST(CoallocationAdvisor, SortedFieldsHottestFirst) {
+  Rig R;
+  CoallocationAdvisor A = R.makeAdvisor();
+  R.Table.addMiss(R.FValue, 3);
+  R.Table.addMiss(R.FOther, 9);
+  auto Sorted = A.sortedFields(R.Rec);
+  ASSERT_EQ(Sorted.size(), 2u); // Reference fields only.
+  EXPECT_EQ(Sorted[0].first, R.FOther);
+  EXPECT_EQ(Sorted[0].second, 9u);
+  EXPECT_EQ(Sorted[1].first, R.FValue);
+}
+
+TEST(CoallocationAdvisor, GapAndCounters) {
+  Rig R;
+  CoallocationAdvisor A = R.makeAdvisor();
+  EXPECT_EQ(A.gapBytes(), 0u);
+  A.setForcedGapBytes(128);
+  EXPECT_EQ(A.gapBytes(), 128u);
+  A.noteCoallocation(R.Rec, R.FValue);
+  A.noteCoallocation(R.Rec, R.FValue);
+  A.noteCoallocation(R.Rec, R.FOther);
+  EXPECT_EQ(A.coallocationCount(), 3u);
+  EXPECT_EQ(A.coallocationCount(R.FValue), 2u);
+  EXPECT_EQ(A.coallocationCount(R.FOther), 1u);
+}
+
+TEST(CoallocationAdvisor, ClassWithoutRefFieldsNeverHinted) {
+  Rig R;
+  ClassId Plain = R.Classes.defineClass("Plain", {{"x", false}});
+  CoallocationAdvisor A = R.makeAdvisor();
+  EXPECT_FALSE(A.coallocationHint(Plain).valid());
+}

@@ -1,0 +1,73 @@
+//===-- tests/core/FieldMissTableTest.cpp ---------------------------------===//
+
+#include "core/FieldMissTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(FieldMissTable, CountsPerField) {
+  FieldMissTable T;
+  T.addMiss(3);
+  T.addMiss(3, 4);
+  T.addMiss(7);
+  EXPECT_EQ(T.misses(3), 5u);
+  EXPECT_EQ(T.misses(7), 1u);
+  EXPECT_EQ(T.misses(99), 0u);
+  EXPECT_EQ(T.totalMisses(), 6u);
+}
+
+TEST(FieldMissTable, VersionBumpsPerPeriodOnly) {
+  FieldMissTable T;
+  uint64_t V0 = T.version();
+  T.addMiss(1);
+  EXPECT_EQ(T.version(), V0) << "counter updates must not thrash caches";
+  T.endPeriod(1000);
+  EXPECT_EQ(T.version(), V0 + 1);
+}
+
+TEST(FieldMissTable, TimelineRecordsTrackedFieldsOnly) {
+  FieldMissTable T;
+  T.trackField(5);
+  T.addMiss(5, 2);
+  T.addMiss(6, 9); // Untracked.
+  T.endPeriod(100);
+  T.addMiss(5, 3);
+  T.endPeriod(200);
+  T.endPeriod(300); // Empty period.
+
+  const auto &Line = T.timeline(5);
+  ASSERT_EQ(Line.size(), 3u);
+  EXPECT_EQ(Line[0].At, 100u);
+  EXPECT_EQ(Line[0].Delta, 2u);
+  EXPECT_EQ(Line[0].Cumulative, 2u);
+  EXPECT_EQ(Line[1].Delta, 3u);
+  EXPECT_EQ(Line[1].Cumulative, 5u);
+  EXPECT_EQ(Line[2].Delta, 0u);
+  EXPECT_EQ(Line[2].Cumulative, 5u);
+  EXPECT_TRUE(T.timeline(6).empty());
+}
+
+TEST(FieldMissTable, TrackingStartsMidRun) {
+  FieldMissTable T;
+  T.addMiss(4, 10); // Before tracking: counted, not in the timeline.
+  T.trackField(4);
+  T.addMiss(4, 2);
+  T.endPeriod(50);
+  EXPECT_EQ(T.misses(4), 12u);
+  ASSERT_EQ(T.timeline(4).size(), 1u);
+  EXPECT_EQ(T.timeline(4)[0].Delta, 2u);
+}
+
+TEST(FieldMissTable, ResetKeepsTrackingSet) {
+  FieldMissTable T;
+  T.trackField(1);
+  T.addMiss(1);
+  T.endPeriod(10);
+  T.reset();
+  EXPECT_EQ(T.misses(1), 0u);
+  EXPECT_TRUE(T.timeline(1).empty());
+  T.addMiss(1);
+  T.endPeriod(20);
+  EXPECT_EQ(T.timeline(1).size(), 1u) << "still tracked after reset";
+}

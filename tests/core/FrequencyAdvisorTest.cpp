@@ -1,0 +1,102 @@
+//===-- tests/core/FrequencyAdvisorTest.cpp -------------------------------===//
+
+#include "core/FrequencyAdvisor.h"
+
+#include "gc/GenMSPlan.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+  ClassId Box;
+  FieldId FHot, FCold;
+  MethodId Reader;
+
+  Rig()
+      : Vm([] {
+          VmConfig C;
+          C.HeapBytes = 4 * 1024 * 1024;
+          C.ProfileFieldAccess = true;
+          return C;
+        }()),
+        Gc(Vm.objects(), Vm.clock(),
+           CollectorConfig{.HeapBytes = 4 * 1024 * 1024}) {
+    Vm.setCollector(&Gc);
+    Box = Vm.classes().defineClass("Box", {{"hot", true},
+                                           {"cold", true}});
+    FHot = Vm.classes().fieldId(Box, "hot");
+    FCold = Vm.classes().fieldId(Box, "cold");
+
+    // reader(n): b = new Box; b.hot = b; b.cold = b;
+    // loop n { read b.hot x3; read b.cold x1 }
+    BytecodeBuilder B("reader");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t Bx = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.newObj(Box).astore(Bx);
+    B.aload(Bx).aload(Bx).putfield(FHot);
+    B.aload(Bx).aload(Bx).putfield(FCold);
+    Label Loop = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.aload(Bx).getfield(FHot).popv();
+    B.aload(Bx).getfield(FHot).popv();
+    B.aload(Bx).getfield(FHot).popv();
+    B.aload(Bx).getfield(FCold).popv();
+    B.iinc(I, 1).jump(Loop);
+    B.bind(Done).ret();
+    Reader = Vm.addMethod(B.build());
+  }
+};
+
+} // namespace
+
+TEST(FrequencyAdvisor, CountsFieldAccessesWhenProfiling) {
+  Rig R;
+  R.Vm.invoke(R.Reader, {Value::makeInt(100)});
+  EXPECT_EQ(R.Vm.fieldAccessCount(R.FHot), 300u);
+  EXPECT_EQ(R.Vm.fieldAccessCount(R.FCold), 100u);
+}
+
+TEST(FrequencyAdvisor, PicksMostAccessedRefField) {
+  Rig R;
+  R.Vm.invoke(R.Reader, {Value::makeInt(500)});
+  FrequencyAdvisor A(R.Vm, /*MinAccesses=*/100);
+  CoallocationHint H = A.coallocationHint(R.Box);
+  ASSERT_TRUE(H.valid());
+  EXPECT_EQ(H.Field, R.FHot);
+  EXPECT_EQ(H.SlotOffset, R.Vm.classes().field(R.FHot).Offset);
+}
+
+TEST(FrequencyAdvisor, ThresholdGates) {
+  Rig R;
+  R.Vm.invoke(R.Reader, {Value::makeInt(10)}); // 30 hot accesses.
+  FrequencyAdvisor A(R.Vm, /*MinAccesses=*/100);
+  EXPECT_FALSE(A.coallocationHint(R.Box).valid());
+}
+
+TEST(FrequencyAdvisor, ProfilingOffMeansNoCounts) {
+  VmConfig C;
+  C.HeapBytes = 4 * 1024 * 1024; // ProfileFieldAccess defaults to false.
+  VirtualMachine Vm(C);
+  GenMSPlan Gc(Vm.objects(), Vm.clock(),
+               CollectorConfig{.HeapBytes = 4 * 1024 * 1024});
+  Vm.setCollector(&Gc);
+  ClassId Box = Vm.classes().defineClass("Box", {{"f", true}});
+  FieldId F = Vm.classes().fieldId(Box, "f");
+  BytecodeBuilder B("m");
+  B.returns(RetKind::Void);
+  uint32_t L = B.newLocal();
+  B.newObj(Box).astore(L);
+  B.aload(L).aload(L).putfield(F);
+  B.aload(L).getfield(F).popv().ret();
+  Vm.invoke(Vm.addMethod(B.build()), {});
+  EXPECT_EQ(Vm.fieldAccessCount(F), 0u);
+}

@@ -1,0 +1,188 @@
+//===-- tests/core/HpmMonitorTest.cpp -------------------------------------===//
+//
+// The assembled monitoring pipeline against a small hand-built program
+// with a known hot field.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/HpmMonitor.h"
+
+#include "gc/GenMSPlan.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// A VM running a pointer-chasing loop over a large ring of Node objects
+/// whose payload is reached through Node::data -- Node::data must become
+/// the hottest field.
+struct Rig {
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+  MethodId Main;
+  FieldId FData, FNext;
+
+  explicit Rig(bool HotLoopIsVmInternal = false)
+      : Vm([] {
+          VmConfig C;
+          C.HeapBytes = 16 * 1024 * 1024;
+          C.Seed = 3;
+          return C;
+        }()),
+        Gc(Vm.objects(), Vm.clock(),
+           CollectorConfig{.HeapBytes = 16 * 1024 * 1024}) {
+    Vm.setCollector(&Gc);
+    ClassRegistry &C = Vm.classes();
+    ClassId Node = C.defineClass("Node", {{"next", true}, {"data", true},
+                                          {"pad", false}});
+    ClassId IntArr = C.defineArrayClass("int[]", ElemKind::I32);
+    FNext = C.fieldId(Node, "next");
+    FData = C.fieldId(Node, "data");
+    uint32_t GHead = Vm.addGlobal(ValKind::Ref);
+
+    // build(n): circular list of n nodes, each with an int[4] payload.
+    BytecodeBuilder B("build");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t Head = B.newLocal(), Cur = B.newLocal(), Nd = B.newLocal(),
+             I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.newObj(Node).astore(Head);
+    B.aload(Head).iconst(4).newArray(IntArr).putfield(FData);
+    B.aload(Head).astore(Cur);
+    Label Loop = B.label(), Done = B.label();
+    B.iconst(1).istore(I);
+    B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.newObj(Node).astore(Nd);
+    B.aload(Nd).iconst(4).newArray(IntArr).putfield(FData);
+    B.aload(Cur).aload(Nd).putfield(FNext);
+    B.aload(Nd).astore(Cur);
+    B.iinc(I, 1).jump(Loop);
+    B.bind(Done);
+    B.aload(Cur).aload(Head).putfield(FNext); // Close the ring.
+    B.aload(Head).gput(GHead);
+    B.ret();
+    MethodId Build = Vm.addMethod(B.build());
+
+    // chase(steps): walk the ring reading payload[0] through data.
+    BytecodeBuilder B2("chase");
+    uint32_t Steps = B2.addParam(ValKind::Int);
+    uint32_t Cur2 = B2.newLocal(), Acc = B2.newLocal(), K = B2.newLocal();
+    if (HotLoopIsVmInternal)
+      B2.vmInternal();
+    B2.returns(RetKind::Int);
+    B2.gget(GHead).astore(Cur2);
+    B2.iconst(0).istore(Acc);
+    Label L2 = B2.label(), D2 = B2.label();
+    B2.iconst(0).istore(K);
+    B2.bind(L2).iload(K).iload(Steps).ifICmp(CondKind::Ge, D2);
+    B2.aload(Cur2).getfield(FData).iconst(0).aloadI().iload(Acc).iadd()
+        .istore(Acc);
+    B2.aload(Cur2).getfield(FNext).astore(Cur2);
+    B2.iinc(K, 1).jump(L2);
+    B2.bind(D2).iload(Acc).iret();
+    MethodId Chase = Vm.addMethod(B2.build());
+
+    BytecodeBuilder B3("main");
+    B3.returns(RetKind::Void);
+    B3.iconst(30000).call(Build);
+    B3.iconst(300000).call(Chase).popv();
+    B3.ret();
+    Main = Vm.addMethod(B3.build());
+
+    Vm.aos().applyCompilationPlan({"build", "chase", "main"});
+  }
+};
+
+} // namespace
+
+TEST(HpmMonitor, EndToEndAttributionFindsTheHotFields) {
+  Rig R;
+  MonitorConfig MC;
+  MC.SamplingInterval = 5000;
+  HpmMonitor M(R.Vm, MC);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+
+  EXPECT_GT(M.pebs().samplesTaken(), 30u);
+  EXPECT_GT(M.stats().SamplesAttributed, 10u);
+  // The ring is walked in allocation order, so the first touch of every
+  // cache line is the node-header access reached by dereferencing `next`:
+  // the paper's attribution charges those misses to Node::next.
+  EXPECT_GT(M.missTable().misses(R.FNext), 10u);
+  EXPECT_GE(M.missTable().misses(R.FNext),
+            M.missTable().misses(R.FData));
+}
+
+TEST(HpmMonitor, VmInternalMethodsExcluded) {
+  Rig R(/*HotLoopIsVmInternal=*/true);
+  MonitorConfig MC;
+  MC.SamplingInterval = 5000;
+  HpmMonitor M(R.Vm, MC);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+  EXPECT_GT(M.stats().SamplesVmInternal, 0u);
+  EXPECT_EQ(M.missTable().misses(R.FNext), 0u)
+      << "VM-internal samples must not drive optimization";
+}
+
+TEST(HpmMonitor, OverheadIsChargedAndBounded) {
+  // Same program with and without monitoring: the cycle delta must equal
+  // a small positive overhead and match overheadCycles().
+  Cycles Without = [] {
+    Rig R;
+    R.Vm.run(R.Main);
+    return R.Vm.clock().now();
+  }();
+  Rig R;
+  MonitorConfig MC;
+  MC.SamplingInterval = 25000;
+  HpmMonitor M(R.Vm, MC);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+  Cycles With = R.Vm.clock().now();
+  ASSERT_GT(With, Without);
+  Cycles Delta = With - Without;
+  EXPECT_NEAR(static_cast<double>(Delta),
+              static_cast<double>(M.overheadCycles()),
+              0.1 * static_cast<double>(Delta));
+  EXPECT_LT(static_cast<double>(Delta) / static_cast<double>(Without), 0.09)
+      << "monitoring overhead out of the expected regime";
+}
+
+TEST(HpmMonitor, FinishDrainsTailSamples) {
+  Rig R;
+  MonitorConfig MC;
+  MC.SamplingInterval = 5000;
+  HpmMonitor M(R.Vm, MC);
+  M.attach();
+  R.Vm.run(R.Main);
+  uint64_t Taken = M.pebs().samplesTaken();
+  M.finish();
+  EXPECT_EQ(M.stats().SamplesProcessed, Taken)
+      << "every sample taken must be processed by the end";
+  M.finish(); // Idempotent.
+}
+
+TEST(HpmMonitor, GcDisabledDuringSampleCopy) {
+  // The GC-lock hook must wrap every native copy; we can at least verify
+  // the collector is re-enabled afterwards (a stuck lock would abort the
+  // next collection).
+  Rig R;
+  MonitorConfig MC;
+  MC.SamplingInterval = 5000;
+  HpmMonitor M(R.Vm, MC);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+  // If GC had been left disabled, this would assert-fail.
+  R.Vm.collector().collectFull();
+  SUCCEED();
+}

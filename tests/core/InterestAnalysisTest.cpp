@@ -1,0 +1,262 @@
+//===-- tests/core/InterestAnalysisTest.cpp -------------------------------===//
+//
+// The (S, f) instructions-of-interest analysis, including the paper's
+// Figure 1 example (p.y.i) and the patterns the workloads rely on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/InterestAnalysis.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/ClassRegistry.h"
+#include "vm/OptCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  ClassRegistry Classes;
+  ClassId A;       ///< class A { A y; int i; }
+  FieldId FY, FI;
+  ClassId CharArr;
+  ClassId Rec;     ///< class Rec { char[] value; int len; }
+  FieldId FValue, FLen;
+  ClassId RecArr;
+  std::vector<Method> Methods;
+  std::vector<ValKind> Globals;
+
+  Rig() {
+    A = Classes.defineClass("A", {{"y", true}, {"i", false}});
+    FY = Classes.fieldId(A, "y");
+    FI = Classes.fieldId(A, "i");
+    CharArr = Classes.defineArrayClass("char[]", ElemKind::I16);
+    Rec = Classes.defineClass("Rec", {{"value", true}, {"len", false}});
+    FValue = Classes.fieldId(Rec, "value");
+    FLen = Classes.fieldId(Rec, "len");
+    RecArr = Classes.defineArrayClass("Rec[]", ElemKind::Ref);
+  }
+
+  MachineFunction compile(Method M) {
+    std::string Diag = verifyMethod(M, Methods, Classes, Globals);
+    EXPECT_EQ(Diag, "");
+    return OptCompiler::compile(M, Classes, Methods, Globals);
+  }
+};
+
+/// \returns interest entries as (mop, field) for non-invalid ones.
+std::vector<std::pair<MOp, FieldId>>
+interesting(const MachineFunction &F, const std::vector<FieldId> &I) {
+  std::vector<std::pair<MOp, FieldId>> R;
+  for (size_t K = 0; K != F.Insts.size(); ++K)
+    if (I[K] != kInvalidId)
+      R.emplace_back(F.Insts[K].Op, I[K]);
+  return R;
+}
+
+} // namespace
+
+TEST(InterestAnalysis, PaperFigure1PatternPYI) {
+  // int f(A p) { return p.y.i; }  -- getfield y; getfield i.
+  // The paper: "Our analysis would create a mapping with instruction and
+  // field y (I3, A::y)": the load of i is attributed to y.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Int);
+  B.aload(P).getfield(R.FY).getfield(R.FI).iret();
+  MachineFunction F = R.compile(B.build());
+  auto Interest = computeInstructionsOfInterest(F, R.Classes);
+  auto Hits = interesting(F, Interest);
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].first, MOp::LoadField); // The load of i...
+  EXPECT_EQ(Hits[0].second, R.FY);          // ...charged to field y.
+}
+
+TEST(InterestAnalysis, ArrayElementThroughRefField) {
+  // int f(Rec r) { return r.value[0]; } -- the db pattern.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Int);
+  B.aload(P).getfield(R.FValue).iconst(0).aloadI().iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].first, MOp::LoadElem);
+  EXPECT_EQ(Hits[0].second, R.FValue);
+}
+
+TEST(InterestAnalysis, CopiesThroughLocalsAreChased) {
+  // char[] v = r.value; ... v[0]: the base reaches the LoadElem through a
+  // store/load pair of register copies.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  uint32_t V = B.newLocal();
+  B.returns(RetKind::Int);
+  B.aload(P).getfield(R.FValue).astore(V);
+  B.aload(V).iconst(0).aloadI().iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].second, R.FValue);
+}
+
+TEST(InterestAnalysis, InnerLoopUsesFieldLoadedOutside) {
+  // The hot workload shape: v = r.value; for (k...) acc += v[k];
+  // The dataflow must carry the (v <- value) fact into the loop.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  uint32_t V = B.newLocal(), K = B.newLocal(), Acc = B.newLocal();
+  B.returns(RetKind::Int);
+  B.aload(P).getfield(R.FValue).astore(V);
+  B.iconst(0).istore(K).iconst(0).istore(Acc);
+  Label Loop = B.label(), Done = B.label();
+  B.bind(Loop).iload(K).iconst(8).ifICmp(CondKind::Ge, Done);
+  B.aload(V).iload(K).aloadI().iload(Acc).iadd().istore(Acc);
+  B.iinc(K, 1).jump(Loop);
+  B.bind(Done).iload(Acc).iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  ASSERT_EQ(Hits.size(), 1u)
+      << "the in-loop element load must be attributed";
+  EXPECT_EQ(Hits[0].first, MOp::LoadElem);
+  EXPECT_EQ(Hits[0].second, R.FValue);
+}
+
+TEST(InterestAnalysis, BaseFromArrayElementNotAttributed) {
+  // Rec r = table[i]; r.len: the base came from an array element, not a
+  // reference *field* -- the paper's analysis records nothing.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t T = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Int);
+  B.aload(T).iconst(0).aloadR().getfield(R.FLen).iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  EXPECT_TRUE(Hits.empty());
+}
+
+TEST(InterestAnalysis, BaseFromParameterNotAttributed) {
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Int);
+  B.aload(P).getfield(R.FLen).iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  EXPECT_TRUE(Hits.empty());
+}
+
+TEST(InterestAnalysis, StoreThroughRefFieldAttributed) {
+  // r.value[0] = 7: the element *store*'s base is also of interest.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Void);
+  B.aload(P).getfield(R.FValue).iconst(0).iconst(7).astoreI().ret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].first, MOp::StoreElem);
+}
+
+TEST(InterestAnalysis, FieldWinsOverNonFieldAtMerges) {
+  // v = cond ? r.value : q (a parameter): the optimistic use-def walk
+  // attributes to the field -- this is what keeps pointer-chase loops
+  // (cur = head; cur = cur.next) attributable despite the loop-header
+  // merge with the non-field initial value.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  uint32_t Q = B.addParam(ValKind::Ref);
+  uint32_t C = B.addParam(ValKind::Int);
+  uint32_t V = B.newLocal();
+  B.returns(RetKind::Int);
+  Label Other = B.label(), Join = B.label();
+  B.iload(C).ifZ(CondKind::Eq, Other);
+  B.aload(P).getfield(R.FValue).astore(V).jump(Join);
+  B.bind(Other).aload(Q).astore(V);
+  B.bind(Join).aload(V).iconst(0).aloadI().iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  ASSERT_EQ(Hits.size(), 1u);
+  EXPECT_EQ(Hits[0].second, R.FValue);
+}
+
+TEST(InterestAnalysis, TwoDifferentFieldsMergeToNothing) {
+  // v = cond ? p.y : r.value: ambiguous between two fields -- silent.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  uint32_t Q = B.addParam(ValKind::Ref);
+  uint32_t C = B.addParam(ValKind::Int);
+  uint32_t V = B.newLocal();
+  B.returns(RetKind::Int);
+  Label Other = B.label(), Join = B.label();
+  B.iload(C).ifZ(CondKind::Eq, Other);
+  B.aload(P).getfield(R.FY).astore(V).jump(Join);
+  B.bind(Other).aload(Q).getfield(R.FValue).astore(V);
+  B.bind(Join).aload(V).iconst(0).aloadI().iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  // Only the two getfields' own bases could be of interest (they are
+  // parameters: nothing); the element load's base is ambiguous.
+  for (auto &[MOpKind, Field] : Hits)
+    EXPECT_NE(MOpKind, MOp::LoadElem);
+}
+
+TEST(InterestAnalysis, NullInitializedChaseLoopAttributed) {
+  // cur = null; loop { if (cur == null) cur = p.y; acc += cur.i;
+  // cur = cur.y; } -- null is the merge identity, so the chase still
+  // attributes to y.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  uint32_t Cur = B.newLocal(), Acc = B.newLocal(), K = B.newLocal();
+  B.returns(RetKind::Int);
+  B.aconstNull().astore(Cur);
+  B.iconst(0).istore(Acc).iconst(0).istore(K);
+  Label Loop = B.label(), Done = B.label(), HaveCur = B.label();
+  B.bind(Loop).iload(K).iconst(8).ifICmp(CondKind::Ge, Done);
+  B.aload(Cur).ifNonNull(HaveCur);
+  B.aload(P).getfield(R.FY).astore(Cur);
+  B.bind(HaveCur);
+  B.aload(Cur).getfield(R.FI).iload(Acc).iadd().istore(Acc);
+  B.aload(Cur).getfield(R.FY).astore(Cur);
+  B.iinc(K, 1).jump(Loop);
+  B.bind(Done).iload(Acc).iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  ASSERT_GE(Hits.size(), 2u);
+  for (auto &[MOpKind, Field] : Hits)
+    EXPECT_EQ(Field, R.FY);
+}
+
+TEST(InterestAnalysis, LinkedListChase) {
+  // a = a.y repeatedly: each subsequent load's base comes from field y.
+  Rig R;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  uint32_t Cur = B.newLocal();
+  B.returns(RetKind::Int);
+  B.aload(P).getfield(R.FY).astore(Cur);
+  B.aload(Cur).getfield(R.FY).astore(Cur);
+  B.aload(Cur).getfield(R.FI).iret();
+  MachineFunction F = R.compile(B.build());
+  auto Hits = interesting(F, computeInstructionsOfInterest(F, R.Classes));
+  // Loads 2 and 3 both have bases defined by a LoadField of y.
+  ASSERT_EQ(Hits.size(), 2u);
+  EXPECT_EQ(Hits[0].second, R.FY);
+  EXPECT_EQ(Hits[1].second, R.FY);
+}
+
+TEST(InterestAnalysis, EmptyFunction) {
+  MachineFunction F;
+  ClassRegistry Classes;
+  EXPECT_TRUE(computeInstructionsOfInterest(F, Classes).empty());
+}

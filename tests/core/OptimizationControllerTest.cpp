@@ -1,0 +1,101 @@
+//===-- tests/core/OptimizationControllerTest.cpp -------------------------===//
+//
+// The Figure 8 feedback loop: detect that an applied transformation made
+// the miss rate worse and revert it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/OptimizationController.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+ControllerConfig fastConfig() {
+  ControllerConfig C;
+  C.BaselineWindow = 3;
+  C.DecisionWindow = 3;
+  C.WarmupPeriods = 1;
+  C.RegressionFactor = 1.3;
+  return C;
+}
+
+} // namespace
+
+TEST(OptimizationController, BaselineTracksRecentPeriods) {
+  OptimizationController C(fastConfig());
+  C.observePeriod(10);
+  C.observePeriod(20);
+  C.observePeriod(30);
+  EXPECT_DOUBLE_EQ(C.baselineRate(), 20.0);
+  C.observePeriod(40); // Window slides: (20+30+40)/3.
+  EXPECT_DOUBLE_EQ(C.baselineRate(), 30.0);
+  EXPECT_EQ(C.state(), OptimizationController::State::Monitoring);
+}
+
+TEST(OptimizationController, RegressionTriggersRevert) {
+  OptimizationController C(fastConfig());
+  bool Reverted = false;
+  C.setRevertAction([&] { Reverted = true; });
+  for (int I = 0; I != 5; ++I)
+    C.observePeriod(100); // Stable baseline of 100.
+  C.notePolicyChange();   // e.g. the 128-byte gap gets inserted.
+  C.observePeriod(160);   // Warm-up period, ignored.
+  EXPECT_EQ(C.state(), OptimizationController::State::Assessing);
+  C.observePeriod(170);
+  C.observePeriod(180);
+  EXPECT_FALSE(Reverted);
+  C.observePeriod(175); // Decision window complete: mean 175 > 130.
+  EXPECT_TRUE(Reverted);
+  EXPECT_EQ(C.state(), OptimizationController::State::Reverted);
+  EXPECT_NEAR(C.assessedRate(), 175.0, 1e-9);
+}
+
+TEST(OptimizationController, ImprovementIsAccepted) {
+  OptimizationController C(fastConfig());
+  bool Reverted = false;
+  C.setRevertAction([&] { Reverted = true; });
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(100);
+  C.notePolicyChange();
+  C.observePeriod(90); // Warm-up.
+  for (int I = 0; I != 3; ++I)
+    C.observePeriod(60); // Better!
+  EXPECT_FALSE(Reverted);
+  EXPECT_EQ(C.state(), OptimizationController::State::Accepted);
+}
+
+TEST(OptimizationController, SmallNoiseDoesNotRevert) {
+  OptimizationController C(fastConfig());
+  bool Reverted = false;
+  C.setRevertAction([&] { Reverted = true; });
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(100);
+  C.notePolicyChange();
+  C.observePeriod(100);
+  for (double Rate : {110.0, 120.0, 115.0}) // +15% < the 30% threshold.
+    C.observePeriod(Rate);
+  EXPECT_FALSE(Reverted);
+  EXPECT_EQ(C.state(), OptimizationController::State::Accepted);
+}
+
+TEST(OptimizationController, MonitoringResumesAfterDecision) {
+  OptimizationController C(fastConfig());
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(100);
+  C.notePolicyChange();
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(500); // Revert fires.
+  EXPECT_EQ(C.state(), OptimizationController::State::Reverted);
+  // Rates keep updating the baseline; a second change can be assessed.
+  for (int I = 0; I != 3; ++I)
+    C.observePeriod(100);
+  EXPECT_DOUBLE_EQ(C.baselineRate(), 100.0);
+  C.notePolicyChange();
+  C.observePeriod(100);
+  for (int I = 0; I != 3; ++I)
+    C.observePeriod(100);
+  EXPECT_EQ(C.state(), OptimizationController::State::Accepted);
+}

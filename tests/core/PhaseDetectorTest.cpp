@@ -1,0 +1,97 @@
+//===-- tests/core/PhaseDetectorTest.cpp ----------------------------------===//
+
+#include "core/PhaseDetector.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Feeds \p Rates; \returns the final phase count.
+size_t runPhases(PhaseDetector &D, std::initializer_list<double> Rates) {
+  for (double R : Rates)
+    D.observe(R);
+  return D.currentPhase();
+}
+
+} // namespace
+
+TEST(PhaseDetector, SteadyRateIsOnePhase) {
+  PhaseDetector D;
+  EXPECT_EQ(runPhases(D, {10, 11, 10, 9, 10, 11, 10, 10, 9, 10}), 1u);
+}
+
+TEST(PhaseDetector, StepUpFlagsAChange) {
+  PhaseDetector D;
+  for (double R : {10.0, 10.0, 10.0, 10.0, 10.0})
+    D.observe(R);
+  bool Flagged = false;
+  for (double R : {100.0, 100.0, 100.0, 100.0})
+    Flagged |= D.observe(R);
+  EXPECT_TRUE(Flagged);
+  EXPECT_GE(D.currentPhase(), 2u);
+  // The new level re-anchors at the transition window's average, which
+  // still contains old-phase samples; it must at least have left the old
+  // regime decisively.
+  EXPECT_GT(D.level(), 30.0);
+}
+
+TEST(PhaseDetector, StepDownFlagsAChange) {
+  PhaseDetector D;
+  for (double R : {100.0, 100.0, 100.0, 100.0, 100.0})
+    D.observe(R);
+  for (double R : {10.0, 10.0, 10.0, 10.0})
+    D.observe(R);
+  EXPECT_EQ(D.currentPhase(), 2u);
+}
+
+TEST(PhaseDetector, LullsAreTheirOwnPhase) {
+  PhaseDetector D;
+  for (double R : {20.0, 20.0, 20.0, 20.0})
+    D.observe(R);
+  for (double R : {0.0, 0.0, 0.0, 0.0})
+    D.observe(R);
+  EXPECT_EQ(D.currentPhase(), 2u) << "entering the lull";
+  for (double R : {20.0, 20.0, 20.0, 20.0})
+    D.observe(R);
+  EXPECT_EQ(D.currentPhase(), 3u) << "leaving the lull";
+}
+
+TEST(PhaseDetector, GradualDriftIsNotAPhaseChange) {
+  PhaseDetector D;
+  double R = 10.0;
+  size_t Phases = 1;
+  for (int I = 0; I != 40; ++I) {
+    D.observe(R);
+    R *= 1.03; // +3% per period: the EMA keeps up.
+  }
+  EXPECT_EQ(D.currentPhase(), Phases);
+}
+
+TEST(PhaseDetector, AlternatingBuildScanPattern) {
+  // The db shape: bursts of scan activity separated by build lulls (from
+  // the tracked field's perspective) must yield ~one phase per regime.
+  PhaseDetector D;
+  size_t Changes = 0;
+  for (int Iter = 0; Iter != 3; ++Iter) {
+    for (int I = 0; I != 6; ++I)
+      Changes += D.observe(0.0); // Build: no scans of the tracked field.
+    for (int I = 0; I != 8; ++I)
+      Changes += D.observe(12.0); // Scan burst.
+  }
+  // Six regime boundaries; transition windows may occasionally double-
+  // flag, so allow a band rather than an exact count.
+  EXPECT_GE(D.currentPhase(), 5u);
+  EXPECT_LE(D.currentPhase(), 12u);
+}
+
+TEST(PhaseDetector, NoChangeBeforeMinPeriods) {
+  PhaseDetectorConfig C;
+  C.MinPeriods = 10;
+  PhaseDetector D(C);
+  D.observe(1.0);
+  for (double R : {100.0, 100.0, 100.0})
+    EXPECT_FALSE(D.observe(R));
+  EXPECT_EQ(D.currentPhase(), 1u);
+}

@@ -1,0 +1,166 @@
+//===-- tests/core/PrefetchInjectorTest.cpp -------------------------------===//
+
+#include "core/PrefetchInjector.h"
+
+#include "gc/GenMSPlan.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Fixture: a method whose only reference-field load is `p.next`.
+struct SimpleRig {
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+  ClassId Node;
+  FieldId FNext, FVal;
+  MethodId Id;
+
+  SimpleRig()
+      : Vm([] {
+          VmConfig C;
+          C.HeapBytes = 8 * 1024 * 1024;
+          return C;
+        }()),
+        Gc(Vm.objects(), Vm.clock(),
+           CollectorConfig{.HeapBytes = 8 * 1024 * 1024}) {
+    Vm.setCollector(&Gc);
+    Node = Vm.classes().defineClass("Node", {{"next", true},
+                                             {"val", false}});
+    FNext = Vm.classes().fieldId(Node, "next");
+    FVal = Vm.classes().fieldId(Node, "val");
+    // f(p, n) -> int: loop n { p = p.next; acc += p.val; }
+    BytecodeBuilder B("f");
+    uint32_t P = B.addParam(ValKind::Ref);
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t I = B.newLocal(), Acc = B.newLocal();
+    B.returns(RetKind::Int);
+    B.iconst(0).istore(I).iconst(0).istore(Acc);
+    Label Loop = B.label(), Done = B.label();
+    B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.aload(P).getfield(FNext).astore(P);
+    B.aload(P).getfield(FVal).iload(Acc).iadd().istore(Acc);
+    B.iinc(I, 1).jump(Loop);
+    B.bind(Done).iload(Acc).iret();
+    Id = Vm.addMethod(B.build());
+    Vm.aos().compileNow(Vm.method(Id));
+  }
+
+  /// Builds a 3-node ring; returns its head.
+  Address buildRing() {
+    Address A = Gc.allocate(Node, 32, 0);
+    Address Bn = Gc.allocate(Node, 32, 0);
+    Address C = Gc.allocate(Node, 32, 0);
+    HeapMemory &Mem = Vm.heapMemory();
+    uint32_t Off = Vm.classes().field(FNext).Offset;
+    uint32_t ValOff = Vm.classes().field(FVal).Offset;
+    Mem.writeWord(A + Off, Bn);
+    Mem.writeWord(Bn + Off, C);
+    Mem.writeWord(C + Off, A);
+    Mem.writeWord(A + ValOff, 1);
+    Mem.writeWord(Bn + ValOff, 2);
+    Mem.writeWord(C + ValOff, 3);
+    return A;
+  }
+};
+
+uint32_t countPrefetches(const MachineFunction &F) {
+  uint32_t N = 0;
+  for (const MachineInst &I : F.Insts)
+    N += I.Op == MOp::Prefetch;
+  return N;
+}
+
+} // namespace
+
+TEST(PrefetchInjector, InsertsAfterHotRefLoadsOnly) {
+  SimpleRig R;
+  FieldMissTable T;
+  T.addMiss(R.FNext, 50);
+  T.addMiss(R.FVal, 500); // Int field: must never be prefetched.
+  PrefetchInjectionStats S =
+      PrefetchInjector::injectHotPrefetches(R.Vm, T, 10);
+  EXPECT_EQ(S.MethodsRewritten, 1u);
+  EXPECT_EQ(S.PrefetchesInserted, 1u);
+  const MachineFunction &F = R.Vm.compiledCode(R.Vm.method(R.Id).OptIndex);
+  EXPECT_EQ(countPrefetches(F), 1u);
+  // The prefetch directly follows the load of next and uses its Dst.
+  for (size_t I = 0; I + 1 < F.Insts.size(); ++I)
+    if (F.Insts[I].Op == MOp::LoadField &&
+        F.Insts[I].Imm == static_cast<int32_t>(R.FNext)) {
+      ASSERT_EQ(F.Insts[I + 1].Op, MOp::Prefetch);
+      EXPECT_EQ(F.Insts[I + 1].SrcA, F.Insts[I].Dst);
+    }
+}
+
+TEST(PrefetchInjector, ColdFieldsUntouched) {
+  SimpleRig R;
+  FieldMissTable T;
+  T.addMiss(R.FNext, 3);
+  PrefetchInjectionStats S =
+      PrefetchInjector::injectHotPrefetches(R.Vm, T, 10);
+  EXPECT_EQ(S.MethodsRewritten, 0u);
+}
+
+TEST(PrefetchInjector, RewrittenCodeStillComputesTheSameResult) {
+  SimpleRig R;
+  Address Ring = R.buildRing();
+  // Root the ring so allocation-free invocations can't lose it (no GC
+  // runs here, but belt and braces).
+  uint32_t G = R.Vm.addGlobal(ValKind::Ref);
+  R.Vm.setGlobal(G, Value::makeRef(Ring));
+
+  int32_t Before =
+      R.Vm.invoke(R.Id, {Value::makeRef(Ring), Value::makeInt(7)}).asInt();
+  FieldMissTable T;
+  T.addMiss(R.FNext, 100);
+  PrefetchInjector::injectHotPrefetches(R.Vm, T, 10);
+  int32_t After =
+      R.Vm.invoke(R.Id, {Value::makeRef(Ring), Value::makeInt(7)}).asInt();
+  EXPECT_EQ(Before, After);
+  EXPECT_GT(R.Vm.memory().stats().SwPrefetches, 0u);
+}
+
+TEST(PrefetchInjector, IdempotentAcrossPasses) {
+  SimpleRig R;
+  FieldMissTable T;
+  T.addMiss(R.FNext, 100);
+  PrefetchInjector::injectHotPrefetches(R.Vm, T, 10);
+  uint32_t OptIdx = R.Vm.method(R.Id).OptIndex;
+  PrefetchInjectionStats S2 =
+      PrefetchInjector::injectHotPrefetches(R.Vm, T, 10);
+  EXPECT_EQ(S2.MethodsRewritten, 0u);
+  EXPECT_EQ(R.Vm.method(R.Id).OptIndex, OptIdx);
+}
+
+TEST(PrefetchInjector, BranchTargetsRemappedCorrectly) {
+  SimpleRig R;
+  const MachineFunction &Before =
+      R.Vm.compiledCode(R.Vm.method(R.Id).OptIndex);
+  size_t SizeBefore = Before.Insts.size();
+  FieldMissTable T;
+  T.addMiss(R.FNext, 100);
+  PrefetchInjector::injectHotPrefetches(R.Vm, T, 10);
+  const MachineFunction &F = R.Vm.compiledCode(R.Vm.method(R.Id).OptIndex);
+  EXPECT_EQ(F.Insts.size(), SizeBefore + 1);
+  for (const MachineInst &I : F.Insts)
+    switch (I.Op) {
+    case MOp::Br: case MOp::BrCmp: case MOp::BrZero:
+    case MOp::BrNull: case MOp::BrNonNull:
+      ASSERT_GE(I.Imm, 0);
+      ASSERT_LT(static_cast<size_t>(I.Imm), F.Insts.size());
+      break;
+    default:
+      break;
+    }
+  // And the loop still terminates with the right answer.
+  Address Ring = R.buildRing();
+  EXPECT_EQ(
+      R.Vm.invoke(R.Id, {Value::makeRef(Ring), Value::makeInt(3)}).asInt(),
+      2 + 3 + 1);
+}

@@ -1,0 +1,113 @@
+//===-- tests/core/SampleResolverTest.cpp ---------------------------------===//
+
+#include "core/SampleResolver.h"
+
+#include "gc/GenMSPlan.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/OptCompiler.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+  MethodId Id;
+
+  Rig()
+      : Vm([] {
+          VmConfig C;
+          C.HeapBytes = 4 * 1024 * 1024;
+          return C;
+        }()),
+        Gc(Vm.objects(), Vm.clock(),
+           CollectorConfig{.HeapBytes = 4 * 1024 * 1024}) {
+    Vm.setCollector(&Gc);
+    BytecodeBuilder B("m");
+    B.returns(RetKind::Int);
+    B.iconst(1).iconst(2).iadd().iret(); // 4 bytecodes.
+    Id = Vm.addMethod(B.build());
+  }
+};
+
+} // namespace
+
+TEST(SampleResolver, BaselinePcResolvesToBytecode) {
+  Rig R;
+  SampleResolver Res(R.Vm);
+  const Method &M = R.Vm.method(R.Id);
+  Address Pc = VirtualMachine::baselinePc(M, 2);
+  ResolvedSample S = Res.resolve(Pc);
+  ASSERT_TRUE(S.Valid);
+  EXPECT_EQ(S.Method, R.Id);
+  EXPECT_EQ(S.Flavor, CodeFlavor::Baseline);
+  EXPECT_EQ(S.Bci, 2u);
+  EXPECT_EQ(S.InstIdx, kInvalidId);
+}
+
+TEST(SampleResolver, PcMidInstructionResolvesToSameBytecode) {
+  Rig R;
+  SampleResolver Res(R.Vm);
+  const Method &M = R.Vm.method(R.Id);
+  ResolvedSample S = Res.resolve(VirtualMachine::baselinePc(M, 1) + 5);
+  ASSERT_TRUE(S.Valid);
+  EXPECT_EQ(S.Bci, 1u);
+}
+
+TEST(SampleResolver, OptimizedPcResolvesToInstructionAndBci) {
+  Rig R;
+  R.Vm.aos().compileNow(R.Vm.method(R.Id));
+  const MachineFunction &F =
+      R.Vm.compiledCode(R.Vm.method(R.Id).OptIndex);
+  SampleResolver Res(R.Vm);
+  for (uint32_t I = 0; I != F.Insts.size(); ++I) {
+    ResolvedSample S = Res.resolve(F.addressOf(I));
+    ASSERT_TRUE(S.Valid);
+    EXPECT_EQ(S.Flavor, CodeFlavor::Optimized);
+    EXPECT_EQ(S.InstIdx, I);
+    EXPECT_EQ(S.Bci, F.Insts[I].Bci);
+    EXPECT_EQ(S.OptIndex, R.Vm.method(R.Id).OptIndex);
+  }
+  EXPECT_EQ(Res.stats().ResolvedOptimized, F.Insts.size());
+}
+
+TEST(SampleResolver, KernelAndNativePcsDroppedImmediately) {
+  Rig R;
+  SampleResolver Res(R.Vm);
+  EXPECT_FALSE(Res.resolve(0x1000).Valid);        // "kernel".
+  EXPECT_FALSE(Res.resolve(0x40000000).Valid);    // Heap, not code.
+  EXPECT_EQ(Res.stats().DroppedOutsideVm, 2u);
+}
+
+TEST(SampleResolver, UnknownCodeAddressDropped) {
+  Rig R;
+  SampleResolver Res(R.Vm);
+  // Inside the immortal range but past any allocated code.
+  ResolvedSample S = Res.resolve(kImmortalBase + 0x5000000);
+  EXPECT_FALSE(S.Valid);
+  EXPECT_EQ(Res.stats().DroppedUnknownCode, 1u);
+}
+
+TEST(SampleResolver, StaleOptimizedRangeStillResolves) {
+  Rig R;
+  Method &M = R.Vm.method(R.Id);
+  R.Vm.aos().compileNow(M);
+  Address OldPc = R.Vm.compiledCode(M.OptIndex).addressOf(0);
+  // Recompile: the old range stays resolvable (old frames may still be
+  // executing it on a real stack).
+  MachineFunction F2 = OptCompiler::compile(M, R.Vm.classes(),
+                                            R.Vm.methods(),
+                                            R.Vm.globalKinds());
+  R.Vm.installCompiledCode(M, std::move(F2));
+  SampleResolver Res(R.Vm);
+  ResolvedSample S = Res.resolve(OldPc);
+  ASSERT_TRUE(S.Valid);
+  EXPECT_EQ(S.Method, R.Id);
+  Address NewPc = R.Vm.compiledCode(M.OptIndex).addressOf(0);
+  EXPECT_TRUE(Res.resolve(NewPc).Valid);
+}

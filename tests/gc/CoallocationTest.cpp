@@ -1,0 +1,177 @@
+//===-- tests/gc/CoallocationTest.cpp -------------------------------------===//
+//
+// The co-allocation mechanics in GenMS, driven by a stub advisor so each
+// placement rule is tested in isolation from the sampling machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GcTestSupport.h"
+
+#include "heap/SizeClasses.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct CoallocRig : GcRig<GenMSPlan> {
+  StubAdvisor Advisor;
+
+  CoallocRig() {
+    Advisor.Target = Node;
+    Advisor.Hint.SlotOffset = kFieldA;
+    Advisor.Hint.Field = 0; // Any valid-looking field id.
+    Gc.setPlacementAdvisor(&Advisor);
+  }
+};
+
+} // namespace
+
+TEST(Coallocation, ChildPlacedDirectlyAfterParent) {
+  CoallocRig R;
+  Address P = R.newNode(1);
+  Address C = R.newIntArray(4); // 32 bytes.
+  R.setRef(P, CoallocRig::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  Address P2 = R.Roots.Slots[0];
+  Address C2 = R.getRef(P2, CoallocRig::kFieldA);
+  EXPECT_EQ(C2, P2 + 32) << "pair must share one cell, child after parent";
+  EXPECT_TRUE(R.Model.testFlag(P2, objheader::kCoallocBit));
+  EXPECT_TRUE(R.Model.testFlag(C2, objheader::kCoallocBit));
+  EXPECT_EQ(R.Gc.stats().ObjectsCoallocated, 1u);
+  EXPECT_EQ(R.Advisor.Notes, 1);
+  EXPECT_EQ(R.Model.arrayLength(C2), 4u);
+}
+
+TEST(Coallocation, GapBytesInsertedBetweenPair) {
+  CoallocRig R;
+  R.Advisor.Gap = 128; // The Figure 8 "bad placement" lever.
+  Address P = R.newNode(1);
+  Address C = R.newIntArray(4);
+  R.setRef(P, CoallocRig::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  Address P2 = R.Roots.Slots[0];
+  Address C2 = R.getRef(P2, CoallocRig::kFieldA);
+  EXPECT_EQ(C2, P2 + 32 + 128);
+  EXPECT_EQ(R.Gc.stats().CoallocGapBytes, 128u);
+}
+
+TEST(Coallocation, OversizedPairFallsBackToPlainPromotion) {
+  CoallocRig R;
+  Address P = R.newNode(1);
+  Address C = R.newIntArray(1020); // 4096 bytes: 32 + 4096 > ceiling.
+  R.setRef(P, CoallocRig::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  Address P2 = R.Roots.Slots[0];
+  Address C2 = R.getRef(P2, CoallocRig::kFieldA);
+  EXPECT_NE(C2, P2 + 32);
+  EXPECT_EQ(R.Gc.stats().ObjectsCoallocated, 0u);
+  EXPECT_EQ(R.Model.arrayLength(C2), 1020u);
+}
+
+TEST(Coallocation, NullAndSelfChildSkipped) {
+  CoallocRig R;
+  Address P = R.newNode(1); // Field a stays null.
+  R.Roots.Slots.push_back(P);
+  Address Q = R.newNode(2);
+  R.setRef(Q, CoallocRig::kFieldA, Q); // Self reference.
+  R.Roots.Slots.push_back(Q);
+  R.Gc.collectMinor();
+  EXPECT_EQ(R.Gc.stats().ObjectsCoallocated, 0u);
+  Address Q2 = R.Roots.Slots[1];
+  EXPECT_EQ(R.getRef(Q2, CoallocRig::kFieldA), Q2);
+}
+
+TEST(Coallocation, AlreadyPromotedChildNotCoallocated) {
+  CoallocRig R;
+  Address C = R.newIntArray(4);
+  Address P = R.newNode(1);
+  R.setRef(P, CoallocRig::kFieldA, C);
+  // The child is also a direct root processed BEFORE the parent.
+  R.Roots.Slots.push_back(C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  EXPECT_EQ(R.Gc.stats().ObjectsCoallocated, 0u);
+  Address P2 = R.Roots.Slots[1];
+  EXPECT_EQ(R.getRef(P2, CoallocRig::kFieldA), R.Roots.Slots[0])
+      << "the field must still point at the promoted child";
+}
+
+TEST(Coallocation, PairCellSizeUsesCombinedSizeClass) {
+  CoallocRig R;
+  Address P = R.newNode(1);
+  Address C = R.newIntArray(4);
+  R.setRef(P, CoallocRig::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  Address P2 = R.Roots.Slots[0];
+  EXPECT_EQ(R.Gc.matureSpace().cellSizeAt(P2),
+            SizeClasses::cellBytes(SizeClasses::classFor(64)));
+}
+
+TEST(Coallocation, SharedCellStaysWhileChildLives) {
+  CoallocRig R;
+  Address P = R.newNode(1);
+  Address C = R.newIntArray(4);
+  R.Mem.writeWord(R.Model.elementAddress(C, 2), 777);
+  R.setRef(P, CoallocRig::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Roots.Slots.push_back(C); // Direct root to the child as well...
+  // ...but ordered after the parent, so the pair co-allocates.
+  R.Gc.collectMinor();
+  ASSERT_EQ(R.Gc.stats().ObjectsCoallocated, 1u);
+  Address C2 = R.Roots.Slots[1];
+
+  // Drop the parent; the child must keep the shared cell alive.
+  R.Roots.Slots.erase(R.Roots.Slots.begin());
+  R.Gc.collectFull();
+  EXPECT_EQ(R.Roots.Slots[0], C2) << "mature mark-sweep does not move";
+  EXPECT_EQ(R.Mem.readWord(R.Model.elementAddress(C2, 2)), 777u);
+  EXPECT_EQ(R.Gc.matureSpace().stats().CellsInUse, 1u);
+
+  // Drop the child too: the shared cell finally dies.
+  R.Roots.Slots.clear();
+  R.Gc.collectFull();
+  EXPECT_EQ(R.Gc.matureSpace().stats().CellsInUse, 0u);
+}
+
+TEST(Coallocation, PairSurvivesSubsequentFullCollections) {
+  CoallocRig R;
+  Address P = R.newNode(3);
+  Address C = R.newIntArray(4);
+  R.setRef(P, CoallocRig::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  R.Gc.collectFull();
+  R.Gc.collectFull();
+  Address P2 = R.Roots.Slots[0];
+  EXPECT_EQ(R.idOf(P2), 3);
+  EXPECT_EQ(R.getRef(P2, CoallocRig::kFieldA), P2 + 32);
+  EXPECT_EQ(R.Gc.matureSpace().stats().CellsInUse, 1u);
+}
+
+TEST(Coallocation, ArrayParentsAreNeverCoallocated) {
+  CoallocRig R;
+  R.Advisor.Target = R.RefArr; // Try to target an array class.
+  uint32_t Bytes = R.Model.arrayObjectBytes(R.RefArr, 2);
+  Address Arr = R.Gc.allocate(R.RefArr, Bytes, 2);
+  Address N = R.newNode(1);
+  R.setRef(Arr, objheader::kHeaderBytes, N);
+  R.Roots.Slots.push_back(Arr);
+  R.Gc.collectMinor();
+  EXPECT_EQ(R.Gc.stats().ObjectsCoallocated, 0u);
+}
+
+TEST(Coallocation, DisabledAdvisorMeansPlainPromotion) {
+  GcRig<GenMSPlan> R; // No advisor attached at all.
+  Address P = R.newNode(1);
+  Address C = R.newIntArray(4);
+  R.setRef(P, GcRig<GenMSPlan>::kFieldA, C);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor();
+  EXPECT_EQ(R.Gc.stats().ObjectsCoallocated, 0u);
+}

@@ -1,0 +1,244 @@
+//===-- tests/gc/GcPropertyTest.cpp ---------------------------------------===//
+//
+// Property test: a randomly mutated object graph, interleaved with forced
+// minor and full collections, must stay isomorphic to a host-side shadow
+// graph. Mutations are expressed as *path walks from roots* so the same
+// operation can be applied to the heap graph (whose addresses move) and to
+// the shadow graph (indexed by stable ids) without ever holding a raw heap
+// address across a collection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "GcTestSupport.h"
+
+#include "gc/HeapVerifier.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace hpmvm;
+
+namespace {
+
+constexpr int kNumRoots = 6;
+constexpr int kSteps = 1500;
+
+struct ShadowNode {
+  int32_t A = -1; ///< id of child a, -1 = null.
+  int32_t B = -1;
+};
+
+template <typename PlanT> struct PropertyRig : GcRig<PlanT> {
+  using Base = GcRig<PlanT>;
+  std::vector<ShadowNode> Shadow;   ///< Indexed by node id.
+  std::vector<int32_t> ShadowRoots; ///< -1 = null root slot.
+  SplitMix64 Rng;
+
+  explicit PropertyRig(uint64_t Seed) : Rng(Seed) {
+    this->Roots.Slots.assign(kNumRoots, kNullRef);
+    ShadowRoots.assign(kNumRoots, -1);
+  }
+
+  int32_t makeNode() {
+    int32_t Id = static_cast<int32_t>(Shadow.size());
+    Shadow.push_back({});
+    Address N = this->newNode(Id);
+    return (LastAddr = N), Id;
+  }
+  Address LastAddr = 0;
+
+  /// Walks the same random path through heap and shadow; returns the pair
+  /// (heap address, shadow id) of the endpoint, or (0, -1) for null.
+  std::pair<Address, int32_t> walk(uint32_t RootIdx,
+                                   const std::vector<bool> &Dirs) {
+    Address H = this->Roots.Slots[RootIdx];
+    int32_t S = ShadowRoots[RootIdx];
+    for (bool GoB : Dirs) {
+      if (H == kNullRef)
+        break;
+      EXPECT_NE(S, -1);
+      Address HN = this->getRef(H, GoB ? Base::kFieldB : Base::kFieldA);
+      int32_t SN = GoB ? Shadow[S].B : Shadow[S].A;
+      if (HN == kNullRef) {
+        EXPECT_EQ(SN, -1);
+        break;
+      }
+      H = HN;
+      S = SN;
+    }
+    if (H == kNullRef)
+      return {kNullRef, -1};
+    EXPECT_EQ(this->idOf(H), S) << "heap/shadow diverged mid-walk";
+    return {H, S};
+  }
+
+  std::vector<bool> randomDirs() {
+    std::vector<bool> Dirs(Rng.nextBelow(5));
+    for (size_t I = 0; I != Dirs.size(); ++I)
+      Dirs[I] = Rng.nextBelow(2);
+    return Dirs;
+  }
+
+  void step() {
+    switch (Rng.nextBelow(5)) {
+    case 0: { // New node into a root slot.
+      uint32_t R = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      int32_t Id = makeNode();
+      this->Roots.Slots[R] = LastAddr;
+      ShadowRoots[R] = Id;
+      return;
+    }
+    case 1: { // Attach a new node under an existing one.
+      uint32_t R = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      auto [H, S] = walk(R, randomDirs());
+      if (H == kNullRef)
+        return;
+      bool GoB = Rng.nextBelow(2);
+      int32_t Id = makeNode();
+      // H may be stale: makeNode can trigger a collection that moves H.
+      // Re-walk to find the node again (by construction the path is
+      // unchanged: allocation never rewrites edges).
+      auto [H2, S2] = walkToId(R, S);
+      if (H2 == kNullRef)
+        return; // The path got collected? Impossible while rooted.
+      this->setRef(H2, GoB ? Base::kFieldB : Base::kFieldA, LastAddr);
+      (GoB ? Shadow[S2].B : Shadow[S2].A) = Id;
+      return;
+    }
+    case 2: { // Rewire: node-at-path-1 . field = node-at-path-2.
+      uint32_t R1 = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      uint32_t R2 = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      auto [H1, S1] = walk(R1, randomDirs());
+      auto [H2, S2] = walk(R2, randomDirs());
+      if (H1 == kNullRef)
+        return;
+      bool GoB = Rng.nextBelow(2);
+      this->setRef(H1, GoB ? Base::kFieldB : Base::kFieldA, H2);
+      (GoB ? Shadow[S1].B : Shadow[S1].A) = S2;
+      return;
+    }
+    case 3: { // Clear a root.
+      uint32_t R = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      this->Roots.Slots[R] = kNullRef;
+      ShadowRoots[R] = -1;
+      return;
+    }
+    case 4: { // Copy one root to another.
+      uint32_t R1 = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      uint32_t R2 = static_cast<uint32_t>(Rng.nextBelow(kNumRoots));
+      this->Roots.Slots[R2] = this->Roots.Slots[R1];
+      ShadowRoots[R2] = ShadowRoots[R1];
+      return;
+    }
+    }
+  }
+
+  /// Finds the (moved) heap address of shadow node \p TargetId by BFS from
+  /// root \p R. Used after an allocation may have moved things.
+  std::pair<Address, int32_t> walkToId(uint32_t R, int32_t TargetId) {
+    Address Root = this->Roots.Slots[R];
+    if (Root == kNullRef)
+      return {kNullRef, -1};
+    std::vector<Address> Queue = {Root};
+    std::set<Address> Seen;
+    while (!Queue.empty()) {
+      Address H = Queue.back();
+      Queue.pop_back();
+      if (!Seen.insert(H).second)
+        continue;
+      if (this->idOf(H) == TargetId)
+        return {H, TargetId};
+      for (uint32_t Off : {Base::kFieldA, Base::kFieldB}) {
+        Address C = this->getRef(H, Off);
+        if (C != kNullRef)
+          Queue.push_back(C);
+      }
+    }
+    return {kNullRef, -1};
+  }
+
+  /// Full-graph isomorphism check: the heap graph reachable from the roots
+  /// must match the shadow graph node-for-node and edge-for-edge.
+  void verifyIsomorphic() {
+    std::map<int32_t, Address> ById;
+    std::vector<std::pair<Address, int32_t>> Queue;
+    for (int R = 0; R != kNumRoots; ++R) {
+      if (this->Roots.Slots[R] == kNullRef) {
+        ASSERT_EQ(ShadowRoots[R], -1);
+        continue;
+      }
+      ASSERT_NE(ShadowRoots[R], -1);
+      Queue.push_back({this->Roots.Slots[R], ShadowRoots[R]});
+    }
+    while (!Queue.empty()) {
+      auto [H, S] = Queue.back();
+      Queue.pop_back();
+      ASSERT_EQ(this->idOf(H), S);
+      auto [It, Inserted] = ById.emplace(S, H);
+      if (!Inserted) {
+        ASSERT_EQ(It->second, H) << "one shadow node, two heap copies";
+        continue;
+      }
+      for (int Edge = 0; Edge != 2; ++Edge) {
+        Address HC = this->getRef(H, Edge ? Base::kFieldB : Base::kFieldA);
+        int32_t SC = Edge ? Shadow[S].B : Shadow[S].A;
+        if (HC == kNullRef)
+          ASSERT_EQ(SC, -1);
+        else {
+          ASSERT_NE(SC, -1);
+          Queue.push_back({HC, SC});
+        }
+      }
+    }
+  }
+};
+
+template <typename PlanT> void runProperty(uint64_t Seed,
+                                            bool Coallocate = false) {
+  PropertyRig<PlanT> R(Seed);
+  StubAdvisor Advisor;
+  if (Coallocate) {
+    // Drive co-allocation through the same random graph: every promoted
+    // Node tries to share a cell with its field-A child. Shared-cell
+    // liveness, forwarding, and reference integrity must all hold.
+    Advisor.Target = R.Node;
+    Advisor.Hint.SlotOffset = PropertyRig<PlanT>::kFieldA;
+    Advisor.Hint.Field = 0;
+    R.Gc.setPlacementAdvisor(&Advisor);
+  }
+  for (int S = 0; S != kSteps; ++S) {
+    R.step();
+    if (S % 200 == 150)
+      R.Gc.collectFull();
+    if (S % 97 == 50)
+      R.Gc.collectMinor();
+    if (S % 300 == 299) {
+      R.verifyIsomorphic();
+      ASSERT_EQ(HeapVerifier::verify(R.Gc, R.Model), "");
+    }
+  }
+  R.verifyIsomorphic();
+  ASSERT_EQ(HeapVerifier::verify(R.Gc, R.Model), "");
+}
+
+class GcGraphProperty : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcGraphProperty, GenMSPreservesGraph) {
+  runProperty<GenMSPlan>(GetParam());
+}
+
+TEST_P(GcGraphProperty, GenMSPreservesGraphUnderCoallocation) {
+  runProperty<GenMSPlan>(GetParam(), /*Coallocate=*/true);
+}
+
+TEST_P(GcGraphProperty, GenCopyPreservesGraph) {
+  runProperty<GenCopyPlan>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GcGraphProperty,
+                         testing::Range<uint64_t>(1, 13));
+
+} // namespace

@@ -1,0 +1,99 @@
+//===-- tests/gc/GcTestSupport.h - Collector test fixtures -----*- C++ -*-===//
+
+#ifndef HPMVM_TESTS_GC_GCTESTSUPPORT_H
+#define HPMVM_TESTS_GC_GCTESTSUPPORT_H
+
+#include "gc/GenCopyPlan.h"
+#include "gc/GenMSPlan.h"
+#include "heap/ObjectModel.h"
+#include "support/VirtualClock.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hpmvm {
+
+/// Root provider over a plain vector of slots (null slots skipped).
+struct VectorRoots : public RootProvider {
+  std::vector<Address> Slots;
+
+  void forEachRoot(const std::function<void(Address &)> &Fn) override {
+    for (Address &S : Slots)
+      if (S != kNullRef)
+        Fn(S);
+  }
+};
+
+/// Stub advisor with a fixed hint for one class.
+struct StubAdvisor : public PlacementAdvisor {
+  ClassId Target = kInvalidId;
+  CoallocationHint Hint;
+  uint32_t Gap = 0;
+  int Notes = 0;
+
+  CoallocationHint coallocationHint(ClassId Cls) override {
+    return Cls == Target ? Hint : CoallocationHint{};
+  }
+  uint32_t gapBytes() override { return Gap; }
+  void noteCoallocation(ClassId, FieldId) override { ++Notes; }
+};
+
+/// Everything a collector test needs, templated on the plan.
+template <typename PlanT> struct GcRig {
+  static constexpr uint32_t kHeapBytes = 4 * 1024 * 1024;
+
+  HeapMemory Mem{kHeapBase, kHeapBytes};
+  HeapClassTable Classes;
+  ClassId Node;   ///< { ref a @16; ref b @20; int id @24 } -> 32 bytes.
+  ClassId IntArr;
+  ClassId RefArr;
+  ObjectModel Model{Mem, Classes};
+  VirtualClock Clock;
+  PlanT Gc;
+  VectorRoots Roots;
+
+  GcRig()
+      : Node(Classes.addScalarClass("Node", 3, {16, 20})),
+        IntArr(Classes.addArrayClass("int[]", ElemKind::I32)),
+        RefArr(Classes.addArrayClass("Node[]", ElemKind::Ref)),
+        Gc(Model, Clock, CollectorConfig{.HeapBytes = kHeapBytes}) {
+    Gc.setRootProvider(&Roots);
+  }
+
+  static constexpr uint32_t kFieldA = 16;
+  static constexpr uint32_t kFieldB = 20;
+  static constexpr uint32_t kFieldId = 24;
+
+  Address newNode(int32_t Id) {
+    Address N = Gc.allocate(Node, 32, 0);
+    EXPECT_NE(N, kNullRef);
+    Mem.writeWord(N + kFieldId, static_cast<uint32_t>(Id));
+    return N;
+  }
+
+  Address newIntArray(uint32_t Len) {
+    uint32_t Bytes = Model.arrayObjectBytes(IntArr, Len);
+    Address A = Gc.allocate(IntArr, Bytes, Len);
+    EXPECT_NE(A, kNullRef);
+    return A;
+  }
+
+  /// Reference store with the write barrier (as the VM would do it).
+  void setRef(Address Holder, uint32_t Offset, Address Value) {
+    Gc.writeBarrier(Holder, Holder + Offset, Value);
+    Mem.writeWord(Holder + Offset, Value);
+  }
+
+  Address getRef(Address Holder, uint32_t Offset) {
+    return Mem.readWord(Holder + Offset);
+  }
+
+  int32_t idOf(Address N) {
+    return static_cast<int32_t>(Mem.readWord(N + kFieldId));
+  }
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_TESTS_GC_GCTESTSUPPORT_H

@@ -1,0 +1,161 @@
+//===-- tests/gc/GenMSTest.cpp --------------------------------------------===//
+
+#include "GcTestSupport.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+using Rig = GcRig<GenMSPlan>;
+
+TEST(GenMS, RootedObjectSurvivesMinorAndMoves) {
+  Rig R;
+  Address N = R.newNode(42);
+  R.Roots.Slots.push_back(N);
+  EXPECT_EQ(R.Gc.pool().ownerOf(N), SpaceId::Nursery);
+  R.Gc.collectMinor();
+  Address Promoted = R.Roots.Slots[0];
+  EXPECT_NE(Promoted, N) << "promotion must copy out of the nursery";
+  EXPECT_EQ(R.Gc.pool().ownerOf(Promoted), SpaceId::Mature);
+  EXPECT_EQ(R.idOf(Promoted), 42);
+  EXPECT_EQ(R.Gc.stats().ObjectsPromoted, 1u);
+}
+
+TEST(GenMS, UnreachableNurseryObjectDies) {
+  Rig R;
+  R.Roots.Slots.push_back(R.newNode(1));
+  R.newNode(2); // Garbage.
+  R.Gc.collectMinor();
+  EXPECT_EQ(R.Gc.matureSpace().stats().CellsInUse, 1u);
+}
+
+TEST(GenMS, EdgesAreReroutedOnPromotion) {
+  Rig R;
+  Address A = R.newNode(1);
+  Address B = R.newNode(2);
+  R.setRef(A, Rig::kFieldA, B);
+  R.setRef(B, Rig::kFieldB, A); // Cycle.
+  R.Roots.Slots.push_back(A);
+  R.Gc.collectMinor();
+  Address A2 = R.Roots.Slots[0];
+  Address B2 = R.getRef(A2, Rig::kFieldA);
+  EXPECT_EQ(R.idOf(A2), 1);
+  EXPECT_EQ(R.idOf(B2), 2);
+  EXPECT_EQ(R.getRef(B2, Rig::kFieldB), A2) << "the cycle must close";
+}
+
+TEST(GenMS, AllocationTriggersCollectionWhenNurseryFills) {
+  Rig R;
+  Address Keep = R.newNode(7);
+  R.Roots.Slots.push_back(Keep);
+  // Allocate far more garbage than the heap: collections must fire.
+  for (int I = 0; I != 200000; ++I)
+    R.newNode(I);
+  EXPECT_GT(R.Gc.stats().MinorCollections, 0u);
+  EXPECT_EQ(R.idOf(R.Roots.Slots[0]), 7);
+}
+
+TEST(GenMS, RememberedSetKeepsMatureToNurseryEdgeAlive) {
+  Rig R;
+  Address P = R.newNode(1);
+  R.Roots.Slots.push_back(P);
+  R.Gc.collectMinor(); // P is mature now.
+  Address P2 = R.Roots.Slots[0];
+  Address Child = R.newNode(2); // Nursery.
+  R.setRef(P2, Rig::kFieldA, Child);
+  EXPECT_GT(R.Gc.rememberedSet().size(), 0u);
+  R.Gc.collectMinor();
+  Address Child2 = R.getRef(R.Roots.Slots[0], Rig::kFieldA);
+  EXPECT_EQ(R.Gc.pool().ownerOf(Child2), SpaceId::Mature);
+  EXPECT_EQ(R.idOf(Child2), 2);
+}
+
+TEST(GenMS, NurseryToNurseryStoresNotRemembered) {
+  Rig R;
+  Address A = R.newNode(1);
+  Address B = R.newNode(2);
+  R.setRef(A, Rig::kFieldA, B);
+  EXPECT_EQ(R.Gc.rememberedSet().size(), 0u);
+}
+
+TEST(GenMS, FullCollectionReclaimsMatureGarbage) {
+  Rig R;
+  for (int I = 0; I != 50; ++I)
+    R.Roots.Slots.push_back(R.newNode(I));
+  R.Gc.collectMinor(); // All 50 promoted.
+  EXPECT_EQ(R.Gc.matureSpace().stats().CellsInUse, 50u);
+  // Drop all but 5 roots.
+  R.Roots.Slots.resize(5);
+  R.Gc.collectFull();
+  EXPECT_EQ(R.Gc.matureSpace().stats().CellsInUse, 5u);
+  for (size_t I = 0; I != 5; ++I)
+    EXPECT_EQ(R.idOf(R.Roots.Slots[I]), static_cast<int32_t>(I));
+}
+
+TEST(GenMS, LargeObjectsBornAndCollectedInLos) {
+  Rig R;
+  Address Big = R.newIntArray(4096); // 16 KB body > 4 KB ceiling.
+  EXPECT_EQ(R.Gc.pool().ownerOf(Big), SpaceId::Los);
+  R.Roots.Slots.push_back(Big);
+  R.Gc.collectFull();
+  EXPECT_EQ(R.Roots.Slots[0], Big) << "LOS objects never move";
+  EXPECT_EQ(R.Gc.largeObjectSpace().objectCount(), 1u);
+  R.Roots.Slots.clear();
+  R.Gc.collectFull();
+  EXPECT_EQ(R.Gc.largeObjectSpace().objectCount(), 0u);
+}
+
+TEST(GenMS, ArrayContentsPreservedAcrossPromotion) {
+  Rig R;
+  Address A = R.newIntArray(10);
+  for (uint32_t I = 0; I != 10; ++I)
+    R.Mem.writeWord(R.Model.elementAddress(A, I), I * 3);
+  R.Roots.Slots.push_back(A);
+  R.Gc.collectMinor();
+  Address A2 = R.Roots.Slots[0];
+  EXPECT_EQ(R.Model.arrayLength(A2), 10u);
+  for (uint32_t I = 0; I != 10; ++I)
+    EXPECT_EQ(R.Mem.readWord(R.Model.elementAddress(A2, I)), I * 3);
+}
+
+TEST(GenMS, RefArraySlotsTraced) {
+  Rig R;
+  uint32_t Bytes = R.Model.arrayObjectBytes(R.RefArr, 3);
+  Address Arr = R.Gc.allocate(R.RefArr, Bytes, 3);
+  Address N = R.newNode(9);
+  R.setRef(Arr, objheader::kHeaderBytes + 4, N); // Arr[1] = N.
+  R.Roots.Slots.push_back(Arr);
+  R.Gc.collectMinor();
+  Address Arr2 = R.Roots.Slots[0];
+  Address N2 = R.Mem.readWord(Arr2 + objheader::kHeaderBytes + 4);
+  EXPECT_EQ(R.idOf(N2), 9);
+}
+
+TEST(GenMS, AppelNurseryShrinksAsMatureGrows) {
+  Rig R;
+  uint32_t Before = R.Gc.nurseryBlockBudget();
+  // Promote ~1.5 MB into the mature space.
+  for (int I = 0; I != 50000; ++I)
+    R.Roots.Slots.push_back(R.newNode(I));
+  R.Gc.collectFull();
+  EXPECT_LT(R.Gc.nurseryBlockBudget(), Before);
+}
+
+TEST(GenMS, NotifyFiresPerCollection) {
+  Rig R;
+  int Minor = 0, Major = 0;
+  R.Gc.setGcNotify([&](bool Full) { (Full ? Major : Minor)++; });
+  R.Gc.collectMinor();
+  R.Gc.collectFull();
+  EXPECT_EQ(Minor, 1);
+  EXPECT_EQ(Major, 1);
+}
+
+TEST(GenMS, GcCyclesAccumulateOnClock) {
+  Rig R;
+  R.Roots.Slots.push_back(R.newNode(1));
+  Cycles Before = R.Clock.now();
+  R.Gc.collectMinor();
+  EXPECT_GT(R.Clock.now(), Before);
+  EXPECT_GE(R.Gc.stats().GcCycles, R.Clock.now() - Before);
+}

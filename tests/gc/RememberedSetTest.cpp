@@ -1,0 +1,36 @@
+//===-- tests/gc/RememberedSetTest.cpp ------------------------------------===//
+
+#include "gc/RememberedSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(RememberedSet, InsertAndIterateInOrder) {
+  RememberedSet S;
+  S.insert(0x100);
+  S.insert(0x300);
+  S.insert(0x200);
+  std::vector<Address> Seen;
+  S.forEach([&](Address A) { Seen.push_back(A); });
+  EXPECT_EQ(Seen, (std::vector<Address>{0x100, 0x300, 0x200}));
+}
+
+TEST(RememberedSet, Deduplicates) {
+  RememberedSet S;
+  for (int I = 0; I != 10; ++I)
+    S.insert(0x100);
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.contains(0x100));
+  EXPECT_FALSE(S.contains(0x104));
+}
+
+TEST(RememberedSet, Clear) {
+  RememberedSet S;
+  S.insert(0x100);
+  S.clear();
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_FALSE(S.contains(0x100));
+  S.insert(0x100); // Re-insert after clear must work.
+  EXPECT_EQ(S.size(), 1u);
+}

@@ -1,0 +1,103 @@
+//===-- tests/heap/AllocatorTest.cpp --------------------------------------===//
+//
+// BumpAllocator and BlockedBumpAllocator behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/AddressSpace.h"
+#include "heap/BlockedBumpAllocator.h"
+#include "heap/BumpAllocator.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(BumpAllocator, SequentialAllocation) {
+  BumpAllocator A(kHeapBase, kHeapBase + 256);
+  EXPECT_EQ(A.alloc(64), kHeapBase);
+  EXPECT_EQ(A.alloc(32), kHeapBase + 64);
+  EXPECT_EQ(A.usedBytes(), 96u);
+  EXPECT_EQ(A.freeBytes(), 160u);
+}
+
+TEST(BumpAllocator, ExhaustionAndReset) {
+  BumpAllocator A(kHeapBase, kHeapBase + 64);
+  EXPECT_NE(A.alloc(64), kNullRef);
+  EXPECT_EQ(A.alloc(8), kNullRef);
+  A.reset();
+  EXPECT_EQ(A.alloc(8), kHeapBase);
+}
+
+TEST(BumpAllocator, Containment) {
+  BumpAllocator A(kHeapBase, kHeapBase + 128);
+  A.alloc(32);
+  EXPECT_TRUE(A.containsAllocated(kHeapBase));
+  EXPECT_TRUE(A.containsAllocated(kHeapBase + 31));
+  EXPECT_FALSE(A.containsAllocated(kHeapBase + 32)); // Past the cursor.
+  EXPECT_TRUE(A.containsRange(kHeapBase + 100));
+}
+
+TEST(BlockedBump, ChainsBlocksUpToBudget) {
+  BlockPool Pool(kHeapBase, 8 * kBlockBytes);
+  BlockedBumpAllocator A(Pool, SpaceId::Nursery);
+  A.setBlockBudget(2);
+  // Fill the first block with 1 KB objects: 64 of them.
+  for (int I = 0; I != 64; ++I)
+    EXPECT_NE(A.alloc(1024), kNullRef);
+  EXPECT_EQ(A.blocksOwned(), 1u);
+  EXPECT_NE(A.alloc(1024), kNullRef); // Second block chained.
+  EXPECT_EQ(A.blocksOwned(), 2u);
+  // Budget reached: filling block 2 then asking more must fail.
+  for (int I = 0; I != 63; ++I)
+    EXPECT_NE(A.alloc(1024), kNullRef);
+  EXPECT_EQ(A.alloc(1024), kNullRef);
+}
+
+TEST(BlockedBump, ReleaseAllReturnsBlocks) {
+  BlockPool Pool(kHeapBase, 4 * kBlockBytes);
+  BlockedBumpAllocator A(Pool, SpaceId::Nursery);
+  A.setBlockBudget(4);
+  for (int I = 0; I != 100; ++I)
+    A.alloc(4096);
+  EXPECT_GT(A.blocksOwned(), 1u);
+  A.releaseAll();
+  EXPECT_EQ(A.blocksOwned(), 0u);
+  EXPECT_EQ(Pool.freeBlocks(), 4u);
+  EXPECT_EQ(A.usedBytes(), 0u);
+}
+
+TEST(BlockedBump, ContainsAllocatedRespectsFillLines) {
+  BlockPool Pool(kHeapBase, 4 * kBlockBytes);
+  BlockedBumpAllocator A(Pool, SpaceId::Nursery);
+  A.setBlockBudget(4);
+  Address X = A.alloc(64);
+  EXPECT_TRUE(A.containsAllocated(X));
+  EXPECT_TRUE(A.containsAllocated(X + 63));
+  EXPECT_FALSE(A.containsAllocated(X + 64));
+}
+
+TEST(BlockedBump, ObjectWalkVisitsAllInOrder) {
+  BlockPool Pool(kHeapBase, 4 * kBlockBytes);
+  BlockedBumpAllocator A(Pool, SpaceId::Nursery);
+  A.setBlockBudget(4);
+  std::vector<Address> Allocated;
+  // Mix of sizes crossing a block boundary.
+  for (int I = 0; I != 40; ++I)
+    Allocated.push_back(A.alloc(I % 2 ? 4096 : 64));
+  std::vector<Address> Walked;
+  A.forEachObject([&](Address Obj) -> uint32_t {
+    Walked.push_back(Obj);
+    size_t Idx = Walked.size() - 1;
+    return Idx % 2 ? 4096 : 64;
+  });
+  EXPECT_EQ(Walked, Allocated);
+}
+
+TEST(BlockedBump, HeadroomAccountsBudgetAndPool) {
+  BlockPool Pool(kHeapBase, 2 * kBlockBytes);
+  BlockedBumpAllocator A(Pool, SpaceId::Nursery);
+  A.setBlockBudget(8); // Budget larger than the pool.
+  EXPECT_EQ(A.headroomBytes(), 2 * kBlockBytes);
+  A.alloc(1024);
+  EXPECT_EQ(A.headroomBytes(), 2 * kBlockBytes - 1024);
+}

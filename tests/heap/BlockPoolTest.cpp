@@ -1,0 +1,93 @@
+//===-- tests/heap/BlockPoolTest.cpp --------------------------------------===//
+
+#include "heap/AddressSpace.h"
+#include "heap/BlockPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(BlockPool, AllocAndOwnership) {
+  BlockPool P(kHeapBase, 8 * kBlockBytes);
+  EXPECT_EQ(P.totalBlocks(), 8u);
+  Address B = P.allocBlock(SpaceId::Nursery);
+  EXPECT_NE(B, kNullRef);
+  EXPECT_EQ(P.ownerOf(B), SpaceId::Nursery);
+  EXPECT_EQ(P.ownerOf(B + kBlockBytes - 1), SpaceId::Nursery);
+  EXPECT_EQ(P.freeBlocks(), 7u);
+  EXPECT_EQ(P.blocksOwnedBy(SpaceId::Nursery), 1u);
+}
+
+TEST(BlockPool, FreeReturnsBlock) {
+  BlockPool P(kHeapBase, 4 * kBlockBytes);
+  Address B = P.allocBlock(SpaceId::Mature);
+  P.freeBlock(B);
+  EXPECT_EQ(P.freeBlocks(), 4u);
+  EXPECT_EQ(P.ownerOf(B), SpaceId::Free);
+}
+
+TEST(BlockPool, ExhaustionReturnsNull) {
+  BlockPool P(kHeapBase, 2 * kBlockBytes);
+  EXPECT_NE(P.allocBlock(SpaceId::Los), kNullRef);
+  EXPECT_NE(P.allocBlock(SpaceId::Los), kNullRef);
+  EXPECT_EQ(P.allocBlock(SpaceId::Los), kNullRef);
+}
+
+TEST(BlockPool, RunIsContiguousAndFirstFit) {
+  BlockPool P(kHeapBase, 8 * kBlockBytes);
+  Address A = P.allocBlock(SpaceId::Mature); // Block 0.
+  Address Run = P.allocRun(3, SpaceId::Los); // Blocks 1-3.
+  EXPECT_EQ(Run, A + kBlockBytes);
+  for (uint32_t I = 0; I != 3; ++I)
+    EXPECT_EQ(P.ownerOf(Run + I * kBlockBytes), SpaceId::Los);
+}
+
+TEST(BlockPool, RunSkipsFragmentedGaps) {
+  BlockPool P(kHeapBase, 8 * kBlockBytes);
+  // Claim blocks 0..3, then free 1 and 3: free set is {1, 3, 4..7}.
+  Address B[4];
+  for (auto &X : B)
+    X = P.allocBlock(SpaceId::Mature);
+  P.freeBlock(B[1]);
+  P.freeBlock(B[3]);
+  Address Run = P.allocRun(2, SpaceId::Los);
+  // The only 2-contiguous window starts at block 3 (3,4)... block 3 is
+  // free and block 4 is free: first fit finds 3.
+  EXPECT_EQ(Run, kHeapBase + 3 * kBlockBytes);
+}
+
+TEST(BlockPool, RunExhaustion) {
+  BlockPool P(kHeapBase, 4 * kBlockBytes);
+  // Fragment: blocks 0 and 2 taken.
+  Address B0 = P.allocBlock(SpaceId::Mature);
+  (void)P.allocBlock(SpaceId::Mature);
+  Address B2 = P.allocBlock(SpaceId::Mature);
+  P.freeBlock(B0);
+  (void)B2;
+  // Free set {0, 3}: no contiguous pair.
+  EXPECT_EQ(P.allocRun(2, SpaceId::Los), kNullRef);
+  EXPECT_EQ(P.freeBlocks(), 2u);
+}
+
+TEST(BlockPool, FreeRun) {
+  BlockPool P(kHeapBase, 8 * kBlockBytes);
+  Address Run = P.allocRun(4, SpaceId::Los);
+  P.freeRun(Run, 4);
+  EXPECT_EQ(P.freeBlocks(), 8u);
+}
+
+TEST(BlockPool, ForEachBlock) {
+  BlockPool P(kHeapBase, 8 * kBlockBytes);
+  P.allocBlock(SpaceId::Nursery);
+  P.allocBlock(SpaceId::Mature);
+  P.allocBlock(SpaceId::Nursery);
+  int Count = 0;
+  P.forEachBlock(SpaceId::Nursery, [&](Address) { ++Count; });
+  EXPECT_EQ(Count, 2);
+}
+
+TEST(BlockPool, OwnerOfOutsideRangeIsFree) {
+  BlockPool P(kHeapBase, 2 * kBlockBytes);
+  EXPECT_EQ(P.ownerOf(kHeapBase - 4), SpaceId::Free);
+  EXPECT_EQ(P.ownerOf(P.limit()), SpaceId::Free);
+}

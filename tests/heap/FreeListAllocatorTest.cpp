@@ -1,0 +1,119 @@
+//===-- tests/heap/FreeListAllocatorTest.cpp ------------------------------===//
+
+#include "heap/AddressSpace.h"
+#include "heap/FreeListAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  BlockPool Pool{kHeapBase, 16 * kBlockBytes};
+  FreeListAllocator A{Pool};
+};
+
+} // namespace
+
+TEST(FreeList, DistinctCellsSameBlockForSameClass) {
+  Rig R;
+  Address A1 = R.A.alloc(30); // Class 32.
+  Address A2 = R.A.alloc(32);
+  EXPECT_NE(A1, A2);
+  EXPECT_EQ(R.Pool.blockBase(A1), R.Pool.blockBase(A2));
+  EXPECT_EQ(R.A.cellSizeAt(A1), 32u);
+}
+
+TEST(FreeList, DifferentClassesDifferentBlocks) {
+  Rig R;
+  Address Small = R.A.alloc(32);
+  Address Big = R.A.alloc(1000); // Class 1024.
+  EXPECT_NE(R.Pool.blockBase(Small), R.Pool.blockBase(Big));
+  EXPECT_EQ(R.A.cellSizeAt(Big), 1024u);
+}
+
+TEST(FreeList, CellsAreDisjoint) {
+  Rig R;
+  std::set<Address> Cells;
+  for (int I = 0; I != 500; ++I) {
+    Address C = R.A.alloc(48);
+    EXPECT_TRUE(Cells.insert(C).second);
+    // Cells of class 48 are 48 bytes apart within a block.
+    EXPECT_EQ((C - R.Pool.blockBase(C)) % 48, 0u);
+  }
+}
+
+TEST(FreeList, GrowsBlocksWhenFull) {
+  Rig R;
+  // A 64 KB block of 4096-byte cells holds 16 cells.
+  for (int I = 0; I != 16; ++I)
+    R.A.alloc(4096);
+  EXPECT_EQ(R.A.blocksOwned(), 1u);
+  R.A.alloc(4096);
+  EXPECT_EQ(R.A.blocksOwned(), 2u);
+}
+
+TEST(FreeList, SweepFreesDeadAndReusesCells) {
+  Rig R;
+  Address A1 = R.A.alloc(64);
+  Address A2 = R.A.alloc(64);
+  Address A3 = R.A.alloc(64);
+  (void)A2;
+  // Keep A1 and A3 live.
+  R.A.sweep([&](Address C) { return C == A1 || C == A3; });
+  EXPECT_EQ(R.A.stats().CellsInUse, 2u);
+  EXPECT_TRUE(R.A.isInUseCell(A1));
+  EXPECT_FALSE(R.A.isInUseCell(A2));
+  // The freed cell is reusable.
+  Address A4 = R.A.alloc(64);
+  EXPECT_EQ(A4, A2);
+}
+
+TEST(FreeList, EmptyBlocksReturnToPool) {
+  Rig R;
+  for (int I = 0; I != 100; ++I)
+    R.A.alloc(512);
+  uint32_t FreeBefore = R.Pool.freeBlocks();
+  R.A.sweep([](Address) { return false; }); // Everything dies.
+  EXPECT_EQ(R.A.blocksOwned(), 0u);
+  EXPECT_GT(R.Pool.freeBlocks(), FreeBefore);
+  EXPECT_EQ(R.A.stats().CellsInUse, 0u);
+}
+
+TEST(FreeList, SweepReturnsFreedCount) {
+  Rig R;
+  for (int I = 0; I != 10; ++I)
+    R.A.alloc(128);
+  uint32_t Freed = R.A.sweep([](Address) { return false; });
+  EXPECT_EQ(Freed, 10u);
+}
+
+TEST(FreeList, WasteAccounting) {
+  Rig R;
+  R.A.alloc(30); // Class 32: waste 2.
+  R.A.alloc(90); // Class 96: waste 6.
+  EXPECT_EQ(R.A.stats().BytesRequested, 120u);
+  EXPECT_EQ(R.A.stats().BytesWasted, 8u);
+}
+
+TEST(FreeList, ForEachCellVisitsLiveOnly) {
+  Rig R;
+  Address A1 = R.A.alloc(64);
+  Address A2 = R.A.alloc(64);
+  R.A.sweep([&](Address C) { return C == A2; });
+  (void)A1;
+  std::vector<Address> Seen;
+  R.A.forEachCell([&](Address C) { Seen.push_back(C); });
+  ASSERT_EQ(Seen.size(), 1u);
+  EXPECT_EQ(Seen[0], A2);
+}
+
+TEST(FreeList, PoolExhaustionReturnsNull) {
+  BlockPool Tiny(kHeapBase, 1 * kBlockBytes);
+  FreeListAllocator A(Tiny);
+  Tiny.allocBlock(SpaceId::Los); // Steal the only block.
+  EXPECT_EQ(A.alloc(64), kNullRef);
+}

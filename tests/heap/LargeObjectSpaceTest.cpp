@@ -1,0 +1,62 @@
+//===-- tests/heap/LargeObjectSpaceTest.cpp -------------------------------===//
+
+#include "heap/AddressSpace.h"
+#include "heap/LargeObjectSpace.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(LargeObjectSpace, RoundsToBlocks) {
+  BlockPool Pool(kHeapBase, 8 * kBlockBytes);
+  LargeObjectSpace Los(Pool);
+  Address A = Los.alloc(10);
+  EXPECT_NE(A, kNullRef);
+  EXPECT_EQ(Los.footprintBytes(), kBlockBytes);
+  Address B = Los.alloc(kBlockBytes + 1); // Two blocks.
+  EXPECT_NE(B, kNullRef);
+  EXPECT_EQ(Los.footprintBytes(), 3 * kBlockBytes);
+  EXPECT_EQ(Los.objectCount(), 2u);
+}
+
+TEST(LargeObjectSpace, SweepFreesRunsAndBlocks) {
+  BlockPool Pool(kHeapBase, 8 * kBlockBytes);
+  LargeObjectSpace Los(Pool);
+  Address A = Los.alloc(3 * kBlockBytes);
+  Address B = Los.alloc(kBlockBytes);
+  EXPECT_EQ(Pool.freeBlocks(), 4u);
+  Los.sweep([&](Address O) { return O == B; });
+  (void)A;
+  EXPECT_EQ(Los.objectCount(), 1u);
+  EXPECT_EQ(Pool.freeBlocks(), 7u);
+  EXPECT_TRUE(Los.isObjectBase(B));
+  EXPECT_FALSE(Los.isObjectBase(A));
+}
+
+TEST(LargeObjectSpace, ExhaustionReturnsNull) {
+  BlockPool Pool(kHeapBase, 2 * kBlockBytes);
+  LargeObjectSpace Los(Pool);
+  EXPECT_EQ(Los.alloc(3 * kBlockBytes), kNullRef);
+  EXPECT_NE(Los.alloc(2 * kBlockBytes), kNullRef);
+  EXPECT_EQ(Los.alloc(1), kNullRef);
+}
+
+TEST(LargeObjectSpace, ForEachObject) {
+  BlockPool Pool(kHeapBase, 8 * kBlockBytes);
+  LargeObjectSpace Los(Pool);
+  Address A = Los.alloc(100);
+  Address B = Los.alloc(100);
+  std::vector<Address> Seen;
+  Los.forEachObject([&](Address O) { Seen.push_back(O); });
+  ASSERT_EQ(Seen.size(), 2u);
+  EXPECT_EQ(Seen[0], A);
+  EXPECT_EQ(Seen[1], B);
+}
+
+TEST(LargeObjectSpace, BytesRequestedTracked) {
+  BlockPool Pool(kHeapBase, 8 * kBlockBytes);
+  LargeObjectSpace Los(Pool);
+  Los.alloc(5000);
+  Los.alloc(70000);
+  EXPECT_EQ(Los.bytesRequested(), 75000u);
+}

@@ -1,0 +1,127 @@
+//===-- tests/heap/ObjectModelTest.cpp ------------------------------------===//
+
+#include "heap/ObjectModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  HeapMemory Mem{kHeapBase, 1 << 20};
+  HeapClassTable Classes;
+  ClassId Node;
+  ClassId IntArr;
+  ClassId RefArr;
+  ClassId CharArr;
+  ObjectModel Model{Mem, Classes};
+
+  Rig() {
+    // Node { ref a; int b; ref c; } -> refs at offsets 16 and 24.
+    Node = Classes.addScalarClass("Node", 3, {16, 24});
+    IntArr = Classes.addArrayClass("int[]", ElemKind::I32);
+    RefArr = Classes.addArrayClass("ref[]", ElemKind::Ref);
+    CharArr = Classes.addArrayClass("char[]", ElemKind::I16);
+  }
+};
+
+} // namespace
+
+TEST(ObjectModel, ScalarSizeIsAlignedHeaderPlusFields) {
+  Rig R;
+  // 16-byte header + 3*4 bytes fields = 28, aligned to 32.
+  EXPECT_EQ(R.Model.scalarObjectBytes(R.Node), 32u);
+}
+
+TEST(ObjectModel, ArraySizesPerElementKind) {
+  Rig R;
+  EXPECT_EQ(R.Model.arrayObjectBytes(R.IntArr, 0), 16u);
+  EXPECT_EQ(R.Model.arrayObjectBytes(R.IntArr, 4), 32u);
+  EXPECT_EQ(R.Model.arrayObjectBytes(R.CharArr, 12), 40u);
+  EXPECT_EQ(R.Model.arrayObjectBytes(R.CharArr, 13), 48u); // 42 -> 48.
+  EXPECT_EQ(R.Model.arrayObjectBytes(R.RefArr, 2), 24u);
+}
+
+TEST(ObjectModel, HeaderRoundTrip) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Model.initObject(Obj, R.Node, 32, 0);
+  EXPECT_EQ(R.Model.classOf(Obj), R.Node);
+  EXPECT_EQ(R.Model.sizeOf(Obj), 32u);
+  EXPECT_EQ(R.Model.flagsOf(Obj), 0u);
+  EXPECT_FALSE(R.Model.isForwarded(Obj));
+}
+
+TEST(ObjectModel, FlagOperations) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Model.initObject(Obj, R.Node, 32, 0);
+  R.Model.orFlag(Obj, objheader::kMarkBit);
+  R.Model.orFlag(Obj, objheader::kCoallocBit);
+  EXPECT_TRUE(R.Model.testFlag(Obj, objheader::kMarkBit));
+  EXPECT_TRUE(R.Model.testFlag(Obj, objheader::kCoallocBit));
+  R.Model.clearFlag(Obj, objheader::kMarkBit);
+  EXPECT_FALSE(R.Model.testFlag(Obj, objheader::kMarkBit));
+  EXPECT_TRUE(R.Model.testFlag(Obj, objheader::kCoallocBit));
+}
+
+TEST(ObjectModel, Forwarding) {
+  Rig R;
+  Address Obj = kHeapBase + 64, NewObj = kHeapBase + 256;
+  R.Model.initObject(Obj, R.Node, 32, 0);
+  R.Model.forwardTo(Obj, NewObj);
+  EXPECT_TRUE(R.Model.isForwarded(Obj));
+  EXPECT_EQ(R.Model.forwardingAddress(Obj), NewObj);
+}
+
+TEST(ObjectModel, RefSlotIterationScalar) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Model.initObject(Obj, R.Node, 32, 0);
+  std::vector<Address> Slots;
+  R.Model.forEachRefSlot(Obj, [&](Address S) { Slots.push_back(S); });
+  ASSERT_EQ(Slots.size(), 2u);
+  EXPECT_EQ(Slots[0], Obj + 16);
+  EXPECT_EQ(Slots[1], Obj + 24);
+}
+
+TEST(ObjectModel, RefSlotIterationRefArray) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Model.initObject(Obj, R.RefArr, R.Model.arrayObjectBytes(R.RefArr, 3),
+                     3);
+  EXPECT_EQ(R.Model.arrayLength(Obj), 3u);
+  std::vector<Address> Slots;
+  R.Model.forEachRefSlot(Obj, [&](Address S) { Slots.push_back(S); });
+  ASSERT_EQ(Slots.size(), 3u);
+  EXPECT_EQ(Slots[0], Obj + objheader::kHeaderBytes);
+  EXPECT_EQ(Slots[2], Obj + objheader::kHeaderBytes + 8);
+}
+
+TEST(ObjectModel, PrimitiveArrayHasNoRefSlots) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Model.initObject(Obj, R.IntArr, R.Model.arrayObjectBytes(R.IntArr, 8),
+                     8);
+  int Count = 0;
+  R.Model.forEachRefSlot(Obj, [&](Address) { ++Count; });
+  EXPECT_EQ(Count, 0);
+}
+
+TEST(ObjectModel, ElementAddress) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Model.initObject(Obj, R.CharArr, R.Model.arrayObjectBytes(R.CharArr, 10),
+                     10);
+  EXPECT_EQ(R.Model.elementAddress(Obj, 0), Obj + 16);
+  EXPECT_EQ(R.Model.elementAddress(Obj, 5), Obj + 16 + 10);
+}
+
+TEST(ObjectModel, InitZeroFillsBody) {
+  Rig R;
+  Address Obj = kHeapBase + 64;
+  R.Mem.writeWord(Obj + 16, 0xdeadbeef);
+  R.Model.initObject(Obj, R.Node, 32, 0);
+  EXPECT_EQ(R.Mem.readWord(Obj + 16), 0u);
+}

@@ -1,0 +1,53 @@
+//===-- tests/heap/SizeClassesTest.cpp ------------------------------------===//
+
+#include "heap/SizeClasses.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(SizeClasses, ExactlyFortyClassesUpTo4K) {
+  EXPECT_EQ(kNumSizeClasses, 40u);
+  EXPECT_EQ(SizeClasses::cellBytes(0), 16u);
+  EXPECT_EQ(SizeClasses::cellBytes(kNumSizeClasses - 1), 4096u);
+  EXPECT_EQ(kMaxFreeListBytes, 4096u);
+}
+
+TEST(SizeClasses, StrictlyIncreasingAndAligned) {
+  for (uint32_t I = 1; I != kNumSizeClasses; ++I)
+    EXPECT_GT(SizeClasses::cellBytes(I), SizeClasses::cellBytes(I - 1));
+  for (uint32_t I = 0; I != kNumSizeClasses; ++I)
+    EXPECT_EQ(SizeClasses::cellBytes(I) % 8, 0u);
+}
+
+TEST(SizeClasses, ClassForBoundaries) {
+  EXPECT_EQ(SizeClasses::classFor(1), 0u);
+  EXPECT_EQ(SizeClasses::classFor(16), 0u);
+  EXPECT_EQ(SizeClasses::classFor(17), 1u);
+  EXPECT_EQ(SizeClasses::classFor(4096), kNumSizeClasses - 1);
+  EXPECT_EQ(SizeClasses::classFor(4097), kInvalidId);
+}
+
+// Property sweep: every request size maps to the *tightest* class.
+class SizeClassFitTest : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(SizeClassFitTest, TightestFit) {
+  uint32_t Bytes = GetParam();
+  uint32_t Cls = SizeClasses::classFor(Bytes);
+  ASSERT_NE(Cls, kInvalidId);
+  EXPECT_GE(SizeClasses::cellBytes(Cls), Bytes);
+  if (Cls > 0) {
+    EXPECT_LT(SizeClasses::cellBytes(Cls - 1), Bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SizeClassFitTest,
+                         testing::Range(8u, 4097u, 37u));
+
+TEST(SizeClasses, Waste) {
+  EXPECT_EQ(SizeClasses::wasteFor(16), 0u);
+  EXPECT_EQ(SizeClasses::wasteFor(17), 7u);
+  // 4 KB ceiling: a 3073-byte request wastes 1023 bytes -- the internal
+  // fragmentation co-allocation can aggravate (paper section 5.4).
+  EXPECT_EQ(SizeClasses::wasteFor(3073), 1023u);
+}

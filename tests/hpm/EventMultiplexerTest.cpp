@@ -1,0 +1,99 @@
+//===-- tests/hpm/EventMultiplexerTest.cpp --------------------------------===//
+
+#include "hpm/EventMultiplexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  PebsUnit Unit;
+  PerfmonModule Module{Unit};
+  VirtualClock Clock;
+  MultiplexerConfig Config;
+
+  Rig() {
+    Config.Rotation = {{HpmEventKind::L1DMiss, 100},
+                       {HpmEventKind::DtlbMiss, 10}};
+    Config.SliceMs = 1.0;
+  }
+
+  /// Simulates \p Ms of execution with fixed event rates (events per
+  /// microsecond of virtual time), polling the multiplexer every 0.1 ms.
+  void runFor(EventMultiplexer &Mux, double Ms, uint64_t L1PerUs,
+              uint64_t TlbPerUs) {
+    const int StepsPerMs = 10;
+    uint64_t LastTaken = Unit.samplesTaken();
+    for (int Step = 0; Step != static_cast<int>(Ms * StepsPerMs); ++Step) {
+      uint64_t L1 = L1PerUs * 100, Tlb = TlbPerUs * 100; // Per 0.1 ms.
+      for (uint64_t I = 0; I != L1; ++I)
+        Unit.onMemoryEvent(HpmEventKind::L1DMiss, 0x100, 0);
+      for (uint64_t I = 0; I != Tlb; ++I)
+        Unit.onMemoryEvent(HpmEventKind::DtlbMiss, 0x200, 0);
+      Clock.advance(VirtualClock::fromMillis(0.1));
+      // Drain (the collector would), then let the multiplexer rotate.
+      std::vector<PebsSample> Drain;
+      Unit.drainInto(Drain);
+      uint64_t Taken = Unit.samplesTaken();
+      Mux.onPoll(Taken - LastTaken);
+      LastTaken = Taken;
+    }
+  }
+};
+
+} // namespace
+
+TEST(EventMultiplexer, RotatesThroughTheConfiguredKinds) {
+  Rig R;
+  EventMultiplexer Mux(R.Module, R.Clock, R.Config);
+  Mux.start();
+  EXPECT_EQ(Mux.currentKind(), HpmEventKind::L1DMiss);
+  R.runFor(Mux, 1.5, 10, 1);
+  EXPECT_EQ(Mux.currentKind(), HpmEventKind::DtlbMiss)
+      << "after one 1 ms slice the second kind must be live";
+  R.runFor(Mux, 1.0, 10, 1);
+  EXPECT_EQ(Mux.currentKind(), HpmEventKind::L1DMiss);
+  EXPECT_GE(Mux.rotations(), 2u);
+  Mux.stop();
+}
+
+TEST(EventMultiplexer, CollectsSamplesForEveryKind) {
+  Rig R;
+  EventMultiplexer Mux(R.Module, R.Clock, R.Config);
+  Mux.start();
+  R.runFor(Mux, 8.0, 10, 1);
+  Mux.stop();
+  EXPECT_GT(Mux.samples(HpmEventKind::L1DMiss), 0u);
+  EXPECT_GT(Mux.samples(HpmEventKind::DtlbMiss), 0u);
+  EXPECT_EQ(Mux.samples(HpmEventKind::L2Miss), 0u); // Not in the rotation.
+}
+
+TEST(EventMultiplexer, DutyCycleCorrectionRecoversTrueRates) {
+  Rig R;
+  EventMultiplexer Mux(R.Module, R.Clock, R.Config);
+  Mux.start();
+  // 10 L1 misses/us and 1 TLB miss/us for 20 ms: 200,000 L1 events and
+  // 20,000 TLB events in total; each kind is live only ~half the time.
+  R.runFor(Mux, 20.0, 10, 1);
+  Mux.stop();
+
+  double L1 = Mux.estimatedEvents(HpmEventKind::L1DMiss);
+  double Tlb = Mux.estimatedEvents(HpmEventKind::DtlbMiss);
+  EXPECT_NEAR(L1, 200000.0, 60000.0)
+      << "duty-cycle-scaled estimate must approximate the true count";
+  EXPECT_NEAR(Tlb, 20000.0, 6000.0);
+  // And crucially, the *ratio* between kinds survives multiplexing.
+  EXPECT_NEAR(L1 / Tlb, 10.0, 3.0);
+}
+
+TEST(EventMultiplexer, StopAccountsTheOpenSlice) {
+  Rig R;
+  EventMultiplexer Mux(R.Module, R.Clock, R.Config);
+  Mux.start();
+  R.runFor(Mux, 0.5, 10, 1); // Less than one slice.
+  Mux.stop();
+  EXPECT_EQ(Mux.rotations(), 0u);
+  EXPECT_GT(Mux.estimatedEvents(HpmEventKind::L1DMiss), 0.0);
+}

@@ -1,0 +1,84 @@
+//===-- tests/hpm/NativeSampleLibraryTest.cpp -----------------------------===//
+
+#include "hpm/NativeSampleLibrary.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  PebsUnit Unit;
+  PerfmonModule Module{Unit};
+
+  void fire(uint64_t N, Address PcBase = 0x500) {
+    for (uint64_t I = 0; I != N; ++I)
+      Unit.onMemoryEvent(HpmEventKind::L1DMiss,
+                         PcBase + static_cast<Address>(I), 0x40000000 + I);
+  }
+};
+
+} // namespace
+
+TEST(NativeSampleLibrary, MarshalsAndDecodesRoundTrip) {
+  Rig R;
+  R.Module.startSampling(HpmEventKind::L1DMiss, 1, false);
+  R.fire(4, 0x7000);
+  NativeSampleLibrary Lib(R.Module);
+  EXPECT_EQ(Lib.readIntoArray(), 4u);
+  for (size_t I = 0; I != 4; ++I) {
+    PebsSample S = Lib.decode(I);
+    EXPECT_EQ(S.Eip, 0x7000u + I);
+    EXPECT_EQ(S.Regs[0], 0x40000000u + I);
+  }
+}
+
+TEST(NativeSampleLibrary, GcLockHeldExactlyAroundCopy) {
+  Rig R;
+  R.Module.startSampling(HpmEventKind::L1DMiss, 1, false);
+  R.fire(2);
+  NativeSampleLibrary Lib(R.Module);
+  std::vector<bool> LockTrace;
+  Lib.setGcLock([&](bool Locked) { LockTrace.push_back(Locked); });
+  Lib.readIntoArray();
+  ASSERT_EQ(LockTrace.size(), 2u);
+  EXPECT_TRUE(LockTrace[0]);  // Acquired before the copy...
+  EXPECT_FALSE(LockTrace[1]); // ...released after.
+}
+
+TEST(NativeSampleLibrary, CapacityClampsOneBatch) {
+  Rig R;
+  R.Module.startSampling(HpmEventKind::L1DMiss, 1, false);
+  R.fire(5);
+  // Array sized for exactly 3 samples.
+  NativeSampleLibrary Lib(R.Module, 3 * kSampleInts);
+  EXPECT_EQ(Lib.capacitySamples(), 3u);
+  EXPECT_EQ(Lib.readIntoArray(), 3u);
+  EXPECT_EQ(Lib.readIntoArray(), 2u); // Remainder on the next call.
+}
+
+TEST(NativeSampleLibrary, CostAccounting) {
+  Rig R;
+  R.Module.startSampling(HpmEventKind::L1DMiss, 1, false);
+  R.fire(10);
+  NativeSampleLibrary Lib(R.Module);
+  VirtualClock Clock;
+  Lib.setClock(&Clock);
+  NativeLibraryCosts Costs;
+  Costs.PerCall = 1000;
+  Costs.PerSample = 10;
+  Lib.setCosts(Costs);
+  Lib.readIntoArray();
+  EXPECT_EQ(Clock.now(), 1000u + 10 * 10);
+  EXPECT_EQ(Lib.totalCostCycles(), Clock.now());
+}
+
+TEST(NativeSampleLibrary, EmptyReadStillCostsTheCall) {
+  Rig R;
+  NativeSampleLibrary Lib(R.Module);
+  VirtualClock Clock;
+  Lib.setClock(&Clock);
+  EXPECT_EQ(Lib.readIntoArray(), 0u);
+  EXPECT_GT(Clock.now(), 0u); // The JNI transition is not free.
+}

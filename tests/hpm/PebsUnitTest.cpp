@@ -1,0 +1,154 @@
+//===-- tests/hpm/PebsUnitTest.cpp ----------------------------------------===//
+
+#include "hpm/PebsUnit.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+PebsConfig fixedConfig(uint64_t Interval, HpmEventKind Kind) {
+  PebsConfig C;
+  C.SelectedEvent = Kind;
+  C.Interval = Interval;
+  C.RandomizeLowBits = false;
+  return C;
+}
+
+void fire(PebsUnit &U, HpmEventKind Kind, uint64_t N, Address PcBase = 0x100) {
+  for (uint64_t I = 0; I != N; ++I)
+    U.onMemoryEvent(Kind, PcBase + static_cast<Address>(I), 0x40000000 + I);
+}
+
+} // namespace
+
+TEST(PebsUnit, CountingModeCountsAllKindsAlways) {
+  PebsUnit U;
+  // Not started: sampling off, counting on (the event detectors run
+  // continuously on the P4).
+  fire(U, HpmEventKind::L1DMiss, 5);
+  fire(U, HpmEventKind::DtlbMiss, 3);
+  EXPECT_EQ(U.eventCount(HpmEventKind::L1DMiss), 5u);
+  EXPECT_EQ(U.eventCount(HpmEventKind::DtlbMiss), 3u);
+  EXPECT_EQ(U.samplesTaken(), 0u);
+}
+
+TEST(PebsUnit, SamplesEveryNthEvent) {
+  PebsUnit U;
+  U.configure(fixedConfig(10, HpmEventKind::L1DMiss));
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 100);
+  EXPECT_EQ(U.samplesTaken(), 10u);
+}
+
+TEST(PebsUnit, OnlySelectedEventSampled) {
+  PebsUnit U;
+  U.configure(fixedConfig(1, HpmEventKind::L2Miss));
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 50);
+  EXPECT_EQ(U.samplesTaken(), 0u);
+  fire(U, HpmEventKind::L2Miss, 5);
+  EXPECT_EQ(U.samplesTaken(), 5u);
+}
+
+TEST(PebsUnit, SampleCarriesExactPcAndDataAddress) {
+  PebsUnit U;
+  U.configure(fixedConfig(3, HpmEventKind::L1DMiss));
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 3, /*PcBase=*/0x2000);
+  std::vector<PebsSample> Out;
+  U.drainInto(Out);
+  ASSERT_EQ(Out.size(), 1u);
+  // The 3rd event (index 2) triggered the sample: precise attribution.
+  EXPECT_EQ(Out[0].Eip, 0x2002u);
+  EXPECT_EQ(Out[0].Regs[0], 0x40000002u);
+}
+
+TEST(PebsUnit, RandomizedIntervalStaysNearBase) {
+  PebsUnit U(42);
+  PebsConfig C = fixedConfig(10000, HpmEventKind::L1DMiss);
+  C.RandomizeLowBits = true;
+  U.configure(C);
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 1000000);
+  // Randomizing 8 low bits keeps the mean interval within ~3% of the base.
+  EXPECT_GT(U.samplesTaken(), 95u);
+  EXPECT_LT(U.samplesTaken(), 105u);
+}
+
+TEST(PebsUnit, InterruptAtFillMark) {
+  PebsUnit U;
+  PebsConfig C = fixedConfig(1, HpmEventKind::L1DMiss);
+  C.BufferCapacity = 10;
+  C.InterruptFillMark = 0.5;
+  U.configure(C);
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 4);
+  EXPECT_FALSE(U.interruptPending());
+  fire(U, HpmEventKind::L1DMiss, 1);
+  EXPECT_TRUE(U.interruptPending());
+}
+
+TEST(PebsUnit, DropsWhenBufferFull) {
+  PebsUnit U;
+  PebsConfig C = fixedConfig(1, HpmEventKind::L1DMiss);
+  C.BufferCapacity = 8;
+  U.configure(C);
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 12);
+  EXPECT_EQ(U.bufferedSamples(), 8u);
+  EXPECT_EQ(U.samplesDropped(), 4u);
+}
+
+TEST(PebsUnit, DrainClearsBufferAndInterrupt) {
+  PebsUnit U;
+  PebsConfig C = fixedConfig(1, HpmEventKind::L1DMiss);
+  C.BufferCapacity = 4;
+  C.InterruptFillMark = 0.5;
+  U.configure(C);
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 3);
+  EXPECT_TRUE(U.interruptPending());
+  std::vector<PebsSample> Out;
+  U.drainInto(Out);
+  EXPECT_EQ(Out.size(), 3u);
+  EXPECT_EQ(U.bufferedSamples(), 0u);
+  EXPECT_FALSE(U.interruptPending());
+}
+
+TEST(PebsUnit, MicrocodeCyclesChargedPerSample) {
+  PebsUnit U;
+  VirtualClock Clock;
+  U.setClock(&Clock);
+  PebsConfig C = fixedConfig(2, HpmEventKind::L1DMiss);
+  C.MicrocodeCyclesPerSample = 500;
+  U.configure(C);
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 10);
+  EXPECT_EQ(U.microcodeCycles(), 5u * 500);
+  EXPECT_EQ(Clock.now(), 5u * 500);
+}
+
+TEST(PebsUnit, SetIntervalTakesEffectOnRearm) {
+  PebsUnit U;
+  U.configure(fixedConfig(10, HpmEventKind::L1DMiss));
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 10); // One sample, counter re-armed at 10.
+  U.setInterval(5);
+  fire(U, HpmEventKind::L1DMiss, 10); // Old countdown of 10 finishes...
+  EXPECT_EQ(U.samplesTaken(), 2u);
+  fire(U, HpmEventKind::L1DMiss, 10); // ...then two at the new interval.
+  EXPECT_EQ(U.samplesTaken(), 4u);
+}
+
+TEST(PebsUnit, ResetZeroesCounters) {
+  PebsUnit U;
+  U.configure(fixedConfig(1, HpmEventKind::L1DMiss));
+  U.start();
+  fire(U, HpmEventKind::L1DMiss, 3);
+  U.reset();
+  EXPECT_EQ(U.samplesTaken(), 0u);
+  EXPECT_EQ(U.eventCount(HpmEventKind::L1DMiss), 0u);
+  EXPECT_EQ(U.bufferedSamples(), 0u);
+}

@@ -1,0 +1,76 @@
+//===-- tests/hpm/PerfmonModuleTest.cpp -----------------------------------===//
+
+#include "hpm/PerfmonModule.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+void fire(PebsUnit &U, uint64_t N, Address PcBase = 0x100) {
+  for (uint64_t I = 0; I != N; ++I)
+    U.onMemoryEvent(HpmEventKind::L1DMiss, PcBase + static_cast<Address>(I),
+                    0);
+}
+
+} // namespace
+
+TEST(PerfmonModule, StartStopControlsSampling) {
+  PebsUnit U;
+  PerfmonModule M(U);
+  M.startSampling(HpmEventKind::L1DMiss, 1, /*RandomizeLowBits=*/false);
+  EXPECT_TRUE(M.isSampling());
+  fire(U, 3);
+  M.stopSampling();
+  EXPECT_FALSE(M.isSampling());
+  fire(U, 3);
+  EXPECT_EQ(U.samplesTaken(), 3u);
+}
+
+TEST(PerfmonModule, ReadDrainsInOrder) {
+  PebsUnit U;
+  PerfmonModule M(U);
+  M.startSampling(HpmEventKind::L1DMiss, 1, false);
+  fire(U, 5, 0x1000);
+  PebsSample Buf[8];
+  size_t N = M.readSamples(Buf, 8);
+  ASSERT_EQ(N, 5u);
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Buf[I].Eip, 0x1000u + I);
+  EXPECT_EQ(M.readSamples(Buf, 8), 0u);
+}
+
+TEST(PerfmonModule, PartialReadsKeepRemainder) {
+  PebsUnit U;
+  PerfmonModule M(U);
+  M.startSampling(HpmEventKind::L1DMiss, 1, false);
+  fire(U, 6, 0x1000);
+  PebsSample Buf[4];
+  EXPECT_EQ(M.readSamples(Buf, 4), 4u);
+  EXPECT_EQ(Buf[0].Eip, 0x1000u);
+  EXPECT_EQ(M.samplesAvailable(), 2u);
+  EXPECT_EQ(M.readSamples(Buf, 4), 2u);
+  EXPECT_EQ(Buf[0].Eip, 0x1004u); // Continues where the last read stopped.
+}
+
+TEST(PerfmonModule, SamplesAvailableCountsBothBuffers) {
+  PebsUnit U;
+  PerfmonModule M(U);
+  M.startSampling(HpmEventKind::L1DMiss, 1, false);
+  fire(U, 3);
+  EXPECT_EQ(M.samplesAvailable(), 3u); // All in the debug store still.
+  PebsSample Buf[2];
+  M.readSamples(Buf, 2); // Drains debug store, returns 2, 1 kernel-side.
+  EXPECT_EQ(M.samplesAvailable(), 1u);
+}
+
+TEST(PerfmonModule, TracksDeliveredTotal) {
+  PebsUnit U;
+  PerfmonModule M(U);
+  M.startSampling(HpmEventKind::L1DMiss, 1, false);
+  fire(U, 7);
+  PebsSample Buf[16];
+  M.readSamples(Buf, 16);
+  EXPECT_EQ(M.totalDelivered(), 7u);
+}

@@ -1,0 +1,111 @@
+//===-- tests/hpm/SampleCollectorTest.cpp ---------------------------------===//
+
+#include "hpm/SampleCollector.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Rig {
+  PebsUnit Unit;
+  PerfmonModule Module{Unit};
+  NativeSampleLibrary Lib{Module};
+  VirtualClock Clock;
+
+  Rig() { Module.startSampling(HpmEventKind::L1DMiss, 1, false); }
+
+  void fire(uint64_t N) {
+    for (uint64_t I = 0; I != N; ++I)
+      Unit.onMemoryEvent(HpmEventKind::L1DMiss, 0x100 + I, 0);
+  }
+};
+
+} // namespace
+
+TEST(SampleCollector, RespectsPollingDeadline) {
+  Rig R;
+  SampleCollectorConfig C;
+  C.MinPollMs = 10;
+  SampleCollector Coll(R.Lib, R.Clock, C);
+  R.fire(3);
+  EXPECT_EQ(Coll.maybePoll(), 0u); // Deadline not reached.
+  R.Clock.advance(VirtualClock::fromMillis(10.5));
+  EXPECT_EQ(Coll.maybePoll(), 3u);
+  EXPECT_EQ(Coll.polls(), 1u);
+}
+
+TEST(SampleCollector, DeliversBatchesToConsumer) {
+  Rig R;
+  SampleCollector Coll(R.Lib, R.Clock);
+  size_t Batches = 0, Total = 0;
+  Coll.setConsumer([&](const PebsSample *S, size_t N) {
+    ++Batches;
+    Total += N;
+    EXPECT_EQ(S[0].Eip, 0x100u);
+  });
+  R.fire(5);
+  Coll.pollNow();
+  EXPECT_EQ(Batches, 1u);
+  EXPECT_EQ(Total, 5u);
+}
+
+TEST(SampleCollector, BacksOffWhenIdle) {
+  Rig R;
+  SampleCollectorConfig C;
+  C.MinPollMs = 10;
+  C.MaxPollMs = 1000;
+  SampleCollector Coll(R.Lib, R.Clock, C);
+  double Start = Coll.pollIntervalMs();
+  // Several empty polls: the interval doubles up to the cap ("adaptively
+  // set between 10ms and 1000ms").
+  for (int I = 0; I != 12; ++I)
+    Coll.pollNow();
+  EXPECT_GT(Coll.pollIntervalMs(), Start);
+  EXPECT_LE(Coll.pollIntervalMs(), 1000.0);
+}
+
+TEST(SampleCollector, TightensUnderLoad) {
+  Rig R;
+  SampleCollectorConfig C;
+  C.MinPollMs = 10;
+  C.MaxPollMs = 1000;
+  SampleCollector Coll(R.Lib, R.Clock, C);
+  for (int I = 0; I != 4; ++I)
+    Coll.pollNow(); // Back off first.
+  double Relaxed = Coll.pollIntervalMs();
+  // A poll returning >50% of buffer capacity halves the interval.
+  R.fire(R.Lib.capacitySamples() * 3 / 4);
+  Coll.pollNow();
+  EXPECT_LT(Coll.pollIntervalMs(), Relaxed);
+}
+
+TEST(SampleCollector, NeverLeavesConfiguredBounds) {
+  Rig R;
+  SampleCollectorConfig C;
+  C.MinPollMs = 10;
+  C.MaxPollMs = 80;
+  SampleCollector Coll(R.Lib, R.Clock, C);
+  for (int I = 0; I != 20; ++I) {
+    Coll.pollNow();
+    EXPECT_GE(Coll.pollIntervalMs(), 10.0);
+    EXPECT_LE(Coll.pollIntervalMs(), 80.0);
+  }
+  for (int I = 0; I != 20; ++I) {
+    R.fire(R.Lib.capacitySamples());
+    Coll.pollNow();
+    EXPECT_GE(Coll.pollIntervalMs(), 10.0);
+  }
+}
+
+TEST(SampleCollector, ChargesOverheadCycles) {
+  Rig R;
+  SampleCollector Coll(R.Lib, R.Clock);
+  R.fire(10);
+  Cycles Before = R.Clock.now();
+  Coll.pollNow();
+  EXPECT_GT(R.Clock.now(), Before);
+  EXPECT_EQ(Coll.overheadCycles(), R.Clock.now() - Before);
+  EXPECT_EQ(Coll.samplesDelivered(), 10u);
+}

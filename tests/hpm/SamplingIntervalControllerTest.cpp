@@ -1,0 +1,90 @@
+//===-- tests/hpm/SamplingIntervalControllerTest.cpp ----------------------===//
+
+#include "hpm/SamplingIntervalController.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Drives the unit with a constant event rate (events per virtual ms) and
+/// polls the controller, returning the final interval.
+uint64_t simulate(double EventsPerMs, uint64_t StartInterval,
+                  double TargetPerSec, int Periods) {
+  PebsUnit Unit;
+  VirtualClock Clock;
+  PebsConfig PC;
+  PC.Interval = StartInterval;
+  PC.RandomizeLowBits = false;
+  PC.BufferCapacity = 1 << 20;
+  Unit.configure(PC);
+  Unit.start();
+
+  AutoIntervalConfig AC;
+  AC.TargetSamplesPerSec = TargetPerSec;
+  AC.AdjustPeriodMs = 1.0;
+  SamplingIntervalController Ctl(Unit, Clock, AC);
+
+  for (int P = 0; P != Periods; ++P) {
+    uint64_t Events = static_cast<uint64_t>(EventsPerMs * 2.0);
+    for (uint64_t I = 0; I != Events; ++I)
+      Unit.onMemoryEvent(HpmEventKind::L1DMiss, 0x100, 0);
+    Clock.advance(VirtualClock::fromMillis(2.0));
+    Ctl.onPoll();
+  }
+  return Unit.interval();
+}
+
+} // namespace
+
+TEST(SamplingIntervalController, WidensWhenOversampling) {
+  // 1e6 events/s at interval 1000 -> 1000 samples/s against a 100/s
+  // target: the interval must grow substantially.
+  uint64_t Final = simulate(/*EventsPerMs=*/1000, /*Start=*/1000,
+                            /*Target=*/100, /*Periods=*/40);
+  EXPECT_GT(Final, 5000u);
+}
+
+TEST(SamplingIntervalController, TightensWhenUndersampling) {
+  // 1e6 events/s at interval 1e6 -> 1 sample/s against 1000/s: shrink.
+  uint64_t Final = simulate(1000, 1000000, 1000, 40);
+  EXPECT_LT(Final, 100000u);
+}
+
+TEST(SamplingIntervalController, ConvergesNearTheRightInterval) {
+  // 2e6 events/s, target 2000/s: the right interval is ~1000.
+  uint64_t Final = simulate(2000, 100000, 2000, 120);
+  EXPECT_GT(Final, 300u);
+  EXPECT_LT(Final, 4000u);
+}
+
+TEST(SamplingIntervalController, RespectsClampBounds) {
+  AutoIntervalConfig AC;
+  EXPECT_GT(AC.MinInterval, 0u);
+  // Massive oversampling pushes to MaxInterval and stops there.
+  uint64_t Final = simulate(50000, 100, 1, 100);
+  EXPECT_LE(Final, AC.MaxInterval);
+  // Total starvation (no events) halves down to MinInterval and stops.
+  Final = simulate(0, 1000000, 1000, 100);
+  EXPECT_GE(Final, AC.MinInterval);
+  EXPECT_LE(Final, 2 * AC.MinInterval);
+}
+
+TEST(SamplingIntervalController, HonorsAdjustPeriod) {
+  PebsUnit Unit;
+  VirtualClock Clock;
+  PebsConfig PC;
+  PC.Interval = 1000;
+  Unit.configure(PC);
+  Unit.start();
+  AutoIntervalConfig AC;
+  AC.AdjustPeriodMs = 10.0;
+  SamplingIntervalController Ctl(Unit, Clock, AC);
+  Clock.advance(VirtualClock::fromMillis(1.0));
+  Ctl.onPoll(); // Too soon: no adjustment.
+  EXPECT_EQ(Ctl.adjustments(), 0u);
+  Clock.advance(VirtualClock::fromMillis(10.0));
+  Ctl.onPoll();
+  EXPECT_EQ(Ctl.adjustments(), 1u);
+}

@@ -1,0 +1,88 @@
+//===-- tests/integration/OverheadTest.cpp --------------------------------===//
+//
+// Figure 2's properties: monitoring overhead is small, shrinks with larger
+// sampling intervals, and the sample counts scale ~inversely with the
+// interval.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+RunResult runDbAtInterval(uint64_t Interval) {
+  RunConfig C;
+  C.Workload = "db";
+  C.Params.ScalePercent = 30;
+  C.Params.Seed = 5;
+  C.HeapFactor = 4.0;
+  C.Monitoring = true;
+  C.Coallocation = false;
+  C.Monitor.SamplingInterval = Interval;
+  return runExperiment(C);
+}
+
+TEST(Overhead, ShrinksWithLargerInterval) {
+  RunResult R25 = runDbAtInterval(25000);
+  RunResult R100 = runDbAtInterval(100000);
+
+  EXPECT_GT(R25.SamplesTaken, R100.SamplesTaken);
+  EXPECT_GT(R25.MonitorOverheadCycles, R100.MonitorOverheadCycles);
+
+  // Sample counts ~ total events / interval: the 25K run should take
+  // roughly 4x the samples of the 100K run (loose band: randomized low
+  // bits and end-of-run truncation blur it).
+  double Ratio = static_cast<double>(R25.SamplesTaken) /
+                 static_cast<double>(R100.SamplesTaken ? R100.SamplesTaken
+                                                       : 1);
+  EXPECT_GT(Ratio, 2.0);
+  EXPECT_LT(Ratio, 8.0);
+}
+
+TEST(Overhead, StaysSmallFractionOfRuntime) {
+  RunResult Base = [] {
+    RunConfig C;
+    C.Workload = "db";
+    C.Params.ScalePercent = 30;
+    C.Params.Seed = 5;
+    C.HeapFactor = 4.0;
+    return runExperiment(C);
+  }();
+  RunResult R100 = runDbAtInterval(100000);
+
+  // Overhead at the paper's largest interval stays in the ~1% regime.
+  double Overhead = static_cast<double>(R100.TotalCycles) /
+                        static_cast<double>(Base.TotalCycles) -
+                    1.0;
+  EXPECT_LT(Overhead, 0.03);
+  EXPECT_GT(Overhead, -0.005); // Monitoring can never make it faster.
+}
+
+TEST(Overhead, AutoIntervalConvergesTowardTarget) {
+  RunConfig C;
+  C.Workload = "db";
+  C.Params.ScalePercent = 40;
+  C.Params.Seed = 5;
+  C.HeapFactor = 4.0;
+  C.Monitoring = true;
+  C.Monitor.AutoInterval = true;
+  // Scaled target (see DESIGN.md section 6): our runs last ~tens of
+  // virtual milliseconds, so the paper's 200/s would yield ~no samples.
+  C.Monitor.TargetSamplesPerSec = 20000;
+  C.Monitor.SamplingInterval = 500000; // Deliberately far-off start.
+
+  Experiment E(C);
+  E.run();
+  HpmMonitor *M = E.monitor();
+  ASSERT_NE(M, nullptr);
+  // The controller must have adjusted the interval downward from the
+  // far-off start to chase the target rate.
+  EXPECT_LT(M->pebs().interval(), 500000u);
+  EXPECT_GT(M->pebs().samplesTaken(), 30u);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+//===-- tests/integration/WorkloadSmokeTest.cpp ---------------------------===//
+//
+// Every benchmark program must build, verify, and run to completion on
+// both collectors at a small scale, allocating real objects and surviving
+// its garbage collections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+struct SmokeCase {
+  const char *Workload;
+  CollectorKind Collector;
+};
+
+std::string smokeName(const testing::TestParamInfo<SmokeCase> &Info) {
+  return std::string(Info.param.Workload) + "_" +
+         (Info.param.Collector == CollectorKind::GenMS ? "GenMS" : "GenCopy");
+}
+
+class WorkloadSmokeTest : public testing::TestWithParam<SmokeCase> {};
+
+TEST_P(WorkloadSmokeTest, RunsToCompletion) {
+  RunConfig C;
+  C.Workload = GetParam().Workload;
+  C.Collector = GetParam().Collector;
+  C.Params.ScalePercent = 20;
+  C.Params.Seed = 7;
+  C.HeapFactor = 4.0;
+
+  RunResult R = runExperiment(C);
+  EXPECT_GT(R.TotalCycles, 0u);
+  // Stream workloads allocate few (huge) arrays; everything else many.
+  EXPECT_GE(R.Vm.ObjectsAllocated, 2u);
+  EXPECT_GT(R.Vm.BytesAllocated, 64u * 1024);
+  EXPECT_GT(R.Memory.Accesses, 1000u);
+  EXPECT_EQ(R.Vm.Traps, 0u);
+  // Pseudo-adaptive mode compiled the plan.
+  EXPECT_GT(R.Vm.MethodsOptCompiled, 0u);
+}
+
+std::vector<SmokeCase> allCases() {
+  std::vector<SmokeCase> Cases;
+  for (const WorkloadSpec &S : allWorkloads()) {
+    Cases.push_back({S.Name.c_str(), CollectorKind::GenMS});
+    Cases.push_back({S.Name.c_str(), CollectorKind::GenCopy});
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSmokeTest,
+                         testing::ValuesIn(allCases()), smokeName);
+
+// Each workload must also survive at its declared minimum heap (1x) --
+// this validates the MinHeapBytes table used by the heap-size sweeps.
+class MinHeapTest : public testing::TestWithParam<SmokeCase> {};
+
+TEST_P(MinHeapTest, RunsAtMinimumHeap) {
+  RunConfig C;
+  C.Workload = GetParam().Workload;
+  C.Collector = GetParam().Collector;
+  C.Params.ScalePercent = 20;
+  C.Params.Seed = 7;
+  C.HeapFactor = 1.0;
+
+  RunResult R = runExperiment(C);
+  EXPECT_EQ(R.Vm.Traps, 0u);
+  EXPECT_GT(R.TotalCycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, MinHeapTest,
+                         testing::ValuesIn(allCases()), smokeName);
+
+} // namespace
+
+namespace {
+
+// At 20% scale the 2 MB floor masks the per-workload minimum-heap values;
+// validate the heaviest programs at full scale and 1x heap on both
+// collectors (GenCopy needs the copy reserve, making it the binding
+// constraint).
+class FullScaleMinHeapTest : public testing::TestWithParam<SmokeCase> {};
+
+TEST_P(FullScaleMinHeapTest, RunsAtFullScaleMinimumHeap) {
+  RunConfig C;
+  C.Workload = GetParam().Workload;
+  C.Collector = GetParam().Collector;
+  C.Params.ScalePercent = 100;
+  C.Params.Seed = 3;
+  C.HeapFactor = 1.0;
+  RunResult R = runExperiment(C);
+  EXPECT_EQ(R.Vm.Traps, 0u);
+  EXPECT_GT(R.Gc.MinorCollections + R.Gc.MajorCollections, 0u)
+      << "a 1x-heap full-scale run must actually collect";
+}
+
+std::vector<SmokeCase> heavyCases() {
+  std::vector<SmokeCase> Cases;
+  for (const char *Name : {"db", "hsqldb", "pseudojbb", "luindex", "mtrt",
+                           "lusearch", "bloat"}) {
+    Cases.push_back({Name, CollectorKind::GenMS});
+    Cases.push_back({Name, CollectorKind::GenCopy});
+  }
+  return Cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(HeavyWorkloads, FullScaleMinHeapTest,
+                         testing::ValuesIn(heavyCases()), smokeName);
+
+} // namespace

@@ -1,0 +1,166 @@
+//===-- tests/memsim/CacheTest.cpp ----------------------------------------===//
+
+#include "memsim/Cache.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+// A tiny 2-way cache with 64-byte lines and 4 sets for precise control.
+CacheConfig tinyConfig() {
+  return CacheConfig{/*SizeBytes=*/64 * 2 * 4, /*LineBytes=*/64,
+                     /*Associativity=*/2};
+}
+
+} // namespace
+
+TEST(Cache, DefaultGeometryMatchesPaper) {
+  CacheConfig L1 = l1DefaultConfig();
+  EXPECT_EQ(L1.SizeBytes, 16u * 1024);
+  EXPECT_EQ(L1.LineBytes, 128u);
+  CacheConfig L2 = l2DefaultConfig();
+  EXPECT_EQ(L2.SizeBytes, 1024u * 1024);
+  EXPECT_EQ(L2.LineBytes, 128u);
+}
+
+TEST(Cache, MissThenHit) {
+  Cache C(tinyConfig());
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1001)); // Same line.
+  EXPECT_TRUE(C.access(0x103f));
+  EXPECT_FALSE(C.access(0x1040)); // Next line.
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.hits(), 3u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache C(tinyConfig());
+  // Three lines mapping to the same set (set stride = 4 sets * 64 = 256).
+  Address A = 0x0, B = 0x100, D = 0x200;
+  C.access(A);
+  C.access(B);
+  C.access(A);       // A is now MRU, B is LRU.
+  C.access(D);       // Evicts B.
+  EXPECT_TRUE(C.contains(A));
+  EXPECT_FALSE(C.contains(B));
+  EXPECT_TRUE(C.contains(D));
+}
+
+TEST(Cache, ContainsDoesNotTouchLru) {
+  Cache C(tinyConfig());
+  Address A = 0x0, B = 0x100, D = 0x200;
+  C.access(A);
+  C.access(B); // A is LRU.
+  EXPECT_TRUE(C.contains(A));
+  C.access(D); // Must evict A even though contains() looked at it.
+  EXPECT_FALSE(C.contains(A));
+  EXPECT_TRUE(C.contains(B));
+}
+
+TEST(Cache, PrefetchFillsWithoutMissCount) {
+  Cache C(tinyConfig());
+  EXPECT_TRUE(C.prefetch(0x40));
+  EXPECT_EQ(C.misses(), 0u);
+  EXPECT_TRUE(C.access(0x40)); // Already present.
+  EXPECT_EQ(C.hits(), 1u);
+  EXPECT_FALSE(C.prefetch(0x40)); // Second prefetch is a no-op.
+}
+
+TEST(Cache, Flush) {
+  Cache C(tinyConfig());
+  C.access(0x40);
+  C.flush();
+  EXPECT_FALSE(C.contains(0x40));
+  EXPECT_FALSE(C.access(0x40));
+}
+
+TEST(Cache, SetsAreIndependent) {
+  Cache C(tinyConfig());
+  // Fill 2 ways of set 0; set 1 unaffected.
+  C.access(0x0);
+  C.access(0x100);
+  C.access(0x200); // Evicts within set 0 only.
+  EXPECT_FALSE(C.access(0x40)); // Set 1 first touch: miss...
+  EXPECT_TRUE(C.access(0x40));  // ...then hit.
+}
+
+// Property: a linear sweep larger than the cache misses once per line on
+// the first pass and again on the second (capacity eviction, LRU).
+TEST(Cache, CapacitySweepProperty) {
+  Cache C(tinyConfig()); // 512 bytes total.
+  const uint32_t Lines = 16;  // 1 KB sweep = 2x capacity.
+  for (uint32_t Pass = 0; Pass != 2; ++Pass)
+    for (uint32_t L = 0; L != Lines; ++L)
+      C.access(L * 64);
+  EXPECT_EQ(C.misses(), 2u * Lines);
+  EXPECT_EQ(C.hits(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference-model property test: the set-associative LRU cache must agree
+// with a brute-force reference implementation on random access traces.
+//===----------------------------------------------------------------------===//
+
+#include <list>
+#include <map>
+
+namespace {
+
+/// Obviously-correct reference: per set, an explicit LRU list of tags.
+class ReferenceCache {
+public:
+  explicit ReferenceCache(const CacheConfig &C) : Config(C) {}
+
+  bool access(Address Addr) {
+    uint64_t Line = Addr / Config.LineBytes;
+    uint32_t Set = static_cast<uint32_t>(Line % Config.numSets());
+    uint64_t Tag = Line / Config.numSets();
+    auto &Lru = Sets[Set];
+    for (auto It = Lru.begin(); It != Lru.end(); ++It)
+      if (*It == Tag) {
+        Lru.erase(It);
+        Lru.push_front(Tag); // Most recently used at the front.
+        return true;
+      }
+    Lru.push_front(Tag);
+    if (Lru.size() > Config.Associativity)
+      Lru.pop_back();
+    return false;
+  }
+
+private:
+  CacheConfig Config;
+  std::map<uint32_t, std::list<uint64_t>> Sets;
+};
+
+} // namespace
+
+class CacheReferenceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheReferenceTest, MatchesReferenceModelOnRandomTrace) {
+  CacheConfig Config = tinyConfig();
+  Cache C(Config);
+  ReferenceCache Ref(Config);
+  SplitMix64 Rng(GetParam());
+  // Mixed trace: random lines in a window ~4x the cache, plus sequential
+  // bursts for LRU-order stress.
+  Address Burst = 0;
+  for (int I = 0; I != 20000; ++I) {
+    Address A;
+    if (Rng.nextBelow(8) == 0) {
+      A = Burst;
+      Burst += 64;
+    } else {
+      A = static_cast<Address>(Rng.nextBelow(4 * Config.SizeBytes));
+    }
+    ASSERT_EQ(C.access(A), Ref.access(A))
+        << "divergence at access " << I << ", address " << A;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheReferenceTest,
+                         testing::Values(1, 22, 333, 4444, 55555));

@@ -1,0 +1,116 @@
+//===-- tests/memsim/MemoryHierarchyTest.cpp ------------------------------===//
+
+#include "memsim/MemoryHierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+struct RecordingListener : public MemoryEventListener {
+  struct Event {
+    HpmEventKind Kind;
+    Address Pc;
+    Address Data;
+  };
+  std::vector<Event> Events;
+  void onMemoryEvent(HpmEventKind Kind, Address Pc, Address Data) override {
+    Events.push_back({Kind, Pc, Data});
+  }
+};
+
+MemoryHierarchyConfig noPrefetchConfig() {
+  MemoryHierarchyConfig C;
+  C.StreamPrefetch = false;
+  return C;
+}
+
+} // namespace
+
+TEST(MemoryHierarchy, ColdAccessMissesEverywhere) {
+  MemoryHierarchy M(noPrefetchConfig());
+  AccessResult R = M.access(0x40000000, 4, false, 0x1000);
+  EXPECT_EQ(R.L1Misses, 1);
+  EXPECT_EQ(R.L2Misses, 1);
+  EXPECT_EQ(R.TlbMisses, 1);
+  EXPECT_EQ(R.Penalty, M.config().Latency.MemoryPenalty +
+                           M.config().Latency.TlbMissPenalty);
+}
+
+TEST(MemoryHierarchy, WarmAccessHits) {
+  MemoryHierarchy M(noPrefetchConfig());
+  M.access(0x40000000, 4, false, 0x1000);
+  AccessResult R = M.access(0x40000004, 4, true, 0x1000);
+  EXPECT_EQ(R.L1Misses, 0);
+  EXPECT_EQ(R.Penalty, 0u);
+}
+
+TEST(MemoryHierarchy, L1MissL2HitPenalty) {
+  MemoryHierarchy M(noPrefetchConfig());
+  // Touch enough lines to overflow the 16 KB L1 but stay inside L2, then
+  // re-touch the first line: L1 miss, L2 hit.
+  for (Address A = 0x40000000; A < 0x40000000 + 32 * 1024; A += 128)
+    M.access(A, 4, false, 0x1000);
+  AccessResult R = M.access(0x40000000, 4, false, 0x1000);
+  EXPECT_EQ(R.L1Misses, 1);
+  EXPECT_EQ(R.L2Misses, 0);
+  EXPECT_EQ(R.Penalty, M.config().Latency.L2HitPenalty);
+}
+
+TEST(MemoryHierarchy, LineCrossingTouchesBothLines) {
+  MemoryHierarchy M(noPrefetchConfig());
+  // 8-byte access straddling a 128-byte boundary.
+  AccessResult R = M.access(0x40000000 + 124, 8, false, 0x1000);
+  EXPECT_EQ(R.L1Misses, 2);
+  EXPECT_EQ(M.stats().L1Misses, 2u);
+}
+
+TEST(MemoryHierarchy, ListenerGetsPreciseEvents) {
+  MemoryHierarchy M(noPrefetchConfig());
+  RecordingListener L;
+  M.setListener(&L);
+  M.access(0x40000000, 4, false, 0xabcd1234);
+  // One TLB miss + one L1 miss + one L2 miss, all tagged with the PC.
+  ASSERT_EQ(L.Events.size(), 3u);
+  for (const auto &E : L.Events)
+    EXPECT_EQ(E.Pc, 0xabcd1234u);
+  EXPECT_EQ(L.Events[0].Kind, HpmEventKind::DtlbMiss);
+  EXPECT_EQ(L.Events[1].Kind, HpmEventKind::L1DMiss);
+  EXPECT_EQ(L.Events[2].Kind, HpmEventKind::L2Miss);
+}
+
+TEST(MemoryHierarchy, StreamPrefetchCutsL2MissesOnSequentialScan) {
+  MemoryHierarchyConfig WithPf;
+  WithPf.StreamPrefetch = true;
+  MemoryHierarchy Pf(WithPf);
+  MemoryHierarchy NoPf(noPrefetchConfig());
+  // Sequential scan of 2 MB (past both caches).
+  for (Address A = 0x40000000; A < 0x40000000 + 2 * 1024 * 1024; A += 128) {
+    Pf.access(A, 4, false, 0x1000);
+    NoPf.access(A, 4, false, 0x1000);
+  }
+  EXPECT_LT(Pf.stats().L2Misses, NoPf.stats().L2Misses / 2)
+      << "the stream prefetcher should hide most sequential L2 misses";
+  EXPECT_GT(Pf.stats().PrefetchFills, 0u);
+}
+
+TEST(MemoryHierarchy, ResetClearsEverything) {
+  MemoryHierarchy M(noPrefetchConfig());
+  M.access(0x40000000, 4, false, 0x1000);
+  M.reset();
+  EXPECT_EQ(M.stats().Accesses, 0u);
+  EXPECT_EQ(M.stats().L1Misses, 0u);
+  AccessResult R = M.access(0x40000000, 4, false, 0x1000);
+  EXPECT_EQ(R.L1Misses, 1); // Cold again.
+}
+
+TEST(MemoryHierarchy, StatsAccumulate) {
+  MemoryHierarchy M(noPrefetchConfig());
+  for (int I = 0; I != 10; ++I)
+    M.access(0x40000000, 4, false, 0x1000);
+  EXPECT_EQ(M.stats().Accesses, 10u);
+  EXPECT_EQ(M.stats().L1Misses, 1u);
+}

@@ -1,0 +1,39 @@
+//===-- tests/memsim/TlbTest.cpp ------------------------------------------===//
+
+#include "memsim/Tlb.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(Tlb, DefaultGeometryMatchesP4) {
+  TlbConfig C = dtlbDefaultConfig();
+  EXPECT_EQ(C.Entries, 64u);
+  EXPECT_EQ(C.PageBytes, 4096u);
+}
+
+TEST(Tlb, PageGranularity) {
+  Tlb T(TlbConfig{4, 4096});
+  EXPECT_FALSE(T.access(0x1000));
+  EXPECT_TRUE(T.access(0x1abc)); // Same page.
+  EXPECT_FALSE(T.access(0x2000)); // Next page.
+  EXPECT_EQ(T.misses(), 2u);
+  EXPECT_EQ(T.hits(), 1u);
+}
+
+TEST(Tlb, LruCapacityEviction) {
+  Tlb T(TlbConfig{2, 4096});
+  T.access(0x0000);
+  T.access(0x1000);
+  T.access(0x0000); // Page 0 is MRU.
+  T.access(0x2000); // Evicts page 1.
+  EXPECT_TRUE(T.access(0x0000));
+  EXPECT_FALSE(T.access(0x1000)); // Was evicted.
+}
+
+TEST(Tlb, Flush) {
+  Tlb T(TlbConfig{4, 4096});
+  T.access(0x3000);
+  T.flush();
+  EXPECT_FALSE(T.access(0x3000));
+}

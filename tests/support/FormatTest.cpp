@@ -1,0 +1,35 @@
+//===-- tests/support/FormatTest.cpp --------------------------------------===//
+
+#include "support/Format.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(Format, Printf) {
+  EXPECT_EQ(formatString("x=%d", 42), "x=42");
+  EXPECT_EQ(formatString("%s/%s", "a", "b"), "a/b");
+  EXPECT_EQ(formatString("%05u", 7u), "00007");
+  EXPECT_EQ(formatString("%.2f", 3.14159), "3.14");
+}
+
+TEST(Format, EmptyAndLong) {
+  EXPECT_EQ(formatString("%s", ""), "");
+  std::string Long(5000, 'x');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 5000u);
+}
+
+TEST(Format, ThousandsSep) {
+  EXPECT_EQ(withThousandsSep(0), "0");
+  EXPECT_EQ(withThousandsSep(1), "1");
+  EXPECT_EQ(withThousandsSep(999), "999");
+  EXPECT_EQ(withThousandsSep(1000), "1,000");
+  EXPECT_EQ(withThousandsSep(1234567), "1,234,567");
+  EXPECT_EQ(withThousandsSep(1000000000ull), "1,000,000,000");
+}
+
+TEST(Format, AsPercent) {
+  EXPECT_EQ(asPercent(0.139), "+13.9%");
+  EXPECT_EQ(asPercent(-0.28), "-28.0%");
+  EXPECT_EQ(asPercent(0.0), "+0.0%");
+}

@@ -1,0 +1,98 @@
+//===-- tests/support/RandomTest.cpp --------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace hpmvm;
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 2);
+}
+
+// Property sweep: nextBelow stays in range for many bounds.
+class RandomBoundsTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomBoundsTest, NextBelowInRange) {
+  SplitMix64 Rng(GetParam());
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 7ull, 256ull, 1000000ull}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBoundsTest,
+                         testing::Values(1, 42, 0xdeadbeef, 7777777));
+
+TEST(Random, NextInRangeInclusive) {
+  SplitMix64 Rng(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    uint64_t V = Rng.nextInRange(10, 13);
+    EXPECT_GE(V, 10u);
+    EXPECT_LE(V, 13u);
+    SawLo |= V == 10;
+    SawHi |= V == 13;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, RoughlyUniform) {
+  SplitMix64 Rng(5);
+  int Buckets[8] = {};
+  const int N = 80000;
+  for (int I = 0; I != N; ++I)
+    ++Buckets[Rng.nextBelow(8)];
+  for (int B : Buckets) {
+    EXPECT_GT(B, N / 8 - N / 40);
+    EXPECT_LT(B, N / 8 + N / 40);
+  }
+}
+
+TEST(Random, NextDoubleUnit) {
+  SplitMix64 Rng(77);
+  for (int I = 0; I != 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, ShuffleIsPermutation) {
+  SplitMix64 Rng(11);
+  std::vector<int> V(100);
+  for (int I = 0; I != 100; ++I)
+    V[I] = I;
+  shuffle(V.data(), V.size(), Rng);
+  std::set<int> S(V.begin(), V.end());
+  EXPECT_EQ(S.size(), 100u);
+  // Overwhelmingly unlikely to be identity.
+  bool Moved = false;
+  for (int I = 0; I != 100; ++I)
+    Moved |= V[I] != I;
+  EXPECT_TRUE(Moved);
+}
+
+TEST(Random, ShuffleTrivialSizes) {
+  SplitMix64 Rng(3);
+  std::vector<int> Empty;
+  shuffle(Empty.data(), 0, Rng); // Must not crash.
+  std::vector<int> One = {5};
+  shuffle(One.data(), 1, Rng);
+  EXPECT_EQ(One[0], 5);
+}

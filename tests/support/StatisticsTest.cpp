@@ -1,0 +1,58 @@
+//===-- tests/support/StatisticsTest.cpp ----------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(RunningStat, Empty) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(S.stddev(), 2.13809, 1e-4);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStat, SinglePoint) {
+  RunningStat S;
+  S.add(3.5);
+  EXPECT_DOUBLE_EQ(S.mean(), 3.5);
+  EXPECT_EQ(S.stddev(), 0.0);
+  EXPECT_EQ(S.min(), 3.5);
+  EXPECT_EQ(S.max(), 3.5);
+}
+
+TEST(MovingAverage, WindowSemantics) {
+  MovingAverage M(3);
+  EXPECT_DOUBLE_EQ(M.add(3.0), 3.0);
+  EXPECT_DOUBLE_EQ(M.add(6.0), 4.5);
+  EXPECT_DOUBLE_EQ(M.add(9.0), 6.0);
+  // Window slides: (6+9+12)/3.
+  EXPECT_DOUBLE_EQ(M.add(12.0), 9.0);
+  EXPECT_DOUBLE_EQ(M.add(0.0), 7.0);
+}
+
+TEST(MovingAverage, WindowOfOne) {
+  MovingAverage M(1);
+  EXPECT_DOUBLE_EQ(M.add(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(M.add(7.0), 7.0);
+}
+
+TEST(GeometricMean, Basics) {
+  EXPECT_DOUBLE_EQ(geometricMean({}), 1.0);
+  EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geometricMean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}

@@ -1,0 +1,55 @@
+//===-- tests/support/TableWriterTest.cpp ---------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+std::string capture(const TableWriter &T, bool Csv) {
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *F = open_memstream(&Buf, &Len);
+  if (Csv)
+    T.printCsv(F);
+  else
+    T.print(F);
+  fclose(F);
+  std::string S(Buf, Len);
+  free(Buf);
+  return S;
+}
+
+} // namespace
+
+TEST(TableWriter, AlignedOutput) {
+  TableWriter T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "12345"});
+  std::string Out = capture(T, false);
+  // Header, separator, two rows.
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  // Right-aligned numeric column: "1" is padded to the width of "12345".
+  EXPECT_NE(Out.find("    1\n"), std::string::npos);
+}
+
+TEST(TableWriter, CsvEscaping) {
+  TableWriter T({"k", "v"});
+  T.addRow({"plain", "has,comma"});
+  T.addRow({"q", "say \"hi\""});
+  std::string Out = capture(T, true);
+  EXPECT_NE(Out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(Out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableWriter, RowCount) {
+  TableWriter T({"a"});
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow({"x"});
+  T.addRow({"y"});
+  EXPECT_EQ(T.numRows(), 2u);
+}

@@ -1,0 +1,28 @@
+//===-- tests/support/VirtualClockTest.cpp --------------------------------===//
+
+#include "support/VirtualClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(VirtualClock, AdvanceAndReset) {
+  VirtualClock C;
+  EXPECT_EQ(C.now(), 0u);
+  C.advance(100);
+  C.advance(23);
+  EXPECT_EQ(C.now(), 123u);
+  C.reset();
+  EXPECT_EQ(C.now(), 0u);
+}
+
+TEST(VirtualClock, SecondsAtThreeGigahertz) {
+  EXPECT_DOUBLE_EQ(VirtualClock::toSeconds(3000000000ull), 1.0);
+  EXPECT_DOUBLE_EQ(VirtualClock::toSeconds(1500000000ull), 0.5);
+}
+
+TEST(VirtualClock, MillisRoundTrip) {
+  Cycles C = VirtualClock::fromMillis(10.0);
+  EXPECT_EQ(C, 30000000ull);
+  EXPECT_NEAR(VirtualClock::toSeconds(C) * 1000.0, 10.0, 1e-9);
+}

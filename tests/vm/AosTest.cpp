@@ -1,0 +1,121 @@
+//===-- tests/vm/AosTest.cpp ----------------------------------------------===//
+
+#include "TestSupport.h"
+
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/OptCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+MethodId trivialMethod(TestVm &T, const char *Name) {
+  BytecodeBuilder B(Name);
+  B.returns(RetKind::Int);
+  B.iconst(1).iret();
+  return T.Vm.addMethod(B.build());
+}
+
+MethodId loopMethod(TestVm &T, const char *Name, int32_t Count) {
+  BytecodeBuilder B(Name);
+  uint32_t I = B.newLocal();
+  B.returns(RetKind::Void);
+  B.iconst(0).istore(I);
+  Label Loop = B.label(), Done = B.label();
+  B.bind(Loop).iload(I).iconst(Count).ifICmp(CondKind::Ge, Done);
+  B.iinc(I, 1).jump(Loop);
+  B.bind(Done).ret();
+  return T.Vm.addMethod(B.build());
+}
+
+} // namespace
+
+TEST(Aos, InvocationThresholdTriggersCompile) {
+  TestVm T;
+  AosConfig C;
+  C.HotInvocationThreshold = 5;
+  T.Vm.aos().setConfig(C);
+  MethodId Id = trivialMethod(T, "hot");
+  for (int I = 0; I != 4; ++I)
+    T.call(Id);
+  EXPECT_FALSE(T.Vm.method(Id).isOptCompiled());
+  T.call(Id);
+  EXPECT_TRUE(T.Vm.method(Id).isOptCompiled());
+  EXPECT_EQ(T.Vm.stats().MethodsOptCompiled, 1u);
+}
+
+TEST(Aos, BackEdgeThresholdTriggersCompile) {
+  TestVm T;
+  AosConfig C;
+  C.HotInvocationThreshold = 1000000;
+  C.HotBackEdgeThreshold = 100;
+  T.Vm.aos().setConfig(C);
+  MethodId Id = loopMethod(T, "loopy", 500);
+  T.call(Id); // 500 back-edges: compiled mid-run, effective next call.
+  EXPECT_TRUE(T.Vm.method(Id).isOptCompiled());
+  EXPECT_GT(T.Vm.method(Id).BackEdges, 100u);
+}
+
+TEST(Aos, CompileChargesCycles) {
+  TestVm T;
+  MethodId Id = trivialMethod(T, "m");
+  Cycles Before = T.Vm.clock().now();
+  T.Vm.aos().compileNow(T.Vm.method(Id));
+  EXPECT_GT(T.Vm.clock().now(), Before);
+  EXPECT_EQ(T.Vm.stats().CompileCycles, T.Vm.clock().now() - Before);
+}
+
+TEST(Aos, CompileNowIsIdempotent) {
+  TestVm T;
+  MethodId Id = trivialMethod(T, "m");
+  T.Vm.aos().compileNow(T.Vm.method(Id));
+  uint32_t OptIndex = T.Vm.method(Id).OptIndex;
+  T.Vm.aos().compileNow(T.Vm.method(Id));
+  EXPECT_EQ(T.Vm.method(Id).OptIndex, OptIndex);
+  EXPECT_EQ(T.Vm.stats().MethodsOptCompiled, 1u);
+}
+
+TEST(Aos, PseudoAdaptivePlanCompilesExactlyAndFreezes) {
+  TestVm T;
+  MethodId A = trivialMethod(T, "a");
+  MethodId Bm = trivialMethod(T, "b");
+  MethodId Cm = trivialMethod(T, "c");
+  T.Vm.aos().applyCompilationPlan({"a", "c"});
+  EXPECT_TRUE(T.Vm.method(A).isOptCompiled());
+  EXPECT_FALSE(T.Vm.method(Bm).isOptCompiled());
+  EXPECT_TRUE(T.Vm.method(Cm).isOptCompiled());
+  // Frozen: b never compiles no matter how hot.
+  for (int I = 0; I != 200; ++I)
+    T.call(Bm);
+  EXPECT_FALSE(T.Vm.method(Bm).isOptCompiled());
+}
+
+TEST(Aos, TimerSamplingAttributesToRunningMethod) {
+  TestVm T;
+  AosConfig C;
+  C.Enabled = false;
+  C.TimerSampleMs = 0.001; // Sample every 3000 cycles of virtual time.
+  T.Vm.aos().setConfig(C);
+  MethodId Id = loopMethod(T, "spin", 100000);
+  T.call(Id);
+  EXPECT_GT(T.Vm.aos().timerSamples(), 10u);
+  EXPECT_GT(T.Vm.aos().timerSamplesOf(Id), 10u);
+}
+
+TEST(Aos, RecompileMarksOldCodeStale) {
+  TestVm T;
+  MethodId Id = loopMethod(T, "m", 10);
+  Method &M = T.Vm.method(Id);
+  T.Vm.aos().compileNow(M);
+  uint64_t StaleBefore = T.Vm.immortal().staleBytes();
+  // Re-install a fresh body (models recompilation at a higher opt level):
+  // the old code is abandoned in place and accounted as stale.
+  MachineFunction NewF = OptCompiler::compile(M, T.Vm.classes(),
+                                              T.Vm.methods(),
+                                              T.Vm.globalKinds());
+  T.Vm.installCompiledCode(M, std::move(NewF));
+  EXPECT_GT(T.Vm.immortal().staleBytes(), StaleBefore);
+}

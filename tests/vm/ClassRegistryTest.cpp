@@ -1,0 +1,61 @@
+//===-- tests/vm/ClassRegistryTest.cpp ------------------------------------===//
+
+#include "vm/ClassRegistry.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(ClassRegistry, FieldOffsetsInDeclarationOrder) {
+  ClassRegistry R;
+  ClassId C = R.defineClass("Pair", {{"first", true}, {"count", false}});
+  FieldId F0 = R.fieldId(C, "first");
+  FieldId F1 = R.fieldId(C, "count");
+  EXPECT_EQ(R.field(F0).Offset, objheader::kHeaderBytes);
+  EXPECT_EQ(R.field(F1).Offset, objheader::kHeaderBytes + 4);
+  EXPECT_TRUE(R.field(F0).IsRef);
+  EXPECT_FALSE(R.field(F1).IsRef);
+  EXPECT_EQ(R.field(F0).Name, "Pair::first");
+  EXPECT_EQ(R.field(F0).Owner, C);
+}
+
+TEST(ClassRegistry, HeapDescCarriesRefOffsets) {
+  ClassRegistry R;
+  ClassId C = R.defineClass("T", {{"a", false}, {"b", true}, {"c", true}});
+  const HeapClassDesc &D = R.heapClasses().desc(C);
+  ASSERT_EQ(D.RefOffsets.size(), 2u);
+  EXPECT_EQ(D.RefOffsets[0], objheader::kHeaderBytes + 4);
+  EXPECT_EQ(D.RefOffsets[1], objheader::kHeaderBytes + 8);
+  EXPECT_EQ(D.InstanceBytes, 32u); // 16 + 12 -> 32.
+}
+
+TEST(ClassRegistry, ArrayClasses) {
+  ClassRegistry R;
+  ClassId A = R.defineArrayClass("int[]", ElemKind::I32);
+  EXPECT_TRUE(R.heapClasses().desc(A).isArray());
+  EXPECT_EQ(R.heapClasses().desc(A).ArrayElem, ElemKind::I32);
+  EXPECT_TRUE(R.fieldsOf(A).empty());
+}
+
+TEST(ClassRegistry, GlobalFieldIdsAreUniqueAcrossClasses) {
+  ClassRegistry R;
+  ClassId C1 = R.defineClass("A", {{"x", false}});
+  ClassId C2 = R.defineClass("B", {{"x", false}});
+  EXPECT_NE(R.fieldId(C1, "x"), R.fieldId(C2, "x"));
+  EXPECT_EQ(R.numFields(), 2u);
+}
+
+TEST(ClassRegistry, FieldsOfListsOwnFieldsOnly) {
+  ClassRegistry R;
+  ClassId C1 = R.defineClass("A", {{"p", true}, {"q", false}});
+  ClassId C2 = R.defineClass("B", {{"r", true}});
+  EXPECT_EQ(R.fieldsOf(C1).size(), 2u);
+  EXPECT_EQ(R.fieldsOf(C2).size(), 1u);
+  EXPECT_EQ(R.field(R.fieldsOf(C2)[0]).Name, "B::r");
+}
+
+TEST(ClassRegistry, ClassName) {
+  ClassRegistry R;
+  ClassId C = R.defineClass("MyClass", {});
+  EXPECT_EQ(R.className(C), "MyClass");
+}

@@ -1,0 +1,164 @@
+//===-- tests/vm/InterpreterCompilerEquivalenceTest.cpp -------------------===//
+//
+// Property test: for randomly generated programs, the baseline interpreter
+// and the optimizing compiler + machine executor must produce identical
+// results. Programs are generated verified-by-construction: statements
+// keep the operand stack empty at statement boundaries, divisions guard
+// their divisor, array indices are masked into range.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestSupport.h"
+
+#include "support/Random.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+constexpr uint32_t kNumLocals = 4;
+constexpr int32_t kArrayLen = 8; // Power of two: indices masked with &7.
+
+/// Emits one random statement operating on int locals L0..L3 and the
+/// int[8] array held in local Arr.
+void emitStatement(BytecodeBuilder &B, SplitMix64 &Rng, uint32_t L0,
+                   uint32_t Arr) {
+  auto RandLocal = [&] { return L0 + static_cast<uint32_t>(Rng.nextBelow(kNumLocals)); };
+  switch (Rng.nextBelow(6)) {
+  case 0: { // L[i] = L[j] <op> L[k]
+    uint32_t Dst = RandLocal(), A = RandLocal(), C = RandLocal();
+    B.iload(A).iload(C);
+    switch (Rng.nextBelow(6)) {
+    case 0: B.iadd(); break;
+    case 1: B.isub(); break;
+    case 2: B.imul(); break;
+    case 3: B.ixor(); break;
+    case 4: B.iand(); break;
+    case 5: B.ior(); break;
+    }
+    B.istore(Dst);
+    return;
+  }
+  case 1: { // L[i] = L[j] / ((L[k] & 7) + 1)  -- guarded division.
+    uint32_t Dst = RandLocal(), A = RandLocal(), C = RandLocal();
+    B.iload(A).iload(C).iconst(7).iand().iconst(1).iadd();
+    if (Rng.nextBelow(2))
+      B.idiv();
+    else
+      B.irem();
+    B.istore(Dst);
+    return;
+  }
+  case 2: // L[i] = constant
+    B.iconst(static_cast<int32_t>(Rng.nextBelow(1000)) - 500)
+        .istore(RandLocal());
+    return;
+  case 3: { // if (L[i] <cond> L[j]) L[k] = L[m];
+    uint32_t A = RandLocal(), C = RandLocal(), Dst = RandLocal(),
+             Src = RandLocal();
+    Label Skip = B.label();
+    CondKind Cond = static_cast<CondKind>(Rng.nextBelow(6));
+    // Invert: branch AROUND the assignment.
+    B.iload(A).iload(C).ifICmp(Cond, Skip);
+    B.iload(Src).istore(Dst);
+    B.bind(Skip);
+    return;
+  }
+  case 4: { // arr[L[i] & 7] = L[j]
+    uint32_t A = RandLocal(), Src = RandLocal();
+    B.aload(Arr).iload(A).iconst(kArrayLen - 1).iand().iload(Src)
+        .astoreI();
+    return;
+  }
+  case 5: { // L[i] = arr[L[j] & 7] + L[i]
+    uint32_t Dst = RandLocal(), A = RandLocal();
+    B.aload(Arr).iload(A).iconst(kArrayLen - 1).iand().aloadI();
+    B.iload(Dst).iadd().istore(Dst);
+    return;
+  }
+  }
+}
+
+/// Builds a random program: init locals + array, a statement prelude, a
+/// bounded loop whose body is more random statements, and a checksum
+/// return folding the locals and the array.
+Method generateProgram(uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  BytecodeBuilder B("rnd");
+  uint32_t P = B.addParam(ValKind::Int);
+  uint32_t L0 = B.newLocal();
+  (void)B.newLocal();
+  (void)B.newLocal();
+  (void)B.newLocal();
+  uint32_t Arr = B.newLocal();
+  uint32_t I = B.newLocal(), K = B.newLocal(), Acc = B.newLocal();
+  B.returns(RetKind::Int);
+
+  // Locals from the parameter so runs are data-dependent.
+  for (uint32_t L = 0; L != kNumLocals; ++L)
+    B.iload(P).iconst(static_cast<int32_t>(Rng.nextBelow(97)) + 1).imul()
+        .istore(L0 + L);
+  B.iconst(kArrayLen).newArray(0).astore(Arr); // ClassId 0 = int[].
+
+  for (int S = 0; S != 6; ++S)
+    emitStatement(B, Rng, L0, Arr);
+
+  // Loop: 1 + (seed % 20) iterations of more statements.
+  int32_t Iters = 1 + static_cast<int32_t>(Rng.nextBelow(20));
+  Label Loop = B.label(), Done = B.label();
+  B.iconst(0).istore(I);
+  B.bind(Loop).iload(I).iconst(Iters).ifICmp(CondKind::Ge, Done);
+  int NumBody = 2 + static_cast<int>(Rng.nextBelow(5));
+  for (int S = 0; S != NumBody; ++S)
+    emitStatement(B, Rng, L0, Arr);
+  B.iinc(I, 1).jump(Loop);
+  B.bind(Done);
+
+  // Checksum: fold locals and array into Acc.
+  B.iconst(0).istore(Acc);
+  for (uint32_t L = 0; L != kNumLocals; ++L)
+    B.iload(Acc).iconst(31).imul().iload(L0 + L).ixor().istore(Acc);
+  Label SumLoop = B.label(), SumDone = B.label();
+  B.iconst(0).istore(K);
+  B.bind(SumLoop).iload(K).iconst(kArrayLen).ifICmp(CondKind::Ge, SumDone);
+  B.iload(Acc).iconst(31).imul();
+  B.aload(Arr).iload(K).aloadI().ixor().istore(Acc);
+  B.iinc(K, 1).jump(SumLoop);
+  B.bind(SumDone).iload(Acc).iret();
+  return B.build();
+}
+
+int32_t runProgram(uint64_t Seed, bool Optimized, int32_t Input) {
+  TestVm T(8 * 1024 * 1024, /*Seed=*/99); // Same VM seed: Rand op agrees.
+  // ClassId 0 must be int[] for generateProgram's newArray(0).
+  ClassId Arr = T.Vm.classes().defineArrayClass("int[]", ElemKind::I32);
+  EXPECT_EQ(Arr, 0u);
+  AosConfig AC;
+  AC.Enabled = false;
+  T.Vm.aos().setConfig(AC);
+  MethodId Id = T.Vm.addMethod(generateProgram(Seed));
+  if (Optimized)
+    T.Vm.aos().compileNow(T.Vm.method(Id));
+  return T.call(Id, {Value::makeInt(Input)}).asInt();
+}
+
+class EquivalenceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(EquivalenceTest, InterpreterMatchesCompiledCode) {
+  uint64_t Seed = GetParam();
+  for (int32_t Input : {0, 1, -7, 12345}) {
+    int32_t Interp = runProgram(Seed, false, Input);
+    int32_t Compiled = runProgram(Seed, true, Input);
+    EXPECT_EQ(Interp, Compiled)
+        << "divergence at seed " << Seed << " input " << Input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, EquivalenceTest,
+                         testing::Range<uint64_t>(1, 41));
+
+} // namespace

@@ -1,0 +1,299 @@
+//===-- tests/vm/InterpreterTest.cpp --------------------------------------===//
+
+#include "TestSupport.h"
+
+#include "vm/BytecodeBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Builds `int f(int a, int b) { return a <op> b; }`.
+MethodId binOp(VirtualMachine &Vm, const char *Name,
+               BytecodeBuilder &(*Emit)(BytecodeBuilder &)) {
+  BytecodeBuilder B(Name);
+  uint32_t A = B.addParam(ValKind::Int), Bp = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  B.iload(A).iload(Bp);
+  Emit(B);
+  B.iret();
+  return Vm.addMethod(B.build());
+}
+
+struct ArithCase {
+  const char *Name;
+  BytecodeBuilder &(*Emit)(BytecodeBuilder &);
+  int32_t A, B, Expected;
+};
+
+class ArithTest : public testing::TestWithParam<ArithCase> {};
+
+TEST_P(ArithTest, Evaluates) {
+  TestVm T;
+  const ArithCase &C = GetParam();
+  MethodId M = binOp(T.Vm, C.Name, C.Emit);
+  Value R = T.call(M, {Value::makeInt(C.A), Value::makeInt(C.B)});
+  EXPECT_EQ(R.asInt(), C.Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ArithTest,
+    testing::Values(
+        ArithCase{"add", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.iadd();
+                  }, 20, 22, 42},
+        ArithCase{"sub", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.isub();
+                  }, 10, 17, -7},
+        ArithCase{"mul", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.imul();
+                  }, -6, 7, -42},
+        ArithCase{"div", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.idiv();
+                  }, -43, 6, -7},
+        ArithCase{"rem", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.irem();
+                  }, 43, 6, 1},
+        ArithCase{"and", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.iand();
+                  }, 0b1100, 0b1010, 0b1000},
+        ArithCase{"or", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.ior();
+                  }, 0b1100, 0b1010, 0b1110},
+        ArithCase{"xor", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.ixor();
+                  }, 0b1100, 0b1010, 0b0110},
+        ArithCase{"shl", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.ishl();
+                  }, 3, 4, 48},
+        ArithCase{"shr", [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                    return B.ishr();
+                  }, -64, 3, -8}),
+    [](const testing::TestParamInfo<ArithCase> &I) {
+      return std::string(I.param.Name);
+    });
+
+TEST(Interpreter, NegAndIInc) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  uint32_t A = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  B.iinc(A, 5).iload(A).ineg().iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M, {Value::makeInt(10)}).asInt(), -15);
+}
+
+TEST(Interpreter, DivisionByZeroTraps) {
+  TestVm T;
+  MethodId M = binOp(T.Vm, "div0",
+                     [](BytecodeBuilder &B) -> BytecodeBuilder & {
+                       return B.idiv();
+                     });
+  EXPECT_DEATH(T.call(M, {Value::makeInt(1), Value::makeInt(0)}),
+               "division by zero");
+}
+
+TEST(Interpreter, LoopSum) {
+  TestVm T;
+  BytecodeBuilder B("sum");
+  uint32_t N = B.addParam(ValKind::Int);
+  uint32_t Acc = B.newLocal(), I = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(0).istore(Acc).iconst(1).istore(I);
+  Label Loop = B.label(), Done = B.label();
+  B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Gt, Done);
+  B.iload(Acc).iload(I).iadd().istore(Acc).iinc(I, 1).jump(Loop);
+  B.bind(Done).iload(Acc).iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M, {Value::makeInt(10)}).asInt(), 55);
+  EXPECT_EQ(T.call(M, {Value::makeInt(0)}).asInt(), 0);
+}
+
+TEST(Interpreter, RecursiveFibonacci) {
+  TestVm T;
+  MethodId Fib = T.Vm.declareMethod("fib", {ValKind::Int}, RetKind::Int);
+  BytecodeBuilder B("fib");
+  uint32_t N = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  Label Rec = B.label();
+  B.iload(N).iconst(2).ifICmp(CondKind::Ge, Rec);
+  B.iload(N).iret();
+  B.bind(Rec);
+  B.iload(N).iconst(1).isub().call(Fib);
+  B.iload(N).iconst(2).isub().call(Fib);
+  B.iadd().iret();
+  T.Vm.defineMethod(Fib, B.build());
+  EXPECT_EQ(T.call(Fib, {Value::makeInt(10)}).asInt(), 55);
+}
+
+TEST(Interpreter, FieldsRoundTrip) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"next", true},
+                                                 {"val", false}});
+  FieldId FNext = T.Vm.classes().fieldId(C, "next");
+  FieldId FVal = T.Vm.classes().fieldId(C, "val");
+  // Box b = new Box; b.val = 7; Box c = new Box; c.next = b;
+  // return c.next.val + b.val;
+  BytecodeBuilder B("f");
+  uint32_t Lb = B.newLocal(), Lc = B.newLocal();
+  B.returns(RetKind::Int);
+  B.newObj(C).astore(Lb);
+  B.aload(Lb).iconst(7).putfield(FVal);
+  B.newObj(C).astore(Lc);
+  B.aload(Lc).aload(Lb).putfield(FNext);
+  B.aload(Lc).getfield(FNext).getfield(FVal);
+  B.aload(Lb).getfield(FVal).iadd().iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M).asInt(), 14);
+  EXPECT_GT(T.Gc.Barriers, 0u); // The ref store ran the barrier.
+}
+
+TEST(Interpreter, NullFieldAccessTraps) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"val", false}});
+  FieldId F = T.Vm.classes().fieldId(C, "val");
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Int);
+  B.aconstNull().getfield(F).iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_DEATH(T.call(M), "null pointer");
+}
+
+TEST(Interpreter, IntArrayFillAndSum) {
+  TestVm T;
+  ClassId Arr = T.Vm.classes().defineArrayClass("int[]", ElemKind::I32);
+  BytecodeBuilder B("f");
+  uint32_t N = B.addParam(ValKind::Int);
+  uint32_t A = B.newLocal(), I = B.newLocal(), Acc = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iload(N).newArray(Arr).astore(A);
+  Label L1 = B.label(), D1 = B.label();
+  B.iconst(0).istore(I);
+  B.bind(L1).iload(I).iload(N).ifICmp(CondKind::Ge, D1);
+  B.aload(A).iload(I).iload(I).iload(I).imul().astoreI();
+  B.iinc(I, 1).jump(L1);
+  B.bind(D1);
+  B.iconst(0).istore(Acc).iconst(0).istore(I);
+  Label L2 = B.label(), D2 = B.label();
+  B.bind(L2).iload(I).aload(A).arraylen().ifICmp(CondKind::Ge, D2);
+  B.aload(A).iload(I).aloadI().iload(Acc).iadd().istore(Acc);
+  B.iinc(I, 1).jump(L2);
+  B.bind(D2).iload(Acc).iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  // sum of squares 0..9 = 285.
+  EXPECT_EQ(T.call(M, {Value::makeInt(10)}).asInt(), 285);
+}
+
+TEST(Interpreter, CharArrayZeroExtends) {
+  TestVm T;
+  ClassId Arr = T.Vm.classes().defineArrayClass("char[]", ElemKind::I16);
+  BytecodeBuilder B("f");
+  uint32_t A = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(4).newArray(Arr).astore(A);
+  B.aload(A).iconst(0).iconst(70000).astoreI(); // Truncated to 16 bits.
+  B.aload(A).iconst(0).aloadI().iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M).asInt(), 70000 & 0xffff);
+}
+
+TEST(Interpreter, ArrayBoundsTrap) {
+  TestVm T;
+  ClassId Arr = T.Vm.classes().defineArrayClass("int[]", ElemKind::I32);
+  BytecodeBuilder B("f");
+  uint32_t A = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(4).newArray(Arr).astore(A);
+  B.aload(A).iconst(4).aloadI().iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_DEATH(T.call(M), "out of bounds");
+}
+
+TEST(Interpreter, RefArraysAndGlobals) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"val", false}});
+  FieldId F = T.Vm.classes().fieldId(C, "val");
+  ClassId Arr = T.Vm.classes().defineArrayClass("Box[]", ElemKind::Ref);
+  uint32_t G = T.Vm.addGlobal(ValKind::Ref);
+  // g = new Box[2]; g[1] = new Box{val:9}; return g[1].val;
+  BytecodeBuilder B("f");
+  uint32_t Bx = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(2).newArray(Arr).gput(G);
+  B.newObj(C).astore(Bx);
+  B.aload(Bx).iconst(9).putfield(F);
+  B.gget(G).iconst(1).aload(Bx).astoreR();
+  B.gget(G).iconst(1).aloadR().getfield(F).iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M).asInt(), 9);
+  EXPECT_NE(T.Vm.global(G).asRef(), kNullRef);
+}
+
+TEST(Interpreter, RandWithinBounds) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Int);
+  B.iconst(10).rand().iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  for (int I = 0; I != 50; ++I) {
+    int32_t V = T.call(M).asInt();
+    EXPECT_GE(V, 0);
+    EXPECT_LT(V, 10);
+  }
+}
+
+TEST(Interpreter, DupAndPop) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Int);
+  B.iconst(21).dup().iadd().iconst(99).popv().iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M).asInt(), 42);
+}
+
+TEST(Interpreter, NullChecksViaIfNull) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {});
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Int);
+  uint32_t R = B.newLocal();
+  B.returns(RetKind::Int);
+  Label MakeNull = B.label(), Test = B.label(), IsNull = B.label();
+  B.aconstNull().astore(R);
+  B.iload(P).ifZ(CondKind::Eq, Test);
+  B.jump(MakeNull);
+  B.bind(MakeNull).jump(Test); // Keep R null when P != 0.
+  B.bind(Test);
+  Label NotNull = B.label();
+  B.iload(P).ifZ(CondKind::Ne, IsNull);
+  B.newObj(C).astore(R);
+  B.aload(R).ifNonNull(NotNull);
+  B.bind(IsNull).iconst(0).iret();
+  B.bind(NotNull).iconst(1).iret();
+  MethodId M = T.Vm.addMethod(B.build());
+  EXPECT_EQ(T.call(M, {Value::makeInt(0)}).asInt(), 1);
+  EXPECT_EQ(T.call(M, {Value::makeInt(1)}).asInt(), 0);
+}
+
+TEST(Interpreter, VerifierRejectsBadMethodAtDefineTime) {
+  TestVm T;
+  BytecodeBuilder B("bad");
+  B.returns(RetKind::Int);
+  B.iadd().iret(); // Underflow.
+  Method M = B.build();
+  EXPECT_DEATH(T.Vm.addMethod(std::move(M)), "verification failed");
+}
+
+TEST(Interpreter, CountsExecutedBytecodes) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Void);
+  B.iconst(1).popv().ret();
+  MethodId M = T.Vm.addMethod(B.build());
+  T.call(M);
+  EXPECT_EQ(T.Vm.stats().BytecodesInterpreted, 3u);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===-- tests/vm/MachineExecutorTest.cpp ----------------------------------===//
+
+#include "TestSupport.h"
+
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Forces optimized execution of \p Id.
+void optimize(TestVm &T, MethodId Id) {
+  T.Vm.aos().compileNow(T.Vm.method(Id));
+  ASSERT_TRUE(T.Vm.method(Id).isOptCompiled());
+}
+
+} // namespace
+
+TEST(MachineExecutor, RunsCompiledLoop) {
+  TestVm T;
+  BytecodeBuilder B("sum");
+  uint32_t N = B.addParam(ValKind::Int);
+  uint32_t Acc = B.newLocal(), I = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(0).istore(Acc).iconst(1).istore(I);
+  Label Loop = B.label(), Done = B.label();
+  B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Gt, Done);
+  B.iload(Acc).iload(I).iadd().istore(Acc).iinc(I, 1).jump(Loop);
+  B.bind(Done).iload(Acc).iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  optimize(T, Id);
+  EXPECT_EQ(T.call(Id, {Value::makeInt(100)}).asInt(), 5050);
+  EXPECT_GT(T.Vm.stats().MachineInstsExecuted, 100u);
+  EXPECT_EQ(T.Vm.stats().BytecodesInterpreted, 0u);
+}
+
+TEST(MachineExecutor, CompiledRecursionAndMixedModes) {
+  TestVm T;
+  MethodId Fib = T.Vm.declareMethod("fib", {ValKind::Int}, RetKind::Int);
+  BytecodeBuilder B("fib");
+  uint32_t N = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  Label Rec = B.label();
+  B.iload(N).iconst(2).ifICmp(CondKind::Ge, Rec);
+  B.iload(N).iret();
+  B.bind(Rec);
+  B.iload(N).iconst(1).isub().call(Fib);
+  B.iload(N).iconst(2).isub().call(Fib);
+  B.iadd().iret();
+  T.Vm.defineMethod(Fib, B.build());
+  // Interpreted result first, then compiled: identical.
+  int32_t Interp = T.call(Fib, {Value::makeInt(12)}).asInt();
+  optimize(T, Fib);
+  EXPECT_EQ(T.call(Fib, {Value::makeInt(12)}).asInt(), Interp);
+  EXPECT_EQ(Interp, 144);
+}
+
+TEST(MachineExecutor, FieldAndArraySemantics) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"arr", true},
+                                                 {"n", false}});
+  FieldId FArr = T.Vm.classes().fieldId(C, "arr");
+  FieldId FN = T.Vm.classes().fieldId(C, "n");
+  ClassId Arr = T.Vm.classes().defineArrayClass("int[]", ElemKind::I32);
+  // Box b = new Box; b.arr = new int[4]; b.arr[2] = 5; b.n = 3;
+  // return b.arr[2] * b.n;
+  BytecodeBuilder B("f");
+  uint32_t Lb = B.newLocal();
+  B.returns(RetKind::Int);
+  B.newObj(C).astore(Lb);
+  B.aload(Lb).iconst(4).newArray(Arr).putfield(FArr);
+  B.aload(Lb).getfield(FArr).iconst(2).iconst(5).astoreI();
+  B.aload(Lb).iconst(3).putfield(FN);
+  B.aload(Lb).getfield(FArr).iconst(2).aloadI();
+  B.aload(Lb).getfield(FN).imul().iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  optimize(T, Id);
+  EXPECT_EQ(T.call(Id).asInt(), 15);
+}
+
+TEST(MachineExecutor, RefArrayElementsKeepRefTag) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"v", false}});
+  FieldId F = T.Vm.classes().fieldId(C, "v");
+  ClassId Arr = T.Vm.classes().defineArrayClass("Box[]", ElemKind::Ref);
+  BytecodeBuilder B("f");
+  uint32_t A = B.newLocal(), Bx = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(1).newArray(Arr).astore(A);
+  B.newObj(C).astore(Bx);
+  B.aload(Bx).iconst(31).putfield(F);
+  B.aload(A).iconst(0).aload(Bx).astoreR();
+  B.aload(A).iconst(0).aloadR().getfield(F).iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  optimize(T, Id);
+  EXPECT_EQ(T.call(Id).asInt(), 31);
+}
+
+TEST(MachineExecutor, NullDerefTrapsInCompiledCode) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"v", false}});
+  FieldId F = T.Vm.classes().fieldId(C, "v");
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Int);
+  B.aconstNull().getfield(F).iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  optimize(T, Id);
+  EXPECT_DEATH(T.call(Id), "null pointer");
+}
+
+TEST(MachineExecutor, GlobalsWork) {
+  TestVm T;
+  uint32_t G = T.Vm.addGlobal(ValKind::Int);
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Int);
+  B.iconst(11).gput(G).gget(G).iconst(2).imul().iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  optimize(T, Id);
+  EXPECT_EQ(T.call(Id).asInt(), 22);
+  EXPECT_EQ(T.Vm.global(G).asInt(), 11);
+}
+
+TEST(MachineExecutor, CompiledCodeIsFasterPerInstruction) {
+  // The whole point of the opt compiler: cycles per semantic operation
+  // drop. Run the same loop interpreted and compiled and compare cycles.
+  auto RunOnce = [](bool Optimized) {
+    TestVm T;
+    BytecodeBuilder B("loop");
+    uint32_t Acc = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Int);
+    B.iconst(0).istore(Acc).iconst(0).istore(I);
+    Label Loop = B.label(), Done = B.label();
+    B.bind(Loop).iload(I).iconst(20000).ifICmp(CondKind::Ge, Done);
+    B.iload(Acc).iload(I).iadd().istore(Acc).iinc(I, 1).jump(Loop);
+    B.bind(Done).iload(Acc).iret();
+    MethodId Id = T.Vm.addMethod(B.build());
+    AosConfig AC;
+    AC.Enabled = false;
+    T.Vm.aos().setConfig(AC);
+    if (Optimized)
+      T.Vm.aos().compileNow(T.Vm.method(Id));
+    Cycles Before = T.Vm.clock().now();
+    T.call(Id);
+    return T.Vm.clock().now() - Before;
+  };
+  Cycles Interp = RunOnce(false);
+  Cycles Opt = RunOnce(true);
+  EXPECT_LT(Opt * 3, Interp) << "optimized code should be >3x faster";
+}

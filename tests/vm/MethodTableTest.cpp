@@ -1,0 +1,55 @@
+//===-- tests/vm/MethodTableTest.cpp --------------------------------------===//
+
+#include "vm/MethodTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(MethodTable, LookupWithinRange) {
+  MethodTable T;
+  T.add(0x1000, 0x1100, 7, CodeFlavor::Baseline);
+  const MethodRange *R = T.lookup(0x1080);
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->Method, 7u);
+  EXPECT_EQ(R->Flavor, CodeFlavor::Baseline);
+}
+
+TEST(MethodTable, BoundariesAreHalfOpen) {
+  MethodTable T;
+  T.add(0x1000, 0x1100, 7, CodeFlavor::Baseline);
+  EXPECT_NE(T.lookup(0x1000), nullptr);
+  EXPECT_NE(T.lookup(0x10ff), nullptr);
+  EXPECT_EQ(T.lookup(0x1100), nullptr);
+  EXPECT_EQ(T.lookup(0x0fff), nullptr);
+}
+
+TEST(MethodTable, ManyRangesSorted) {
+  MethodTable T;
+  // Insert out of order; the table keeps itself sorted.
+  T.add(0x3000, 0x3040, 3, CodeFlavor::Optimized);
+  T.add(0x1000, 0x1040, 1, CodeFlavor::Baseline);
+  T.add(0x2000, 0x2040, 2, CodeFlavor::Baseline);
+  EXPECT_EQ(T.lookup(0x1020)->Method, 1u);
+  EXPECT_EQ(T.lookup(0x2020)->Method, 2u);
+  EXPECT_EQ(T.lookup(0x3020)->Method, 3u);
+  EXPECT_EQ(T.lookup(0x1800), nullptr);
+  EXPECT_EQ(T.size(), 3u);
+}
+
+TEST(MethodTable, AdjacentRangesResolveExactly) {
+  MethodTable T;
+  T.add(0x1000, 0x1040, 1, CodeFlavor::Baseline);
+  T.add(0x1040, 0x1080, 2, CodeFlavor::Optimized);
+  EXPECT_EQ(T.lookup(0x103f)->Method, 1u);
+  EXPECT_EQ(T.lookup(0x1040)->Method, 2u);
+}
+
+TEST(MethodTable, SameMethodTwoFlavors) {
+  // A recompiled method has both its baseline and optimized ranges live.
+  MethodTable T;
+  T.add(0x1000, 0x1040, 9, CodeFlavor::Baseline);
+  T.add(0x5000, 0x5100, 9, CodeFlavor::Optimized);
+  EXPECT_EQ(T.lookup(0x1010)->Flavor, CodeFlavor::Baseline);
+  EXPECT_EQ(T.lookup(0x5010)->Flavor, CodeFlavor::Optimized);
+}

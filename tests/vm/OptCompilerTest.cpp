@@ -1,0 +1,206 @@
+//===-- tests/vm/OptCompilerTest.cpp --------------------------------------===//
+
+#include "TestSupport.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/OptCompiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+MachineFunction compileOf(TestVm &T, MethodId Id) {
+  Method &M = T.Vm.method(Id);
+  return OptCompiler::compile(M, T.Vm.classes(), T.Vm.methods(),
+                              T.Vm.globalKinds());
+}
+
+MethodId sumMethod(TestVm &T) {
+  BytecodeBuilder B("sum");
+  uint32_t N = B.addParam(ValKind::Int);
+  uint32_t Acc = B.newLocal(), I = B.newLocal();
+  B.returns(RetKind::Int);
+  B.iconst(0).istore(Acc).iconst(0).istore(I);
+  Label Loop = B.label(), Done = B.label();
+  B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+  B.iload(Acc).iload(I).iadd().istore(Acc).iinc(I, 1).jump(Loop);
+  B.bind(Done).iload(Acc).iret();
+  return T.Vm.addMethod(B.build());
+}
+
+} // namespace
+
+TEST(OptCompiler, EveryInstructionCarriesAValidBci) {
+  TestVm T;
+  MethodId Id = sumMethod(T);
+  MachineFunction F = compileOf(T, Id);
+  const Method &M = T.Vm.method(Id);
+  ASSERT_FALSE(F.Insts.empty());
+  for (const MachineInst &I : F.Insts)
+    EXPECT_LT(I.Bci, M.Code.size());
+  // The machine-code map is non-decreasing in code order per basic block
+  // and covers multiple bytecodes.
+  EXPECT_GT(F.Insts.back().Bci, 0u);
+}
+
+TEST(OptCompiler, BranchTargetsInRange) {
+  TestVm T;
+  MethodId Id = sumMethod(T);
+  MachineFunction F = compileOf(T, Id);
+  for (const MachineInst &I : F.Insts)
+    switch (I.Op) {
+    case MOp::Br: case MOp::BrCmp: case MOp::BrZero:
+    case MOp::BrNull: case MOp::BrNonNull:
+      EXPECT_GE(I.Imm, 0);
+      EXPECT_LT(static_cast<size_t>(I.Imm), F.Insts.size());
+      break;
+    default:
+      break;
+    }
+}
+
+TEST(OptCompiler, AllocationsAndCallsAreGcPoints) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {});
+  MethodId Callee = T.Vm.addMethod([] {
+    BytecodeBuilder B("callee");
+    B.returns(RetKind::Void);
+    B.ret();
+    return B.build();
+  }());
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Void);
+  B.newObj(C).popv().call(Callee).ret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  MachineFunction F = compileOf(T, Id);
+  for (const MachineInst &I : F.Insts) {
+    if (I.Op == MOp::NewObject) {
+      EXPECT_TRUE(I.IsGcPoint);
+    }
+    if (I.Op == MOp::Call) {
+      EXPECT_TRUE(I.IsGcPoint);
+    }
+  }
+  // Plus the prologue yieldpoint (the first instruction, which here is
+  // the allocation itself).
+  EXPECT_TRUE(F.Insts.front().IsGcPoint);
+}
+
+TEST(OptCompiler, BackEdgesAreYieldpoints) {
+  TestVm T;
+  MethodId Id = sumMethod(T);
+  MachineFunction F = compileOf(T, Id);
+  bool SawBackEdgeGcPoint = false;
+  for (uint32_t I = 0; I != F.Insts.size(); ++I) {
+    const MachineInst &MI = F.Insts[I];
+    if (MI.Op == MOp::Br && static_cast<uint32_t>(MI.Imm) <= I) {
+      EXPECT_TRUE(MI.IsGcPoint);
+      SawBackEdgeGcPoint = true;
+    }
+  }
+  EXPECT_TRUE(SawBackEdgeGcPoint);
+}
+
+TEST(OptCompiler, PeepholeFoldsConstantAdd) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  uint32_t A = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  B.iload(A).iconst(5).iadd().iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  MachineFunction F = compileOf(T, Id);
+  bool SawAddImm = false, SawPlainAdd = false, SawMovImm = false;
+  for (const MachineInst &I : F.Insts) {
+    SawAddImm |= I.Op == MOp::AddImm && I.Imm == 5;
+    SawPlainAdd |= I.Op == MOp::Add;
+    SawMovImm |= I.Op == MOp::MovImm;
+  }
+  EXPECT_TRUE(SawAddImm);
+  EXPECT_FALSE(SawPlainAdd);
+  EXPECT_FALSE(SawMovImm) << "the folded constant must not materialize";
+}
+
+TEST(OptCompiler, PeepholeFoldsConstantSubNegated) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  uint32_t A = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  B.iload(A).iconst(3).isub().iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  MachineFunction F = compileOf(T, Id);
+  bool SawAddImmNeg = false;
+  for (const MachineInst &I : F.Insts)
+    SawAddImmNeg |= I.Op == MOp::AddImm && I.Imm == -3;
+  EXPECT_TRUE(SawAddImmNeg);
+}
+
+TEST(OptCompiler, RefDefsTagged) {
+  TestVm T;
+  ClassId C = T.Vm.classes().defineClass("Box", {{"next", true}});
+  FieldId F = T.Vm.classes().fieldId(C, "next");
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Ref);
+  B.returns(RetKind::Ref);
+  B.aload(P).getfield(F).aret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  MachineFunction MF = compileOf(T, Id);
+  ASSERT_TRUE(MF.RegIsRefAtEntry[0]);
+  bool SawRefLoad = false;
+  for (const MachineInst &I : MF.Insts)
+    if (I.Op == MOp::LoadField)
+      SawRefLoad = I.DstIsRef;
+  EXPECT_TRUE(SawRefLoad);
+}
+
+TEST(OptCompiler, StackKindsPerBciOnBranchyCode) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  uint32_t P = B.addParam(ValKind::Int);
+  B.returns(RetKind::Int);
+  Label Other = B.label(), Join = B.label();
+  B.iload(P).ifZ(CondKind::Eq, Other); // bci 0,1
+  B.iconst(1).jump(Join);              // bci 2,3: depth 1 at 3.
+  B.bind(Other).iconst(2);             // bci 4
+  B.bind(Join).iret();                 // bci 5: both paths depth 1.
+  MethodId Id = T.Vm.addMethod(B.build());
+  const Method &M = T.Vm.method(Id);
+  auto Kinds = OptCompiler::stackKindsPerBci(M, T.Vm.classes(),
+                                             T.Vm.methods(),
+                                             T.Vm.globalKinds());
+  EXPECT_TRUE(Kinds[0].empty());
+  ASSERT_EQ(Kinds[5].size(), 1u);
+  EXPECT_EQ(Kinds[5][0], ValKind::Int);
+}
+
+TEST(OptCompiler, UnreachableCodeIsSkipped) {
+  TestVm T;
+  BytecodeBuilder B("f");
+  B.returns(RetKind::Int);
+  Label End = B.label();
+  B.iconst(1).jump(End);
+  B.iconst(2).popv(); // Unreachable.
+  B.bind(End).iret();
+  MethodId Id = T.Vm.addMethod(B.build());
+  MachineFunction F = compileOf(T, Id);
+  for (const MachineInst &I : F.Insts)
+    if (I.Op == MOp::MovImm) {
+      EXPECT_NE(I.Imm, 2) << "unreachable constant must not be lowered";
+    }
+}
+
+TEST(OptCompiler, MapSizesFollowTheModel) {
+  TestVm T;
+  MethodId Id = sumMethod(T);
+  MachineFunction F = compileOf(T, Id);
+  CompiledMethodMaps Maps = computeMaps(F);
+  EXPECT_EQ(Maps.MachineCodeBytes, F.Insts.size() * kMachineInstBytes);
+  EXPECT_EQ(Maps.McMapBytes, F.Insts.size() * kMcMapBytesPerEntry);
+  uint32_t GcPoints = 0;
+  for (const MachineInst &I : F.Insts)
+    GcPoints += I.IsGcPoint;
+  EXPECT_EQ(Maps.GcMapBytes, GcPoints * kGcMapBytesPerEntry);
+  // sum() has exactly the prologue + back-edge yieldpoints.
+  EXPECT_EQ(GcPoints, 2u);
+}

@@ -1,0 +1,73 @@
+//===-- tests/vm/TestSupport.h - VM test fixtures ---------------*- C++ -*-===//
+//
+// A minimal never-collecting bump collector so VM tests exercise the
+// execution engines in isolation from the real GC plans.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_TESTS_VM_TESTSUPPORT_H
+#define HPMVM_TESTS_VM_TESTSUPPORT_H
+
+#include "heap/BumpAllocator.h"
+#include "heap/GcApi.h"
+#include "vm/VirtualMachine.h"
+
+namespace hpmvm {
+
+/// Bump-only collector: never collects, never moves anything.
+class TestCollector : public GarbageCollector {
+public:
+  explicit TestCollector(ObjectModel &Objects) : Objects(Objects) {
+    Bump.setRange(Objects.memory().base(), Objects.memory().limit());
+  }
+
+  Address allocate(ClassId Cls, uint32_t TotalBytes,
+                   uint32_t ArrayLen) override {
+    Address A = Bump.alloc(TotalBytes);
+    if (A != kNullRef)
+      Objects.initObject(A, Cls, TotalBytes, ArrayLen);
+    return A;
+  }
+  void writeBarrier(Address, Address, Address) override { ++Barriers; }
+  void collectFull() override {}
+  void setRootProvider(RootProvider *) override {}
+  void setPlacementAdvisor(PlacementAdvisor *) override {}
+  void setGcAllowed(bool) override {}
+  const GcStats &stats() const override { return Stats; }
+  const char *name() const override { return "TestCollector"; }
+  void setGcNotify(std::function<void(bool)>) override {}
+  SpaceId spaceOf(Address) const override { return SpaceId::Nursery; }
+
+  uint64_t Barriers = 0;
+
+private:
+  ObjectModel &Objects;
+  BumpAllocator Bump;
+  GcStats Stats;
+};
+
+/// A VM wired to the stub collector.
+struct TestVm {
+  VirtualMachine Vm;
+  TestCollector Gc;
+
+  explicit TestVm(uint32_t HeapBytes = 8 * 1024 * 1024, uint64_t Seed = 1)
+      : Vm(makeConfig(HeapBytes, Seed)), Gc(Vm.objects()) {
+    Vm.setCollector(&Gc);
+  }
+
+  static VmConfig makeConfig(uint32_t HeapBytes, uint64_t Seed) {
+    VmConfig C;
+    C.HeapBytes = HeapBytes;
+    C.Seed = Seed;
+    return C;
+  }
+
+  Value call(MethodId Id, std::vector<Value> Args = {}) {
+    return Vm.invoke(Id, std::move(Args));
+  }
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_TESTS_VM_TESTSUPPORT_H

@@ -1,0 +1,113 @@
+//===-- tests/workloads/HarnessTest.cpp -----------------------------------===//
+//
+// The experiment harness must honor every RunConfig knob: the figures'
+// comparisons are only valid if the configurations differ in exactly the
+// intended dimension.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+RunConfig smallDb() {
+  RunConfig C;
+  C.Workload = "db";
+  C.Params.ScalePercent = 15;
+  C.Params.Seed = 9;
+  C.HeapFactor = 4.0;
+  return C;
+}
+
+} // namespace
+
+TEST(Harness, HeapFactorSizesTheHeap) {
+  RunConfig C = smallDb();
+  Experiment E1(C);
+  C.HeapFactor = 2.0;
+  Experiment E2(C);
+  EXPECT_EQ(E1.heapBytes(), 2 * E2.heapBytes());
+}
+
+TEST(Harness, HeapBytesOverrideWins) {
+  RunConfig C = smallDb();
+  C.HeapBytesOverride = 7 * 1024 * 1024;
+  Experiment E(C);
+  EXPECT_EQ(E.heapBytes(), 7u * 1024 * 1024);
+}
+
+TEST(Harness, CollectorKindSelectsThePlan) {
+  RunConfig C = smallDb();
+  {
+    Experiment E(C);
+    EXPECT_STREQ(E.collector().name(), "GenMS");
+  }
+  C.Collector = CollectorKind::GenCopy;
+  {
+    Experiment E(C);
+    EXPECT_STREQ(E.collector().name(), "GenCopy");
+  }
+}
+
+TEST(Harness, MonitoringOffMeansNoMonitorAndNoSamples) {
+  RunResult R = runExperiment(smallDb());
+  EXPECT_EQ(R.SamplesTaken, 0u);
+  EXPECT_EQ(R.MonitorOverheadCycles, 0u);
+  Experiment E(smallDb());
+  EXPECT_EQ(E.monitor(), nullptr);
+}
+
+TEST(Harness, MonitoringOnWithoutCoallocationNeverPlacesPairs) {
+  RunConfig C = smallDb();
+  C.Monitoring = true;
+  C.Monitor.SamplingInterval = 5000;
+  RunResult R = runExperiment(C);
+  EXPECT_GT(R.SamplesTaken, 0u);
+  EXPECT_EQ(R.CoallocatedPairs, 0u)
+      << "observation alone must not change placement";
+}
+
+TEST(Harness, PseudoAdaptiveCompilesThePlanUpFront) {
+  RunConfig C = smallDb();
+  Experiment E(C);
+  EXPECT_GT(E.vm().numCompiledFunctions(), 0u);
+  // The paper's pseudo-adaptive mode: identical runs compile identical
+  // method sets, before the first bytecode executes.
+  Experiment E2(C);
+  EXPECT_EQ(E.vm().numCompiledFunctions(), E2.vm().numCompiledFunctions());
+}
+
+TEST(Harness, AdaptiveModeCompilesDuringTheRun) {
+  RunConfig C = smallDb();
+  C.PseudoAdaptive = false;
+  Experiment E(C);
+  EXPECT_EQ(E.vm().numCompiledFunctions(), 0u) << "nothing compiled yet";
+  E.run();
+  EXPECT_GT(E.vm().numCompiledFunctions(), 0u)
+      << "the AOS must find the hot methods on its own";
+}
+
+TEST(Harness, MonitoringIsObservationOnlyForTheMemoryHierarchy) {
+  // The monitor charges cycles but must not change the program's memory
+  // behaviour: identical miss counts with and without it.
+  RunResult Plain = runExperiment(smallDb());
+  RunConfig C = smallDb();
+  C.Monitoring = true;
+  C.Monitor.SamplingInterval = 5000;
+  RunResult Monitored = runExperiment(C);
+  EXPECT_EQ(Plain.Memory.L1Misses, Monitored.Memory.L1Misses);
+  EXPECT_EQ(Plain.Memory.Accesses, Monitored.Memory.Accesses);
+  EXPECT_GT(Monitored.TotalCycles, Plain.TotalCycles);
+}
+
+TEST(Harness, SeedFlowsIntoTheRun) {
+  RunConfig C = smallDb();
+  RunResult A = runExperiment(C);
+  C.Params.Seed = C.Params.Seed + 1;
+  RunResult B = runExperiment(C);
+  EXPECT_NE(A.Memory.L1Misses, B.Memory.L1Misses);
+}

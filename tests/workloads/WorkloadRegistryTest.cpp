@@ -1,0 +1,85 @@
+//===-- tests/workloads/WorkloadRegistryTest.cpp --------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "gc/GenMSPlan.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace hpmvm;
+
+TEST(WorkloadRegistry, SixteenProgramsInPaperOrder) {
+  const auto &All = allWorkloads();
+  ASSERT_EQ(All.size(), 16u);
+  // Paper Table 1 order: SPECjvm98, pseudojbb, DaCapo.
+  EXPECT_EQ(All.front().Name, "compress");
+  EXPECT_EQ(All[7].Name, "pseudojbb");
+  EXPECT_EQ(All.back().Name, "pmd");
+}
+
+TEST(WorkloadRegistry, NamesUniqueAndFindable) {
+  std::set<std::string> Names;
+  for (const WorkloadSpec &S : allWorkloads()) {
+    EXPECT_TRUE(Names.insert(S.Name).second) << S.Name << " duplicated";
+    EXPECT_EQ(findWorkload(S.Name), &S);
+    EXPECT_FALSE(S.Suite.empty());
+    EXPECT_FALSE(S.Description.empty());
+    EXPECT_GE(S.MinHeapBytes, 2u * 1024 * 1024);
+    EXPECT_NE(S.Build, nullptr);
+  }
+  EXPECT_EQ(findWorkload("no-such-benchmark"), nullptr);
+}
+
+TEST(WorkloadRegistry, ScaledMinHeapHasAFloor) {
+  const WorkloadSpec *Db = findWorkload("db");
+  ASSERT_NE(Db, nullptr);
+  WorkloadParams P;
+  P.ScalePercent = 100;
+  EXPECT_EQ(scaledMinHeap(*Db, P), Db->MinHeapBytes);
+  P.ScalePercent = 10;
+  EXPECT_EQ(scaledMinHeap(*Db, P), 2u * 1024 * 1024) << "2 MB floor";
+  P.ScalePercent = 200;
+  EXPECT_EQ(scaledMinHeap(*Db, P), 2 * Db->MinHeapBytes);
+}
+
+// Every workload's build function must produce a runnable program whose
+// compilation plan names only real methods (a typo in a plan string would
+// silently fall back to interpretation and skew every experiment).
+class WorkloadBuildTest : public testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadBuildTest, PlanNamesResolveAndMainIsValid) {
+  VmConfig VC;
+  VC.HeapBytes = 16 * 1024 * 1024;
+  VirtualMachine Vm(VC);
+  GenMSPlan Gc(Vm.objects(), Vm.clock(),
+               CollectorConfig{.HeapBytes = 16 * 1024 * 1024});
+  Vm.setCollector(&Gc);
+
+  const WorkloadSpec *Spec = findWorkload(GetParam());
+  ASSERT_NE(Spec, nullptr);
+  WorkloadParams P;
+  P.ScalePercent = 10;
+  WorkloadProgram Prog = Spec->Build(Vm, P);
+
+  ASSERT_NE(Prog.Main, kInvalidId);
+  const Method &Main = Vm.method(Prog.Main);
+  EXPECT_EQ(Main.NumParams, 0u);
+  EXPECT_EQ(Main.Return, RetKind::Void);
+
+  ASSERT_FALSE(Prog.CompilationPlan.empty());
+  for (const std::string &Name : Prog.CompilationPlan)
+    EXPECT_NE(Vm.findMethod(Name), kInvalidId)
+        << "compilation plan names unknown method '" << Name << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadBuildTest,
+    testing::Values("compress", "jess", "db", "javac", "mpegaudio", "mtrt",
+                    "jack", "pseudojbb", "antlr", "bloat", "fop", "hsqldb",
+                    "jython", "luindex", "lusearch", "pmd"),
+    [](const testing::TestParamInfo<const char *> &I) {
+      return std::string(I.param);
+    });
