@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_coalloc.dir/ablation_coalloc.cpp.o"
+  "CMakeFiles/ablation_coalloc.dir/ablation_coalloc.cpp.o.d"
+  "ablation_coalloc"
+  "ablation_coalloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_coalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_coallocated_objects.dir/fig3_coallocated_objects.cpp.o"
+  "CMakeFiles/fig3_coallocated_objects.dir/fig3_coallocated_objects.cpp.o.d"
+  "fig3_coallocated_objects"
+  "fig3_coallocated_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_coallocated_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

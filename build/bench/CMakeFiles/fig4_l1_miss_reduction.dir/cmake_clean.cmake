@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_l1_miss_reduction.dir/fig4_l1_miss_reduction.cpp.o"
+  "CMakeFiles/fig4_l1_miss_reduction.dir/fig4_l1_miss_reduction.cpp.o.d"
+  "fig4_l1_miss_reduction"
+  "fig4_l1_miss_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_l1_miss_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_exec_time_heaps.cpp" "bench/CMakeFiles/fig5_exec_time_heaps.dir/fig5_exec_time_heaps.cpp.o" "gcc" "bench/CMakeFiles/fig5_exec_time_heaps.dir/fig5_exec_time_heaps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_exec_time_heaps.dir/fig5_exec_time_heaps.cpp.o"
+  "CMakeFiles/fig5_exec_time_heaps.dir/fig5_exec_time_heaps.cpp.o.d"
+  "fig5_exec_time_heaps"
+  "fig5_exec_time_heaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_exec_time_heaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

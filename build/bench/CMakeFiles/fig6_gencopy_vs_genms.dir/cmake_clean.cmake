@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gencopy_vs_genms.dir/fig6_gencopy_vs_genms.cpp.o"
+  "CMakeFiles/fig6_gencopy_vs_genms.dir/fig6_gencopy_vs_genms.cpp.o.d"
+  "fig6_gencopy_vs_genms"
+  "fig6_gencopy_vs_genms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gencopy_vs_genms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

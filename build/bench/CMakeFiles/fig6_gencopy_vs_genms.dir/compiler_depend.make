@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_gencopy_vs_genms.
+# This may be replaced when dependencies are built.

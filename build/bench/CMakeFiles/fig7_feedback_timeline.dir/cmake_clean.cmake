@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_feedback_timeline.dir/fig7_feedback_timeline.cpp.o"
+  "CMakeFiles/fig7_feedback_timeline.dir/fig7_feedback_timeline.cpp.o.d"
+  "fig7_feedback_timeline"
+  "fig7_feedback_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_feedback_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bad_optimization.dir/fig8_bad_optimization.cpp.o"
+  "CMakeFiles/fig8_bad_optimization.dir/fig8_bad_optimization.cpp.o.d"
+  "fig8_bad_optimization"
+  "fig8_bad_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bad_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

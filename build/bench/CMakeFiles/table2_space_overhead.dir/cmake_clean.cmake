@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_space_overhead.dir/table2_space_overhead.cpp.o"
+  "CMakeFiles/table2_space_overhead.dir/table2_space_overhead.cpp.o.d"
+  "table2_space_overhead"
+  "table2_space_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_space_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

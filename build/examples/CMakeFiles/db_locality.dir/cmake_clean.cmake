@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_locality.dir/db_locality.cpp.o"
+  "CMakeFiles/db_locality.dir/db_locality.cpp.o.d"
+  "db_locality"
+  "db_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

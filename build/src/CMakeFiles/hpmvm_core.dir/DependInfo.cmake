@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CoallocationAdvisor.cpp" "src/CMakeFiles/hpmvm_core.dir/core/CoallocationAdvisor.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/CoallocationAdvisor.cpp.o.d"
+  "/root/repo/src/core/FieldMissTable.cpp" "src/CMakeFiles/hpmvm_core.dir/core/FieldMissTable.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/FieldMissTable.cpp.o.d"
+  "/root/repo/src/core/FrequencyAdvisor.cpp" "src/CMakeFiles/hpmvm_core.dir/core/FrequencyAdvisor.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/FrequencyAdvisor.cpp.o.d"
+  "/root/repo/src/core/HpmMonitor.cpp" "src/CMakeFiles/hpmvm_core.dir/core/HpmMonitor.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/HpmMonitor.cpp.o.d"
+  "/root/repo/src/core/InterestAnalysis.cpp" "src/CMakeFiles/hpmvm_core.dir/core/InterestAnalysis.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/InterestAnalysis.cpp.o.d"
+  "/root/repo/src/core/OptimizationController.cpp" "src/CMakeFiles/hpmvm_core.dir/core/OptimizationController.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/OptimizationController.cpp.o.d"
+  "/root/repo/src/core/PhaseDetector.cpp" "src/CMakeFiles/hpmvm_core.dir/core/PhaseDetector.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/PhaseDetector.cpp.o.d"
+  "/root/repo/src/core/PrefetchInjector.cpp" "src/CMakeFiles/hpmvm_core.dir/core/PrefetchInjector.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/PrefetchInjector.cpp.o.d"
+  "/root/repo/src/core/SampleResolver.cpp" "src/CMakeFiles/hpmvm_core.dir/core/SampleResolver.cpp.o" "gcc" "src/CMakeFiles/hpmvm_core.dir/core/SampleResolver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_core.dir/core/CoallocationAdvisor.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/CoallocationAdvisor.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/FieldMissTable.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/FieldMissTable.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/FrequencyAdvisor.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/FrequencyAdvisor.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/HpmMonitor.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/HpmMonitor.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/InterestAnalysis.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/InterestAnalysis.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/OptimizationController.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/OptimizationController.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/PhaseDetector.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/PhaseDetector.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/PrefetchInjector.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/PrefetchInjector.cpp.o.d"
+  "CMakeFiles/hpmvm_core.dir/core/SampleResolver.cpp.o"
+  "CMakeFiles/hpmvm_core.dir/core/SampleResolver.cpp.o.d"
+  "libhpmvm_core.a"
+  "libhpmvm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/CollectorPlan.cpp" "src/CMakeFiles/hpmvm_gc.dir/gc/CollectorPlan.cpp.o" "gcc" "src/CMakeFiles/hpmvm_gc.dir/gc/CollectorPlan.cpp.o.d"
+  "/root/repo/src/gc/GenCopyPlan.cpp" "src/CMakeFiles/hpmvm_gc.dir/gc/GenCopyPlan.cpp.o" "gcc" "src/CMakeFiles/hpmvm_gc.dir/gc/GenCopyPlan.cpp.o.d"
+  "/root/repo/src/gc/GenMSPlan.cpp" "src/CMakeFiles/hpmvm_gc.dir/gc/GenMSPlan.cpp.o" "gcc" "src/CMakeFiles/hpmvm_gc.dir/gc/GenMSPlan.cpp.o.d"
+  "/root/repo/src/gc/HeapVerifier.cpp" "src/CMakeFiles/hpmvm_gc.dir/gc/HeapVerifier.cpp.o" "gcc" "src/CMakeFiles/hpmvm_gc.dir/gc/HeapVerifier.cpp.o.d"
+  "/root/repo/src/gc/RememberedSet.cpp" "src/CMakeFiles/hpmvm_gc.dir/gc/RememberedSet.cpp.o" "gcc" "src/CMakeFiles/hpmvm_gc.dir/gc/RememberedSet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_gc.dir/gc/CollectorPlan.cpp.o"
+  "CMakeFiles/hpmvm_gc.dir/gc/CollectorPlan.cpp.o.d"
+  "CMakeFiles/hpmvm_gc.dir/gc/GenCopyPlan.cpp.o"
+  "CMakeFiles/hpmvm_gc.dir/gc/GenCopyPlan.cpp.o.d"
+  "CMakeFiles/hpmvm_gc.dir/gc/GenMSPlan.cpp.o"
+  "CMakeFiles/hpmvm_gc.dir/gc/GenMSPlan.cpp.o.d"
+  "CMakeFiles/hpmvm_gc.dir/gc/HeapVerifier.cpp.o"
+  "CMakeFiles/hpmvm_gc.dir/gc/HeapVerifier.cpp.o.d"
+  "CMakeFiles/hpmvm_gc.dir/gc/RememberedSet.cpp.o"
+  "CMakeFiles/hpmvm_gc.dir/gc/RememberedSet.cpp.o.d"
+  "libhpmvm_gc.a"
+  "libhpmvm_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

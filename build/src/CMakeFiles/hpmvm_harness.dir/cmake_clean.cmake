@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_harness.dir/harness/ExperimentRunner.cpp.o"
+  "CMakeFiles/hpmvm_harness.dir/harness/ExperimentRunner.cpp.o.d"
+  "libhpmvm_harness.a"
+  "libhpmvm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

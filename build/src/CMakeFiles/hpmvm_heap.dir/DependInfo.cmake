@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/BlockPool.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/BlockPool.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/BlockPool.cpp.o.d"
+  "/root/repo/src/heap/BlockedBumpAllocator.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/BlockedBumpAllocator.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/BlockedBumpAllocator.cpp.o.d"
+  "/root/repo/src/heap/BumpAllocator.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/BumpAllocator.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/BumpAllocator.cpp.o.d"
+  "/root/repo/src/heap/FreeListAllocator.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/FreeListAllocator.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/FreeListAllocator.cpp.o.d"
+  "/root/repo/src/heap/HeapMemory.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/HeapMemory.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/HeapMemory.cpp.o.d"
+  "/root/repo/src/heap/ImmortalSpace.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/ImmortalSpace.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/ImmortalSpace.cpp.o.d"
+  "/root/repo/src/heap/LargeObjectSpace.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/LargeObjectSpace.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/LargeObjectSpace.cpp.o.d"
+  "/root/repo/src/heap/ObjectModel.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/ObjectModel.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/ObjectModel.cpp.o.d"
+  "/root/repo/src/heap/SizeClasses.cpp" "src/CMakeFiles/hpmvm_heap.dir/heap/SizeClasses.cpp.o" "gcc" "src/CMakeFiles/hpmvm_heap.dir/heap/SizeClasses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_heap.dir/heap/BlockPool.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/BlockPool.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/BlockedBumpAllocator.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/BlockedBumpAllocator.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/BumpAllocator.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/BumpAllocator.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/FreeListAllocator.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/FreeListAllocator.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/HeapMemory.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/HeapMemory.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/ImmortalSpace.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/ImmortalSpace.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/LargeObjectSpace.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/LargeObjectSpace.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/ObjectModel.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/ObjectModel.cpp.o.d"
+  "CMakeFiles/hpmvm_heap.dir/heap/SizeClasses.cpp.o"
+  "CMakeFiles/hpmvm_heap.dir/heap/SizeClasses.cpp.o.d"
+  "libhpmvm_heap.a"
+  "libhpmvm_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

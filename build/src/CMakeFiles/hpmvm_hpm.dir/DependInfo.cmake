@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpm/EventMultiplexer.cpp" "src/CMakeFiles/hpmvm_hpm.dir/hpm/EventMultiplexer.cpp.o" "gcc" "src/CMakeFiles/hpmvm_hpm.dir/hpm/EventMultiplexer.cpp.o.d"
+  "/root/repo/src/hpm/NativeSampleLibrary.cpp" "src/CMakeFiles/hpmvm_hpm.dir/hpm/NativeSampleLibrary.cpp.o" "gcc" "src/CMakeFiles/hpmvm_hpm.dir/hpm/NativeSampleLibrary.cpp.o.d"
+  "/root/repo/src/hpm/PebsUnit.cpp" "src/CMakeFiles/hpmvm_hpm.dir/hpm/PebsUnit.cpp.o" "gcc" "src/CMakeFiles/hpmvm_hpm.dir/hpm/PebsUnit.cpp.o.d"
+  "/root/repo/src/hpm/PerfmonModule.cpp" "src/CMakeFiles/hpmvm_hpm.dir/hpm/PerfmonModule.cpp.o" "gcc" "src/CMakeFiles/hpmvm_hpm.dir/hpm/PerfmonModule.cpp.o.d"
+  "/root/repo/src/hpm/SampleCollector.cpp" "src/CMakeFiles/hpmvm_hpm.dir/hpm/SampleCollector.cpp.o" "gcc" "src/CMakeFiles/hpmvm_hpm.dir/hpm/SampleCollector.cpp.o.d"
+  "/root/repo/src/hpm/SamplingIntervalController.cpp" "src/CMakeFiles/hpmvm_hpm.dir/hpm/SamplingIntervalController.cpp.o" "gcc" "src/CMakeFiles/hpmvm_hpm.dir/hpm/SamplingIntervalController.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_hpm.dir/hpm/EventMultiplexer.cpp.o"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/EventMultiplexer.cpp.o.d"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/NativeSampleLibrary.cpp.o"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/NativeSampleLibrary.cpp.o.d"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/PebsUnit.cpp.o"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/PebsUnit.cpp.o.d"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/PerfmonModule.cpp.o"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/PerfmonModule.cpp.o.d"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/SampleCollector.cpp.o"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/SampleCollector.cpp.o.d"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/SamplingIntervalController.cpp.o"
+  "CMakeFiles/hpmvm_hpm.dir/hpm/SamplingIntervalController.cpp.o.d"
+  "libhpmvm_hpm.a"
+  "libhpmvm_hpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_hpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

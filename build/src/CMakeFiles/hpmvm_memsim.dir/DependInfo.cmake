@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/Cache.cpp" "src/CMakeFiles/hpmvm_memsim.dir/memsim/Cache.cpp.o" "gcc" "src/CMakeFiles/hpmvm_memsim.dir/memsim/Cache.cpp.o.d"
+  "/root/repo/src/memsim/MemoryHierarchy.cpp" "src/CMakeFiles/hpmvm_memsim.dir/memsim/MemoryHierarchy.cpp.o" "gcc" "src/CMakeFiles/hpmvm_memsim.dir/memsim/MemoryHierarchy.cpp.o.d"
+  "/root/repo/src/memsim/Tlb.cpp" "src/CMakeFiles/hpmvm_memsim.dir/memsim/Tlb.cpp.o" "gcc" "src/CMakeFiles/hpmvm_memsim.dir/memsim/Tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_memsim.dir/memsim/Cache.cpp.o"
+  "CMakeFiles/hpmvm_memsim.dir/memsim/Cache.cpp.o.d"
+  "CMakeFiles/hpmvm_memsim.dir/memsim/MemoryHierarchy.cpp.o"
+  "CMakeFiles/hpmvm_memsim.dir/memsim/MemoryHierarchy.cpp.o.d"
+  "CMakeFiles/hpmvm_memsim.dir/memsim/Tlb.cpp.o"
+  "CMakeFiles/hpmvm_memsim.dir/memsim/Tlb.cpp.o.d"
+  "libhpmvm_memsim.a"
+  "libhpmvm_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

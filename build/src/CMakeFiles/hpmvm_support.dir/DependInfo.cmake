@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Format.cpp" "src/CMakeFiles/hpmvm_support.dir/support/Format.cpp.o" "gcc" "src/CMakeFiles/hpmvm_support.dir/support/Format.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/CMakeFiles/hpmvm_support.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/hpmvm_support.dir/support/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/hpmvm_support.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/hpmvm_support.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/TableWriter.cpp" "src/CMakeFiles/hpmvm_support.dir/support/TableWriter.cpp.o" "gcc" "src/CMakeFiles/hpmvm_support.dir/support/TableWriter.cpp.o.d"
+  "/root/repo/src/support/VirtualClock.cpp" "src/CMakeFiles/hpmvm_support.dir/support/VirtualClock.cpp.o" "gcc" "src/CMakeFiles/hpmvm_support.dir/support/VirtualClock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_support.dir/support/Format.cpp.o"
+  "CMakeFiles/hpmvm_support.dir/support/Format.cpp.o.d"
+  "CMakeFiles/hpmvm_support.dir/support/Random.cpp.o"
+  "CMakeFiles/hpmvm_support.dir/support/Random.cpp.o.d"
+  "CMakeFiles/hpmvm_support.dir/support/Statistics.cpp.o"
+  "CMakeFiles/hpmvm_support.dir/support/Statistics.cpp.o.d"
+  "CMakeFiles/hpmvm_support.dir/support/TableWriter.cpp.o"
+  "CMakeFiles/hpmvm_support.dir/support/TableWriter.cpp.o.d"
+  "CMakeFiles/hpmvm_support.dir/support/VirtualClock.cpp.o"
+  "CMakeFiles/hpmvm_support.dir/support/VirtualClock.cpp.o.d"
+  "libhpmvm_support.a"
+  "libhpmvm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

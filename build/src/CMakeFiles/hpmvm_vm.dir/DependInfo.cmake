@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/AdaptiveOptimizationSystem.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/AdaptiveOptimizationSystem.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/AdaptiveOptimizationSystem.cpp.o.d"
+  "/root/repo/src/vm/Bytecode.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/Bytecode.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/Bytecode.cpp.o.d"
+  "/root/repo/src/vm/BytecodeBuilder.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/BytecodeBuilder.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/BytecodeBuilder.cpp.o.d"
+  "/root/repo/src/vm/ClassRegistry.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/ClassRegistry.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/ClassRegistry.cpp.o.d"
+  "/root/repo/src/vm/Disassembler.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/Disassembler.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/Disassembler.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/Interpreter.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/MachineCode.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/MachineCode.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/MachineCode.cpp.o.d"
+  "/root/repo/src/vm/MachineExecutor.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/MachineExecutor.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/MachineExecutor.cpp.o.d"
+  "/root/repo/src/vm/MethodTable.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/MethodTable.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/MethodTable.cpp.o.d"
+  "/root/repo/src/vm/OptCompiler.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/OptCompiler.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/OptCompiler.cpp.o.d"
+  "/root/repo/src/vm/VirtualMachine.cpp" "src/CMakeFiles/hpmvm_vm.dir/vm/VirtualMachine.cpp.o" "gcc" "src/CMakeFiles/hpmvm_vm.dir/vm/VirtualMachine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

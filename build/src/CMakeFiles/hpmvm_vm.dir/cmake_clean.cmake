@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_vm.dir/vm/AdaptiveOptimizationSystem.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/AdaptiveOptimizationSystem.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/Bytecode.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/Bytecode.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/BytecodeBuilder.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/BytecodeBuilder.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/ClassRegistry.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/ClassRegistry.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/Disassembler.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/Disassembler.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/Interpreter.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/Interpreter.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/MachineCode.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/MachineCode.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/MachineExecutor.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/MachineExecutor.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/MethodTable.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/MethodTable.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/OptCompiler.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/OptCompiler.cpp.o.d"
+  "CMakeFiles/hpmvm_vm.dir/vm/VirtualMachine.cpp.o"
+  "CMakeFiles/hpmvm_vm.dir/vm/VirtualMachine.cpp.o.d"
+  "libhpmvm_vm.a"
+  "libhpmvm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

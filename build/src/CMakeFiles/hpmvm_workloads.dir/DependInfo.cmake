@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/DaCapo.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/DaCapo.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/DaCapo.cpp.o.d"
+  "/root/repo/src/workloads/KernelsChurn.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsChurn.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsChurn.cpp.o.d"
+  "/root/repo/src/workloads/KernelsProbe.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsProbe.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsProbe.cpp.o.d"
+  "/root/repo/src/workloads/KernelsStreamTree.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsStreamTree.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsStreamTree.cpp.o.d"
+  "/root/repo/src/workloads/KernelsTable.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsTable.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/KernelsTable.cpp.o.d"
+  "/root/repo/src/workloads/PseudoJbb.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/PseudoJbb.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/PseudoJbb.cpp.o.d"
+  "/root/repo/src/workloads/SpecJvm98.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/SpecJvm98.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/SpecJvm98.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/CMakeFiles/hpmvm_workloads.dir/workloads/Workload.cpp.o" "gcc" "src/CMakeFiles/hpmvm_workloads.dir/workloads/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

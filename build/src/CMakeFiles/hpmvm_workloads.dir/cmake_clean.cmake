@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpmvm_workloads.dir/workloads/DaCapo.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/DaCapo.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsChurn.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsChurn.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsProbe.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsProbe.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsStreamTree.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsStreamTree.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsTable.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/KernelsTable.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/PseudoJbb.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/PseudoJbb.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/SpecJvm98.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/SpecJvm98.cpp.o.d"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/Workload.cpp.o"
+  "CMakeFiles/hpmvm_workloads.dir/workloads/Workload.cpp.o.d"
+  "libhpmvm_workloads.a"
+  "libhpmvm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpmvm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

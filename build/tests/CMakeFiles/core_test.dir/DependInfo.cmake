@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/CoallocationAdvisorTest.cpp" "tests/CMakeFiles/core_test.dir/core/CoallocationAdvisorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/CoallocationAdvisorTest.cpp.o.d"
+  "/root/repo/tests/core/FieldMissTableTest.cpp" "tests/CMakeFiles/core_test.dir/core/FieldMissTableTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/FieldMissTableTest.cpp.o.d"
+  "/root/repo/tests/core/FrequencyAdvisorTest.cpp" "tests/CMakeFiles/core_test.dir/core/FrequencyAdvisorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/FrequencyAdvisorTest.cpp.o.d"
+  "/root/repo/tests/core/HpmMonitorTest.cpp" "tests/CMakeFiles/core_test.dir/core/HpmMonitorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/HpmMonitorTest.cpp.o.d"
+  "/root/repo/tests/core/InterestAnalysisTest.cpp" "tests/CMakeFiles/core_test.dir/core/InterestAnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/InterestAnalysisTest.cpp.o.d"
+  "/root/repo/tests/core/OptimizationControllerTest.cpp" "tests/CMakeFiles/core_test.dir/core/OptimizationControllerTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/OptimizationControllerTest.cpp.o.d"
+  "/root/repo/tests/core/PhaseDetectorTest.cpp" "tests/CMakeFiles/core_test.dir/core/PhaseDetectorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/PhaseDetectorTest.cpp.o.d"
+  "/root/repo/tests/core/PrefetchInjectorTest.cpp" "tests/CMakeFiles/core_test.dir/core/PrefetchInjectorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/PrefetchInjectorTest.cpp.o.d"
+  "/root/repo/tests/core/SampleResolverTest.cpp" "tests/CMakeFiles/core_test.dir/core/SampleResolverTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/SampleResolverTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

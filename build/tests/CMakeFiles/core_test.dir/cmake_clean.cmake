@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/CoallocationAdvisorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/CoallocationAdvisorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/FieldMissTableTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/FieldMissTableTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/FrequencyAdvisorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/FrequencyAdvisorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/HpmMonitorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/HpmMonitorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/InterestAnalysisTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/InterestAnalysisTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/OptimizationControllerTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/OptimizationControllerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/PhaseDetectorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/PhaseDetectorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/PrefetchInjectorTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/PrefetchInjectorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/SampleResolverTest.cpp.o"
+  "CMakeFiles/core_test.dir/core/SampleResolverTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gc/CoallocationTest.cpp" "tests/CMakeFiles/gc_test.dir/gc/CoallocationTest.cpp.o" "gcc" "tests/CMakeFiles/gc_test.dir/gc/CoallocationTest.cpp.o.d"
+  "/root/repo/tests/gc/GcPropertyTest.cpp" "tests/CMakeFiles/gc_test.dir/gc/GcPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/gc_test.dir/gc/GcPropertyTest.cpp.o.d"
+  "/root/repo/tests/gc/GenCopyTest.cpp" "tests/CMakeFiles/gc_test.dir/gc/GenCopyTest.cpp.o" "gcc" "tests/CMakeFiles/gc_test.dir/gc/GenCopyTest.cpp.o.d"
+  "/root/repo/tests/gc/GenMSTest.cpp" "tests/CMakeFiles/gc_test.dir/gc/GenMSTest.cpp.o" "gcc" "tests/CMakeFiles/gc_test.dir/gc/GenMSTest.cpp.o.d"
+  "/root/repo/tests/gc/HeapVerifierTest.cpp" "tests/CMakeFiles/gc_test.dir/gc/HeapVerifierTest.cpp.o" "gcc" "tests/CMakeFiles/gc_test.dir/gc/HeapVerifierTest.cpp.o.d"
+  "/root/repo/tests/gc/RememberedSetTest.cpp" "tests/CMakeFiles/gc_test.dir/gc/RememberedSetTest.cpp.o" "gcc" "tests/CMakeFiles/gc_test.dir/gc/RememberedSetTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_test.dir/gc/CoallocationTest.cpp.o"
+  "CMakeFiles/gc_test.dir/gc/CoallocationTest.cpp.o.d"
+  "CMakeFiles/gc_test.dir/gc/GcPropertyTest.cpp.o"
+  "CMakeFiles/gc_test.dir/gc/GcPropertyTest.cpp.o.d"
+  "CMakeFiles/gc_test.dir/gc/GenCopyTest.cpp.o"
+  "CMakeFiles/gc_test.dir/gc/GenCopyTest.cpp.o.d"
+  "CMakeFiles/gc_test.dir/gc/GenMSTest.cpp.o"
+  "CMakeFiles/gc_test.dir/gc/GenMSTest.cpp.o.d"
+  "CMakeFiles/gc_test.dir/gc/HeapVerifierTest.cpp.o"
+  "CMakeFiles/gc_test.dir/gc/HeapVerifierTest.cpp.o.d"
+  "CMakeFiles/gc_test.dir/gc/RememberedSetTest.cpp.o"
+  "CMakeFiles/gc_test.dir/gc/RememberedSetTest.cpp.o.d"
+  "gc_test"
+  "gc_test.pdb"
+  "gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

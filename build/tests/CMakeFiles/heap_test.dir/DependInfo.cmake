@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/heap/AllocatorTest.cpp" "tests/CMakeFiles/heap_test.dir/heap/AllocatorTest.cpp.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap/AllocatorTest.cpp.o.d"
+  "/root/repo/tests/heap/BlockPoolTest.cpp" "tests/CMakeFiles/heap_test.dir/heap/BlockPoolTest.cpp.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap/BlockPoolTest.cpp.o.d"
+  "/root/repo/tests/heap/FreeListAllocatorTest.cpp" "tests/CMakeFiles/heap_test.dir/heap/FreeListAllocatorTest.cpp.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap/FreeListAllocatorTest.cpp.o.d"
+  "/root/repo/tests/heap/LargeObjectSpaceTest.cpp" "tests/CMakeFiles/heap_test.dir/heap/LargeObjectSpaceTest.cpp.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap/LargeObjectSpaceTest.cpp.o.d"
+  "/root/repo/tests/heap/ObjectModelTest.cpp" "tests/CMakeFiles/heap_test.dir/heap/ObjectModelTest.cpp.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap/ObjectModelTest.cpp.o.d"
+  "/root/repo/tests/heap/SizeClassesTest.cpp" "tests/CMakeFiles/heap_test.dir/heap/SizeClassesTest.cpp.o" "gcc" "tests/CMakeFiles/heap_test.dir/heap/SizeClassesTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

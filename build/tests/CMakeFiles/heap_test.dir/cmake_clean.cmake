@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_test.dir/heap/AllocatorTest.cpp.o"
+  "CMakeFiles/heap_test.dir/heap/AllocatorTest.cpp.o.d"
+  "CMakeFiles/heap_test.dir/heap/BlockPoolTest.cpp.o"
+  "CMakeFiles/heap_test.dir/heap/BlockPoolTest.cpp.o.d"
+  "CMakeFiles/heap_test.dir/heap/FreeListAllocatorTest.cpp.o"
+  "CMakeFiles/heap_test.dir/heap/FreeListAllocatorTest.cpp.o.d"
+  "CMakeFiles/heap_test.dir/heap/LargeObjectSpaceTest.cpp.o"
+  "CMakeFiles/heap_test.dir/heap/LargeObjectSpaceTest.cpp.o.d"
+  "CMakeFiles/heap_test.dir/heap/ObjectModelTest.cpp.o"
+  "CMakeFiles/heap_test.dir/heap/ObjectModelTest.cpp.o.d"
+  "CMakeFiles/heap_test.dir/heap/SizeClassesTest.cpp.o"
+  "CMakeFiles/heap_test.dir/heap/SizeClassesTest.cpp.o.d"
+  "heap_test"
+  "heap_test.pdb"
+  "heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpm/EventMultiplexerTest.cpp" "tests/CMakeFiles/hpm_test.dir/hpm/EventMultiplexerTest.cpp.o" "gcc" "tests/CMakeFiles/hpm_test.dir/hpm/EventMultiplexerTest.cpp.o.d"
+  "/root/repo/tests/hpm/NativeSampleLibraryTest.cpp" "tests/CMakeFiles/hpm_test.dir/hpm/NativeSampleLibraryTest.cpp.o" "gcc" "tests/CMakeFiles/hpm_test.dir/hpm/NativeSampleLibraryTest.cpp.o.d"
+  "/root/repo/tests/hpm/PebsUnitTest.cpp" "tests/CMakeFiles/hpm_test.dir/hpm/PebsUnitTest.cpp.o" "gcc" "tests/CMakeFiles/hpm_test.dir/hpm/PebsUnitTest.cpp.o.d"
+  "/root/repo/tests/hpm/PerfmonModuleTest.cpp" "tests/CMakeFiles/hpm_test.dir/hpm/PerfmonModuleTest.cpp.o" "gcc" "tests/CMakeFiles/hpm_test.dir/hpm/PerfmonModuleTest.cpp.o.d"
+  "/root/repo/tests/hpm/SampleCollectorTest.cpp" "tests/CMakeFiles/hpm_test.dir/hpm/SampleCollectorTest.cpp.o" "gcc" "tests/CMakeFiles/hpm_test.dir/hpm/SampleCollectorTest.cpp.o.d"
+  "/root/repo/tests/hpm/SamplingIntervalControllerTest.cpp" "tests/CMakeFiles/hpm_test.dir/hpm/SamplingIntervalControllerTest.cpp.o" "gcc" "tests/CMakeFiles/hpm_test.dir/hpm/SamplingIntervalControllerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

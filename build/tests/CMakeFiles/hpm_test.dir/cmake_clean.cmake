@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpm_test.dir/hpm/EventMultiplexerTest.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm/EventMultiplexerTest.cpp.o.d"
+  "CMakeFiles/hpm_test.dir/hpm/NativeSampleLibraryTest.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm/NativeSampleLibraryTest.cpp.o.d"
+  "CMakeFiles/hpm_test.dir/hpm/PebsUnitTest.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm/PebsUnitTest.cpp.o.d"
+  "CMakeFiles/hpm_test.dir/hpm/PerfmonModuleTest.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm/PerfmonModuleTest.cpp.o.d"
+  "CMakeFiles/hpm_test.dir/hpm/SampleCollectorTest.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm/SampleCollectorTest.cpp.o.d"
+  "CMakeFiles/hpm_test.dir/hpm/SamplingIntervalControllerTest.cpp.o"
+  "CMakeFiles/hpm_test.dir/hpm/SamplingIntervalControllerTest.cpp.o.d"
+  "hpm_test"
+  "hpm_test.pdb"
+  "hpm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/EndToEndTest.cpp" "tests/CMakeFiles/integration_test.dir/integration/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/integration/OverheadTest.cpp" "tests/CMakeFiles/integration_test.dir/integration/OverheadTest.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/OverheadTest.cpp.o.d"
+  "/root/repo/tests/integration/WorkloadCharacteristicsTest.cpp" "tests/CMakeFiles/integration_test.dir/integration/WorkloadCharacteristicsTest.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/WorkloadCharacteristicsTest.cpp.o.d"
+  "/root/repo/tests/integration/WorkloadSmokeTest.cpp" "tests/CMakeFiles/integration_test.dir/integration/WorkloadSmokeTest.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/WorkloadSmokeTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/EndToEndTest.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/EndToEndTest.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/OverheadTest.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/OverheadTest.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/WorkloadCharacteristicsTest.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/WorkloadCharacteristicsTest.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/WorkloadSmokeTest.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/WorkloadSmokeTest.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

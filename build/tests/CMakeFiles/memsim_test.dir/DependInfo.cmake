@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memsim/CacheTest.cpp" "tests/CMakeFiles/memsim_test.dir/memsim/CacheTest.cpp.o" "gcc" "tests/CMakeFiles/memsim_test.dir/memsim/CacheTest.cpp.o.d"
+  "/root/repo/tests/memsim/MemoryHierarchyTest.cpp" "tests/CMakeFiles/memsim_test.dir/memsim/MemoryHierarchyTest.cpp.o" "gcc" "tests/CMakeFiles/memsim_test.dir/memsim/MemoryHierarchyTest.cpp.o.d"
+  "/root/repo/tests/memsim/TlbTest.cpp" "tests/CMakeFiles/memsim_test.dir/memsim/TlbTest.cpp.o" "gcc" "tests/CMakeFiles/memsim_test.dir/memsim/TlbTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

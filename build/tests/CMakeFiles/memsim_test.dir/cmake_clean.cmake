@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsim_test.dir/memsim/CacheTest.cpp.o"
+  "CMakeFiles/memsim_test.dir/memsim/CacheTest.cpp.o.d"
+  "CMakeFiles/memsim_test.dir/memsim/MemoryHierarchyTest.cpp.o"
+  "CMakeFiles/memsim_test.dir/memsim/MemoryHierarchyTest.cpp.o.d"
+  "CMakeFiles/memsim_test.dir/memsim/TlbTest.cpp.o"
+  "CMakeFiles/memsim_test.dir/memsim/TlbTest.cpp.o.d"
+  "memsim_test"
+  "memsim_test.pdb"
+  "memsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

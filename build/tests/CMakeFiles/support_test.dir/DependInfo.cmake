@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/FormatTest.cpp" "tests/CMakeFiles/support_test.dir/support/FormatTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/FormatTest.cpp.o.d"
+  "/root/repo/tests/support/RandomTest.cpp" "tests/CMakeFiles/support_test.dir/support/RandomTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/RandomTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/support_test.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/TableWriterTest.cpp" "tests/CMakeFiles/support_test.dir/support/TableWriterTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/TableWriterTest.cpp.o.d"
+  "/root/repo/tests/support/VirtualClockTest.cpp" "tests/CMakeFiles/support_test.dir/support/VirtualClockTest.cpp.o" "gcc" "tests/CMakeFiles/support_test.dir/support/VirtualClockTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/support/FormatTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/FormatTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/RandomTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/RandomTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/StatisticsTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/StatisticsTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/TableWriterTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/TableWriterTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/support/VirtualClockTest.cpp.o"
+  "CMakeFiles/support_test.dir/support/VirtualClockTest.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/AosTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/AosTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/AosTest.cpp.o.d"
+  "/root/repo/tests/vm/BytecodeBuilderTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/BytecodeBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/BytecodeBuilderTest.cpp.o.d"
+  "/root/repo/tests/vm/ClassRegistryTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/ClassRegistryTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/ClassRegistryTest.cpp.o.d"
+  "/root/repo/tests/vm/DisassemblerTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/DisassemblerTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/DisassemblerTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterCompilerEquivalenceTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/InterpreterCompilerEquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/InterpreterCompilerEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/vm/MachineExecutorTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/MachineExecutorTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/MachineExecutorTest.cpp.o.d"
+  "/root/repo/tests/vm/MethodTableTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/MethodTableTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/MethodTableTest.cpp.o.d"
+  "/root/repo/tests/vm/OptCompilerTest.cpp" "tests/CMakeFiles/vm_test.dir/vm/OptCompilerTest.cpp.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/OptCompilerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hpmvm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_hpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hpmvm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_test.dir/vm/AosTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/AosTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/BytecodeBuilderTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/BytecodeBuilderTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/ClassRegistryTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/ClassRegistryTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/DisassemblerTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/DisassemblerTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/InterpreterCompilerEquivalenceTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/InterpreterCompilerEquivalenceTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/InterpreterTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/InterpreterTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/MachineExecutorTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/MachineExecutorTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/MethodTableTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/MethodTableTest.cpp.o.d"
+  "CMakeFiles/vm_test.dir/vm/OptCompilerTest.cpp.o"
+  "CMakeFiles/vm_test.dir/vm/OptCompilerTest.cpp.o.d"
+  "vm_test"
+  "vm_test.pdb"
+  "vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
