@@ -14,12 +14,18 @@
 ///   HPMVM_WORKLOADS  comma-separated subset, e.g. "db,compress"
 ///   HPMVM_SEED       base RNG seed (default 42)
 ///
+/// Command-line flags (every bench binary, via initObs):
+///   --metrics-out <path>  write the final metrics snapshot JSON
+///   --trace-out <path>    write a chrome://tracing JSON of the run
+///   --log-level <level>   trace|debug|info|warn|error|off (default info)
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_BENCH_BENCHCOMMON_H
 #define HPMVM_BENCH_BENCHCOMMON_H
 
 #include "harness/ExperimentRunner.h"
+#include "obs/Obs.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
 
@@ -29,6 +35,15 @@
 #include <vector>
 
 namespace hpmvm::bench {
+
+/// Standard telemetry flag handling for bench/example mains: strips
+/// --metrics-out/--trace-out/--log-level from argv into the process-wide
+/// ObsConfig (inherited by every Experiment) and exits on a malformed
+/// flag. Call first thing in main().
+inline void initObs(int &Argc, char **Argv) {
+  if (!parseObsFlags(Argc, Argv))
+    exit(2);
+}
 
 inline uint32_t envScale(uint32_t Default) {
   if (const char *S = getenv("HPMVM_SCALE"))

@@ -41,7 +41,8 @@ RunConfig base(const char *Workload, uint32_t Scale) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(60);
   banner("Ablations: co-allocation design choices",
          "DESIGN.md section 5 (not a paper figure)", Scale,

@@ -48,7 +48,8 @@ RunResult runConfigured(const std::string &Name, uint32_t Scale,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(50);
   banner("Figure 2: execution-time overhead of runtime event sampling",
          "Figure 2 (overhead vs baseline at intervals 25K/50K/100K/auto)",

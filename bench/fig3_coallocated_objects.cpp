@@ -15,7 +15,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(50);
   banner("Figure 3: co-allocated objects per sampling interval",
          "Figure 3 (pairs co-allocated at 25K/50K/100K)", Scale,

@@ -14,7 +14,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(50);
   banner("Figure 4: L1 miss reduction from HPM-guided co-allocation",
          "Figure 4 (L1 misses, coalloc vs baseline, heap = 4x min)", Scale,

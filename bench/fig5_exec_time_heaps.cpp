@@ -16,7 +16,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(40);
   const double Heaps[] = {1.0, 1.5, 2.0, 3.0, 4.0};
   banner("Figure 5: execution time vs baseline across heap sizes",

@@ -15,7 +15,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(100);
   const double Heaps[] = {1.0, 1.5, 2.0, 3.0, 4.0};
   banner("Figure 6: GenCopy vs GenMS+co-allocation on db",

@@ -44,7 +44,8 @@ std::vector<PeriodPoint> runTimeline(uint32_t Scale, bool Coalloc) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(100);
   banner("Figure 7: sampled misses for db Record::value over time",
          "Figure 7(a) cumulative count, 7(b) per-period rate + 3-period "

@@ -31,7 +31,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(100);
   banner("Figure 8: detecting and reverting a bad placement policy",
          "Figure 8 (forced 128-byte gap, assessed by event rates)", Scale,

@@ -12,7 +12,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(40);
   banner("Table 1: benchmark programs",
          "Table 1 (SPECjvm98 s=100 x3, DaCapo 10-2006 MR-2, pseudojbb)",

@@ -16,7 +16,8 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::initObs(Argc, Argv);
   uint32_t Scale = envScale(40);
   banner("Table 2: space overhead of machine-code maps",
          "Table 2 (machine code KB / GC maps KB / MC maps KB per program)",

@@ -14,6 +14,7 @@
 
 #include "gc/HeapVerifier.h"
 #include "harness/ExperimentRunner.h"
+#include "obs/Obs.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -44,6 +45,8 @@ RunResult runMode(uint32_t Scale, int Mode, HeapCensus *CensusOut) {
 } // namespace
 
 int main(int argc, char **argv) {
+  if (!parseObsFlags(argc, argv))
+    return 2;
   uint32_t Scale = argc > 1 ? atoi(argv[1]) : 100;
   printf("db locality experiment at scale %u%% (heap = 4x min)\n\n", Scale);
 

@@ -10,11 +10,17 @@
 //
 // Build & run:   ./examples/feedback_loop [scale%]
 //
+// Telemetry: pass --metrics-out loop.json --trace-out loop.trace.json to
+// dump the run's counters and a chrome://tracing timeline showing GC
+// pauses, collector polls, the phase structure, and the controller's
+// policy-change / revert instants.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/HpmMonitor.h"
 #include "core/OptimizationController.h"
 #include "gc/GenMSPlan.h"
+#include "obs/Obs.h"
 #include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/PatternKernels.h"
@@ -25,7 +31,13 @@
 using namespace hpmvm;
 
 int main(int argc, char **argv) {
+  if (!parseObsFlags(argc, argv))
+    return 2;
   uint32_t Scale = argc > 1 ? atoi(argv[1]) : 100;
+
+  // One telemetry context for the whole run; components attached below
+  // feed it, everything else counts into the sinks.
+  ObsContext Obs(processObsConfig());
 
   // --- VM + GenMS + a steady-state record-table program ---------------------
   VmConfig VC;
@@ -55,6 +67,10 @@ int main(int argc, char **argv) {
   HpmMonitor Monitor(Vm, MC);
   Monitor.attach();
 
+  Vm.attachObs(Obs);
+  Gc.attachObs(Obs);
+  Monitor.attachObs(Obs);
+
   FieldId FValue = Vm.classes().fieldId(0, "value");
   Monitor.missTable().trackField(FValue);
 
@@ -66,6 +82,7 @@ int main(int argc, char **argv) {
   CC.RegressionFactor = 1.25;
   CC.IgnoreZeroRatePeriods = true;
   OptimizationController Controller(CC);
+  Controller.attachObs(Obs, &Vm.clock());
 
   CoallocationAdvisor &Advisor = Monitor.advisor();
   int Period = 0;
@@ -118,5 +135,7 @@ int main(int argc, char **argv) {
   printf("Padding the GC inserted while the bad policy was live: %llu "
          "bytes\n",
          static_cast<unsigned long long>(Gc.stats().CoallocGapBytes));
+  if (!Obs.exportAll())
+    return 1;
   return 0;
 }

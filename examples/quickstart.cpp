@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "harness/ExperimentRunner.h"
+#include "obs/Obs.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -18,6 +19,8 @@
 using namespace hpmvm;
 
 int main(int argc, char **argv) {
+  if (!parseObsFlags(argc, argv))
+    return 2;
   RunConfig Config;
   Config.Workload = argc > 1 ? argv[1] : "db";
   Config.Params.ScalePercent = argc > 2 ? atoi(argv[2]) : 50;

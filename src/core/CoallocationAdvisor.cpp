@@ -2,6 +2,7 @@
 
 #include "core/CoallocationAdvisor.h"
 
+#include "obs/Obs.h"
 #include "vm/ClassRegistry.h"
 
 #include <algorithm>
@@ -12,6 +13,13 @@ CoallocationAdvisor::CoallocationAdvisor(const ClassRegistry &Classes,
                                          const FieldMissTable &Table,
                                          const AdvisorConfig &Config)
     : Classes(Classes), Table(Table), Config(Config) {}
+
+void CoallocationAdvisor::attachObs(ObsContext &Obs) {
+  MHints = &Obs.metrics().counter("advisor.hints");
+  MNoHints = &Obs.metrics().counter("advisor.no_hints");
+  MCoallocations = &Obs.metrics().counter("advisor.coallocations");
+  MCacheInvalidations = &Obs.metrics().counter("advisor.cache_invalidations");
+}
 
 std::vector<std::pair<FieldId, uint64_t>>
 CoallocationAdvisor::sortedFields(ClassId Cls) const {
@@ -32,10 +40,13 @@ CoallocationHint CoallocationAdvisor::coallocationHint(ClassId Cls) {
   if (Table.version() != CacheVersion) {
     Cache.clear();
     CacheVersion = Table.version();
+    MCacheInvalidations->inc();
   }
   auto It = Cache.find(Cls);
-  if (It != Cache.end())
+  if (It != Cache.end()) {
+    (It->second.valid() ? MHints : MNoHints)->inc();
     return It->second;
+  }
 
   CoallocationHint Hint;
   uint64_t Best = 0;
@@ -51,6 +62,7 @@ CoallocationHint CoallocationAdvisor::coallocationHint(ClassId Cls) {
     }
   }
   Cache.emplace(Cls, Hint);
+  (Hint.valid() ? MHints : MNoHints)->inc();
   return Hint;
 }
 
@@ -58,6 +70,7 @@ void CoallocationAdvisor::noteCoallocation(ClassId Cls, FieldId Field) {
   (void)Cls;
   ++TotalCoallocations;
   ++PerField[Field];
+  MCoallocations->inc();
 }
 
 uint64_t CoallocationAdvisor::coallocationCount(FieldId F) const {

@@ -28,6 +28,7 @@
 namespace hpmvm {
 
 class ClassRegistry;
+class ObsContext;
 
 /// Advisor policy knobs.
 struct AdvisorConfig {
@@ -51,6 +52,10 @@ public:
   uint32_t gapBytes() override { return Config.ForcedGapBytes; }
   void noteCoallocation(ClassId Cls, FieldId Field) override;
 
+  /// Registers advisor metrics: hints served (valid / none), pairs
+  /// co-allocated, hint-cache invalidations.
+  void attachObs(ObsContext &Obs);
+
   void setEnabled(bool E) { Config.Enabled = E; }
   void setForcedGapBytes(uint32_t B) { Config.ForcedGapBytes = B; }
   const AdvisorConfig &config() const { return Config; }
@@ -71,6 +76,10 @@ private:
   uint64_t CacheVersion = ~0ull;
   uint64_t TotalCoallocations = 0;
   std::unordered_map<FieldId, uint64_t> PerField;
+  Counter *MHints = &Counter::sink();
+  Counter *MNoHints = &Counter::sink();
+  Counter *MCoallocations = &Counter::sink();
+  Counter *MCacheInvalidations = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -2,14 +2,44 @@
 
 #include "core/FieldMissTable.h"
 
+#include "obs/Obs.h"
+
 using namespace hpmvm;
 
+void FieldMissTable::attachObs(ObsContext &Obs) {
+  MMisses = &Obs.metrics().counter("misstable.misses_recorded");
+  MPeriods = &Obs.metrics().counter("misstable.periods");
+  MEvictions = &Obs.metrics().counter("misstable.evictions");
+  MFields = &Obs.metrics().gauge("misstable.fields");
+}
+
 void FieldMissTable::addMiss(FieldId F, uint64_t N) {
+  if (Capacity && Counts.size() >= Capacity && !Counts.count(F))
+    evictColdest(F);
   Counts[F] += N;
   Total += N;
+  MMisses->inc(N);
   auto It = Timelines.find(F);
   if (It != Timelines.end())
     PeriodCounts[F] += N;
+}
+
+void FieldMissTable::evictColdest(FieldId Incoming) {
+  // Tracked fields (with timelines) are pinned; evict the coldest of the
+  // rest. Linear scan is fine: this runs only when a new field arrives at
+  // a full table, never on the per-sample count path.
+  auto Victim = Counts.end();
+  for (auto It = Counts.begin(); It != Counts.end(); ++It) {
+    if (It->first == Incoming || Timelines.count(It->first))
+      continue;
+    if (Victim == Counts.end() || It->second < Victim->second)
+      Victim = It;
+  }
+  if (Victim == Counts.end())
+    return; // Everything is tracked; let the table grow past the cap.
+  Counts.erase(Victim);
+  ++Evictions;
+  MEvictions->inc();
 }
 
 uint64_t FieldMissTable::misses(FieldId F) const {
@@ -30,6 +60,8 @@ void FieldMissTable::endPeriod(Cycles Now) {
     Line.push_back(PeriodPoint{Now, Delta, Cum});
   }
   ++Version;
+  MPeriods->inc();
+  MFields->set(Counts.size());
 }
 
 const std::vector<PeriodPoint> &FieldMissTable::timeline(FieldId F) const {

@@ -18,12 +18,15 @@
 #ifndef HPMVM_CORE_FIELDMISSTABLE_H
 #define HPMVM_CORE_FIELDMISSTABLE_H
 
+#include "obs/Metrics.h"
 #include "support/Types.h"
 
 #include <unordered_map>
 #include <vector>
 
 namespace hpmvm {
+
+class ObsContext;
 
 /// One timeline point: the end of a measurement period.
 struct PeriodPoint {
@@ -37,6 +40,19 @@ class FieldMissTable {
 public:
   /// Records \p N sampled misses attributed to \p F.
   void addMiss(FieldId F, uint64_t N = 1);
+
+  /// Caps the number of distinct fields held (0 = unbounded, the default).
+  /// When a new field would exceed the cap, the coldest untracked entry is
+  /// evicted (its count restarts from zero if it is ever sampled again) --
+  /// the bounded-table mode for long-running many-field workloads.
+  void setCapacity(size_t MaxFields) { Capacity = MaxFields; }
+  size_t capacity() const { return Capacity; }
+  uint64_t evictions() const { return Evictions; }
+  size_t numFields() const { return Counts.size(); }
+
+  /// Registers table metrics (misses recorded, periods, entries gauge,
+  /// evictions).
+  void attachObs(ObsContext &Obs);
 
   /// Cumulative sampled misses for \p F.
   uint64_t misses(FieldId F) const;
@@ -61,11 +77,19 @@ public:
   void reset();
 
 private:
+  void evictColdest(FieldId Incoming);
+
   std::unordered_map<FieldId, uint64_t> Counts;
   std::unordered_map<FieldId, uint64_t> PeriodCounts;
   std::unordered_map<FieldId, std::vector<PeriodPoint>> Timelines;
   uint64_t Total = 0;
   uint64_t Version = 0;
+  size_t Capacity = 0;
+  uint64_t Evictions = 0;
+  Counter *MMisses = &Counter::sink();
+  Counter *MPeriods = &Counter::sink();
+  Counter *MEvictions = &Counter::sink();
+  Gauge *MFields = &Gauge::sink();
 };
 
 } // namespace hpmvm

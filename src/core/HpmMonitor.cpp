@@ -3,6 +3,7 @@
 #include "core/HpmMonitor.h"
 
 #include "core/InterestAnalysis.h"
+#include "obs/Obs.h"
 #include "vm/VirtualMachine.h"
 
 #include <cassert>
@@ -23,6 +24,23 @@ HpmMonitor::HpmMonitor(VirtualMachine &Vm, const MonitorConfig &Config)
     AutoCtl = std::make_unique<SamplingIntervalController>(Pebs, Vm.clock(),
                                                            AC);
   }
+}
+
+void HpmMonitor::attachObs(ObsContext &Obs) {
+  Perfmon.attachObs(Obs); // Covers the PEBS unit as well.
+  Native.attachObs(Obs);
+  Collector->attachObs(Obs);
+  Resolver->attachObs(Obs);
+  Table.attachObs(Obs);
+  Advisor->attachObs(Obs);
+  if (AutoCtl)
+    AutoCtl->attachObs(Obs);
+  Trace = &Obs.trace();
+  MBatches = &Obs.metrics().counter("monitor.batches");
+  MProcessed = &Obs.metrics().counter("monitor.samples_processed");
+  MAttributed = &Obs.metrics().counter("monitor.samples_attributed");
+  MVmInternal = &Obs.metrics().counter("monitor.samples_vm_internal");
+  MBaselineCode = &Obs.metrics().counter("monitor.samples_baseline_code");
 }
 
 void HpmMonitor::attach() {
@@ -108,12 +126,14 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
     const Method &M = Vm.method(R.Method);
     if (M.IsVmInternal && !Config.MonitorVmInternal) {
       ++Stats.SamplesVmInternal;
+      MVmInternal->inc();
       continue;
     }
     if (R.Flavor != CodeFlavor::Optimized) {
       // Baseline code carries no instructions-of-interest (the paper only
       // computes them for opt-compiled methods).
       ++Stats.SamplesBaselineCode;
+      MBaselineCode->inc();
       continue;
     }
     const std::vector<FieldId> &Interest = interestFor(R.OptIndex);
@@ -122,7 +142,14 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
       continue;
     Table.addMiss(F);
     ++Stats.SamplesAttributed;
+    MAttributed->inc();
   }
+
+  MBatches->inc();
+  MProcessed->inc(N);
+  if (Trace)
+    Trace->instant(Vm.clock().now(), "monitor.batch", "monitor", "samples",
+                   N);
 
   // One batch = one measurement period (the paper's stepwise-constant
   // timeline granularity).

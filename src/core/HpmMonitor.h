@@ -30,6 +30,7 @@
 #include "hpm/PerfmonModule.h"
 #include "hpm/SampleCollector.h"
 #include "hpm/SamplingIntervalController.h"
+#include "obs/Metrics.h"
 #include "support/Types.h"
 
 #include <memory>
@@ -37,6 +38,7 @@
 
 namespace hpmvm {
 
+class ObsContext;
 class VirtualMachine;
 
 /// Monitoring configuration.
@@ -111,6 +113,11 @@ public:
   /// native library + collector polling + VM-side sample processing.
   Cycles overheadCycles() const;
 
+  /// Wires the whole pipeline (PEBS unit, kernel module, native library,
+  /// collector thread, resolver, miss table, advisor, auto-interval
+  /// controller) plus the monitor's own batch counters into \p Obs.
+  void attachObs(ObsContext &Obs);
+
   // Component access.
   PebsUnit &pebs() { return Pebs; }
   PerfmonModule &perfmon() { return Perfmon; }
@@ -142,6 +149,12 @@ private:
   MonitorStats Stats;
   bool Attached = false;
   bool Finished = false;
+  TraceBuffer *Trace = nullptr;
+  Counter *MBatches = &Counter::sink();
+  Counter *MProcessed = &Counter::sink();
+  Counter *MAttributed = &Counter::sink();
+  Counter *MVmInternal = &Counter::sink();
+  Counter *MBaselineCode = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -2,10 +2,22 @@
 
 #include "core/OptimizationController.h"
 
+#include "obs/Obs.h"
+#include "support/VirtualClock.h"
+
 #include <cassert>
 #include <numeric>
 
 using namespace hpmvm;
+
+void OptimizationController::attachObs(ObsContext &Obs,
+                                       const VirtualClock *C) {
+  MPolicyChanges = &Obs.metrics().counter("controller.policy_changes");
+  MReverts = &Obs.metrics().counter("controller.reverts");
+  MAccepts = &Obs.metrics().counter("controller.accepts");
+  Trace = &Obs.trace();
+  Clock = C;
+}
 
 OptimizationController::OptimizationController(const ControllerConfig &Config)
     : Config(Config) {
@@ -43,10 +55,20 @@ void OptimizationController::observePeriod(double Rate) {
     BaselineAtDecision = Baseline;
     if (Baseline > 0.0 && Assessed > Baseline * Config.RegressionFactor) {
       Current = State::Reverted;
+      MReverts->inc();
+      if (Trace && Clock)
+        Trace->instant(Clock->now(), "controller.revert", "controller",
+                       "assessed_rate_x1000",
+                       static_cast<uint64_t>(Assessed * 1000.0));
       if (Revert)
         Revert();
     } else {
       Current = State::Accepted;
+      MAccepts->inc();
+      if (Trace && Clock)
+        Trace->instant(Clock->now(), "controller.accept", "controller",
+                       "assessed_rate_x1000",
+                       static_cast<uint64_t>(Assessed * 1000.0));
     }
     Window.clear();
     return;
@@ -57,5 +79,8 @@ void OptimizationController::observePeriod(double Rate) {
 void OptimizationController::notePolicyChange() {
   Current = State::Warmup;
   Skipped = 0;
+  MPolicyChanges->inc();
+  if (Trace && Clock)
+    Trace->instant(Clock->now(), "controller.policy_change", "controller");
   // Baseline stays: it describes the pre-change behaviour.
 }

@@ -27,6 +27,7 @@
 #ifndef HPMVM_CORE_OPTIMIZATIONCONTROLLER_H
 #define HPMVM_CORE_OPTIMIZATIONCONTROLLER_H
 
+#include "obs/Metrics.h"
 #include "support/Types.h"
 
 #include <cstddef>
@@ -34,6 +35,10 @@
 #include <vector>
 
 namespace hpmvm {
+
+class ObsContext;
+class TraceBuffer;
+class VirtualClock;
 
 /// Controller policy.
 struct ControllerConfig {
@@ -70,6 +75,10 @@ public:
   /// Declares that a policy change was just applied; assessment starts.
   void notePolicyChange();
 
+  /// Registers controller.policy_changes / reverts / accepts counters and,
+  /// when \p Clock is given, emits trace instants at each verdict.
+  void attachObs(ObsContext &Obs, const VirtualClock *Clock = nullptr);
+
   /// Action invoked when a regression is detected.
   void setRevertAction(std::function<void()> Fn) {
     Revert = std::move(Fn);
@@ -93,6 +102,11 @@ private:
   size_t Observed = 0;
   size_t Skipped = 0;
   std::function<void()> Revert;
+  Counter *MPolicyChanges = &Counter::sink();
+  Counter *MReverts = &Counter::sink();
+  Counter *MAccepts = &Counter::sink();
+  TraceBuffer *Trace = nullptr;
+  const VirtualClock *Clock = nullptr;
 };
 
 } // namespace hpmvm

@@ -2,9 +2,18 @@
 
 #include "core/PhaseDetector.h"
 
+#include "obs/Obs.h"
+#include "support/VirtualClock.h"
+
 #include <cassert>
 
 using namespace hpmvm;
+
+void PhaseDetector::attachObs(ObsContext &Obs, const VirtualClock *C) {
+  MChanges = &Obs.metrics().counter("phase.changes");
+  Trace = &Obs.trace();
+  Clock = C;
+}
 
 PhaseDetector::PhaseDetector(const PhaseDetectorConfig &Config)
     : Config(Config), Short(Config.Window) {
@@ -23,6 +32,9 @@ bool PhaseDetector::observe(double Rate) {
     Level = Rate;
     LevelActive = Rate >= Config.ActivityFloor;
     SincePhaseStart = 1;
+    MChanges->inc();
+    if (Trace && Clock)
+      Trace->instant(Clock->now(), "phase.change", "phase", "phase", Phase);
     return true;
   }
 
@@ -47,6 +59,9 @@ bool PhaseDetector::observe(double Rate) {
     Level = Avg;
     LevelActive = Avg >= Config.ActivityFloor;
     SincePhaseStart = 0;
+    MChanges->inc();
+    if (Trace && Clock)
+      Trace->instant(Clock->now(), "phase.change", "phase", "phase", Phase);
     return true;
   }
 

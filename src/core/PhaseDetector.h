@@ -24,12 +24,17 @@
 #ifndef HPMVM_CORE_PHASEDETECTOR_H
 #define HPMVM_CORE_PHASEDETECTOR_H
 
+#include "obs/Metrics.h"
 #include "support/Statistics.h"
 #include "support/Types.h"
 
 #include <cstddef>
 
 namespace hpmvm {
+
+class ObsContext;
+class TraceBuffer;
+class VirtualClock;
 
 /// Change-point policy.
 struct PhaseDetectorConfig {
@@ -55,6 +60,10 @@ public:
   /// starts a new phase.
   bool observe(double Rate);
 
+  /// Registers the phase.changes counter and, when \p Clock is given,
+  /// emits a "phase.change" trace instant per detected change.
+  void attachObs(ObsContext &Obs, const VirtualClock *Clock = nullptr);
+
   /// Number of the current phase (the first phase is 1; 0 before any
   /// observation).
   size_t currentPhase() const { return Phase; }
@@ -72,6 +81,9 @@ private:
   size_t Phase = 0;
   size_t Observed = 0;
   size_t SincePhaseStart = 0;
+  Counter *MChanges = &Counter::sink();
+  TraceBuffer *Trace = nullptr;
+  const VirtualClock *Clock = nullptr;
 };
 
 } // namespace hpmvm

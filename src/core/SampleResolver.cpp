@@ -3,9 +3,17 @@
 #include "core/SampleResolver.h"
 
 #include "heap/AddressSpace.h"
+#include "obs/Obs.h"
 #include "vm/VirtualMachine.h"
 
 using namespace hpmvm;
+
+void SampleResolver::attachObs(ObsContext &Obs) {
+  MResolved = &Obs.metrics().counter("resolver.resolved");
+  MResolvedOpt = &Obs.metrics().counter("resolver.resolved_optimized");
+  MUnresolvedPc = &Obs.metrics().counter("resolver.unresolved_pc");
+  MNoBytecodeMap = &Obs.metrics().counter("resolver.no_bytecode_map");
+}
 
 void SampleResolver::refreshOptIndex() {
   size_t N = Vm.numCompiledFunctions();
@@ -22,12 +30,14 @@ ResolvedSample SampleResolver::resolve(Address Pc) {
   // native libraries) are dropped immediately."
   if (!isInCompiledCode(Pc)) {
     ++Stats.DroppedOutsideVm;
+    MUnresolvedPc->inc();
     return R;
   }
 
   const MethodRange *Range = Vm.methodTable().lookup(Pc);
   if (!Range) {
     ++Stats.DroppedUnknownCode;
+    MNoBytecodeMap->inc();
     return R;
   }
 
@@ -39,6 +49,7 @@ ResolvedSample SampleResolver::resolve(Address Pc) {
     R.Bci = (Pc - Range->Start) / kBaselineBytesPerBytecode;
     R.Valid = true;
     ++Stats.Resolved;
+    MResolved->inc();
     return R;
   }
 
@@ -49,12 +60,14 @@ ResolvedSample SampleResolver::resolve(Address Pc) {
   auto It = OptByBase.upper_bound(Pc);
   if (It == OptByBase.begin()) {
     ++Stats.DroppedUnknownCode;
+    MNoBytecodeMap->inc();
     return R;
   }
   --It;
   const MachineFunction &F = Vm.compiledCode(It->second);
   if (Pc >= F.codeLimit()) {
     ++Stats.DroppedUnknownCode;
+    MNoBytecodeMap->inc();
     return R;
   }
   (void)M;
@@ -64,5 +77,7 @@ ResolvedSample SampleResolver::resolve(Address Pc) {
   R.Valid = true;
   ++Stats.Resolved;
   ++Stats.ResolvedOptimized;
+  MResolved->inc();
+  MResolvedOpt->inc();
   return R;
 }

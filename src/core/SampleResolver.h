@@ -18,6 +18,7 @@
 #ifndef HPMVM_CORE_SAMPLERESOLVER_H
 #define HPMVM_CORE_SAMPLERESOLVER_H
 
+#include "obs/Metrics.h"
 #include "support/Types.h"
 #include "vm/MethodTable.h"
 
@@ -25,6 +26,7 @@
 
 namespace hpmvm {
 
+class ObsContext;
 class VirtualMachine;
 
 /// A sample resolved to source constructs.
@@ -55,6 +57,10 @@ public:
 
   ResolvedSample resolve(Address Pc);
 
+  /// Registers resolution metrics: resolver.resolved, unresolved-PC drops,
+  /// no-bytecode-map drops.
+  void attachObs(ObsContext &Obs);
+
   const ResolverStats &stats() const { return Stats; }
 
 private:
@@ -66,6 +72,10 @@ private:
   ResolverStats Stats;
   std::map<Address, uint32_t> OptByBase;
   size_t IndexedFns = 0;
+  Counter *MResolved = &Counter::sink();
+  Counter *MResolvedOpt = &Counter::sink();
+  Counter *MUnresolvedPc = &Counter::sink();
+  Counter *MNoBytecodeMap = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -2,7 +2,40 @@
 
 #include "gc/CollectorPlan.h"
 
+#include "obs/Obs.h"
+
 using namespace hpmvm;
+
+void CollectorPlanBase::attachObs(ObsContext &Obs) {
+  ObsTrace = &Obs.trace();
+  MCollections = &Obs.metrics().counter("gc.collections");
+  MMinor = &Obs.metrics().counter("gc.minor_collections");
+  MFull = &Obs.metrics().counter("gc.full_collections");
+  MPauseCycles = &Obs.metrics().counter("gc.pause_cycles");
+  MPause = &Obs.metrics().histogram("gc.pause_cycles_hist");
+  MObjectsPromoted = &Obs.metrics().gauge("gc.objects_promoted");
+  MBytesPromoted = &Obs.metrics().gauge("gc.bytes_promoted");
+  MPairs = &Obs.metrics().gauge("gc.pairs_coallocated");
+  MGapBytes = &Obs.metrics().gauge("gc.coalloc_gap_bytes");
+}
+
+void CollectorPlanBase::gcPauseBegin() { PauseStart = Clock.now(); }
+
+void CollectorPlanBase::gcPauseEnd(bool Full) {
+  Cycles Pause = Clock.now() - PauseStart;
+  MCollections->inc();
+  (Full ? MFull : MMinor)->inc();
+  MPauseCycles->inc(Pause);
+  MPause->record(Pause);
+  // Totals are O(1) gauge stores per pause, far off the mutator hot path.
+  MObjectsPromoted->set(Stats.ObjectsPromoted);
+  MBytesPromoted->set(Stats.BytesPromoted);
+  MPairs->set(Stats.ObjectsCoallocated);
+  MGapBytes->set(Stats.CoallocGapBytes);
+  if (ObsTrace)
+    ObsTrace->complete(PauseStart, Pause, Full ? "gc.full" : "gc.minor",
+                       "gc", "bytes_promoted", Stats.BytesPromoted);
+}
 
 CollectorPlanBase::CollectorPlanBase(ObjectModel &Objects, VirtualClock &Clock,
                                      const CollectorConfig &Config)

@@ -17,6 +17,7 @@
 
 #include "gc/RememberedSet.h"
 #include "heap/BlockPool.h"
+#include "obs/Metrics.h"
 #include "heap/BlockedBumpAllocator.h"
 #include "heap/GcApi.h"
 #include "heap/LargeObjectSpace.h"
@@ -29,6 +30,8 @@
 #include <functional>
 
 namespace hpmvm {
+
+class TraceBuffer;
 
 /// Cycle costs of GC work items.
 struct GcCostModel {
@@ -71,6 +74,10 @@ public:
 
   SpaceId spaceOf(Address A) const override { return Pool.ownerOf(A); }
 
+  /// Registers gc.* metrics (collections, pause-cycle histogram, promotion
+  /// gauges) and emits one trace span per collection pause.
+  void attachObs(ObsContext &Obs) override;
+
   BlockPool &pool() { return Pool; }
   const CollectorConfig &config() const { return Config; }
   uint32_t nurseryBlockBudget() const { return Nursery.blockBudget(); }
@@ -81,6 +88,12 @@ protected:
     Clock.advance(C);
     Stats.GcCycles += C;
   }
+
+  /// Observability bracket around one stop-the-world pause: plans call
+  /// gcPauseBegin() on entry to collectMinor/collectFull and
+  /// gcPauseEnd(Full) just before the post-GC notify.
+  void gcPauseBegin();
+  void gcPauseEnd(bool Full);
 
   /// Iterates mutator roots, charging per-slot cost.
   void scanRoots(const std::function<void(Address &)> &Fn);
@@ -103,6 +116,19 @@ protected:
   GcStats Stats;
   bool GcAllowed = true;
   bool InCollection = false;
+
+private:
+  TraceBuffer *ObsTrace = nullptr;
+  Cycles PauseStart = 0;
+  Counter *MCollections = &Counter::sink();
+  Counter *MMinor = &Counter::sink();
+  Counter *MFull = &Counter::sink();
+  Counter *MPauseCycles = &Counter::sink();
+  Histogram *MPause = &Histogram::sink();
+  Gauge *MObjectsPromoted = &Gauge::sink();
+  Gauge *MBytesPromoted = &Gauge::sink();
+  Gauge *MPairs = &Gauge::sink();
+  Gauge *MGapBytes = &Gauge::sink();
 };
 
 } // namespace hpmvm

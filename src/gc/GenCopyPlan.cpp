@@ -2,8 +2,9 @@
 
 #include "gc/GenCopyPlan.h"
 
+#include "obs/Log.h"
+
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
 
 using namespace hpmvm;
@@ -100,6 +101,7 @@ void GenCopyPlan::collectMinor() {
   }
 
   InCollection = true;
+  gcPauseBegin();
   ++Stats.MinorCollections;
   chargeGc(Config.Cost.CollectionSetup);
   ScanQueue.clear();
@@ -122,6 +124,7 @@ void GenCopyPlan::collectMinor() {
   RemSet.clear();
   retuneBudgets();
   InCollection = false;
+  gcPauseEnd(false);
   if (Notify)
     Notify(false);
 }
@@ -130,6 +133,7 @@ void GenCopyPlan::collectFull() {
   assert(GcAllowed && "collection triggered while GC is disabled");
   assert(!InCollection && "recursive collection");
   InCollection = true;
+  gcPauseBegin();
   ++Stats.MajorCollections;
   if (Nursery.usedBytes() != 0)
     ++Stats.NurseryCollDuringFull;
@@ -157,15 +161,16 @@ void GenCopyPlan::collectFull() {
   RemSet.clear();
   retuneBudgets();
   InCollection = false;
+  gcPauseEnd(true);
   if (Notify)
     Notify(true);
 }
 
 void GenCopyPlan::copyFailure(uint32_t Bytes) {
-  fprintf(stderr,
-          "GenCopy: heap exhausted copying %u bytes (heap too small for "
-          "the live set plus copy reserve)\n",
-          Bytes);
+  logError("gc",
+           "GenCopy: heap exhausted copying %u bytes (heap too small for "
+           "the live set plus copy reserve)",
+           Bytes);
   abort();
 }
 

@@ -2,8 +2,9 @@
 
 #include "gc/GenMSPlan.h"
 
+#include "obs/Log.h"
+
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
 
 using namespace hpmvm;
@@ -74,6 +75,7 @@ void GenMSPlan::collectMinor() {
   }
 
   InCollection = true;
+  gcPauseBegin();
   ++Stats.MinorCollections;
   chargeGc(Config.Cost.CollectionSetup);
   FullTraceActive = false;
@@ -98,6 +100,7 @@ void GenMSPlan::collectMinor() {
   RemSet.clear();
   retuneNurseryBudget(0);
   InCollection = false;
+  gcPauseEnd(false);
   if (Notify)
     Notify(false);
 }
@@ -106,6 +109,7 @@ void GenMSPlan::collectFull() {
   assert(GcAllowed && "collection triggered while GC is disabled");
   assert(!InCollection && "recursive collection");
   InCollection = true;
+  gcPauseBegin();
   ++Stats.MajorCollections;
   if (Nursery.usedBytes() != 0)
     ++Stats.NurseryCollDuringFull;
@@ -131,15 +135,16 @@ void GenMSPlan::collectFull() {
   retuneNurseryBudget(0);
   FullTraceActive = false;
   InCollection = false;
+  gcPauseEnd(true);
   if (Notify)
     Notify(true);
 }
 
 void GenMSPlan::promotionFailure(uint32_t Bytes) {
-  fprintf(stderr,
-          "GenMS: heap exhausted promoting %u bytes out of the nursery "
-          "(heap too small for the live set)\n",
-          Bytes);
+  logError("gc",
+           "GenMS: heap exhausted promoting %u bytes out of the nursery "
+           "(heap too small for the live set)",
+           Bytes);
   abort();
 }
 

@@ -2,18 +2,19 @@
 
 #include "harness/ExperimentRunner.h"
 
+#include "obs/Log.h"
 #include "vm/AdaptiveOptimizationSystem.h"
 
 #include <cassert>
-#include <cstdio>
 #include <cstdlib>
 
 using namespace hpmvm;
 
-Experiment::Experiment(const RunConfig &Config) : Config(Config) {
+Experiment::Experiment(const RunConfig &Config)
+    : Config(Config), Obs(resolveObsConfig(Config.Obs)) {
   Spec = findWorkload(Config.Workload);
   if (!Spec) {
-    fprintf(stderr, "unknown workload '%s'\n", Config.Workload.c_str());
+    logError("harness", "unknown workload '%s'", Config.Workload.c_str());
     abort();
   }
   assert((!Config.Coallocation || Config.Monitoring) &&
@@ -52,6 +53,14 @@ Experiment::Experiment(const RunConfig &Config) : Config(Config) {
     Monitor->attach();
     Monitor->advisor().setEnabled(Config.Coallocation);
   }
+
+  // Wire telemetry last, once every component exists. Unmonitored runs
+  // still register VM/GC metrics, so a baseline exports zeroed HPM
+  // counters rather than omitting the registry entirely.
+  Vm->attachObs(Obs);
+  Gc->attachObs(Obs);
+  if (Monitor)
+    Monitor->attachObs(Obs);
 }
 
 Experiment::~Experiment() = default;
@@ -59,9 +68,14 @@ Experiment::~Experiment() = default;
 void Experiment::run() {
   assert(!Ran && "experiment ran twice");
   Ran = true;
+  Cycles Start = Vm->clock().now();
   Vm->run(Prog.Main);
   if (Monitor)
     Monitor->finish();
+  Obs.trace().complete(Start, Vm->clock().now() - Start, "experiment.run",
+                       "harness");
+  if (Obs.config().exportsAnything())
+    Obs.exportAll();
 }
 
 RunResult Experiment::result() {
@@ -77,6 +91,7 @@ RunResult Experiment::result() {
     R.MonitorOverheadCycles = Monitor->overheadCycles();
     R.SamplesTaken = Monitor->pebs().samplesTaken();
   }
+  R.Metrics = Obs.metrics().snapshot();
   return R;
 }
 

@@ -25,6 +25,7 @@
 #include "core/HpmMonitor.h"
 #include "gc/GenCopyPlan.h"
 #include "gc/GenMSPlan.h"
+#include "obs/Obs.h"
 #include "vm/VirtualMachine.h"
 #include "workloads/Workload.h"
 
@@ -61,6 +62,10 @@ struct RunConfig {
   /// Count executed getfield operations (for the frequency-driven
   /// comparison advisor).
   bool ProfileFieldAccess = false;
+  /// Telemetry: export paths, log level, trace capacity. Fields left at
+  /// their defaults inherit the process-wide config set by the
+  /// --metrics-out/--trace-out/--log-level flags (see obs/Obs.h).
+  ObsConfig Obs;
 };
 
 /// Headline numbers of one run.
@@ -74,6 +79,8 @@ struct RunResult {
   uint64_t SamplesTaken = 0;
   uint64_t CoallocatedPairs = 0;
   uint32_t HeapBytes = 0;
+  /// Final metrics snapshot (taken when result() is called).
+  MetricsSnapshot Metrics;
 
   double seconds() const { return VirtualClock::toSeconds(TotalCycles); }
 };
@@ -91,6 +98,8 @@ public:
 
   VirtualMachine &vm() { return *Vm; }
   GarbageCollector &collector() { return *Gc; }
+  /// The run's telemetry (metrics registry + trace buffer).
+  ObsContext &obs() { return Obs; }
   /// Null when Monitoring is off.
   HpmMonitor *monitor() { return Monitor.get(); }
   const WorkloadProgram &program() const { return Prog; }
@@ -99,6 +108,7 @@ public:
 
 private:
   RunConfig Config;
+  ObsContext Obs;
   const WorkloadSpec *Spec;
   uint32_t HeapBytes;
   std::unique_ptr<VirtualMachine> Vm;

@@ -27,6 +27,8 @@
 
 namespace hpmvm {
 
+class ObsContext;
+
 /// Enumerates the mutator's root slots. Collectors may rewrite each slot.
 class RootProvider {
 public:
@@ -124,6 +126,10 @@ public:
   /// Post-GC callback hook (the monitor uses it to timestamp collections
   /// in the miss-rate timelines). Argument: true for full collections.
   virtual void setGcNotify(std::function<void(bool)> Fn) = 0;
+
+  /// Wires pause metrics and trace events into \p Obs (no-op for
+  /// collectors that are not instrumented).
+  virtual void attachObs(ObsContext &Obs) { (void)Obs; }
 };
 
 } // namespace hpmvm

@@ -2,6 +2,8 @@
 
 #include "hpm/NativeSampleLibrary.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -11,6 +13,12 @@ NativeSampleLibrary::NativeSampleLibrary(PerfmonModule &Module,
                                          size_t ArrayInts)
     : Module(Module), Array(ArrayInts) {
   assert(ArrayInts >= kSampleInts && "array cannot hold even one sample");
+}
+
+void NativeSampleLibrary::attachObs(ObsContext &Obs) {
+  MReadCalls = &Obs.metrics().counter("hpm.native.read_calls");
+  MCopied = &Obs.metrics().counter("hpm.native.samples_copied");
+  MCopyCycles = &Obs.metrics().counter("hpm.native.copy_cycles");
 }
 
 size_t NativeSampleLibrary::readIntoArray() {
@@ -33,6 +41,9 @@ size_t NativeSampleLibrary::readIntoArray() {
   ValidSamples = N;
   Cycles Cost = Costs.PerCall + Costs.PerSample * N;
   TotalCost += Cost;
+  MReadCalls->inc();
+  MCopied->inc(N);
+  MCopyCycles->inc(Cost);
   if (Clock)
     Clock->advance(Cost);
   return N;

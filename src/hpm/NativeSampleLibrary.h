@@ -29,6 +29,8 @@
 
 namespace hpmvm {
 
+class ObsContext;
+
 /// Cost model of one native read call (JNI transition + copy loop).
 struct NativeLibraryCosts {
   Cycles PerCall = 4000;  ///< JNI transition + syscall into the module.
@@ -68,6 +70,10 @@ public:
   void setClock(VirtualClock *C) { Clock = C; }
   void setCosts(const NativeLibraryCosts &C) { Costs = C; }
 
+  /// Registers marshalling metrics (read calls, samples copied, copy
+  /// cycles); does NOT forward to the module, which is wired separately.
+  void attachObs(ObsContext &Obs);
+
   Cycles totalCostCycles() const { return TotalCost; }
   size_t capacitySamples() const { return Array.size() / kSampleInts; }
 
@@ -80,6 +86,9 @@ private:
   VirtualClock *Clock = nullptr;
   NativeLibraryCosts Costs;
   Cycles TotalCost = 0;
+  Counter *MReadCalls = &Counter::sink();
+  Counter *MCopied = &Counter::sink();
+  Counter *MCopyCycles = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -2,11 +2,19 @@
 
 #include "hpm/PebsUnit.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace hpmvm;
 
 PebsUnit::PebsUnit(uint64_t Seed) : Rng(Seed) {}
+
+void PebsUnit::attachObs(ObsContext &Obs) {
+  MSamples = &Obs.metrics().counter("hpm.samples_collected");
+  MDropped = &Obs.metrics().counter("hpm.samples_dropped");
+  MInterrupts = &Obs.metrics().counter("hpm.buffer_overflow_interrupts");
+}
 
 void PebsUnit::configure(const PebsConfig &NewConfig) {
   assert(!Running && "reconfiguring a running PEBS unit");
@@ -53,6 +61,7 @@ void PebsUnit::onMemoryEvent(HpmEventKind Kind, Address Pc, Address DataAddr) {
   // buffer. We model the register file by stashing the data address in EAX.
   if (Buffer.size() >= Config.BufferCapacity) {
     ++SamplesDropped;
+    MDropped->inc();
     return;
   }
   PebsSample S;
@@ -60,13 +69,17 @@ void PebsUnit::onMemoryEvent(HpmEventKind Kind, Address Pc, Address DataAddr) {
   S.Regs[0] = DataAddr;
   Buffer.push_back(S);
   ++SamplesTaken;
+  MSamples->inc();
   MicrocodeCycles += Config.MicrocodeCyclesPerSample;
   if (Clock)
     Clock->advance(Config.MicrocodeCyclesPerSample);
 
-  if (static_cast<double>(Buffer.size()) >=
-      Config.InterruptFillMark * static_cast<double>(Config.BufferCapacity))
+  if (!InterruptPending &&
+      static_cast<double>(Buffer.size()) >=
+          Config.InterruptFillMark * static_cast<double>(Config.BufferCapacity)) {
     InterruptPending = true;
+    MInterrupts->inc();
+  }
 }
 
 void PebsUnit::drainInto(std::vector<PebsSample> &Out) {

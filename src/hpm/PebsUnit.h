@@ -25,6 +25,7 @@
 
 #include "hpm/Sample.h"
 #include "memsim/MemoryEvent.h"
+#include "obs/Metrics.h"
 #include "support/Random.h"
 #include "support/Types.h"
 #include "support/VirtualClock.h"
@@ -32,6 +33,8 @@
 #include <vector>
 
 namespace hpmvm {
+
+class ObsContext;
 
 /// PEBS configuration (what the kernel module programs into the MSRs).
 struct PebsConfig {
@@ -71,6 +74,11 @@ public:
   /// If set, microcode sample-store cycles advance this clock directly.
   void setClock(VirtualClock *C) { Clock = C; }
 
+  /// Registers this unit's metrics (hpm.samples_collected / dropped /
+  /// buffer-overflow interrupts) with \p Obs. Unattached units count into
+  /// the metric sinks.
+  void attachObs(ObsContext &Obs);
+
   // MemoryEventListener: called by the memory hierarchy for every event.
   void onMemoryEvent(HpmEventKind Kind, Address Pc, Address DataAddr) override;
 
@@ -108,6 +116,9 @@ private:
   uint64_t SamplesTaken = 0;
   uint64_t SamplesDropped = 0;
   Cycles MicrocodeCycles = 0;
+  Counter *MSamples = &Counter::sink();
+  Counter *MDropped = &Counter::sink();
+  Counter *MInterrupts = &Counter::sink();
 };
 
 } // namespace hpmvm

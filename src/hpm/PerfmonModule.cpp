@@ -2,6 +2,8 @@
 
 #include "hpm/PerfmonModule.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace hpmvm;
@@ -18,7 +20,14 @@ void PerfmonModule::startSampling(HpmEventKind Kind, uint64_t Interval,
 
 void PerfmonModule::stopSampling() { Unit.stop(); }
 
+void PerfmonModule::attachObs(ObsContext &Obs) {
+  Unit.attachObs(Obs);
+  MInterruptsServiced = &Obs.metrics().counter("hpm.kernel.interrupts_serviced");
+  MDelivered = &Obs.metrics().counter("hpm.kernel.samples_delivered");
+}
+
 void PerfmonModule::serviceInterrupt() {
+  MInterruptsServiced->inc();
   DrainScratch.clear();
   Unit.drainInto(DrainScratch);
   KernelBuffer.insert(KernelBuffer.end(), DrainScratch.begin(),
@@ -38,5 +47,6 @@ size_t PerfmonModule::readSamples(PebsSample *Dest, size_t Max) {
     KernelBuffer.pop_front();
   }
   TotalDelivered += N;
+  MDelivered->inc(N);
   return N;
 }

@@ -23,6 +23,8 @@
 
 namespace hpmvm {
 
+class ObsContext;
+
 /// Kernel-side sampling service over the PEBS hardware.
 class PerfmonModule {
 public:
@@ -48,6 +50,10 @@ public:
     return KernelBuffer.size() + Unit.bufferedSamples();
   }
 
+  /// Registers kernel-side metrics (interrupts serviced, samples
+  /// delivered to user space) and forwards to the PEBS unit.
+  void attachObs(ObsContext &Obs);
+
   PebsUnit &unit() { return Unit; }
   const PebsUnit &unit() const { return Unit; }
   uint64_t totalDelivered() const { return TotalDelivered; }
@@ -60,6 +66,8 @@ private:
   std::deque<PebsSample> KernelBuffer;
   std::vector<PebsSample> DrainScratch;
   uint64_t TotalDelivered = 0;
+  Counter *MInterruptsServiced = &Counter::sink();
+  Counter *MDelivered = &Counter::sink();
 };
 
 } // namespace hpmvm

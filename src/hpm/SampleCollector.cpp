@@ -2,6 +2,8 @@
 
 #include "hpm/SampleCollector.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace hpmvm;
@@ -16,6 +18,15 @@ SampleCollector::SampleCollector(NativeSampleLibrary &Library,
   NextPollAt = Clock.now() + VirtualClock::fromMillis(IntervalMs);
 }
 
+void SampleCollector::attachObs(ObsContext &Obs) {
+  Trace = &Obs.trace();
+  MPolls = &Obs.metrics().counter("collector.polls");
+  MEmptyPolls = &Obs.metrics().counter("collector.empty_polls");
+  MDelivered = &Obs.metrics().counter("collector.samples_delivered");
+  MIntervalChanges = &Obs.metrics().counter("collector.interval_changes");
+  MBatch = &Obs.metrics().histogram("collector.batch_samples");
+}
+
 size_t SampleCollector::maybePoll() {
   if (Clock.now() < NextPollAt)
     return 0;
@@ -24,6 +35,7 @@ size_t SampleCollector::maybePoll() {
 
 size_t SampleCollector::pollNow() {
   ++Polls;
+  MPolls->inc();
   Cycles Before = Clock.now();
   Clock.advance(Config.PollCost);
   size_t N = Library.readIntoArray();
@@ -37,13 +49,21 @@ size_t SampleCollector::pollNow() {
     Deliver(Batch.data(), Batch.size());
   }
   Delivered += N;
+  MDelivered->inc(N);
+  if (!N)
+    MEmptyPolls->inc();
+  MBatch->record(N);
   Overhead += Clock.now() - Before;
+  if (Trace)
+    Trace->complete(Before, Clock.now() - Before, "collector.poll",
+                    "collector", "samples", N);
   adaptInterval(N);
   NextPollAt = Clock.now() + VirtualClock::fromMillis(IntervalMs);
   return N;
 }
 
 void SampleCollector::adaptInterval(size_t BatchSize) {
+  double Old = IntervalMs;
   double Fill = static_cast<double>(BatchSize) /
                 static_cast<double>(Library.capacitySamples());
   if (Fill > Config.HighFill)
@@ -54,4 +74,10 @@ void SampleCollector::adaptInterval(size_t BatchSize) {
     IntervalMs = Config.MinPollMs;
   if (IntervalMs > Config.MaxPollMs)
     IntervalMs = Config.MaxPollMs;
+  if (IntervalMs != Old) {
+    MIntervalChanges->inc();
+    if (Trace)
+      Trace->instant(Clock.now(), "collector.interval_retarget", "collector",
+                     "interval_us", static_cast<uint64_t>(IntervalMs * 1e3));
+  }
 }

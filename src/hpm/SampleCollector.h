@@ -33,6 +33,9 @@
 
 namespace hpmvm {
 
+class ObsContext;
+class TraceBuffer;
+
 /// Collector policy + cost parameters.
 struct SampleCollectorConfig {
   double MinPollMs = 10.0;
@@ -55,6 +58,11 @@ public:
                   const SampleCollectorConfig &Config = {});
 
   void setConsumer(Consumer C) { Deliver = std::move(C); }
+
+  /// Registers polling metrics (polls, empty polls, batch-size histogram,
+  /// interval changes) and starts emitting per-poll trace spans plus
+  /// interval-retarget instants into \p Obs's trace buffer.
+  void attachObs(ObsContext &Obs);
 
   /// Polls if the adaptive deadline has passed. Called from VM safepoints.
   /// \returns the number of samples delivered (0 if not due or none ready).
@@ -80,6 +88,12 @@ private:
   uint64_t Polls = 0;
   uint64_t Delivered = 0;
   Cycles Overhead = 0;
+  TraceBuffer *Trace = nullptr;
+  Counter *MPolls = &Counter::sink();
+  Counter *MEmptyPolls = &Counter::sink();
+  Counter *MDelivered = &Counter::sink();
+  Counter *MIntervalChanges = &Counter::sink();
+  Histogram *MBatch = &Histogram::sink();
 };
 
 } // namespace hpmvm

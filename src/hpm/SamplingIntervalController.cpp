@@ -2,6 +2,8 @@
 
 #include "hpm/SamplingIntervalController.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace hpmvm;
@@ -13,6 +15,13 @@ SamplingIntervalController::SamplingIntervalController(
   assert(Config.TargetSamplesPerSec > 0 && "target rate must be positive");
   assert(Config.MinInterval > 0 && Config.MinInterval <= Config.MaxInterval &&
          "interval bounds are inverted");
+}
+
+void SamplingIntervalController::attachObs(ObsContext &Obs) {
+  Trace = &Obs.trace();
+  MAdjustments = &Obs.metrics().counter("hpm.interval_adjustments");
+  MInterval = &Obs.metrics().gauge("hpm.sampling_interval");
+  MInterval->set(Unit.interval());
 }
 
 void SamplingIntervalController::onPoll() {
@@ -46,4 +55,9 @@ void SamplingIntervalController::onPoll() {
     NewInterval = static_cast<double>(Config.MaxInterval);
   Unit.setInterval(static_cast<uint64_t>(NewInterval));
   ++Adjustments;
+  MAdjustments->inc();
+  MInterval->set(Unit.interval());
+  if (Trace)
+    Trace->instant(Now, "pebs.interval_retarget", "hpm", "interval",
+                   Unit.interval());
 }

@@ -23,6 +23,9 @@
 
 namespace hpmvm {
 
+class ObsContext;
+class TraceBuffer;
+
 /// Auto-interval policy parameters.
 struct AutoIntervalConfig {
   /// Target sample rate in samples per virtual second. Paper default: 200.
@@ -46,6 +49,10 @@ public:
   /// last adjustment period and retunes the interval.
   void onPoll();
 
+  /// Registers the adjustment counter / current-interval gauge and emits
+  /// a trace instant per retarget.
+  void attachObs(ObsContext &Obs);
+
   uint64_t adjustments() const { return Adjustments; }
   const AutoIntervalConfig &config() const { return Config; }
 
@@ -56,6 +63,9 @@ private:
   Cycles LastAdjustAt;
   uint64_t LastSampleCount;
   uint64_t Adjustments = 0;
+  TraceBuffer *Trace = nullptr;
+  Counter *MAdjustments = &Counter::sink();
+  Gauge *MInterval = &Gauge::sink();
 };
 
 } // namespace hpmvm

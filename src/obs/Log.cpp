@@ -1,0 +1,77 @@
+//===-- obs/Log.cpp -------------------------------------------------------===//
+
+#include "obs/Log.h"
+
+using namespace hpmvm;
+
+LogLevel Log::MinLevel = LogLevel::Info;
+FILE *Log::Sink = nullptr;
+
+void Log::setLevel(LogLevel L) { MinLevel = L; }
+LogLevel Log::level() { return MinLevel; }
+void Log::setSink(FILE *F) { Sink = F; }
+
+void Log::write(LogLevel L, const char *Category, const char *Fmt, ...) {
+  if (!enabled(L))
+    return;
+  va_list Args;
+  va_start(Args, Fmt);
+  vwrite(L, Category, Fmt, Args);
+  va_end(Args);
+}
+
+void Log::vwrite(LogLevel L, const char *Category, const char *Fmt,
+                 va_list Args) {
+  if (!enabled(L))
+    return;
+  FILE *Out = Sink ? Sink : stderr;
+  fprintf(Out, "[%s %s] ", logLevelName(L), Category);
+  vfprintf(Out, Fmt, Args);
+  fputc('\n', Out);
+}
+
+const char *hpmvm::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Trace:
+    return "trace";
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "?";
+}
+
+bool hpmvm::parseLogLevel(const std::string &Name, LogLevel &Out) {
+  for (LogLevel L : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                     LogLevel::Warn, LogLevel::Error, LogLevel::Off})
+    if (Name == logLevelName(L)) {
+      Out = L;
+      return true;
+    }
+  return false;
+}
+
+#define HPMVM_LOG_FN(FnName, Level)                                           \
+  void hpmvm::FnName(const char *Category, const char *Fmt, ...) {            \
+    if (!Log::enabled(Level))                                                 \
+      return;                                                                 \
+    va_list Args;                                                             \
+    va_start(Args, Fmt);                                                      \
+    Log::vwrite(Level, Category, Fmt, Args);                                  \
+    va_end(Args);                                                             \
+  }
+
+HPMVM_LOG_FN(logError, LogLevel::Error)
+HPMVM_LOG_FN(logWarn, LogLevel::Warn)
+HPMVM_LOG_FN(logInfo, LogLevel::Info)
+HPMVM_LOG_FN(logDebug, LogLevel::Debug)
+HPMVM_LOG_FN(logTrace, LogLevel::Trace)
+
+#undef HPMVM_LOG_FN

@@ -1,0 +1,181 @@
+//===-- obs/Metrics.cpp ---------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+
+using namespace hpmvm;
+
+Counter &Counter::sink() {
+  static Counter S;
+  return S;
+}
+
+Gauge &Gauge::sink() {
+  static Gauge S;
+  return S;
+}
+
+Histogram &Histogram::sink() {
+  static Histogram S;
+  return S;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  auto It = CounterIdx.find(Name);
+  if (It != CounterIdx.end())
+    return *It->second;
+  Counters.emplace_back(Name, Counter());
+  CounterIdx.emplace(Name, &Counters.back().second);
+  return Counters.back().second;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  auto It = GaugeIdx.find(Name);
+  if (It != GaugeIdx.end())
+    return *It->second;
+  Gauges.emplace_back(Name, Gauge());
+  GaugeIdx.emplace(Name, &Gauges.back().second);
+  return Gauges.back().second;
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  auto It = HistogramIdx.find(Name);
+  if (It != HistogramIdx.end())
+    return *It->second;
+  Histograms.emplace_back(Name, Histogram());
+  HistogramIdx.emplace(Name, &Histograms.back().second);
+  return Histograms.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot S;
+  for (const auto &[Name, C] : Counters)
+    S.Counters.emplace_back(Name, C.value());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.emplace_back(Name, G.value());
+  for (const auto &[Name, H] : Histograms) {
+    MetricsSnapshot::HistogramData D;
+    D.Name = Name;
+    D.Count = H.count();
+    D.Sum = H.sum();
+    D.Min = H.min();
+    D.Max = H.max();
+    for (size_t I = 0; I != Histogram::kBuckets; ++I)
+      if (H.bucket(I))
+        D.Buckets.emplace_back(static_cast<uint32_t>(I), H.bucket(I));
+    S.Histograms.push_back(std::move(D));
+  }
+  auto ByName = [](const auto &A, const auto &B) { return A.first < B.first; };
+  std::sort(S.Counters.begin(), S.Counters.end(), ByName);
+  std::sort(S.Gauges.begin(), S.Gauges.end(), ByName);
+  std::sort(S.Histograms.begin(), S.Histograms.end(),
+            [](const auto &A, const auto &B) { return A.Name < B.Name; });
+  return S;
+}
+
+void MetricsRegistry::writeJson(FILE *Out) const { snapshot().writeJson(Out); }
+
+uint64_t MetricsSnapshot::counter(const std::string &Name) const {
+  for (const auto &[N, V] : Counters)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+uint64_t MetricsSnapshot::gauge(const std::string &Name) const {
+  for (const auto &[N, V] : Gauges)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+const MetricsSnapshot::HistogramData *
+MetricsSnapshot::histogram(const std::string &Name) const {
+  for (const auto &H : Histograms)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
+}
+
+namespace {
+
+// Metric names are dot/underscore identifiers, but escape defensively so
+// the output is valid JSON for any registered name.
+void writeJsonString(FILE *Out, const std::string &S) {
+  fputc('"', Out);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      fputs("\\\"", Out);
+      break;
+    case '\\':
+      fputs("\\\\", Out);
+      break;
+    case '\n':
+      fputs("\\n", Out);
+      break;
+    case '\t':
+      fputs("\\t", Out);
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        fprintf(Out, "\\u%04x", C);
+      else
+        fputc(C, Out);
+    }
+  }
+  fputc('"', Out);
+}
+
+} // namespace
+
+void MetricsSnapshot::writeJson(FILE *Out) const {
+  fputs("{\n  \"counters\": {", Out);
+  for (size_t I = 0; I != Counters.size(); ++I) {
+    fputs(I ? ",\n    " : "\n    ", Out);
+    writeJsonString(Out, Counters[I].first);
+    fprintf(Out, ": %llu",
+            static_cast<unsigned long long>(Counters[I].second));
+  }
+  fputs(Counters.empty() ? "},\n" : "\n  },\n", Out);
+
+  fputs("  \"gauges\": {", Out);
+  for (size_t I = 0; I != Gauges.size(); ++I) {
+    fputs(I ? ",\n    " : "\n    ", Out);
+    writeJsonString(Out, Gauges[I].first);
+    fprintf(Out, ": %llu", static_cast<unsigned long long>(Gauges[I].second));
+  }
+  fputs(Gauges.empty() ? "},\n" : "\n  },\n", Out);
+
+  fputs("  \"histograms\": {", Out);
+  for (size_t I = 0; I != Histograms.size(); ++I) {
+    const HistogramData &H = Histograms[I];
+    fputs(I ? ",\n    " : "\n    ", Out);
+    writeJsonString(Out, H.Name);
+    fprintf(Out,
+            ": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+            "\"max\": %llu, \"log2_buckets\": [",
+            static_cast<unsigned long long>(H.Count),
+            static_cast<unsigned long long>(H.Sum),
+            static_cast<unsigned long long>(H.Min),
+            static_cast<unsigned long long>(H.Max));
+    for (size_t B = 0; B != H.Buckets.size(); ++B)
+      fprintf(Out, "%s[%u, %llu]", B ? ", " : "", H.Buckets[B].first,
+              static_cast<unsigned long long>(H.Buckets[B].second));
+    fputs("]}", Out);
+  }
+  fputs(Histograms.empty() ? "}\n" : "\n  }\n", Out);
+  fputs("}\n", Out);
+}
+
+std::string MetricsSnapshot::toJson() const {
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Mem = open_memstream(&Buf, &Len);
+  writeJson(Mem);
+  fclose(Mem);
+  std::string S(Buf, Len);
+  free(Buf);
+  return S;
+}

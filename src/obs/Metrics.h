@@ -1,0 +1,158 @@
+//===-- obs/Metrics.h - Pipeline metrics registry ---------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cheap named metrics for the HPM->GC feedback pipeline: counters, gauges
+/// and fixed-log2-bucket histograms registered by name in a MetricsRegistry.
+///
+/// Design constraints (the pipeline is what Figure 2 measures, so the
+/// instrumentation must not perturb it):
+///   - the hot path is a plain `uint64_t` increment through a pre-resolved
+///     pointer -- no lookup, no lock, no branch, and no virtual-clock cost;
+///   - name resolution happens once, at wiring time (attachObs), never on
+///     the increment path;
+///   - unwired components point their metric handles at process-wide sink
+///     instances, so instrumented code needs no null checks;
+///   - snapshots/export run at run end or on poll boundaries only, and are
+///     deterministic (names sorted) so telemetry diffs cleanly across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_OBS_METRICS_H
+#define HPMVM_OBS_METRICS_H
+
+#include "support/Types.h"
+
+#include <bit>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hpmvm {
+
+/// Monotonic event count.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V += N; }
+  uint64_t value() const { return V; }
+  void reset() { V = 0; }
+
+  /// Process-wide discard instance: components not wired to a registry
+  /// increment this so the hot path carries no null check.
+  static Counter &sink();
+
+private:
+  uint64_t V = 0;
+};
+
+/// Last-written value (fill levels, table sizes, current intervals).
+class Gauge {
+public:
+  void set(uint64_t N) { V = N; }
+  uint64_t value() const { return V; }
+  void reset() { V = 0; }
+
+  static Gauge &sink();
+
+private:
+  uint64_t V = 0;
+};
+
+/// Histogram over uint64 values with fixed log2 buckets: bucket i counts
+/// values v with bit_width(v) == i, i.e. bucket 0 holds zeros and bucket i
+/// (i >= 1) holds [2^(i-1), 2^i).
+class Histogram {
+public:
+  static constexpr size_t kBuckets = 65;
+
+  void record(uint64_t V) {
+    ++Buckets[std::bit_width(V)];
+    ++N;
+    Sum += V;
+    if (N == 1 || V < MinV)
+      MinV = V;
+    if (V > MaxV)
+      MaxV = V;
+  }
+
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Sum; }
+  uint64_t min() const { return N ? MinV : 0; }
+  uint64_t max() const { return MaxV; }
+  uint64_t bucket(size_t I) const { return Buckets[I]; }
+  void reset() { *this = Histogram(); }
+
+  static Histogram &sink();
+
+private:
+  uint64_t Buckets[kBuckets] = {};
+  uint64_t N = 0;
+  uint64_t Sum = 0;
+  uint64_t MinV = 0;
+  uint64_t MaxV = 0;
+};
+
+/// Immutable, name-sorted copy of a registry's state (what RunResult
+/// carries and what the JSON exporter writes).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string Name;
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0;
+    uint64_t Max = 0;
+    /// (log2 bucket index, count) pairs for non-empty buckets only.
+    std::vector<std::pair<uint32_t, uint64_t>> Buckets;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, uint64_t>> Gauges;
+  std::vector<HistogramData> Histograms;
+
+  /// Value of counter \p Name, or 0 when absent (a metric that was never
+  /// registered was never incremented).
+  uint64_t counter(const std::string &Name) const;
+  /// Value of gauge \p Name, or 0 when absent.
+  uint64_t gauge(const std::string &Name) const;
+  const HistogramData *histogram(const std::string &Name) const;
+
+  /// Serializes as one deterministic JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...}}
+  void writeJson(FILE *Out) const;
+  std::string toJson() const;
+};
+
+/// Owner of all named metrics of one run. Registration is idempotent: the
+/// same name always yields the same instance, so independent components may
+/// share a metric (e.g. two GC plans both bumping "gc.collections").
+class MetricsRegistry {
+public:
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  MetricsSnapshot snapshot() const;
+  void writeJson(FILE *Out) const;
+
+  size_t numCounters() const { return Counters.size(); }
+  size_t numGauges() const { return Gauges.size(); }
+  size_t numHistograms() const { return Histograms.size(); }
+
+private:
+  // Deques give pointer stability; the maps only serve (cold) registration.
+  std::deque<std::pair<std::string, Counter>> Counters;
+  std::deque<std::pair<std::string, Gauge>> Gauges;
+  std::deque<std::pair<std::string, Histogram>> Histograms;
+  std::unordered_map<std::string, Counter *> CounterIdx;
+  std::unordered_map<std::string, Gauge *> GaugeIdx;
+  std::unordered_map<std::string, Histogram *> HistogramIdx;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_OBS_METRICS_H

@@ -1,0 +1,105 @@
+//===-- obs/Obs.cpp -------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include <cstring>
+
+using namespace hpmvm;
+
+ObsContext::ObsContext(const ObsConfig &Config)
+    : Config(Config), Trace(Config.TraceCapacity) {}
+
+bool ObsContext::exportAll() const {
+  bool Ok = true;
+  if (!Config.MetricsOutPath.empty()) {
+    FILE *Out = fopen(Config.MetricsOutPath.c_str(), "w");
+    if (!Out) {
+      logError("obs", "cannot open metrics output '%s'",
+               Config.MetricsOutPath.c_str());
+      Ok = false;
+    } else {
+      Metrics.writeJson(Out);
+      fclose(Out);
+      logDebug("obs", "wrote metrics snapshot to %s",
+               Config.MetricsOutPath.c_str());
+    }
+  }
+  if (!Config.TraceOutPath.empty()) {
+    Ok &= ChromeTraceWriter::writeFile(Trace, Config.TraceOutPath);
+    if (Ok)
+      logDebug("obs", "wrote %zu trace events to %s", Trace.size(),
+               Config.TraceOutPath.c_str());
+  }
+  return Ok;
+}
+
+static ObsConfig ProcessConfig;
+
+void hpmvm::setProcessObsConfig(const ObsConfig &Config) {
+  ProcessConfig = Config;
+}
+
+const ObsConfig &hpmvm::processObsConfig() { return ProcessConfig; }
+
+ObsConfig hpmvm::resolveObsConfig(const ObsConfig &C) {
+  ObsConfig R = C;
+  if (R.MetricsOutPath.empty())
+    R.MetricsOutPath = ProcessConfig.MetricsOutPath;
+  if (R.TraceOutPath.empty())
+    R.TraceOutPath = ProcessConfig.TraceOutPath;
+  if (R.Level == ObsConfig().Level)
+    R.Level = ProcessConfig.Level;
+  if (R.TraceCapacity == TraceBuffer::kDefaultCapacity)
+    R.TraceCapacity = ProcessConfig.TraceCapacity;
+  return R;
+}
+
+bool hpmvm::parseObsFlags(int &Argc, char **Argv) {
+  ObsConfig C = ProcessConfig;
+  int Out = 1;
+  bool Ok = true;
+
+  auto Take = [&](int &I, const char *Flag, std::string &Value) {
+    size_t FlagLen = strlen(Flag);
+    if (strncmp(Argv[I], Flag, FlagLen) != 0)
+      return false;
+    if (Argv[I][FlagLen] == '=') {
+      Value = Argv[I] + FlagLen + 1;
+      return true;
+    }
+    if (Argv[I][FlagLen] != '\0')
+      return false;
+    if (I + 1 >= Argc) {
+      logError("obs", "%s requires a value", Flag);
+      Ok = false;
+      return true;
+    }
+    Value = Argv[++I];
+    return true;
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Value;
+    if (Take(I, "--metrics-out", Value)) {
+      C.MetricsOutPath = Value;
+    } else if (Take(I, "--trace-out", Value)) {
+      C.TraceOutPath = Value;
+    } else if (Take(I, "--log-level", Value)) {
+      if (!Value.empty() && !parseLogLevel(Value, C.Level)) {
+        logError("obs",
+                 "unknown log level '%s' (want trace|debug|info|warn|"
+                 "error|off)",
+                 Value.c_str());
+        Ok = false;
+      }
+    } else {
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  Argv[Argc] = nullptr;
+
+  ProcessConfig = C;
+  Log::setLevel(C.Level);
+  return Ok;
+}

@@ -1,0 +1,86 @@
+//===-- obs/Obs.h - Observability context + export wiring -------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-run observability bundle threaded through the pipeline: one
+/// MetricsRegistry plus one TraceBuffer. Every instrumented component
+/// exposes `attachObs(ObsContext &)`, which resolves its named metrics once
+/// and remembers the trace buffer; unattached components fall back to the
+/// metric sinks and skip tracing entirely.
+///
+/// ObsConfig is the user-facing knob set (metrics-out path, trace-out path,
+/// log level, trace capacity) carried by harness RunConfig and settable
+/// process-wide from the --metrics-out/--trace-out/--log-level flags that
+/// benches and examples parse, so any figure binary can dump its telemetry
+/// alongside its table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_OBS_OBS_H
+#define HPMVM_OBS_OBS_H
+
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+#include "obs/TraceBuffer.h"
+
+#include <string>
+
+namespace hpmvm {
+
+/// User-facing observability configuration.
+struct ObsConfig {
+  /// Where to write the final metrics snapshot JSON ("" = don't export).
+  std::string MetricsOutPath;
+  /// Where to write the Chrome-trace JSON ("" = don't export).
+  std::string TraceOutPath;
+  LogLevel Level = LogLevel::Info;
+  size_t TraceCapacity = TraceBuffer::kDefaultCapacity;
+
+  bool exportsAnything() const {
+    return !MetricsOutPath.empty() || !TraceOutPath.empty();
+  }
+};
+
+/// The telemetry state of one run.
+class ObsContext {
+public:
+  explicit ObsContext(const ObsConfig &Config = {});
+
+  MetricsRegistry &metrics() { return Metrics; }
+  const MetricsRegistry &metrics() const { return Metrics; }
+  TraceBuffer &trace() { return Trace; }
+  const TraceBuffer &trace() const { return Trace; }
+  const ObsConfig &config() const { return Config; }
+
+  /// Writes metrics/trace JSON to the configured paths (no-op for paths
+  /// left empty). \returns false if any configured export failed.
+  bool exportAll() const;
+
+private:
+  ObsConfig Config;
+  MetricsRegistry Metrics;
+  TraceBuffer Trace;
+};
+
+/// Process-wide default ObsConfig, inherited by every Experiment whose
+/// RunConfig leaves its own ObsConfig untouched. Set by the CLI flags.
+void setProcessObsConfig(const ObsConfig &Config);
+const ObsConfig &processObsConfig();
+
+/// Merges \p C with the process-wide default: unset fields (empty paths,
+/// default level/capacity) inherit the process value.
+ObsConfig resolveObsConfig(const ObsConfig &C);
+
+/// Strips `--metrics-out <path>`, `--trace-out <path>` and `--log-level
+/// <trace|debug|info|warn|error|off>` (plus the --flag=value spellings)
+/// from argv, storing them as the process ObsConfig and applying the log
+/// level immediately. Unrecognized arguments are left in place; argc is
+/// updated. \returns false (after logging) on a malformed obs flag.
+bool parseObsFlags(int &Argc, char **Argv);
+
+} // namespace hpmvm
+
+#endif // HPMVM_OBS_OBS_H

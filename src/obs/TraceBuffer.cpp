@@ -1,0 +1,109 @@
+//===-- obs/TraceBuffer.cpp -----------------------------------------------===//
+
+#include "obs/TraceBuffer.h"
+
+#include "obs/Log.h"
+#include "support/VirtualClock.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace hpmvm;
+
+TraceBuffer::TraceBuffer(size_t Capacity) : Cap(Capacity ? Capacity : 1) {
+  Events.reserve(Cap < 4096 ? Cap : 4096);
+}
+
+void TraceBuffer::push(const TraceEvent &E) {
+  ++Recorded;
+  if (Events.size() < Cap) {
+    Events.push_back(E);
+    return;
+  }
+  Events[Head] = E;
+  Head = (Head + 1) % Cap;
+}
+
+const TraceEvent &TraceBuffer::event(size_t I) const {
+  assert(I < Events.size() && "trace event index out of range");
+  if (Events.size() < Cap) // Not yet wrapped: storage is chronological.
+    return Events[I];
+  return Events[(Head + I) % Cap];
+}
+
+void TraceBuffer::clear() {
+  Events.clear();
+  Head = 0;
+  Recorded = 0;
+}
+
+namespace {
+
+/// Cycles -> virtual microseconds for the "ts"/"dur" fields.
+double toMicros(Cycles C) { return VirtualClock::toSeconds(C) * 1e6; }
+
+const char *phaseCode(TracePhase P) {
+  switch (P) {
+  case TracePhase::Complete:
+    return "X";
+  case TracePhase::Instant:
+    return "i";
+  case TracePhase::CounterSample:
+    return "C";
+  }
+  return "i";
+}
+
+} // namespace
+
+void ChromeTraceWriter::write(const TraceBuffer &Buffer, FILE *Out) {
+  // Record order is completion order: a span is pushed when it ends but
+  // stamped with its start time, so instants emitted inside it precede it
+  // in the ring. Sort by start timestamp (stably, preserving record order
+  // among equals) for a deterministic, viewer-friendly file.
+  std::vector<TraceEvent> Sorted;
+  Sorted.reserve(Buffer.size());
+  for (size_t I = 0; I != Buffer.size(); ++I)
+    Sorted.push_back(Buffer.event(I));
+  std::stable_sort(
+      Sorted.begin(), Sorted.end(),
+      [](const TraceEvent &A, const TraceEvent &B) { return A.Ts < B.Ts; });
+
+  fputs("{\n\"traceEvents\": [", Out);
+  for (size_t I = 0; I != Sorted.size(); ++I) {
+    const TraceEvent &E = Sorted[I];
+    fputs(I ? ",\n " : "\n ", Out);
+    // All events land on one virtual pid/tid: the simulated machine.
+    fprintf(Out, "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", "
+                 "\"ts\": %.3f, \"pid\": 1, \"tid\": 1",
+            E.Name, E.Category, phaseCode(E.Phase), toMicros(E.Ts));
+    if (E.Phase == TracePhase::Complete)
+      fprintf(Out, ", \"dur\": %.3f", toMicros(E.Dur));
+    if (E.Phase == TracePhase::Instant)
+      fputs(", \"s\": \"g\"", Out); // Global-scope instant.
+    if (E.ArgName)
+      fprintf(Out, ", \"args\": {\"%s\": %llu}", E.ArgName,
+              static_cast<unsigned long long>(E.Arg));
+    fputc('}', Out);
+  }
+  fputs(Buffer.size() ? "\n],\n" : "],\n", Out);
+  fputs("\"displayTimeUnit\": \"ms\",\n", Out);
+  fprintf(Out,
+          "\"otherData\": {\"clock_hz\": %llu, \"events_recorded\": %llu, "
+          "\"events_dropped\": %llu}\n}\n",
+          static_cast<unsigned long long>(VirtualClock::kHz),
+          static_cast<unsigned long long>(Buffer.recorded()),
+          static_cast<unsigned long long>(Buffer.dropped()));
+}
+
+bool ChromeTraceWriter::writeFile(const TraceBuffer &Buffer,
+                                  const std::string &Path) {
+  FILE *Out = fopen(Path.c_str(), "w");
+  if (!Out) {
+    logError("obs", "cannot open trace output '%s'", Path.c_str());
+    return false;
+  }
+  write(Buffer, Out);
+  fclose(Out);
+  return true;
+}

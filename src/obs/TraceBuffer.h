@@ -1,0 +1,111 @@
+//===-- obs/TraceBuffer.h - Virtual-clock trace events ----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded ring buffer of virtual-clock-timestamped trace events (GC
+/// pauses, collector-thread polls, recompilations, phase changes, interval
+/// retargets) plus a writer that emits chrome://tracing-compatible JSON.
+///
+/// Events carry static-string names/categories (no allocation on the record
+/// path) and timestamps in virtual cycles; recording an event never advances
+/// the virtual clock, so tracing is invisible to the experiments it
+/// observes. When the ring is full the oldest events are overwritten and the
+/// drop is accounted (the same discipline the PEBS debug store applies to
+/// samples).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_OBS_TRACEBUFFER_H
+#define HPMVM_OBS_TRACEBUFFER_H
+
+#include "support/Types.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// Chrome trace event phases we emit.
+enum class TracePhase : uint8_t {
+  Complete, ///< "X": a span with start timestamp and duration.
+  Instant,  ///< "i": a point event.
+  CounterSample, ///< "C": a named value sampled over time.
+};
+
+/// One recorded event. Name/Category/ArgName must be string literals (or
+/// otherwise outlive the buffer).
+struct TraceEvent {
+  Cycles Ts = 0;      ///< Virtual-clock start timestamp.
+  Cycles Dur = 0;     ///< Duration in cycles (Complete events only).
+  const char *Name = "";
+  const char *Category = "";
+  const char *ArgName = nullptr; ///< Optional single argument.
+  uint64_t Arg = 0;
+  TracePhase Phase = TracePhase::Instant;
+};
+
+/// Fixed-capacity ring of trace events.
+class TraceBuffer {
+public:
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit TraceBuffer(size_t Capacity = kDefaultCapacity);
+
+  /// Records a span [Start, Start+Dur).
+  void complete(Cycles Start, Cycles Dur, const char *Name,
+                const char *Category, const char *ArgName = nullptr,
+                uint64_t Arg = 0) {
+    push({Start, Dur, Name, Category, ArgName, Arg, TracePhase::Complete});
+  }
+
+  /// Records a point event at \p At.
+  void instant(Cycles At, const char *Name, const char *Category,
+               const char *ArgName = nullptr, uint64_t Arg = 0) {
+    push({At, 0, Name, Category, ArgName, Arg, TracePhase::Instant});
+  }
+
+  /// Records a counter-track sample (rendered as a value-over-time track).
+  void counterSample(Cycles At, const char *Name, const char *Category,
+                     const char *ArgName, uint64_t Value) {
+    push({At, 0, Name, Category, ArgName, Value, TracePhase::CounterSample});
+  }
+
+  /// Number of events currently retained (<= capacity).
+  size_t size() const { return Events.size(); }
+  size_t capacity() const { return Cap; }
+  /// Total events ever recorded, including overwritten ones.
+  uint64_t recorded() const { return Recorded; }
+  /// Events lost to ring wraparound.
+  uint64_t dropped() const { return Recorded - Events.size(); }
+
+  /// Event \p I in chronological order (0 = oldest retained).
+  const TraceEvent &event(size_t I) const;
+
+  void clear();
+
+private:
+  void push(const TraceEvent &E);
+
+  size_t Cap;
+  std::vector<TraceEvent> Events; ///< Ring storage (grows up to Cap).
+  size_t Head = 0;                ///< Next overwrite position once full.
+  uint64_t Recorded = 0;
+};
+
+/// Emits a TraceBuffer as chrome://tracing "Trace Event Format" JSON:
+/// timestamps converted from virtual cycles to virtual microseconds at the
+/// VirtualClock's nominal 3 GHz.
+class ChromeTraceWriter {
+public:
+  static void write(const TraceBuffer &Buffer, FILE *Out);
+  /// Writes to \p Path; \returns false (with a logged error) on I/O failure.
+  static bool writeFile(const TraceBuffer &Buffer, const std::string &Path);
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_OBS_TRACEBUFFER_H

@@ -2,6 +2,7 @@
 
 #include "vm/AdaptiveOptimizationSystem.h"
 
+#include "obs/Obs.h"
 #include "vm/OptCompiler.h"
 #include "vm/VirtualMachine.h"
 
@@ -14,6 +15,13 @@ AdaptiveOptimizationSystem::AdaptiveOptimizationSystem(VirtualMachine &Vm,
     : Vm(Vm), Config(Config) {
   NextTimerSampleAt =
       Vm.clock().now() + VirtualClock::fromMillis(Config.TimerSampleMs);
+}
+
+void AdaptiveOptimizationSystem::attachObs(ObsContext &Obs) {
+  Trace = &Obs.trace();
+  MRecompilations = &Obs.metrics().counter("aos.recompilations");
+  MCompileCycles = &Obs.metrics().counter("aos.compile_cycles");
+  MTimerSamples = &Obs.metrics().counter("aos.timer_samples");
 }
 
 void AdaptiveOptimizationSystem::setConfig(const AosConfig &C) {
@@ -50,6 +58,7 @@ void AdaptiveOptimizationSystem::onSafepoint(MethodId Current) {
   if (Current == kInvalidId)
     return;
   ++TimerSamples;
+  MTimerSamples->inc();
   if (SamplesPerMethod.size() <= Current)
     SamplesPerMethod.resize(Current + 1, 0);
   ++SamplesPerMethod[Current];
@@ -69,6 +78,10 @@ void AdaptiveOptimizationSystem::compileNow(Method &M) {
   Cycles Cost = static_cast<Cycles>(M.Code.size()) * kCompileCyclesPerBytecode;
   Vm.clock().advance(Cost);
   Vm.stats().CompileCycles += Cost;
+  MRecompilations->inc();
+  MCompileCycles->inc(Cost);
+  if (Trace)
+    Trace->instant(Vm.clock().now(), "aos.recompile", "vm", "method", M.Id);
   Vm.installCompiledCode(M, std::move(F));
 }
 

@@ -21,6 +21,7 @@
 #ifndef HPMVM_VM_ADAPTIVEOPTIMIZATIONSYSTEM_H
 #define HPMVM_VM_ADAPTIVEOPTIMIZATIONSYSTEM_H
 
+#include "obs/Metrics.h"
 #include "support/Types.h"
 #include "vm/Bytecode.h"
 
@@ -29,6 +30,8 @@
 
 namespace hpmvm {
 
+class ObsContext;
+class TraceBuffer;
 class VirtualMachine;
 
 /// AOS policy parameters.
@@ -67,6 +70,10 @@ public:
   /// Opt-compiles \p M immediately (idempotent).
   void compileNow(Method &M);
 
+  /// Registers AOS metrics (recompilations, compile cycles, timer samples)
+  /// and emits a trace instant per opt-compilation.
+  void attachObs(ObsContext &Obs);
+
   uint64_t timerSamples() const { return TimerSamples; }
   uint64_t timerSamplesOf(MethodId Id) const;
 
@@ -78,6 +85,10 @@ private:
   Cycles NextTimerSampleAt = 0;
   uint64_t TimerSamples = 0;
   std::vector<uint64_t> SamplesPerMethod;
+  TraceBuffer *Trace = nullptr;
+  Counter *MRecompilations = &Counter::sink();
+  Counter *MCompileCycles = &Counter::sink();
+  Counter *MTimerSamples = &Counter::sink();
 };
 
 } // namespace hpmvm

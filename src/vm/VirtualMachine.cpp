@@ -2,12 +2,12 @@
 
 #include "vm/VirtualMachine.h"
 
+#include "obs/Obs.h"
 #include "support/Format.h"
 #include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/Interpreter.h"
 #include "vm/MachineExecutor.h"
 
-#include <cstdio>
 #include <cstdlib>
 
 using namespace hpmvm;
@@ -212,9 +212,11 @@ void VirtualMachine::setGlobal(uint32_t Idx, Value V) {
   Globals[Idx] = V;
 }
 
+void VirtualMachine::attachObs(ObsContext &Obs) { Aos->attachObs(Obs); }
+
 void VirtualMachine::trap(const std::string &Msg) {
   ++Stats.Traps;
-  fprintf(stderr, "hpmvm trap: %s\n", Msg.c_str());
+  logError("vm", "hpmvm trap: %s", Msg.c_str());
   abort();
 }
 

@@ -46,6 +46,7 @@
 namespace hpmvm {
 
 class AdaptiveOptimizationSystem;
+class ObsContext;
 
 /// VM construction parameters.
 struct VmConfig {
@@ -127,6 +128,10 @@ public:
   void setSafepointHook(std::function<void()> Hook) {
     SafepointHook = std::move(Hook);
   }
+
+  /// Wires VM-side observability (currently the AOS's recompilation
+  /// metrics/trace events) into \p Obs.
+  void attachObs(ObsContext &Obs);
 
   // --- Execution ------------------------------------------------------------
   /// Invokes a method (dispatching to interpreter or optimized code).

@@ -71,3 +71,54 @@ TEST(FieldMissTable, ResetKeepsTrackingSet) {
   T.endPeriod(20);
   EXPECT_EQ(T.timeline(1).size(), 1u) << "still tracked after reset";
 }
+
+TEST(FieldMissTable, BoundedModeEvictsColdestField) {
+  FieldMissTable T;
+  T.setCapacity(2);
+  T.addMiss(1, 10);
+  T.addMiss(2, 1); // Coldest.
+  T.addMiss(3, 5); // Arrives at a full table -> field 2 goes.
+  EXPECT_EQ(T.numFields(), 2u);
+  EXPECT_EQ(T.evictions(), 1u);
+  EXPECT_EQ(T.misses(2), 0u);
+  EXPECT_EQ(T.misses(1), 10u);
+  EXPECT_EQ(T.misses(3), 5u);
+  // An existing field never triggers eviction.
+  T.addMiss(1, 1);
+  EXPECT_EQ(T.evictions(), 1u);
+}
+
+TEST(FieldMissTable, EvictedFieldRestartsFromZero) {
+  FieldMissTable T;
+  T.setCapacity(1);
+  T.addMiss(1, 100);
+  T.addMiss(2, 1); // Evicts 1.
+  T.addMiss(1, 1); // Evicts 2; field 1 restarts cold.
+  EXPECT_EQ(T.misses(1), 1u);
+  EXPECT_EQ(T.evictions(), 2u);
+  // totalMisses is cumulative across evictions (it feeds rate metrics).
+  EXPECT_EQ(T.totalMisses(), 102u);
+}
+
+TEST(FieldMissTable, TrackedFieldsArePinned) {
+  FieldMissTable T;
+  T.setCapacity(2);
+  T.trackField(1);
+  T.addMiss(1, 1);  // Tracked, coldest -- but pinned.
+  T.addMiss(2, 50);
+  T.addMiss(3, 5);  // Must evict 2, not the tracked 1.
+  EXPECT_EQ(T.misses(1), 1u);
+  EXPECT_EQ(T.misses(2), 0u);
+  EXPECT_EQ(T.misses(3), 5u);
+}
+
+TEST(FieldMissTable, AllTrackedGrowsPastCap) {
+  FieldMissTable T;
+  T.setCapacity(1);
+  T.trackField(1);
+  T.trackField(2);
+  T.addMiss(1);
+  T.addMiss(2); // No untracked victim: table grows instead.
+  EXPECT_EQ(T.numFields(), 2u);
+  EXPECT_EQ(T.evictions(), 0u);
+}

@@ -1,0 +1,147 @@
+//===-- tests/integration/TelemetryTest.cpp -------------------------------===//
+//
+// End-to-end telemetry: a monitored run exports non-zero pipeline metrics,
+// a baseline run exports zeroed HPM metrics, and the file exporters
+// produce a Chrome trace carrying the GC-pause and collector-poll events
+// the Figure 7 timeline is read from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ExperimentRunner.h"
+
+#include "tests/obs/TestJson.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace hpmvm;
+
+namespace {
+
+RunConfig smallDb(bool Monitoring) {
+  RunConfig C;
+  C.Workload = "db";
+  C.Params.ScalePercent = 25;
+  C.HeapFactor = 3.0;
+  C.Monitoring = Monitoring;
+  C.Coallocation = Monitoring;
+  if (Monitoring)
+    C.Monitor.SamplingInterval = 5000;
+  return C;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+} // namespace
+
+TEST(Telemetry, MonitoredRunCountsTheWholePipeline) {
+  RunResult R = runExperiment(smallDb(/*Monitoring=*/true));
+  const MetricsSnapshot &M = R.Metrics;
+
+  // The acceptance triple: samples flowed, were resolved, and GCs ran.
+  EXPECT_GT(M.counter("hpm.samples_collected"), 0u);
+  EXPECT_GT(M.counter("resolver.resolved"), 0u);
+  EXPECT_GT(M.counter("gc.collections"), 0u);
+
+  // And the stages in between actually moved the data.
+  EXPECT_GT(M.counter("hpm.kernel.samples_delivered"), 0u);
+  EXPECT_GT(M.counter("hpm.native.samples_copied"), 0u);
+  EXPECT_GT(M.counter("collector.polls"), 0u);
+  EXPECT_GT(M.counter("collector.samples_delivered"), 0u);
+  EXPECT_GT(M.counter("monitor.batches"), 0u);
+  EXPECT_GT(M.counter("misstable.misses_recorded"), 0u);
+  EXPECT_GT(M.counter("gc.pause_cycles"), 0u);
+
+  // Metric counts agree with the component stats the seed already kept.
+  EXPECT_EQ(M.counter("hpm.samples_collected"), R.SamplesTaken);
+  EXPECT_EQ(M.counter("gc.collections"),
+            R.Gc.MinorCollections + R.Gc.MajorCollections);
+}
+
+TEST(Telemetry, BaselineRunExportsZeroHpmMetrics) {
+  RunResult R = runExperiment(smallDb(/*Monitoring=*/false));
+  const MetricsSnapshot &M = R.Metrics;
+
+  // No monitor attached: every HPM-pipeline metric reads zero.
+  EXPECT_EQ(M.counter("hpm.samples_collected"), 0u);
+  EXPECT_EQ(M.counter("resolver.resolved"), 0u);
+  EXPECT_EQ(M.counter("collector.polls"), 0u);
+  EXPECT_EQ(M.counter("monitor.batches"), 0u);
+  EXPECT_EQ(M.counter("misstable.misses_recorded"), 0u);
+
+  // The VM and GC still count.
+  EXPECT_GT(M.counter("gc.collections"), 0u);
+}
+
+TEST(Telemetry, TraceAndMetricsFilesPassAcceptance) {
+  std::string MetricsPath = ::testing::TempDir() + "telemetry_metrics.json";
+  std::string TracePath = ::testing::TempDir() + "telemetry_trace.json";
+
+  RunConfig C = smallDb(/*Monitoring=*/true);
+  C.Obs.MetricsOutPath = MetricsPath;
+  C.Obs.TraceOutPath = TracePath;
+  Experiment E(C);
+  E.run();
+
+  bool Ok = false;
+  auto Metrics = testjson::parse(slurp(MetricsPath), Ok);
+  ASSERT_TRUE(Ok) << "metrics export must be valid JSON";
+  auto Counters = Metrics->get("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  for (const char *Name :
+       {"hpm.samples_collected", "resolver.resolved", "gc.collections"}) {
+    auto V = Counters->get(Name);
+    ASSERT_TRUE(V && V->isNumber()) << Name;
+    EXPECT_GT(V->Num, 0.0) << Name;
+  }
+
+  auto Trace = testjson::parse(slurp(TracePath), Ok);
+  ASSERT_TRUE(Ok) << "trace export must be valid JSON";
+  auto Events = Trace->get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+
+  size_t GcPauses = 0, Polls = 0;
+  double LastTs = -1.0;
+  bool Monotone = true;
+  for (const auto &Ev : Events->Arr) {
+    const std::string &Name = Ev->get("name")->Str;
+    if (Name == "gc.minor" || Name == "gc.full") {
+      ++GcPauses;
+      EXPECT_EQ(Ev->get("ph")->Str, "X");
+      EXPECT_GT(Ev->get("dur")->Num, 0.0);
+    } else if (Name == "collector.poll") {
+      ++Polls;
+    }
+    double Ts = Ev->get("ts")->Num;
+    if (Ts < LastTs)
+      Monotone = false;
+    LastTs = Ts;
+  }
+  EXPECT_GT(GcPauses, 0u) << "trace must contain GC pause spans";
+  EXPECT_GT(Polls, 0u) << "trace must contain collector poll events";
+  EXPECT_TRUE(Monotone) << "trace events must be in timestamp order";
+
+  remove(MetricsPath.c_str());
+  remove(TracePath.c_str());
+}
+
+TEST(Telemetry, InstrumentationDoesNotChangeResults) {
+  // Two identical monitored runs, one with a tiny trace buffer forcing
+  // wraparound: telemetry must never perturb the simulation.
+  RunConfig A = smallDb(/*Monitoring=*/true);
+  RunConfig B = A;
+  B.Obs.TraceCapacity = 16;
+  RunResult Ra = runExperiment(A);
+  RunResult Rb = runExperiment(B);
+  EXPECT_EQ(Ra.TotalCycles, Rb.TotalCycles);
+  EXPECT_EQ(Ra.Gc.MinorCollections, Rb.Gc.MinorCollections);
+  EXPECT_EQ(Ra.SamplesTaken, Rb.SamplesTaken);
+  EXPECT_EQ(Ra.Memory.L1Misses, Rb.Memory.L1Misses);
+}

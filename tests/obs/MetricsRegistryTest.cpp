@@ -1,0 +1,156 @@
+//===-- tests/obs/MetricsRegistryTest.cpp ---------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "tests/obs/TestJson.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.inc();
+  C.inc(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Counter, SinkIsSharedAndDiscards) {
+  uint64_t Before = Counter::sink().value();
+  Counter::sink().inc(7);
+  EXPECT_EQ(Counter::sink().value(), Before + 7);
+  EXPECT_EQ(&Counter::sink(), &Counter::sink());
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram H;
+  H.record(0); // bit_width(0) == 0 -> bucket 0.
+  H.record(1); // bucket 1: [1, 2)
+  H.record(2); // bucket 2: [2, 4)
+  H.record(3);
+  H.record(4); // bucket 3: [4, 8)
+  H.record(7);
+  EXPECT_EQ(H.bucket(0), 1u);
+  EXPECT_EQ(H.bucket(1), 1u);
+  EXPECT_EQ(H.bucket(2), 2u);
+  EXPECT_EQ(H.bucket(3), 2u);
+  EXPECT_EQ(H.count(), 6u);
+  EXPECT_EQ(H.sum(), 17u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 7u);
+}
+
+TEST(Histogram, EmptyHistogramHasZeroMinMax) {
+  Histogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+}
+
+TEST(Histogram, LargeValuesLandInTopBuckets) {
+  Histogram H;
+  H.record(~0ull); // bit_width = 64 -> bucket 64 (the last one).
+  EXPECT_EQ(H.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(H.max(), ~0ull);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry R;
+  Counter &A = R.counter("gc.collections");
+  Counter &B = R.counter("gc.collections");
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(R.numCounters(), 1u);
+  A.inc();
+  B.inc();
+  EXPECT_EQ(R.counter("gc.collections").value(), 2u);
+}
+
+TEST(MetricsRegistry, PointersSurviveFurtherRegistration) {
+  MetricsRegistry R;
+  Counter &First = R.counter("first");
+  // Force rehash/growth of the backing containers.
+  for (int I = 0; I != 200; ++I)
+    R.counter("c" + std::to_string(I)).inc();
+  First.inc(5);
+  EXPECT_EQ(R.counter("first").value(), 5u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndDeterministic) {
+  MetricsRegistry R;
+  R.counter("zeta").inc(1);
+  R.counter("alpha").inc(2);
+  R.gauge("mid").set(3);
+  R.histogram("hist").record(9);
+
+  MetricsSnapshot S1 = R.snapshot();
+  MetricsSnapshot S2 = R.snapshot();
+  ASSERT_EQ(S1.Counters.size(), 2u);
+  EXPECT_EQ(S1.Counters[0].first, "alpha");
+  EXPECT_EQ(S1.Counters[1].first, "zeta");
+  EXPECT_EQ(S1.toJson(), S2.toJson());
+}
+
+TEST(MetricsSnapshot, AbsentMetricsReadAsZero) {
+  MetricsRegistry R;
+  R.counter("present").inc(4);
+  MetricsSnapshot S = R.snapshot();
+  EXPECT_EQ(S.counter("present"), 4u);
+  EXPECT_EQ(S.counter("hpm.samples_collected"), 0u);
+  EXPECT_EQ(S.gauge("never.set"), 0u);
+  EXPECT_EQ(S.histogram("never.recorded"), nullptr);
+}
+
+TEST(MetricsSnapshot, JsonRoundTrips) {
+  MetricsRegistry R;
+  R.counter("hpm.samples_collected").inc(123);
+  R.gauge("hpm.sampling_interval").set(100000);
+  Histogram &H = R.histogram("collector.batch_samples");
+  H.record(0);
+  H.record(5);
+  H.record(5);
+
+  bool Ok = false;
+  auto Doc = testjson::parse(R.snapshot().toJson(), Ok);
+  ASSERT_TRUE(Ok);
+  ASSERT_TRUE(Doc->isObject());
+
+  auto Counters = Doc->get("counters");
+  ASSERT_TRUE(Counters && Counters->isObject());
+  auto SamplesVal = Counters->get("hpm.samples_collected");
+  ASSERT_TRUE(SamplesVal && SamplesVal->isNumber());
+  EXPECT_EQ(SamplesVal->Num, 123.0);
+
+  auto Gauges = Doc->get("gauges");
+  ASSERT_TRUE(Gauges && Gauges->isObject());
+  EXPECT_EQ(Gauges->get("hpm.sampling_interval")->Num, 100000.0);
+
+  auto Hists = Doc->get("histograms");
+  ASSERT_TRUE(Hists && Hists->isObject());
+  auto Batch = Hists->get("collector.batch_samples");
+  ASSERT_TRUE(Batch && Batch->isObject());
+  EXPECT_EQ(Batch->get("count")->Num, 3.0);
+  EXPECT_EQ(Batch->get("sum")->Num, 10.0);
+  EXPECT_EQ(Batch->get("min")->Num, 0.0);
+  EXPECT_EQ(Batch->get("max")->Num, 5.0);
+  auto Buckets = Batch->get("log2_buckets");
+  ASSERT_TRUE(Buckets && Buckets->isArray());
+  // Non-empty buckets only: bucket 0 (one zero), bucket 3 (two fives).
+  ASSERT_EQ(Buckets->Arr.size(), 2u);
+  EXPECT_EQ(Buckets->Arr[0]->Arr[0]->Num, 0.0);
+  EXPECT_EQ(Buckets->Arr[0]->Arr[1]->Num, 1.0);
+  EXPECT_EQ(Buckets->Arr[1]->Arr[0]->Num, 3.0);
+  EXPECT_EQ(Buckets->Arr[1]->Arr[1]->Num, 2.0);
+}
+
+TEST(MetricsSnapshot, EmptyRegistryIsValidJson) {
+  MetricsRegistry R;
+  bool Ok = false;
+  auto Doc = testjson::parse(R.snapshot().toJson(), Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_TRUE(Doc->get("counters")->Obj.empty());
+  EXPECT_TRUE(Doc->get("gauges")->Obj.empty());
+  EXPECT_TRUE(Doc->get("histograms")->Obj.empty());
+}

@@ -1,0 +1,142 @@
+//===-- tests/obs/ObsConfigTest.cpp ---------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "tests/obs/TestJson.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+/// argv builder: owns the strings, hands out mutable char*.
+struct Argv {
+  explicit Argv(std::vector<std::string> Args) : Strings(std::move(Args)) {
+    for (std::string &S : Strings)
+      Ptrs.push_back(S.data());
+    Ptrs.push_back(nullptr);
+  }
+  int argc() const { return static_cast<int>(Strings.size()); }
+  char **argv() { return Ptrs.data(); }
+
+  std::vector<std::string> Strings;
+  std::vector<char *> Ptrs;
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+class ObsConfigTest : public ::testing::Test {
+protected:
+  void SetUp() override { Saved = processObsConfig(); }
+  void TearDown() override {
+    setProcessObsConfig(Saved);
+    Log::setLevel(Saved.Level);
+  }
+  ObsConfig Saved;
+};
+
+} // namespace
+
+TEST_F(ObsConfigTest, ParseStripsObsFlagsOnly) {
+  Argv A({"bench", "--metrics-out", "m.json", "50", "--trace-out=t.json",
+          "--log-level", "debug", "extra"});
+  int Argc = A.argc();
+  ASSERT_TRUE(parseObsFlags(Argc, A.argv()));
+  ASSERT_EQ(Argc, 3);
+  EXPECT_STREQ(A.argv()[1], "50");
+  EXPECT_STREQ(A.argv()[2], "extra");
+  EXPECT_EQ(processObsConfig().MetricsOutPath, "m.json");
+  EXPECT_EQ(processObsConfig().TraceOutPath, "t.json");
+  EXPECT_EQ(processObsConfig().Level, LogLevel::Debug);
+  EXPECT_EQ(Log::level(), LogLevel::Debug);
+}
+
+TEST_F(ObsConfigTest, MissingValueFails) {
+  Argv A({"bench", "--metrics-out"});
+  int Argc = A.argc();
+  EXPECT_FALSE(parseObsFlags(Argc, A.argv()));
+}
+
+TEST_F(ObsConfigTest, BadLogLevelFails) {
+  Argv A({"bench", "--log-level", "loud"});
+  int Argc = A.argc();
+  EXPECT_FALSE(parseObsFlags(Argc, A.argv()));
+}
+
+TEST_F(ObsConfigTest, ResolveInheritsProcessDefaults) {
+  ObsConfig Process;
+  Process.MetricsOutPath = "proc.json";
+  Process.Level = LogLevel::Warn;
+  setProcessObsConfig(Process);
+
+  ObsConfig PerRun;
+  PerRun.TraceOutPath = "run.trace.json";
+  ObsConfig R = resolveObsConfig(PerRun);
+  EXPECT_EQ(R.MetricsOutPath, "proc.json"); // Inherited.
+  EXPECT_EQ(R.TraceOutPath, "run.trace.json"); // Per-run wins.
+  EXPECT_EQ(R.Level, LogLevel::Warn);
+
+  ObsConfig Explicit;
+  Explicit.MetricsOutPath = "own.json";
+  EXPECT_EQ(resolveObsConfig(Explicit).MetricsOutPath, "own.json");
+}
+
+TEST_F(ObsConfigTest, ExportAllWritesBothFiles) {
+  std::string MetricsPath = ::testing::TempDir() + "obs_metrics.json";
+  std::string TracePath = ::testing::TempDir() + "obs_trace.json";
+  ObsConfig C;
+  C.MetricsOutPath = MetricsPath;
+  C.TraceOutPath = TracePath;
+
+  ObsContext Obs(C);
+  Obs.metrics().counter("gc.collections").inc(3);
+  Obs.trace().instant(3000, "collector.poll", "collector");
+  ASSERT_TRUE(Obs.exportAll());
+
+  bool Ok = false;
+  auto Metrics = testjson::parse(slurp(MetricsPath), Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Metrics->get("counters")->get("gc.collections")->Num, 3.0);
+
+  auto Trace = testjson::parse(slurp(TracePath), Ok);
+  ASSERT_TRUE(Ok);
+  ASSERT_EQ(Trace->get("traceEvents")->Arr.size(), 1u);
+  EXPECT_EQ(Trace->get("traceEvents")->Arr[0]->get("name")->Str,
+            "collector.poll");
+
+  remove(MetricsPath.c_str());
+  remove(TracePath.c_str());
+}
+
+TEST_F(ObsConfigTest, ExportToUnwritablePathFails) {
+  ObsConfig C;
+  C.MetricsOutPath = "/nonexistent-dir/metrics.json";
+  ObsContext Obs(C);
+  EXPECT_FALSE(Obs.exportAll());
+}
+
+TEST(LogLevels, ParseAndThreshold) {
+  LogLevel L = LogLevel::Info;
+  EXPECT_TRUE(parseLogLevel("error", L));
+  EXPECT_EQ(L, LogLevel::Error);
+  EXPECT_TRUE(parseLogLevel("off", L));
+  EXPECT_EQ(L, LogLevel::Off);
+  EXPECT_FALSE(parseLogLevel("shout", L));
+
+  LogLevel Old = Log::level();
+  Log::setLevel(LogLevel::Warn);
+  EXPECT_FALSE(Log::enabled(LogLevel::Info));
+  EXPECT_TRUE(Log::enabled(LogLevel::Warn));
+  EXPECT_TRUE(Log::enabled(LogLevel::Error));
+  Log::setLevel(Old);
+}

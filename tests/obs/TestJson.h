@@ -1,0 +1,246 @@
+//===-- tests/obs/TestJson.h - Minimal JSON parser for tests ---*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny recursive-descent JSON parser, just enough to round-trip the
+/// telemetry exporters' output in tests (objects, arrays, strings with
+/// basic escapes, numbers, booleans, null). Not a general-purpose parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_TESTS_OBS_TESTJSON_H
+#define HPMVM_TESTS_OBS_TESTJSON_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpmvm::testjson {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<ValuePtr> Arr;
+  std::map<std::string, ValuePtr> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member or null when absent/not an object.
+  ValuePtr get(const std::string &Key) const {
+    if (K != Kind::Object)
+      return nullptr;
+    auto It = Obj.find(Key);
+    return It == Obj.end() ? nullptr : It->second;
+  }
+};
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : S(Text) {}
+
+  /// \returns the parsed document, or null on any syntax error. \p Ok is
+  /// false when the text failed to parse or has trailing garbage.
+  ValuePtr parse(bool &Ok) {
+    Pos = 0;
+    Failed = false;
+    ValuePtr V = value();
+    skipWs();
+    Ok = !Failed && V && Pos == S.size();
+    return Ok ? V : nullptr;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  ValuePtr fail() {
+    Failed = true;
+    return nullptr;
+  }
+
+  ValuePtr value() {
+    skipWs();
+    if (Pos >= S.size())
+      return fail();
+    char C = S[Pos];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't' || C == 'f')
+      return boolean();
+    if (C == 'n')
+      return null();
+    return number();
+  }
+
+  ValuePtr object() {
+    if (!eat('{'))
+      return fail();
+    auto V = std::make_shared<Value>();
+    V->K = Value::Kind::Object;
+    skipWs();
+    if (eat('}'))
+      return V;
+    while (true) {
+      ValuePtr Key = string();
+      if (!Key || !eat(':'))
+        return fail();
+      ValuePtr Member = value();
+      if (!Member)
+        return fail();
+      V->Obj[Key->Str] = Member;
+      if (eat(','))
+        continue;
+      if (eat('}'))
+        return V;
+      return fail();
+    }
+  }
+
+  ValuePtr array() {
+    if (!eat('['))
+      return fail();
+    auto V = std::make_shared<Value>();
+    V->K = Value::Kind::Array;
+    skipWs();
+    if (eat(']'))
+      return V;
+    while (true) {
+      ValuePtr Elem = value();
+      if (!Elem)
+        return fail();
+      V->Arr.push_back(Elem);
+      if (eat(','))
+        continue;
+      if (eat(']'))
+        return V;
+      return fail();
+    }
+  }
+
+  ValuePtr string() {
+    skipWs();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return fail();
+    ++Pos;
+    auto V = std::make_shared<Value>();
+    V->K = Value::Kind::String;
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C == '\\') {
+        if (Pos >= S.size())
+          return fail();
+        char E = S[Pos++];
+        switch (E) {
+        case 'n': V->Str += '\n'; break;
+        case 't': V->Str += '\t'; break;
+        case 'r': V->Str += '\r'; break;
+        case '"': V->Str += '"'; break;
+        case '\\': V->Str += '\\'; break;
+        case '/': V->Str += '/'; break;
+        case 'u': // Keep the escape verbatim; tests don't need decoding.
+          V->Str += "\\u";
+          break;
+        default:
+          return fail();
+        }
+      } else {
+        V->Str += C;
+      }
+    }
+    if (Pos >= S.size())
+      return fail();
+    ++Pos; // Closing quote.
+    return V;
+  }
+
+  ValuePtr boolean() {
+    if (S.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      auto V = std::make_shared<Value>();
+      V->K = Value::Kind::Bool;
+      V->B = true;
+      return V;
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      auto V = std::make_shared<Value>();
+      V->K = Value::Kind::Bool;
+      return V;
+    }
+    return fail();
+  }
+
+  ValuePtr null() {
+    if (S.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      auto V = std::make_shared<Value>();
+      return V;
+    }
+    return fail();
+  }
+
+  ValuePtr number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    bool Digits = false;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '-' || S[Pos] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(S[Pos])))
+        Digits = true;
+      ++Pos;
+    }
+    if (!Digits)
+      return fail();
+    auto V = std::make_shared<Value>();
+    V->K = Value::Kind::Number;
+    V->Num = std::strtod(S.substr(Start, Pos - Start).c_str(), nullptr);
+    return V;
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+/// Convenience: parse or return null.
+inline ValuePtr parse(const std::string &Text, bool &Ok) {
+  Parser P(Text);
+  return P.parse(Ok);
+}
+
+} // namespace hpmvm::testjson
+
+#endif // HPMVM_TESTS_OBS_TESTJSON_H

@@ -1,0 +1,129 @@
+//===-- tests/obs/TraceBufferTest.cpp -------------------------------------===//
+
+#include "obs/TraceBuffer.h"
+
+#include "support/VirtualClock.h"
+#include "tests/obs/TestJson.h"
+
+#include <cstdio>
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+std::string writeToString(const TraceBuffer &B) {
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Out = open_memstream(&Buf, &Len);
+  ChromeTraceWriter::write(B, Out);
+  fclose(Out);
+  std::string S(Buf, Len);
+  free(Buf);
+  return S;
+}
+
+} // namespace
+
+TEST(TraceBuffer, RecordsInOrder) {
+  TraceBuffer B(8);
+  B.instant(100, "a", "cat");
+  B.complete(200, 50, "b", "cat");
+  B.instant(300, "c", "cat");
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_EQ(B.recorded(), 3u);
+  EXPECT_EQ(B.dropped(), 0u);
+  EXPECT_EQ(B.event(0).Ts, 100u);
+  EXPECT_EQ(B.event(1).Ts, 200u);
+  EXPECT_EQ(B.event(1).Dur, 50u);
+  EXPECT_EQ(B.event(2).Ts, 300u);
+  EXPECT_STREQ(B.event(1).Name, "b");
+}
+
+TEST(TraceBuffer, WraparoundKeepsNewestEvents) {
+  TraceBuffer B(4);
+  for (uint64_t I = 0; I != 10; ++I)
+    B.instant(I * 100, "e", "cat", "i", I);
+  EXPECT_EQ(B.size(), 4u);
+  EXPECT_EQ(B.recorded(), 10u);
+  EXPECT_EQ(B.dropped(), 6u);
+  // Oldest retained is event 6 (0-5 were overwritten), chronological order.
+  for (size_t I = 0; I != 4; ++I) {
+    EXPECT_EQ(B.event(I).Arg, 6 + I);
+    EXPECT_EQ(B.event(I).Ts, (6 + I) * 100);
+  }
+}
+
+TEST(TraceBuffer, ClearResetsEverything) {
+  TraceBuffer B(4);
+  for (int I = 0; I != 6; ++I)
+    B.instant(I, "e", "c");
+  B.clear();
+  EXPECT_EQ(B.size(), 0u);
+  EXPECT_EQ(B.recorded(), 0u);
+  EXPECT_EQ(B.dropped(), 0u);
+  B.instant(7, "f", "c");
+  ASSERT_EQ(B.size(), 1u);
+  EXPECT_EQ(B.event(0).Ts, 7u);
+}
+
+TEST(ChromeTraceWriter, EmitsValidChromeTraceJson) {
+  TraceBuffer B(16);
+  // 3 GHz virtual clock: 3000 cycles = 1 us.
+  B.complete(3000, 6000, "gc.minor", "gc", "bytes_promoted", 4096);
+  B.instant(15000, "collector.poll", "collector", "samples", 12);
+  B.counterSample(30000, "heap.live", "gc", "bytes", 1u << 20);
+
+  bool Ok = false;
+  auto Doc = testjson::parse(writeToString(B), Ok);
+  ASSERT_TRUE(Ok) << "writer must produce parseable JSON";
+
+  auto Events = Doc->get("traceEvents");
+  ASSERT_TRUE(Events && Events->isArray());
+  ASSERT_EQ(Events->Arr.size(), 3u);
+
+  auto &Gc = Events->Arr[0];
+  EXPECT_EQ(Gc->get("name")->Str, "gc.minor");
+  EXPECT_EQ(Gc->get("cat")->Str, "gc");
+  EXPECT_EQ(Gc->get("ph")->Str, "X");
+  EXPECT_EQ(Gc->get("ts")->Num, 1.0);  // 3000 cycles -> 1 us.
+  EXPECT_EQ(Gc->get("dur")->Num, 2.0); // 6000 cycles -> 2 us.
+  EXPECT_EQ(Gc->get("args")->get("bytes_promoted")->Num, 4096.0);
+
+  auto &Poll = Events->Arr[1];
+  EXPECT_EQ(Poll->get("ph")->Str, "i");
+  EXPECT_EQ(Poll->get("s")->Str, "g");
+  EXPECT_EQ(Poll->get("ts")->Num, 5.0);
+
+  auto &Sample = Events->Arr[2];
+  EXPECT_EQ(Sample->get("ph")->Str, "C");
+
+  EXPECT_EQ(Doc->get("displayTimeUnit")->Str, "ms");
+  auto Other = Doc->get("otherData");
+  ASSERT_TRUE(Other && Other->isObject());
+  EXPECT_EQ(Other->get("clock_hz")->Num,
+            static_cast<double>(VirtualClock::kHz));
+  EXPECT_EQ(Other->get("events_recorded")->Num, 3.0);
+  EXPECT_EQ(Other->get("events_dropped")->Num, 0.0);
+}
+
+TEST(ChromeTraceWriter, EmptyBufferIsValidJson) {
+  TraceBuffer B(4);
+  bool Ok = false;
+  auto Doc = testjson::parse(writeToString(B), Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_TRUE(Doc->get("traceEvents")->Arr.empty());
+}
+
+TEST(ChromeTraceWriter, WrappedBufferRoundTrips) {
+  TraceBuffer B(8);
+  for (uint64_t I = 0; I != 100; ++I)
+    B.instant(I * 3000, "tick", "t", "i", I);
+  bool Ok = false;
+  auto Doc = testjson::parse(writeToString(B), Ok);
+  ASSERT_TRUE(Ok);
+  auto Events = Doc->get("traceEvents");
+  ASSERT_EQ(Events->Arr.size(), 8u);
+  EXPECT_EQ(Events->Arr[0]->get("args")->get("i")->Num, 92.0);
+  EXPECT_EQ(Doc->get("otherData")->get("events_dropped")->Num, 92.0);
+}
