@@ -5,16 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared scaffolding for the per-table/per-figure bench binaries: common
-/// environment knobs, workload iteration, result formatting, and the CSV
-/// mirror each bench prints for plotting.
+/// Shared scaffolding for the per-table/per-figure bench binaries: uniform
+/// command-line flags, validated environment knobs, workload selection,
+/// result formatting, and the CSV mirror each bench prints for plotting.
 ///
-/// Environment variables:
+/// Environment variables (validated; garbage is a hard error, not 0):
 ///   HPMVM_SCALE      data-set scale in percent (default: per-bench)
-///   HPMVM_WORKLOADS  comma-separated subset, e.g. "db,compress"
+///   HPMVM_WORKLOADS  comma-separated subset, e.g. "db,compress"; every
+///                    name must exist in the registry
 ///   HPMVM_SEED       base RNG seed (default 42)
 ///
-/// Command-line flags (every bench binary, via initObs):
+/// Command-line flags (every bench binary, via bench::init):
+///   --jobs <n>            run the experiment grid on n threads (0 = one
+///                         per hardware thread; default 1 = serial).
+///                         Output is bit-identical for every job count.
+///   --filter <substr>     only run workloads whose name contains substr
+///   --repeat <n>          run every grid cell n times (seeds base+0..n-1);
+///                         tables report per-cell means
+///   --json-out <path>     write all run results as one JSON document
 ///   --metrics-out <path>  write the final metrics snapshot JSON
 ///   --trace-out <path>    write a chrome://tracing JSON of the run
 ///   --log-level <level>   trace|debug|info|warn|error|off (default info)
@@ -24,58 +32,256 @@
 #ifndef HPMVM_BENCH_BENCHCOMMON_H
 #define HPMVM_BENCH_BENCHCOMMON_H
 
-#include "harness/ExperimentRunner.h"
+#include "harness/ParallelRunner.h"
+#include "harness/Suite.h"
 #include "obs/Obs.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace hpmvm::bench {
 
-/// Standard telemetry flag handling for bench/example mains: strips
-/// --metrics-out/--trace-out/--log-level from argv into the process-wide
-/// ObsConfig (inherited by every Experiment) and exits on a malformed
-/// flag. Call first thing in main().
-inline void initObs(int &Argc, char **Argv) {
-  if (!parseObsFlags(Argc, Argv))
+/// The uniform bench flag set (on top of the obs flags).
+struct BenchOptions {
+  unsigned Jobs = 1;       ///< --jobs; 0 = hardware concurrency.
+  std::string Filter;      ///< --filter; workload-name substring.
+  uint32_t Repeat = 1;     ///< --repeat.
+  std::string JsonOutPath; ///< --json-out.
+};
+
+/// Strict unsigned parse: the whole string must be a decimal number.
+/// (atoi/atoll silently turn garbage into 0 -- a mistyped HPMVM_SEED would
+/// quietly change every result.)
+inline bool parseUint(const char *Text, uint64_t &Out) {
+  if (!Text || !*Text)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = strtoull(Text, &End, 10);
+  if (errno || End == Text || *End != '\0' || strchr(Text, '-'))
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Splits a comma-separated workload list, validating every name against
+/// the registry. On failure fills \p Error and returns false. An empty
+/// result (e.g. HPMVM_WORKLOADS=",") is an error: silently running nothing
+/// looks exactly like success.
+inline bool parseWorkloadList(const std::string &List,
+                              std::vector<std::string> &Names,
+                              std::string &Error) {
+  Names.clear();
+  size_t Pos = 0;
+  while (Pos <= List.size()) {
+    size_t Comma = List.find(',', Pos);
+    size_t End = Comma == std::string::npos ? List.size() : Comma;
+    std::string Name = List.substr(Pos, End - Pos);
+    if (!Name.empty()) {
+      if (!findWorkload(Name)) {
+        Error = "unknown workload '" + Name + "' (valid:";
+        for (const WorkloadSpec &W : allWorkloads())
+          Error += " " + W.Name;
+        Error += ")";
+        return false;
+      }
+      Names.push_back(Name);
+    }
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Names.empty()) {
+    Error = "workload list '" + List + "' selects nothing";
+    return false;
+  }
+  return true;
+}
+
+/// Validated environment read; exits with a clear message on garbage.
+inline uint64_t envUint(const char *Var, uint64_t Default) {
+  const char *S = getenv(Var);
+  if (!S)
+    return Default;
+  uint64_t V = 0;
+  if (!parseUint(S, V)) {
+    fprintf(stderr, "error: %s='%s' is not an unsigned integer\n", Var, S);
     exit(2);
+  }
+  return V;
 }
 
 inline uint32_t envScale(uint32_t Default) {
-  if (const char *S = getenv("HPMVM_SCALE"))
-    return static_cast<uint32_t>(atoi(S));
-  return Default;
+  uint64_t V = envUint("HPMVM_SCALE", Default);
+  if (V == 0 || V > 100000) {
+    fprintf(stderr,
+            "error: HPMVM_SCALE=%llu out of range (want 1..100000)\n",
+            static_cast<unsigned long long>(V));
+    exit(2);
+  }
+  return static_cast<uint32_t>(V);
 }
 
-inline uint64_t envSeed() {
-  if (const char *S = getenv("HPMVM_SEED"))
-    return static_cast<uint64_t>(atoll(S));
-  return 42;
-}
+inline uint64_t envSeed() { return envUint("HPMVM_SEED", 42); }
 
-/// The workload names to run: all 16, or the HPMVM_WORKLOADS subset.
-inline std::vector<std::string> selectedWorkloads() {
+/// The workload names to run: all 16, or the validated HPMVM_WORKLOADS
+/// subset, optionally narrowed by --filter. Exits (with the valid names)
+/// when the selection is malformed or empty -- a figure that silently
+/// sweeps zero programs is worse than one that refuses to start.
+inline std::vector<std::string>
+selectedWorkloads(const std::string &Filter = "") {
   std::vector<std::string> Names;
   if (const char *Env = getenv("HPMVM_WORKLOADS")) {
-    std::string S(Env);
-    size_t Pos = 0;
-    while (Pos != std::string::npos) {
-      size_t Comma = S.find(',', Pos);
-      std::string Name = S.substr(
-          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
-      if (!Name.empty() && findWorkload(Name))
-        Names.push_back(Name);
-      Pos = Comma == std::string::npos ? Comma : Comma + 1;
+    std::string Error;
+    if (!parseWorkloadList(Env, Names, Error)) {
+      fprintf(stderr, "error: HPMVM_WORKLOADS: %s\n", Error.c_str());
+      exit(2);
     }
-    return Names;
+  } else {
+    for (const WorkloadSpec &W : allWorkloads())
+      Names.push_back(W.Name);
   }
-  for (const WorkloadSpec &W : allWorkloads())
-    Names.push_back(W.Name);
+  if (!Filter.empty()) {
+    std::vector<std::string> Kept;
+    for (const std::string &N : Names)
+      if (N.find(Filter) != std::string::npos)
+        Kept.push_back(N);
+    if (Kept.empty()) {
+      fprintf(stderr, "error: --filter '%s' matches no selected workload\n",
+              Filter.c_str());
+      exit(2);
+    }
+    Names = Kept;
+  }
   return Names;
+}
+
+/// Parses the uniform bench flags out of argv (after the obs flags were
+/// stripped). \returns false (with a message) on malformed or unknown
+/// flags; argc/argv are compacted in place.
+inline bool parseBenchFlags(int &Argc, char **Argv, BenchOptions &Opts) {
+  int Out = 1;
+  bool Ok = true;
+
+  auto Take = [&](int &I, const char *Flag, std::string &Value) {
+    size_t FlagLen = strlen(Flag);
+    if (strncmp(Argv[I], Flag, FlagLen) != 0)
+      return false;
+    if (Argv[I][FlagLen] == '=') {
+      Value = Argv[I] + FlagLen + 1;
+      return true;
+    }
+    if (Argv[I][FlagLen] != '\0')
+      return false;
+    if (I + 1 >= Argc) {
+      fprintf(stderr, "error: %s requires a value\n", Flag);
+      Ok = false;
+      return true;
+    }
+    Value = Argv[++I];
+    return true;
+  };
+
+  auto TakeUint = [&](int &I, const char *Flag, uint64_t Max,
+                      uint64_t &Slot) {
+    std::string Value;
+    if (!Take(I, Flag, Value))
+      return false;
+    uint64_t V = 0;
+    if (!Ok)
+      return true;
+    if (!parseUint(Value.c_str(), V) || V > Max) {
+      fprintf(stderr, "error: %s wants an unsigned integer <= %llu, got "
+                      "'%s'\n",
+              Flag, static_cast<unsigned long long>(Max), Value.c_str());
+      Ok = false;
+      return true;
+    }
+    Slot = V;
+    return true;
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Value;
+    uint64_t V = 0;
+    if (TakeUint(I, "--jobs", 1024, V)) {
+      Opts.Jobs = static_cast<unsigned>(V);
+    } else if (TakeUint(I, "--repeat", 1000, V)) {
+      if (Ok && V == 0) {
+        fprintf(stderr, "error: --repeat wants at least 1\n");
+        Ok = false;
+      }
+      Opts.Repeat = static_cast<uint32_t>(V);
+    } else if (Take(I, "--filter", Value)) {
+      Opts.Filter = Value;
+    } else if (Take(I, "--json-out", Value)) {
+      Opts.JsonOutPath = Value;
+    } else {
+      fprintf(stderr, "error: unknown argument '%s'\n", Argv[I]);
+      Ok = false;
+      Argv[Out++] = Argv[I];
+    }
+  }
+  Argc = Out;
+  Argv[Argc] = nullptr;
+  return Ok;
+}
+
+/// Standard bench main() entry: strips the obs flags into the process-wide
+/// ObsConfig, then the uniform bench flags; exits on anything malformed.
+/// Also forces the environment knobs to parse once, so a bad HPMVM_SCALE
+/// fails before any experiment runs.
+inline BenchOptions init(int &Argc, char **Argv) {
+  if (!parseObsFlags(Argc, Argv))
+    exit(2);
+  BenchOptions Opts;
+  if (!parseBenchFlags(Argc, Argv, Opts))
+    exit(2);
+  envSeed();
+  envUint("HPMVM_SCALE", 100);
+  if (const char *Env = getenv("HPMVM_WORKLOADS")) {
+    std::vector<std::string> Names;
+    std::string Error;
+    if (!parseWorkloadList(Env, Names, Error)) {
+      fprintf(stderr, "error: HPMVM_WORKLOADS: %s\n", Error.c_str());
+      exit(2);
+    }
+  }
+  return Opts;
+}
+
+/// Maps the bench flags onto suite execution options. --filter is applied
+/// to the workload axis by selectedWorkloads(), not as a label filter, so
+/// tables stay dense.
+inline SuiteOptions suiteOptions(const BenchOptions &Opts) {
+  SuiteOptions S;
+  S.Jobs = Opts.Jobs;
+  return S;
+}
+
+/// Writes the --json-out document for a suite-shaped bench (no-op when the
+/// flag was not given); exits on I/O failure so CI catches it.
+inline void maybeWriteJson(const BenchOptions &Opts, const char *Bench,
+                           const SuiteResults &Results) {
+  if (Opts.JsonOutPath.empty())
+    return;
+  if (!writeSuiteJsonFile(Opts.JsonOutPath, Bench, Results))
+    exit(1);
+}
+
+/// The custom-driver flavor (fig7 etc.): explicit labeled results.
+inline void maybeWriteJson(const BenchOptions &Opts, const char *Bench,
+                           const std::vector<LabeledResult> &Runs) {
+  if (Opts.JsonOutPath.empty())
+    return;
+  if (!writeRunsJsonFile(Opts.JsonOutPath, Bench, Runs))
+    exit(1);
 }
 
 /// Standard banner: which experiment, which scale/seed, how to read it.

@@ -18,6 +18,12 @@
 //   F. What signal to use: miss-driven (this paper) vs access-frequency-
 //      driven placement (online object reordering-style).
 //
+// Parallel structure: every run that only needs its RunResult goes into
+// one flat batch executed by runExperiments (baselines + A + B + D +
+// F-miss); the runs that must wire observers or advisors into a live
+// Experiment (C, E, F-frequency) form a second parallelFor batch. Both
+// collect by fixed index, so tables are identical at any --jobs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -39,39 +45,126 @@ RunConfig base(const char *Workload, uint32_t Scale) {
   return C;
 }
 
+RunConfig coalloc(const char *Workload, uint32_t Scale) {
+  RunConfig C = base(Workload, Scale);
+  C.Monitoring = true;
+  C.Coallocation = true;
+  C.Monitor.SamplingInterval = 5000;
+  return C;
+}
+
+constexpr uint32_t kCeilings[] = {128, 256, 1024, 4096};
+constexpr uint64_t kThresholds[] = {1, 2, 8, 32};
+
+// Flat-batch indices (baselines + A + B + D + F-miss).
+enum : size_t {
+  kDbBase = 0,
+  kJbbBase,
+  kCeilingFirst, // 4 ceilings x {db, pseudojbb}
+  kThresholdFirst = kCeilingFirst + 8, // 4 thresholds, db
+  kEventFirst = kThresholdFirst + 4,   // {L1DMiss, DtlbMiss}, db
+  kMissSignal = kEventFirst + 2,       // F: miss-driven db
+  kNumPlain
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(60);
   banner("Ablations: co-allocation design choices",
          "DESIGN.md section 5 (not a paper figure)", Scale,
          "pair ceiling gates pseudojbb not db; low thresholds engage "
          "earlier; randomization costs nothing");
 
-  RunResult DbBase = runExperiment(base("db", Scale));
-  RunResult JbbBase = runExperiment(base("pseudojbb", Scale));
+  // --- The flat batch: plain runs identified by RunConfig alone -------------
+  std::vector<RunConfig> Plain(kNumPlain);
+  Plain[kDbBase] = base("db", Scale);
+  Plain[kJbbBase] = base("pseudojbb", Scale);
+  for (size_t I = 0; I != 4; ++I) {
+    RunConfig Db = coalloc("db", Scale);
+    Db.MaxCoallocPairBytes = kCeilings[I];
+    Plain[kCeilingFirst + 2 * I] = Db;
+    RunConfig Jbb = coalloc("pseudojbb", Scale);
+    Jbb.MaxCoallocPairBytes = kCeilings[I];
+    Plain[kCeilingFirst + 2 * I + 1] = Jbb;
+  }
+  for (size_t I = 0; I != 4; ++I) {
+    RunConfig Db = coalloc("db", Scale);
+    Db.Monitor.Advisor.MinMissSamples = kThresholds[I];
+    Plain[kThresholdFirst + I] = Db;
+  }
+  {
+    RunConfig L1 = coalloc("db", Scale);
+    L1.Monitor.Event = HpmEventKind::L1DMiss;
+    Plain[kEventFirst] = L1;
+    RunConfig Tlb = coalloc("db", Scale);
+    Tlb.Monitor.Event = HpmEventKind::DtlbMiss;
+    // DTLB misses are ~20x rarer; scale the interval so sample counts
+    // stay comparable.
+    Tlb.Monitor.SamplingInterval = 250;
+    Plain[kEventFirst + 1] = Tlb;
+  }
+  Plain[kMissSignal] = coalloc("db", Scale);
+  std::vector<RunResult> PR = runExperiments(Plain, Opts.Jobs);
+  const RunResult &DbBase = PR[kDbBase];
+  const RunResult &JbbBase = PR[kJbbBase];
+
+  // --- The custom batch: runs that wire into a live Experiment --------------
+  // [0..1] C randomization on/off, [2..4] E modes, [5] F frequency-driven.
+  struct CustomOut {
+    RunResult R;
+    uint64_t Attributed = 0; // C only.
+    uint64_t FreqPairs = 0;  // F only.
+  };
+  CustomOut Custom[6];
+  parallelFor(6, Opts.Jobs, [&](size_t I) {
+    CustomOut &Out = Custom[I];
+    if (I < 2) { // C: interval randomization.
+      RunConfig Db = coalloc("db", Scale);
+      Db.Monitor.RandomizeIntervalBits = I == 0;
+      Experiment E(Db);
+      E.run();
+      Out.R = E.result();
+      Out.Attributed = E.monitor()->stats().SamplesAttributed;
+    } else if (I < 5) { // E: what to do with the feedback.
+      int Mode = static_cast<int>(I) - 2;
+      RunConfig Db = coalloc("db", Scale);
+      Db.Coallocation = Mode == 0 || Mode == 2;
+      Experiment E(Db);
+      bool Injected = false;
+      if (Mode >= 1) {
+        // Inject prefetches once the miss profile is established.
+        E.monitor()->setPeriodObserver([&] {
+          if (!Injected && E.monitor()->missTable().totalMisses() >= 16) {
+            Injected = true;
+            PrefetchInjector::injectHotPrefetches(
+                E.vm(), E.monitor()->missTable(), /*MinMisses=*/4);
+          }
+        });
+      }
+      E.run();
+      Out.R = E.result();
+    } else { // F: frequency-driven placement, no HPM at all.
+      RunConfig Db = base("db", Scale);
+      Db.ProfileFieldAccess = true;
+      Experiment E(Db);
+      FrequencyAdvisor Advisor(E.vm(), /*MinAccesses=*/2000);
+      E.collector().setPlacementAdvisor(&Advisor);
+      E.run();
+      Out.R = E.result();
+      Out.FreqPairs = Advisor.coallocationCount();
+    }
+  });
 
   // --- A: pair-size ceiling -------------------------------------------------
   {
     TableWriter T({"ceiling", "db pairs", "db L1 vs base",
                    "pseudojbb pairs", "pseudojbb L1 vs base"});
-    for (uint32_t Ceiling : {128u, 256u, 1024u, 4096u}) {
-      RunConfig Db = base("db", Scale);
-      Db.Monitoring = true;
-      Db.Coallocation = true;
-      Db.Monitor.SamplingInterval = 5000;
-      Db.MaxCoallocPairBytes = Ceiling;
-      RunResult RDb = runExperiment(Db);
-
-      RunConfig Jbb = base("pseudojbb", Scale);
-      Jbb.Monitoring = true;
-      Jbb.Coallocation = true;
-      Jbb.Monitor.SamplingInterval = 5000;
-      Jbb.MaxCoallocPairBytes = Ceiling;
-      RunResult RJbb = runExperiment(Jbb);
-
-      T.addRow({formatString("%u B", Ceiling),
+    for (size_t I = 0; I != 4; ++I) {
+      const RunResult &RDb = PR[kCeilingFirst + 2 * I];
+      const RunResult &RJbb = PR[kCeilingFirst + 2 * I + 1];
+      T.addRow({formatString("%u B", kCeilings[I]),
                 withThousandsSep(RDb.CoallocatedPairs),
                 pct(static_cast<double>(RDb.Memory.L1Misses) /
                     DbBase.Memory.L1Misses),
@@ -86,14 +179,10 @@ int main(int Argc, char **Argv) {
   // --- B: hot-field threshold -----------------------------------------------
   {
     TableWriter T({"threshold", "pairs", "L1 vs base", "time vs base"});
-    for (uint64_t Th : {1ull, 2ull, 8ull, 32ull}) {
-      RunConfig Db = base("db", Scale);
-      Db.Monitoring = true;
-      Db.Coallocation = true;
-      Db.Monitor.SamplingInterval = 5000;
-      Db.Monitor.Advisor.MinMissSamples = Th;
-      RunResult R = runExperiment(Db);
-      T.addRow({withThousandsSep(Th), withThousandsSep(R.CoallocatedPairs),
+    for (size_t I = 0; I != 4; ++I) {
+      const RunResult &R = PR[kThresholdFirst + I];
+      T.addRow({withThousandsSep(kThresholds[I]),
+                withThousandsSep(R.CoallocatedPairs),
                 pct(static_cast<double>(R.Memory.L1Misses) /
                     DbBase.Memory.L1Misses),
                 pct(static_cast<double>(R.TotalCycles) /
@@ -107,19 +196,11 @@ int main(int Argc, char **Argv) {
   {
     TableWriter T({"randomized low bits", "samples", "attributed",
                    "pairs"});
-    for (bool Rand : {true, false}) {
-      RunConfig Db = base("db", Scale);
-      Db.Monitoring = true;
-      Db.Coallocation = true;
-      Db.Monitor.SamplingInterval = 5000;
-      Db.Monitor.RandomizeIntervalBits = Rand;
-      Experiment E(Db);
-      E.run();
-      RunResult R = E.result();
-      T.addRow({Rand ? "on" : "off", withThousandsSep(R.SamplesTaken),
-                withThousandsSep(E.monitor()->stats().SamplesAttributed),
-                withThousandsSep(R.CoallocatedPairs)});
-    }
+    for (size_t I = 0; I != 2; ++I)
+      T.addRow({I == 0 ? "on" : "off",
+                withThousandsSep(Custom[I].R.SamplesTaken),
+                withThousandsSep(Custom[I].Attributed),
+                withThousandsSep(Custom[I].R.CoallocatedPairs)});
     printf("--- C: sampling-interval randomization ---\n");
     emit(T, "ablation_randomization");
   }
@@ -128,17 +209,10 @@ int main(int Argc, char **Argv) {
   {
     TableWriter T({"event driver", "samples", "pairs", "L1 vs base",
                    "time vs base"});
-    for (HpmEventKind Kind :
-         {HpmEventKind::L1DMiss, HpmEventKind::DtlbMiss}) {
-      RunConfig Db = base("db", Scale);
-      Db.Monitoring = true;
-      Db.Coallocation = true;
-      Db.Monitor.Event = Kind;
-      // DTLB misses are ~20x rarer; scale the interval so sample counts
-      // stay comparable.
-      Db.Monitor.SamplingInterval =
-          Kind == HpmEventKind::L1DMiss ? 5000 : 250;
-      RunResult R = runExperiment(Db);
+    for (size_t I = 0; I != 2; ++I) {
+      const RunResult &R = PR[kEventFirst + I];
+      HpmEventKind Kind =
+          I == 0 ? HpmEventKind::L1DMiss : HpmEventKind::DtlbMiss;
       T.addRow({eventKindName(Kind), withThousandsSep(R.SamplesTaken),
                 withThousandsSep(R.CoallocatedPairs),
                 pct(static_cast<double>(R.Memory.L1Misses) /
@@ -156,24 +230,7 @@ int main(int Argc, char **Argv) {
     TableWriter T({"policy", "pairs", "prefetches issued", "L1 vs base",
                    "time vs base"});
     for (int Mode = 0; Mode != 3; ++Mode) {
-      RunConfig Db = base("db", Scale);
-      Db.Monitoring = true;
-      Db.Coallocation = Mode == 0 || Mode == 2;
-      Db.Monitor.SamplingInterval = 5000;
-      Experiment E(Db);
-      bool Injected = false;
-      if (Mode >= 1) {
-        // Inject prefetches once the miss profile is established.
-        E.monitor()->setPeriodObserver([&] {
-          if (!Injected && E.monitor()->missTable().totalMisses() >= 16) {
-            Injected = true;
-            PrefetchInjector::injectHotPrefetches(
-                E.vm(), E.monitor()->missTable(), /*MinMisses=*/4);
-          }
-        });
-      }
-      E.run();
-      RunResult R = E.result();
+      const RunResult &R = Custom[2 + Mode].R;
       T.addRow({Mode == 0   ? "co-allocation"
                 : Mode == 1 ? "prefetch injection"
                             : "both",
@@ -192,38 +249,26 @@ int main(int Argc, char **Argv) {
   // --- F: miss-driven vs frequency-driven placement ---------------------------
   {
     TableWriter T({"signal", "pairs", "L1 vs base", "time vs base"});
-    // Miss-driven: the normal pipeline.
-    {
-      RunConfig Db = base("db", Scale);
-      Db.Monitoring = true;
-      Db.Coallocation = true;
-      Db.Monitor.SamplingInterval = 5000;
-      RunResult R = runExperiment(Db);
-      T.addRow({"cache misses (paper)",
-                withThousandsSep(R.CoallocatedPairs),
-                pct(static_cast<double>(R.Memory.L1Misses) /
-                    DbBase.Memory.L1Misses),
-                pct(static_cast<double>(R.TotalCycles) /
-                    DbBase.TotalCycles)});
-    }
-    // Frequency-driven: software profiling, no HPM at all.
-    {
-      RunConfig Db = base("db", Scale);
-      Db.ProfileFieldAccess = true;
-      Experiment E(Db);
-      FrequencyAdvisor Advisor(E.vm(), /*MinAccesses=*/2000);
-      E.collector().setPlacementAdvisor(&Advisor);
-      E.run();
-      RunResult R = E.result();
-      T.addRow({"access frequency",
-                withThousandsSep(Advisor.coallocationCount()),
-                pct(static_cast<double>(R.Memory.L1Misses) /
-                    DbBase.Memory.L1Misses),
-                pct(static_cast<double>(R.TotalCycles) /
-                    DbBase.TotalCycles)});
-    }
+    const RunResult &Miss = PR[kMissSignal];
+    T.addRow({"cache misses (paper)",
+              withThousandsSep(Miss.CoallocatedPairs),
+              pct(static_cast<double>(Miss.Memory.L1Misses) /
+                  DbBase.Memory.L1Misses),
+              pct(static_cast<double>(Miss.TotalCycles) /
+                  DbBase.TotalCycles)});
+    const CustomOut &Freq = Custom[5];
+    T.addRow({"access frequency", withThousandsSep(Freq.FreqPairs),
+              pct(static_cast<double>(Freq.R.Memory.L1Misses) /
+                  DbBase.Memory.L1Misses),
+              pct(static_cast<double>(Freq.R.TotalCycles) /
+                  DbBase.TotalCycles)});
     printf("--- F: what signal drives placement ---\n");
     emit(T, "ablation_signal");
   }
+
+  maybeWriteJson(Opts, "ablation_coalloc",
+                 {{"db/base", DbBase},
+                  {"pseudojbb/base", JbbBase},
+                  {"db/coalloc", PR[kMissSignal]}});
   return 0;
 }

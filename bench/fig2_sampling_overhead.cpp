@@ -19,37 +19,20 @@ using namespace hpmvm::bench;
 
 namespace {
 
-RunResult runConfigured(const std::string &Name, uint32_t Scale,
-                        int Mode) {
-  RunConfig C;
-  C.Workload = Name;
-  C.Params.ScalePercent = Scale;
-  C.Params.Seed = envSeed();
-  C.HeapFactor = 4.0;
-  if (Mode >= 0) {
-    C.Monitoring = true;
-    C.Coallocation = false;
-    if (Mode == 3) {
-      C.Monitor.AutoInterval = true;
-      // Scaled from the paper's 200/s to the scaled-down runs
-      // (DESIGN.md section 6).
-      C.Monitor.TargetSamplesPerSec = 2000;
-      C.Monitor.SamplingInterval = 10000;
-    } else {
-      // The paper's 25K/50K/100K, time-scaled /10 like every other
-      // per-time quantity (DESIGN.md section 6).
-      C.Monitor.SamplingInterval = Mode == 0 ? 2500
-                                  : Mode == 1 ? 5000
-                                              : 10000;
-    }
-  }
-  return runExperiment(C);
+// The paper's 25K/50K/100K intervals, time-scaled /10 like every other
+// per-time quantity (DESIGN.md section 6).
+SuiteVariant monitored(const char *Name, uint64_t Interval) {
+  return {Name, [Interval](RunConfig &C) {
+            C.Monitoring = true;
+            C.Coallocation = false;
+            C.Monitor.SamplingInterval = Interval;
+          }};
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(50);
   banner("Figure 2: execution-time overhead of runtime event sampling",
          "Figure 2 (overhead vs baseline at intervals 25K/50K/100K/auto)",
@@ -58,33 +41,54 @@ int main(int Argc, char **Argv) {
          "100K/auto; worst cases ~3% at 25K; constant floor for "
          "low-miss programs");
 
+  SuiteSpec S;
+  S.Workloads = selectedWorkloads(Opts.Filter);
+  S.Params.ScalePercent = Scale;
+  S.Params.Seed = envSeed();
+  S.Repeat = Opts.Repeat;
+  S.Variants = {
+      {"base", nullptr},
+      monitored("25K", 2500),
+      monitored("50K", 5000),
+      monitored("100K", 10000),
+      {"auto",
+       [](RunConfig &C) {
+         C.Monitoring = true;
+         C.Coallocation = false;
+         C.Monitor.AutoInterval = true;
+         // Scaled from the paper's 200/s to the scaled-down runs
+         // (DESIGN.md section 6).
+         C.Monitor.TargetSamplesPerSec = 2000;
+         C.Monitor.SamplingInterval = 10000;
+       }},
+  };
+  SuiteResults R = runSuite(S, suiteOptions(Opts));
+
+  auto Cycles = [](const RunResult &Res) {
+    return static_cast<double>(Res.TotalCycles);
+  };
+
   TableWriter T({"program", "25K/10", "50K/10", "100K/10", "auto",
                  "samples@25K/10"});
   std::vector<double> Avg(4, 0.0);
   int N = 0;
-
-  for (const std::string &Name : selectedWorkloads()) {
-    RunResult Base = runConfigured(Name, Scale, -1);
+  for (size_t W = 0; W != S.Workloads.size(); ++W) {
+    double Base = R.mean(W, 0, 0, 0, Cycles);
     double Over[4];
-    uint64_t Samples25 = 0;
-    for (int Mode = 0; Mode != 4; ++Mode) {
-      RunResult R = runConfigured(Name, Scale, Mode);
-      Over[Mode] = static_cast<double>(R.TotalCycles) /
-                       static_cast<double>(Base.TotalCycles) -
-                   1.0;
-      if (Mode == 0)
-        Samples25 = R.SamplesTaken;
-      Avg[Mode] += Over[Mode];
+    for (size_t V = 0; V != 4; ++V) {
+      Over[V] = R.mean(W, 0, 0, V + 1, Cycles) / Base - 1.0;
+      Avg[V] += Over[V];
     }
     ++N;
-    T.addRow({Name, asPercent(Over[0]), asPercent(Over[1]),
+    T.addRow({S.Workloads[W], asPercent(Over[0]), asPercent(Over[1]),
               asPercent(Over[2]), asPercent(Over[3]),
-              withThousandsSep(Samples25)});
+              withThousandsSep(R.at(W, 0, 0, 1).SamplesTaken)});
   }
 
   if (N)
     T.addRow({"AVERAGE", asPercent(Avg[0] / N), asPercent(Avg[1] / N),
               asPercent(Avg[2] / N), asPercent(Avg[3] / N), "-"});
   emit(T, "fig2");
+  maybeWriteJson(Opts, "fig2", R);
   return 0;
 }

@@ -15,8 +15,23 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
+namespace {
+
+// The paper's 25K/50K/100K intervals, divided by the run-length scale
+// factor (~10x shorter runs; DESIGN.md section 6) so the sample coverage
+// per run matches the paper's.
+SuiteVariant coalloc(const char *Name, uint64_t Interval) {
+  return {Name, [Interval](RunConfig &C) {
+            C.Monitoring = true;
+            C.Coallocation = true;
+            C.Monitor.SamplingInterval = Interval;
+          }};
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(50);
   banner("Figure 3: co-allocated objects per sampling interval",
          "Figure 3 (pairs co-allocated at 25K/50K/100K)", Scale,
@@ -24,26 +39,23 @@ int main(int Argc, char **Argv) {
          "for db/pseudojbb/hsqldb/luindex/pmd; small counts "
          "interval-sensitive");
 
+  SuiteSpec S;
+  S.Workloads = selectedWorkloads(Opts.Filter);
+  S.Params.ScalePercent = Scale;
+  S.Params.Seed = envSeed();
+  S.Repeat = Opts.Repeat;
+  S.Variants = {coalloc("25K", 2500), coalloc("50K", 5000),
+                coalloc("100K", 10000)};
+  SuiteResults R = runSuite(S, suiteOptions(Opts));
+
   TableWriter T({"program", "25K/10", "50K/10", "100K/10"});
-  for (const std::string &Name : selectedWorkloads()) {
-    std::vector<std::string> Row = {Name};
-    // The paper's 25K/50K/100K intervals, divided by the run-length
-    // scale factor (~10x shorter runs; DESIGN.md section 6) so the sample
-    // coverage per run matches the paper's.
-    for (uint64_t Interval : {2500ull, 5000ull, 10000ull}) {
-      RunConfig C;
-      C.Workload = Name;
-      C.Params.ScalePercent = Scale;
-      C.Params.Seed = envSeed();
-      C.HeapFactor = 4.0;
-      C.Monitoring = true;
-      C.Coallocation = true;
-      C.Monitor.SamplingInterval = Interval;
-      RunResult R = runExperiment(C);
-      Row.push_back(withThousandsSep(R.CoallocatedPairs));
-    }
+  for (size_t W = 0; W != S.Workloads.size(); ++W) {
+    std::vector<std::string> Row = {S.Workloads[W]};
+    for (size_t V = 0; V != S.Variants.size(); ++V)
+      Row.push_back(withThousandsSep(R.at(W, 0, 0, V).CoallocatedPairs));
     T.addRow(std::move(Row));
   }
   emit(T, "fig3");
+  maybeWriteJson(Opts, "fig3", R);
   return 0;
 }

@@ -15,35 +15,41 @@ using namespace hpmvm;
 using namespace hpmvm::bench;
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(50);
   banner("Figure 4: L1 miss reduction from HPM-guided co-allocation",
          "Figure 4 (L1 misses, coalloc vs baseline, heap = 4x min)", Scale,
          "db largest (paper -28%); pseudojbb small despite many pairs "
          "(>line-sized long[]); compress/mpegaudio ~0");
 
+  SuiteSpec S;
+  S.Workloads = selectedWorkloads(Opts.Filter);
+  S.Params.ScalePercent = Scale;
+  S.Params.Seed = envSeed();
+  S.Repeat = Opts.Repeat;
+  S.Variants = {
+      {"base", nullptr},
+      {"coalloc",
+       [](RunConfig &C) {
+         C.Monitoring = true;
+         C.Coallocation = true;
+         C.Monitor.SamplingInterval = 5000; // Paper 50K, time-scaled /10.
+       }},
+  };
+  SuiteResults R = runSuite(S, suiteOptions(Opts));
+
   TableWriter T({"program", "L1 baseline", "L1 coalloc", "reduction",
                  "pairs"});
-  for (const std::string &Name : selectedWorkloads()) {
-    RunConfig Base;
-    Base.Workload = Name;
-    Base.Params.ScalePercent = Scale;
-    Base.Params.Seed = envSeed();
-    Base.HeapFactor = 4.0;
-    RunResult B = runExperiment(Base);
-
-    RunConfig Opt = Base;
-    Opt.Monitoring = true;
-    Opt.Coallocation = true;
-    Opt.Monitor.SamplingInterval = 5000; // Paper 50K, time-scaled /10.
-    RunResult O = runExperiment(Opt);
-
+  for (size_t W = 0; W != S.Workloads.size(); ++W) {
+    const RunResult &B = R.at(W, 0, 0, 0);
+    const RunResult &O = R.at(W, 0, 0, 1);
     double Ratio = static_cast<double>(O.Memory.L1Misses) /
                    static_cast<double>(B.Memory.L1Misses);
-    T.addRow({Name, withThousandsSep(B.Memory.L1Misses),
+    T.addRow({S.Workloads[W], withThousandsSep(B.Memory.L1Misses),
               withThousandsSep(O.Memory.L1Misses), pct(Ratio),
               withThousandsSep(O.CoallocatedPairs)});
   }
   emit(T, "fig4");
+  maybeWriteJson(Opts, "fig4", R);
   return 0;
 }

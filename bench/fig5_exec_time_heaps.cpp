@@ -9,6 +9,9 @@
 // the minimum heap most speedups shrink or invert (co-allocation's
 // internal fragmentation dominates) while db keeps a speedup.
 //
+// The full grid is 16 workloads x 5 heaps x 2 configs = 160 independent
+// runs; --jobs N executes them on N threads with bit-identical output.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -17,41 +20,48 @@ using namespace hpmvm;
 using namespace hpmvm::bench;
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(40);
-  const double Heaps[] = {1.0, 1.5, 2.0, 3.0, 4.0};
   banner("Figure 5: execution time vs baseline across heap sizes",
          "Figure 5 (normalized time, heap 1x-4x, auto interval)", Scale,
          "speedups concentrate at large heaps; small heaps pay "
          "co-allocation's fragmentation; non-beneficiaries pay ~sampling "
          "overhead");
 
+  SuiteSpec S;
+  S.Workloads = selectedWorkloads(Opts.Filter);
+  S.HeapFactors = {1.0, 1.5, 2.0, 3.0, 4.0};
+  S.Params.ScalePercent = Scale;
+  S.Params.Seed = envSeed();
+  S.Repeat = Opts.Repeat;
+  S.Variants = {
+      {"base", nullptr},
+      {"coalloc",
+       [](RunConfig &C) {
+         C.Monitoring = true;
+         C.Coallocation = true;
+         C.Monitor.AutoInterval = true;
+         C.Monitor.TargetSamplesPerSec = 2000; // Scaled; DESIGN.md sec. 6.
+         C.Monitor.SamplingInterval = 10000;
+       }},
+  };
+  SuiteResults R = runSuite(S, suiteOptions(Opts));
+
+  auto Cycles = [](const RunResult &Res) {
+    return static_cast<double>(Res.TotalCycles);
+  };
+
   TableWriter T({"program", "1x", "1.5x", "2x", "3x", "4x"});
-  for (const std::string &Name : selectedWorkloads()) {
-    std::vector<std::string> Row = {Name};
-    for (double H : Heaps) {
-      RunConfig Base;
-      Base.Workload = Name;
-      Base.Params.ScalePercent = Scale;
-      Base.Params.Seed = envSeed();
-      Base.HeapFactor = H;
-      RunResult B = runExperiment(Base);
-
-      RunConfig Opt = Base;
-      Opt.Monitoring = true;
-      Opt.Coallocation = true;
-      Opt.Monitor.AutoInterval = true;
-      Opt.Monitor.TargetSamplesPerSec = 2000; // Scaled; DESIGN.md sec. 6.
-      Opt.Monitor.SamplingInterval = 10000;
-      RunResult O = runExperiment(Opt);
-
-      double Ratio = static_cast<double>(O.TotalCycles) /
-                     static_cast<double>(B.TotalCycles);
+  for (size_t W = 0; W != S.Workloads.size(); ++W) {
+    std::vector<std::string> Row = {S.Workloads[W]};
+    for (size_t H = 0; H != S.HeapFactors.size(); ++H) {
+      double Ratio = R.mean(W, H, 0, 1, Cycles) / R.mean(W, H, 0, 0, Cycles);
       Row.push_back(formatString("%.3f", Ratio));
     }
     T.addRow(std::move(Row));
   }
   emit(T, "fig5");
   printf("(values < 1.0 mean the co-allocating configuration is faster)\n");
+  maybeWriteJson(Opts, "fig5", R);
   return 0;
 }

@@ -16,39 +16,46 @@ using namespace hpmvm;
 using namespace hpmvm::bench;
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(100);
-  const double Heaps[] = {1.0, 1.5, 2.0, 3.0, 4.0};
   banner("Figure 6: GenCopy vs GenMS+co-allocation on db",
          "Figure 6 (normalized execution time of _209_db)", Scale,
          "GenMS+coalloc < GenCopy < GenMS(plain) at every heap size");
 
+  SuiteSpec S;
+  S.Workloads = {"db"};
+  S.HeapFactors = {1.0, 1.5, 2.0, 3.0, 4.0};
+  S.Params.ScalePercent = Scale;
+  S.Params.Seed = envSeed();
+  S.Repeat = Opts.Repeat;
+  S.Variants = {
+      {"base", nullptr},
+      {"gencopy",
+       [](RunConfig &C) { C.Collector = CollectorKind::GenCopy; }},
+      {"coalloc",
+       [](RunConfig &C) {
+         C.Monitoring = true;
+         C.Coallocation = true;
+         C.Monitor.SamplingInterval = 10000; // Paper-equivalent, scaled.
+       }},
+  };
+  SuiteResults R = runSuite(S, suiteOptions(Opts));
+
+  auto Cycles = [](const RunResult &Res) {
+    return static_cast<double>(Res.TotalCycles);
+  };
+
   TableWriter T({"heap", "GenMS (base)", "GenCopy", "GenMS+coalloc",
                  "coalloc vs base", "coalloc vs GenCopy"});
-  for (double H : Heaps) {
-    RunConfig Base;
-    Base.Workload = "db";
-    Base.Params.ScalePercent = Scale;
-    Base.Params.Seed = envSeed();
-    Base.HeapFactor = H;
-    RunResult B = runExperiment(Base);
-
-    RunConfig Copy = Base;
-    Copy.Collector = CollectorKind::GenCopy;
-    RunResult Cp = runExperiment(Copy);
-
-    RunConfig Opt = Base;
-    Opt.Monitoring = true;
-    Opt.Coallocation = true;
-    Opt.Monitor.SamplingInterval = 10000; // Paper-equivalent, scaled.
-    RunResult O = runExperiment(Opt);
-
-    double RCopy = static_cast<double>(Cp.TotalCycles) / B.TotalCycles;
-    double ROpt = static_cast<double>(O.TotalCycles) / B.TotalCycles;
-    T.addRow({formatString("%.1fx", H), "1.000",
+  for (size_t H = 0; H != S.HeapFactors.size(); ++H) {
+    double Base = R.mean(0, H, 0, 0, Cycles);
+    double RCopy = R.mean(0, H, 0, 1, Cycles) / Base;
+    double ROpt = R.mean(0, H, 0, 2, Cycles) / Base;
+    T.addRow({formatString("%.1fx", S.HeapFactors[H]), "1.000",
               formatString("%.3f", RCopy), formatString("%.3f", ROpt),
               pct(ROpt), pct(ROpt / RCopy)});
   }
   emit(T, "fig6");
+  maybeWriteJson(Opts, "fig6", R);
   return 0;
 }

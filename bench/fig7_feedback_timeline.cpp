@@ -9,6 +9,12 @@
 //       the rate drops when co-allocation starts. The curves are
 //       stepwise-constant because samples are batch-processed.
 //
+// Not a SuiteSpec grid (each run tracks a field on its own Experiment),
+// but the two runs are independent and execute via the same parallel
+// harness: --jobs 2 runs them concurrently with identical output. With
+// --metrics-out/--trace-out set, each run exports under a ".runNNN"
+// suffix (run000 = no-coalloc, run001 = dyn-coalloc).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
@@ -21,7 +27,12 @@ using namespace hpmvm::bench;
 
 namespace {
 
-std::vector<PeriodPoint> runTimeline(uint32_t Scale, bool Coalloc) {
+struct TimelineRun {
+  std::vector<PeriodPoint> Timeline;
+  RunResult Result;
+};
+
+TimelineRun runTimeline(uint32_t Scale, bool Coalloc, size_t RunIndex) {
   RunConfig C;
   C.Workload = "db";
   C.Params.ScalePercent = Scale;
@@ -30,6 +41,7 @@ std::vector<PeriodPoint> runTimeline(uint32_t Scale, bool Coalloc) {
   C.Monitoring = true;
   C.Coallocation = Coalloc;
   C.Monitor.SamplingInterval = 5000; // Dense timeline, time-scaled.
+  C.Obs = uniquifySuiteObsPaths(resolveObsConfig(C.Obs), RunIndex);
   Experiment E(C);
   // Track the headline field: dbRecord::value.
   FieldId F = kInvalidId;
@@ -39,13 +51,13 @@ std::vector<PeriodPoint> runTimeline(uint32_t Scale, bool Coalloc) {
       F = static_cast<FieldId>(I);
   E.monitor()->missTable().trackField(F);
   E.run();
-  return E.monitor()->missTable().timeline(F);
+  return {E.monitor()->missTable().timeline(F), E.result()};
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(100);
   banner("Figure 7: sampled misses for db Record::value over time",
          "Figure 7(a) cumulative count, 7(b) per-period rate + 3-period "
@@ -54,8 +66,12 @@ int main(int Argc, char **Argv) {
          "the dyn-coalloc cumulative curve bends flat once co-allocation "
          "kicks in; the rate curve drops and stays lower");
 
-  auto Plain = runTimeline(Scale, /*Coalloc=*/false);
-  auto Dyn = runTimeline(Scale, /*Coalloc=*/true);
+  TimelineRun Runs[2];
+  parallelFor(2, Opts.Jobs, [&](size_t I) {
+    Runs[I] = runTimeline(Scale, /*Coalloc=*/I == 1, I);
+  });
+  const std::vector<PeriodPoint> &Plain = Runs[0].Timeline;
+  const std::vector<PeriodPoint> &Dyn = Runs[1].Timeline;
 
   TableWriter T({"period", "t (ms)", "cum no-coalloc", "cum dyn-coalloc",
                  "rate no-coalloc", "rate dyn-coalloc", "avg3 dyn",
@@ -94,5 +110,8 @@ int main(int Argc, char **Argv) {
            static_cast<unsigned long long>(PlainTotal),
            static_cast<unsigned long long>(DynTotal),
            pct(static_cast<double>(DynTotal) / PlainTotal).c_str());
+  maybeWriteJson(Opts, "fig7",
+                 {{"db/no-coalloc", Runs[0].Result},
+                  {"db/dyn-coalloc", Runs[1].Result}});
   return 0;
 }

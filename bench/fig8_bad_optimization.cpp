@@ -32,7 +32,9 @@ using namespace hpmvm;
 using namespace hpmvm::bench;
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  // Uniform bench flags; this figure is one custom closed-loop run, so
+  // --jobs/--filter/--repeat have nothing to parallelize or select.
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(100);
   banner("Figure 8: detecting and reverting a bad placement policy",
          "Figure 8 (forced 128-byte gap, assessed by event rates)", Scale,
@@ -148,5 +150,6 @@ int main(int Argc, char **Argv) {
   printf("Gap bytes inserted by the GC while the bad policy was live: "
          "%llu\n",
          static_cast<unsigned long long>(Gc.stats().CoallocGapBytes));
+  maybeWriteJson(Opts, "fig8", std::vector<LabeledResult>{});
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "heap/FreeListAllocator.h"
 #include "hpm/PebsUnit.h"
 #include "memsim/MemoryHierarchy.h"
+#include "obs/Metrics.h"
 #include "support/Random.h"
 #include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/BytecodeBuilder.h"
@@ -138,6 +139,51 @@ void BM_MachineExecutorThroughput(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * 6000);
 }
 BENCHMARK(BM_MachineExecutorThroughput);
+
+// The metric sinks became relaxed atomics so parallel experiments may
+// share them; relaxed load+store compiles to the same unlocked
+// load/add/store as the old plain increment, so these should match the
+// pre-atomic numbers (a fetch_add would not: lock prefix).
+void BM_MetricCounterInc(benchmark::State &State) {
+  Counter C;
+  for (auto _ : State) {
+    C.inc();
+    benchmark::DoNotOptimize(C);
+  }
+  benchmark::DoNotOptimize(C.value());
+}
+BENCHMARK(BM_MetricCounterInc);
+
+void BM_MetricGaugeSet(benchmark::State &State) {
+  Gauge G;
+  uint64_t V = 0;
+  for (auto _ : State) {
+    G.set(++V);
+    benchmark::DoNotOptimize(G);
+  }
+}
+BENCHMARK(BM_MetricGaugeSet);
+
+void BM_MetricHistogramRecord(benchmark::State &State) {
+  Histogram H;
+  SplitMix64 Rng(1);
+  for (auto _ : State) {
+    H.record(Rng.next() & 0xffff);
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK(BM_MetricHistogramRecord);
+
+// Through the shared process-wide sink, exactly what an unwired component
+// bumps -- and the one instance concurrent experiments actually share.
+void BM_MetricCounterSinkPath(benchmark::State &State) {
+  Counter &C = Counter::sink();
+  for (auto _ : State) {
+    C.inc();
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_MetricCounterSinkPath);
 
 void BM_SampleResolution(benchmark::State &State) {
   EngineRig R;

@@ -13,7 +13,7 @@ using namespace hpmvm;
 using namespace hpmvm::bench;
 
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(40);
   banner("Table 1: benchmark programs",
          "Table 1 (SPECjvm98 s=100 x3, DaCapo 10-2006 MR-2, pseudojbb)",
@@ -21,24 +21,29 @@ int main(int Argc, char **Argv) {
          "16 programs across three suites, as in the paper (chart, eclipse "
          "and xalan excluded for Jikes 2.4.2 compatibility)");
 
+  SuiteSpec S;
+  S.Workloads = selectedWorkloads(Opts.Filter);
+  S.Params.ScalePercent = Scale;
+  S.Params.Seed = envSeed();
+  S.Repeat = Opts.Repeat;
+  SuiteResults R = runSuite(S, suiteOptions(Opts));
+
   TableWriter T({"program", "suite", "min heap", "alloc MB", "objects",
                  "insns (M)", "description"});
-  for (const std::string &Name : selectedWorkloads()) {
-    const WorkloadSpec *W = findWorkload(Name);
-    RunConfig C;
-    C.Workload = Name;
-    C.Params.ScalePercent = Scale;
-    C.Params.Seed = envSeed();
-    C.HeapFactor = 4.0;
-    RunResult R = runExperiment(C);
-    uint64_t Insns =
-        R.Vm.BytecodesInterpreted + R.Vm.MachineInstsExecuted;
-    T.addRow({Name, W->Suite,
-              formatString("%.1f MB", scaledMinHeap(*W, C.Params) / 1e6),
-              formatString("%.1f", R.Vm.BytesAllocated / 1e6),
-              withThousandsSep(R.Vm.ObjectsAllocated),
-              formatString("%.1f", Insns / 1e6), W->Description});
+  for (size_t W = 0; W != S.Workloads.size(); ++W) {
+    const WorkloadSpec *Spec = findWorkload(S.Workloads[W]);
+    const RunResult &Run = R.at(W);
+    double Insns = R.mean(W, 0, 0, 0, [](const RunResult &Res) {
+      return static_cast<double>(Res.Vm.BytecodesInterpreted +
+                                 Res.Vm.MachineInstsExecuted);
+    });
+    T.addRow({S.Workloads[W], Spec->Suite,
+              formatString("%.1f MB", scaledMinHeap(*Spec, S.Params) / 1e6),
+              formatString("%.1f", Run.Vm.BytesAllocated / 1e6),
+              withThousandsSep(Run.Vm.ObjectsAllocated),
+              formatString("%.1f", Insns / 1e6), Spec->Description});
   }
   emit(T, "table1");
+  maybeWriteJson(Opts, "table1", R);
   return 0;
 }

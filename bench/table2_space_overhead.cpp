@@ -16,44 +16,61 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
+namespace {
+
+struct MapTotals {
+  uint64_t Code = 0;
+  uint64_t GcMaps = 0;
+  uint64_t McMaps = 0;
+};
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  bench::initObs(Argc, Argv);
+  BenchOptions Opts = bench::init(Argc, Argv);
   uint32_t Scale = envScale(40);
   banner("Table 2: space overhead of machine-code maps",
          "Table 2 (machine code KB / GC maps KB / MC maps KB per program)",
          Scale,
          "MC maps 4-5x the GC maps; absolute sizes small relative to heap");
 
+  // Build + compile only: Table 2 is a static property of each plan, so
+  // the per-program VMs are independent and run in parallel; results are
+  // collected by workload index for job-count-independent output.
+  std::vector<std::string> Workloads = selectedWorkloads(Opts.Filter);
+  std::vector<MapTotals> Totals(Workloads.size());
+  parallelFor(Workloads.size(), Opts.Jobs, [&](size_t I) {
+    RunConfig C;
+    C.Workload = Workloads[I];
+    C.Params.ScalePercent = Scale;
+    C.Params.Seed = envSeed();
+    Experiment E(C);
+    MapTotals &M = Totals[I];
+    for (size_t F = 0; F != E.vm().numCompiledFunctions(); ++F) {
+      CompiledMethodMaps Maps =
+          computeMaps(E.vm().compiledCode(static_cast<uint32_t>(F)));
+      M.Code += Maps.MachineCodeBytes;
+      M.GcMaps += Maps.GcMapBytes;
+      M.McMaps += Maps.McMapBytes;
+    }
+  });
+
   TableWriter T({"program", "machine code KB", "GC maps KB", "MC maps KB",
                  "MC/GC ratio"});
   double RatioSum = 0;
   int RatioCount = 0;
-
-  for (const std::string &Name : selectedWorkloads()) {
-    // Build + compile only: Table 2 is a static property of the plan.
-    RunConfig C;
-    C.Workload = Name;
-    C.Params.ScalePercent = Scale;
-    C.Params.Seed = envSeed();
-    Experiment E(C);
-
-    uint64_t Code = 0, GcMaps = 0, McMaps = 0;
-    for (size_t I = 0; I != E.vm().numCompiledFunctions(); ++I) {
-      CompiledMethodMaps Maps =
-          computeMaps(E.vm().compiledCode(static_cast<uint32_t>(I)));
-      Code += Maps.MachineCodeBytes;
-      GcMaps += Maps.GcMapBytes;
-      McMaps += Maps.McMapBytes;
-    }
-    double Ratio = GcMaps ? static_cast<double>(McMaps) / GcMaps : 0.0;
-    if (GcMaps) {
+  for (size_t I = 0; I != Workloads.size(); ++I) {
+    const MapTotals &M = Totals[I];
+    double Ratio =
+        M.GcMaps ? static_cast<double>(M.McMaps) / M.GcMaps : 0.0;
+    if (M.GcMaps) {
       RatioSum += Ratio;
       ++RatioCount;
     }
-    T.addRow({Name, formatString("%.1f", Code / 1024.0),
-              formatString("%.1f", GcMaps / 1024.0),
-              formatString("%.1f", McMaps / 1024.0),
-              GcMaps ? formatString("%.1fx", Ratio) : std::string("-")});
+    T.addRow({Workloads[I], formatString("%.1f", M.Code / 1024.0),
+              formatString("%.1f", M.GcMaps / 1024.0),
+              formatString("%.1f", M.McMaps / 1024.0),
+              M.GcMaps ? formatString("%.1fx", Ratio) : std::string("-")});
   }
 
   // Boot-image analogue: the baseline code of every registered method in
@@ -72,5 +89,6 @@ int main(int Argc, char **Argv) {
   if (RatioCount)
     printf("Average MC/GC map ratio: %.1fx (paper: 4-5x)\n",
            RatioSum / RatioCount);
+  maybeWriteJson(Opts, "table2", std::vector<LabeledResult>{});
   return 0;
 }

@@ -1,0 +1,70 @@
+//===-- harness/ParallelRunner.cpp ----------------------------------------===//
+
+#include "harness/ParallelRunner.h"
+
+#include "obs/Obs.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace hpmvm;
+
+unsigned hpmvm::effectiveJobs(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw ? Hw : 1;
+}
+
+void hpmvm::parallelFor(size_t N, unsigned Jobs,
+                        const std::function<void(size_t)> &Body) {
+  Jobs = effectiveJobs(Jobs);
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+
+  // From here on multiple experiments may read the process ObsConfig
+  // concurrently; make late writes impossible instead of racy.
+  freezeProcessObsConfig();
+
+  std::atomic<size_t> Next{0};
+  std::exception_ptr FirstError;
+  std::mutex ErrorLock;
+
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Body(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Guard(ErrorLock);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
+  };
+
+  size_t NumThreads = Jobs < N ? Jobs : N;
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (size_t T = 0; T != NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}
+
+std::vector<RunResult>
+hpmvm::runExperiments(const std::vector<RunConfig> &Configs, unsigned Jobs) {
+  std::vector<RunResult> Results(Configs.size());
+  parallelFor(Configs.size(), Jobs,
+              [&](size_t I) { Results[I] = runExperiment(Configs[I]); });
+  return Results;
+}

@@ -1,0 +1,52 @@
+//===-- harness/ParallelRunner.h - Concurrent experiment execution -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread pool for independent Experiments. Every Experiment owns its VM,
+/// heap, virtual clock, RNG and ObsContext, so runs are embarrassingly
+/// parallel -- the only shared state reachable from Experiment::run() is
+/// the obs layer (metric sinks, Log, the process ObsConfig), all of which
+/// is atomic or frozen before workers start (see obs/ headers).
+///
+/// Contract: results are collected **by index**, so anything derived from
+/// them (tables, CSV mirrors, metrics JSON) is bit-identical regardless of
+/// the job count. Jobs==1 runs inline on the caller's thread -- exactly the
+/// historical serial behavior, no threads created.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HARNESS_PARALLELRUNNER_H
+#define HPMVM_HARNESS_PARALLELRUNNER_H
+
+#include "harness/ExperimentRunner.h"
+
+#include <functional>
+#include <vector>
+
+namespace hpmvm {
+
+/// Resolves a --jobs request: 0 means "one per hardware thread", anything
+/// else is used as given (clamped to >= 1).
+unsigned effectiveJobs(unsigned Requested);
+
+/// Runs Body(0) .. Body(N-1), each exactly once, on up to \p Jobs worker
+/// threads. Body must confine its writes to state owned by its index.
+/// Indices are handed out through a shared atomic cursor, so completion
+/// order is scheduling-dependent -- never derive output from it. With
+/// Jobs <= 1 (or N <= 1) the loop runs inline and no thread is spawned.
+/// Before spawning workers the process ObsConfig is frozen
+/// (freezeProcessObsConfig); the first exception from any index is
+/// rethrown on the caller's thread after all workers join.
+void parallelFor(size_t N, unsigned Jobs,
+                 const std::function<void(size_t)> &Body);
+
+/// Convenience: run every config, return results in input order.
+std::vector<RunResult> runExperiments(const std::vector<RunConfig> &Configs,
+                                      unsigned Jobs);
+
+} // namespace hpmvm
+
+#endif // HPMVM_HARNESS_PARALLELRUNNER_H

@@ -1,0 +1,258 @@
+//===-- harness/Suite.cpp -------------------------------------------------===//
+
+#include "harness/Suite.h"
+
+#include "harness/ParallelRunner.h"
+#include "obs/Log.h"
+#include "obs/Obs.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace hpmvm;
+
+const char *hpmvm::collectorKindName(CollectorKind K) {
+  return K == CollectorKind::GenMS ? "GenMS" : "GenCopy";
+}
+
+size_t SuiteSpec::indexOf(size_t W, size_t H, size_t C, size_t V,
+                          size_t Rep) const {
+  assert(W < Workloads.size() && H < HeapFactors.size() &&
+         C < Collectors.size() && V < Variants.size() &&
+         Rep < (Repeat ? Repeat : 1) && "grid coordinate out of range");
+  size_t R = Repeat ? Repeat : 1;
+  return (((W * HeapFactors.size() + H) * Collectors.size() + C) *
+              Variants.size() +
+          V) *
+             R +
+         Rep;
+}
+
+std::vector<SuiteRun> hpmvm::expandSuite(const SuiteSpec &Spec) {
+  assert(!Spec.Workloads.empty() && "a suite needs at least one workload");
+  assert(!Spec.Variants.empty() && "a suite needs at least one variant");
+  uint32_t Reps = Spec.Repeat ? Spec.Repeat : 1;
+
+  std::vector<SuiteRun> Runs;
+  Runs.reserve(Spec.numCells());
+  for (size_t W = 0; W != Spec.Workloads.size(); ++W)
+    for (size_t H = 0; H != Spec.HeapFactors.size(); ++H)
+      for (size_t C = 0; C != Spec.Collectors.size(); ++C)
+        for (size_t V = 0; V != Spec.Variants.size(); ++V)
+          for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+            SuiteRun Run;
+            Run.Index = Runs.size();
+            Run.W = W;
+            Run.H = H;
+            Run.C = C;
+            Run.V = V;
+            Run.Rep = Rep;
+
+            // Label: the workload plus every axis with more than one
+            // level, so filters stay short and stable when a bench adds
+            // an axis.
+            Run.Label = Spec.Workloads[W];
+            if (Spec.HeapFactors.size() > 1)
+              Run.Label +=
+                  formatString("/%gx", Spec.HeapFactors[H]);
+            if (Spec.Collectors.size() > 1)
+              Run.Label +=
+                  std::string("/") + collectorKindName(Spec.Collectors[C]);
+            if (Spec.Variants.size() > 1)
+              Run.Label += "/" + Spec.Variants[V].Name;
+            if (Reps > 1)
+              Run.Label += formatString("/rep%u", Rep);
+
+            RunConfig &Cfg = Run.Config;
+            Cfg.Workload = Spec.Workloads[W];
+            Cfg.Params = Spec.Params;
+            Cfg.Params.Seed = Spec.Params.Seed + Rep;
+            Cfg.HeapFactor = Spec.HeapFactors[H];
+            Cfg.Collector = Spec.Collectors[C];
+            if (Spec.Common)
+              Spec.Common(Cfg);
+            if (Spec.Variants[V].Apply)
+              Spec.Variants[V].Apply(Cfg);
+            Runs.push_back(std::move(Run));
+          }
+  return Runs;
+}
+
+bool hpmvm::suiteFilterMatches(const std::string &Filter,
+                               const std::string &Label) {
+  return Filter.empty() || Label.find(Filter) != std::string::npos;
+}
+
+SuiteResults::SuiteResults(SuiteSpec Spec, std::vector<SuiteRun> Runs)
+    : Spec(std::move(Spec)), Runs(std::move(Runs)),
+      Results(this->Runs.size()), Ran(this->Runs.size(), 0) {}
+
+const RunResult &SuiteResults::at(size_t W, size_t H, size_t C, size_t V,
+                                  size_t Rep) const {
+  size_t I = Spec.indexOf(W, H, C, V, Rep);
+  if (!Ran[I]) {
+    logError("harness", "suite cell '%s' was filtered out but its result "
+                        "was requested",
+             Runs[I].Label.c_str());
+    abort();
+  }
+  return Results[I];
+}
+
+double
+SuiteResults::mean(size_t W, size_t H, size_t C, size_t V,
+                   const std::function<double(const RunResult &)> &Field)
+    const {
+  double Sum = 0;
+  size_t N = 0;
+  uint32_t Reps = Spec.Repeat ? Spec.Repeat : 1;
+  for (uint32_t Rep = 0; Rep != Reps; ++Rep) {
+    size_t I = Spec.indexOf(W, H, C, V, Rep);
+    if (!Ran[I])
+      continue;
+    Sum += Field(Results[I]);
+    ++N;
+  }
+  return N ? Sum / static_cast<double>(N) : 0.0;
+}
+
+size_t SuiteResults::numExecuted() const {
+  size_t N = 0;
+  for (char R : Ran)
+    N += R != 0;
+  return N;
+}
+
+ObsConfig hpmvm::uniquifySuiteObsPaths(ObsConfig Config, size_t Index) {
+  auto Uniquify = [Index](std::string &Path) {
+    if (Path.empty())
+      return;
+    std::string Tag = formatString(".run%03zu", Index);
+    size_t Dot = Path.rfind('.');
+    size_t Slash = Path.find_last_of('/');
+    if (Dot == std::string::npos ||
+        (Slash != std::string::npos && Dot < Slash))
+      Path += Tag;
+    else
+      Path.insert(Dot, Tag);
+  };
+  Uniquify(Config.MetricsOutPath);
+  Uniquify(Config.TraceOutPath);
+  return Config;
+}
+
+SuiteResults hpmvm::runSuite(const SuiteSpec &Spec,
+                             const SuiteOptions &Opts) {
+  SuiteResults R(Spec, expandSuite(Spec));
+
+  std::vector<size_t> ToRun;
+  for (const SuiteRun &Run : R.Runs)
+    if (suiteFilterMatches(Opts.Filter, Run.Label))
+      ToRun.push_back(Run.Index);
+
+  // Resolve telemetry up front (single-threaded) and de-collide export
+  // paths by grid index: N concurrent runs must not race on one file, and
+  // the names must not depend on the job count.
+  std::vector<RunConfig> Configs(ToRun.size());
+  for (size_t J = 0; J != ToRun.size(); ++J) {
+    RunConfig C = R.Runs[ToRun[J]].Config;
+    C.Obs = resolveObsConfig(C.Obs);
+    if (ToRun.size() > 1 && C.Obs.exportsAnything())
+      C.Obs = uniquifySuiteObsPaths(C.Obs, ToRun[J]);
+    Configs[J] = std::move(C);
+  }
+
+  parallelFor(ToRun.size(), Opts.Jobs, [&](size_t J) {
+    R.Results[ToRun[J]] = runExperiment(Configs[J]);
+    R.Ran[ToRun[J]] = 1;
+  });
+  return R;
+}
+
+namespace {
+
+void writeJsonEscaped(FILE *Out, const std::string &S) {
+  fputc('"', Out);
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      fputc('\\', Out);
+    if (static_cast<unsigned char>(C) < 0x20)
+      fprintf(Out, "\\u%04x", C);
+    else
+      fputc(C, Out);
+  }
+  fputc('"', Out);
+}
+
+void writeField(FILE *Out, const char *Name, uint64_t V, bool Last = false) {
+  fprintf(Out, "      \"%s\": %llu%s\n", Name,
+          static_cast<unsigned long long>(V), Last ? "" : ",");
+}
+
+} // namespace
+
+bool hpmvm::writeRunsJson(FILE *Out, const std::string &Bench,
+                          const std::vector<LabeledResult> &Runs) {
+  fputs("{\n  \"bench\": ", Out);
+  writeJsonEscaped(Out, Bench);
+  fputs(",\n  \"runs\": [", Out);
+  for (size_t I = 0; I != Runs.size(); ++I) {
+    const RunResult &R = Runs[I].Result;
+    fputs(I ? ",\n    {\n" : "\n    {\n", Out);
+    fputs("      \"label\": ", Out);
+    writeJsonEscaped(Out, Runs[I].Label);
+    fputs(",\n", Out);
+    writeField(Out, "heap_bytes", R.HeapBytes);
+    writeField(Out, "total_cycles", R.TotalCycles);
+    writeField(Out, "gc_cycles", R.GcCycles);
+    writeField(Out, "monitor_overhead_cycles", R.MonitorOverheadCycles);
+    writeField(Out, "samples_taken", R.SamplesTaken);
+    writeField(Out, "coallocated_pairs", R.CoallocatedPairs);
+    writeField(Out, "accesses", R.Memory.Accesses);
+    writeField(Out, "l1_misses", R.Memory.L1Misses);
+    writeField(Out, "l2_misses", R.Memory.L2Misses);
+    writeField(Out, "tlb_misses", R.Memory.TlbMisses);
+    writeField(Out, "minor_collections", R.Gc.MinorCollections);
+    writeField(Out, "major_collections", R.Gc.MajorCollections);
+    writeField(Out, "objects_promoted", R.Gc.ObjectsPromoted);
+    writeField(Out, "bytecodes_interpreted", R.Vm.BytecodesInterpreted);
+    writeField(Out, "machine_insts_executed", R.Vm.MachineInstsExecuted);
+    writeField(Out, "objects_allocated", R.Vm.ObjectsAllocated);
+    writeField(Out, "bytes_allocated", R.Vm.BytesAllocated);
+    fputs("      \"metrics\": ", Out);
+    R.Metrics.writeJson(Out);
+    fputs("    }", Out);
+  }
+  fputs(Runs.empty() ? "]\n}\n" : "\n  ]\n}\n", Out);
+  return ferror(Out) == 0;
+}
+
+bool hpmvm::writeRunsJsonFile(const std::string &Path,
+                              const std::string &Bench,
+                              const std::vector<LabeledResult> &Runs) {
+  FILE *Out = fopen(Path.c_str(), "w");
+  if (!Out) {
+    logError("harness", "cannot open results output '%s'", Path.c_str());
+    return false;
+  }
+  bool Ok = writeRunsJson(Out, Bench, Runs);
+  Ok &= fclose(Out) == 0;
+  if (Ok)
+    logInfo("harness", "wrote %zu run results to %s", Runs.size(),
+            Path.c_str());
+  return Ok;
+}
+
+bool hpmvm::writeSuiteJsonFile(const std::string &Path,
+                               const std::string &Bench,
+                               const SuiteResults &Results) {
+  std::vector<LabeledResult> Runs;
+  for (const SuiteRun &Run : Results.runs()) {
+    size_t I = Run.Index;
+    if (Results.ran(Run.W, Run.H, Run.C, Run.V, Run.Rep))
+      Runs.push_back({Results.runs()[I].Label,
+                      Results.at(Run.W, Run.H, Run.C, Run.V, Run.Rep)});
+  }
+  return writeRunsJsonFile(Path, Bench, Runs);
+}

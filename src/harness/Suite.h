@@ -1,0 +1,162 @@
+//===-- harness/Suite.h - Declarative experiment grids ----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation is a grid of independent deterministic runs
+/// (Figure 5 alone: 16 workloads x 5 heap sizes x 2 configurations). A
+/// SuiteSpec states such a grid declaratively -- axes over workload, heap
+/// factor, collector, a named list of configuration variants, and a repeat
+/// count -- and expands to a flat RunConfig list in a fixed row-major order
+/// (workload outermost, repeat innermost). runSuite() executes the grid on
+/// a ParallelRunner thread pool and collects results **by grid index**, so
+/// every table/CSV/JSON derived from a SuiteResults is bit-identical
+/// regardless of --jobs.
+///
+/// Rules for anything reachable from a suite run (enforced by the TSan CI
+/// job): no mutable namespace-scope or static state without atomics or a
+/// lock; per-run state lives in the Experiment. See DESIGN.md section 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HARNESS_SUITE_H
+#define HPMVM_HARNESS_SUITE_H
+
+#include "harness/ExperimentRunner.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// Printable collector-axis label ("GenMS" / "GenCopy").
+const char *collectorKindName(CollectorKind K);
+
+/// One named point on the "configuration" axis: a transform applied to the
+/// cell's base RunConfig (a null Apply is the identity, i.e. the plain
+/// baseline).
+struct SuiteVariant {
+  std::string Name;
+  std::function<void(RunConfig &)> Apply;
+};
+
+/// A declarative experiment grid. expand() produces the cross product of
+/// all axes; axes left at their defaults contribute a single grid level.
+struct SuiteSpec {
+  std::vector<std::string> Workloads;
+  std::vector<double> HeapFactors = {4.0};
+  std::vector<CollectorKind> Collectors = {CollectorKind::GenMS};
+  std::vector<SuiteVariant> Variants = {{"base", nullptr}};
+  /// Scale and the *base* seed; repetition r runs with Seed + r, so rep 0
+  /// reproduces a single-run suite exactly.
+  WorkloadParams Params;
+  uint32_t Repeat = 1;
+  /// Extra setup applied to every cell before its variant (shared
+  /// monitoring defaults etc.).
+  std::function<void(RunConfig &)> Common;
+
+  size_t numCells() const {
+    return Workloads.size() * HeapFactors.size() * Collectors.size() *
+           Variants.size() * (Repeat ? Repeat : 1);
+  }
+
+  /// Flat index of a cell in expansion order (row-major, workload
+  /// outermost, rep innermost).
+  size_t indexOf(size_t W, size_t H = 0, size_t C = 0, size_t V = 0,
+                 size_t Rep = 0) const;
+};
+
+/// One expanded grid point.
+struct SuiteRun {
+  size_t Index = 0; ///< Flat grid index; results are collected under it.
+  size_t W = 0, H = 0, C = 0, V = 0, Rep = 0;
+  /// "workload/heap/collector/variant/rep" -- segments for axes with a
+  /// single level are omitted, e.g. "db/1.5x/coalloc".
+  std::string Label;
+  RunConfig Config;
+};
+
+/// Expands \p Spec into its full run list, in grid order.
+std::vector<SuiteRun> expandSuite(const SuiteSpec &Spec);
+
+/// Label filter: empty matches everything, otherwise substring match.
+bool suiteFilterMatches(const std::string &Filter, const std::string &Label);
+
+struct SuiteOptions {
+  /// Worker threads; 0 = one per hardware thread, 1 = serial (inline).
+  unsigned Jobs = 1;
+  /// Only runs whose Label matches are executed; the rest stay empty in
+  /// the results (SuiteResults::ran()).
+  std::string Filter;
+};
+
+/// Grid-indexed results of one suite execution.
+class SuiteResults {
+public:
+  SuiteResults(SuiteSpec Spec, std::vector<SuiteRun> Runs);
+
+  const SuiteSpec &spec() const { return Spec; }
+  const std::vector<SuiteRun> &runs() const { return Runs; }
+
+  bool ran(size_t W, size_t H = 0, size_t C = 0, size_t V = 0,
+           size_t Rep = 0) const {
+    return Ran[Spec.indexOf(W, H, C, V, Rep)];
+  }
+  /// The run at a cell; aborts if the cell was filtered out.
+  const RunResult &at(size_t W, size_t H = 0, size_t C = 0, size_t V = 0,
+                      size_t Rep = 0) const;
+
+  /// Mean of Field over the cell's executed repetitions (0 when none ran).
+  double mean(size_t W, size_t H, size_t C, size_t V,
+              const std::function<double(const RunResult &)> &Field) const;
+
+  /// Number of runs that actually executed.
+  size_t numExecuted() const;
+
+private:
+  friend SuiteResults runSuite(const SuiteSpec &, const SuiteOptions &);
+
+  SuiteSpec Spec;
+  std::vector<SuiteRun> Runs;
+  std::vector<RunResult> Results;
+  std::vector<char> Ran;
+};
+
+/// Executes the grid: expands, filters, runs on a ParallelRunner pool, and
+/// returns results keyed by grid index. When more than one run exports
+/// telemetry, per-run --metrics-out/--trace-out paths get a deterministic
+/// ".runNNN" suffix (see uniquifySuiteObsPaths) so concurrent exports
+/// never collide on one file.
+SuiteResults runSuite(const SuiteSpec &Spec, const SuiteOptions &Opts = {});
+
+/// Inserts ".run<Index:03>" before the extension of any configured export
+/// path ("fig5.metrics.json" -> "fig5.metrics.run007.json"). Index-based,
+/// so the names are independent of scheduling.
+ObsConfig uniquifySuiteObsPaths(ObsConfig Config, size_t Index);
+
+/// A (label, result) pair for benches whose runs don't come from a
+/// SuiteSpec grid (custom Experiment drivers like fig7).
+struct LabeledResult {
+  std::string Label;
+  RunResult Result;
+};
+
+/// Writes the uniform --json-out payload: one object with bench metadata
+/// and a "runs" array in the given order, each run carrying its label,
+/// headline numbers, and the name-sorted metrics snapshot. Deterministic
+/// byte-for-byte for a given run list. \returns false on I/O failure.
+bool writeRunsJson(FILE *Out, const std::string &Bench,
+                   const std::vector<LabeledResult> &Runs);
+bool writeRunsJsonFile(const std::string &Path, const std::string &Bench,
+                       const std::vector<LabeledResult> &Runs);
+
+/// The suite flavor: executed runs, in grid order.
+bool writeSuiteJsonFile(const std::string &Path, const std::string &Bench,
+                        const SuiteResults &Results);
+
+} // namespace hpmvm
+
+#endif // HPMVM_HARNESS_SUITE_H

@@ -4,12 +4,14 @@
 
 using namespace hpmvm;
 
-LogLevel Log::MinLevel = LogLevel::Info;
-FILE *Log::Sink = nullptr;
+std::atomic<LogLevel> Log::MinLevel{LogLevel::Info};
+std::atomic<FILE *> Log::Sink{nullptr};
 
-void Log::setLevel(LogLevel L) { MinLevel = L; }
-LogLevel Log::level() { return MinLevel; }
-void Log::setSink(FILE *F) { Sink = F; }
+void Log::setLevel(LogLevel L) {
+  MinLevel.store(L, std::memory_order_relaxed);
+}
+LogLevel Log::level() { return MinLevel.load(std::memory_order_relaxed); }
+void Log::setSink(FILE *F) { Sink.store(F, std::memory_order_relaxed); }
 
 void Log::write(LogLevel L, const char *Category, const char *Fmt, ...) {
   if (!enabled(L))
@@ -24,7 +26,8 @@ void Log::vwrite(LogLevel L, const char *Category, const char *Fmt,
                  va_list Args) {
   if (!enabled(L))
     return;
-  FILE *Out = Sink ? Sink : stderr;
+  FILE *S = Sink.load(std::memory_order_relaxed);
+  FILE *Out = S ? S : stderr;
   fprintf(Out, "[%s %s] ", logLevelName(L), Category);
   vfprintf(Out, Fmt, Args);
   fputc('\n', Out);

@@ -13,11 +13,17 @@
 /// check is a single integer compare so disabled levels cost nothing on
 /// the paths that matter.
 ///
+/// Threading: the level and sink are process-wide, set once at startup
+/// (before any ParallelRunner threads exist) and then only read. Both are
+/// relaxed atomics so concurrent experiments can log without racing the
+/// configuration; message emission itself relies on stdio's per-FILE lock.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_OBS_LOG_H
 #define HPMVM_OBS_LOG_H
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
@@ -37,7 +43,9 @@ public:
   /// Redirects output (nullptr restores stderr).
   static void setSink(FILE *F);
 
-  static bool enabled(LogLevel L) { return L >= MinLevel; }
+  static bool enabled(LogLevel L) {
+    return L >= MinLevel.load(std::memory_order_relaxed);
+  }
 
   /// Emits "[level category] message\n" when \p L passes the filter.
   static void write(LogLevel L, const char *Category, const char *Fmt, ...)
@@ -46,8 +54,8 @@ public:
                      va_list Args);
 
 private:
-  static LogLevel MinLevel;
-  static FILE *Sink;
+  static std::atomic<LogLevel> MinLevel;
+  static std::atomic<FILE *> Sink;
 };
 
 /// "error" -> LogLevel::Error etc.; \returns false on an unknown name.

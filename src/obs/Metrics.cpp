@@ -3,6 +3,7 @@
 #include "obs/Metrics.h"
 
 #include <algorithm>
+#include <utility>
 
 using namespace hpmvm;
 
@@ -21,11 +22,14 @@ Histogram &Histogram::sink() {
   return S;
 }
 
+// The metric classes hold atomics and are therefore not copyable; construct
+// them in place.
 Counter &MetricsRegistry::counter(const std::string &Name) {
   auto It = CounterIdx.find(Name);
   if (It != CounterIdx.end())
     return *It->second;
-  Counters.emplace_back(Name, Counter());
+  Counters.emplace_back(std::piecewise_construct, std::forward_as_tuple(Name),
+                        std::forward_as_tuple());
   CounterIdx.emplace(Name, &Counters.back().second);
   return Counters.back().second;
 }
@@ -34,7 +38,8 @@ Gauge &MetricsRegistry::gauge(const std::string &Name) {
   auto It = GaugeIdx.find(Name);
   if (It != GaugeIdx.end())
     return *It->second;
-  Gauges.emplace_back(Name, Gauge());
+  Gauges.emplace_back(std::piecewise_construct, std::forward_as_tuple(Name),
+                      std::forward_as_tuple());
   GaugeIdx.emplace(Name, &Gauges.back().second);
   return Gauges.back().second;
 }
@@ -43,7 +48,9 @@ Histogram &MetricsRegistry::histogram(const std::string &Name) {
   auto It = HistogramIdx.find(Name);
   if (It != HistogramIdx.end())
     return *It->second;
-  Histograms.emplace_back(Name, Histogram());
+  Histograms.emplace_back(std::piecewise_construct,
+                          std::forward_as_tuple(Name),
+                          std::forward_as_tuple());
   HistogramIdx.emplace(Name, &Histograms.back().second);
   return Histograms.back().second;
 }

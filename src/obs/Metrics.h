@@ -10,14 +10,25 @@
 ///
 /// Design constraints (the pipeline is what Figure 2 measures, so the
 /// instrumentation must not perturb it):
-///   - the hot path is a plain `uint64_t` increment through a pre-resolved
-///     pointer -- no lookup, no lock, no branch, and no virtual-clock cost;
+///   - the hot path is a single-instruction `uint64_t` bump through a
+///     pre-resolved pointer -- no lookup, no lock, no branch, and no
+///     virtual-clock cost;
 ///   - name resolution happens once, at wiring time (attachObs), never on
 ///     the increment path;
 ///   - unwired components point their metric handles at process-wide sink
 ///     instances, so instrumented code needs no null checks;
 ///   - snapshots/export run at run end or on poll boundaries only, and are
 ///     deterministic (names sorted) so telemetry diffs cleanly across runs.
+///
+/// Threading: registries are per-experiment and accessed only by the
+/// thread running that experiment, but the process-wide sink instances are
+/// shared by every concurrently running experiment (harness/ParallelRunner).
+/// All mutation therefore goes through relaxed atomic loads/stores: that is
+/// race-free under the memory model (ThreadSanitizer-clean) and compiles to
+/// the same unlocked load/add/store sequence as a plain bump, preserving
+/// the serial hot path (bench/micro_components BM_Metric*). Concurrent
+/// increments to the *sinks* may lose updates -- acceptable, the sinks
+/// exist to discard.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +37,7 @@
 
 #include "support/Types.h"
 
+#include <atomic>
 #include <bit>
 #include <cstdio>
 #include <deque>
@@ -35,32 +47,43 @@
 
 namespace hpmvm {
 
+namespace detail {
+/// The metric mutation primitive: an unsynchronized-looking bump that is
+/// nevertheless race-free. Relaxed load + relaxed store keeps the serial
+/// code identical to `V += N` (no lock prefix, no fence); the only thing
+/// given up is atomicity of the read-modify-write, i.e. concurrent bumps
+/// to the shared sinks may lose counts.
+inline void relaxedAdd(std::atomic<uint64_t> &V, uint64_t N) {
+  V.store(V.load(std::memory_order_relaxed) + N, std::memory_order_relaxed);
+}
+} // namespace detail
+
 /// Monotonic event count.
 class Counter {
 public:
-  void inc(uint64_t N = 1) { V += N; }
-  uint64_t value() const { return V; }
-  void reset() { V = 0; }
+  void inc(uint64_t N = 1) { detail::relaxedAdd(V, N); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
 
   /// Process-wide discard instance: components not wired to a registry
   /// increment this so the hot path carries no null check.
   static Counter &sink();
 
 private:
-  uint64_t V = 0;
+  std::atomic<uint64_t> V{0};
 };
 
 /// Last-written value (fill levels, table sizes, current intervals).
 class Gauge {
 public:
-  void set(uint64_t N) { V = N; }
-  uint64_t value() const { return V; }
-  void reset() { V = 0; }
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
 
   static Gauge &sink();
 
 private:
-  uint64_t V = 0;
+  std::atomic<uint64_t> V{0};
 };
 
 /// Histogram over uint64 values with fixed log2 buckets: bucket i counts
@@ -71,30 +94,42 @@ public:
   static constexpr size_t kBuckets = 65;
 
   void record(uint64_t V) {
-    ++Buckets[std::bit_width(V)];
-    ++N;
-    Sum += V;
-    if (N == 1 || V < MinV)
-      MinV = V;
-    if (V > MaxV)
-      MaxV = V;
+    detail::relaxedAdd(Buckets[std::bit_width(V)], 1);
+    detail::relaxedAdd(N, 1);
+    detail::relaxedAdd(Sum, V);
+    uint64_t Cnt = N.load(std::memory_order_relaxed);
+    if (Cnt == 1 || V < MinV.load(std::memory_order_relaxed))
+      MinV.store(V, std::memory_order_relaxed);
+    if (V > MaxV.load(std::memory_order_relaxed))
+      MaxV.store(V, std::memory_order_relaxed);
   }
 
-  uint64_t count() const { return N; }
-  uint64_t sum() const { return Sum; }
-  uint64_t min() const { return N ? MinV : 0; }
-  uint64_t max() const { return MaxV; }
-  uint64_t bucket(size_t I) const { return Buckets[I]; }
-  void reset() { *this = Histogram(); }
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    return count() ? MinV.load(std::memory_order_relaxed) : 0;
+  }
+  uint64_t max() const { return MaxV.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    N.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    MinV.store(0, std::memory_order_relaxed);
+    MaxV.store(0, std::memory_order_relaxed);
+  }
 
   static Histogram &sink();
 
 private:
-  uint64_t Buckets[kBuckets] = {};
-  uint64_t N = 0;
-  uint64_t Sum = 0;
-  uint64_t MinV = 0;
-  uint64_t MaxV = 0;
+  std::atomic<uint64_t> Buckets[kBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> MinV{0};
+  std::atomic<uint64_t> MaxV{0};
 };
 
 /// Immutable, name-sorted copy of a registry's state (what RunResult

@@ -2,6 +2,7 @@
 
 #include "obs/Obs.h"
 
+#include <atomic>
 #include <cstring>
 
 using namespace hpmvm;
@@ -34,12 +35,26 @@ bool ObsContext::exportAll() const {
 }
 
 static ObsConfig ProcessConfig;
+static std::atomic<bool> ProcessConfigFrozen{false};
 
 void hpmvm::setProcessObsConfig(const ObsConfig &Config) {
+  if (ProcessConfigFrozen.load(std::memory_order_acquire)) {
+    logError("obs", "process ObsConfig is frozen (experiments may be "
+                    "running); ignoring late configuration");
+    return;
+  }
   ProcessConfig = Config;
 }
 
 const ObsConfig &hpmvm::processObsConfig() { return ProcessConfig; }
+
+void hpmvm::freezeProcessObsConfig() {
+  ProcessConfigFrozen.store(true, std::memory_order_release);
+}
+
+bool hpmvm::processObsConfigFrozen() {
+  return ProcessConfigFrozen.load(std::memory_order_acquire);
+}
 
 ObsConfig hpmvm::resolveObsConfig(const ObsConfig &C) {
   ObsConfig R = C;
@@ -99,7 +114,7 @@ bool hpmvm::parseObsFlags(int &Argc, char **Argv) {
   Argc = Out;
   Argv[Argc] = nullptr;
 
-  ProcessConfig = C;
+  setProcessObsConfig(C);
   Log::setLevel(C.Level);
   return Ok;
 }

@@ -67,8 +67,19 @@ private:
 
 /// Process-wide default ObsConfig, inherited by every Experiment whose
 /// RunConfig leaves its own ObsConfig untouched. Set by the CLI flags.
+///
+/// Set-once-before-threads: writes are only legal while the process is
+/// still single-threaded (main() startup). ParallelRunner freezes the
+/// config before spawning workers; later writes are rejected with an
+/// error so concurrent experiments only ever see immutable state.
 void setProcessObsConfig(const ObsConfig &Config);
 const ObsConfig &processObsConfig();
+
+/// Marks the process ObsConfig read-only (called by ParallelRunner before
+/// it starts worker threads). Subsequent setProcessObsConfig/parseObsFlags
+/// calls log an error and change nothing.
+void freezeProcessObsConfig();
+bool processObsConfigFrozen();
 
 /// Merges \p C with the process-wide default: unset fields (empty paths,
 /// default level/capacity) inherit the process value.

@@ -1,0 +1,122 @@
+//===-- tests/harness/BenchEnvTest.cpp ------------------------------------===//
+//
+// The bench harness's strict parsing: a mistyped HPMVM_SEED or
+// HPMVM_WORKLOADS must be a hard error, never a silent 0 or an empty
+// sweep that looks like success.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchCommon.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+using namespace hpmvm::bench;
+
+namespace {
+
+TEST(BenchEnv, ParseUintAcceptsPlainDecimals) {
+  uint64_t V = 0;
+  EXPECT_TRUE(parseUint("0", V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(parseUint("42", V));
+  EXPECT_EQ(V, 42u);
+  EXPECT_TRUE(parseUint("18446744073709551615", V)); // UINT64_MAX.
+  EXPECT_EQ(V, UINT64_MAX);
+}
+
+TEST(BenchEnv, ParseUintRejectsWhatAtoiWouldSwallow) {
+  uint64_t V = 99;
+  EXPECT_FALSE(parseUint("", V));
+  EXPECT_FALSE(parseUint(nullptr, V));
+  EXPECT_FALSE(parseUint("abc", V));   // atoi: 0.
+  EXPECT_FALSE(parseUint("12abc", V)); // atoi: 12.
+  EXPECT_FALSE(parseUint("1 2", V));
+  EXPECT_FALSE(parseUint("-1", V)); // strtoull would wrap, not fail.
+  EXPECT_FALSE(parseUint("1.5", V));
+  EXPECT_FALSE(parseUint("18446744073709551616", V)); // UINT64_MAX + 1.
+  EXPECT_EQ(V, 99u) << "failed parses must not clobber the output";
+}
+
+TEST(BenchEnv, WorkloadListAcceptsValidNames) {
+  std::vector<std::string> Names;
+  std::string Error;
+  ASSERT_TRUE(parseWorkloadList("db,compress", Names, Error)) << Error;
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "db");
+  EXPECT_EQ(Names[1], "compress");
+}
+
+TEST(BenchEnv, WorkloadListTolleratesStrayCommas) {
+  std::vector<std::string> Names;
+  std::string Error;
+  ASSERT_TRUE(parseWorkloadList(",db,,compress,", Names, Error)) << Error;
+  ASSERT_EQ(Names.size(), 2u);
+}
+
+TEST(BenchEnv, UnknownWorkloadIsAnErrorListingTheValidNames) {
+  std::vector<std::string> Names;
+  std::string Error;
+  EXPECT_FALSE(parseWorkloadList("db,notaworkload", Names, Error));
+  EXPECT_NE(Error.find("notaworkload"), std::string::npos) << Error;
+  // The message must teach the fix: every registered name is listed.
+  for (const WorkloadSpec &W : allWorkloads())
+    EXPECT_NE(Error.find(W.Name), std::string::npos)
+        << "missing " << W.Name << " in: " << Error;
+}
+
+TEST(BenchEnv, EmptySelectionIsAnErrorNotAnEmptySweep) {
+  std::vector<std::string> Names;
+  std::string Error;
+  EXPECT_FALSE(parseWorkloadList("", Names, Error));
+  EXPECT_FALSE(parseWorkloadList(",", Names, Error));
+  EXPECT_NE(Error.find("selects nothing"), std::string::npos) << Error;
+}
+
+/// Mutable argv for parseBenchFlags (which compacts it in place).
+struct ArgvFixture {
+  std::vector<std::string> Store;
+  std::vector<char *> Ptrs;
+  int Argc;
+
+  ArgvFixture(std::initializer_list<const char *> Args) {
+    for (const char *A : Args)
+      Store.emplace_back(A);
+    for (std::string &S : Store)
+      Ptrs.push_back(S.data());
+    Ptrs.push_back(nullptr);
+    Argc = static_cast<int>(Store.size());
+  }
+};
+
+TEST(BenchEnv, BenchFlagsParseAndCompactArgv) {
+  ArgvFixture A({"bench", "--jobs", "4", "--filter", "db", "--repeat=3",
+                 "--json-out", "out.json"});
+  BenchOptions Opts;
+  ASSERT_TRUE(parseBenchFlags(A.Argc, A.Ptrs.data(), Opts));
+  EXPECT_EQ(Opts.Jobs, 4u);
+  EXPECT_EQ(Opts.Filter, "db");
+  EXPECT_EQ(Opts.Repeat, 3u);
+  EXPECT_EQ(Opts.JsonOutPath, "out.json");
+  EXPECT_EQ(A.Argc, 1) << "consumed flags must be stripped from argv";
+}
+
+TEST(BenchEnv, BenchFlagsRejectGarbage) {
+  {
+    ArgvFixture A({"bench", "--jobs", "four"});
+    BenchOptions Opts;
+    EXPECT_FALSE(parseBenchFlags(A.Argc, A.Ptrs.data(), Opts));
+  }
+  {
+    ArgvFixture A({"bench", "--repeat", "0"});
+    BenchOptions Opts;
+    EXPECT_FALSE(parseBenchFlags(A.Argc, A.Ptrs.data(), Opts));
+  }
+  {
+    ArgvFixture A({"bench", "--frobnicate"});
+    BenchOptions Opts;
+    EXPECT_FALSE(parseBenchFlags(A.Argc, A.Ptrs.data(), Opts));
+  }
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+//===-- tests/harness/ParallelRunnerTest.cpp ------------------------------===//
+//
+// The parallel execution layer, and the property the whole suite harness
+// is built on: results depend only on the grid position, never on the job
+// count or scheduling. Runs real (small) experiments at --jobs 1 and
+// --jobs 4 and requires byte-identical results, including the name-sorted
+// metrics JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/ParallelRunner.h"
+#include "harness/Suite.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+using namespace hpmvm;
+
+namespace {
+
+TEST(ParallelRunner, EffectiveJobsResolvesZeroToHardwareConcurrency) {
+  EXPECT_EQ(effectiveJobs(1), 1u);
+  EXPECT_EQ(effectiveJobs(7), 7u);
+  EXPECT_GE(effectiveJobs(0), 1u);
+}
+
+TEST(ParallelRunner, ParallelForRunsEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {1u, 4u}) {
+    std::vector<std::atomic<int>> Hits(64);
+    parallelFor(Hits.size(), Jobs,
+                [&](size_t I) { Hits[I].fetch_add(1); });
+    for (size_t I = 0; I != Hits.size(); ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << " jobs " << Jobs;
+  }
+}
+
+TEST(ParallelRunner, SerialModeStaysOnTheCallingThread) {
+  std::thread::id Caller = std::this_thread::get_id();
+  parallelFor(8, 1, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+}
+
+TEST(ParallelRunner, FirstExceptionIsRethrownAfterJoining) {
+  for (unsigned Jobs : {1u, 4u}) {
+    std::atomic<int> Ran{0};
+    EXPECT_THROW(parallelFor(8, Jobs,
+                             [&](size_t I) {
+                               Ran.fetch_add(1);
+                               if (I == 3)
+                                 throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error)
+        << "jobs " << Jobs;
+    EXPECT_GE(Ran.load(), 1) << "jobs " << Jobs;
+  }
+}
+
+// --- The determinism contract on real experiments --------------------------
+
+SuiteSpec smallGrid() {
+  SuiteSpec S;
+  S.Workloads = {"db", "compress"};
+  S.HeapFactors = {1.0, 2.0};
+  S.Params.ScalePercent = 10;
+  S.Params.Seed = 11;
+  S.Variants = {{"base", nullptr},
+                {"coalloc",
+                 [](RunConfig &C) {
+                   C.Monitoring = true;
+                   C.Coallocation = true;
+                   C.Monitor.SamplingInterval = 5000;
+                 }}};
+  return S;
+}
+
+void expectIdentical(const RunResult &A, const RunResult &B,
+                     const std::string &Label) {
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles) << Label;
+  EXPECT_EQ(A.GcCycles, B.GcCycles) << Label;
+  EXPECT_EQ(A.MonitorOverheadCycles, B.MonitorOverheadCycles) << Label;
+  EXPECT_EQ(A.SamplesTaken, B.SamplesTaken) << Label;
+  EXPECT_EQ(A.CoallocatedPairs, B.CoallocatedPairs) << Label;
+  EXPECT_EQ(A.Memory.Accesses, B.Memory.Accesses) << Label;
+  EXPECT_EQ(A.Memory.L1Misses, B.Memory.L1Misses) << Label;
+  EXPECT_EQ(A.Memory.L2Misses, B.Memory.L2Misses) << Label;
+  EXPECT_EQ(A.Gc.MinorCollections, B.Gc.MinorCollections) << Label;
+  EXPECT_EQ(A.Gc.MajorCollections, B.Gc.MajorCollections) << Label;
+  EXPECT_EQ(A.Vm.BytecodesInterpreted, B.Vm.BytecodesInterpreted) << Label;
+  // The full telemetry snapshot, serialized: metric names and values must
+  // match byte for byte (names are sorted, so this is deterministic).
+  EXPECT_EQ(A.Metrics.toJson(), B.Metrics.toJson()) << Label;
+}
+
+TEST(ParallelRunner, JobCountDoesNotChangeAnyResult) {
+  SuiteSpec S = smallGrid();
+  SuiteOptions Serial;
+  Serial.Jobs = 1;
+  SuiteOptions Parallel;
+  Parallel.Jobs = 4;
+
+  SuiteResults A = runSuite(S, Serial);
+  SuiteResults B = runSuite(S, Parallel);
+  ASSERT_EQ(A.numExecuted(), S.numCells());
+  ASSERT_EQ(B.numExecuted(), S.numCells());
+  for (const SuiteRun &Run : A.runs())
+    expectIdentical(A.at(Run.W, Run.H, Run.C, Run.V, Run.Rep),
+                    B.at(Run.W, Run.H, Run.C, Run.V, Run.Rep), Run.Label);
+}
+
+TEST(ParallelRunner, PerRunSeedsAreIndependentOfScheduling) {
+  // Every repetition must behave as if it were the only run in the
+  // process: rep r of a parallel suite == a lone serial run with seed
+  // base+r.
+  SuiteSpec S;
+  S.Workloads = {"db"};
+  S.Params.ScalePercent = 10;
+  S.Params.Seed = 21;
+  S.Repeat = 3;
+  SuiteOptions Parallel;
+  Parallel.Jobs = 4;
+  SuiteResults R = runSuite(S, Parallel);
+
+  for (uint32_t Rep = 0; Rep != 3; ++Rep) {
+    RunConfig Lone;
+    Lone.Workload = "db";
+    Lone.Params.ScalePercent = 10;
+    Lone.Params.Seed = 21 + Rep;
+    expectIdentical(R.at(0, 0, 0, 0, Rep), runExperiment(Lone),
+                    "rep" + std::to_string(Rep));
+  }
+  // And distinct seeds must actually change the run.
+  EXPECT_NE(R.at(0, 0, 0, 0, 0).TotalCycles,
+            R.at(0, 0, 0, 0, 1).TotalCycles);
+}
+
+TEST(ParallelRunner, FilteredCellsDoNotRun) {
+  SuiteSpec S = smallGrid();
+  SuiteOptions Opts;
+  Opts.Jobs = 4;
+  Opts.Filter = "compress/2x";
+  SuiteResults R = runSuite(S, Opts);
+  EXPECT_EQ(R.numExecuted(), 2u); // compress/2x/{base,coalloc}.
+  EXPECT_FALSE(R.ran(0, 0, 0, 0));
+  EXPECT_TRUE(R.ran(1, 1, 0, 0));
+  EXPECT_TRUE(R.ran(1, 1, 0, 1));
+}
+
+TEST(ParallelRunner, RunExperimentsReturnsResultsInInputOrder) {
+  std::vector<RunConfig> Configs(2);
+  Configs[0].Workload = "db";
+  Configs[0].Params.ScalePercent = 10;
+  Configs[1].Workload = "compress";
+  Configs[1].Params.ScalePercent = 10;
+  std::vector<RunResult> Par = runExperiments(Configs, 4);
+  std::vector<RunResult> Ser = runExperiments(Configs, 1);
+  ASSERT_EQ(Par.size(), 2u);
+  expectIdentical(Par[0], Ser[0], "configs[0]");
+  expectIdentical(Par[1], Ser[1], "configs[1]");
+  EXPECT_NE(Par[0].TotalCycles, Par[1].TotalCycles)
+      << "db and compress must be distinguishable";
+}
+
+} // namespace

@@ -1,0 +1,127 @@
+//===-- tests/harness/SuiteTest.cpp ---------------------------------------===//
+//
+// The declarative grid layer: expansion order, labels, per-rep seeds,
+// filtering, and export-path uniquification. Everything here is pure
+// (no experiment executes), so it pins the contract the parallel runner
+// relies on: grid index == position in expansion order, always.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Suite.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+SuiteSpec fullSpec() {
+  SuiteSpec S;
+  S.Workloads = {"db", "compress"};
+  S.HeapFactors = {1.0, 1.5};
+  S.Collectors = {CollectorKind::GenMS, CollectorKind::GenCopy};
+  S.Variants = {{"base", nullptr},
+                {"opt", [](RunConfig &C) { C.Monitoring = true; }}};
+  S.Repeat = 2;
+  S.Params.Seed = 100;
+  return S;
+}
+
+TEST(Suite, ExpansionIsRowMajorWorkloadOutermostRepInnermost) {
+  SuiteSpec S = fullSpec();
+  std::vector<SuiteRun> Runs = expandSuite(S);
+  ASSERT_EQ(Runs.size(), S.numCells());
+  ASSERT_EQ(Runs.size(), 2u * 2 * 2 * 2 * 2);
+
+  size_t I = 0;
+  for (size_t W = 0; W != 2; ++W)
+    for (size_t H = 0; H != 2; ++H)
+      for (size_t C = 0; C != 2; ++C)
+        for (size_t V = 0; V != 2; ++V)
+          for (size_t Rep = 0; Rep != 2; ++Rep, ++I) {
+            EXPECT_EQ(Runs[I].Index, I);
+            EXPECT_EQ(S.indexOf(W, H, C, V, Rep), I);
+            EXPECT_EQ(Runs[I].W, W);
+            EXPECT_EQ(Runs[I].H, H);
+            EXPECT_EQ(Runs[I].C, C);
+            EXPECT_EQ(Runs[I].V, V);
+            EXPECT_EQ(Runs[I].Rep, Rep);
+            EXPECT_EQ(Runs[I].Config.Workload, S.Workloads[W]);
+            EXPECT_EQ(Runs[I].Config.HeapFactor, S.HeapFactors[H]);
+            EXPECT_EQ(Runs[I].Config.Collector, S.Collectors[C]);
+            EXPECT_EQ(Runs[I].Config.Monitoring, V == 1);
+          }
+}
+
+TEST(Suite, RepetitionSeedsAreBasePlusRep) {
+  SuiteSpec S = fullSpec();
+  for (const SuiteRun &Run : expandSuite(S))
+    EXPECT_EQ(Run.Config.Params.Seed, 100u + Run.Rep)
+        << "run " << Run.Label;
+}
+
+TEST(Suite, LabelsNameEveryMultiLevelAxis) {
+  std::vector<SuiteRun> Runs = expandSuite(fullSpec());
+  EXPECT_EQ(Runs.front().Label, "db/1x/GenMS/base/rep0");
+  EXPECT_EQ(Runs.back().Label, "compress/1.5x/GenCopy/opt/rep1");
+}
+
+TEST(Suite, LabelsOmitSingletonAxes) {
+  SuiteSpec S;
+  S.Workloads = {"db"};
+  std::vector<SuiteRun> Runs = expandSuite(S);
+  ASSERT_EQ(Runs.size(), 1u);
+  EXPECT_EQ(Runs[0].Label, "db");
+}
+
+TEST(Suite, CommonRunsBeforeTheVariant) {
+  SuiteSpec S;
+  S.Workloads = {"db"};
+  S.Common = [](RunConfig &C) {
+    C.Monitoring = true;
+    C.Monitor.SamplingInterval = 1111;
+  };
+  S.Variants = {{"keep", nullptr},
+                {"override",
+                 [](RunConfig &C) {
+                   EXPECT_TRUE(C.Monitoring) << "variant must see Common";
+                   C.Monitor.SamplingInterval = 2222;
+                 }}};
+  std::vector<SuiteRun> Runs = expandSuite(S);
+  ASSERT_EQ(Runs.size(), 2u);
+  EXPECT_EQ(Runs[0].Config.Monitor.SamplingInterval, 1111u);
+  EXPECT_EQ(Runs[1].Config.Monitor.SamplingInterval, 2222u);
+}
+
+TEST(Suite, FilterIsSubstringAndEmptyMatchesAll) {
+  EXPECT_TRUE(suiteFilterMatches("", "db/1x/base"));
+  EXPECT_TRUE(suiteFilterMatches("db", "db/1x/base"));
+  EXPECT_TRUE(suiteFilterMatches("1x/base", "db/1x/base"));
+  EXPECT_FALSE(suiteFilterMatches("coalloc", "db/1x/base"));
+}
+
+TEST(Suite, UniquifyInsertsRunTagBeforeTheExtension) {
+  ObsConfig C;
+  C.MetricsOutPath = "out/fig5.metrics.json";
+  C.TraceOutPath = "fig5.trace.json";
+  ObsConfig U = uniquifySuiteObsPaths(C, 7);
+  EXPECT_EQ(U.MetricsOutPath, "out/fig5.metrics.run007.json");
+  EXPECT_EQ(U.TraceOutPath, "fig5.trace.run007.json");
+}
+
+TEST(Suite, UniquifyAppendsWhenThereIsNoExtension) {
+  ObsConfig C;
+  C.MetricsOutPath = "metricsfile";
+  C.TraceOutPath = "dir.d/trace"; // The dot belongs to the directory.
+  ObsConfig U = uniquifySuiteObsPaths(C, 12);
+  EXPECT_EQ(U.MetricsOutPath, "metricsfile.run012");
+  EXPECT_EQ(U.TraceOutPath, "dir.d/trace.run012");
+}
+
+TEST(Suite, UniquifyLeavesUnsetPathsAlone) {
+  ObsConfig U = uniquifySuiteObsPaths(ObsConfig{}, 3);
+  EXPECT_TRUE(U.MetricsOutPath.empty());
+  EXPECT_TRUE(U.TraceOutPath.empty());
+}
+
+} // namespace
