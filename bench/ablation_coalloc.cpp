@@ -17,12 +17,18 @@
 //      (Adl-Tabatabai et al.-style) vs both, on db.
 //   F. What signal to use: miss-driven (this paper) vs access-frequency-
 //      driven placement (online object reordering-style).
+//   G. Pipeline variants: the paper's single consumer over one event kind
+//      vs a four-consumer pipeline (coalloc + phase + prefetch +
+//      frequency) over two multiplexed event kinds, with per-consumer
+//      sample counts from the run's metrics snapshot.
 //
-// Parallel structure: every run that only needs its RunResult goes into
+// Parallel structure: every run that only needs its RunConfig goes into
 // one flat batch executed by runExperiments (baselines + A + B + D +
-// F-miss); the runs that must wire observers or advisors into a live
+// F-miss + G); the runs that must wire observers or advisors into a live
 // Experiment (C, E, F-frequency) form a second parallelFor batch. Both
-// collect by fixed index, so tables are identical at any --jobs.
+// collect by fixed index, so tables are identical at any --jobs. Export
+// paths get the suite layer's ".runNNN" index suffix so --metrics-out
+// yields one snapshot per run instead of one racy file.
 //
 //===----------------------------------------------------------------------===//
 
@@ -64,6 +70,7 @@ enum : size_t {
   kThresholdFirst = kCeilingFirst + 8, // 4 thresholds, db
   kEventFirst = kThresholdFirst + 4,   // {L1DMiss, DtlbMiss}, db
   kMissSignal = kEventFirst + 2,       // F: miss-driven db
+  kPipelineMulti = kMissSignal + 1,    // G: 4 consumers, 2 muxed kinds
   kNumPlain
 };
 
@@ -106,6 +113,22 @@ int main(int Argc, char **Argv) {
     Plain[kEventFirst + 1] = Tlb;
   }
   Plain[kMissSignal] = coalloc("db", Scale);
+  {
+    // G: the full multi-consumer pipeline over two multiplexed kinds.
+    RunConfig Multi = coalloc("db", Scale);
+    Multi.Monitor.Events = {{HpmEventKind::L1DMiss, 5000},
+                            {HpmEventKind::DtlbMiss, 500}};
+    Multi.PhaseConsumer = true;
+    Multi.PrefetchConsumer = true;
+    Multi.PrefetchController = true;
+    Multi.FrequencyConsumer = true;
+    Plain[kPipelineMulti] = Multi;
+  }
+  for (size_t I = 0; I != Plain.size(); ++I) {
+    Plain[I].Obs = resolveObsConfig(Plain[I].Obs);
+    if (Plain[I].Obs.exportsAnything())
+      Plain[I].Obs = uniquifySuiteObsPaths(Plain[I].Obs, I);
+  }
   std::vector<RunResult> PR = runExperiments(Plain, Opts.Jobs);
   const RunResult &DbBase = PR[kDbBase];
   const RunResult &JbbBase = PR[kJbbBase];
@@ -120,9 +143,15 @@ int main(int Argc, char **Argv) {
   CustomOut Custom[6];
   parallelFor(6, Opts.Jobs, [&](size_t I) {
     CustomOut &Out = Custom[I];
+    auto uniquify = [&](RunConfig &C) {
+      C.Obs = resolveObsConfig(C.Obs);
+      if (C.Obs.exportsAnything())
+        C.Obs = uniquifySuiteObsPaths(C.Obs, kNumPlain + I);
+    };
     if (I < 2) { // C: interval randomization.
       RunConfig Db = coalloc("db", Scale);
       Db.Monitor.RandomizeIntervalBits = I == 0;
+      uniquify(Db);
       Experiment E(Db);
       E.run();
       Out.R = E.result();
@@ -131,6 +160,7 @@ int main(int Argc, char **Argv) {
       int Mode = static_cast<int>(I) - 2;
       RunConfig Db = coalloc("db", Scale);
       Db.Coallocation = Mode == 0 || Mode == 2;
+      uniquify(Db);
       Experiment E(Db);
       bool Injected = false;
       if (Mode >= 1) {
@@ -148,6 +178,7 @@ int main(int Argc, char **Argv) {
     } else { // F: frequency-driven placement, no HPM at all.
       RunConfig Db = base("db", Scale);
       Db.ProfileFieldAccess = true;
+      uniquify(Db);
       Experiment E(Db);
       FrequencyAdvisor Advisor(E.vm(), /*MinAccesses=*/2000);
       E.collector().setPlacementAdvisor(&Advisor);
@@ -266,9 +297,51 @@ int main(int Argc, char **Argv) {
     emit(T, "ablation_signal");
   }
 
+  // --- G: pipeline variants ---------------------------------------------------
+  {
+    TableWriter T({"pipeline", "muxed kinds", "dispatched", "coalloc",
+                   "phase", "prefetch", "frequency", "pairs",
+                   "time vs base"});
+    auto Row = [&](const char *Label, const RunResult &R, size_t Kinds) {
+      const MetricsSnapshot &M = R.Metrics;
+      auto Cnt = [&](const char *Name) {
+        return withThousandsSep(M.counter(Name));
+      };
+      T.addRow({Label, withThousandsSep(Kinds),
+                Cnt("pipeline.dispatched"),
+                Cnt("pipeline.coalloc.samples"),
+                Cnt("pipeline.phase.samples"),
+                Cnt("pipeline.prefetch.samples"),
+                Cnt("pipeline.frequency.samples"),
+                withThousandsSep(R.CoallocatedPairs),
+                pct(static_cast<double>(R.TotalCycles) /
+                    DbBase.TotalCycles)});
+    };
+    Row("single consumer (paper)", PR[kMissSignal], 1);
+    Row("4 consumers, muxed", PR[kPipelineMulti], 2);
+    printf("--- G: pipeline variants (multi-consumer dispatch over "
+           "multiplexed events) ---\n");
+    emit(T, "ablation_pipeline");
+    printf("multi-consumer run: %s mux rotations, %s phase changes, %s "
+           "prefetch insertions, %s AOS hot-method reports\n",
+           withThousandsSep(
+               PR[kPipelineMulti].Metrics.counter("mux.rotations"))
+               .c_str(),
+           withThousandsSep(
+               PR[kPipelineMulti].Metrics.counter("phase.changes"))
+               .c_str(),
+           withThousandsSep(
+               PR[kPipelineMulti].Metrics.counter("prefetch.insertions"))
+               .c_str(),
+           withThousandsSep(
+               PR[kPipelineMulti].Metrics.counter("aos.hpm_hot_reports"))
+               .c_str());
+  }
+
   maybeWriteJson(Opts, "ablation_coalloc",
                  {{"db/base", DbBase},
                   {"pseudojbb/base", JbbBase},
-                  {"db/coalloc", PR[kMissSignal]}});
+                  {"db/coalloc", PR[kMissSignal]},
+                  {"db/pipeline-multi", PR[kPipelineMulti]}});
   return 0;
 }

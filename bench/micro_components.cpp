@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/SamplePipeline.h"
 #include "core/SampleResolver.h"
 #include "gc/GenMSPlan.h"
 #include "heap/FreeListAllocator.h"
@@ -20,6 +21,9 @@
 #include "vm/VirtualMachine.h"
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
 
 using namespace hpmvm;
 
@@ -184,6 +188,33 @@ void BM_MetricCounterSinkPath(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_MetricCounterSinkPath);
+
+// The pipeline refactor's hot path: per-sample fan-out cost at 1 vs 4
+// registered consumers. The consumer bodies are empty, so the delta is
+// pure dispatch overhead (kind filter + virtual call + counter bump).
+struct NullConsumer : SampleConsumer {
+  const char *name() const override { return "null"; }
+  void onSample(const AttributedSample &S) override {
+    benchmark::DoNotOptimize(&S);
+  }
+};
+
+void BM_PipelineDispatch(benchmark::State &State) {
+  SamplePipeline P;
+  std::vector<std::unique_ptr<NullConsumer>> Consumers;
+  for (int64_t I = 0; I != State.range(0); ++I) {
+    Consumers.push_back(std::make_unique<NullConsumer>());
+    P.addConsumer(*Consumers.back());
+  }
+  AttributedSample S;
+  S.Kind = HpmEventKind::L1DMiss;
+  S.Field = 3;
+  S.Method = 1;
+  for (auto _ : State)
+    P.dispatch(S);
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_PipelineDispatch)->Arg(1)->Arg(4);
 
 void BM_SampleResolution(benchmark::State &State) {
   EngineRig R;

@@ -2,13 +2,20 @@
 
 #include "core/FrequencyAdvisor.h"
 
+#include "obs/Obs.h"
+#include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/VirtualMachine.h"
 
 using namespace hpmvm;
 
-FrequencyAdvisor::FrequencyAdvisor(const VirtualMachine &Vm,
-                                   uint64_t MinAccesses)
+FrequencyAdvisor::FrequencyAdvisor(VirtualMachine &Vm, uint64_t MinAccesses)
     : Vm(Vm), MinAccesses(MinAccesses) {}
+
+void FrequencyAdvisor::attachObs(ObsContext &Obs) {
+  MSamples = &Obs.metrics().counter("freq.samples");
+  MHotMethods = &Obs.metrics().counter("freq.hot_methods");
+  MCoallocations = &Obs.metrics().counter("freq.coallocations");
+}
 
 CoallocationHint FrequencyAdvisor::coallocationHint(ClassId Cls) {
   const ClassRegistry &Classes = Vm.classes();
@@ -26,4 +33,24 @@ CoallocationHint FrequencyAdvisor::coallocationHint(ClassId Cls) {
     }
   }
   return Hint;
+}
+
+void FrequencyAdvisor::onSample(const AttributedSample &S) {
+  MSamples->inc();
+  if (S.Method != kInvalidId)
+    ++MethodSamples[S.Method];
+}
+
+void FrequencyAdvisor::onPeriod(const PeriodContext &) {
+  // Report methods whose sample frequency crossed the threshold to the
+  // AOS, once each. Under pseudo-adaptive mode the AOS is frozen and only
+  // counts the report; with adaptive recompilation enabled it compiles.
+  for (const auto &[Id, Count] : MethodSamples) {
+    if (Count < HotMethodSamples || Reported.count(Id))
+      continue;
+    Reported.insert(Id);
+    ++HotReported;
+    MHotMethods->inc();
+    Vm.aos().noteHpmHotMethod(Id);
+  }
 }

@@ -15,36 +15,77 @@
 /// field the same as a hot-and-missing one. The ablation bench compares
 /// the two advisors head to head.
 ///
+/// As a pipeline consumer the advisor additionally tracks per-method
+/// sample frequency and reports persistently hot methods to the AOS
+/// (AdaptiveOptimizationSystem::noteHpmHotMethod), closing the
+/// HPM-feedback -> recompilation loop the paper's section 6 sketches.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_CORE_FREQUENCYADVISOR_H
 #define HPMVM_CORE_FREQUENCYADVISOR_H
 
+#include "core/SampleConsumer.h"
 #include "heap/GcApi.h"
+#include "obs/Metrics.h"
 #include "support/Types.h"
+
+#include <unordered_map>
+#include <unordered_set>
 
 namespace hpmvm {
 
+class ObsContext;
 class VirtualMachine;
 
 /// PlacementAdvisor driven by field *access* frequency (requires
-/// VmConfig::ProfileFieldAccess).
-class FrequencyAdvisor : public PlacementAdvisor {
+/// VmConfig::ProfileFieldAccess) and SampleConsumer reporting
+/// sample-frequent methods to the AOS.
+class FrequencyAdvisor : public PlacementAdvisor, public SampleConsumer {
 public:
   /// \p MinAccesses gates hotness, like the miss advisor's sample
   /// threshold (but on raw access counts, which are ~sampling-interval
   /// times larger).
-  FrequencyAdvisor(const VirtualMachine &Vm, uint64_t MinAccesses = 1000);
+  FrequencyAdvisor(VirtualMachine &Vm, uint64_t MinAccesses = 1000);
 
+  // PlacementAdvisor.
   CoallocationHint coallocationHint(ClassId Cls) override;
-  void noteCoallocation(ClassId, FieldId) override { ++Coallocations; }
+  void noteCoallocation(ClassId, FieldId) override {
+    ++Coallocations;
+    MCoallocations->inc();
+  }
 
   uint64_t coallocationCount() const { return Coallocations; }
 
+  // SampleConsumer: per-method sample frequency feeding AOS decisions.
+  const char *name() const override { return "frequency"; }
+  void onSample(const AttributedSample &S) override;
+  void onPeriod(const PeriodContext &Ctx) override;
+
+  /// Registers freq.samples / freq.hot_methods / freq.coallocations.
+  void attachObs(ObsContext &Obs) override;
+
+  /// Samples on a not-yet-optimized method before it is reported hot to
+  /// the AOS (once per method).
+  void setHotMethodSamples(uint64_t N) { HotMethodSamples = N; }
+
+  uint64_t sampleCount(MethodId Id) const {
+    auto It = MethodSamples.find(Id);
+    return It == MethodSamples.end() ? 0 : It->second;
+  }
+  uint64_t hotMethodsReported() const { return HotReported; }
+
 private:
-  const VirtualMachine &Vm;
+  VirtualMachine &Vm;
   uint64_t MinAccesses;
   uint64_t Coallocations = 0;
+  uint64_t HotMethodSamples = 16;
+  uint64_t HotReported = 0;
+  std::unordered_map<MethodId, uint64_t> MethodSamples;
+  std::unordered_set<MethodId> Reported;
+  Counter *MSamples = &Counter::sink();
+  Counter *MHotMethods = &Counter::sink();
+  Counter *MCoallocations = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -13,11 +13,26 @@ using namespace hpmvm;
 HpmMonitor::HpmMonitor(VirtualMachine &Vm, const MonitorConfig &Config)
     : Vm(Vm), Config(Config), Pebs(Config.Seed), Perfmon(Pebs),
       Native(Perfmon) {
+  // A single Events slot is just single-event sampling under another name.
+  if (this->Config.Events.size() == 1) {
+    this->Config.Event = this->Config.Events[0].Kind;
+    this->Config.SamplingInterval = this->Config.Events[0].Interval;
+    this->Config.Events.clear();
+  }
   Collector = std::make_unique<SampleCollector>(Native, Vm.clock(),
                                                 Config.Collector);
   Resolver = std::make_unique<SampleResolver>(Vm);
   Advisor = std::make_unique<CoallocationAdvisor>(Vm.classes(), Table,
                                                   Config.Advisor);
+  Pipeline.addConsumer(TableConsumer);
+  if (this->Config.Events.size() > 1) {
+    assert(!Config.AutoInterval &&
+           "auto-interval and multiplexing both reprogram the interval");
+    MultiplexerConfig MC;
+    MC.Rotation = this->Config.Events;
+    MC.SliceMs = this->Config.MuxSliceMs;
+    Mux = std::make_unique<EventMultiplexer>(Perfmon, Vm.clock(), MC);
+  }
   if (Config.AutoInterval) {
     AutoIntervalConfig AC;
     AC.TargetSamplesPerSec = Config.TargetSamplesPerSec;
@@ -35,6 +50,9 @@ void HpmMonitor::attachObs(ObsContext &Obs) {
   Advisor->attachObs(Obs);
   if (AutoCtl)
     AutoCtl->attachObs(Obs);
+  if (Mux)
+    Mux->attachObs(Obs);
+  Pipeline.attachObs(Obs);
   Trace = &Obs.trace();
   MBatches = &Obs.metrics().counter("monitor.batches");
   MProcessed = &Obs.metrics().counter("monitor.samples_processed");
@@ -60,19 +78,29 @@ void HpmMonitor::attach() {
   // Feed every memory event to the PEBS unit and poll at safepoints. The
   // auto-interval controller adjusts after every poll -- including empty
   // ones, which are precisely the signal that the interval is too coarse.
+  // The multiplexer rotates only after a poll has drained the buffer, so
+  // every sample is attributed to the kind that produced it.
   Vm.memory().setListener(&Pebs);
   Vm.setSafepointHook([this] {
-    uint64_t Before = Collector->polls();
+    uint64_t PollsBefore = Collector->polls();
+    uint64_t DeliveredBefore = Collector->samplesDelivered();
     Collector->maybePoll();
-    if (AutoCtl && Collector->polls() != Before)
+    if (Collector->polls() == PollsBefore)
+      return;
+    if (AutoCtl)
       AutoCtl->onPoll();
+    if (Mux)
+      Mux->onPoll(Collector->samplesDelivered() - DeliveredBefore);
   });
 
   // The GC consults the advisor during promotion.
   Vm.collector().setPlacementAdvisor(Advisor.get());
 
-  Perfmon.startSampling(Config.Event, Config.SamplingInterval,
-                        Config.RandomizeIntervalBits);
+  if (Mux)
+    Mux->start();
+  else
+    Perfmon.startSampling(Config.Event, Config.SamplingInterval,
+                          Config.RandomizeIntervalBits);
 }
 
 void HpmMonitor::finish() {
@@ -81,7 +109,10 @@ void HpmMonitor::finish() {
   Finished = true;
   // Drain everything still buffered, then stop the hardware.
   Collector->pollNow();
-  Perfmon.stopSampling();
+  if (Mux)
+    Mux->stop();
+  else
+    Perfmon.stopSampling();
   Vm.memory().setListener(nullptr);
   Vm.setSafepointHook({});
 }
@@ -104,6 +135,11 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
   Cycles Cost = static_cast<Cycles>(N) * kSampleProcessCycles;
   Vm.clock().advance(Cost);
   Stats.ProcessingCycles += Cost;
+
+  // Under multiplexing, every sample in this batch was taken while the
+  // current rotation slot's kind was programmed (the multiplexer only
+  // rotates after the poll that delivered this batch).
+  HpmEventKind Kind = Mux ? Mux->currentKind() : Config.Event;
 
   for (size_t I = 0; I != N; ++I) {
     ++Stats.SamplesProcessed;
@@ -129,20 +165,29 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
       MVmInternal->inc();
       continue;
     }
+    AttributedSample A;
+    A.Kind = Kind;
+    A.Method = R.Method;
+    A.Flavor = R.Flavor;
+    A.InstIdx = R.InstIdx;
+    A.OptIndex = R.OptIndex;
+    A.DataAddr = Samples[I].Regs[0];
     if (R.Flavor != CodeFlavor::Optimized) {
       // Baseline code carries no instructions-of-interest (the paper only
-      // computes them for opt-compiled methods).
+      // computes them for opt-compiled methods); the sample is still
+      // dispatched, unattributed, for method-level consumers.
       ++Stats.SamplesBaselineCode;
       MBaselineCode->inc();
+      Pipeline.dispatch(A);
       continue;
     }
     const std::vector<FieldId> &Interest = interestFor(R.OptIndex);
-    FieldId F = Interest[R.InstIdx];
-    if (F == kInvalidId)
-      continue;
-    Table.addMiss(F);
-    ++Stats.SamplesAttributed;
-    MAttributed->inc();
+    A.Field = Interest[R.InstIdx];
+    if (A.Field != kInvalidId) {
+      ++Stats.SamplesAttributed;
+      MAttributed->inc();
+    }
+    Pipeline.dispatch(A);
   }
 
   MBatches->inc();
@@ -152,8 +197,12 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
                    N);
 
   // One batch = one measurement period (the paper's stepwise-constant
-  // timeline granularity).
-  Table.endPeriod(Vm.clock().now());
+  // timeline granularity). The default MissTableConsumer closes the miss
+  // table's period; the observer hook fires after all consumers.
+  PeriodContext Ctx;
+  Ctx.Now = Vm.clock().now();
+  Ctx.Mux = Mux.get();
+  Pipeline.endPeriod(Ctx);
   if (PeriodObserver)
     PeriodObserver();
 }

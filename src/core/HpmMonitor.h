@@ -10,8 +10,13 @@
 ///   PEBS unit -> perfmon "kernel module" -> native library (pre-allocated
 ///   int[] marshalling, GC disabled during the copy) -> collector thread
 ///   (adaptive 10-1000 ms polling) -> sample resolution (method table +
-///   machine-code maps) -> instructions-of-interest filter -> per-field
-///   miss table -> co-allocation advisor consulted by the GC.
+///   machine-code maps) -> instructions-of-interest filter -> sample
+///   pipeline fanning out to N consumers (default: the per-field miss
+///   table feeding the co-allocation advisor consulted by the GC).
+///
+/// When MonitorConfig::Events lists more than one kind, the monitor
+/// drives an EventMultiplexer (rotating the sampled kind per time slice)
+/// and consumers receive duty-cycle-corrected per-kind counts.
 ///
 /// Every stage charges its cycle cost to the VM's virtual clock, so the
 /// sampling-overhead experiments (Figure 2) measure the same pipeline the
@@ -24,7 +29,9 @@
 
 #include "core/CoallocationAdvisor.h"
 #include "core/FieldMissTable.h"
+#include "core/SamplePipeline.h"
 #include "core/SampleResolver.h"
+#include "hpm/EventMultiplexer.h"
 #include "hpm/NativeSampleLibrary.h"
 #include "hpm/PebsUnit.h"
 #include "hpm/PerfmonModule.h"
@@ -35,6 +42,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace hpmvm {
 
@@ -46,6 +54,17 @@ struct MonitorConfig {
   HpmEventKind Event = HpmEventKind::L1DMiss;
   /// Fixed sampling interval (paper sweeps 25K/50K/100K)...
   uint64_t SamplingInterval = 100000;
+  /// Multi-event mode: when more than one slot is listed, the monitor
+  /// drives an EventMultiplexer over these kinds instead of sampling
+  /// Event/SamplingInterval, and consumers see duty-cycle-corrected
+  /// counts via PeriodContext::scale. One slot overrides
+  /// Event/SamplingInterval; empty (the default) is plain single-event
+  /// sampling. Incompatible with AutoInterval (both reprogram the
+  /// hardware interval).
+  std::vector<MultiplexerConfig::Slot> Events;
+  /// Rotation slice for multi-event mode (virtual milliseconds, scaled
+  /// like the polling window).
+  double MuxSliceMs = 0.5;
   /// ...or fully autonomous mode: adapt the interval to a samples/sec
   /// target (paper default 200/s on ~minutes-long runs; benches scale it
   /// for the scaled-down workloads -- see DESIGN.md section 6).
@@ -118,6 +137,10 @@ public:
   /// controller) plus the monitor's own batch counters into \p Obs.
   void attachObs(ObsContext &Obs);
 
+  /// Registers an additional consumer on the dispatch pipeline (the
+  /// default MissTableConsumer is always registered first).
+  void addConsumer(SampleConsumer &C) { Pipeline.addConsumer(C); }
+
   // Component access.
   PebsUnit &pebs() { return Pebs; }
   PerfmonModule &perfmon() { return Perfmon; }
@@ -125,6 +148,9 @@ public:
   FieldMissTable &missTable() { return Table; }
   CoallocationAdvisor &advisor() { return *Advisor; }
   SampleResolver &resolver() { return *Resolver; }
+  SamplePipeline &pipeline() { return Pipeline; }
+  /// Null in single-event mode.
+  EventMultiplexer *multiplexer() { return Mux.get(); }
   const MonitorStats &stats() const { return Stats; }
   const MonitorConfig &config() const { return Config; }
 
@@ -144,6 +170,9 @@ private:
   std::unique_ptr<SampleResolver> Resolver;
   FieldMissTable Table;
   std::unique_ptr<CoallocationAdvisor> Advisor;
+  std::unique_ptr<EventMultiplexer> Mux;
+  MissTableConsumer TableConsumer{Table};
+  SamplePipeline Pipeline;
   std::unordered_map<uint32_t, std::vector<FieldId>> InterestCache;
   std::function<void()> PeriodObserver;
   MonitorStats Stats;

@@ -9,10 +9,23 @@
 
 using namespace hpmvm;
 
-void PhaseDetector::attachObs(ObsContext &Obs, const VirtualClock *C) {
+void PhaseDetector::attachObs(ObsContext &Obs) {
   MChanges = &Obs.metrics().counter("phase.changes");
   Trace = &Obs.trace();
-  Clock = C;
+}
+
+void PhaseDetector::onPeriod(const PeriodContext &Ctx) {
+  // Observe the duty-cycle-corrected sample rate of the whole stream: in
+  // multiplexed mode each kind's count is scaled up by its inverse duty
+  // cycle so a rotation does not read as a phase change.
+  double Rate = 0.0;
+  for (size_t K = 0; K != kNumHpmEventKinds; ++K) {
+    if (PeriodSamples[K])
+      Rate += static_cast<double>(PeriodSamples[K]) *
+              Ctx.scale(static_cast<HpmEventKind>(K));
+    PeriodSamples[K] = 0;
+  }
+  observe(Rate);
 }
 
 PhaseDetector::PhaseDetector(const PhaseDetectorConfig &Config)

@@ -24,6 +24,7 @@
 #ifndef HPMVM_CORE_PHASEDETECTOR_H
 #define HPMVM_CORE_PHASEDETECTOR_H
 
+#include "core/SampleConsumer.h"
 #include "obs/Metrics.h"
 #include "support/Statistics.h"
 #include "support/Types.h"
@@ -51,8 +52,11 @@ struct PhaseDetectorConfig {
   double ActivityFloor = 0.5;
 };
 
-/// Streaming phase-change detector over one metric.
-class PhaseDetector {
+/// Streaming phase-change detector over one metric. Also usable as a
+/// pipeline consumer: registered on a SamplePipeline it observes the
+/// per-period (duty-cycle-corrected) sample rate and flags phase changes
+/// of the whole monitored event stream.
+class PhaseDetector : public SampleConsumer {
 public:
   explicit PhaseDetector(const PhaseDetectorConfig &Config = {});
 
@@ -60,9 +64,20 @@ public:
   /// starts a new phase.
   bool observe(double Rate);
 
-  /// Registers the phase.changes counter and, when \p Clock is given,
-  /// emits a "phase.change" trace instant per detected change.
-  void attachObs(ObsContext &Obs, const VirtualClock *Clock = nullptr);
+  /// Registers the phase.changes counter and (with a clock set) emits a
+  /// "phase.change" trace instant per detected change.
+  void attachObs(ObsContext &Obs) override;
+
+  /// Timestamps the trace instants; without it changes are counted but
+  /// not traced.
+  void setClock(const VirtualClock *C) { Clock = C; }
+
+  // SampleConsumer: count a period's samples, observe the scaled rate.
+  const char *name() const override { return "phase"; }
+  void onSample(const AttributedSample &S) override {
+    ++PeriodSamples[static_cast<size_t>(S.Kind)];
+  }
+  void onPeriod(const PeriodContext &Ctx) override;
 
   /// Number of the current phase (the first phase is 1; 0 before any
   /// observation).
@@ -81,6 +96,7 @@ private:
   size_t Phase = 0;
   size_t Observed = 0;
   size_t SincePhaseStart = 0;
+  uint64_t PeriodSamples[kNumHpmEventKinds] = {};
   Counter *MChanges = &Counter::sink();
   TraceBuffer *Trace = nullptr;
   const VirtualClock *Clock = nullptr;

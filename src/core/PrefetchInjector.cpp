@@ -2,6 +2,8 @@
 
 #include "core/PrefetchInjector.h"
 
+#include "core/OptimizationController.h"
+#include "obs/Obs.h"
 #include "vm/VirtualMachine.h"
 
 #include <set>
@@ -71,7 +73,8 @@ MachineFunction rewriteWithPrefetches(const MachineFunction &F,
 } // namespace
 
 PrefetchInjectionStats PrefetchInjector::injectHotPrefetches(
-    VirtualMachine &Vm, const FieldMissTable &Table, uint64_t MinMisses) {
+    VirtualMachine &Vm, const FieldMissTable &Table, uint64_t MinMisses,
+    std::vector<std::pair<MethodId, MachineFunction>> *SavedOriginals) {
   PrefetchInjectionStats Stats;
 
   std::set<FieldId> HotFields;
@@ -109,9 +112,57 @@ PrefetchInjectionStats PrefetchInjector::injectHotPrefetches(
     MachineFunction NewF = rewriteWithPrefetches(F, HotFields, Inserted);
     if (Inserted == 0)
       continue;
+    if (SavedOriginals)
+      SavedOriginals->emplace_back(M.Id, F);
     Vm.installCompiledCode(M, std::move(NewF));
     ++Stats.MethodsRewritten;
     Stats.PrefetchesInserted += Inserted;
   }
   return Stats;
+}
+
+PrefetchInjector::PrefetchInjector(VirtualMachine &Vm,
+                                   const PrefetchInjectorConfig &Config)
+    : Vm(Vm), Config(Config) {}
+
+void PrefetchInjector::attachObs(ObsContext &Obs) {
+  MRewritten = &Obs.metrics().counter("prefetch.methods_rewritten");
+  MInserted = &Obs.metrics().counter("prefetch.insertions");
+  MReverts = &Obs.metrics().counter("prefetch.reverts");
+}
+
+void PrefetchInjector::setController(OptimizationController *C) {
+  Controller = C;
+  if (Controller)
+    Controller->setRevertAction([this] { revert(); });
+}
+
+void PrefetchInjector::onPeriod(const PeriodContext &Ctx) {
+  Table.endPeriod(Ctx.Now);
+  if (Controller)
+    Controller->observePeriod(static_cast<double>(PeriodSamples));
+  PeriodSamples = 0;
+  if (Injected || Table.totalMisses() < Config.TriggerSamples)
+    return;
+  Injected = true;
+  PrefetchInjectionStats S =
+      injectHotPrefetches(Vm, Table, Config.MinMisses, &SavedOriginals);
+  Total.MethodsRewritten += S.MethodsRewritten;
+  Total.PrefetchesInserted += S.PrefetchesInserted;
+  MRewritten->inc(S.MethodsRewritten);
+  MInserted->inc(S.PrefetchesInserted);
+  if (Controller && S.MethodsRewritten)
+    Controller->notePolicyChange();
+}
+
+void PrefetchInjector::revert() {
+  if (Reverted)
+    return;
+  Reverted = true;
+  MReverts->inc();
+  // Reinstall the saved originals; bodies rewritten since stay retired,
+  // exactly like any other recompilation.
+  for (auto &[Id, Original] : SavedOriginals)
+    Vm.installCompiledCode(Vm.method(Id), std::move(Original));
+  SavedOriginals.clear();
 }

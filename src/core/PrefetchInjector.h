@@ -16,16 +16,32 @@
 /// must be used consciously because fetching the wrong data into the cache
 /// may have a negative performance impact".
 ///
+/// Two modes: the static injectHotPrefetches() one-shot pass (driven from
+/// a period observer, as the ablation bench does), and a pipeline
+/// consumer that accumulates its own miss profile and triggers the pass
+/// autonomously -- optionally under an OptimizationController that
+/// reverts the rewrite (reinstalling the saved original bodies) if the
+/// miss rate regresses, the paper's assess-and-revert loop applied to
+/// exactly the risky optimization it warns about.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_CORE_PREFETCHINJECTOR_H
 #define HPMVM_CORE_PREFETCHINJECTOR_H
 
 #include "core/FieldMissTable.h"
+#include "core/SampleConsumer.h"
+#include "obs/Metrics.h"
 #include "support/Types.h"
+#include "vm/MachineCode.h"
+
+#include <utility>
+#include <vector>
 
 namespace hpmvm {
 
+class ObsContext;
+class OptimizationController;
 class VirtualMachine;
 
 /// Outcome of one injection pass.
@@ -34,17 +50,75 @@ struct PrefetchInjectionStats {
   uint32_t PrefetchesInserted = 0;
 };
 
+/// Consumer-mode policy.
+struct PrefetchInjectorConfig {
+  /// Total sampled misses in the consumer's own profile before the first
+  /// injection pass fires.
+  uint64_t TriggerSamples = 16;
+  /// Per-field miss floor for a field to count as hot in a pass.
+  uint64_t MinMisses = 4;
+};
+
 /// Rewrites compiled code to prefetch hot fields' referents.
-class PrefetchInjector {
+class PrefetchInjector : public SampleConsumer {
 public:
+  PrefetchInjector(VirtualMachine &Vm,
+                   const PrefetchInjectorConfig &Config = {});
+
   /// For every opt-compiled application method, inserts a Prefetch after
   /// each LoadField of a reference field with at least \p MinMisses
   /// sampled misses, and reinstalls the method (the old code is retired in
   /// place, exactly like an AOS recompilation). Idempotent per method: a
   /// method already carrying prefetches for the current hot set is
-  /// skipped.
+  /// skipped. When \p SavedOriginals is given, the pre-rewrite body of
+  /// every rewritten method is appended to it (for revert).
   static PrefetchInjectionStats injectHotPrefetches(
-      VirtualMachine &Vm, const FieldMissTable &Table, uint64_t MinMisses);
+      VirtualMachine &Vm, const FieldMissTable &Table, uint64_t MinMisses,
+      std::vector<std::pair<MethodId, MachineFunction>> *SavedOriginals =
+          nullptr);
+
+  // SampleConsumer: accumulate a private miss profile; inject once the
+  // trigger threshold is reached.
+  const char *name() const override { return "prefetch"; }
+  void onSample(const AttributedSample &S) override {
+    if (S.Field != kInvalidId) {
+      Table.addMiss(S.Field);
+      ++PeriodSamples;
+    }
+  }
+  void onPeriod(const PeriodContext &Ctx) override;
+
+  /// Registers prefetch.methods_rewritten / prefetch.insertions /
+  /// prefetch.reverts.
+  void attachObs(ObsContext &Obs) override;
+
+  /// Optional assess-and-revert: the controller (not owned) observes the
+  /// consumer's per-period attributed-miss rate; the injection pass is
+  /// declared as its policy change, and its revert action reinstalls the
+  /// saved original method bodies.
+  void setController(OptimizationController *C);
+
+  bool injected() const { return Injected; }
+  bool reverted() const { return Reverted; }
+  const PrefetchInjectionStats &stats() const { return Total; }
+  /// The consumer's private miss profile.
+  const FieldMissTable &missProfile() const { return Table; }
+
+private:
+  void revert();
+
+  VirtualMachine &Vm;
+  PrefetchInjectorConfig Config;
+  FieldMissTable Table; ///< Private profile; not shared with the monitor.
+  OptimizationController *Controller = nullptr;
+  std::vector<std::pair<MethodId, MachineFunction>> SavedOriginals;
+  PrefetchInjectionStats Total;
+  uint64_t PeriodSamples = 0;
+  bool Injected = false;
+  bool Reverted = false;
+  Counter *MRewritten = &Counter::sink();
+  Counter *MInserted = &Counter::sink();
+  Counter *MReverts = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -1,0 +1,102 @@
+//===-- core/SampleConsumer.h - Pipeline consumer interface ----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The consumer side of the sample pipeline. The paper drives exactly one
+/// optimization (co-allocation) from one event kind; its section 6 outlook
+/// — and every modern HPM-feedback system — wants several simultaneous
+/// consumers of the same sample stream. A SampleConsumer subscribes to one
+/// or more HpmEventKinds and receives:
+///
+///   - onSample(): every resolved, non-VM-internal sample of a subscribed
+///     kind, already attributed to a field when it landed on an
+///     instruction of interest (Field == kInvalidId otherwise, e.g. for
+///     baseline-code samples, which the paper's path dropped but which
+///     method-hotness consumers need);
+///   - onPeriod(): the end of each measurement period (= one delivered
+///     collector batch), with a PeriodContext carrying the virtual time
+///     and, under event multiplexing, the duty-cycle correction for each
+///     kind.
+///
+/// Contract: consumers run synchronously on the sample-processing path and
+/// must not advance the virtual clock from onSample (the per-sample
+/// processing cost is charged once, by the monitor; a consumer that
+/// recompiles code from onPeriod charges that work like any recompilation
+/// would). With the default configuration — a single MissTableConsumer —
+/// the pipeline reproduces the pre-pipeline monitor bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_SAMPLECONSUMER_H
+#define HPMVM_CORE_SAMPLECONSUMER_H
+
+#include "memsim/MemoryEvent.h"
+#include "support/Types.h"
+#include "vm/MethodTable.h"
+
+namespace hpmvm {
+
+class EventMultiplexer;
+class ObsContext;
+
+/// One resolved sample, as fanned out to consumers.
+struct AttributedSample {
+  /// The event kind being sampled when this sample was taken (under
+  /// multiplexing: the current rotation slot).
+  HpmEventKind Kind = HpmEventKind::L1DMiss;
+  /// The field the sampled instruction loads, when the sample landed on an
+  /// instruction of interest; kInvalidId otherwise (baseline code, or an
+  /// optimized instruction that is not a reference-field load).
+  FieldId Field = kInvalidId;
+  MethodId Method = kInvalidId;
+  CodeFlavor Flavor = CodeFlavor::Baseline;
+  /// Machine-instruction index / compiled-code index (optimized only).
+  uint32_t InstIdx = kInvalidId;
+  uint32_t OptIndex = kInvalidId;
+  /// The faulting data address (the PEBS record's EAX).
+  Address DataAddr = 0;
+};
+
+/// Per-period context handed to every consumer at period boundaries.
+struct PeriodContext {
+  /// Virtual time at the end of the period.
+  Cycles Now = 0;
+  /// The monitor's multiplexer, or null in single-event mode.
+  const EventMultiplexer *Mux = nullptr;
+
+  /// Duty-cycle correction factor for \p Kind: multiply a per-period
+  /// sample count by this to estimate what a dedicated (non-multiplexed)
+  /// counter would have seen. 1.0 in single-event mode.
+  double scale(HpmEventKind Kind) const;
+};
+
+/// A pipeline stage fed by the monitor's sample stream.
+class SampleConsumer {
+public:
+  virtual ~SampleConsumer() = default;
+
+  /// Stable short name; namespaces the consumer's pipeline metrics
+  /// (pipeline.<name>.samples / pipeline.<name>.periods).
+  virtual const char *name() const = 0;
+
+  /// Event-kind subscription filter; the default subscribes to everything.
+  virtual bool wantsKind(HpmEventKind) const { return true; }
+
+  /// One sample of a subscribed kind.
+  virtual void onSample(const AttributedSample &S) = 0;
+
+  /// End of a measurement period (called for every consumer, regardless of
+  /// whether any of its kinds were sampled this period).
+  virtual void onPeriod(const PeriodContext &) {}
+
+  /// Hook for the consumer's own metrics/trace namespace; wired by
+  /// SamplePipeline::attachObs.
+  virtual void attachObs(ObsContext &) {}
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_SAMPLECONSUMER_H

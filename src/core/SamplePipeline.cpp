@@ -1,0 +1,53 @@
+//===-- core/SamplePipeline.cpp -------------------------------------------===//
+
+#include "core/SamplePipeline.h"
+
+#include "hpm/EventMultiplexer.h"
+#include "obs/Obs.h"
+
+#include <string>
+
+using namespace hpmvm;
+
+double PeriodContext::scale(HpmEventKind Kind) const {
+  return Mux ? Mux->dutyCycleScale(Kind) : 1.0;
+}
+
+void SamplePipeline::addConsumer(SampleConsumer &C) {
+  Consumers.push_back(Entry{&C});
+  if (Obs)
+    wire(Consumers.back());
+}
+
+void SamplePipeline::wire(Entry &E) {
+  std::string Prefix = std::string("pipeline.") + E.C->name();
+  E.MSamples = &Obs->metrics().counter(Prefix + ".samples");
+  E.MPeriods = &Obs->metrics().counter(Prefix + ".periods");
+  E.C->attachObs(*Obs);
+}
+
+void SamplePipeline::attachObs(ObsContext &Obs) {
+  this->Obs = &Obs;
+  MDispatched = &Obs.metrics().counter("pipeline.dispatched");
+  MDelivered = &Obs.metrics().counter("pipeline.delivered");
+  for (Entry &E : Consumers)
+    wire(E);
+}
+
+void SamplePipeline::dispatch(const AttributedSample &S) {
+  MDispatched->inc();
+  for (Entry &E : Consumers) {
+    if (!E.C->wantsKind(S.Kind))
+      continue;
+    E.C->onSample(S);
+    E.MSamples->inc();
+    MDelivered->inc();
+  }
+}
+
+void SamplePipeline::endPeriod(const PeriodContext &Ctx) {
+  for (Entry &E : Consumers) {
+    E.C->onPeriod(Ctx);
+    E.MPeriods->inc();
+  }
+}

@@ -1,0 +1,95 @@
+//===-- core/SamplePipeline.h - Multi-consumer dispatch --------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fan-out stage between the monitor's sample resolution and the
+/// optimization consumers. The pipeline holds N registered SampleConsumers
+/// in registration order; each dispatched sample is offered to every
+/// consumer whose wantsKind() accepts the sample's event kind, and each
+/// period boundary reaches every consumer. Dispatch is branch-light and
+/// never advances the virtual clock, so adding passive consumers does not
+/// change measured results.
+///
+/// MissTableConsumer ports the paper's FieldMissTable path onto the
+/// interface unchanged: it is the monitor's default (and, by default,
+/// only) consumer, and reproduces the pre-pipeline behaviour bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_SAMPLEPIPELINE_H
+#define HPMVM_CORE_SAMPLEPIPELINE_H
+
+#include "core/FieldMissTable.h"
+#include "core/SampleConsumer.h"
+#include "obs/Metrics.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace hpmvm {
+
+class ObsContext;
+
+/// Registration-ordered dispatcher over SampleConsumers.
+class SamplePipeline {
+public:
+  /// Registers \p C (not owned). Consumers added after attachObs are wired
+  /// into the same ObsContext immediately.
+  void addConsumer(SampleConsumer &C);
+
+  /// Offers \p S to every consumer subscribed to S.Kind.
+  void dispatch(const AttributedSample &S);
+
+  /// Closes a measurement period for every consumer, in registration
+  /// order.
+  void endPeriod(const PeriodContext &Ctx);
+
+  /// Registers pipeline.dispatched / pipeline.delivered plus per-consumer
+  /// pipeline.<name>.samples / pipeline.<name>.periods counters, and
+  /// forwards to each consumer's own attachObs.
+  void attachObs(ObsContext &Obs);
+
+  size_t numConsumers() const { return Consumers.size(); }
+  SampleConsumer &consumer(size_t I) { return *Consumers[I].C; }
+
+private:
+  struct Entry {
+    SampleConsumer *C;
+    Counter *MSamples = &Counter::sink();
+    Counter *MPeriods = &Counter::sink();
+  };
+  void wire(Entry &E);
+
+  std::vector<Entry> Consumers;
+  ObsContext *Obs = nullptr;
+  Counter *MDispatched = &Counter::sink(); ///< Samples entering the pipeline.
+  Counter *MDelivered = &Counter::sink();  ///< Sample-consumer deliveries.
+};
+
+/// The paper's consumer: per-field miss accounting feeding the
+/// co-allocation advisor. Operates on an externally owned table (the
+/// monitor's), so HpmMonitor::missTable() and the advisor keep working
+/// unchanged.
+class MissTableConsumer : public SampleConsumer {
+public:
+  explicit MissTableConsumer(FieldMissTable &Table) : Table(Table) {}
+
+  const char *name() const override { return "coalloc"; }
+  void onSample(const AttributedSample &S) override {
+    if (S.Field != kInvalidId)
+      Table.addMiss(S.Field);
+  }
+  void onPeriod(const PeriodContext &Ctx) override {
+    Table.endPeriod(Ctx.Now);
+  }
+
+private:
+  FieldMissTable &Table;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_SAMPLEPIPELINE_H

@@ -52,6 +52,29 @@ Experiment::Experiment(const RunConfig &Config)
     Monitor = std::make_unique<HpmMonitor>(*Vm, Config.Monitor);
     Monitor->attach();
     Monitor->advisor().setEnabled(Config.Coallocation);
+    if (Config.PhaseConsumer) {
+      Phase = std::make_unique<PhaseDetector>(Config.Phase);
+      Phase->setClock(&Vm->clock());
+      Monitor->addConsumer(*Phase);
+    }
+    if (Config.PrefetchConsumer) {
+      Prefetcher = std::make_unique<PrefetchInjector>(*Vm, Config.Prefetch);
+      if (Config.PrefetchController) {
+        PrefetchCtl = std::make_unique<OptimizationController>(
+            Config.PrefetchControllerConfig);
+        Prefetcher->setController(PrefetchCtl.get());
+      }
+      Monitor->addConsumer(*Prefetcher);
+    }
+    if (Config.FrequencyConsumer) {
+      Freq = std::make_unique<FrequencyAdvisor>(*Vm);
+      Freq->setHotMethodSamples(Config.FrequencyHotSamples);
+      Monitor->addConsumer(*Freq);
+    }
+  } else {
+    assert(!Config.PhaseConsumer && !Config.PrefetchConsumer &&
+           !Config.FrequencyConsumer &&
+           "pipeline consumers need the monitoring system");
   }
 
   // Wire telemetry last, once every component exists. Unmonitored runs
@@ -61,6 +84,8 @@ Experiment::Experiment(const RunConfig &Config)
   Gc->attachObs(Obs);
   if (Monitor)
     Monitor->attachObs(Obs);
+  if (PrefetchCtl)
+    PrefetchCtl->attachObs(Obs, &Vm->clock());
 }
 
 Experiment::~Experiment() = default;

@@ -22,7 +22,11 @@
 #ifndef HPMVM_HARNESS_EXPERIMENTRUNNER_H
 #define HPMVM_HARNESS_EXPERIMENTRUNNER_H
 
+#include "core/FrequencyAdvisor.h"
 #include "core/HpmMonitor.h"
+#include "core/OptimizationController.h"
+#include "core/PhaseDetector.h"
+#include "core/PrefetchInjector.h"
 #include "gc/GenCopyPlan.h"
 #include "gc/GenMSPlan.h"
 #include "obs/Obs.h"
@@ -62,6 +66,20 @@ struct RunConfig {
   /// Count executed getfield operations (for the frequency-driven
   /// comparison advisor).
   bool ProfileFieldAccess = false;
+  /// Extra pipeline consumers (beyond the default co-allocation path);
+  /// all require Monitoring. The defaults keep the pipeline single-
+  /// consumer, i.e. exactly the paper's configuration.
+  bool PhaseConsumer = false;
+  PhaseDetectorConfig Phase;
+  bool PrefetchConsumer = false;
+  PrefetchInjectorConfig Prefetch;
+  /// Assess-and-revert instance for the prefetch consumer.
+  bool PrefetchController = false;
+  ControllerConfig PrefetchControllerConfig;
+  bool FrequencyConsumer = false;
+  /// Sample threshold for the frequency consumer's AOS hot-method
+  /// reports.
+  uint64_t FrequencyHotSamples = 16;
   /// Telemetry: export paths, log level, trace capacity. Fields left at
   /// their defaults inherit the process-wide config set by the
   /// --metrics-out/--trace-out/--log-level flags (see obs/Obs.h).
@@ -102,6 +120,11 @@ public:
   ObsContext &obs() { return Obs; }
   /// Null when Monitoring is off.
   HpmMonitor *monitor() { return Monitor.get(); }
+  /// Null unless the corresponding consumer was configured.
+  PhaseDetector *phaseDetector() { return Phase.get(); }
+  PrefetchInjector *prefetchInjector() { return Prefetcher.get(); }
+  FrequencyAdvisor *frequencyAdvisor() { return Freq.get(); }
+  OptimizationController *prefetchController() { return PrefetchCtl.get(); }
   const WorkloadProgram &program() const { return Prog; }
   const WorkloadSpec &spec() const { return *Spec; }
   uint32_t heapBytes() const { return HeapBytes; }
@@ -114,6 +137,10 @@ private:
   std::unique_ptr<VirtualMachine> Vm;
   std::unique_ptr<GarbageCollector> Gc;
   std::unique_ptr<HpmMonitor> Monitor;
+  std::unique_ptr<PhaseDetector> Phase;
+  std::unique_ptr<PrefetchInjector> Prefetcher;
+  std::unique_ptr<OptimizationController> PrefetchCtl;
+  std::unique_ptr<FrequencyAdvisor> Freq;
   WorkloadProgram Prog;
   bool Ran = false;
 };

@@ -2,9 +2,17 @@
 
 #include "hpm/EventMultiplexer.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace hpmvm;
+
+void EventMultiplexer::attachObs(ObsContext &Obs) {
+  Trace = &Obs.trace();
+  MRotations = &Obs.metrics().counter("mux.rotations");
+  MSamples = &Obs.metrics().counter("mux.samples");
+}
 
 EventMultiplexer::EventMultiplexer(PerfmonModule &Module,
                                    VirtualClock &Clock,
@@ -27,6 +35,7 @@ void EventMultiplexer::start() {
 bool EventMultiplexer::onPoll(uint64_t SamplesSinceLastPoll) {
   assert(Running && "poll on a stopped multiplexer");
   Samples[Slot] += SamplesSinceLastPoll;
+  MSamples->inc(SamplesSinceLastPoll);
   Cycles Now = Clock.now();
   if (VirtualClock::toSeconds(Now - SliceStart) * 1e3 < Config.SliceMs)
     return false;
@@ -40,6 +49,10 @@ bool EventMultiplexer::onPoll(uint64_t SamplesSinceLastPoll) {
                        Config.Rotation[Slot].Interval);
   SliceStart = Now;
   ++Rotations;
+  MRotations->inc();
+  if (Trace)
+    Trace->instant(Now, "mux.rotate", "hpm", "slot",
+                   static_cast<uint64_t>(Slot));
   return true;
 }
 
@@ -61,6 +74,20 @@ size_t EventMultiplexer::slotIndex(HpmEventKind Kind) const {
 uint64_t EventMultiplexer::samples(HpmEventKind Kind) const {
   size_t I = slotIndex(Kind);
   return I < Samples.size() ? Samples[I] : 0;
+}
+
+double EventMultiplexer::dutyCycleScale(HpmEventKind Kind) const {
+  size_t I = slotIndex(Kind);
+  if (I >= Samples.size())
+    return 1.0;
+  Cycles Now = Clock.now();
+  Cycles Active = ActiveTime[I];
+  if (Running && I == Slot)
+    Active += Now - SliceStart;
+  Cycles Total = Now - TotalStart;
+  if (Active == 0 || Total == 0)
+    return 1.0;
+  return static_cast<double>(Total) / static_cast<double>(Active);
 }
 
 double EventMultiplexer::estimatedEvents(HpmEventKind Kind) const {

@@ -20,12 +20,16 @@
 #define HPMVM_HPM_EVENTMULTIPLEXER_H
 
 #include "hpm/PerfmonModule.h"
+#include "obs/Metrics.h"
 #include "support/Types.h"
 #include "support/VirtualClock.h"
 
 #include <vector>
 
 namespace hpmvm {
+
+class ObsContext;
+class TraceBuffer;
 
 /// Multiplexing policy: which kinds to rotate through, each with its own
 /// sampling interval (event kinds differ in frequency by orders of
@@ -72,6 +76,16 @@ public:
   /// samples * interval * (totalTime / timeSampledAsKind).
   double estimatedEvents(HpmEventKind Kind) const;
 
+  /// Inverse duty cycle of \p Kind so far (>= 1): totalTime /
+  /// timeSampledAsKind, including the live current slice. Multiply a
+  /// per-period sample count by this to estimate the dedicated-counter
+  /// equivalent. 1.0 for kinds not in the rotation or not yet sampled.
+  double dutyCycleScale(HpmEventKind Kind) const;
+
+  /// Registers mux.rotations / mux.samples counters and emits a
+  /// "mux.rotate" trace instant per rotation.
+  void attachObs(ObsContext &Obs);
+
 private:
   size_t slotIndex(HpmEventKind Kind) const;
 
@@ -85,6 +99,9 @@ private:
   std::vector<uint64_t> Samples;  ///< Per rotation slot.
   std::vector<Cycles> ActiveTime; ///< Per rotation slot.
   bool Running = false;
+  TraceBuffer *Trace = nullptr;
+  Counter *MRotations = &Counter::sink();
+  Counter *MSamples = &Counter::sink();
 };
 
 } // namespace hpmvm

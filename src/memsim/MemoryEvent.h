@@ -17,6 +17,8 @@
 
 #include "support/Types.h"
 
+#include <cstddef>
+
 namespace hpmvm {
 
 /// Machine-level event kinds observable by the HPM unit.
@@ -25,6 +27,9 @@ enum class HpmEventKind : uint8_t {
   L2Miss,   ///< Unified L2 miss (goes to main memory).
   DtlbMiss, ///< Data TLB miss (page walk).
 };
+
+/// Number of HpmEventKind values (for per-kind arrays).
+inline constexpr size_t kNumHpmEventKinds = 3;
 
 inline const char *eventKindName(HpmEventKind Kind) {
   switch (Kind) {

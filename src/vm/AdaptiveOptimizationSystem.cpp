@@ -22,6 +22,8 @@ void AdaptiveOptimizationSystem::attachObs(ObsContext &Obs) {
   MRecompilations = &Obs.metrics().counter("aos.recompilations");
   MCompileCycles = &Obs.metrics().counter("aos.compile_cycles");
   MTimerSamples = &Obs.metrics().counter("aos.timer_samples");
+  MHpmHotReports = &Obs.metrics().counter("aos.hpm_hot_reports");
+  MHpmRecompilations = &Obs.metrics().counter("aos.hpm_recompilations");
 }
 
 void AdaptiveOptimizationSystem::setConfig(const AosConfig &C) {
@@ -83,6 +85,21 @@ void AdaptiveOptimizationSystem::compileNow(Method &M) {
   if (Trace)
     Trace->instant(Vm.clock().now(), "aos.recompile", "vm", "method", M.Id);
   Vm.installCompiledCode(M, std::move(F));
+}
+
+void AdaptiveOptimizationSystem::noteHpmHotMethod(MethodId Id) {
+  ++HpmHotReports;
+  MHpmHotReports->inc();
+  if (!Config.Enabled)
+    return;
+  Method &M = Vm.method(Id);
+  if (M.isOptCompiled() || M.Code.empty())
+    return;
+  MHpmRecompilations->inc();
+  if (Trace)
+    Trace->instant(Vm.clock().now(), "aos.hpm_recompile", "vm", "method",
+                   Id);
+  compileNow(M);
 }
 
 void AdaptiveOptimizationSystem::applyCompilationPlan(

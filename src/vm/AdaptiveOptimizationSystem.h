@@ -70,6 +70,14 @@ public:
   /// Opt-compiles \p M immediately (idempotent).
   void compileNow(Method &M);
 
+  /// HPM-feedback hook: an external profiler (the sample pipeline's
+  /// frequency consumer) observed \p Id as sample-hot. Recompiles the
+  /// method right away when adaptive recompilation is enabled; under the
+  /// pseudo-adaptive configuration the report is counted but ignored, so
+  /// the paper's fixed compilation plan stays fixed.
+  void noteHpmHotMethod(MethodId Id);
+  uint64_t hpmHotReports() const { return HpmHotReports; }
+
   /// Registers AOS metrics (recompilations, compile cycles, timer samples)
   /// and emits a trace instant per opt-compilation.
   void attachObs(ObsContext &Obs);
@@ -84,11 +92,14 @@ private:
   AosConfig Config;
   Cycles NextTimerSampleAt = 0;
   uint64_t TimerSamples = 0;
+  uint64_t HpmHotReports = 0;
   std::vector<uint64_t> SamplesPerMethod;
   TraceBuffer *Trace = nullptr;
   Counter *MRecompilations = &Counter::sink();
   Counter *MCompileCycles = &Counter::sink();
   Counter *MTimerSamples = &Counter::sink();
+  Counter *MHpmHotReports = &Counter::sink();
+  Counter *MHpmRecompilations = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -3,6 +3,7 @@
 #include "core/FrequencyAdvisor.h"
 
 #include "gc/GenMSPlan.h"
+#include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/BytecodeBuilder.h"
 #include "vm/VirtualMachine.h"
 
@@ -99,4 +100,51 @@ TEST(FrequencyAdvisor, ProfilingOffMeansNoCounts) {
   B.aload(L).getfield(F).popv().ret();
   Vm.invoke(Vm.addMethod(B.build()), {});
   EXPECT_EQ(Vm.fieldAccessCount(F), 0u);
+}
+
+TEST(FrequencyAdvisor, ConsumerReportsHotMethodsToAosOnce) {
+  Rig R;
+  FrequencyAdvisor A(R.Vm);
+  EXPECT_STREQ(A.name(), "frequency");
+  A.setHotMethodSamples(4);
+
+  AttributedSample S;
+  S.Method = R.Reader;
+  for (int I = 0; I != 4; ++I)
+    A.onSample(S);
+  EXPECT_EQ(A.sampleCount(R.Reader), 4u);
+  EXPECT_EQ(A.hotMethodsReported(), 0u) << "reports happen at period ends";
+
+  PeriodContext Ctx;
+  A.onPeriod(Ctx);
+  EXPECT_EQ(A.hotMethodsReported(), 1u);
+  EXPECT_EQ(R.Vm.aos().hpmHotReports(), 1u);
+  // The AOS is enabled by default, so the report recompiles the method.
+  EXPECT_TRUE(R.Vm.method(R.Reader).isOptCompiled());
+
+  // Still hot next period: the method must not be re-reported.
+  for (int I = 0; I != 4; ++I)
+    A.onSample(S);
+  A.onPeriod(Ctx);
+  EXPECT_EQ(A.hotMethodsReported(), 1u);
+  EXPECT_EQ(R.Vm.aos().hpmHotReports(), 1u);
+}
+
+TEST(FrequencyAdvisor, ConsumerIgnoresUnresolvedAndColdMethods) {
+  Rig R;
+  FrequencyAdvisor A(R.Vm);
+  A.setHotMethodSamples(8);
+
+  AttributedSample Unresolved; // Method stays kInvalidId.
+  A.onSample(Unresolved);
+  AttributedSample Cold;
+  Cold.Method = R.Reader;
+  for (int I = 0; I != 7; ++I) // One below the threshold.
+    A.onSample(Cold);
+
+  PeriodContext Ctx;
+  A.onPeriod(Ctx);
+  EXPECT_EQ(A.hotMethodsReported(), 0u);
+  EXPECT_EQ(R.Vm.aos().hpmHotReports(), 0u);
+  EXPECT_FALSE(R.Vm.method(R.Reader).isOptCompiled());
 }

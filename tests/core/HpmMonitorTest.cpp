@@ -171,6 +171,132 @@ TEST(HpmMonitor, FinishDrainsTailSamples) {
   M.finish(); // Idempotent.
 }
 
+namespace {
+
+/// Counts deliveries per event kind; optionally subscribes to one kind.
+struct CountingConsumer : SampleConsumer {
+  explicit CountingConsumer(const char *Name,
+                            HpmEventKind Only = HpmEventKind::L1DMiss,
+                            bool Filtered = false)
+      : Name(Name), Only(Only), Filtered(Filtered) {}
+
+  const char *name() const override { return Name; }
+  bool wantsKind(HpmEventKind K) const override {
+    return !Filtered || K == Only;
+  }
+  void onSample(const AttributedSample &S) override {
+    ++PerKind[static_cast<size_t>(S.Kind)];
+  }
+  void onPeriod(const PeriodContext &Ctx) override {
+    ++Periods;
+    LastScale = Ctx.scale(Only);
+  }
+
+  const char *Name;
+  HpmEventKind Only;
+  bool Filtered;
+  uint64_t PerKind[kNumHpmEventKinds] = {};
+  uint64_t Periods = 0;
+  double LastScale = 0.0;
+};
+
+} // namespace
+
+TEST(HpmMonitor, PassiveConsumersDoNotPerturbResults) {
+  // Adding pipeline consumers that only observe must leave the measured
+  // run bit-identical: same virtual end time, same miss table.
+  auto RunOnce = [](bool WithExtras, uint64_t &MissesOut) {
+    Rig R;
+    MonitorConfig MC;
+    MC.SamplingInterval = 5000;
+    HpmMonitor M(R.Vm, MC);
+    CountingConsumer Extra("extra");
+    if (WithExtras)
+      M.addConsumer(Extra);
+    M.attach();
+    R.Vm.run(R.Main);
+    M.finish();
+    MissesOut = M.missTable().totalMisses();
+    if (WithExtras) {
+      uint64_t Delivered = 0;
+      for (uint64_t N : Extra.PerKind)
+        Delivered += N;
+      EXPECT_GT(Delivered, 0u);
+      EXPECT_GT(Extra.Periods, 0u);
+      EXPECT_DOUBLE_EQ(Extra.LastScale, 1.0) << "no mux => unit scale";
+    }
+    return R.Vm.clock().now();
+  };
+  uint64_t MissesPlain = 0, MissesExtra = 0;
+  Cycles Plain = RunOnce(false, MissesPlain);
+  Cycles Extra = RunOnce(true, MissesExtra);
+  EXPECT_EQ(Plain, Extra);
+  EXPECT_EQ(MissesPlain, MissesExtra);
+}
+
+TEST(HpmMonitor, MultiplexedKindsReachTheRightConsumers) {
+  Rig R;
+  MonitorConfig MC;
+  MC.Events = {{HpmEventKind::L1DMiss, 5000},
+               {HpmEventKind::DtlbMiss, 500}};
+  MC.MuxSliceMs = 0.2;
+  HpmMonitor M(R.Vm, MC);
+  CountingConsumer L1Only("l1", HpmEventKind::L1DMiss, /*Filtered=*/true);
+  CountingConsumer TlbOnly("tlb", HpmEventKind::DtlbMiss, /*Filtered=*/true);
+  CountingConsumer All("all");
+  M.addConsumer(L1Only);
+  M.addConsumer(TlbOnly);
+  M.addConsumer(All);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+
+  ASSERT_NE(M.multiplexer(), nullptr);
+  EXPECT_GT(M.multiplexer()->rotations(), 0u);
+
+  // Each filtered consumer saw only its kind; the unfiltered one saw both.
+  EXPECT_GT(L1Only.PerKind[size_t(HpmEventKind::L1DMiss)], 0u);
+  EXPECT_EQ(L1Only.PerKind[size_t(HpmEventKind::DtlbMiss)], 0u);
+  EXPECT_GT(TlbOnly.PerKind[size_t(HpmEventKind::DtlbMiss)], 0u);
+  EXPECT_EQ(TlbOnly.PerKind[size_t(HpmEventKind::L1DMiss)], 0u);
+  EXPECT_EQ(All.PerKind[size_t(HpmEventKind::L1DMiss)],
+            L1Only.PerKind[size_t(HpmEventKind::L1DMiss)]);
+  EXPECT_EQ(All.PerKind[size_t(HpmEventKind::DtlbMiss)],
+            TlbOnly.PerKind[size_t(HpmEventKind::DtlbMiss)]);
+
+  // Duty-cycle correction: with two rotation slots each kind is active
+  // for only part of the run, so the correction factor must exceed 1.
+  EXPECT_GT(L1Only.LastScale, 1.0);
+  EXPECT_GT(TlbOnly.LastScale, 1.0);
+
+  // The default co-allocation path still works under multiplexing.
+  EXPECT_GT(M.missTable().totalMisses(), 0u);
+}
+
+TEST(HpmMonitor, SingleSlotEventsConfigEqualsSingleEventMode) {
+  // One rotation slot must not engage the multiplexer at all -- it only
+  // normalizes Event/SamplingInterval, preserving the paper's setup.
+  Rig R;
+  MonitorConfig MC;
+  MC.Events = {{HpmEventKind::L1DMiss, 5000}};
+  HpmMonitor M(R.Vm, MC);
+  EXPECT_EQ(M.multiplexer(), nullptr);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+
+  Rig R2;
+  MonitorConfig MC2;
+  MC2.SamplingInterval = 5000;
+  HpmMonitor M2(R2.Vm, MC2);
+  M2.attach();
+  R2.Vm.run(R2.Main);
+  M2.finish();
+
+  EXPECT_EQ(R.Vm.clock().now(), R2.Vm.clock().now());
+  EXPECT_EQ(M.missTable().totalMisses(), M2.missTable().totalMisses());
+}
+
 TEST(HpmMonitor, GcDisabledDuringSampleCopy) {
   // The GC-lock hook must wrap every native copy; we can at least verify
   // the collector is re-enabled afterwards (a stuck lock would abort the

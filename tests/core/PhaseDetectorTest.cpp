@@ -95,3 +95,28 @@ TEST(PhaseDetector, NoChangeBeforeMinPeriods) {
     EXPECT_FALSE(D.observe(R));
   EXPECT_EQ(D.currentPhase(), 1u);
 }
+
+TEST(PhaseDetector, ConsumerFeedsDutyCycleCorrectedRates) {
+  // As a pipeline consumer the detector aggregates per-kind sample counts
+  // each period and observes the (scaled) total. Without a multiplexer
+  // the scale is 1, so N samples per period equals a rate of N.
+  PhaseDetector D;
+  EXPECT_STREQ(D.name(), "phase");
+  EXPECT_TRUE(D.wantsKind(HpmEventKind::L1DMiss));
+
+  auto Feed = [&D](uint64_t N) {
+    AttributedSample S;
+    S.Kind = HpmEventKind::L1DMiss;
+    for (uint64_t I = 0; I != N; ++I)
+      D.onSample(S);
+    PeriodContext Ctx;
+    D.onPeriod(Ctx);
+  };
+  for (int I = 0; I != 5; ++I)
+    Feed(10);
+  EXPECT_EQ(D.currentPhase(), 1u);
+  EXPECT_NEAR(D.level(), 10.0, 1.0);
+  for (int I = 0; I != 4; ++I)
+    Feed(100);
+  EXPECT_GE(D.currentPhase(), 2u) << "a 10x step must flag a phase change";
+}

@@ -2,6 +2,7 @@
 
 #include "core/PrefetchInjector.h"
 
+#include "core/OptimizationController.h"
 #include "gc/GenMSPlan.h"
 #include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/BytecodeBuilder.h"
@@ -159,6 +160,102 @@ TEST(PrefetchInjector, BranchTargetsRemappedCorrectly) {
       break;
     }
   // And the loop still terminates with the right answer.
+  Address Ring = R.buildRing();
+  EXPECT_EQ(
+      R.Vm.invoke(R.Id, {Value::makeRef(Ring), Value::makeInt(3)}).asInt(),
+      2 + 3 + 1);
+}
+
+namespace {
+
+/// Drives the consumer interface: N attributed samples of \p F, then a
+/// period boundary at \p Now.
+void feedPeriod(PrefetchInjector &P, FieldId F, uint64_t N, Cycles Now) {
+  AttributedSample S;
+  S.Field = F;
+  for (uint64_t I = 0; I != N; ++I)
+    P.onSample(S);
+  PeriodContext Ctx;
+  Ctx.Now = Now;
+  P.onPeriod(Ctx);
+}
+
+} // namespace
+
+TEST(PrefetchInjector, ConsumerAccumulatesProfileAndTriggersOnce) {
+  SimpleRig R;
+  PrefetchInjectorConfig C;
+  C.TriggerSamples = 9;
+  C.MinMisses = 4;
+  PrefetchInjector P(R.Vm, C);
+  EXPECT_STREQ(P.name(), "prefetch");
+
+  feedPeriod(P, R.FNext, 3, 1000);
+  feedPeriod(P, R.FNext, 3, 2000);
+  EXPECT_FALSE(P.injected()) << "6 < 9 sampled misses: below trigger";
+  feedPeriod(P, R.FNext, 3, 3000);
+  EXPECT_TRUE(P.injected());
+  EXPECT_EQ(P.stats().MethodsRewritten, 1u);
+  EXPECT_EQ(P.stats().PrefetchesInserted, 1u);
+  EXPECT_EQ(P.missProfile().misses(R.FNext), 9u);
+  EXPECT_EQ(
+      countPrefetches(R.Vm.compiledCode(R.Vm.method(R.Id).OptIndex)), 1u);
+
+  // The pass is one-shot: further periods must not rewrite again.
+  feedPeriod(P, R.FNext, 20, 4000);
+  EXPECT_EQ(P.stats().MethodsRewritten, 1u);
+}
+
+TEST(PrefetchInjector, ConsumerIgnoresUnattributedSamples) {
+  SimpleRig R;
+  PrefetchInjectorConfig C;
+  C.TriggerSamples = 2;
+  PrefetchInjector P(R.Vm, C);
+  AttributedSample S; // Field stays kInvalidId (baseline-code sample).
+  for (int I = 0; I != 50; ++I)
+    P.onSample(S);
+  PeriodContext Ctx;
+  Ctx.Now = 1000;
+  P.onPeriod(Ctx);
+  EXPECT_FALSE(P.injected());
+  EXPECT_EQ(P.missProfile().totalMisses(), 0u);
+}
+
+TEST(PrefetchInjector, ControllerRevertReinstallsOriginalCode) {
+  SimpleRig R;
+  PrefetchInjectorConfig C;
+  C.TriggerSamples = 9;
+  C.MinMisses = 4;
+  PrefetchInjector P(R.Vm, C);
+  ControllerConfig CC;
+  CC.BaselineWindow = 2;
+  CC.DecisionWindow = 2;
+  CC.WarmupPeriods = 0;
+  CC.RegressionFactor = 1.3;
+  OptimizationController Ctl(CC);
+  P.setController(&Ctl);
+
+  // Three quiet periods build the baseline (rate 3) and reach the
+  // trigger; the injection pass declares the policy change.
+  feedPeriod(P, R.FNext, 3, 1000);
+  feedPeriod(P, R.FNext, 3, 2000);
+  feedPeriod(P, R.FNext, 3, 3000);
+  ASSERT_TRUE(P.injected());
+  EXPECT_EQ(Ctl.state(), OptimizationController::State::Warmup);
+
+  // The miss rate regresses after the rewrite (the paper's warning about
+  // fetching the wrong data): the controller must fire the revert once
+  // the warmup period passes and the decision window fills.
+  feedPeriod(P, R.FNext, 8, 4000);
+  feedPeriod(P, R.FNext, 8, 5000);
+  feedPeriod(P, R.FNext, 8, 6000);
+  EXPECT_EQ(Ctl.state(), OptimizationController::State::Reverted);
+  EXPECT_TRUE(P.reverted());
+  EXPECT_EQ(
+      countPrefetches(R.Vm.compiledCode(R.Vm.method(R.Id).OptIndex)), 0u)
+      << "revert must reinstall the pre-rewrite body";
+
+  // And the restored code still computes the right answer.
   Address Ring = R.buildRing();
   EXPECT_EQ(
       R.Vm.invoke(R.Id, {Value::makeRef(Ring), Value::makeInt(3)}).asInt(),

@@ -1,0 +1,159 @@
+//===-- tests/core/SamplePipelineTest.cpp ---------------------------------===//
+//
+// The fan-out stage in isolation: registration order, event-kind
+// filtering, per-consumer telemetry, and the MissTableConsumer port of the
+// paper's co-allocation path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SamplePipeline.h"
+
+#include "obs/Obs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Records every delivery into a shared journal so tests can assert on
+/// cross-consumer ordering.
+struct JournalConsumer : SampleConsumer {
+  JournalConsumer(const char *Name, std::vector<std::string> &Journal)
+      : Name(Name), Journal(Journal) {}
+
+  const char *name() const override { return Name; }
+  void onSample(const AttributedSample &S) override {
+    Journal.push_back(std::string(Name) + ":sample:" +
+                      std::to_string(static_cast<int>(S.Kind)));
+  }
+  void onPeriod(const PeriodContext &) override {
+    Journal.push_back(std::string(Name) + ":period");
+  }
+
+  const char *Name;
+  std::vector<std::string> &Journal;
+};
+
+/// Subscribes to exactly one event kind.
+struct OneKindConsumer : JournalConsumer {
+  OneKindConsumer(const char *Name, HpmEventKind Kind,
+                  std::vector<std::string> &Journal)
+      : JournalConsumer(Name, Journal), Kind(Kind) {}
+  bool wantsKind(HpmEventKind K) const override { return K == Kind; }
+  HpmEventKind Kind;
+};
+
+AttributedSample sampleOf(HpmEventKind Kind) {
+  AttributedSample S;
+  S.Kind = Kind;
+  return S;
+}
+
+} // namespace
+
+TEST(SamplePipeline, DispatchReachesConsumersInRegistrationOrder) {
+  std::vector<std::string> J;
+  JournalConsumer A("a", J), B("b", J);
+  SamplePipeline P;
+  P.addConsumer(A);
+  P.addConsumer(B);
+  ASSERT_EQ(P.numConsumers(), 2u);
+  EXPECT_STREQ(P.consumer(0).name(), "a");
+  EXPECT_STREQ(P.consumer(1).name(), "b");
+
+  P.dispatch(sampleOf(HpmEventKind::L1DMiss));
+  PeriodContext Ctx;
+  P.endPeriod(Ctx);
+  EXPECT_EQ(J, (std::vector<std::string>{"a:sample:0", "b:sample:0",
+                                         "a:period", "b:period"}));
+}
+
+TEST(SamplePipeline, KindFilterRoutesSamplesButNotPeriods) {
+  std::vector<std::string> J;
+  OneKindConsumer L1("l1", HpmEventKind::L1DMiss, J);
+  OneKindConsumer Tlb("tlb", HpmEventKind::DtlbMiss, J);
+  SamplePipeline P;
+  P.addConsumer(L1);
+  P.addConsumer(Tlb);
+
+  P.dispatch(sampleOf(HpmEventKind::L1DMiss));
+  P.dispatch(sampleOf(HpmEventKind::DtlbMiss));
+  P.dispatch(sampleOf(HpmEventKind::L2Miss)); // Nobody subscribes.
+  PeriodContext Ctx;
+  P.endPeriod(Ctx);
+
+  // Samples are filtered per consumer; the period boundary reaches every
+  // consumer even when none of its kinds were sampled.
+  EXPECT_EQ(J, (std::vector<std::string>{"l1:sample:0", "tlb:sample:2",
+                                         "l1:period", "tlb:period"}));
+}
+
+TEST(SamplePipeline, AttachObsWiresPipelineAndPerConsumerCounters) {
+  std::vector<std::string> J;
+  OneKindConsumer L1("l1", HpmEventKind::L1DMiss, J);
+  JournalConsumer All("all", J);
+  SamplePipeline P;
+  P.addConsumer(L1);
+  P.addConsumer(All);
+
+  ObsContext Obs;
+  P.attachObs(Obs);
+  P.dispatch(sampleOf(HpmEventKind::L1DMiss));
+  P.dispatch(sampleOf(HpmEventKind::DtlbMiss));
+  PeriodContext Ctx;
+  P.endPeriod(Ctx);
+
+  MetricsSnapshot S = Obs.metrics().snapshot();
+  EXPECT_EQ(S.counter("pipeline.dispatched"), 2u);
+  EXPECT_EQ(S.counter("pipeline.delivered"), 3u); // l1 got 1, all got 2.
+  EXPECT_EQ(S.counter("pipeline.l1.samples"), 1u);
+  EXPECT_EQ(S.counter("pipeline.all.samples"), 2u);
+  EXPECT_EQ(S.counter("pipeline.l1.periods"), 1u);
+  EXPECT_EQ(S.counter("pipeline.all.periods"), 1u);
+}
+
+TEST(SamplePipeline, ConsumerAddedAfterAttachObsIsWiredImmediately) {
+  std::vector<std::string> J;
+  SamplePipeline P;
+  ObsContext Obs;
+  P.attachObs(Obs);
+
+  JournalConsumer Late("late", J);
+  P.addConsumer(Late);
+  P.dispatch(sampleOf(HpmEventKind::L1DMiss));
+
+  EXPECT_EQ(Obs.metrics().snapshot().counter("pipeline.late.samples"), 1u);
+}
+
+TEST(SamplePipeline, PeriodScaleIsUnityWithoutMultiplexer) {
+  PeriodContext Ctx;
+  EXPECT_DOUBLE_EQ(Ctx.scale(HpmEventKind::L1DMiss), 1.0);
+  EXPECT_DOUBLE_EQ(Ctx.scale(HpmEventKind::DtlbMiss), 1.0);
+}
+
+TEST(SamplePipeline, MissTableConsumerFiltersUnattributedSamples) {
+  FieldMissTable Table;
+  MissTableConsumer C(Table);
+  EXPECT_STREQ(C.name(), "coalloc");
+
+  AttributedSample Hit = sampleOf(HpmEventKind::L1DMiss);
+  Hit.Field = 7;
+  C.onSample(Hit);
+  C.onSample(Hit);
+  // Baseline-code samples arrive with Field == kInvalidId and must not
+  // touch the table (the paper's path never saw them).
+  C.onSample(sampleOf(HpmEventKind::L1DMiss));
+
+  EXPECT_EQ(Table.misses(7), 2u);
+  EXPECT_EQ(Table.totalMisses(), 2u);
+
+  uint64_t V = Table.version();
+  PeriodContext Ctx;
+  Ctx.Now = 1234;
+  C.onPeriod(Ctx);
+  EXPECT_EQ(Table.version(), V + 1) << "onPeriod must close a table period";
+}

@@ -137,6 +137,48 @@ TEST(ParallelRunner, PerRunSeedsAreIndependentOfScheduling) {
             R.at(0, 0, 0, 0, 1).TotalCycles);
 }
 
+TEST(ParallelRunner, MultiConsumerPipelineIsJobCountInvariant) {
+  // The full pipeline configuration -- two multiplexed event kinds
+  // fanning out to coalloc + phase + prefetch(+controller) + frequency
+  // consumers -- must stay bit-identical across job counts, like every
+  // other run.
+  SuiteSpec S;
+  S.Workloads = {"db"};
+  S.HeapFactors = {1.0, 2.0};
+  S.Params.ScalePercent = 10;
+  S.Params.Seed = 13;
+  S.Variants = {{"pipeline", [](RunConfig &C) {
+                   C.Monitoring = true;
+                   C.Coallocation = true;
+                   C.Monitor.Events = {{HpmEventKind::L1DMiss, 5000},
+                                       {HpmEventKind::DtlbMiss, 500}};
+                   C.PhaseConsumer = true;
+                   C.PrefetchConsumer = true;
+                   C.PrefetchController = true;
+                   C.FrequencyConsumer = true;
+                 }}};
+  SuiteOptions Serial;
+  Serial.Jobs = 1;
+  SuiteOptions Parallel;
+  Parallel.Jobs = 4;
+  SuiteResults A = runSuite(S, Serial);
+  SuiteResults B = runSuite(S, Parallel);
+  ASSERT_EQ(A.numExecuted(), S.numCells());
+  for (const SuiteRun &Run : A.runs()) {
+    const RunResult &R = A.at(Run.W, Run.H, Run.C, Run.V, Run.Rep);
+    expectIdentical(R, B.at(Run.W, Run.H, Run.C, Run.V, Run.Rep),
+                    Run.Label);
+    // The consumers actually ran: their pipeline counters are nonzero.
+    EXPECT_GT(R.Metrics.counter("pipeline.dispatched"), 0u) << Run.Label;
+    EXPECT_GT(R.Metrics.counter("pipeline.phase.samples"), 0u) << Run.Label;
+    EXPECT_GT(R.Metrics.counter("pipeline.prefetch.samples"), 0u)
+        << Run.Label;
+    EXPECT_GT(R.Metrics.counter("pipeline.frequency.samples"), 0u)
+        << Run.Label;
+    EXPECT_GT(R.Metrics.counter("mux.rotations"), 0u) << Run.Label;
+  }
+}
+
 TEST(ParallelRunner, FilteredCellsDoNotRun) {
   SuiteSpec S = smallGrid();
   SuiteOptions Opts;

@@ -119,3 +119,32 @@ TEST(Aos, RecompileMarksOldCodeStale) {
   T.Vm.installCompiledCode(M, std::move(NewF));
   EXPECT_GT(T.Vm.immortal().staleBytes(), StaleBefore);
 }
+
+TEST(Aos, HpmHotMethodReportCompilesWhenEnabled) {
+  TestVm T;
+  MethodId Id = trivialMethod(T, "hot");
+  EXPECT_FALSE(T.Vm.method(Id).isOptCompiled());
+  T.Vm.aos().noteHpmHotMethod(Id);
+  EXPECT_EQ(T.Vm.aos().hpmHotReports(), 1u);
+  EXPECT_TRUE(T.Vm.method(Id).isOptCompiled());
+  // Idempotent: a second report must not recompile.
+  uint32_t OptIndex = T.Vm.method(Id).OptIndex;
+  T.Vm.aos().noteHpmHotMethod(Id);
+  EXPECT_EQ(T.Vm.aos().hpmHotReports(), 2u);
+  EXPECT_EQ(T.Vm.method(Id).OptIndex, OptIndex);
+  EXPECT_EQ(T.Vm.stats().MethodsOptCompiled, 1u);
+}
+
+TEST(Aos, HpmHotMethodReportCountsButHoldsWhenDisabled) {
+  // Pseudo-adaptive mode (the paper's evaluation config) freezes the
+  // compilation plan; HPM hotness reports are still counted for
+  // telemetry but must not compile anything.
+  TestVm T;
+  AosConfig C;
+  C.Enabled = false;
+  T.Vm.aos().setConfig(C);
+  MethodId Id = trivialMethod(T, "hot");
+  T.Vm.aos().noteHpmHotMethod(Id);
+  EXPECT_EQ(T.Vm.aos().hpmHotReports(), 1u);
+  EXPECT_FALSE(T.Vm.method(Id).isOptCompiled());
+}
