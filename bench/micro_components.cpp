@@ -12,7 +12,9 @@
 #include "core/SampleResolver.h"
 #include "gc/GenMSPlan.h"
 #include "heap/FreeListAllocator.h"
+#include "hpm/NativeSampleLibrary.h"
 #include "hpm/PebsUnit.h"
+#include "hpm/PerfmonModule.h"
 #include "memsim/MemoryHierarchy.h"
 #include "obs/Metrics.h"
 #include "support/Random.h"
@@ -216,6 +218,31 @@ void BM_PipelineDispatch(benchmark::State &State) {
 }
 BENCHMARK(BM_PipelineDispatch)->Arg(1)->Arg(4);
 
+// The batched counterpart: one dispatchBatch per 256-sample batch, same
+// empty consumers (via the default consumeBatch, which loops onSample).
+// Compare items/sec against BM_PipelineDispatch at equal consumer count:
+// the delta is the amortized per-sample dispatch overhead (kind filter,
+// virtual call, and counter bumps move from per-sample to per-batch).
+void BM_PipelineDispatchBatch(benchmark::State &State) {
+  SamplePipeline P;
+  std::vector<std::unique_ptr<NullConsumer>> Consumers;
+  for (int64_t I = 0; I != State.range(0); ++I) {
+    Consumers.push_back(std::make_unique<NullConsumer>());
+    P.addConsumer(*Consumers.back());
+  }
+  std::vector<AttributedSample> Batch(256);
+  for (AttributedSample &S : Batch) {
+    S.Kind = HpmEventKind::L1DMiss;
+    S.Field = 3;
+    S.Method = 1;
+  }
+  for (auto _ : State)
+    P.dispatchBatch(Batch);
+  State.SetItemsProcessed(State.iterations() * Batch.size() *
+                          State.range(0));
+}
+BENCHMARK(BM_PipelineDispatchBatch)->Arg(1)->Arg(4);
+
 void BM_SampleResolution(benchmark::State &State) {
   EngineRig R;
   R.Vm.aos().compileNow(R.Vm.method(R.Loop));
@@ -229,6 +256,74 @@ void BM_SampleResolution(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SampleResolution);
+
+/// A PEBS-like PC stream over a compiled function: runs of samples on one
+/// instruction, jumping every 16 samples (real PEBS PCs cluster on the
+/// hot loads, which is what the resolver's last-range memo exploits).
+std::vector<PebsSample> makePcStream(const MachineFunction &F, size_t N) {
+  std::vector<PebsSample> Stream(N);
+  SplitMix64 Rng(7);
+  uint32_t Inst = 0;
+  for (size_t I = 0; I != N; ++I) {
+    if (I % 16 == 0)
+      Inst = static_cast<uint32_t>(Rng.nextBelow(F.Insts.size()));
+    Stream[I].Eip = F.addressOf(Inst);
+    Stream[I].Regs[0] = 0x20000000;
+  }
+  return Stream;
+}
+
+// Scalar vs batched resolution of the identical 256-sample stream. The
+// scalar loop pays the per-call overhead (index-freshness check + stats
+// snapshot + four metric flushes) once per sample; resolveBatch pays it
+// once per batch and runs the flat range lookup back to back.
+void BM_ResolveScalar(benchmark::State &State) {
+  EngineRig R;
+  R.Vm.aos().compileNow(R.Vm.method(R.Loop));
+  SampleResolver Res(R.Vm);
+  std::vector<PebsSample> Stream = makePcStream(R.Vm.compiledCode(0), 256);
+  for (auto _ : State)
+    for (const PebsSample &S : Stream)
+      benchmark::DoNotOptimize(Res.resolve(S.Eip));
+  State.SetItemsProcessed(State.iterations() * Stream.size());
+}
+BENCHMARK(BM_ResolveScalar);
+
+void BM_ResolveBatch(benchmark::State &State) {
+  EngineRig R;
+  R.Vm.aos().compileNow(R.Vm.method(R.Loop));
+  SampleResolver Res(R.Vm);
+  std::vector<PebsSample> Stream = makePcStream(R.Vm.compiledCode(0), 256);
+  ResolvedBatch Out;
+  for (auto _ : State) {
+    Res.resolveBatch(Stream.data(), Stream.size(), Out);
+    benchmark::DoNotOptimize(Out.Samples.data());
+  }
+  State.SetItemsProcessed(State.iterations() * Stream.size());
+}
+BENCHMARK(BM_ResolveBatch);
+
+// The zero-copy drain: feed 64 events into the PEBS unit (interval 1, so
+// each becomes a sample), then one readIntoArray + batch view. The drain
+// is a single kernel-side fill of the pre-allocated buffer; batch() is
+// pointer arithmetic.
+void BM_DrainBatch(benchmark::State &State) {
+  PebsUnit U;
+  PerfmonModule M(U);
+  NativeSampleLibrary L(M);
+  M.startSampling(HpmEventKind::L1DMiss, 1, /*RandomizeLowBits=*/false);
+  for (auto _ : State) {
+    for (int I = 0; I != 64; ++I)
+      U.onMemoryEvent(HpmEventKind::L1DMiss, 0x20000000 + I * 64,
+                      0x40000000 + I * 4);
+    size_t N = L.readIntoArray();
+    SampleBatch B = L.batch();
+    benchmark::DoNotOptimize(B.data());
+    benchmark::DoNotOptimize(N);
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_DrainBatch);
 
 } // namespace
 

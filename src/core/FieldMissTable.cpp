@@ -4,6 +4,8 @@
 
 #include "obs/Obs.h"
 
+#include <algorithm>
+
 using namespace hpmvm;
 
 void FieldMissTable::attachObs(ObsContext &Obs) {
@@ -14,13 +16,16 @@ void FieldMissTable::attachObs(ObsContext &Obs) {
 }
 
 void FieldMissTable::addMiss(FieldId F, uint64_t N) {
-  if (Capacity && Counts.size() >= Capacity && !Counts.count(F))
-    evictColdest(F);
+  ensureField(F);
+  if (Counts[F] == 0) {
+    if (Capacity && NumFields >= Capacity)
+      evictColdest(F);
+    ++NumFields;
+  }
   Counts[F] += N;
   Total += N;
   MMisses->inc(N);
-  auto It = Timelines.find(F);
-  if (It != Timelines.end())
+  if (Tracked[F])
     PeriodCounts[F] += N;
 }
 
@@ -28,54 +33,53 @@ void FieldMissTable::evictColdest(FieldId Incoming) {
   // Tracked fields (with timelines) are pinned; evict the coldest of the
   // rest. Linear scan is fine: this runs only when a new field arrives at
   // a full table, never on the per-sample count path.
-  auto Victim = Counts.end();
-  for (auto It = Counts.begin(); It != Counts.end(); ++It) {
-    if (It->first == Incoming || Timelines.count(It->first))
+  size_t Victim = Counts.size();
+  for (size_t F = 0; F != Counts.size(); ++F) {
+    if (Counts[F] == 0 || F == Incoming || Tracked[F])
       continue;
-    if (Victim == Counts.end() || It->second < Victim->second)
-      Victim = It;
+    if (Victim == Counts.size() || Counts[F] < Counts[Victim])
+      Victim = F;
   }
-  if (Victim == Counts.end())
+  if (Victim == Counts.size())
     return; // Everything is tracked; let the table grow past the cap.
-  Counts.erase(Victim);
+  Counts[Victim] = 0;
+  --NumFields;
   ++Evictions;
   MEvictions->inc();
 }
 
-uint64_t FieldMissTable::misses(FieldId F) const {
-  auto It = Counts.find(F);
-  return It == Counts.end() ? 0 : It->second;
-}
-
 void FieldMissTable::trackField(FieldId F) {
-  Timelines.try_emplace(F);
-  PeriodCounts.try_emplace(F, 0);
+  ensureField(F);
+  if (!Tracked[F]) {
+    Tracked[F] = 1;
+    TrackedList.push_back(F);
+  }
 }
 
 void FieldMissTable::endPeriod(Cycles Now) {
-  for (auto &[Field, Line] : Timelines) {
-    uint64_t Delta = PeriodCounts[Field];
-    PeriodCounts[Field] = 0;
+  for (FieldId F : TrackedList) {
+    std::vector<PeriodPoint> &Line = Timelines[F];
+    uint64_t Delta = PeriodCounts[F];
+    PeriodCounts[F] = 0;
     uint64_t Cum = Line.empty() ? Delta : Line.back().Cumulative + Delta;
     Line.push_back(PeriodPoint{Now, Delta, Cum});
   }
   ++Version;
   MPeriods->inc();
-  MFields->set(Counts.size());
+  MFields->set(NumFields);
 }
 
 const std::vector<PeriodPoint> &FieldMissTable::timeline(FieldId F) const {
   static const std::vector<PeriodPoint> Empty;
-  auto It = Timelines.find(F);
-  return It == Timelines.end() ? Empty : It->second;
+  return F < Timelines.size() ? Timelines[F] : Empty;
 }
 
 void FieldMissTable::reset() {
-  Counts.clear();
+  std::fill(Counts.begin(), Counts.end(), 0);
+  std::fill(PeriodCounts.begin(), PeriodCounts.end(), 0);
+  NumFields = 0;
   Total = 0;
-  for (auto &[Field, Line] : Timelines)
+  for (std::vector<PeriodPoint> &Line : Timelines)
     Line.clear();
-  for (auto &[Field, C] : PeriodCounts)
-    C = 0;
   ++Version;
 }

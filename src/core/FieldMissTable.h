@@ -13,6 +13,12 @@
 /// and miss rates over time, including the stepwise-constant shape caused
 /// by batch processing).
 ///
+/// Storage is a dense vector indexed by FieldId -- field ids are small and
+/// dense in this VM, so the per-sample count update is a single indexed
+/// add (no hashing, no buckets). A count of zero means "not in the table"
+/// (counts only ever grow except when the bounded mode evicts an entry,
+/// which resets it to zero), so presence needs no separate bitmap.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_CORE_FIELDMISSTABLE_H
@@ -21,7 +27,6 @@
 #include "obs/Metrics.h"
 #include "support/Types.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace hpmvm {
@@ -48,14 +53,16 @@ public:
   void setCapacity(size_t MaxFields) { Capacity = MaxFields; }
   size_t capacity() const { return Capacity; }
   uint64_t evictions() const { return Evictions; }
-  size_t numFields() const { return Counts.size(); }
+  size_t numFields() const { return NumFields; }
 
   /// Registers table metrics (misses recorded, periods, entries gauge,
   /// evictions).
   void attachObs(ObsContext &Obs);
 
   /// Cumulative sampled misses for \p F.
-  uint64_t misses(FieldId F) const;
+  uint64_t misses(FieldId F) const {
+    return F < Counts.size() ? Counts[F] : 0;
+  }
 
   uint64_t totalMisses() const { return Total; }
 
@@ -78,10 +85,24 @@ public:
 
 private:
   void evictColdest(FieldId Incoming);
+  /// Grows the dense arrays to cover \p F.
+  void ensureField(FieldId F) {
+    if (F >= Counts.size()) {
+      Counts.resize(F + 1, 0);
+      PeriodCounts.resize(F + 1, 0);
+      Tracked.resize(F + 1, 0);
+      Timelines.resize(F + 1);
+    }
+  }
 
-  std::unordered_map<FieldId, uint64_t> Counts;
-  std::unordered_map<FieldId, uint64_t> PeriodCounts;
-  std::unordered_map<FieldId, std::vector<PeriodPoint>> Timelines;
+  // Dense, FieldId-indexed (all four parallel).
+  std::vector<uint64_t> Counts;       ///< 0 = not in the table.
+  std::vector<uint64_t> PeriodCounts; ///< This period's misses (tracked).
+  std::vector<uint8_t> Tracked;       ///< Timeline recording on?
+  std::vector<std::vector<PeriodPoint>> Timelines;
+  /// Tracked fields in trackField() order (endPeriod iteration).
+  std::vector<FieldId> TrackedList;
+  size_t NumFields = 0; ///< Fields with a nonzero count.
   uint64_t Total = 0;
   uint64_t Version = 0;
   size_t Capacity = 0;

@@ -37,18 +37,32 @@ CoallocationHint FrequencyAdvisor::coallocationHint(ClassId Cls) {
 
 void FrequencyAdvisor::onSample(const AttributedSample &S) {
   MSamples->inc();
-  if (S.Method != kInvalidId)
+  if (S.Method != kInvalidId) {
+    ensureMethod(S.Method);
     ++MethodSamples[S.Method];
+  }
+}
+
+void FrequencyAdvisor::consumeBatch(std::span<const AttributedSample> Batch) {
+  // One metrics bump per batch; the tally itself is an indexed increment.
+  MSamples->inc(Batch.size());
+  for (const AttributedSample &S : Batch) {
+    if (S.Method != kInvalidId) {
+      ensureMethod(S.Method);
+      ++MethodSamples[S.Method];
+    }
+  }
 }
 
 void FrequencyAdvisor::onPeriod(const PeriodContext &) {
   // Report methods whose sample frequency crossed the threshold to the
-  // AOS, once each. Under pseudo-adaptive mode the AOS is frozen and only
-  // counts the report; with adaptive recompilation enabled it compiles.
-  for (const auto &[Id, Count] : MethodSamples) {
-    if (Count < HotMethodSamples || Reported.count(Id))
+  // AOS, once each (in ascending method-id order). Under pseudo-adaptive
+  // mode the AOS is frozen and only counts the report; with adaptive
+  // recompilation enabled it compiles.
+  for (MethodId Id = 0; Id != MethodSamples.size(); ++Id) {
+    if (MethodSamples[Id] < HotMethodSamples || Reported[Id])
       continue;
-    Reported.insert(Id);
+    Reported[Id] = 1;
     ++HotReported;
     MHotMethods->inc();
     Vm.aos().noteHpmHotMethod(Id);

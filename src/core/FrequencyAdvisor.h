@@ -30,8 +30,7 @@
 #include "obs/Metrics.h"
 #include "support/Types.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 namespace hpmvm {
 
@@ -60,6 +59,7 @@ public:
   // SampleConsumer: per-method sample frequency feeding AOS decisions.
   const char *name() const override { return "frequency"; }
   void onSample(const AttributedSample &S) override;
+  void consumeBatch(std::span<const AttributedSample> Batch) override;
   void onPeriod(const PeriodContext &Ctx) override;
 
   /// Registers freq.samples / freq.hot_methods / freq.coallocations.
@@ -70,19 +70,27 @@ public:
   void setHotMethodSamples(uint64_t N) { HotMethodSamples = N; }
 
   uint64_t sampleCount(MethodId Id) const {
-    auto It = MethodSamples.find(Id);
-    return It == MethodSamples.end() ? 0 : It->second;
+    return Id < MethodSamples.size() ? MethodSamples[Id] : 0;
   }
   uint64_t hotMethodsReported() const { return HotReported; }
 
 private:
+  void ensureMethod(MethodId Id) {
+    if (Id >= MethodSamples.size()) {
+      MethodSamples.resize(Id + 1, 0);
+      Reported.resize(Id + 1, 0);
+    }
+  }
+
   VirtualMachine &Vm;
   uint64_t MinAccesses;
   uint64_t Coallocations = 0;
   uint64_t HotMethodSamples = 16;
   uint64_t HotReported = 0;
-  std::unordered_map<MethodId, uint64_t> MethodSamples;
-  std::unordered_set<MethodId> Reported;
+  // Dense, MethodId-indexed: method ids are small and dense, so the
+  // per-sample tally is a single indexed increment.
+  std::vector<uint64_t> MethodSamples;
+  std::vector<uint8_t> Reported;
   Counter *MSamples = &Counter::sink();
   Counter *MHotMethods = &Counter::sink();
   Counter *MCoallocations = &Counter::sink();

@@ -118,31 +118,68 @@ void HpmMonitor::finish() {
 }
 
 const std::vector<FieldId> &HpmMonitor::interestFor(uint32_t OptIndex) {
-  auto It = InterestCache.find(OptIndex);
-  if (It != InterestCache.end())
-    return It->second;
-  const MachineFunction &F = Vm.compiledCode(OptIndex);
-  auto [NewIt, Inserted] = InterestCache.emplace(
-      OptIndex, computeInstructionsOfInterest(F, Vm.classes()));
-  assert(Inserted);
-  return NewIt->second;
+  if (OptIndex >= InterestCache.size()) {
+    InterestCache.resize(OptIndex + 1);
+    InterestCached.resize(OptIndex + 1, 0);
+  }
+  if (!InterestCached[OptIndex]) {
+    InterestCache[OptIndex] = computeInstructionsOfInterest(
+        Vm.compiledCode(OptIndex), Vm.classes());
+    InterestCached[OptIndex] = 1;
+  }
+  return InterestCache[OptIndex];
+}
+
+bool HpmMonitor::attribute(const ResolvedSample &R, Address DataAddr,
+                           HpmEventKind Kind, AttributedSample &A) {
+  if (!R.Valid)
+    return false;
+  const Method &M = Vm.method(R.Method);
+  if (M.IsVmInternal && !Config.MonitorVmInternal) {
+    ++Stats.SamplesVmInternal;
+    MVmInternal->inc();
+    return false;
+  }
+  A = AttributedSample{};
+  A.Kind = Kind;
+  A.Method = R.Method;
+  A.Flavor = R.Flavor;
+  A.InstIdx = R.InstIdx;
+  A.OptIndex = R.OptIndex;
+  A.DataAddr = DataAddr;
+  if (R.Flavor != CodeFlavor::Optimized) {
+    // Baseline code carries no instructions-of-interest (the paper only
+    // computes them for opt-compiled methods); the sample is still
+    // dispatched, unattributed, for method-level consumers.
+    ++Stats.SamplesBaselineCode;
+    MBaselineCode->inc();
+    return true;
+  }
+  const std::vector<FieldId> &Interest = interestFor(R.OptIndex);
+  A.Field = Interest[R.InstIdx];
+  if (A.Field != kInvalidId) {
+    ++Stats.SamplesAttributed;
+    MAttributed->inc();
+  }
+  return true;
 }
 
 void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
   // VM-side processing cost: method-table lookup, MC-map walk, counter
   // bookkeeping. Charged per sample to the virtual clock (this is the
-  // dominant share of Figure 2's overhead).
+  // dominant share of Figure 2's overhead), identically on both paths.
   Cycles Cost = static_cast<Cycles>(N) * kSampleProcessCycles;
   Vm.clock().advance(Cost);
   Stats.ProcessingCycles += Cost;
 
   // Under multiplexing, every sample in this batch was taken while the
   // current rotation slot's kind was programmed (the multiplexer only
-  // rotates after the poll that delivered this batch).
+  // rotates after the poll that delivered this batch), so the whole batch
+  // is homogeneous in event kind.
   HpmEventKind Kind = Mux ? Mux->currentKind() : Config.Event;
 
+  Stats.SamplesProcessed += N;
   for (size_t I = 0; I != N; ++I) {
-    ++Stats.SamplesProcessed;
     switch (Vm.collector().spaceOf(Samples[I].Regs[0])) {
     case SpaceId::Nursery:
       ++Stats.DataInNursery;
@@ -156,38 +193,29 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
       ++Stats.DataInMature;
       break;
     }
-    ResolvedSample R = Resolver->resolve(Samples[I].Eip);
-    if (!R.Valid)
-      continue;
-    const Method &M = Vm.method(R.Method);
-    if (M.IsVmInternal && !Config.MonitorVmInternal) {
-      ++Stats.SamplesVmInternal;
-      MVmInternal->inc();
-      continue;
-    }
+  }
+
+  if (Config.ScalarSamplePath) {
+    // The pre-batching reference path: resolve, attribute and fan out one
+    // sample at a time. Kept as the equivalence baseline for the batch
+    // path below.
     AttributedSample A;
-    A.Kind = Kind;
-    A.Method = R.Method;
-    A.Flavor = R.Flavor;
-    A.InstIdx = R.InstIdx;
-    A.OptIndex = R.OptIndex;
-    A.DataAddr = Samples[I].Regs[0];
-    if (R.Flavor != CodeFlavor::Optimized) {
-      // Baseline code carries no instructions-of-interest (the paper only
-      // computes them for opt-compiled methods); the sample is still
-      // dispatched, unattributed, for method-level consumers.
-      ++Stats.SamplesBaselineCode;
-      MBaselineCode->inc();
-      Pipeline.dispatch(A);
-      continue;
+    for (size_t I = 0; I != N; ++I) {
+      ResolvedSample R = Resolver->resolve(Samples[I].Eip);
+      if (attribute(R, Samples[I].Regs[0], Kind, A))
+        Pipeline.dispatch(A);
     }
-    const std::vector<FieldId> &Interest = interestFor(R.OptIndex);
-    A.Field = Interest[R.InstIdx];
-    if (A.Field != kInvalidId) {
-      ++Stats.SamplesAttributed;
-      MAttributed->inc();
-    }
-    Pipeline.dispatch(A);
+  } else {
+    // Hot path: resolve the whole batch against the flat index (one
+    // metrics flush), build the attributed batch in a reusable buffer,
+    // then fan it out with one virtual call per consumer.
+    Resolver->resolveBatch(Samples, N, Resolved);
+    AttrBatch.clear();
+    AttributedSample A;
+    for (size_t I = 0; I != N; ++I)
+      if (attribute(Resolved.Samples[I], Samples[I].Regs[0], Kind, A))
+        AttrBatch.push_back(A);
+    Pipeline.dispatchBatch(AttrBatch);
   }
 
   MBatches->inc();

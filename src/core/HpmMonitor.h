@@ -41,7 +41,6 @@
 #include "support/Types.h"
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 namespace hpmvm {
@@ -74,6 +73,11 @@ struct MonitorConfig {
   /// Monitor application methods only (VM-internal excluded), as in the
   /// paper.
   bool MonitorVmInternal = false;
+  /// Debug/equivalence shim: resolve and dispatch one sample at a time
+  /// (the pre-batching hot path) instead of resolveBatch/dispatchBatch.
+  /// Both paths produce identical consumer state and identical virtual
+  /// time; the equivalence test asserts exactly that.
+  bool ScalarSamplePath = false;
   AdvisorConfig Advisor;
   /// Collector-thread policy. The paper polls every 10-1000 ms on runs of
   /// minutes; our scaled workloads run for tens of virtual milliseconds,
@@ -157,7 +161,13 @@ public:
 private:
   void processBatch(const PebsSample *Samples, size_t N);
 
-  /// Instructions-of-interest cache, keyed by OptIndex.
+  /// Filters and attributes one resolved sample into \p A. \returns false
+  /// when the sample is dropped (unresolved or VM-internal); updates the
+  /// filter/attribution stats either way.
+  bool attribute(const ResolvedSample &R, Address DataAddr,
+                 HpmEventKind Kind, AttributedSample &A);
+
+  /// Instructions-of-interest cache, indexed densely by OptIndex.
   const std::vector<FieldId> &interestFor(uint32_t OptIndex);
 
   VirtualMachine &Vm;
@@ -173,7 +183,14 @@ private:
   std::unique_ptr<EventMultiplexer> Mux;
   MissTableConsumer TableConsumer{Table};
   SamplePipeline Pipeline;
-  std::unordered_map<uint32_t, std::vector<FieldId>> InterestCache;
+  /// OptIndex-indexed (opt indexes are dense); Cached flags validity so an
+  /// opt function with no interesting instructions is not recomputed.
+  std::vector<std::vector<FieldId>> InterestCache;
+  std::vector<uint8_t> InterestCached;
+  /// Reusable batch buffers: resolveBatch output and the attributed batch
+  /// handed to dispatchBatch (allocated once, reused every poll).
+  ResolvedBatch Resolved;
+  std::vector<AttributedSample> AttrBatch;
   std::function<void()> PeriodObserver;
   MonitorStats Stats;
   bool Attached = false;

@@ -77,6 +77,12 @@ public:
   void onSample(const AttributedSample &S) override {
     ++PeriodSamples[static_cast<size_t>(S.Kind)];
   }
+  void consumeBatch(std::span<const AttributedSample> Batch) override {
+    // Batches are homogeneous in kind: one indexed add for the whole
+    // batch.
+    if (!Batch.empty())
+      PeriodSamples[static_cast<size_t>(Batch.front().Kind)] += Batch.size();
+  }
   void onPeriod(const PeriodContext &Ctx) override;
 
   /// Number of the current phase (the first phase is 1; 0 before any

@@ -86,6 +86,13 @@ public:
       ++PeriodSamples;
     }
   }
+  void consumeBatch(std::span<const AttributedSample> Batch) override {
+    for (const AttributedSample &S : Batch)
+      if (S.Field != kInvalidId) {
+        Table.addMiss(S.Field);
+        ++PeriodSamples;
+      }
+  }
   void onPeriod(const PeriodContext &Ctx) override;
 
   /// Registers prefetch.methods_rewritten / prefetch.insertions /

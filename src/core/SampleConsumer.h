@@ -11,11 +11,15 @@
 /// consumers of the same sample stream. A SampleConsumer subscribes to one
 /// or more HpmEventKinds and receives:
 ///
-///   - onSample(): every resolved, non-VM-internal sample of a subscribed
-///     kind, already attributed to a field when it landed on an
-///     instruction of interest (Field == kInvalidId otherwise, e.g. for
-///     baseline-code samples, which the paper's path dropped but which
-///     method-hotness consumers need);
+///   - consumeBatch(): every resolved, non-VM-internal sample of a
+///     subscribed kind, delivered one collector batch at a time. All
+///     samples of a batch share one event kind (batch boundaries never
+///     span a multiplexer rotation), and each is already attributed to a
+///     field when it landed on an instruction of interest (Field ==
+///     kInvalidId otherwise, e.g. for baseline-code samples, which the
+///     paper's path dropped but which method-hotness consumers need).
+///     The default implementation loops onSample(), so scalar consumers
+///     need not care about batching;
 ///   - onPeriod(): the end of each measurement period (= one delivered
 ///     collector batch), with a PeriodContext carrying the virtual time
 ///     and, under event multiplexing, the duty-cycle correction for each
@@ -36,6 +40,8 @@
 #include "memsim/MemoryEvent.h"
 #include "support/Types.h"
 #include "vm/MethodTable.h"
+
+#include <span>
 
 namespace hpmvm {
 
@@ -87,6 +93,15 @@ public:
 
   /// One sample of a subscribed kind.
   virtual void onSample(const AttributedSample &S) = 0;
+
+  /// One collector batch of subscribed samples (all of one event kind;
+  /// batches never span a multiplexer rotation). Consumers on the hot
+  /// path override this to amortize per-sample dispatch; the default
+  /// preserves scalar semantics exactly.
+  virtual void consumeBatch(std::span<const AttributedSample> Batch) {
+    for (const AttributedSample &S : Batch)
+      onSample(S);
+  }
 
   /// End of a measurement period (called for every consumer, regardless of
   /// whether any of its kinds were sampled this period).

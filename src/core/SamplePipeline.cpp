@@ -5,6 +5,7 @@
 #include "hpm/EventMultiplexer.h"
 #include "obs/Obs.h"
 
+#include <cassert>
 #include <string>
 
 using namespace hpmvm;
@@ -42,6 +43,24 @@ void SamplePipeline::dispatch(const AttributedSample &S) {
     E.C->onSample(S);
     E.MSamples->inc();
     MDelivered->inc();
+  }
+}
+
+void SamplePipeline::dispatchBatch(std::span<const AttributedSample> Batch) {
+  if (Batch.empty())
+    return;
+  HpmEventKind Kind = Batch.front().Kind;
+#ifndef NDEBUG
+  for (const AttributedSample &S : Batch)
+    assert(S.Kind == Kind && "a batch must not mix event kinds");
+#endif
+  MDispatched->inc(Batch.size());
+  for (Entry &E : Consumers) {
+    if (!E.C->wantsKind(Kind))
+      continue;
+    E.C->consumeBatch(Batch);
+    E.MSamples->inc(Batch.size());
+    MDelivered->inc(Batch.size());
   }
 }
 

@@ -13,6 +13,12 @@
 /// never advances the virtual clock, so adding passive consumers does not
 /// change measured results.
 ///
+/// The hot path is dispatchBatch(): one homogeneous-kind batch per
+/// collector poll, one wantsKind() check and one virtual call per
+/// consumer per batch (instead of per sample), with the pipeline counters
+/// bumped once per batch. dispatch() remains as the scalar path for
+/// single-sample callers and the batched-vs-scalar equivalence shim.
+///
 /// MissTableConsumer ports the paper's FieldMissTable path onto the
 /// interface unchanged: it is the monitor's default (and, by default,
 /// only) consumer, and reproduces the pre-pipeline behaviour bit-for-bit.
@@ -42,6 +48,12 @@ public:
 
   /// Offers \p S to every consumer subscribed to S.Kind.
   void dispatch(const AttributedSample &S);
+
+  /// Offers a whole batch to every subscribed consumer: one virtual call
+  /// per consumer per batch. Every sample in \p Batch must carry the same
+  /// event kind (the monitor's batches do by construction -- a batch
+  /// never spans a multiplexer rotation).
+  void dispatchBatch(std::span<const AttributedSample> Batch);
 
   /// Closes a measurement period for every consumer, in registration
   /// order.
@@ -81,6 +93,11 @@ public:
   void onSample(const AttributedSample &S) override {
     if (S.Field != kInvalidId)
       Table.addMiss(S.Field);
+  }
+  void consumeBatch(std::span<const AttributedSample> Batch) override {
+    for (const AttributedSample &S : Batch)
+      if (S.Field != kInvalidId)
+        Table.addMiss(S.Field);
   }
   void onPeriod(const PeriodContext &Ctx) override {
     Table.endPeriod(Ctx.Now);

@@ -6,78 +6,153 @@
 #include "obs/Obs.h"
 #include "vm/VirtualMachine.h"
 
+#include <algorithm>
+
 using namespace hpmvm;
 
 void SampleResolver::attachObs(ObsContext &Obs) {
   MResolved = &Obs.metrics().counter("resolver.resolved");
   MResolvedOpt = &Obs.metrics().counter("resolver.resolved_optimized");
-  MUnresolvedPc = &Obs.metrics().counter("resolver.unresolved_pc");
-  MNoBytecodeMap = &Obs.metrics().counter("resolver.no_bytecode_map");
+  MDroppedOutsideVm = &Obs.metrics().counter("resolver.dropped_outside_vm");
+  MDroppedUnknownCode =
+      &Obs.metrics().counter("resolver.dropped_unknown_code");
 }
 
-void SampleResolver::refreshOptIndex() {
-  size_t N = Vm.numCompiledFunctions();
-  for (; IndexedFns < N; ++IndexedFns) {
+void SampleResolver::refreshIndex() {
+  size_t NumRanges = Vm.methodTable().size();
+  size_t NumFns = Vm.numCompiledFunctions();
+  if (NumRanges == SeenRanges && NumFns == SeenFns)
+    return;
+
+  // Index new compiled functions by code base. The immortal space bumps
+  // addresses upward, so appends normally keep the array sorted; the sort
+  // is a no-op then and a safety net otherwise.
+  for (; SeenFns != NumFns; ++SeenFns) {
     const MachineFunction &F =
-        Vm.compiledCode(static_cast<uint32_t>(IndexedFns));
-    OptByBase.emplace(F.CodeBase, static_cast<uint32_t>(IndexedFns));
+        Vm.compiledCode(static_cast<uint32_t>(SeenFns));
+    FnByBase.emplace_back(F.CodeBase, static_cast<uint32_t>(SeenFns));
   }
+  std::sort(FnByBase.begin(), FnByBase.end());
+
+  // Mirror the (already sorted) method table into the flat index, folding
+  // in each optimized range's compiled function. Rebuilding from scratch
+  // is fine: this runs only when a method is (re)compiled, never on the
+  // per-sample path.
+  const std::vector<MethodRange> &Table = Vm.methodTable().ranges();
+  Ranges.clear();
+  Ranges.reserve(Table.size());
+  for (const MethodRange &R : Table) {
+    CodeRange C;
+    C.Start = R.Start;
+    C.End = R.End;
+    C.CodeLimit = R.End;
+    C.Method = R.Method;
+    C.Flavor = R.Flavor;
+    if (R.Flavor == CodeFlavor::Optimized) {
+      auto It = std::lower_bound(
+          FnByBase.begin(), FnByBase.end(),
+          std::make_pair(R.Start, uint32_t(0)),
+          [](const auto &A, const auto &B) { return A.first < B.first; });
+      if (It != FnByBase.end() && It->first == R.Start) {
+        C.OptIndex = It->second;
+        C.Fn = &Vm.compiledCode(It->second);
+        C.CodeLimit = C.Fn->codeLimit();
+      } else {
+        // No function starts at this range (cannot happen for ranges the
+        // VM installs); drop every PC in it as unknown code.
+        C.CodeLimit = C.Start;
+      }
+    }
+    Ranges.push_back(C);
+  }
+  SeenRanges = NumRanges;
+  LastHit = SIZE_MAX; // Indices shifted; the memo is stale.
 }
 
-ResolvedSample SampleResolver::resolve(Address Pc) {
-  ResolvedSample R;
+void SampleResolver::resolveOne(Address Pc, ResolvedSample &R) {
+  R = ResolvedSample{};
   // "Addresses outside the VM address space (e.g., from kernel space or
   // native libraries) are dropped immediately."
   if (!isInCompiledCode(Pc)) {
     ++Stats.DroppedOutsideVm;
-    MUnresolvedPc->inc();
-    return R;
+    return;
   }
 
-  const MethodRange *Range = Vm.methodTable().lookup(Pc);
-  if (!Range) {
+  // Last-range memo first: consecutive samples usually hit the same
+  // method, making this single range check the common case.
+  const CodeRange *C = nullptr;
+  if (LastHit < Ranges.size() && Pc >= Ranges[LastHit].Start &&
+      Pc < Ranges[LastHit].End) {
+    C = &Ranges[LastHit];
+  } else {
+    // First range with Start > Pc; the candidate is its predecessor.
+    auto It = std::upper_bound(
+        Ranges.begin(), Ranges.end(), Pc,
+        [](Address A, const CodeRange &R) { return A < R.Start; });
+    if (It != Ranges.begin() && Pc < std::prev(It)->End) {
+      C = &*std::prev(It);
+      LastHit = static_cast<size_t>(C - Ranges.data());
+    }
+  }
+  if (!C) {
     ++Stats.DroppedUnknownCode;
-    MNoBytecodeMap->inc();
-    return R;
+    return;
   }
 
-  R.Method = Range->Method;
-  R.Flavor = Range->Flavor;
-  const Method &M = Vm.method(Range->Method);
+  R.Method = C->Method;
+  R.Flavor = C->Flavor;
 
-  if (Range->Flavor == CodeFlavor::Baseline) {
-    R.Bci = (Pc - Range->Start) / kBaselineBytesPerBytecode;
+  if (C->Flavor == CodeFlavor::Baseline) {
+    R.Bci = (Pc - C->Start) / kBaselineBytesPerBytecode;
     R.Valid = true;
     ++Stats.Resolved;
-    MResolved->inc();
-    return R;
+    return;
   }
 
-  // Optimized code: find the compiled function covering this PC (the
-  // method may have been recompiled; stale ranges resolve against their
-  // own function).
-  refreshOptIndex();
-  auto It = OptByBase.upper_bound(Pc);
-  if (It == OptByBase.begin()) {
+  // Optimized code: the flat entry carries the compiled function covering
+  // this range (the method may have been recompiled; stale ranges resolve
+  // against their own function). PCs past the function's real code end are
+  // unknown code.
+  if (!C->Fn || Pc >= C->CodeLimit) {
     ++Stats.DroppedUnknownCode;
-    MNoBytecodeMap->inc();
-    return R;
+    return;
   }
-  --It;
-  const MachineFunction &F = Vm.compiledCode(It->second);
-  if (Pc >= F.codeLimit()) {
-    ++Stats.DroppedUnknownCode;
-    MNoBytecodeMap->inc();
-    return R;
-  }
-  (void)M;
-  R.OptIndex = It->second;
+  const MachineFunction &F = *C->Fn;
+  R.OptIndex = C->OptIndex;
   R.InstIdx = F.instIndexFor(Pc);
   R.Bci = F.Insts[R.InstIdx].Bci;
   R.Valid = true;
   ++Stats.Resolved;
   ++Stats.ResolvedOptimized;
-  MResolved->inc();
-  MResolvedOpt->inc();
+}
+
+ResolvedSample SampleResolver::resolve(Address Pc) {
+  refreshIndex();
+  ResolverStats Before = Stats;
+  ResolvedSample R;
+  resolveOne(Pc, R);
+  MResolved->inc(Stats.Resolved - Before.Resolved);
+  MResolvedOpt->inc(Stats.ResolvedOptimized - Before.ResolvedOptimized);
+  MDroppedOutsideVm->inc(Stats.DroppedOutsideVm - Before.DroppedOutsideVm);
+  MDroppedUnknownCode->inc(Stats.DroppedUnknownCode -
+                           Before.DroppedUnknownCode);
   return R;
+}
+
+void SampleResolver::resolveBatch(const PebsSample *Samples, size_t N,
+                                  ResolvedBatch &Out) {
+  // No compilation happens mid-batch (consumers recompile from period
+  // boundaries, after resolution), so one refresh covers the whole batch.
+  refreshIndex();
+  ResolverStats Before = Stats;
+  Out.Samples.resize(N);
+  for (size_t I = 0; I != N; ++I)
+    resolveOne(Samples[I].Eip, Out.Samples[I]);
+  // One metrics flush per batch instead of up-to-four counter bumps per
+  // sample.
+  MResolved->inc(Stats.Resolved - Before.Resolved);
+  MResolvedOpt->inc(Stats.ResolvedOptimized - Before.ResolvedOptimized);
+  MDroppedOutsideVm->inc(Stats.DroppedOutsideVm - Before.DroppedOutsideVm);
+  MDroppedUnknownCode->inc(Stats.DroppedUnknownCode -
+                           Before.DroppedUnknownCode);
 }

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Maps a raw PEBS sample to source-level constructs (paper section 4.2):
+/// Maps raw PEBS samples to source-level constructs (paper section 4.2):
 ///   1. Samples whose PC lies outside the VM's compiled-code space (kernel,
 ///      native libraries) are dropped immediately.
 ///   2. The sorted method table resolves the PC to a method.
@@ -13,21 +13,32 @@
 ///      arithmetic for baseline code; the per-instruction map for
 ///      opt-compiled code.
 ///
+/// The resolver keeps its own flat, sorted array of code ranges (mirroring
+/// the VM's method table, with the optimized-code function index folded
+/// in), rebuilt only when methods are (re)compiled. Lookups are a binary
+/// search over that contiguous array, fronted by a last-range memo: PEBS
+/// PCs cluster heavily -- consecutive samples usually land in the same
+/// method -- so the memo turns most resolutions into a single range check.
+/// resolveBatch() resolves a whole collector batch in one pass into a
+/// reusable ResolvedBatch, flushing the per-sample metrics once per batch.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_CORE_SAMPLERESOLVER_H
 #define HPMVM_CORE_SAMPLERESOLVER_H
 
+#include "hpm/Sample.h"
 #include "obs/Metrics.h"
 #include "support/Types.h"
 #include "vm/MethodTable.h"
 
-#include <map>
+#include <vector>
 
 namespace hpmvm {
 
 class ObsContext;
 class VirtualMachine;
+struct MachineFunction;
 
 /// A sample resolved to source constructs.
 struct ResolvedSample {
@@ -40,6 +51,15 @@ struct ResolvedSample {
   uint32_t InstIdx = kInvalidId;
   /// Index into VirtualMachine::compiledCode (optimized code only).
   uint32_t OptIndex = kInvalidId;
+};
+
+/// Reusable output buffer for batch resolution: one ResolvedSample per
+/// input sample, in input order (invalid entries mark dropped samples).
+struct ResolvedBatch {
+  std::vector<ResolvedSample> Samples;
+
+  size_t size() const { return Samples.size(); }
+  const ResolvedSample &operator[](size_t I) const { return Samples[I]; }
 };
 
 /// Resolution statistics (mirrors the paper's filtering steps).
@@ -55,27 +75,62 @@ class SampleResolver {
 public:
   explicit SampleResolver(VirtualMachine &Vm) : Vm(Vm) {}
 
+  /// Resolves a single PC (the scalar path: one lookup, per-call metric
+  /// updates).
   ResolvedSample resolve(Address Pc);
 
-  /// Registers resolution metrics: resolver.resolved, unresolved-PC drops,
-  /// no-bytecode-map drops.
+  /// Resolves \p N samples into \p Out.Samples (resized to N) in one pass
+  /// over the flat range index, with the last-range memo carried across
+  /// consecutive samples and metrics flushed once at the end.
+  void resolveBatch(const PebsSample *Samples, size_t N, ResolvedBatch &Out);
+
+  /// Registers resolution metrics: resolver.resolved /
+  /// resolver.resolved_optimized plus the drop counters
+  /// resolver.dropped_outside_vm / resolver.dropped_unknown_code
+  /// (matching the ResolverStats field names).
   void attachObs(ObsContext &Obs);
 
   const ResolverStats &stats() const { return Stats; }
 
 private:
-  /// Lazily (re)builds the CodeBase -> OptIndex index when new methods have
-  /// been compiled since the last build.
-  void refreshOptIndex();
+  /// One entry of the flat resolution index: a method-table range with the
+  /// compiled-function index (and its true code limit) folded in so
+  /// optimized-code resolution needs no second lookup.
+  struct CodeRange {
+    Address Start = 0;
+    Address End = 0; ///< Exclusive (method-table range end).
+    Address CodeLimit = 0; ///< End of real code; PCs beyond it are dropped.
+    MethodId Method = kInvalidId;
+    CodeFlavor Flavor = CodeFlavor::Baseline;
+    uint32_t OptIndex = kInvalidId; ///< Compiled-function index (opt only).
+    /// The compiled function covering this range (opt only). Captured at
+    /// index-rebuild time; safe because the VM's compiled-function store
+    /// only grows (growth triggers a rebuild before the next resolution).
+    const MachineFunction *Fn = nullptr;
+  };
+
+  /// Rebuilds the flat range index when methods were (re)compiled since
+  /// the last build. Cheap no-op otherwise (two size compares).
+  void refreshIndex();
+
+  /// Core single-PC resolution against the flat index. Updates Stats but
+  /// not the metric counters (callers batch those).
+  void resolveOne(Address Pc, ResolvedSample &R);
 
   VirtualMachine &Vm;
   ResolverStats Stats;
-  std::map<Address, uint32_t> OptByBase;
-  size_t IndexedFns = 0;
+  /// Flat mirror of the method table, sorted by Start.
+  std::vector<CodeRange> Ranges;
+  /// (CodeBase, OptIndex) of every compiled function, sorted by CodeBase.
+  std::vector<std::pair<Address, uint32_t>> FnByBase;
+  /// Last-range memo: index into Ranges of the most recent hit.
+  size_t LastHit = SIZE_MAX;
+  size_t SeenRanges = 0; ///< methodTable().size() at the last rebuild.
+  size_t SeenFns = 0;    ///< numCompiledFunctions() at the last rebuild.
   Counter *MResolved = &Counter::sink();
   Counter *MResolvedOpt = &Counter::sink();
-  Counter *MUnresolvedPc = &Counter::sink();
-  Counter *MNoBytecodeMap = &Counter::sink();
+  Counter *MDroppedOutsideVm = &Counter::sink();
+  Counter *MDroppedUnknownCode = &Counter::sink();
 };
 
 } // namespace hpmvm

@@ -5,13 +5,12 @@
 #include "obs/Obs.h"
 
 #include <cassert>
-#include <cstring>
 
 using namespace hpmvm;
 
 NativeSampleLibrary::NativeSampleLibrary(PerfmonModule &Module,
                                          size_t ArrayInts)
-    : Module(Module), Array(ArrayInts) {
+    : Module(Module), Buffer(ArrayInts / kSampleInts) {
   assert(ArrayInts >= kSampleInts && "array cannot hold even one sample");
 }
 
@@ -22,19 +21,15 @@ void NativeSampleLibrary::attachObs(ObsContext &Obs) {
 }
 
 size_t NativeSampleLibrary::readIntoArray() {
-  size_t Capacity = capacitySamples();
-  Scratch.resize(Capacity);
-
   // Disable GC for the short period while samples are copied; no allocation
   // happens on this path, so the lock can never deadlock against a
   // collection triggered from here.
   if (GcLock)
     GcLock(true);
-  size_t N = Module.readSamples(Scratch.data(), Capacity);
-  // One bulk copy into the pre-allocated array; no per-sample JNI calls.
+  // One kernel-side fill of the pre-allocated buffer; no per-sample JNI
+  // calls and no second user-space copy (batch() reads it in place).
   static_assert(sizeof(PebsSample) == kSampleInts * sizeof(uint32_t));
-  if (N)
-    std::memcpy(Array.data(), Scratch.data(), N * sizeof(PebsSample));
+  size_t N = Module.readSamples(Buffer.data(), Buffer.size());
   if (GcLock)
     GcLock(false);
 
@@ -51,8 +46,5 @@ size_t NativeSampleLibrary::readIntoArray() {
 
 PebsSample NativeSampleLibrary::decode(size_t I) const {
   assert(I < ValidSamples && "decoding past the marshalled samples");
-  PebsSample S;
-  std::memcpy(static_cast<void *>(&S), Array.data() + I * kSampleInts,
-              sizeof(PebsSample));
-  return S;
+  return Buffer[I];
 }

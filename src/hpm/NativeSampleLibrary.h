@@ -14,6 +14,12 @@
 /// in the native code, and the VM additionally holds a GC lock around the
 /// copy) -- modeled by the GcLock hook, which tests and the VM wire up.
 ///
+/// Zero-copy drain: the kernel module fills the pre-allocated buffer once
+/// per read call, and batch() hands consumers a SampleBatch view over that
+/// buffer in place -- no per-sample re-marshalling between the native copy
+/// and the VM-side processing loop. The view stays valid until the next
+/// readIntoArray().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_HPM_NATIVESAMPLELIBRARY_H
@@ -56,11 +62,18 @@ public:
   /// \returns the number of samples readIntoArray() marshalled last time.
   size_t arrayedSamples() const { return ValidSamples; }
 
-  /// Decodes sample \p I from the int[] array. Pre: I < arrayedSamples().
+  /// Zero-copy view over the samples the last readIntoArray() marshalled;
+  /// invalidated by the next readIntoArray().
+  SampleBatch batch() const { return SampleBatch{Buffer.data(), ValidSamples}; }
+
+  /// Decodes sample \p I from the buffer. Pre: I < arrayedSamples().
   PebsSample decode(size_t I) const;
 
-  /// Raw view of the marshalled array (what "Java" sees).
-  const std::vector<uint32_t> &array() const { return Array; }
+  /// Raw int[] view of the marshalled buffer (what "Java" sees): the same
+  /// storage batch() exposes, reinterpreted as the paper's int array.
+  const uint32_t *array() const {
+    return reinterpret_cast<const uint32_t *>(Buffer.data());
+  }
 
   /// Hook invoked with true before the copy and false after; the VM uses it
   /// to disable GC during the transfer.
@@ -75,12 +88,13 @@ public:
   void attachObs(ObsContext &Obs);
 
   Cycles totalCostCycles() const { return TotalCost; }
-  size_t capacitySamples() const { return Array.size() / kSampleInts; }
+  size_t capacitySamples() const { return Buffer.size(); }
 
 private:
   PerfmonModule &Module;
-  std::vector<uint32_t> Array;
-  std::vector<PebsSample> Scratch;
+  /// The pre-allocated marshalling buffer (the paper's int[] array, held
+  /// as typed records so drains are a single kernel-side fill).
+  std::vector<PebsSample> Buffer;
   size_t ValidSamples = 0;
   std::function<void(bool)> GcLock;
   VirtualClock *Clock = nullptr;

@@ -36,6 +36,24 @@ static_assert(sizeof(PebsSample) == 40,
 /// library's pre-allocated int[] array.
 inline constexpr size_t kSampleInts = sizeof(PebsSample) / sizeof(uint32_t);
 
+/// A borrowed view over a contiguous run of marshalled samples (the native
+/// library's pre-allocated buffer). Zero-copy: consumers read the records
+/// in place; the view is invalidated by the next drain into the owning
+/// buffer. All samples in one batch were taken while the same event kind
+/// was programmed (under multiplexing the rotation only advances between
+/// polls), so a batch never mixes event kinds.
+struct SampleBatch {
+  const PebsSample *Data = nullptr;
+  size_t N = 0;
+
+  const PebsSample *data() const { return Data; }
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  const PebsSample &operator[](size_t I) const { return Data[I]; }
+  const PebsSample *begin() const { return Data; }
+  const PebsSample *end() const { return Data + N; }
+};
+
 } // namespace hpmvm
 
 #endif // HPMVM_HPM_SAMPLE_H

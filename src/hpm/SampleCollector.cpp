@@ -40,12 +40,11 @@ size_t SampleCollector::pollNow() {
   Clock.advance(Config.PollCost);
   size_t N = Library.readIntoArray();
   if (N && Deliver) {
-    // Decode the int[] back into sample records for the consumer. The
-    // consumer charges its own (much larger) per-sample processing cost.
-    static thread_local std::vector<PebsSample> Batch;
-    Batch.clear();
-    for (size_t I = 0; I != N; ++I)
-      Batch.push_back(Library.decode(I));
+    // Hand the consumer the library's marshalled buffer in place (one
+    // drain, zero re-copies); the view is consumed synchronously before
+    // the next poll can overwrite it. The consumer charges its own (much
+    // larger) per-sample processing cost.
+    SampleBatch Batch = Library.batch();
     Deliver(Batch.data(), Batch.size());
   }
   Delivered += N;

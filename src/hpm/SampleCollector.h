@@ -49,7 +49,9 @@ struct SampleCollectorConfig {
 };
 
 /// Cooperative collector thread draining samples and delivering them in
-/// batches to a consumer (the HpmMonitor).
+/// batches to a consumer (the HpmMonitor). Delivery is zero-copy: the
+/// consumer receives a view over the native library's marshalled buffer,
+/// valid only for the duration of the call.
 class SampleCollector {
 public:
   using Consumer = std::function<void(const PebsSample *Samples, size_t N)>;

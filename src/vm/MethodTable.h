@@ -46,6 +46,11 @@ public:
 
   size_t size() const { return Ranges.size(); }
 
+  /// The full table, sorted by Start. The sample resolver mirrors this
+  /// into its flat code-range index; the size() delta tells it when to
+  /// rebuild.
+  const std::vector<MethodRange> &ranges() const { return Ranges; }
+
 private:
   std::vector<MethodRange> Ranges; ///< Sorted by Start.
 };

@@ -1,0 +1,222 @@
+//===-- tests/core/BatchEquivalenceTest.cpp -------------------------------===//
+//
+// The batched sample path (resolveBatch + dispatchBatch) against the
+// scalar reference path (MonitorConfig::ScalarSamplePath): identical PEBS
+// streams through both must leave every consumer -- miss table, frequency
+// advisor, prefetch injector, phase detector -- in identical state, at the
+// identical virtual time. Randomized over seeds and sampling intervals so
+// the equivalence is not an artifact of one stream shape.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/FrequencyAdvisor.h"
+#include "core/HpmMonitor.h"
+#include "core/PhaseDetector.h"
+#include "core/PrefetchInjector.h"
+
+#include "gc/GenMSPlan.h"
+#include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// The HpmMonitorTest program (ring of Nodes chased through Node::data),
+/// with the VM seed as a parameter so each test instance runs a different
+/// allocation/sampling interleaving.
+struct Rig {
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+  MethodId Build, Chase, Main;
+  FieldId FData, FNext;
+
+  explicit Rig(uint64_t Seed)
+      : Vm([Seed] {
+          VmConfig C;
+          C.HeapBytes = 16 * 1024 * 1024;
+          C.Seed = Seed;
+          return C;
+        }()),
+        Gc(Vm.objects(), Vm.clock(),
+           CollectorConfig{.HeapBytes = 16 * 1024 * 1024}) {
+    Vm.setCollector(&Gc);
+    ClassRegistry &C = Vm.classes();
+    ClassId Node = C.defineClass("Node", {{"next", true}, {"data", true},
+                                          {"pad", false}});
+    ClassId IntArr = C.defineArrayClass("int[]", ElemKind::I32);
+    FNext = C.fieldId(Node, "next");
+    FData = C.fieldId(Node, "data");
+    uint32_t GHead = Vm.addGlobal(ValKind::Ref);
+
+    BytecodeBuilder B("build");
+    uint32_t N = B.addParam(ValKind::Int);
+    uint32_t Head = B.newLocal(), Cur = B.newLocal(), Nd = B.newLocal(),
+             I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.newObj(Node).astore(Head);
+    B.aload(Head).iconst(4).newArray(IntArr).putfield(FData);
+    B.aload(Head).astore(Cur);
+    Label Loop = B.label(), Done = B.label();
+    B.iconst(1).istore(I);
+    B.bind(Loop).iload(I).iload(N).ifICmp(CondKind::Ge, Done);
+    B.newObj(Node).astore(Nd);
+    B.aload(Nd).iconst(4).newArray(IntArr).putfield(FData);
+    B.aload(Cur).aload(Nd).putfield(FNext);
+    B.aload(Nd).astore(Cur);
+    B.iinc(I, 1).jump(Loop);
+    B.bind(Done);
+    B.aload(Cur).aload(Head).putfield(FNext);
+    B.aload(Head).gput(GHead);
+    B.ret();
+    Build = Vm.addMethod(B.build());
+
+    BytecodeBuilder B2("chase");
+    uint32_t Steps = B2.addParam(ValKind::Int);
+    uint32_t Cur2 = B2.newLocal(), Acc = B2.newLocal(), K = B2.newLocal();
+    B2.returns(RetKind::Int);
+    B2.gget(GHead).astore(Cur2);
+    B2.iconst(0).istore(Acc);
+    Label L2 = B2.label(), D2 = B2.label();
+    B2.iconst(0).istore(K);
+    B2.bind(L2).iload(K).iload(Steps).ifICmp(CondKind::Ge, D2);
+    B2.aload(Cur2).getfield(FData).iconst(0).aloadI().iload(Acc).iadd()
+        .istore(Acc);
+    B2.aload(Cur2).getfield(FNext).astore(Cur2);
+    B2.iinc(K, 1).jump(L2);
+    B2.bind(D2).iload(Acc).iret();
+    Chase = Vm.addMethod(B2.build());
+
+    BytecodeBuilder B3("main");
+    B3.returns(RetKind::Void);
+    B3.iconst(20000).call(Build);
+    B3.iconst(200000).call(Chase).popv();
+    B3.ret();
+    Main = Vm.addMethod(B3.build());
+
+    Vm.aos().applyCompilationPlan({"build", "chase", "main"});
+  }
+};
+
+/// Everything the two paths must agree on.
+struct RunResult {
+  Cycles EndTime = 0;
+  // Miss table.
+  uint64_t TotalMisses = 0, MissesNext = 0, MissesData = 0;
+  size_t NumFields = 0;
+  uint64_t TableVersion = 0;
+  // Monitor stats.
+  uint64_t Processed = 0, Attributed = 0, VmInternal = 0, BaselineCode = 0;
+  // Resolver stats.
+  uint64_t Resolved = 0, ResolvedOpt = 0, DroppedOutside = 0,
+           DroppedUnknown = 0;
+  // Frequency advisor.
+  uint64_t FreqBuild = 0, FreqChase = 0, FreqMain = 0, HotReported = 0;
+  // Prefetch injector.
+  bool Injected = false;
+  uint32_t MethodsRewritten = 0, PrefetchesInserted = 0;
+  uint64_t PrefetchProfileMisses = 0;
+  // Phase detector.
+  size_t Phase = 0, PhasePeriods = 0;
+  double PhaseLevel = 0.0;
+
+  bool operator==(const RunResult &) const = default;
+};
+
+RunResult runOnce(uint64_t Seed, uint64_t Interval, bool Scalar) {
+  Rig R(Seed);
+  MonitorConfig MC;
+  MC.SamplingInterval = Interval;
+  MC.Seed = 0x5eed ^ (Seed * 0x9e3779b97f4a7c15ull);
+  MC.ScalarSamplePath = Scalar;
+  HpmMonitor M(R.Vm, MC);
+  FrequencyAdvisor Freq(R.Vm);
+  Freq.setHotMethodSamples(8);
+  PrefetchInjector Pre(R.Vm);
+  PhaseDetector Phase;
+  M.addConsumer(Freq);
+  M.addConsumer(Pre);
+  M.addConsumer(Phase);
+  M.attach();
+  R.Vm.run(R.Main);
+  M.finish();
+
+  RunResult Out;
+  Out.EndTime = R.Vm.clock().now();
+  Out.TotalMisses = M.missTable().totalMisses();
+  Out.MissesNext = M.missTable().misses(R.FNext);
+  Out.MissesData = M.missTable().misses(R.FData);
+  Out.NumFields = M.missTable().numFields();
+  Out.TableVersion = M.missTable().version();
+  Out.Processed = M.stats().SamplesProcessed;
+  Out.Attributed = M.stats().SamplesAttributed;
+  Out.VmInternal = M.stats().SamplesVmInternal;
+  Out.BaselineCode = M.stats().SamplesBaselineCode;
+  Out.Resolved = M.resolver().stats().Resolved;
+  Out.ResolvedOpt = M.resolver().stats().ResolvedOptimized;
+  Out.DroppedOutside = M.resolver().stats().DroppedOutsideVm;
+  Out.DroppedUnknown = M.resolver().stats().DroppedUnknownCode;
+  Out.FreqBuild = Freq.sampleCount(R.Build);
+  Out.FreqChase = Freq.sampleCount(R.Chase);
+  Out.FreqMain = Freq.sampleCount(R.Main);
+  Out.HotReported = Freq.hotMethodsReported();
+  Out.Injected = Pre.injected();
+  Out.MethodsRewritten = Pre.stats().MethodsRewritten;
+  Out.PrefetchesInserted = Pre.stats().PrefetchesInserted;
+  Out.PrefetchProfileMisses = Pre.missProfile().totalMisses();
+  Out.Phase = Phase.currentPhase();
+  Out.PhasePeriods = Phase.periodsObserved();
+  Out.PhaseLevel = Phase.level();
+  return Out;
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(BatchEquivalence, ScalarAndBatchPathsAgree) {
+  uint64_t Seed = GetParam();
+  // Vary the interval with the seed so batches of very different sizes
+  // (and empty-poll patterns) are covered.
+  uint64_t Interval = 3000 + (Seed % 5) * 1700;
+  RunResult Batch = runOnce(Seed, Interval, /*Scalar=*/false);
+  RunResult Scalar = runOnce(Seed, Interval, /*Scalar=*/true);
+
+  EXPECT_EQ(Batch.EndTime, Scalar.EndTime);
+  EXPECT_EQ(Batch.TotalMisses, Scalar.TotalMisses);
+  EXPECT_EQ(Batch.MissesNext, Scalar.MissesNext);
+  EXPECT_EQ(Batch.MissesData, Scalar.MissesData);
+  EXPECT_EQ(Batch.NumFields, Scalar.NumFields);
+  EXPECT_EQ(Batch.TableVersion, Scalar.TableVersion);
+  EXPECT_EQ(Batch.Processed, Scalar.Processed);
+  EXPECT_EQ(Batch.Attributed, Scalar.Attributed);
+  EXPECT_EQ(Batch.VmInternal, Scalar.VmInternal);
+  EXPECT_EQ(Batch.BaselineCode, Scalar.BaselineCode);
+  EXPECT_EQ(Batch.Resolved, Scalar.Resolved);
+  EXPECT_EQ(Batch.ResolvedOpt, Scalar.ResolvedOpt);
+  EXPECT_EQ(Batch.DroppedOutside, Scalar.DroppedOutside);
+  EXPECT_EQ(Batch.DroppedUnknown, Scalar.DroppedUnknown);
+  EXPECT_EQ(Batch.FreqBuild, Scalar.FreqBuild);
+  EXPECT_EQ(Batch.FreqChase, Scalar.FreqChase);
+  EXPECT_EQ(Batch.FreqMain, Scalar.FreqMain);
+  EXPECT_EQ(Batch.HotReported, Scalar.HotReported);
+  EXPECT_EQ(Batch.Injected, Scalar.Injected);
+  EXPECT_EQ(Batch.MethodsRewritten, Scalar.MethodsRewritten);
+  EXPECT_EQ(Batch.PrefetchesInserted, Scalar.PrefetchesInserted);
+  EXPECT_EQ(Batch.PrefetchProfileMisses, Scalar.PrefetchProfileMisses);
+  EXPECT_EQ(Batch.Phase, Scalar.Phase);
+  EXPECT_EQ(Batch.PhasePeriods, Scalar.PhasePeriods);
+  EXPECT_DOUBLE_EQ(Batch.PhaseLevel, Scalar.PhaseLevel);
+  EXPECT_TRUE(Batch == Scalar);
+
+  // The run must actually have exercised the pipeline for the comparison
+  // to mean anything.
+  EXPECT_GT(Batch.Processed, 0u);
+  EXPECT_GT(Batch.TotalMisses, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalence,
+                         ::testing::Values(1u, 2u, 7u, 17u, 42u));

@@ -157,3 +157,66 @@ TEST(SamplePipeline, MissTableConsumerFiltersUnattributedSamples) {
   C.onPeriod(Ctx);
   EXPECT_EQ(Table.version(), V + 1) << "onPeriod must close a table period";
 }
+
+TEST(SamplePipeline, DispatchBatchDefaultsToPerSampleDelivery) {
+  // A consumer that does not override consumeBatch must see the batch as
+  // individual onSample calls, in order.
+  std::vector<std::string> J;
+  JournalConsumer A("a", J);
+  OneKindConsumer Tlb("tlb", HpmEventKind::DtlbMiss, J);
+  SamplePipeline P;
+  P.addConsumer(A);
+  P.addConsumer(Tlb);
+
+  std::vector<AttributedSample> Batch(3, sampleOf(HpmEventKind::L1DMiss));
+  P.dispatchBatch(Batch);
+  // Per-consumer-per-batch order: all of a's samples, then (nothing for
+  // tlb, which does not subscribe to L1).
+  EXPECT_EQ(J, (std::vector<std::string>{"a:sample:0", "a:sample:0",
+                                         "a:sample:0"}));
+
+  J.clear();
+  P.dispatchBatch(std::vector<AttributedSample>(
+      2, sampleOf(HpmEventKind::DtlbMiss)));
+  EXPECT_EQ(J, (std::vector<std::string>{"a:sample:2", "a:sample:2",
+                                         "tlb:sample:2", "tlb:sample:2"}));
+}
+
+TEST(SamplePipeline, DispatchBatchCountsLikeScalarDispatch) {
+  std::vector<std::string> J;
+  OneKindConsumer L1("l1", HpmEventKind::L1DMiss, J);
+  JournalConsumer All("all", J);
+  SamplePipeline P;
+  P.addConsumer(L1);
+  P.addConsumer(All);
+
+  ObsContext Obs;
+  P.attachObs(Obs);
+  P.dispatchBatch(std::vector<AttributedSample>(
+      3, sampleOf(HpmEventKind::L1DMiss)));
+  P.dispatchBatch(std::vector<AttributedSample>(
+      2, sampleOf(HpmEventKind::DtlbMiss)));
+  P.dispatchBatch({}); // Empty batches are a no-op.
+
+  MetricsSnapshot S = Obs.metrics().snapshot();
+  EXPECT_EQ(S.counter("pipeline.dispatched"), 5u);
+  EXPECT_EQ(S.counter("pipeline.delivered"), 8u); // l1 got 3, all got 5.
+  EXPECT_EQ(S.counter("pipeline.l1.samples"), 3u);
+  EXPECT_EQ(S.counter("pipeline.all.samples"), 5u);
+}
+
+TEST(SamplePipeline, MissTableConsumerBatchMatchesScalar) {
+  FieldMissTable TableA, TableB;
+  MissTableConsumer A(TableA), B(TableB);
+  std::vector<AttributedSample> Batch;
+  for (uint32_t I = 0; I != 6; ++I) {
+    AttributedSample S = sampleOf(HpmEventKind::L1DMiss);
+    S.Field = (I % 2) ? 7 : kInvalidId;
+    Batch.push_back(S);
+  }
+  for (const AttributedSample &S : Batch)
+    A.onSample(S);
+  B.consumeBatch(Batch);
+  EXPECT_EQ(TableA.misses(7), TableB.misses(7));
+  EXPECT_EQ(TableA.totalMisses(), TableB.totalMisses());
+}

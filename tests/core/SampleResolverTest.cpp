@@ -111,3 +111,65 @@ TEST(SampleResolver, StaleOptimizedRangeStillResolves) {
   Address NewPc = R.Vm.compiledCode(M.OptIndex).addressOf(0);
   EXPECT_TRUE(Res.resolve(NewPc).Valid);
 }
+
+TEST(SampleResolver, ResolveBatchMatchesPerSampleResolve) {
+  // The same PC stream through resolveBatch and scalar resolve must yield
+  // identical samples and identical stats -- including kernel PCs, heap
+  // PCs, baseline code, optimized code, and out-of-code immortal PCs.
+  Rig R;
+  Method &M = R.Vm.method(R.Id);
+  R.Vm.aos().compileNow(M);
+  const MachineFunction &F = R.Vm.compiledCode(M.OptIndex);
+  std::vector<PebsSample> Stream;
+  auto Push = [&Stream](Address Pc) {
+    PebsSample S;
+    S.Eip = Pc;
+    Stream.push_back(S);
+  };
+  Push(0x1000);                                  // "Kernel".
+  for (uint32_t I = 0; I != F.Insts.size(); ++I) // Optimized, clustered.
+    Push(F.addressOf(I));
+  Push(VirtualMachine::baselinePc(M, 2));        // Baseline.
+  Push(0x40000000);                              // Heap.
+  Push(kImmortalBase + 0x5000000);               // Unknown code.
+  Push(F.addressOf(0));                          // Back to optimized.
+
+  SampleResolver Scalar(R.Vm), Batched(R.Vm);
+  ResolvedBatch Out;
+  Batched.resolveBatch(Stream.data(), Stream.size(), Out);
+  ASSERT_EQ(Out.size(), Stream.size());
+  for (size_t I = 0; I != Stream.size(); ++I) {
+    ResolvedSample S = Scalar.resolve(Stream[I].Eip);
+    EXPECT_EQ(Out[I].Valid, S.Valid) << "sample " << I;
+    EXPECT_EQ(Out[I].Method, S.Method) << "sample " << I;
+    EXPECT_EQ(Out[I].Flavor, S.Flavor) << "sample " << I;
+    EXPECT_EQ(Out[I].Bci, S.Bci) << "sample " << I;
+    EXPECT_EQ(Out[I].InstIdx, S.InstIdx) << "sample " << I;
+    EXPECT_EQ(Out[I].OptIndex, S.OptIndex) << "sample " << I;
+  }
+  EXPECT_EQ(Batched.stats().Resolved, Scalar.stats().Resolved);
+  EXPECT_EQ(Batched.stats().ResolvedOptimized,
+            Scalar.stats().ResolvedOptimized);
+  EXPECT_EQ(Batched.stats().DroppedOutsideVm,
+            Scalar.stats().DroppedOutsideVm);
+  EXPECT_EQ(Batched.stats().DroppedUnknownCode,
+            Scalar.stats().DroppedUnknownCode);
+}
+
+TEST(SampleResolver, ResolveBatchReusesTheOutputBuffer) {
+  Rig R;
+  SampleResolver Res(R.Vm);
+  const Method &M = R.Vm.method(R.Id);
+  std::vector<PebsSample> Stream(8);
+  for (PebsSample &S : Stream)
+    S.Eip = VirtualMachine::baselinePc(M, 1);
+  ResolvedBatch Out;
+  Res.resolveBatch(Stream.data(), Stream.size(), Out);
+  ASSERT_EQ(Out.size(), 8u);
+  const ResolvedSample *Buf = Out.Samples.data();
+  // A second, smaller batch shrinks the view without reallocating.
+  Res.resolveBatch(Stream.data(), 3, Out);
+  EXPECT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out.Samples.data(), Buf);
+  EXPECT_TRUE(Out[0].Valid);
+}
