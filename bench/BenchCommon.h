@@ -25,7 +25,13 @@
 ///   --json-out <path>     write all run results as one JSON document
 ///   --metrics-out <path>  write the final metrics snapshot JSON
 ///   --trace-out <path>    write a chrome://tracing JSON of the run
+///   --journal-out <path>  write the decision journal as JSONL
+///   --self-profile        time the sample pipeline's own stages (host
+///                         clock; adds pipeline.stage.* histograms)
 ///   --log-level <level>   trace|debug|info|warn|error|off (default info)
+///
+/// Every *-out flag creates the target's parent directory if missing and
+/// exits 2 (naming the path) when it cannot.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -221,6 +227,13 @@ inline bool parseBenchFlags(int &Argc, char **Argv, BenchOptions &Opts) {
     } else if (Take(I, "--filter", Value)) {
       Opts.Filter = Value;
     } else if (Take(I, "--json-out", Value)) {
+      if (Ok && !ensureParentDir(Value)) {
+        fprintf(stderr,
+                "error: --json-out: cannot create output directory for "
+                "'%s'\n",
+                Value.c_str());
+        Ok = false;
+      }
       Opts.JsonOutPath = Value;
     } else {
       fprintf(stderr, "error: unknown argument '%s'\n", Argv[I]);

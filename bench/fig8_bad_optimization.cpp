@@ -10,19 +10,37 @@
 // after several measurement periods it triggers a switch back to the
 // original configuration."
 //
-// The paper runs this "in a controlled setting": the workload here is the
-// db record/char[] pattern in a steady state (many short build+scan
-// iterations), so the per-period miss rate for Record::value is stationary
-// while the placement policy is stable -- the precondition for rate-based
-// assessment. Objects already placed stay where they are; only newly
-// promoted pairs follow the current policy, so the rate moves one
-// table-rebuild after each policy change, as in the paper.
+// Two controlled scenarios, each a complete assess-and-revert story and
+// each leaving a full decision journal (--journal-out writes
+// <path>.run000 / <path>.run001):
+//
+//   Scenario 1 (the paper's): a steady-state db table with a good
+//   allocation order; a forced 128-byte gap is injected mid-run and the
+//   controller reverts it from the measured rate.
+//
+//   Scenario 2 (the paper's caution about prefetching made concrete):
+//   the autonomous PrefetchInjector optimizes for the hot field of an
+//   early program phase; the workload then shifts to a different table
+//   whose accesses the rewrite does nothing for, the assessed rate
+//   regresses against the pre-change baseline, and the controller
+//   reinstalls the original method bodies.
+//
+// The paper runs Figure 8 "in a controlled setting": the workloads here
+// are db record/char[] patterns in a steady state (many short build+scan
+// iterations), so the per-period miss rate is stationary while the
+// policy is stable -- the precondition for rate-based assessment. Objects
+// already placed stay where they are; only newly promoted pairs follow
+// the current policy, so the rate moves one table-rebuild after each
+// policy change, as in the paper. Scenario parameters are deliberately
+// NOT scaled by HPMVM_SCALE: the trigger/warmup/decision windows are
+// tuned against fixed phase lengths.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
 #include "core/OptimizationController.h"
+#include "core/PrefetchInjector.h"
 
 #include "vm/AdaptiveOptimizationSystem.h"
 #include "gc/GenMSPlan.h"
@@ -31,18 +49,32 @@
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
-int main(int Argc, char **Argv) {
-  // Uniform bench flags; this figure is one custom closed-loop run, so
-  // --jobs/--filter/--repeat have nothing to parallelize or select.
-  BenchOptions Opts = bench::init(Argc, Argv);
-  uint32_t Scale = envScale(100);
-  banner("Figure 8: detecting and reverting a bad placement policy",
-         "Figure 8 (forced 128-byte gap, assessed by event rates)", Scale,
-         "rate roughly doubles one rebuild after the bad policy is "
-         "injected; the controller reverts after several measurement "
-         "periods; the rate returns one rebuild later");
+namespace {
 
-  // --- A steady-state db: many short build+scan iterations ------------------
+/// Collects the per-scenario result (for --json-out) from a hand-built
+/// run; scenarios assemble their VMs directly, so there is no Experiment
+/// to ask.
+RunResult scenarioResult(VirtualMachine &Vm, GenMSPlan &Gc,
+                         HpmMonitor &Monitor, ObsContext &Obs) {
+  RunResult R;
+  R.TotalCycles = Vm.clock().now();
+  R.GcCycles = Gc.stats().GcCycles;
+  R.Gc = Gc.stats();
+  R.Vm = Vm.stats();
+  R.Memory = Vm.memory().stats();
+  R.MonitorOverheadCycles = Monitor.overheadCycles();
+  R.SamplesTaken = Monitor.pebs().samplesTaken();
+  R.CoallocatedPairs = Gc.stats().ObjectsCoallocated;
+  R.Metrics = Obs.metrics().snapshot();
+  R.Journal = Obs.journal().snapshot();
+  return R;
+}
+
+/// Scenario 1: the paper's forced-gap experiment.
+RunResult runForcedGapScenario(uint32_t Scale) {
+  ObsContext Obs(uniquifySuiteObsPaths(resolveObsConfig(ObsConfig{}), 0));
+
+  // --- A steady-state db: many short build+scan iterations ----------------
   VmConfig VC;
   VC.HeapBytes = 16 * 1024 * 1024;
   VC.Seed = envSeed();
@@ -81,6 +113,12 @@ int main(int Argc, char **Argv) {
   CC.RegressionFactor = 1.25;
   CC.IgnoreZeroRatePeriods = true;
   OptimizationController Controller(CC);
+  Controller.setJournalSubject("placement");
+
+  Vm.attachObs(Obs);
+  Gc.attachObs(Obs);
+  Monitor.attachObs(Obs);
+  Controller.attachObs(Obs, &Vm.clock());
 
   CoallocationAdvisor &Advisor = Monitor.advisor();
   const uint64_t EstablishedPairs = 3ull * P.NumRecords;
@@ -150,6 +188,146 @@ int main(int Argc, char **Argv) {
   printf("Gap bytes inserted by the GC while the bad policy was live: "
          "%llu\n",
          static_cast<unsigned long long>(Gc.stats().CoallocGapBytes));
-  maybeWriteJson(Opts, "fig8", std::vector<LabeledResult>{});
+  printf("Decisions journaled: %zu\n\n", Obs.journal().size());
+
+  if (Obs.config().exportsAnything())
+    Obs.exportAll();
+  return scenarioResult(Vm, Gc, Monitor, Obs);
+}
+
+/// Scenario 2: an autonomous prefetch injection that stops paying off
+/// when the program moves to its next phase.
+RunResult runBadPrefetchScenario() {
+  ObsContext Obs(uniquifySuiteObsPaths(resolveObsConfig(ObsConfig{}), 1));
+
+  VmConfig VC;
+  VC.HeapBytes = 24 * 1024 * 1024;
+  VC.Seed = envSeed();
+  VirtualMachine Vm(VC);
+  GenMSPlan Gc(Vm.objects(), Vm.clock(),
+               CollectorConfig{.HeapBytes = VC.HeapBytes});
+  Vm.setCollector(&Gc);
+
+  // Phase A: a small, lukewarm table. The injector's trigger fires here,
+  // so the prefetches it inserts target pfaRecord::value.
+  RecordTableParams PA;
+  PA.Prefix = "pfa";
+  PA.NumRecords = 4000;
+  PA.MinChars = 8;
+  PA.MaxChars = 16;
+  PA.TouchChars = 8;
+  PA.ScanPasses = 6;
+  PA.SortPasses = 0;
+  PA.Iterations = 8;
+  PA.GarbageEvery = 2;
+  PA.GarbageChars = 16;
+  WorkloadProgram ProgA = buildRecordTable(Vm, PA);
+
+  // Phase B: a bigger, hotter table over *different* classes. None of
+  // phase A's rewritten loads execute here, so the injected prefetches
+  // cannot help -- the assessed rate regresses against the baseline.
+  RecordTableParams PB;
+  PB.Prefix = "pfb";
+  PB.NumRecords = 8000;
+  PB.MinChars = 8;
+  PB.MaxChars = 24;
+  PB.TouchChars = 2;
+  PB.ScanPasses = 8;
+  PB.SortPasses = 0;
+  PB.Iterations = 16;
+  PB.GarbageEvery = 1;
+  PB.GarbageChars = 24;
+  WorkloadProgram ProgB = buildRecordTable(Vm, PB);
+
+  Vm.aos().applyCompilationPlan(ProgA.CompilationPlan);
+  Vm.aos().applyCompilationPlan(ProgB.CompilationPlan);
+
+  MonitorConfig MC;
+  MC.SamplingInterval = 1000;
+  HpmMonitor Monitor(Vm, MC);
+  Monitor.attach();
+  // Placement stays fixed: prefetching is the only policy under test.
+  Monitor.advisor().setEnabled(false);
+
+  PrefetchInjectorConfig PC;
+  PC.TriggerSamples = 48;
+  PC.MinMisses = 4;
+  PrefetchInjector Injector(Vm, PC);
+
+  ControllerConfig CC;
+  CC.BaselineWindow = 8;
+  CC.DecisionWindow = 8;
+  // Long warmup: the verdict must come from the next program phase, not
+  // from the tail of the phase the injection optimized for.
+  CC.WarmupPeriods = 10;
+  CC.RegressionFactor = 1.25;
+  CC.IgnoreZeroRatePeriods = true;
+  OptimizationController Controller(CC);
+  Controller.setJournalSubject("prefetch");
+  Injector.setController(&Controller);
+  Monitor.addConsumer(Injector);
+
+  Vm.attachObs(Obs);
+  Gc.attachObs(Obs);
+  Monitor.attachObs(Obs);
+  Controller.attachObs(Obs, &Vm.clock());
+
+  Vm.run(ProgA.Main);
+  Cycles PhaseSplit = Vm.clock().now();
+  Vm.run(ProgB.Main);
+  Monitor.finish();
+
+  printf("Scenario 2: prefetch injection across a phase change\n");
+  printf("Phase A ended at %.1f ms; run ended at %.1f ms\n",
+         VirtualClock::toSeconds(PhaseSplit) * 1e3,
+         VirtualClock::toSeconds(Vm.clock().now()) * 1e3);
+  printf("Injected: %s (%u methods rewritten, %u prefetches); controller "
+         "state: ",
+         Injector.injected() ? "yes" : "no",
+         Injector.stats().MethodsRewritten,
+         Injector.stats().PrefetchesInserted);
+  switch (Controller.state()) {
+  case OptimizationController::State::Reverted:
+    printf("REVERTED (pre-change rate %.2f, assessed under the stale "
+           "rewrite %.2f samples/period)\n",
+           Controller.decisionBaseline(), Controller.assessedRate());
+    break;
+  case OptimizationController::State::Accepted:
+    printf("accepted (no regression detected: pre-change %.2f, assessed "
+           "%.2f)\n",
+           Controller.decisionBaseline(), Controller.assessedRate());
+    break;
+  default:
+    printf("still assessing (run too short for a verdict)\n");
+    break;
+  }
+  printf("Original bodies reinstalled: %s\n",
+         Injector.reverted() ? "yes" : "no");
+  printf("Decisions journaled: %zu\n\n", Obs.journal().size());
+
+  if (Obs.config().exportsAnything())
+    Obs.exportAll();
+  return scenarioResult(Vm, Gc, Monitor, Obs);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Uniform bench flags; this figure is two custom closed-loop runs, so
+  // --jobs/--filter/--repeat have nothing to parallelize or select.
+  BenchOptions Opts = bench::init(Argc, Argv);
+  uint32_t Scale = envScale(100);
+  banner("Figure 8: detecting and reverting a bad optimization",
+         "Figure 8 (forced 128-byte gap + a stale prefetch rewrite, both "
+         "assessed by event rates)",
+         Scale,
+         "rate roughly doubles one rebuild after the bad policy is "
+         "injected; the controller reverts after several measurement "
+         "periods; the rate returns one rebuild later");
+
+  std::vector<LabeledResult> Runs;
+  Runs.push_back({"forced-gap", runForcedGapScenario(Scale)});
+  Runs.push_back({"bad-prefetch", runBadPrefetchScenario()});
+  maybeWriteJson(Opts, "fig8", Runs);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "core/CoallocationAdvisor.h"
 
 #include "obs/Obs.h"
+#include "support/VirtualClock.h"
 #include "vm/ClassRegistry.h"
 
 #include <algorithm>
@@ -19,6 +20,18 @@ void CoallocationAdvisor::attachObs(ObsContext &Obs) {
   MNoHints = &Obs.metrics().counter("advisor.no_hints");
   MCoallocations = &Obs.metrics().counter("advisor.coallocations");
   MCacheInvalidations = &Obs.metrics().counter("advisor.cache_invalidations");
+  Journal = &Obs.journal();
+}
+
+void CoallocationAdvisor::setForcedGapBytes(uint32_t B) {
+  if (Journal && B != Config.ForcedGapBytes)
+    Journal->append({.Ts = Clock ? Clock->now() : 0,
+                     .Kind = DecisionKind::Coalloc,
+                     .Consumer = "coalloc",
+                     .Action = "forced_gap",
+                     .Outcome = B ? "gap_applied" : "gap_cleared",
+                     .Value = B});
+  Config.ForcedGapBytes = B;
 }
 
 std::vector<std::pair<FieldId, uint64_t>>
@@ -63,6 +76,27 @@ CoallocationHint CoallocationAdvisor::coallocationHint(ClassId Cls) {
   }
   Cache.emplace(Cls, Hint);
   (Hint.valid() ? MHints : MNoHints)->inc();
+
+  // Journal the decision only when the class's hint actually moved: the
+  // hint is recomputed after every table-version bump, but the hottest
+  // field rarely changes.
+  if (Journal) {
+    auto Last = LastJournaledHint.find(Cls);
+    bool Changed = Last == LastJournaledHint.end()
+                       ? Hint.valid() // "no hint yet" -> only log real hints
+                       : Last->second != Hint.Field;
+    if (Changed) {
+      LastJournaledHint[Cls] = Hint.Field;
+      Journal->append({.Ts = Clock ? Clock->now() : 0,
+                       .Kind = DecisionKind::Coalloc,
+                       .Consumer = "coalloc",
+                       .Action = "hint",
+                       .Outcome = Hint.valid() ? "co_allocate" : "no_hint",
+                       .Field = Hint.Field,
+                       .Rate = static_cast<double>(Best),
+                       .Value = Cls});
+    }
+  }
   return Hint;
 }
 

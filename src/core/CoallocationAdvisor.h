@@ -28,7 +28,9 @@
 namespace hpmvm {
 
 class ClassRegistry;
+class DecisionJournal;
 class ObsContext;
+class VirtualClock;
 
 /// Advisor policy knobs.
 struct AdvisorConfig {
@@ -53,11 +55,15 @@ public:
   void noteCoallocation(ClassId Cls, FieldId Field) override;
 
   /// Registers advisor metrics: hints served (valid / none), pairs
-  /// co-allocated, hint-cache invalidations.
+  /// co-allocated, hint-cache invalidations. Also journals Coalloc
+  /// decisions: per-class hint changes and forced-gap changes.
   void attachObs(ObsContext &Obs);
 
+  /// Clock used to stamp journal records (journaling is silent without).
+  void setClock(const VirtualClock *C) { Clock = C; }
+
   void setEnabled(bool E) { Config.Enabled = E; }
-  void setForcedGapBytes(uint32_t B) { Config.ForcedGapBytes = B; }
+  void setForcedGapBytes(uint32_t B);
   const AdvisorConfig &config() const { return Config; }
 
   /// The reference fields of \p Cls sorted by miss count, hottest first
@@ -76,10 +82,15 @@ private:
   uint64_t CacheVersion = ~0ull;
   uint64_t TotalCoallocations = 0;
   std::unordered_map<FieldId, uint64_t> PerField;
+  /// Last hint field journaled per class, to journal only *changes* (the
+  /// hint is recomputed on every cache invalidation but rarely moves).
+  std::unordered_map<ClassId, FieldId> LastJournaledHint;
   Counter *MHints = &Counter::sink();
   Counter *MNoHints = &Counter::sink();
   Counter *MCoallocations = &Counter::sink();
   Counter *MCacheInvalidations = &Counter::sink();
+  DecisionJournal *Journal = nullptr;
+  const VirtualClock *Clock = nullptr;
 };
 
 } // namespace hpmvm

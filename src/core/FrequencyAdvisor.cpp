@@ -15,6 +15,7 @@ void FrequencyAdvisor::attachObs(ObsContext &Obs) {
   MSamples = &Obs.metrics().counter("freq.samples");
   MHotMethods = &Obs.metrics().counter("freq.hot_methods");
   MCoallocations = &Obs.metrics().counter("freq.coallocations");
+  Journal = &Obs.journal();
 }
 
 CoallocationHint FrequencyAdvisor::coallocationHint(ClassId Cls) {
@@ -54,7 +55,7 @@ void FrequencyAdvisor::consumeBatch(std::span<const AttributedSample> Batch) {
   }
 }
 
-void FrequencyAdvisor::onPeriod(const PeriodContext &) {
+void FrequencyAdvisor::onPeriod(const PeriodContext &Ctx) {
   // Report methods whose sample frequency crossed the threshold to the
   // AOS, once each (in ascending method-id order). Under pseudo-adaptive
   // mode the AOS is frozen and only counts the report; with adaptive
@@ -65,6 +66,15 @@ void FrequencyAdvisor::onPeriod(const PeriodContext &) {
     Reported[Id] = 1;
     ++HotReported;
     MHotMethods->inc();
+    if (Journal)
+      Journal->append({.Ts = Ctx.Now,
+                       .Kind = DecisionKind::HotRecompile,
+                       .Consumer = "frequency",
+                       .Action = "note_hot_method",
+                       .Outcome = "reported_to_aos",
+                       .Method = Id,
+                       .Rate = static_cast<double>(MethodSamples[Id]),
+                       .Value = HotMethodSamples});
     Vm.aos().noteHpmHotMethod(Id);
   }
 }

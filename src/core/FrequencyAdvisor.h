@@ -34,6 +34,7 @@
 
 namespace hpmvm {
 
+class DecisionJournal;
 class ObsContext;
 class VirtualMachine;
 
@@ -62,7 +63,8 @@ public:
   void consumeBatch(std::span<const AttributedSample> Batch) override;
   void onPeriod(const PeriodContext &Ctx) override;
 
-  /// Registers freq.samples / freq.hot_methods / freq.coallocations.
+  /// Registers freq.samples / freq.hot_methods / freq.coallocations and
+  /// journals a HotRecompile decision per hot-method report.
   void attachObs(ObsContext &Obs) override;
 
   /// Samples on a not-yet-optimized method before it is reported hot to
@@ -94,6 +96,7 @@ private:
   Counter *MSamples = &Counter::sink();
   Counter *MHotMethods = &Counter::sink();
   Counter *MCoallocations = &Counter::sink();
+  DecisionJournal *Journal = nullptr;
 };
 
 } // namespace hpmvm

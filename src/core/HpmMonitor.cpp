@@ -24,6 +24,7 @@ HpmMonitor::HpmMonitor(VirtualMachine &Vm, const MonitorConfig &Config)
   Resolver = std::make_unique<SampleResolver>(Vm);
   Advisor = std::make_unique<CoallocationAdvisor>(Vm.classes(), Table,
                                                   Config.Advisor);
+  Advisor->setClock(&Vm.clock()); // Stamps the advisor's journal records.
   Pipeline.addConsumer(TableConsumer);
   if (this->Config.Events.size() > 1) {
     assert(!Config.AutoInterval &&
@@ -54,6 +55,8 @@ void HpmMonitor::attachObs(ObsContext &Obs) {
     Mux->attachObs(Obs);
   Pipeline.attachObs(Obs);
   Trace = &Obs.trace();
+  if (Obs.selfProfiler().enabled())
+    Prof = &Obs.selfProfiler();
   MBatches = &Obs.metrics().counter("monitor.batches");
   MProcessed = &Obs.metrics().counter("monitor.samples_processed");
   MAttributed = &Obs.metrics().counter("monitor.samples_attributed");
@@ -208,14 +211,27 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
   } else {
     // Hot path: resolve the whole batch against the flat index (one
     // metrics flush), build the attributed batch in a reusable buffer,
-    // then fan it out with one virtual call per consumer.
+    // then fan it out with one virtual call per consumer. When the
+    // collector marked this batch for self-profiling, each stage's host
+    // time goes to its pipeline.stage.* histogram (opt-in; host timings
+    // are nondeterministic and must stay out of default metrics).
+    SelfProfiler *P = Prof && Prof->timingBatch() ? Prof : nullptr;
+    uint64_t T0 = P ? SelfProfiler::nowNs() : 0;
     Resolver->resolveBatch(Samples, N, Resolved);
+    uint64_t T1 = P ? SelfProfiler::nowNs() : 0;
+    if (P)
+      P->recordStage(PipelineStage::Resolve, T1 - T0);
     AttrBatch.clear();
     AttributedSample A;
     for (size_t I = 0; I != N; ++I)
       if (attribute(Resolved.Samples[I], Samples[I].Regs[0], Kind, A))
         AttrBatch.push_back(A);
+    uint64_t T2 = P ? SelfProfiler::nowNs() : 0;
+    if (P)
+      P->recordStage(PipelineStage::Attribute, T2 - T1);
     Pipeline.dispatchBatch(AttrBatch);
+    if (P)
+      P->recordStage(PipelineStage::Dispatch, SelfProfiler::nowNs() - T2);
   }
 
   MBatches->inc();

@@ -46,6 +46,7 @@
 namespace hpmvm {
 
 class ObsContext;
+class SelfProfiler;
 class VirtualMachine;
 
 /// Monitoring configuration.
@@ -196,6 +197,7 @@ private:
   bool Attached = false;
   bool Finished = false;
   TraceBuffer *Trace = nullptr;
+  SelfProfiler *Prof = nullptr; ///< Set only when --self-profile is on.
   Counter *MBatches = &Counter::sink();
   Counter *MProcessed = &Counter::sink();
   Counter *MAttributed = &Counter::sink();

@@ -16,6 +16,7 @@ void OptimizationController::attachObs(ObsContext &Obs,
   MReverts = &Obs.metrics().counter("controller.reverts");
   MAccepts = &Obs.metrics().counter("controller.accepts");
   Trace = &Obs.trace();
+  Journal = &Obs.journal();
   Clock = C;
 }
 
@@ -60,6 +61,15 @@ void OptimizationController::observePeriod(double Rate) {
         Trace->instant(Clock->now(), "controller.revert", "controller",
                        "assessed_rate_x1000",
                        static_cast<uint64_t>(Assessed * 1000.0));
+      if (Journal)
+        Journal->append({.Ts = Clock ? Clock->now() : 0,
+                         .Kind = DecisionKind::Revert,
+                         .Consumer = Subject,
+                         .Action = "assessment",
+                         .Outcome = "regression",
+                         .Rate = Assessed,
+                         .Baseline = BaselineAtDecision,
+                         .Value = Observed});
       if (Revert)
         Revert();
     } else {
@@ -69,6 +79,15 @@ void OptimizationController::observePeriod(double Rate) {
         Trace->instant(Clock->now(), "controller.accept", "controller",
                        "assessed_rate_x1000",
                        static_cast<uint64_t>(Assessed * 1000.0));
+      if (Journal)
+        Journal->append({.Ts = Clock ? Clock->now() : 0,
+                         .Kind = DecisionKind::Accept,
+                         .Consumer = Subject,
+                         .Action = "assessment",
+                         .Outcome = "no_regression",
+                         .Rate = Assessed,
+                         .Baseline = BaselineAtDecision,
+                         .Value = Observed});
     }
     Window.clear();
     return;
@@ -82,5 +101,12 @@ void OptimizationController::notePolicyChange() {
   MPolicyChanges->inc();
   if (Trace && Clock)
     Trace->instant(Clock->now(), "controller.policy_change", "controller");
+  if (Journal)
+    Journal->append({.Ts = Clock ? Clock->now() : 0,
+                     .Kind = DecisionKind::Assess,
+                     .Consumer = Subject,
+                     .Action = "policy_change",
+                     .Rate = Baseline,
+                     .Value = Observed});
   // Baseline stays: it describes the pre-change behaviour.
 }

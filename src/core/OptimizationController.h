@@ -36,6 +36,7 @@
 
 namespace hpmvm {
 
+class DecisionJournal;
 class ObsContext;
 class TraceBuffer;
 class VirtualClock;
@@ -75,9 +76,14 @@ public:
   /// Declares that a policy change was just applied; assessment starts.
   void notePolicyChange();
 
-  /// Registers controller.policy_changes / reverts / accepts counters and,
-  /// when \p Clock is given, emits trace instants at each verdict.
+  /// Registers controller.policy_changes / reverts / accepts counters,
+  /// journals Assess/Revert/Accept decisions, and, when \p Clock is given,
+  /// emits trace instants at each verdict.
   void attachObs(ObsContext &Obs, const VirtualClock *Clock = nullptr);
+
+  /// Names the optimization this controller guards in journal records
+  /// (e.g. "prefetch"); must be a string literal. Default "controller".
+  void setJournalSubject(const char *Name) { Subject = Name; }
 
   /// Action invoked when a regression is detected.
   void setRevertAction(std::function<void()> Fn) {
@@ -106,7 +112,9 @@ private:
   Counter *MReverts = &Counter::sink();
   Counter *MAccepts = &Counter::sink();
   TraceBuffer *Trace = nullptr;
+  DecisionJournal *Journal = nullptr;
   const VirtualClock *Clock = nullptr;
+  const char *Subject = "controller";
 };
 
 } // namespace hpmvm

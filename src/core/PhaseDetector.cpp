@@ -12,6 +12,7 @@ using namespace hpmvm;
 void PhaseDetector::attachObs(ObsContext &Obs) {
   MChanges = &Obs.metrics().counter("phase.changes");
   Trace = &Obs.trace();
+  Journal = &Obs.journal();
 }
 
 void PhaseDetector::onPeriod(const PeriodContext &Ctx) {
@@ -48,6 +49,13 @@ bool PhaseDetector::observe(double Rate) {
     MChanges->inc();
     if (Trace && Clock)
       Trace->instant(Clock->now(), "phase.change", "phase", "phase", Phase);
+    if (Journal)
+      Journal->append({.Ts = Clock ? Clock->now() : 0,
+                       .Kind = DecisionKind::PhaseChange,
+                       .Consumer = "phase",
+                       .Action = "phase_start",
+                       .Rate = Rate,
+                       .Value = Phase});
     return true;
   }
 
@@ -75,6 +83,14 @@ bool PhaseDetector::observe(double Rate) {
     MChanges->inc();
     if (Trace && Clock)
       Trace->instant(Clock->now(), "phase.change", "phase", "phase", Phase);
+    if (Journal)
+      Journal->append({.Ts = Clock ? Clock->now() : 0,
+                       .Kind = DecisionKind::PhaseChange,
+                       .Consumer = "phase",
+                       .Action = "phase_change",
+                       .Rate = Avg,
+                       .Baseline = Level,
+                       .Value = Phase});
     return true;
   }
 

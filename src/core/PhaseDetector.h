@@ -33,6 +33,7 @@
 
 namespace hpmvm {
 
+class DecisionJournal;
 class ObsContext;
 class TraceBuffer;
 class VirtualClock;
@@ -64,8 +65,9 @@ public:
   /// starts a new phase.
   bool observe(double Rate);
 
-  /// Registers the phase.changes counter and (with a clock set) emits a
-  /// "phase.change" trace instant per detected change.
+  /// Registers the phase.changes counter, journals a PhaseChange decision
+  /// per detected change, and (with a clock set) emits a "phase.change"
+  /// trace instant.
   void attachObs(ObsContext &Obs) override;
 
   /// Timestamps the trace instants; without it changes are counted but
@@ -105,6 +107,7 @@ private:
   uint64_t PeriodSamples[kNumHpmEventKinds] = {};
   Counter *MChanges = &Counter::sink();
   TraceBuffer *Trace = nullptr;
+  DecisionJournal *Journal = nullptr;
   const VirtualClock *Clock = nullptr;
 };
 

@@ -129,6 +129,7 @@ void PrefetchInjector::attachObs(ObsContext &Obs) {
   MRewritten = &Obs.metrics().counter("prefetch.methods_rewritten");
   MInserted = &Obs.metrics().counter("prefetch.insertions");
   MReverts = &Obs.metrics().counter("prefetch.reverts");
+  Journal = &Obs.journal();
 }
 
 void PrefetchInjector::setController(OptimizationController *C) {
@@ -145,12 +146,23 @@ void PrefetchInjector::onPeriod(const PeriodContext &Ctx) {
   if (Injected || Table.totalMisses() < Config.TriggerSamples)
     return;
   Injected = true;
+  size_t FirstSaved = SavedOriginals.size();
   PrefetchInjectionStats S =
       injectHotPrefetches(Vm, Table, Config.MinMisses, &SavedOriginals);
   Total.MethodsRewritten += S.MethodsRewritten;
   Total.PrefetchesInserted += S.PrefetchesInserted;
   MRewritten->inc(S.MethodsRewritten);
   MInserted->inc(S.PrefetchesInserted);
+  if (Journal)
+    for (size_t I = FirstSaved; I != SavedOriginals.size(); ++I)
+      Journal->append({.Ts = Ctx.Now,
+                       .Kind = DecisionKind::PrefetchInject,
+                       .Consumer = "prefetch",
+                       .Action = "rewrite_method",
+                       .Outcome = "applied",
+                       .Method = SavedOriginals[I].first,
+                       .Rate = static_cast<double>(Table.totalMisses()),
+                       .Value = S.PrefetchesInserted});
   if (Controller && S.MethodsRewritten)
     Controller->notePolicyChange();
 }
@@ -162,7 +174,16 @@ void PrefetchInjector::revert() {
   MReverts->inc();
   // Reinstall the saved originals; bodies rewritten since stay retired,
   // exactly like any other recompilation.
-  for (auto &[Id, Original] : SavedOriginals)
+  for (auto &[Id, Original] : SavedOriginals) {
+    if (Journal)
+      Journal->append({.Ts = Vm.clock().now(),
+                       .Kind = DecisionKind::Revert,
+                       .Consumer = "prefetch",
+                       .Action = "reinstall_original",
+                       .Outcome = "reverted",
+                       .Method = Id,
+                       .Value = SavedOriginals.size()});
     Vm.installCompiledCode(Vm.method(Id), std::move(Original));
+  }
   SavedOriginals.clear();
 }

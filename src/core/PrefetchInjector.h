@@ -40,6 +40,7 @@
 
 namespace hpmvm {
 
+class DecisionJournal;
 class ObsContext;
 class OptimizationController;
 class VirtualMachine;
@@ -96,7 +97,7 @@ public:
   void onPeriod(const PeriodContext &Ctx) override;
 
   /// Registers prefetch.methods_rewritten / prefetch.insertions /
-  /// prefetch.reverts.
+  /// prefetch.reverts and journals PrefetchInject/Revert decisions.
   void attachObs(ObsContext &Obs) override;
 
   /// Optional assess-and-revert: the controller (not owned) observes the
@@ -126,6 +127,7 @@ private:
   Counter *MRewritten = &Counter::sink();
   Counter *MInserted = &Counter::sink();
   Counter *MReverts = &Counter::sink();
+  DecisionJournal *Journal = nullptr;
 };
 
 } // namespace hpmvm

@@ -62,6 +62,7 @@ Experiment::Experiment(const RunConfig &Config)
       if (Config.PrefetchController) {
         PrefetchCtl = std::make_unique<OptimizationController>(
             Config.PrefetchControllerConfig);
+        PrefetchCtl->setJournalSubject("prefetch");
         Prefetcher->setController(PrefetchCtl.get());
       }
       Monitor->addConsumer(*Prefetcher);
@@ -94,9 +95,25 @@ void Experiment::run() {
   assert(!Ran && "experiment ran twice");
   Ran = true;
   Cycles Start = Vm->clock().now();
+  SelfProfiler &Prof = Obs.selfProfiler();
+  uint64_t WallT0 = Prof.enabled() ? SelfProfiler::nowNs() : 0;
   Vm->run(Prog.Main);
   if (Monitor)
     Monitor->finish();
+  if (Prof.enabled()) {
+    // Extrapolate the sampled per-stage timings to the whole run and
+    // report the monitor's host-side share of it in parts per million.
+    // Only meaningful here, where one experiment owns the whole wall
+    // interval; in suite mode runs interleave and the gauge stays 0.
+    uint64_t WallNs = SelfProfiler::nowNs() - WallT0;
+    double Frac = WallNs ? static_cast<double>(Prof.totalTimedNs()) *
+                               Prof.sampleEvery() /
+                               static_cast<double>(WallNs)
+                         : 0.0;
+    Obs.metrics()
+        .gauge("monitor.self_overhead_frac_ppm")
+        .set(static_cast<uint64_t>(Frac * 1e6));
+  }
   Obs.trace().complete(Start, Vm->clock().now() - Start, "experiment.run",
                        "harness");
   if (Obs.config().exportsAnything())
@@ -117,6 +134,7 @@ RunResult Experiment::result() {
     R.SamplesTaken = Monitor->pebs().samplesTaken();
   }
   R.Metrics = Obs.metrics().snapshot();
+  R.Journal = Obs.journal().snapshot();
   return R;
 }
 

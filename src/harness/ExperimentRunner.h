@@ -99,6 +99,9 @@ struct RunResult {
   uint32_t HeapBytes = 0;
   /// Final metrics snapshot (taken when result() is called).
   MetricsSnapshot Metrics;
+  /// The run's decision journal (every policy decision the online
+  /// optimizers took, virtual-clock-stamped, in append order).
+  std::vector<DecisionRecord> Journal;
 
   double seconds() const { return VirtualClock::toSeconds(TotalCycles); }
 };

@@ -139,6 +139,7 @@ ObsConfig hpmvm::uniquifySuiteObsPaths(ObsConfig Config, size_t Index) {
   };
   Uniquify(Config.MetricsOutPath);
   Uniquify(Config.TraceOutPath);
+  Uniquify(Config.JournalOutPath);
   return Config;
 }
 
@@ -222,6 +223,15 @@ bool hpmvm::writeRunsJson(FILE *Out, const std::string &Bench,
     writeField(Out, "bytes_allocated", R.Vm.BytesAllocated);
     fputs("      \"metrics\": ", Out);
     R.Metrics.writeJson(Out);
+    // The decision journal rides along so one runs-JSON file is enough to
+    // triage a run with hpmvm_report. Journal contents are virtual-clock
+    // deterministic, so this keeps the jobs-determinism byte comparison.
+    fputs(",\n      \"decisions\": [", Out);
+    for (size_t D = 0; D != R.Journal.size(); ++D) {
+      fputs(D ? ",\n        " : "\n        ", Out);
+      DecisionJournal::writeRecordJson(Out, R.Journal[D]);
+    }
+    fputs(R.Journal.empty() ? "]\n" : "\n      ]\n", Out);
     fputs("    }", Out);
   }
   fputs(Runs.empty() ? "]\n}\n" : "\n  ]\n}\n", Out);

@@ -20,6 +20,8 @@ SampleCollector::SampleCollector(NativeSampleLibrary &Library,
 
 void SampleCollector::attachObs(ObsContext &Obs) {
   Trace = &Obs.trace();
+  if (Obs.selfProfiler().enabled())
+    Prof = &Obs.selfProfiler();
   MPolls = &Obs.metrics().counter("collector.polls");
   MEmptyPolls = &Obs.metrics().counter("collector.empty_polls");
   MDelivered = &Obs.metrics().counter("collector.samples_delivered");
@@ -38,7 +40,14 @@ size_t SampleCollector::pollNow() {
   MPolls->inc();
   Cycles Before = Clock.now();
   Clock.advance(Config.PollCost);
+  // Self-profiling (opt-in): the drain stage is the readIntoArray call
+  // alone; the monitor times its own downstream stages for the same batch
+  // (the timingBatch() decision made here is sticky through delivery).
+  bool Timed = Prof && Prof->beginBatch();
+  uint64_t DrainT0 = Timed ? SelfProfiler::nowNs() : 0;
   size_t N = Library.readIntoArray();
+  if (Timed)
+    Prof->recordStage(PipelineStage::Drain, SelfProfiler::nowNs() - DrainT0);
   if (N && Deliver) {
     // Hand the consumer the library's marshalled buffer in place (one
     // drain, zero re-copies); the view is consumed synchronously before

@@ -34,6 +34,7 @@
 namespace hpmvm {
 
 class ObsContext;
+class SelfProfiler;
 class TraceBuffer;
 
 /// Collector policy + cost parameters.
@@ -91,6 +92,7 @@ private:
   uint64_t Delivered = 0;
   Cycles Overhead = 0;
   TraceBuffer *Trace = nullptr;
+  SelfProfiler *Prof = nullptr; ///< Set only when --self-profile is on.
   Counter *MPolls = &Counter::sink();
   Counter *MEmptyPolls = &Counter::sink();
   Counter *MDelivered = &Counter::sink();

@@ -19,6 +19,7 @@ SamplingIntervalController::SamplingIntervalController(
 
 void SamplingIntervalController::attachObs(ObsContext &Obs) {
   Trace = &Obs.trace();
+  Journal = &Obs.journal();
   MAdjustments = &Obs.metrics().counter("hpm.interval_adjustments");
   MInterval = &Obs.metrics().gauge("hpm.sampling_interval");
   MInterval->set(Unit.interval());
@@ -53,6 +54,7 @@ void SamplingIntervalController::onPoll() {
     NewInterval = static_cast<double>(Config.MinInterval);
   if (NewInterval > static_cast<double>(Config.MaxInterval))
     NewInterval = static_cast<double>(Config.MaxInterval);
+  uint64_t OldInterval = Unit.interval();
   Unit.setInterval(static_cast<uint64_t>(NewInterval));
   ++Adjustments;
   MAdjustments->inc();
@@ -60,4 +62,12 @@ void SamplingIntervalController::onPoll() {
   if (Trace)
     Trace->instant(Now, "pebs.interval_retarget", "hpm", "interval",
                    Unit.interval());
+  if (Journal && Unit.interval() != OldInterval)
+    Journal->append({.Ts = Now,
+                     .Kind = DecisionKind::SamplingPolicy,
+                     .Consumer = "hpm",
+                     .Action = "interval_retarget",
+                     .Rate = ObservedRate,
+                     .Baseline = Config.TargetSamplesPerSec,
+                     .Value = Unit.interval()});
 }

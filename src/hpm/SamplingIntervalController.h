@@ -23,6 +23,7 @@
 
 namespace hpmvm {
 
+class DecisionJournal;
 class ObsContext;
 class TraceBuffer;
 
@@ -49,8 +50,8 @@ public:
   /// last adjustment period and retunes the interval.
   void onPoll();
 
-  /// Registers the adjustment counter / current-interval gauge and emits
-  /// a trace instant per retarget.
+  /// Registers the adjustment counter / current-interval gauge, journals
+  /// a SamplingPolicy decision per retarget, and emits a trace instant.
   void attachObs(ObsContext &Obs);
 
   uint64_t adjustments() const { return Adjustments; }
@@ -64,6 +65,7 @@ private:
   uint64_t LastSampleCount;
   uint64_t Adjustments = 0;
   TraceBuffer *Trace = nullptr;
+  DecisionJournal *Journal = nullptr;
   Counter *MAdjustments = &Counter::sink();
   Gauge *MInterval = &Gauge::sink();
 };

@@ -1,0 +1,86 @@
+//===-- obs/DecisionJournal.cpp -------------------------------------------===//
+
+#include "obs/DecisionJournal.h"
+
+#include "obs/Log.h"
+#include "obs/Metrics.h"
+
+#include <cstdlib>
+
+using namespace hpmvm;
+
+const char *DecisionJournal::kindName(DecisionKind K) {
+  switch (K) {
+  case DecisionKind::SamplingPolicy:
+    return "SamplingPolicy";
+  case DecisionKind::Coalloc:
+    return "Coalloc";
+  case DecisionKind::PrefetchInject:
+    return "PrefetchInject";
+  case DecisionKind::HotRecompile:
+    return "HotRecompile";
+  case DecisionKind::PhaseChange:
+    return "PhaseChange";
+  case DecisionKind::Assess:
+    return "Assess";
+  case DecisionKind::Revert:
+    return "Revert";
+  case DecisionKind::Accept:
+    return "Accept";
+  }
+  return "Unknown";
+}
+
+void DecisionJournal::writeRecordJson(FILE *Out, const DecisionRecord &R) {
+  fprintf(Out, "{\"ts\": %llu, \"kind\": \"%s\", \"consumer\": ",
+          static_cast<unsigned long long>(R.Ts), kindName(R.Kind));
+  writeJsonStringEscaped(Out, R.Consumer);
+  fputs(", \"action\": ", Out);
+  writeJsonStringEscaped(Out, R.Action);
+  if (R.Method != kInvalidId)
+    fprintf(Out, ", \"method\": %u", R.Method);
+  if (R.Field != kInvalidId)
+    fprintf(Out, ", \"field\": %u", R.Field);
+  // %.6g keeps rate serialization short and deterministic (rates derive
+  // from integer sample counts, not host timing).
+  if (R.Rate >= 0.0)
+    fprintf(Out, ", \"rate\": %.6g", R.Rate);
+  if (R.Baseline >= 0.0)
+    fprintf(Out, ", \"baseline\": %.6g", R.Baseline);
+  fprintf(Out, ", \"value\": %llu", static_cast<unsigned long long>(R.Value));
+  if (R.Outcome) {
+    fputs(", \"outcome\": ", Out);
+    writeJsonStringEscaped(Out, R.Outcome);
+  }
+  fputc('}', Out);
+}
+
+void DecisionJournal::writeJsonl(FILE *Out) const {
+  std::vector<DecisionRecord> Snap = snapshot();
+  for (const DecisionRecord &R : Snap) {
+    writeRecordJson(Out, R);
+    fputc('\n', Out);
+  }
+}
+
+bool DecisionJournal::writeFile(const std::string &Path) const {
+  FILE *Out = fopen(Path.c_str(), "w");
+  if (!Out) {
+    logError("obs", "cannot open journal output '%s'", Path.c_str());
+    return false;
+  }
+  writeJsonl(Out);
+  fclose(Out);
+  return true;
+}
+
+std::string DecisionJournal::toJsonl() const {
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Mem = open_memstream(&Buf, &Len);
+  writeJsonl(Mem);
+  fclose(Mem);
+  std::string S(Buf, Len);
+  free(Buf);
+  return S;
+}

@@ -1,0 +1,144 @@
+//===-- obs/DecisionJournal.h - Optimization decision audit log -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only, thread-safe, virtual-clock-stamped log of every
+/// optimization decision the feedback pipeline takes: sampling-interval
+/// retargets, co-allocation hints, prefetch injections, hot-method
+/// recompilation requests, phase changes, and the controller's
+/// assess/revert/accept verdicts. The paper's loop (observe -> act ->
+/// assess -> possibly revert) otherwise leaves no durable record of *what*
+/// was decided and *why*; the journal is that record, and the substrate the
+/// policy-engine and autotuner roadmap items audit and learn from.
+///
+/// Discipline mirrors the rest of the obs layer:
+///   - records carry static-string names only (no allocation per record
+///     beyond vector growth), and appending never advances the virtual
+///     clock, so journaling is invisible to the experiments it observes;
+///   - the journal is bounded; once full, *new* records are dropped and
+///     counted (keep-first: an audit log must preserve the earliest
+///     decisions that shaped the run, unlike the trace ring which favors
+///     recency);
+///   - serialization (JSONL, one record per line) is deterministic, so
+///     journal files diff cleanly across runs and across --jobs values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_OBS_DECISIONJOURNAL_H
+#define HPMVM_OBS_DECISIONJOURNAL_H
+
+#include "support/Types.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpmvm {
+
+/// What kind of decision a journal record describes.
+enum class DecisionKind : uint8_t {
+  SamplingPolicy, ///< SamplingIntervalController retargeted the interval.
+  Coalloc,        ///< CoallocationAdvisor changed a hint or forced gap.
+  PrefetchInject, ///< PrefetchInjector rewrote a method with prefetches.
+  HotRecompile,   ///< FrequencyAdvisor reported a hot method to the AOS.
+  PhaseChange,    ///< PhaseDetector flagged a program phase change.
+  Assess,         ///< OptimizationController began assessing a policy change.
+  Revert,         ///< A guarded optimization was rolled back.
+  Accept,         ///< A guarded optimization passed assessment.
+};
+
+/// One journaled decision. All strings must be literals (or otherwise
+/// outlive the journal); numeric fields that don't apply keep their
+/// sentinels and are omitted from the JSONL serialization.
+struct DecisionRecord {
+  Cycles Ts = 0;                  ///< Virtual-clock timestamp.
+  DecisionKind Kind = DecisionKind::Assess;
+  const char *Consumer = "";      ///< Acting component ("coalloc", ...).
+  const char *Action = "";        ///< What was done ("inject", "hint", ...).
+  const char *Outcome = nullptr;  ///< Optional result ("applied", ...).
+  MethodId Method = kInvalidId;   ///< Optional subject method.
+  FieldId Field = kInvalidId;     ///< Optional subject field.
+  double Rate = -1.0;             ///< Triggering rate (negative = absent).
+  double Baseline = -1.0;         ///< Comparison baseline (negative = absent).
+  uint64_t Value = 0;             ///< Kind-specific payload (count, interval,
+                                  ///< gap bytes, phase number, ...).
+};
+
+/// Bounded append-only decision log. Appends take a mutex (decisions are
+/// rare -- per period, not per sample -- so this is nowhere near the hot
+/// path) which also makes the journal safe to share across threads, like
+/// the metric sinks.
+class DecisionJournal {
+public:
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  explicit DecisionJournal(size_t Capacity = kDefaultCapacity)
+      : Cap(Capacity ? Capacity : 1) {}
+
+  /// Appends \p R; once the journal holds capacity() records, further
+  /// appends are dropped (and counted) rather than evicting old records.
+  void append(const DecisionRecord &R) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Recorded;
+    if (Records.size() < Cap)
+      Records.push_back(R);
+  }
+
+  size_t capacity() const { return Cap; }
+  /// Number of records currently retained (<= capacity).
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Records.size();
+  }
+  /// Total records ever appended, including dropped ones.
+  uint64_t recorded() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Recorded;
+  }
+  /// Records lost to the capacity bound.
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Recorded - Records.size();
+  }
+
+  /// Copy of the retained records, in append order.
+  std::vector<DecisionRecord> snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Records;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Records.clear();
+    Recorded = 0;
+  }
+
+  /// Writes the journal as JSONL: one deterministic JSON object per line,
+  /// in append order.
+  void writeJsonl(FILE *Out) const;
+  /// Writes to \p Path; \returns false (with a logged error) on I/O failure.
+  bool writeFile(const std::string &Path) const;
+  std::string toJsonl() const;
+
+  /// Serializes one record as a single-line JSON object (no newline).
+  /// Shared with the harness' runs-JSON writer so journals embedded in
+  /// BENCH_*.json documents match the standalone JSONL shape.
+  static void writeRecordJson(FILE *Out, const DecisionRecord &R);
+
+  /// Stable name of \p K as serialized ("SamplingPolicy", "Revert", ...).
+  static const char *kindName(DecisionKind K);
+
+private:
+  mutable std::mutex Mu;
+  size_t Cap;
+  std::vector<DecisionRecord> Records;
+  uint64_t Recorded = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_OBS_DECISIONJOURNAL_H

@@ -71,6 +71,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     for (size_t I = 0; I != Histogram::kBuckets; ++I)
       if (H.bucket(I))
         D.Buckets.emplace_back(static_cast<uint32_t>(I), H.bucket(I));
+    D.computePercentiles();
     S.Histograms.push_back(std::move(D));
   }
   auto ByName = [](const auto &A, const auto &B) { return A.first < B.first; };
@@ -105,11 +106,10 @@ MetricsSnapshot::histogram(const std::string &Name) const {
   return nullptr;
 }
 
-namespace {
-
 // Metric names are dot/underscore identifiers, but escape defensively so
-// the output is valid JSON for any registered name.
-void writeJsonString(FILE *Out, const std::string &S) {
+// the output is valid JSON for any name; suite labels and journal strings
+// can carry arbitrary user text.
+void hpmvm::writeJsonStringEscaped(FILE *Out, std::string_view S) {
   fputc('"', Out);
   for (char C : S) {
     switch (C) {
@@ -135,13 +135,59 @@ void writeJsonString(FILE *Out, const std::string &S) {
   fputc('"', Out);
 }
 
+namespace {
+
+/// Inclusive upper edge of log2 bucket \p I: bucket 0 holds only zeros,
+/// bucket i (i >= 1) holds [2^(i-1), 2^i).
+uint64_t bucketUpperEdge(uint32_t I) {
+  if (I == 0)
+    return 0;
+  if (I >= 64)
+    return ~0ull;
+  return (1ull << I) - 1;
+}
+
 } // namespace
+
+uint64_t MetricsSnapshot::HistogramData::percentile(double Q) const {
+  if (Count == 0)
+    return 0;
+  // Rank of the quantile sample (1-based, nearest-rank definition:
+  // ceil(Q * Count)).
+  double Exact = Q * static_cast<double>(Count);
+  uint64_t Target = static_cast<uint64_t>(Exact);
+  if (static_cast<double>(Target) < Exact)
+    ++Target;
+  if (Target < 1)
+    Target = 1;
+  if (Target > Count)
+    Target = Count;
+  uint64_t Cum = 0;
+  for (const auto &[Index, N] : Buckets) {
+    Cum += N;
+    if (Cum >= Target) {
+      uint64_t V = bucketUpperEdge(Index);
+      if (V > Max)
+        V = Max; // The top bucket's true extent is bounded by Max.
+      if (V < Min)
+        V = Min;
+      return V;
+    }
+  }
+  return Max;
+}
+
+void MetricsSnapshot::HistogramData::computePercentiles() {
+  P50 = percentile(0.50);
+  P95 = percentile(0.95);
+  P99 = percentile(0.99);
+}
 
 void MetricsSnapshot::writeJson(FILE *Out) const {
   fputs("{\n  \"counters\": {", Out);
   for (size_t I = 0; I != Counters.size(); ++I) {
     fputs(I ? ",\n    " : "\n    ", Out);
-    writeJsonString(Out, Counters[I].first);
+    writeJsonStringEscaped(Out, Counters[I].first);
     fprintf(Out, ": %llu",
             static_cast<unsigned long long>(Counters[I].second));
   }
@@ -150,7 +196,7 @@ void MetricsSnapshot::writeJson(FILE *Out) const {
   fputs("  \"gauges\": {", Out);
   for (size_t I = 0; I != Gauges.size(); ++I) {
     fputs(I ? ",\n    " : "\n    ", Out);
-    writeJsonString(Out, Gauges[I].first);
+    writeJsonStringEscaped(Out, Gauges[I].first);
     fprintf(Out, ": %llu", static_cast<unsigned long long>(Gauges[I].second));
   }
   fputs(Gauges.empty() ? "},\n" : "\n  },\n", Out);
@@ -159,14 +205,18 @@ void MetricsSnapshot::writeJson(FILE *Out) const {
   for (size_t I = 0; I != Histograms.size(); ++I) {
     const HistogramData &H = Histograms[I];
     fputs(I ? ",\n    " : "\n    ", Out);
-    writeJsonString(Out, H.Name);
+    writeJsonStringEscaped(Out, H.Name);
     fprintf(Out,
             ": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
-            "\"max\": %llu, \"log2_buckets\": [",
+            "\"max\": %llu, \"p50\": %llu, \"p95\": %llu, \"p99\": %llu, "
+            "\"log2_buckets\": [",
             static_cast<unsigned long long>(H.Count),
             static_cast<unsigned long long>(H.Sum),
             static_cast<unsigned long long>(H.Min),
-            static_cast<unsigned long long>(H.Max));
+            static_cast<unsigned long long>(H.Max),
+            static_cast<unsigned long long>(H.P50),
+            static_cast<unsigned long long>(H.P95),
+            static_cast<unsigned long long>(H.P99));
     for (size_t B = 0; B != H.Buckets.size(); ++B)
       fprintf(Out, "%s[%u, %llu]", B ? ", " : "", H.Buckets[B].first,
               static_cast<unsigned long long>(H.Buckets[B].second));

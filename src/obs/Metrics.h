@@ -42,10 +42,16 @@
 #include <cstdio>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace hpmvm {
+
+/// Writes \p S as a JSON string literal: surrounding quotes plus escapes
+/// for quote, backslash, and control characters. Shared by every obs-layer
+/// JSON emitter (metrics, traces, decision journal).
+void writeJsonStringEscaped(FILE *Out, std::string_view S);
 
 namespace detail {
 /// The metric mutation primitive: an unsynchronized-looking bump that is
@@ -141,8 +147,20 @@ struct MetricsSnapshot {
     uint64_t Sum = 0;
     uint64_t Min = 0;
     uint64_t Max = 0;
+    /// Approximate percentiles derived from the log2 buckets: the value is
+    /// the inclusive upper edge of the bucket where the cumulative count
+    /// crosses the quantile, clamped to [Min, Max]. Exact for the 0th/last
+    /// sample; otherwise accurate to the bucket's power-of-two resolution.
+    uint64_t P50 = 0;
+    uint64_t P95 = 0;
+    uint64_t P99 = 0;
     /// (log2 bucket index, count) pairs for non-empty buckets only.
     std::vector<std::pair<uint32_t, uint64_t>> Buckets;
+
+    /// Fills P50/P95/P99 from Count/Min/Max/Buckets.
+    void computePercentiles();
+    /// The value at quantile \p Q in [0, 1] (same approximation as above).
+    uint64_t percentile(double Q) const;
   };
 
   std::vector<std::pair<std::string, uint64_t>> Counters;

@@ -3,12 +3,40 @@
 #include "obs/Obs.h"
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
+#include <sys/stat.h>
 
 using namespace hpmvm;
 
 ObsContext::ObsContext(const ObsConfig &Config)
-    : Config(Config), Trace(Config.TraceCapacity) {}
+    : Config(Config), Trace(Config.TraceCapacity) {
+  if (Config.SelfProfile)
+    Prof.enable(Metrics, Config.SelfProfileEvery);
+}
+
+bool hpmvm::ensureParentDir(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos || Slash == 0)
+    return true; // Current directory or filesystem root: nothing to create.
+  std::string Dir = Path.substr(0, Slash);
+  for (size_t I = 1; I <= Dir.size(); ++I) {
+    if (I != Dir.size() && Dir[I] != '/')
+      continue;
+    std::string Prefix = Dir.substr(0, I);
+    if (mkdir(Prefix.c_str(), 0777) == 0 || errno == EEXIST) {
+      // Created, or something exists there -- make sure it's a directory
+      // (a plain file shadowing a path component would otherwise surface
+      // as a confusing fopen failure much later).
+      struct stat St;
+      if (stat(Prefix.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
 
 bool ObsContext::exportAll() const {
   bool Ok = true;
@@ -30,6 +58,13 @@ bool ObsContext::exportAll() const {
     if (Ok)
       logDebug("obs", "wrote %zu trace events to %s", Trace.size(),
                Config.TraceOutPath.c_str());
+  }
+  if (!Config.JournalOutPath.empty()) {
+    Ok &= Journal.writeFile(Config.JournalOutPath);
+    if (Journal.dropped())
+      logWarn("obs", "decision journal dropped %llu records (capacity %zu)",
+              static_cast<unsigned long long>(Journal.dropped()),
+              Journal.capacity());
   }
   return Ok;
 }
@@ -62,10 +97,16 @@ ObsConfig hpmvm::resolveObsConfig(const ObsConfig &C) {
     R.MetricsOutPath = ProcessConfig.MetricsOutPath;
   if (R.TraceOutPath.empty())
     R.TraceOutPath = ProcessConfig.TraceOutPath;
+  if (R.JournalOutPath.empty())
+    R.JournalOutPath = ProcessConfig.JournalOutPath;
   if (R.Level == ObsConfig().Level)
     R.Level = ProcessConfig.Level;
   if (R.TraceCapacity == TraceBuffer::kDefaultCapacity)
     R.TraceCapacity = ProcessConfig.TraceCapacity;
+  if (!R.SelfProfile)
+    R.SelfProfile = ProcessConfig.SelfProfile;
+  if (R.SelfProfileEvery == ObsConfig().SelfProfileEvery)
+    R.SelfProfileEvery = ProcessConfig.SelfProfileEvery;
   return R;
 }
 
@@ -93,12 +134,28 @@ bool hpmvm::parseObsFlags(int &Argc, char **Argv) {
     return true;
   };
 
+  // Create missing output directories at parse time so a bad path fails
+  // here, naming the flag and path, rather than silently at run end.
+  auto TakePath = [&](int &I, const char *Flag, std::string &Dest) {
+    std::string Value;
+    if (!Take(I, Flag, Value))
+      return false;
+    if (!Value.empty() && !ensureParentDir(Value)) {
+      logError("obs", "%s: cannot create output directory for '%s'", Flag,
+               Value.c_str());
+      Ok = false;
+    }
+    Dest = Value;
+    return true;
+  };
+
   for (int I = 1; I < Argc; ++I) {
     std::string Value;
-    if (Take(I, "--metrics-out", Value)) {
-      C.MetricsOutPath = Value;
-    } else if (Take(I, "--trace-out", Value)) {
-      C.TraceOutPath = Value;
+    if (TakePath(I, "--metrics-out", C.MetricsOutPath)) {
+    } else if (TakePath(I, "--trace-out", C.TraceOutPath)) {
+    } else if (TakePath(I, "--journal-out", C.JournalOutPath)) {
+    } else if (strcmp(Argv[I], "--self-profile") == 0) {
+      C.SelfProfile = true;
     } else if (Take(I, "--log-level", Value)) {
       if (!Value.empty() && !parseLogLevel(Value, C.Level)) {
         logError("obs",

@@ -6,24 +6,27 @@
 ///
 /// \file
 /// The per-run observability bundle threaded through the pipeline: one
-/// MetricsRegistry plus one TraceBuffer. Every instrumented component
-/// exposes `attachObs(ObsContext &)`, which resolves its named metrics once
-/// and remembers the trace buffer; unattached components fall back to the
-/// metric sinks and skip tracing entirely.
+/// MetricsRegistry, one TraceBuffer, one DecisionJournal, and one
+/// SelfProfiler. Every instrumented component exposes
+/// `attachObs(ObsContext &)`, which resolves its named metrics once and
+/// remembers the trace buffer and journal; unattached components fall back
+/// to the metric sinks and skip tracing/journaling entirely.
 ///
-/// ObsConfig is the user-facing knob set (metrics-out path, trace-out path,
-/// log level, trace capacity) carried by harness RunConfig and settable
-/// process-wide from the --metrics-out/--trace-out/--log-level flags that
-/// benches and examples parse, so any figure binary can dump its telemetry
-/// alongside its table.
+/// ObsConfig is the user-facing knob set (metrics/trace/journal paths, log
+/// level, trace capacity, self-profiling) carried by harness RunConfig and
+/// settable process-wide from the --metrics-out/--trace-out/--journal-out/
+/// --self-profile/--log-level flags that benches and examples parse, so
+/// any figure binary can dump its telemetry alongside its table.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_OBS_OBS_H
 #define HPMVM_OBS_OBS_H
 
+#include "obs/DecisionJournal.h"
 #include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/SelfProfiler.h"
 #include "obs/TraceBuffer.h"
 
 #include <string>
@@ -36,11 +39,20 @@ struct ObsConfig {
   std::string MetricsOutPath;
   /// Where to write the Chrome-trace JSON ("" = don't export).
   std::string TraceOutPath;
+  /// Where to write the decision journal JSONL ("" = don't export).
+  std::string JournalOutPath;
   LogLevel Level = LogLevel::Info;
   size_t TraceCapacity = TraceBuffer::kDefaultCapacity;
+  /// Time the sample-pipeline stages with the host clock (--self-profile).
+  /// Off by default: host timings are nondeterministic, and the figures'
+  /// metrics JSON must stay byte-identical across --jobs values.
+  bool SelfProfile = false;
+  /// When self-profiling, time every Nth batch (1 = all).
+  uint32_t SelfProfileEvery = 1;
 
   bool exportsAnything() const {
-    return !MetricsOutPath.empty() || !TraceOutPath.empty();
+    return !MetricsOutPath.empty() || !TraceOutPath.empty() ||
+           !JournalOutPath.empty();
   }
 };
 
@@ -53,17 +65,28 @@ public:
   const MetricsRegistry &metrics() const { return Metrics; }
   TraceBuffer &trace() { return Trace; }
   const TraceBuffer &trace() const { return Trace; }
+  DecisionJournal &journal() { return Journal; }
+  const DecisionJournal &journal() const { return Journal; }
+  SelfProfiler &selfProfiler() { return Prof; }
+  const SelfProfiler &selfProfiler() const { return Prof; }
   const ObsConfig &config() const { return Config; }
 
-  /// Writes metrics/trace JSON to the configured paths (no-op for paths
-  /// left empty). \returns false if any configured export failed.
+  /// Writes metrics/trace/journal output to the configured paths (no-op
+  /// for paths left empty). \returns false if any configured export failed.
   bool exportAll() const;
 
 private:
   ObsConfig Config;
   MetricsRegistry Metrics;
   TraceBuffer Trace;
+  DecisionJournal Journal;
+  SelfProfiler Prof;
 };
+
+/// Creates the directory components of \p Path's parent (mkdir -p) so the
+/// obs exporters can write into not-yet-existing directories. \returns
+/// false when a component exists as a non-directory or cannot be created.
+bool ensureParentDir(const std::string &Path);
 
 /// Process-wide default ObsConfig, inherited by every Experiment whose
 /// RunConfig leaves its own ObsConfig untouched. Set by the CLI flags.
@@ -85,11 +108,15 @@ bool processObsConfigFrozen();
 /// default level/capacity) inherit the process value.
 ObsConfig resolveObsConfig(const ObsConfig &C);
 
-/// Strips `--metrics-out <path>`, `--trace-out <path>` and `--log-level
+/// Strips `--metrics-out <path>`, `--trace-out <path>`, `--journal-out
+/// <path>`, `--self-profile`, and `--log-level
 /// <trace|debug|info|warn|error|off>` (plus the --flag=value spellings)
 /// from argv, storing them as the process ObsConfig and applying the log
-/// level immediately. Unrecognized arguments are left in place; argc is
-/// updated. \returns false (after logging) on a malformed obs flag.
+/// level immediately. Output paths naming a missing directory have it
+/// created eagerly (mkdir -p), so a typo'd path fails at flag-parse time
+/// with a message naming the path instead of silently at run end.
+/// Unrecognized arguments are left in place; argc is updated. \returns
+/// false (after logging) on a malformed obs flag or uncreatable directory.
 bool parseObsFlags(int &Argc, char **Argv);
 
 } // namespace hpmvm

@@ -1,0 +1,18 @@
+//===-- obs/SelfProfiler.cpp ----------------------------------------------===//
+
+#include "obs/SelfProfiler.h"
+
+using namespace hpmvm;
+
+void SelfProfiler::enable(MetricsRegistry &M, uint32_t SampleEvery) {
+  Enabled = true;
+  Every = SampleEvery ? SampleEvery : 1;
+  Stages[static_cast<size_t>(PipelineStage::Drain)] =
+      &M.histogram("pipeline.stage.drain_ns");
+  Stages[static_cast<size_t>(PipelineStage::Resolve)] =
+      &M.histogram("pipeline.stage.resolve_ns");
+  Stages[static_cast<size_t>(PipelineStage::Attribute)] =
+      &M.histogram("pipeline.stage.attribute_ns");
+  Stages[static_cast<size_t>(PipelineStage::Dispatch)] =
+      &M.histogram("pipeline.stage.dispatch_ns");
+}

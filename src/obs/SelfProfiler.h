@@ -1,0 +1,93 @@
+//===-- obs/SelfProfiler.h - Monitoring-path self profiling ----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sampled host-time (steady_clock) timers for the sample-pipeline stages:
+/// drain -> resolveBatch -> attribute -> dispatchBatch. Each timed stage
+/// feeds a `pipeline.stage.*` log2 histogram (nanoseconds), and the total
+/// timed nanoseconds back a `monitor.self_overhead_frac_ppm` gauge so fig2's
+/// sampling-overhead story covers the monitoring path's own cost (the
+/// at-scale concern of arXiv:2011.13432).
+///
+/// Host wall time is inherently nondeterministic, so self-profiling is
+/// strictly opt-in (`--self-profile`): when disabled (the default) no
+/// histogram is registered, no clock is read, and metrics JSON is
+/// byte-identical to a build without this feature -- preserving the
+/// figures' determinism contract across --jobs values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_OBS_SELFPROFILER_H
+#define HPMVM_OBS_SELFPROFILER_H
+
+#include "obs/Metrics.h"
+
+#include <chrono>
+
+namespace hpmvm {
+
+/// The timed pipeline stages, in batch order.
+enum class PipelineStage : uint8_t { Drain, Resolve, Attribute, Dispatch };
+
+/// Per-run stage timer set. One instance lives in ObsContext; the sample
+/// collector decides per batch whether to time it (beginBatch), and the
+/// monitor's stage code records durations for timed batches only.
+class SelfProfiler {
+public:
+  static constexpr size_t kNumStages = 4;
+
+  /// Registers the stage histograms in \p M and arms the profiler. Every
+  /// \p SampleEvery-th batch is timed (1 = all batches).
+  void enable(MetricsRegistry &M, uint32_t SampleEvery);
+
+  bool enabled() const { return Enabled; }
+
+  /// Called once per poll, before the drain. \returns true when this batch
+  /// should be timed; the decision is sticky until the next beginBatch so
+  /// the downstream stages (which run synchronously within the poll) see a
+  /// consistent answer via timingBatch().
+  bool beginBatch() {
+    if (!Enabled)
+      return false;
+    Timed = (BatchIndex++ % Every) == 0;
+    return Timed;
+  }
+
+  /// Whether the batch currently being processed is timed.
+  bool timingBatch() const { return Timed; }
+
+  /// Host monotonic clock, nanoseconds.
+  static uint64_t nowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void recordStage(PipelineStage S, uint64_t Ns) {
+    Stages[static_cast<size_t>(S)]->record(Ns);
+    TimedNs += Ns;
+  }
+
+  /// Total nanoseconds accumulated across all timed stages.
+  uint64_t totalTimedNs() const { return TimedNs; }
+  /// Sampling divisor: extrapolate totalTimedNs() * sampleEvery() to
+  /// estimate the cost over *all* batches.
+  uint32_t sampleEvery() const { return Every; }
+
+private:
+  bool Enabled = false;
+  bool Timed = false;
+  uint32_t Every = 1;
+  uint64_t BatchIndex = 0;
+  uint64_t TimedNs = 0;
+  Histogram *Stages[kNumStages] = {&Histogram::sink(), &Histogram::sink(),
+                                   &Histogram::sink(), &Histogram::sink()};
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_OBS_SELFPROFILER_H

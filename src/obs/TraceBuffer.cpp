@@ -3,6 +3,7 @@
 #include "obs/TraceBuffer.h"
 
 #include "obs/Log.h"
+#include "obs/Metrics.h" // writeJsonStringEscaped
 #include "support/VirtualClock.h"
 
 #include <algorithm>
@@ -74,16 +75,23 @@ void ChromeTraceWriter::write(const TraceBuffer &Buffer, FILE *Out) {
     const TraceEvent &E = Sorted[I];
     fputs(I ? ",\n " : "\n ", Out);
     // All events land on one virtual pid/tid: the simulated machine.
-    fprintf(Out, "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%s\", "
-                 "\"ts\": %.3f, \"pid\": 1, \"tid\": 1",
-            E.Name, E.Category, phaseCode(E.Phase), toMicros(E.Ts));
+    // Names/categories are usually literals, but suite labels can reach
+    // here through user-provided strings -- escape them all.
+    fputs("{\"name\": ", Out);
+    writeJsonStringEscaped(Out, E.Name);
+    fputs(", \"cat\": ", Out);
+    writeJsonStringEscaped(Out, E.Category);
+    fprintf(Out, ", \"ph\": \"%s\", \"ts\": %.3f, \"pid\": 1, \"tid\": 1",
+            phaseCode(E.Phase), toMicros(E.Ts));
     if (E.Phase == TracePhase::Complete)
       fprintf(Out, ", \"dur\": %.3f", toMicros(E.Dur));
     if (E.Phase == TracePhase::Instant)
       fputs(", \"s\": \"g\"", Out); // Global-scope instant.
-    if (E.ArgName)
-      fprintf(Out, ", \"args\": {\"%s\": %llu}", E.ArgName,
-              static_cast<unsigned long long>(E.Arg));
+    if (E.ArgName) {
+      fputs(", \"args\": {", Out);
+      writeJsonStringEscaped(Out, E.ArgName);
+      fprintf(Out, ": %llu}", static_cast<unsigned long long>(E.Arg));
+    }
     fputc('}', Out);
   }
   fputs(Buffer.size() ? "\n],\n" : "],\n", Out);

@@ -1,60 +1,37 @@
-//===-- tests/obs/TestJson.h - Minimal JSON parser for tests ---*- C++ -*-===//
-//
-// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
-//
-//===----------------------------------------------------------------------===//
-///
-/// \file
-/// A tiny recursive-descent JSON parser, just enough to round-trip the
-/// telemetry exporters' output in tests (objects, arrays, strings with
-/// basic escapes, numbers, booleans, null). Not a general-purpose parser.
-///
-//===----------------------------------------------------------------------===//
+//===-- support/Json.cpp --------------------------------------------------===//
 
-#ifndef HPMVM_TESTS_OBS_TESTJSON_H
-#define HPMVM_TESTS_OBS_TESTJSON_H
+#include "support/Json.h"
 
 #include <cctype>
 #include <cstdlib>
-#include <map>
-#include <memory>
-#include <string>
-#include <vector>
 
-namespace hpmvm::testjson {
+using namespace hpmvm;
+using namespace hpmvm::json;
 
-struct Value;
-using ValuePtr = std::shared_ptr<Value>;
+ValuePtr Value::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  auto It = Obj.find(Key);
+  return It == Obj.end() ? nullptr : It->second;
+}
 
-struct Value {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind K = Kind::Null;
-  bool B = false;
-  double Num = 0.0;
-  std::string Str;
-  std::vector<ValuePtr> Arr;
-  std::map<std::string, ValuePtr> Obj;
+double Value::num(const std::string &Key, double Default) const {
+  ValuePtr V = get(Key);
+  return V && V->isNumber() ? V->Num : Default;
+}
 
-  bool isObject() const { return K == Kind::Object; }
-  bool isArray() const { return K == Kind::Array; }
-  bool isNumber() const { return K == Kind::Number; }
-  bool isString() const { return K == Kind::String; }
+std::string Value::str(const std::string &Key,
+                       const std::string &Default) const {
+  ValuePtr V = get(Key);
+  return V && V->isString() ? V->Str : Default;
+}
 
-  /// Object member or null when absent/not an object.
-  ValuePtr get(const std::string &Key) const {
-    if (K != Kind::Object)
-      return nullptr;
-    auto It = Obj.find(Key);
-    return It == Obj.end() ? nullptr : It->second;
-  }
-};
+namespace {
 
 class Parser {
 public:
   explicit Parser(const std::string &Text) : S(Text) {}
 
-  /// \returns the parsed document, or null on any syntax error. \p Ok is
-  /// false when the text failed to parse or has trailing garbage.
   ValuePtr parse(bool &Ok) {
     Pos = 0;
     Failed = false;
@@ -167,7 +144,7 @@ private:
         case '"': V->Str += '"'; break;
         case '\\': V->Str += '\\'; break;
         case '/': V->Str += '/'; break;
-        case 'u': // Keep the escape verbatim; tests don't need decoding.
+        case 'u': // Keep the escape verbatim; callers don't need decoding.
           V->Str += "\\u";
           break;
         default:
@@ -203,8 +180,7 @@ private:
   ValuePtr null() {
     if (S.compare(Pos, 4, "null") == 0) {
       Pos += 4;
-      auto V = std::make_shared<Value>();
-      return V;
+      return std::make_shared<Value>();
     }
     return fail();
   }
@@ -235,12 +211,9 @@ private:
   bool Failed = false;
 };
 
-/// Convenience: parse or return null.
-inline ValuePtr parse(const std::string &Text, bool &Ok) {
+} // namespace
+
+ValuePtr hpmvm::json::parse(const std::string &Text, bool &Ok) {
   Parser P(Text);
   return P.parse(Ok);
 }
-
-} // namespace hpmvm::testjson
-
-#endif // HPMVM_TESTS_OBS_TESTJSON_H

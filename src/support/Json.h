@@ -1,0 +1,59 @@
+//===-- support/Json.h - Minimal JSON parser --------------------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny recursive-descent JSON parser, just enough to round-trip the
+/// telemetry exporters' output (objects, arrays, strings with basic escapes,
+/// numbers, booleans, null). Shared by the test suite and the hpmvm_report
+/// triage tool; not a general-purpose parser (no \uXXXX decoding, numbers
+/// go through strtod).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_JSON_H
+#define HPMVM_SUPPORT_JSON_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hpmvm::json {
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<ValuePtr> Arr;
+  std::map<std::string, ValuePtr> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member or null when absent/not an object.
+  ValuePtr get(const std::string &Key) const;
+
+  /// Number value of member \p Key, or \p Default when absent/not a number.
+  double num(const std::string &Key, double Default = 0.0) const;
+  /// String value of member \p Key, or \p Default when absent/not a string.
+  std::string str(const std::string &Key,
+                  const std::string &Default = "") const;
+};
+
+/// Parses \p Text as one JSON document. \p Ok is set false when the text
+/// failed to parse or has trailing garbage; the result is null in that case.
+ValuePtr parse(const std::string &Text, bool &Ok);
+
+} // namespace hpmvm::json
+
+#endif // HPMVM_SUPPORT_JSON_H

@@ -7,6 +7,8 @@
 
 #include "core/OptimizationController.h"
 
+#include "obs/Obs.h"
+
 #include <gtest/gtest.h>
 
 using namespace hpmvm;
@@ -79,6 +81,46 @@ TEST(OptimizationController, SmallNoiseDoesNotRevert) {
     C.observePeriod(Rate);
   EXPECT_FALSE(Reverted);
   EXPECT_EQ(C.state(), OptimizationController::State::Accepted);
+}
+
+TEST(OptimizationController, JournalsAssessRevertAndAccept) {
+  ObsContext Obs;
+  OptimizationController C(fastConfig());
+  C.attachObs(Obs);
+  C.setJournalSubject("placement");
+
+  // Round 1: regression -> Assess then Revert.
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(100);
+  C.notePolicyChange();
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(500);
+  ASSERT_EQ(C.state(), OptimizationController::State::Reverted);
+
+  // Round 2: improvement -> Assess then Accept.
+  for (int I = 0; I != 3; ++I)
+    C.observePeriod(100);
+  C.notePolicyChange();
+  for (int I = 0; I != 4; ++I)
+    C.observePeriod(50);
+  ASSERT_EQ(C.state(), OptimizationController::State::Accepted);
+
+  std::vector<DecisionRecord> J = Obs.journal().snapshot();
+  std::vector<DecisionKind> Kinds;
+  for (const DecisionRecord &D : J) {
+    EXPECT_STREQ(D.Consumer, "placement");
+    Kinds.push_back(D.Kind);
+  }
+  ASSERT_EQ(Kinds.size(), 4u);
+  EXPECT_EQ(Kinds[0], DecisionKind::Assess);
+  EXPECT_EQ(Kinds[1], DecisionKind::Revert);
+  EXPECT_EQ(Kinds[2], DecisionKind::Assess);
+  EXPECT_EQ(Kinds[3], DecisionKind::Accept);
+
+  // The verdict records carry the rates the decision was made from.
+  EXPECT_NEAR(J[1].Rate, 500.0, 1e-9);
+  EXPECT_NEAR(J[1].Baseline, 100.0, 1e-9);
+  EXPECT_NEAR(J[3].Rate, 50.0, 1e-9);
 }
 
 TEST(OptimizationController, MonitoringResumesAfterDecision) {

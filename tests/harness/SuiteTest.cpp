@@ -9,6 +9,8 @@
 
 #include "harness/Suite.h"
 
+#include "support/Json.h"
+
 #include <gtest/gtest.h>
 
 using namespace hpmvm;
@@ -104,9 +106,11 @@ TEST(Suite, UniquifyInsertsRunTagBeforeTheExtension) {
   ObsConfig C;
   C.MetricsOutPath = "out/fig5.metrics.json";
   C.TraceOutPath = "fig5.trace.json";
+  C.JournalOutPath = "fig5.journal.jsonl";
   ObsConfig U = uniquifySuiteObsPaths(C, 7);
   EXPECT_EQ(U.MetricsOutPath, "out/fig5.metrics.run007.json");
   EXPECT_EQ(U.TraceOutPath, "fig5.trace.run007.json");
+  EXPECT_EQ(U.JournalOutPath, "fig5.journal.run007.jsonl");
 }
 
 TEST(Suite, UniquifyAppendsWhenThereIsNoExtension) {
@@ -122,6 +126,57 @@ TEST(Suite, UniquifyLeavesUnsetPathsAlone) {
   ObsConfig U = uniquifySuiteObsPaths(ObsConfig{}, 3);
   EXPECT_TRUE(U.MetricsOutPath.empty());
   EXPECT_TRUE(U.TraceOutPath.empty());
+  EXPECT_TRUE(U.JournalOutPath.empty());
+}
+
+TEST(Suite, RunsJsonEmbedsTheDecisionJournal) {
+  LabeledResult L;
+  L.Label = "db/opt";
+  L.Result.TotalCycles = 1000;
+  L.Result.Journal.push_back({.Ts = 42,
+                              .Kind = DecisionKind::PrefetchInject,
+                              .Consumer = "prefetch",
+                              .Action = "rewrite_method",
+                              .Outcome = "applied",
+                              .Method = 3,
+                              .Value = 1});
+
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Mem = open_memstream(&Buf, &Len);
+  ASSERT_TRUE(writeRunsJson(Mem, "test_bench", {L}));
+  fclose(Mem);
+  std::string Json(Buf, Len);
+  free(Buf);
+
+  bool Ok = false;
+  auto Doc = json::parse(Json, Ok);
+  ASSERT_TRUE(Ok) << Json;
+  auto Runs = Doc->get("runs");
+  ASSERT_TRUE(Runs && Runs->isArray());
+  ASSERT_EQ(Runs->Arr.size(), 1u);
+  auto Decisions = Runs->Arr[0]->get("decisions");
+  ASSERT_TRUE(Decisions && Decisions->isArray());
+  ASSERT_EQ(Decisions->Arr.size(), 1u);
+  EXPECT_EQ(Decisions->Arr[0]->str("kind"), "PrefetchInject");
+  EXPECT_EQ(Decisions->Arr[0]->str("consumer"), "prefetch");
+  EXPECT_EQ(Decisions->Arr[0]->num("method"), 3.0);
+}
+
+TEST(Suite, RunsJsonWithEmptyJournalStaysValid) {
+  LabeledResult L;
+  L.Label = "base";
+  char *Buf = nullptr;
+  size_t Len = 0;
+  FILE *Mem = open_memstream(&Buf, &Len);
+  ASSERT_TRUE(writeRunsJson(Mem, "test_bench", {L}));
+  fclose(Mem);
+  std::string Json(Buf, Len);
+  free(Buf);
+  bool Ok = false;
+  auto Doc = json::parse(Json, Ok);
+  ASSERT_TRUE(Ok) << Json;
+  EXPECT_TRUE(Doc->get("runs")->Arr[0]->get("decisions")->Arr.empty());
 }
 
 } // namespace

@@ -9,7 +9,7 @@
 
 #include "harness/ExperimentRunner.h"
 
-#include "tests/obs/TestJson.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <fstream>
@@ -91,7 +91,7 @@ TEST(Telemetry, TraceAndMetricsFilesPassAcceptance) {
   E.run();
 
   bool Ok = false;
-  auto Metrics = testjson::parse(slurp(MetricsPath), Ok);
+  auto Metrics = json::parse(slurp(MetricsPath), Ok);
   ASSERT_TRUE(Ok) << "metrics export must be valid JSON";
   auto Counters = Metrics->get("counters");
   ASSERT_TRUE(Counters && Counters->isObject());
@@ -102,7 +102,7 @@ TEST(Telemetry, TraceAndMetricsFilesPassAcceptance) {
     EXPECT_GT(V->Num, 0.0) << Name;
   }
 
-  auto Trace = testjson::parse(slurp(TracePath), Ok);
+  auto Trace = json::parse(slurp(TracePath), Ok);
   ASSERT_TRUE(Ok) << "trace export must be valid JSON";
   auto Events = Trace->get("traceEvents");
   ASSERT_TRUE(Events && Events->isArray());
@@ -130,6 +130,83 @@ TEST(Telemetry, TraceAndMetricsFilesPassAcceptance) {
 
   remove(MetricsPath.c_str());
   remove(TracePath.c_str());
+}
+
+TEST(Telemetry, MonitoredRunJournalsItsDecisions) {
+  RunConfig C = smallDb(/*Monitoring=*/true);
+  RunResult R = runExperiment(C);
+  // The coallocation advisor runs under this config; at minimum its
+  // sampling-policy/coalloc traffic must appear, clock-stamped, in order.
+  ASSERT_FALSE(R.Journal.empty());
+  Cycles LastTs = 0;
+  bool SawConsumer = false;
+  for (const DecisionRecord &D : R.Journal) {
+    EXPECT_GE(D.Ts, LastTs);
+    LastTs = D.Ts;
+    ASSERT_NE(D.Consumer, nullptr);
+    if (D.Consumer == std::string("coalloc") ||
+        D.Consumer == std::string("hpm"))
+      SawConsumer = true;
+  }
+  EXPECT_TRUE(SawConsumer);
+
+  // An unmonitored run decides nothing.
+  RunResult Base = runExperiment(smallDb(/*Monitoring=*/false));
+  EXPECT_TRUE(Base.Journal.empty());
+}
+
+TEST(Telemetry, JournalFileExportMatchesRunResult) {
+  std::string JournalPath = ::testing::TempDir() + "telemetry_journal.jsonl";
+  RunConfig C = smallDb(/*Monitoring=*/true);
+  C.Obs.JournalOutPath = JournalPath;
+  Experiment E(C);
+  E.run();
+  RunResult R = E.result();
+
+  std::string Text = slurp(JournalPath);
+  remove(JournalPath.c_str());
+  size_t Lines = 0;
+  for (char Ch : Text)
+    Lines += Ch == '\n';
+  EXPECT_EQ(Lines, R.Journal.size());
+  // Every line is standalone JSON (the jq-ability contract).
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos);
+    bool Ok = false;
+    auto V = json::parse(Text.substr(Pos, End - Pos), Ok);
+    ASSERT_TRUE(Ok);
+    EXPECT_FALSE(V->str("kind").empty());
+    Pos = End + 1;
+  }
+}
+
+TEST(Telemetry, SelfProfilePopulatesStageHistogramsAndOverheadGauge) {
+  RunConfig C = smallDb(/*Monitoring=*/true);
+  C.Obs.SelfProfile = true;
+  RunResult R = runExperiment(C);
+  const MetricsSnapshot &M = R.Metrics;
+  for (const char *Name :
+       {"pipeline.stage.drain_ns", "pipeline.stage.resolve_ns",
+        "pipeline.stage.attribute_ns", "pipeline.stage.dispatch_ns"}) {
+    const MetricsSnapshot::HistogramData *H = M.histogram(Name);
+    ASSERT_NE(H, nullptr) << Name;
+    EXPECT_GT(H->Count, 0u) << Name;
+    EXPECT_GE(H->P99, H->P50) << Name;
+  }
+  // The gauge exists (it may legitimately read 0 ppm on a fast machine).
+  bool Found = false;
+  for (const auto &[Name, V] : M.Gauges)
+    Found |= Name == "monitor.self_overhead_frac_ppm";
+  EXPECT_TRUE(Found);
+}
+
+TEST(Telemetry, SelfProfileOffKeepsMetricsClean) {
+  RunResult R = runExperiment(smallDb(/*Monitoring=*/true));
+  for (const auto &H : R.Metrics.Histograms)
+    EXPECT_EQ(H.Name.rfind("pipeline.stage.", 0), std::string::npos);
+  EXPECT_EQ(R.Metrics.gauge("monitor.self_overhead_frac_ppm"), 0u);
 }
 
 TEST(Telemetry, InstrumentationDoesNotChangeResults) {

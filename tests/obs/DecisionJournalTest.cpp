@@ -1,0 +1,199 @@
+//===-- tests/obs/DecisionJournalTest.cpp ---------------------------------===//
+
+#include "obs/DecisionJournal.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace hpmvm;
+
+namespace {
+
+TEST(DecisionJournalTest, StartsEmpty) {
+  DecisionJournal J;
+  EXPECT_EQ(J.size(), 0u);
+  EXPECT_EQ(J.recorded(), 0u);
+  EXPECT_EQ(J.dropped(), 0u);
+  EXPECT_EQ(J.capacity(), DecisionJournal::kDefaultCapacity);
+  EXPECT_TRUE(J.toJsonl().empty());
+}
+
+TEST(DecisionJournalTest, AppendPreservesOrderAndFields) {
+  DecisionJournal J;
+  J.append({.Ts = 100,
+            .Kind = DecisionKind::PrefetchInject,
+            .Consumer = "prefetch",
+            .Action = "rewrite_method",
+            .Outcome = "applied",
+            .Method = 7,
+            .Rate = 42.5,
+            .Value = 3});
+  J.append({.Ts = 200,
+            .Kind = DecisionKind::Revert,
+            .Consumer = "prefetch",
+            .Action = "assessment",
+            .Outcome = "regression",
+            .Rate = 9.0,
+            .Baseline = 4.0,
+            .Value = 27});
+
+  std::vector<DecisionRecord> Snap = J.snapshot();
+  ASSERT_EQ(Snap.size(), 2u);
+  EXPECT_EQ(Snap[0].Ts, 100u);
+  EXPECT_EQ(Snap[0].Kind, DecisionKind::PrefetchInject);
+  EXPECT_STREQ(Snap[0].Consumer, "prefetch");
+  EXPECT_EQ(Snap[0].Method, 7u);
+  EXPECT_EQ(Snap[0].Field, kInvalidId);
+  EXPECT_EQ(Snap[1].Kind, DecisionKind::Revert);
+  EXPECT_DOUBLE_EQ(Snap[1].Baseline, 4.0);
+}
+
+TEST(DecisionJournalTest, KindNamesAreStable) {
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::SamplingPolicy),
+               "SamplingPolicy");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::Coalloc), "Coalloc");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::PrefetchInject),
+               "PrefetchInject");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::HotRecompile),
+               "HotRecompile");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::PhaseChange),
+               "PhaseChange");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::Assess), "Assess");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::Revert), "Revert");
+  EXPECT_STREQ(DecisionJournal::kindName(DecisionKind::Accept), "Accept");
+}
+
+TEST(DecisionJournalTest, CapacityKeepsFirstAndCountsDrops) {
+  DecisionJournal J(3);
+  for (uint64_t I = 0; I != 5; ++I)
+    J.append({.Ts = I, .Consumer = "c", .Action = "a", .Value = I});
+  EXPECT_EQ(J.size(), 3u);
+  EXPECT_EQ(J.recorded(), 5u);
+  EXPECT_EQ(J.dropped(), 2u);
+  // Keep-first: the earliest decisions survive.
+  std::vector<DecisionRecord> Snap = J.snapshot();
+  EXPECT_EQ(Snap[0].Value, 0u);
+  EXPECT_EQ(Snap[2].Value, 2u);
+}
+
+TEST(DecisionJournalTest, ZeroCapacityClampsToOne) {
+  DecisionJournal J(0);
+  EXPECT_EQ(J.capacity(), 1u);
+  J.append({.Consumer = "c", .Action = "a"});
+  J.append({.Consumer = "c", .Action = "a"});
+  EXPECT_EQ(J.size(), 1u);
+  EXPECT_EQ(J.dropped(), 1u);
+}
+
+TEST(DecisionJournalTest, JsonlOmitsAbsentFields) {
+  DecisionJournal J;
+  J.append({.Ts = 5, .Kind = DecisionKind::Assess, .Consumer = "ctl",
+            .Action = "policy_change", .Value = 9});
+  std::string Line = J.toJsonl();
+  EXPECT_EQ(Line, "{\"ts\": 5, \"kind\": \"Assess\", \"consumer\": \"ctl\", "
+                  "\"action\": \"policy_change\", \"value\": 9}\n");
+}
+
+TEST(DecisionJournalTest, JsonlIncludesPresentFields) {
+  DecisionJournal J;
+  J.append({.Ts = 10,
+            .Kind = DecisionKind::Coalloc,
+            .Consumer = "coalloc",
+            .Action = "hint",
+            .Outcome = "co_allocate",
+            .Field = 4,
+            .Rate = 2.5,
+            .Value = 1});
+  EXPECT_EQ(J.toJsonl(),
+            "{\"ts\": 10, \"kind\": \"Coalloc\", \"consumer\": \"coalloc\", "
+            "\"action\": \"hint\", \"field\": 4, \"rate\": 2.5, "
+            "\"value\": 1, \"outcome\": \"co_allocate\"}\n");
+}
+
+TEST(DecisionJournalTest, JsonlEscapesStrings) {
+  DecisionJournal J;
+  J.append({.Consumer = "a\"b", .Action = "c\\d"});
+  std::string Line = J.toJsonl();
+  EXPECT_NE(Line.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(Line.find("\"c\\\\d\""), std::string::npos);
+}
+
+TEST(DecisionJournalTest, EveryLineParsesAsJson) {
+  DecisionJournal J;
+  J.append({.Ts = 1, .Kind = DecisionKind::SamplingPolicy, .Consumer = "hpm",
+            .Action = "interval_retarget", .Rate = 180.0, .Baseline = 200.0,
+            .Value = 50000});
+  J.append({.Ts = 2, .Kind = DecisionKind::HotRecompile,
+            .Consumer = "frequency", .Action = "note_hot_method",
+            .Outcome = "reported_to_aos", .Method = 3, .Rate = 17.0,
+            .Value = 17});
+  std::string Text = J.toJsonl();
+  size_t Pos = 0;
+  int Lines = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos);
+    bool Ok = false;
+    json::ValuePtr V = json::parse(Text.substr(Pos, End - Pos), Ok);
+    ASSERT_TRUE(Ok);
+    ASSERT_TRUE(V->isObject());
+    EXPECT_FALSE(V->str("kind").empty());
+    EXPECT_FALSE(V->str("consumer").empty());
+    Pos = End + 1;
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 2);
+}
+
+TEST(DecisionJournalTest, ClearResetsEverything) {
+  DecisionJournal J(2);
+  for (int I = 0; I != 4; ++I)
+    J.append({.Consumer = "c", .Action = "a"});
+  J.clear();
+  EXPECT_EQ(J.size(), 0u);
+  EXPECT_EQ(J.recorded(), 0u);
+  EXPECT_EQ(J.dropped(), 0u);
+}
+
+TEST(DecisionJournalTest, ConcurrentAppendsAllLand) {
+  DecisionJournal J;
+  constexpr int kThreads = 4, kPerThread = 1000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != kThreads; ++T)
+    Threads.emplace_back([&J, T] {
+      for (int I = 0; I != kPerThread; ++I)
+        J.append({.Ts = static_cast<Cycles>(T), .Consumer = "t",
+                  .Action = "a", .Value = static_cast<uint64_t>(I)});
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(J.recorded(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(J.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(DecisionJournalTest, WriteFileRoundTrips) {
+  DecisionJournal J;
+  J.append({.Ts = 42, .Kind = DecisionKind::Accept, .Consumer = "placement",
+            .Action = "assessment", .Outcome = "no_regression", .Rate = 1.0,
+            .Baseline = 2.0, .Value = 12});
+  std::string Path =
+      testing::TempDir() + "/decision_journal_roundtrip.jsonl";
+  ASSERT_TRUE(J.writeFile(Path));
+  FILE *F = fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  char Buf[512] = {};
+  size_t N = fread(Buf, 1, sizeof(Buf) - 1, F);
+  fclose(F);
+  remove(Path.c_str());
+  EXPECT_EQ(std::string(Buf, N), J.toJsonl());
+}
+
+TEST(DecisionJournalTest, WriteFileFailsOnBadPath) {
+  DecisionJournal J;
+  EXPECT_FALSE(J.writeFile("/nonexistent-dir-hpmvm/journal.jsonl"));
+}
+
+} // namespace

@@ -2,7 +2,7 @@
 
 #include "obs/Metrics.h"
 
-#include "tests/obs/TestJson.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -55,6 +55,56 @@ TEST(Histogram, LargeValuesLandInTopBuckets) {
   H.record(~0ull); // bit_width = 64 -> bucket 64 (the last one).
   EXPECT_EQ(H.bucket(Histogram::kBuckets - 1), 1u);
   EXPECT_EQ(H.max(), ~0ull);
+}
+
+TEST(Histogram, PercentilesAreExactForUniformValues) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("h");
+  for (int I = 0; I != 100; ++I)
+    H.record(10); // One bucket; upper edge 15 clamps to Max = 10.
+  const MetricsSnapshot::HistogramData *D = R.snapshot().histogram("h");
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->P50, 10u);
+  EXPECT_EQ(D->P95, 10u);
+  EXPECT_EQ(D->P99, 10u);
+}
+
+TEST(Histogram, PercentilesSeparateBimodalPopulations) {
+  MetricsRegistry R;
+  Histogram &H = R.histogram("h");
+  for (int I = 0; I != 50; ++I)
+    H.record(1);
+  for (int I = 0; I != 50; ++I)
+    H.record(1000);
+  const MetricsSnapshot::HistogramData *D = R.snapshot().histogram("h");
+  ASSERT_NE(D, nullptr);
+  // Nearest-rank: rank 50 of 100 still lands in the low bucket.
+  EXPECT_EQ(D->P50, 1u);
+  // High percentiles land in the 1000s bucket, whose upper edge (1023)
+  // clamps to the observed Max.
+  EXPECT_EQ(D->P95, 1000u);
+  EXPECT_EQ(D->P99, 1000u);
+}
+
+TEST(Histogram, PercentileOfSingleSampleIsThatSample) {
+  MetricsSnapshot::HistogramData D;
+  D.Count = 1;
+  D.Min = 7;
+  D.Max = 7;
+  D.Buckets = {{3, 1}}; // bit_width(7) == 3.
+  D.computePercentiles();
+  EXPECT_EQ(D.P50, 7u);
+  EXPECT_EQ(D.P99, 7u);
+  EXPECT_EQ(D.percentile(0.0), 7u);
+  EXPECT_EQ(D.percentile(1.0), 7u);
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsZero) {
+  MetricsSnapshot::HistogramData D;
+  D.computePercentiles();
+  EXPECT_EQ(D.P50, 0u);
+  EXPECT_EQ(D.P95, 0u);
+  EXPECT_EQ(D.P99, 0u);
 }
 
 TEST(MetricsRegistry, RegistrationIsIdempotent) {
@@ -113,7 +163,7 @@ TEST(MetricsSnapshot, JsonRoundTrips) {
   H.record(5);
 
   bool Ok = false;
-  auto Doc = testjson::parse(R.snapshot().toJson(), Ok);
+  auto Doc = json::parse(R.snapshot().toJson(), Ok);
   ASSERT_TRUE(Ok);
   ASSERT_TRUE(Doc->isObject());
 
@@ -135,6 +185,10 @@ TEST(MetricsSnapshot, JsonRoundTrips) {
   EXPECT_EQ(Batch->get("sum")->Num, 10.0);
   EXPECT_EQ(Batch->get("min")->Num, 0.0);
   EXPECT_EQ(Batch->get("max")->Num, 5.0);
+  // Samples {0, 5, 5}: rank 2 of 3 falls in the fives' bucket.
+  EXPECT_EQ(Batch->get("p50")->Num, 5.0);
+  EXPECT_EQ(Batch->get("p95")->Num, 5.0);
+  EXPECT_EQ(Batch->get("p99")->Num, 5.0);
   auto Buckets = Batch->get("log2_buckets");
   ASSERT_TRUE(Buckets && Buckets->isArray());
   // Non-empty buckets only: bucket 0 (one zero), bucket 3 (two fives).
@@ -148,7 +202,7 @@ TEST(MetricsSnapshot, JsonRoundTrips) {
 TEST(MetricsSnapshot, EmptyRegistryIsValidJson) {
   MetricsRegistry R;
   bool Ok = false;
-  auto Doc = testjson::parse(R.snapshot().toJson(), Ok);
+  auto Doc = json::parse(R.snapshot().toJson(), Ok);
   ASSERT_TRUE(Ok);
   EXPECT_TRUE(Doc->get("counters")->Obj.empty());
   EXPECT_TRUE(Doc->get("gauges")->Obj.empty());

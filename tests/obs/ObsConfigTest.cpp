@@ -2,10 +2,11 @@
 
 #include "obs/Obs.h"
 
-#include "tests/obs/TestJson.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <fstream>
+#include <unistd.h>
 #include <gtest/gtest.h>
 #include <sstream>
 #include <vector>
@@ -61,6 +62,50 @@ TEST_F(ObsConfigTest, ParseStripsObsFlagsOnly) {
   EXPECT_EQ(Log::level(), LogLevel::Debug);
 }
 
+TEST_F(ObsConfigTest, ParsesJournalAndSelfProfileFlags) {
+  std::string Journal = ::testing::TempDir() + "obs_j.jsonl";
+  Argv A({"bench", "--journal-out", Journal, "--self-profile", "keep"});
+  int Argc = A.argc();
+  ASSERT_TRUE(parseObsFlags(Argc, A.argv()));
+  ASSERT_EQ(Argc, 2);
+  EXPECT_STREQ(A.argv()[1], "keep");
+  EXPECT_EQ(processObsConfig().JournalOutPath, Journal);
+  EXPECT_TRUE(processObsConfig().SelfProfile);
+}
+
+TEST_F(ObsConfigTest, OutPathFlagCreatesMissingParentDirectory) {
+  std::string Dir = ::testing::TempDir() + "obs_new_dir/nested";
+  std::string Path = Dir + "/m.json";
+  Argv A({"bench", "--metrics-out=" + Path});
+  int Argc = A.argc();
+  ASSERT_TRUE(parseObsFlags(Argc, A.argv()));
+  // The directory was created eagerly at flag-parse time.
+  FILE *F = fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fclose(F);
+  remove(Path.c_str());
+  rmdir(Dir.c_str());
+  rmdir((::testing::TempDir() + "obs_new_dir").c_str());
+}
+
+TEST_F(ObsConfigTest, OutPathFlagFailsOnUncreatableDirectory) {
+  // /dev/null exists as a non-directory, so mkdir -p of any path under it
+  // must fail -- and the flag parse must report it.
+  Argv A({"bench", "--journal-out", "/dev/null/sub/j.jsonl"});
+  int Argc = A.argc();
+  EXPECT_FALSE(parseObsFlags(Argc, A.argv()));
+}
+
+TEST(EnsureParentDir, CreatesAndRejects) {
+  std::string Dir = ::testing::TempDir() + "ensure_a/b/c";
+  EXPECT_TRUE(ensureParentDir(Dir + "/file.json"));
+  rmdir(Dir.c_str());
+  rmdir((::testing::TempDir() + "ensure_a/b").c_str());
+  rmdir((::testing::TempDir() + "ensure_a").c_str());
+  EXPECT_TRUE(ensureParentDir("bare_filename_no_dir.json"));
+  EXPECT_FALSE(ensureParentDir("/dev/null/x/file.json"));
+}
+
 TEST_F(ObsConfigTest, MissingValueFails) {
   Argv A({"bench", "--metrics-out"});
   int Argc = A.argc();
@@ -104,11 +149,11 @@ TEST_F(ObsConfigTest, ExportAllWritesBothFiles) {
   ASSERT_TRUE(Obs.exportAll());
 
   bool Ok = false;
-  auto Metrics = testjson::parse(slurp(MetricsPath), Ok);
+  auto Metrics = json::parse(slurp(MetricsPath), Ok);
   ASSERT_TRUE(Ok);
   EXPECT_EQ(Metrics->get("counters")->get("gc.collections")->Num, 3.0);
 
-  auto Trace = testjson::parse(slurp(TracePath), Ok);
+  auto Trace = json::parse(slurp(TracePath), Ok);
   ASSERT_TRUE(Ok);
   ASSERT_EQ(Trace->get("traceEvents")->Arr.size(), 1u);
   EXPECT_EQ(Trace->get("traceEvents")->Arr[0]->get("name")->Str,
@@ -116,6 +161,28 @@ TEST_F(ObsConfigTest, ExportAllWritesBothFiles) {
 
   remove(MetricsPath.c_str());
   remove(TracePath.c_str());
+}
+
+TEST_F(ObsConfigTest, ExportAllWritesJournalJsonl) {
+  std::string JournalPath = ::testing::TempDir() + "obs_journal.jsonl";
+  ObsConfig C;
+  C.JournalOutPath = JournalPath;
+  ObsContext Obs(C);
+  Obs.journal().append({.Ts = 3000,
+                        .Kind = DecisionKind::PhaseChange,
+                        .Consumer = "phase",
+                        .Action = "detect",
+                        .Value = 2});
+  ASSERT_TRUE(Obs.exportAll());
+
+  std::string Text = slurp(JournalPath);
+  bool Ok = false;
+  auto Line = json::parse(Text.substr(0, Text.find('\n')), Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Line->str("kind"), "PhaseChange");
+  EXPECT_EQ(Line->str("consumer"), "phase");
+  EXPECT_EQ(Line->num("ts"), 3000.0);
+  remove(JournalPath.c_str());
 }
 
 TEST_F(ObsConfigTest, ExportToUnwritablePathFails) {

@@ -1,0 +1,93 @@
+//===-- tests/obs/SelfProfilerTest.cpp ------------------------------------===//
+
+#include "obs/SelfProfiler.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+TEST(SelfProfilerTest, DisabledByDefault) {
+  SelfProfiler P;
+  EXPECT_FALSE(P.enabled());
+  EXPECT_FALSE(P.beginBatch());
+  EXPECT_FALSE(P.timingBatch());
+  // Recording against the sinks must be harmless even when disabled.
+  P.recordStage(PipelineStage::Drain, 100);
+  EXPECT_EQ(P.totalTimedNs(), 100u);
+}
+
+TEST(SelfProfilerTest, DisabledRegistersNoMetrics) {
+  MetricsRegistry M;
+  SelfProfiler P;
+  (void)P;
+  EXPECT_TRUE(M.snapshot().Histograms.empty());
+}
+
+TEST(SelfProfilerTest, EnableRegistersStageHistograms) {
+  MetricsRegistry M;
+  SelfProfiler P;
+  P.enable(M, 1);
+  EXPECT_TRUE(P.enabled());
+  EXPECT_EQ(P.sampleEvery(), 1u);
+
+  P.recordStage(PipelineStage::Drain, 10);
+  P.recordStage(PipelineStage::Resolve, 20);
+  P.recordStage(PipelineStage::Attribute, 30);
+  P.recordStage(PipelineStage::Dispatch, 40);
+  EXPECT_EQ(P.totalTimedNs(), 100u);
+
+  MetricsSnapshot S = M.snapshot();
+  ASSERT_EQ(S.Histograms.size(), 4u);
+  bool SawDrain = false;
+  for (const MetricsSnapshot::HistogramData &H : S.Histograms) {
+    if (H.Name == "pipeline.stage.drain_ns") {
+      SawDrain = true;
+      EXPECT_EQ(H.Count, 1u);
+      EXPECT_EQ(H.Sum, 10u);
+    }
+    EXPECT_EQ(H.Name.rfind("pipeline.stage.", 0), 0u);
+  }
+  EXPECT_TRUE(SawDrain);
+}
+
+TEST(SelfProfilerTest, EveryFirstBatchTimedWhenSamplingAll) {
+  MetricsRegistry M;
+  SelfProfiler P;
+  P.enable(M, 1);
+  for (int I = 0; I != 5; ++I) {
+    EXPECT_TRUE(P.beginBatch());
+    EXPECT_TRUE(P.timingBatch());
+  }
+}
+
+TEST(SelfProfilerTest, SampleEverySkipsBatches) {
+  MetricsRegistry M;
+  SelfProfiler P;
+  P.enable(M, 4);
+  int Timed = 0;
+  for (int I = 0; I != 12; ++I)
+    if (P.beginBatch())
+      ++Timed;
+  EXPECT_EQ(Timed, 3); // Batches 0, 4 and 8.
+}
+
+TEST(SelfProfilerTest, TimingDecisionIsStickyUntilNextBatch) {
+  MetricsRegistry M;
+  SelfProfiler P;
+  P.enable(M, 2);
+  EXPECT_TRUE(P.beginBatch()); // Batch 0: timed.
+  EXPECT_TRUE(P.timingBatch());
+  EXPECT_TRUE(P.timingBatch()); // Still the same batch.
+  EXPECT_FALSE(P.beginBatch()); // Batch 1: not timed.
+  EXPECT_FALSE(P.timingBatch());
+}
+
+TEST(SelfProfilerTest, NowNsIsMonotonic) {
+  uint64_t A = SelfProfiler::nowNs();
+  uint64_t B = SelfProfiler::nowNs();
+  EXPECT_GE(B, A);
+}
+
+} // namespace

@@ -3,7 +3,7 @@
 #include "obs/TraceBuffer.h"
 
 #include "support/VirtualClock.h"
-#include "tests/obs/TestJson.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <gtest/gtest.h>
@@ -75,7 +75,7 @@ TEST(ChromeTraceWriter, EmitsValidChromeTraceJson) {
   B.counterSample(30000, "heap.live", "gc", "bytes", 1u << 20);
 
   bool Ok = false;
-  auto Doc = testjson::parse(writeToString(B), Ok);
+  auto Doc = json::parse(writeToString(B), Ok);
   ASSERT_TRUE(Ok) << "writer must produce parseable JSON";
 
   auto Events = Doc->get("traceEvents");
@@ -110,9 +110,26 @@ TEST(ChromeTraceWriter, EmitsValidChromeTraceJson) {
 TEST(ChromeTraceWriter, EmptyBufferIsValidJson) {
   TraceBuffer B(4);
   bool Ok = false;
-  auto Doc = testjson::parse(writeToString(B), Ok);
+  auto Doc = json::parse(writeToString(B), Ok);
   ASSERT_TRUE(Ok);
   EXPECT_TRUE(Doc->get("traceEvents")->Arr.empty());
+}
+
+TEST(ChromeTraceWriter, EscapesSpecialCharactersInStrings) {
+  TraceBuffer B(4);
+  // Event strings must be literals that outlive the buffer; these exercise
+  // every escape class the writer handles: quote, backslash, control char.
+  B.instant(3000, "quote\"name", "back\\slash", "new\nline", 1);
+  std::string Json = writeToString(B);
+  bool Ok = false;
+  auto Doc = json::parse(Json, Ok);
+  ASSERT_TRUE(Ok) << Json;
+  auto &E = Doc->get("traceEvents")->Arr[0];
+  EXPECT_EQ(E->get("name")->Str, "quote\"name");
+  EXPECT_EQ(E->get("cat")->Str, "back\\slash");
+  // Raw specials must not leak into the serialized bytes.
+  EXPECT_EQ(Json.find("quote\"name"), std::string::npos);
+  EXPECT_EQ(Json.find('\n' + std::string("line")), std::string::npos);
 }
 
 TEST(ChromeTraceWriter, WrappedBufferRoundTrips) {
@@ -120,7 +137,7 @@ TEST(ChromeTraceWriter, WrappedBufferRoundTrips) {
   for (uint64_t I = 0; I != 100; ++I)
     B.instant(I * 3000, "tick", "t", "i", I);
   bool Ok = false;
-  auto Doc = testjson::parse(writeToString(B), Ok);
+  auto Doc = json::parse(writeToString(B), Ok);
   ASSERT_TRUE(Ok);
   auto Events = Doc->get("traceEvents");
   ASSERT_EQ(Events->Arr.size(), 8u);

@@ -1,0 +1,75 @@
+//===-- tests/support/JsonTest.cpp ----------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+json::ValuePtr parseOk(const std::string &Text) {
+  bool Ok = false;
+  json::ValuePtr V = json::parse(Text, Ok);
+  EXPECT_TRUE(Ok) << Text;
+  return V;
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parseOk("null") != nullptr);
+  EXPECT_TRUE(parseOk("true")->B);
+  EXPECT_FALSE(parseOk("false")->B);
+  EXPECT_DOUBLE_EQ(parseOk("42")->Num, 42.0);
+  EXPECT_DOUBLE_EQ(parseOk("-1.5e3")->Num, -1500.0);
+  EXPECT_EQ(parseOk("\"hi\"")->Str, "hi");
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  EXPECT_EQ(parseOk("\"a\\\"b\"")->Str, "a\"b");
+  EXPECT_EQ(parseOk("\"a\\\\b\"")->Str, "a\\b");
+  EXPECT_EQ(parseOk("\"a\\nb\"")->Str, "a\nb");
+}
+
+TEST(JsonTest, ParsesContainers) {
+  json::ValuePtr V = parseOk("{\"a\": [1, 2, {\"b\": true}], \"c\": null}");
+  ASSERT_TRUE(V->isObject());
+  json::ValuePtr A = V->get("a");
+  ASSERT_TRUE(A && A->isArray());
+  ASSERT_EQ(A->Arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(A->Arr[1]->Num, 2.0);
+  EXPECT_TRUE(A->Arr[2]->get("b")->B);
+  EXPECT_TRUE(V->get("c") != nullptr);
+  EXPECT_EQ(V->get("missing"), nullptr);
+}
+
+TEST(JsonTest, NumAndStrHelpers) {
+  json::ValuePtr V = parseOk("{\"n\": 7, \"s\": \"x\"}");
+  EXPECT_DOUBLE_EQ(V->num("n"), 7.0);
+  EXPECT_DOUBLE_EQ(V->num("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(V->num("s", -1.0), -1.0); // Wrong type -> default.
+  EXPECT_EQ(V->str("s"), "x");
+  EXPECT_EQ(V->str("missing", "d"), "d");
+  EXPECT_EQ(V->str("n", "d"), "d");
+}
+
+TEST(JsonTest, RejectsGarbage) {
+  bool Ok = true;
+  json::parse("{", Ok);
+  EXPECT_FALSE(Ok);
+  Ok = true;
+  json::parse("[1, 2,]", Ok);
+  EXPECT_FALSE(Ok);
+  Ok = true;
+  json::parse("42 garbage", Ok);
+  EXPECT_FALSE(Ok);
+  Ok = true;
+  json::parse("", Ok);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  json::ValuePtr V = parseOk("  {\n  \"k\" :\t1 } \n");
+  EXPECT_DOUBLE_EQ(V->num("k"), 1.0);
+}
+
+} // namespace

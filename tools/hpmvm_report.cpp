@@ -1,0 +1,426 @@
+//===-- tools/hpmvm_report.cpp - Run-diff triage CLI ----------------------===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+// Offline triage for the telemetry the benches export:
+//
+//   hpmvm_report <a.json>                     one-run report
+//   hpmvm_report <a.json> <b.json>            A-vs-B counter deltas
+//   hpmvm_report --journal <a.jsonl>          decision-journal timeline
+//
+// Accepted inputs: a bench --json-out document (object with "runs", each
+// run carrying metrics + its decision journal), a bare --metrics-out
+// snapshot (object with "counters"), and --journal/--journal-b JSONL
+// files written by --journal-out (attached to the single selected run, or
+// standing alone). --run <substr> selects runs by label; --top <n> bounds
+// the counter tables. Exits 2 on usage, I/O or parse errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "support/TableWriter.h"
+#include "support/VirtualClock.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> Inputs; ///< 1 or 2 positional run files.
+  std::string JournalPath;         ///< --journal.
+  std::string JournalBPath;        ///< --journal-b.
+  std::string RunFilter;           ///< --run label substring.
+  size_t Top = 12;                 ///< --top.
+};
+
+/// One run's worth of triage data, whatever file shape it came from.
+struct RunData {
+  std::string Label;
+  std::map<std::string, uint64_t> Counters; ///< Headline + metrics counters.
+  std::vector<json::ValuePtr> Decisions;    ///< Journal records, in order.
+};
+
+[[noreturn]] void usage(const char *Msg) {
+  if (Msg)
+    fprintf(stderr, "error: %s\n", Msg);
+  fprintf(stderr,
+          "usage: hpmvm_report [<run.json>] [<run-b.json>]\n"
+          "                    [--journal <a.jsonl>] [--journal-b <b.jsonl>]\n"
+          "                    [--run <label-substring>] [--top <n>]\n");
+  exit(2);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  FILE *F = fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[64 * 1024];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = ferror(F) == 0;
+  fclose(F);
+  return Ok;
+}
+
+std::string formatCount(uint64_t V) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%llu", static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string formatNum(double V) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+/// Virtual-clock cycles -> milliseconds, for timeline readability.
+std::string formatTsMs(double CycleStamp) {
+  char Buf[32];
+  snprintf(Buf, sizeof(Buf), "%.2f",
+           VirtualClock::toSeconds(static_cast<Cycles>(CycleStamp)) * 1e3);
+  return Buf;
+}
+
+/// Flattens one bench-document run object into RunData: the run's own
+/// numeric fields plus its metrics counters, plus the embedded journal.
+RunData flattenRun(const json::Value &Run) {
+  RunData D;
+  D.Label = Run.str("label", "(unlabeled)");
+  for (const auto &[Key, Val] : Run.Obj)
+    if (Val && Val->isNumber() && Key != "label")
+      D.Counters[Key] = static_cast<uint64_t>(Val->Num);
+  if (json::ValuePtr Metrics = Run.get("metrics"))
+    if (json::ValuePtr Counters = Metrics->get("counters"))
+      for (const auto &[Key, Val] : Counters->Obj)
+        if (Val && Val->isNumber())
+          D.Counters[Key] = static_cast<uint64_t>(Val->Num);
+  if (json::ValuePtr Decisions = Run.get("decisions"))
+    for (const json::ValuePtr &Rec : Decisions->Arr)
+      if (Rec && Rec->isObject())
+        D.Decisions.push_back(Rec);
+  return D;
+}
+
+/// Loads one positional input: either a bench runs document (possibly
+/// many runs; filtered by \p RunFilter) or a bare metrics snapshot.
+std::vector<RunData> loadRuns(const std::string &Path,
+                              const std::string &RunFilter) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    exit(2);
+  }
+  bool Ok = false;
+  json::ValuePtr Doc = json::parse(Text, Ok);
+  if (!Ok || !Doc || !Doc->isObject()) {
+    fprintf(stderr, "error: '%s' is not a JSON object\n", Path.c_str());
+    exit(2);
+  }
+
+  std::vector<RunData> Runs;
+  if (json::ValuePtr RunsArr = Doc->get("runs")) {
+    for (const json::ValuePtr &Run : RunsArr->Arr) {
+      if (!Run || !Run->isObject())
+        continue;
+      RunData D = flattenRun(*Run);
+      if (RunFilter.empty() ||
+          D.Label.find(RunFilter) != std::string::npos)
+        Runs.push_back(std::move(D));
+    }
+    if (Runs.empty()) {
+      fprintf(stderr, "error: no run in '%s' matches --run '%s'\n",
+              Path.c_str(), RunFilter.c_str());
+      exit(2);
+    }
+  } else if (Doc->get("counters")) {
+    // A bare --metrics-out snapshot: one pseudo-run named by the file.
+    RunData D;
+    D.Label = Path;
+    if (json::ValuePtr Counters = Doc->get("counters"))
+      for (const auto &[Key, Val] : Counters->Obj)
+        if (Val && Val->isNumber())
+          D.Counters[Key] = static_cast<uint64_t>(Val->Num);
+    Runs.push_back(std::move(D));
+  } else {
+    fprintf(stderr,
+            "error: '%s' has neither \"runs\" nor \"counters\" -- not a "
+            "bench document or metrics snapshot\n",
+            Path.c_str());
+    exit(2);
+  }
+  return Runs;
+}
+
+/// Loads a --journal-out JSONL file into decision records.
+std::vector<json::ValuePtr> loadJournal(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    exit(2);
+  }
+  std::vector<json::ValuePtr> Records;
+  size_t Pos = 0, LineNo = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    bool Ok = false;
+    json::ValuePtr Rec = json::parse(Line, Ok);
+    if (!Ok || !Rec || !Rec->isObject() || Rec->str("kind").empty()) {
+      fprintf(stderr, "error: '%s' line %zu is not a journal record\n",
+              Path.c_str(), LineNo);
+      exit(2);
+    }
+    Records.push_back(Rec);
+  }
+  return Records;
+}
+
+void printCounters(const RunData &Run, size_t Top) {
+  std::vector<std::pair<std::string, uint64_t>> Sorted(Run.Counters.begin(),
+                                                       Run.Counters.end());
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  TableWriter T({"counter", "value"});
+  for (size_t I = 0; I != Sorted.size() && I != Top; ++I)
+    T.addRow({Sorted[I].first, formatCount(Sorted[I].second)});
+  printf("Top counters (%zu of %zu):\n", std::min(Top, Sorted.size()),
+         Sorted.size());
+  T.print(stdout);
+}
+
+void printTimeline(const std::vector<json::ValuePtr> &Decisions) {
+  if (Decisions.empty()) {
+    printf("Decision timeline: (empty)\n");
+    return;
+  }
+  TableWriter T({"t (ms)", "kind", "consumer", "action", "subject", "rate",
+                 "baseline", "outcome"});
+  for (const json::ValuePtr &D : Decisions) {
+    std::string Subject;
+    if (D->get("method"))
+      Subject = "method " +
+                formatCount(static_cast<uint64_t>(D->num("method")));
+    else if (D->get("field"))
+      Subject =
+          "field " + formatCount(static_cast<uint64_t>(D->num("field")));
+    T.addRow({formatTsMs(D->num("ts")), D->str("kind"), D->str("consumer"),
+              D->str("action"), Subject,
+              D->get("rate") ? formatNum(D->num("rate")) : "",
+              D->get("baseline") ? formatNum(D->num("baseline")) : "",
+              D->str("outcome")});
+  }
+  printf("Decision timeline (%zu records):\n", Decisions.size());
+  T.print(stdout);
+}
+
+void printVerdicts(const std::vector<json::ValuePtr> &Decisions) {
+  // consumer -> {applied policies, reverts, accepts}.
+  std::map<std::string, std::array<uint64_t, 3>> PerConsumer;
+  for (const json::ValuePtr &D : Decisions) {
+    std::string Kind = D->str("kind");
+    std::array<uint64_t, 3> &Row = PerConsumer[D->str("consumer")];
+    if (Kind == "Revert")
+      ++Row[1];
+    else if (Kind == "Accept")
+      ++Row[2];
+    else if (Kind != "Assess" && Kind != "PhaseChange")
+      ++Row[0];
+  }
+  if (PerConsumer.empty())
+    return;
+  TableWriter T({"consumer", "decisions", "reverts", "accepts"});
+  for (const auto &[Consumer, Row] : PerConsumer)
+    T.addRow({Consumer, formatCount(Row[0]), formatCount(Row[1]),
+              formatCount(Row[2])});
+  printf("Decisions by consumer:\n");
+  T.print(stdout);
+}
+
+void reportOneRun(const RunData &Run, size_t Top) {
+  printf("== Run: %s ==\n", Run.Label.c_str());
+  printCounters(Run, Top);
+  printf("\n");
+  printTimeline(Run.Decisions);
+  printf("\n");
+  printVerdicts(Run.Decisions);
+}
+
+void reportDelta(const RunData &A, const RunData &B, size_t Top) {
+  printf("== Delta: %s -> %s ==\n", A.Label.c_str(), B.Label.c_str());
+
+  // Rank by relative change (largest movement first); counters present
+  // on only one side rank ahead of everything.
+  struct Row {
+    std::string Name;
+    uint64_t VA = 0, VB = 0;
+    bool OnlyOne = false;
+    double Rel = 0.0;
+  };
+  std::vector<Row> Rows;
+  std::map<std::string, uint64_t> All = A.Counters;
+  All.insert(B.Counters.begin(), B.Counters.end());
+  for (const auto &[Name, Unused] : All) {
+    (void)Unused;
+    Row R;
+    R.Name = Name;
+    auto IA = A.Counters.find(Name), IB = B.Counters.find(Name);
+    R.VA = IA != A.Counters.end() ? IA->second : 0;
+    R.VB = IB != B.Counters.end() ? IB->second : 0;
+    R.OnlyOne = IA == A.Counters.end() || IB == B.Counters.end();
+    if (R.VA == R.VB && !R.OnlyOne)
+      continue;
+    double Base = R.VA ? static_cast<double>(R.VA) : 1.0;
+    R.Rel = (static_cast<double>(R.VB) - static_cast<double>(R.VA)) / Base;
+    Rows.push_back(std::move(R));
+  }
+  std::stable_sort(Rows.begin(), Rows.end(), [](const Row &X, const Row &Y) {
+    if (X.OnlyOne != Y.OnlyOne)
+      return X.OnlyOne;
+    double AX = X.Rel < 0 ? -X.Rel : X.Rel;
+    double AY = Y.Rel < 0 ? -Y.Rel : Y.Rel;
+    return AX > AY;
+  });
+
+  TableWriter T({"counter", "a", "b", "delta", "rel"});
+  for (size_t I = 0; I != Rows.size() && I != Top; ++I) {
+    const Row &R = Rows[I];
+    long long Delta =
+        static_cast<long long>(R.VB) - static_cast<long long>(R.VA);
+    char DeltaBuf[32], RelBuf[32];
+    snprintf(DeltaBuf, sizeof(DeltaBuf), "%+lld", Delta);
+    if (R.OnlyOne)
+      snprintf(RelBuf, sizeof(RelBuf), "(one side)");
+    else
+      snprintf(RelBuf, sizeof(RelBuf), "%+.1f%%", R.Rel * 100.0);
+    T.addRow({R.Name, formatCount(R.VA), formatCount(R.VB), DeltaBuf,
+              RelBuf});
+  }
+  printf("Counters that moved (%zu of %zu changed):\n",
+         std::min(Top, Rows.size()), Rows.size());
+  T.print(stdout);
+
+  printf("\n-- A: %s --\n", A.Label.c_str());
+  printVerdicts(A.Decisions);
+  printf("\n-- B: %s --\n", B.Label.c_str());
+  printVerdicts(B.Decisions);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    auto Value = [&](const char *Flag) -> std::string {
+      if (I + 1 >= Argc)
+        usage((std::string(Flag) + " requires a value").c_str());
+      return Argv[++I];
+    };
+    if (strcmp(Argv[I], "--journal") == 0)
+      Opts.JournalPath = Value("--journal");
+    else if (strcmp(Argv[I], "--journal-b") == 0)
+      Opts.JournalBPath = Value("--journal-b");
+    else if (strcmp(Argv[I], "--run") == 0)
+      Opts.RunFilter = Value("--run");
+    else if (strcmp(Argv[I], "--top") == 0) {
+      std::string V = Value("--top");
+      char *End = nullptr;
+      unsigned long N = strtoul(V.c_str(), &End, 10);
+      if (!End || *End || N == 0)
+        usage("--top wants a positive integer");
+      Opts.Top = N;
+    } else if (strcmp(Argv[I], "--help") == 0 || strcmp(Argv[I], "-h") == 0)
+      usage(nullptr);
+    else if (Argv[I][0] == '-')
+      usage((std::string("unknown flag '") + Argv[I] + "'").c_str());
+    else
+      Opts.Inputs.push_back(Argv[I]);
+  }
+  if (Opts.Inputs.size() > 2)
+    usage("at most two run files");
+  if (Opts.Inputs.empty() && Opts.JournalPath.empty())
+    usage("nothing to report: give a run file or --journal");
+
+  // Journal-only mode: a timeline straight off the JSONL file(s).
+  if (Opts.Inputs.empty()) {
+    std::vector<json::ValuePtr> A = loadJournal(Opts.JournalPath);
+    printf("== Journal: %s ==\n", Opts.JournalPath.c_str());
+    printTimeline(A);
+    printf("\n");
+    printVerdicts(A);
+    if (!Opts.JournalBPath.empty()) {
+      std::vector<json::ValuePtr> B = loadJournal(Opts.JournalBPath);
+      printf("\n== Journal: %s ==\n", Opts.JournalBPath.c_str());
+      printTimeline(B);
+      printf("\n");
+      printVerdicts(B);
+    }
+    return 0;
+  }
+
+  std::vector<RunData> A = loadRuns(Opts.Inputs[0], Opts.RunFilter);
+  if (!Opts.JournalPath.empty()) {
+    if (A.size() != 1)
+      usage("--journal attaches to a single run; narrow with --run");
+    A[0].Decisions = loadJournal(Opts.JournalPath);
+  }
+
+  if (Opts.Inputs.size() == 1) {
+    for (size_t I = 0; I != A.size(); ++I) {
+      if (I)
+        printf("\n");
+      reportOneRun(A[I], Opts.Top);
+    }
+    return 0;
+  }
+
+  std::vector<RunData> B = loadRuns(Opts.Inputs[1], Opts.RunFilter);
+  if (!Opts.JournalBPath.empty()) {
+    if (B.size() != 1)
+      usage("--journal-b attaches to a single run; narrow with --run");
+    B[0].Decisions = loadJournal(Opts.JournalBPath);
+  }
+
+  // Pair runs by label; fall back to positional pairing when the label
+  // sets are disjoint (e.g. comparing two different benches).
+  size_t Paired = 0;
+  for (const RunData &RA : A) {
+    auto Match = std::find_if(B.begin(), B.end(), [&](const RunData &RB) {
+      return RB.Label == RA.Label;
+    });
+    if (Match == B.end())
+      continue;
+    if (Paired)
+      printf("\n");
+    reportDelta(RA, *Match, Opts.Top);
+    ++Paired;
+  }
+  if (!Paired) {
+    for (size_t I = 0; I != A.size() && I != B.size(); ++I) {
+      if (I)
+        printf("\n");
+      reportDelta(A[I], B[I], Opts.Top);
+    }
+    if (A.size() != B.size() || A.empty())
+      fprintf(stderr, "note: no labels in common; paired positionally\n");
+  }
+  return 0;
+}
