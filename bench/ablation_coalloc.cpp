@@ -21,6 +21,11 @@
 //      vs a four-consumer pipeline (coalloc + phase + prefetch +
 //      frequency) over two multiplexed event kinds, with per-consumer
 //      sample counts from the run's metrics snapshot.
+//   H. Decision layer: the legacy autonomous consumers vs the policy
+//      engine (classify -> score -> apply -> gate -> accept/revert/
+//      blacklist), on db and pseudojbb, plus an adversarial policy run
+//      with a forced co-allocation gap so the gate's revert + blacklist
+//      path is exercised deterministically.
 //
 // Parallel structure: every run that only needs its RunConfig goes into
 // one flat batch executed by runExperiments (baselines + A + B + D +
@@ -71,8 +76,19 @@ enum : size_t {
   kEventFirst = kThresholdFirst + 4,   // {L1DMiss, DtlbMiss}, db
   kMissSignal = kEventFirst + 2,       // F: miss-driven db
   kPipelineMulti = kMissSignal + 1,    // G: 4 consumers, 2 muxed kinds
+  kLegacyJbb,                          // H: legacy coalloc, pseudojbb
+  kPolicyDb,                           // H: policy engine, db
+  kPolicyJbb,                          // H: policy engine, pseudojbb
+  kPolicyGap,                          // H: policy engine + forced gap
   kNumPlain
 };
+
+RunConfig policy(const char *Workload, uint32_t Scale) {
+  RunConfig C = base(Workload, Scale);
+  C.Monitoring = true;
+  C.PolicyEngine = true; // Installs the default 3-kind mux rotation.
+  return C;
+}
 
 } // namespace
 
@@ -123,6 +139,17 @@ int main(int Argc, char **Argv) {
     Multi.PrefetchController = true;
     Multi.FrequencyConsumer = true;
     Plain[kPipelineMulti] = Multi;
+  }
+  {
+    // H: decision layers. The forced-gap run deliberately sabotages the
+    // coalloc action (the Figure 8 lever), so its gate regresses, reverts,
+    // blacklists, and the engine falls through to the next action.
+    Plain[kLegacyJbb] = coalloc("pseudojbb", Scale);
+    Plain[kPolicyDb] = policy("db", Scale);
+    Plain[kPolicyJbb] = policy("pseudojbb", Scale);
+    RunConfig Gap = policy("db", Scale);
+    Gap.Monitor.Advisor.ForcedGapBytes = 128;
+    Plain[kPolicyGap] = Gap;
   }
   for (size_t I = 0; I != Plain.size(); ++I) {
     Plain[I].Obs = resolveObsConfig(Plain[I].Obs);
@@ -338,10 +365,50 @@ int main(int Argc, char **Argv) {
                .c_str());
   }
 
+  // --- H: legacy consumers vs the policy engine -------------------------------
+  {
+    TableWriter T({"decision layer", "workload", "pairs", "applies",
+                   "accepts", "reverts", "blacklists", "L1 vs base",
+                   "time vs base"});
+    auto Row = [&](const char *Label, const char *Workload,
+                   const RunResult &R, const RunResult &Base) {
+      const MetricsSnapshot &M = R.Metrics;
+      auto Cnt = [&](const char *Name) {
+        return withThousandsSep(M.counter(Name));
+      };
+      T.addRow({Label, Workload, withThousandsSep(R.CoallocatedPairs),
+                Cnt("policy.applies"), Cnt("policy.accepts"),
+                Cnt("policy.reverts"), Cnt("policy.blacklists"),
+                pct(static_cast<double>(R.Memory.L1Misses) /
+                    Base.Memory.L1Misses),
+                pct(static_cast<double>(R.TotalCycles) /
+                    Base.TotalCycles)});
+    };
+    Row("legacy consumers", "db", PR[kMissSignal], DbBase);
+    Row("policy engine", "db", PR[kPolicyDb], DbBase);
+    Row("legacy consumers", "pseudojbb", PR[kLegacyJbb], JbbBase);
+    Row("policy engine", "pseudojbb", PR[kPolicyJbb], JbbBase);
+    Row("policy engine + forced gap", "db", PR[kPolicyGap], DbBase);
+    printf("--- H: decision layer (legacy autonomous consumers vs the "
+           "guarded policy engine; the forced-gap run exercises "
+           "revert + blacklist) ---\n");
+    emit(T, "ablation_decision_layer");
+    const MetricsSnapshot &Gap = PR[kPolicyGap].Metrics;
+    printf("policy journals: db %s records, forced-gap %s records (%s "
+           "reverted, %s blacklisted)\n",
+           withThousandsSep(PR[kPolicyDb].Journal.size()).c_str(),
+           withThousandsSep(PR[kPolicyGap].Journal.size()).c_str(),
+           withThousandsSep(Gap.counter("policy.reverts")).c_str(),
+           withThousandsSep(Gap.counter("policy.blacklists")).c_str());
+  }
+
   maybeWriteJson(Opts, "ablation_coalloc",
                  {{"db/base", DbBase},
                   {"pseudojbb/base", JbbBase},
                   {"db/coalloc", PR[kMissSignal]},
-                  {"db/pipeline-multi", PR[kPipelineMulti]}});
+                  {"db/pipeline-multi", PR[kPipelineMulti]},
+                  {"db/policy", PR[kPolicyDb]},
+                  {"pseudojbb/policy", PR[kPolicyJbb]},
+                  {"db/policy-forced-gap", PR[kPolicyGap]}});
   return 0;
 }

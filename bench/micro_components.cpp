@@ -24,6 +24,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
@@ -327,4 +328,17 @@ BENCHMARK(BM_DrainBatch);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): google-benchmark leaves non---benchmark_* args in
+// argv and runs anyway (exit 0/1). Every bench binary in this repo names
+// the first unknown flag and exits 2, so a typo'd sweep script fails
+// loudly instead of silently benchmarking the wrong thing.
+int main(int Argc, char **Argv) {
+  benchmark::Initialize(&Argc, Argv);
+  if (Argc > 1) {
+    fprintf(stderr, "error: unknown argument '%s'\n", Argv[1]);
+    return 2;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

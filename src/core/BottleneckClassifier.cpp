@@ -1,0 +1,147 @@
+//===-- core/BottleneckClassifier.cpp -------------------------------------===//
+
+#include "core/BottleneckClassifier.h"
+
+#include "obs/Obs.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+BottleneckClassifier::BottleneckClassifier(const ClassifierConfig &Config)
+    : Config(Config) {
+  assert(Config.WindowPeriods > 0 && "window must be non-empty");
+  assert(Config.Hysteresis > 0 && "hysteresis of 0 would never flip");
+}
+
+void BottleneckClassifier::attachObs(ObsContext &Obs) {
+  MWindows = &Obs.metrics().counter("classify.windows");
+  MLabelChanges = &Obs.metrics().counter("classify.label_changes");
+  Journal = &Obs.journal();
+}
+
+void BottleneckClassifier::onSample(const AttributedSample &S) {
+  if (S.Method == kInvalidId)
+    return;
+  ensureMethod(S.Method);
+  ++Tracks[S.Method].Counts[static_cast<size_t>(S.Kind)];
+}
+
+void BottleneckClassifier::consumeBatch(
+    std::span<const AttributedSample> Batch) {
+  // Batches are homogeneous in kind; hoist the kind index out of the loop.
+  if (Batch.empty())
+    return;
+  size_t KindIdx = static_cast<size_t>(Batch.front().Kind);
+  for (const AttributedSample &S : Batch) {
+    if (S.Method == kInvalidId)
+      continue;
+    ensureMethod(S.Method);
+    ++Tracks[S.Method].Counts[KindIdx];
+  }
+}
+
+BottleneckLabel BottleneckClassifier::rawLabel(double L1, double L2,
+                                               double Tlb,
+                                               double Total) const {
+  if (Total > 0.0 && Tlb / Total >= Config.TlbFraction)
+    return BottleneckLabel::TlbBound;
+  if (L1 > 0.0 && L2 / L1 >= Config.BandwidthFraction)
+    return BottleneckLabel::BandwidthBound;
+  if (L1 >= Config.LatencyRate)
+    return BottleneckLabel::LatencyBound;
+  return BottleneckLabel::ComputeBound;
+}
+
+void BottleneckClassifier::onPeriod(const PeriodContext &Ctx) {
+  JustClosed = false;
+  if (++PeriodsInWindow < Config.WindowPeriods)
+    return;
+  PeriodsInWindow = 0;
+  JustClosed = true;
+  ++Windows;
+  MWindows->inc();
+  Hot.clear();
+  WindowTotal = 0.0;
+
+  // Per-kind correction as of this window boundary: the cumulative inverse
+  // duty cycle (under multiplexing each kind only counts during its
+  // rotation slots) times the kind's events-per-sample weight, turning
+  // sample counts into comparable estimated event counts.
+  std::array<double, kNumHpmEventKinds> Scale;
+  for (size_t K = 0; K < kNumHpmEventKinds; ++K)
+    Scale[K] = Ctx.scale(static_cast<HpmEventKind>(K)) * Config.KindWeight[K];
+
+  for (MethodId M = 0; M < Tracks.size(); ++M) {
+    MethodTrack &T = Tracks[M];
+    // Duty-corrected raw samples (the statistical floor and the frequency
+    // signal) ...
+    double Samples = 0.0;
+    for (size_t K = 0; K < kNumHpmEventKinds; ++K)
+      Samples += static_cast<double>(T.Counts[K]) *
+                 Ctx.scale(static_cast<HpmEventKind>(K));
+    // ... and estimated events per kind (the taxonomy signal).
+    double L1 = static_cast<double>(
+                    T.Counts[static_cast<size_t>(HpmEventKind::L1DMiss)]) *
+                Scale[static_cast<size_t>(HpmEventKind::L1DMiss)];
+    double L2 = static_cast<double>(
+                    T.Counts[static_cast<size_t>(HpmEventKind::L2Miss)]) *
+                Scale[static_cast<size_t>(HpmEventKind::L2Miss)];
+    double Tlb = static_cast<double>(
+                     T.Counts[static_cast<size_t>(HpmEventKind::DtlbMiss)]) *
+                 Scale[static_cast<size_t>(HpmEventKind::DtlbMiss)];
+    double Total = L1 + L2 + Tlb;
+    T.Counts = {};
+    T.LastWindowRate = Total;
+    WindowTotal += Total;
+    if (Samples < Config.MinWindowSamples)
+      continue; // Not hot this window; keep the label, skip hysteresis.
+
+    BottleneckLabel Raw = rawLabel(L1, L2, Tlb, Total);
+    if (T.Stable == BottleneckLabel::Unknown) {
+      // First classification is immediate: there is no established label
+      // to protect.
+      T.Stable = Raw;
+      T.Candidate = Raw;
+      T.Streak = 0;
+      noteLabelChange(M, Raw, Total, Ctx.Now);
+    } else if (Raw == T.Stable) {
+      T.Candidate = T.Stable;
+      T.Streak = 0;
+    } else if (Raw == T.Candidate) {
+      if (++T.Streak >= Config.Hysteresis) {
+        T.Stable = Raw;
+        T.Streak = 0;
+        noteLabelChange(M, Raw, Total, Ctx.Now);
+      }
+    } else {
+      T.Candidate = Raw;
+      T.Streak = 1;
+      if (T.Streak >= Config.Hysteresis) {
+        T.Stable = Raw;
+        T.Streak = 0;
+        noteLabelChange(M, Raw, Total, Ctx.Now);
+      }
+    }
+
+    Hot.push_back({.Method = M,
+                   .Label = T.Stable,
+                   .L1Rate = L1,
+                   .L2Rate = L2,
+                   .TlbRate = Tlb,
+                   .SampleRate = Samples});
+  }
+}
+
+void BottleneckClassifier::noteLabelChange(MethodId M, BottleneckLabel L,
+                                           double Rate, Cycles Now) {
+  MLabelChanges->inc();
+  if (Journal)
+    Journal->append({.Ts = Now,
+                     .Kind = DecisionKind::Classify,
+                     .Consumer = "classify",
+                     .Action = bottleneckLabelName(L),
+                     .Method = M,
+                     .Rate = Rate,
+                     .Value = Windows});
+}

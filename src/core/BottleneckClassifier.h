@@ -1,0 +1,153 @@
+//===-- core/BottleneckClassifier.h - Per-method bottleneck labels -------===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the multiplexed sample stream into per-method bottleneck labels:
+/// the "measure -> classify" half of the roadmap's policy loop. The
+/// classifier accumulates per-method L1D / L2 / DTLB sample counts over a
+/// window of measurement periods; at each window boundary it duty-cycle
+/// corrects the counts (PeriodContext::scale) and labels every method above
+/// the hotness floor:
+///
+///   TLB-bound       DTLB share of scaled samples >= TlbFraction
+///   bandwidth-bound else, scaled L2 / scaled L1 >= BandwidthFraction
+///   latency-bound   else, scaled L1 rate >= LatencyRate
+///   compute-bound   else (hot in samples, modest miss rates)
+///
+/// Labels are hysteresis-filtered: an established label only flips after
+/// the replacement wins Hysteresis consecutive windows, so a method on a
+/// threshold boundary does not oscillate (and does not make the engine
+/// thrash apply/revert). The first classification is immediate.
+///
+/// The classifier is a passive pipeline consumer; the PolicyEngine reads
+/// its window state from onPeriod (registration order puts the classifier
+/// before the engine, so the engine always sees the fresh window).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_BOTTLENECKCLASSIFIER_H
+#define HPMVM_CORE_BOTTLENECKCLASSIFIER_H
+
+#include "core/OptimizationAction.h"
+#include "core/SampleConsumer.h"
+#include "obs/Metrics.h"
+#include "support/Types.h"
+
+#include <array>
+#include <vector>
+
+namespace hpmvm {
+
+class DecisionJournal;
+class ObsContext;
+
+/// Classification policy knobs.
+struct ClassifierConfig {
+  /// Measurement periods per classification window. Must cover at least a
+  /// full multiplexer rotation, or some kinds are structurally absent from
+  /// every window.
+  size_t WindowPeriods = 3;
+  /// Scaled-sample floor for a method to be classified at all in a window;
+  /// below it the method keeps its previous label but is not listed hot.
+  double MinWindowSamples = 4.0;
+  /// Events per sample for each kind, indexed by HpmEventKind: the slot's
+  /// sampling interval under multiplexing. Rarer kinds are sampled at
+  /// shorter intervals so their sample counts stay usable; comparing raw
+  /// counts across kinds would then over-weight them (a DTLB slot at
+  /// interval 500 yields 10x the samples per event of an L1 slot at
+  /// 5000). The harness fills this from the monitor's mux rotation.
+  std::array<double, kNumHpmEventKinds> KindWeight = {1.0, 1.0, 1.0};
+  /// DTLB share of estimated events at or above which a method is
+  /// TLB-bound. High on purpose: page walks must dominate before page
+  /// locality is *the* problem (and the paper found TLB-driven placement
+  /// unrewarding, so the label mostly steers scores down).
+  double TlbFraction = 0.4;
+  /// L2 / L1 estimated-event ratio at or above which a method is
+  /// bandwidth-bound (its L1 misses mostly keep going to memory).
+  double BandwidthFraction = 0.5;
+  /// Estimated L1D misses per window at or above which a method is
+  /// latency-bound.
+  double LatencyRate = 1000.0;
+  /// Consecutive windows a replacement label must win before an
+  /// established label flips. 1 disables hysteresis.
+  size_t Hysteresis = 2;
+};
+
+/// Pipeline consumer that labels hot methods by bottleneck.
+class BottleneckClassifier : public SampleConsumer {
+public:
+  explicit BottleneckClassifier(const ClassifierConfig &Config = {});
+
+  // SampleConsumer.
+  const char *name() const override { return "classify"; }
+  void onSample(const AttributedSample &S) override;
+  void consumeBatch(std::span<const AttributedSample> Batch) override;
+  void onPeriod(const PeriodContext &Ctx) override;
+
+  /// Registers classify.windows / classify.label_changes and journals a
+  /// Classify record per label change.
+  void attachObs(ObsContext &Obs) override;
+
+  /// True during the onPeriod pass that closed a window (i.e. for any
+  /// consumer registered after the classifier, until the next period).
+  bool windowClosed() const { return JustClosed; }
+  /// Windows completed so far.
+  uint64_t windowsCompleted() const { return Windows; }
+
+  /// The methods classified hot in the last closed window, MethodId
+  /// ascending, each carrying its stable label and window rates.
+  const std::vector<MethodBottleneck> &hotMethods() const { return Hot; }
+
+  /// Stable (hysteresis-filtered) label of \p M; Unknown if never hot.
+  BottleneckLabel label(MethodId M) const {
+    return M < Tracks.size() ? Tracks[M].Stable : BottleneckLabel::Unknown;
+  }
+
+  /// Estimated total events of \p M in the last closed window. 0 for
+  /// unseen methods.
+  double windowRate(MethodId M) const {
+    return M < Tracks.size() ? Tracks[M].LastWindowRate : 0.0;
+  }
+
+  /// Estimated events across *all* methods in the last closed window.
+  double totalWindowRate() const { return WindowTotal; }
+
+  const ClassifierConfig &config() const { return Config; }
+
+private:
+  struct MethodTrack {
+    /// Raw per-kind counts for the window in progress.
+    std::array<uint64_t, kNumHpmEventKinds> Counts = {};
+    BottleneckLabel Stable = BottleneckLabel::Unknown;
+    BottleneckLabel Candidate = BottleneckLabel::Unknown;
+    uint32_t Streak = 0;
+    double LastWindowRate = 0.0;
+  };
+
+  void ensureMethod(MethodId Id) {
+    if (Id >= Tracks.size())
+      Tracks.resize(Id + 1);
+  }
+  BottleneckLabel rawLabel(double L1, double L2, double Tlb,
+                           double Total) const;
+  void noteLabelChange(MethodId M, BottleneckLabel L, double Rate,
+                       Cycles Now);
+
+  ClassifierConfig Config;
+  std::vector<MethodTrack> Tracks;
+  std::vector<MethodBottleneck> Hot;
+  size_t PeriodsInWindow = 0;
+  double WindowTotal = 0.0;
+  uint64_t Windows = 0;
+  bool JustClosed = false;
+  Counter *MWindows = &Counter::sink();
+  Counter *MLabelChanges = &Counter::sink();
+  DecisionJournal *Journal = nullptr;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_BOTTLENECKCLASSIFIER_H

@@ -19,9 +19,11 @@
 #define HPMVM_CORE_COALLOCATIONADVISOR_H
 
 #include "core/FieldMissTable.h"
+#include "core/OptimizationAction.h"
 #include "heap/GcApi.h"
 #include "support/Types.h"
 
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -43,8 +45,15 @@ struct AdvisorConfig {
   uint32_t ForcedGapBytes = 0;
 };
 
-/// PlacementAdvisor driven by the per-field miss table.
-class CoallocationAdvisor : public PlacementAdvisor {
+/// PlacementAdvisor driven by the per-field miss table. Also an
+/// OptimizationAction: under the PolicyEngine, co-allocation is switched
+/// on per guarded method (any active method keeps the advisor enabled;
+/// reverting the last one disables it again). Placement itself stays
+/// class-keyed -- the method is the policy engine's accounting unit, as in
+/// the paper, where the GC placement policy is global but assessed against
+/// the miss rate it was meant to improve.
+class CoallocationAdvisor : public PlacementAdvisor,
+                            public OptimizationAction {
 public:
   CoallocationAdvisor(const ClassRegistry &Classes,
                       const FieldMissTable &Table,
@@ -66,6 +75,41 @@ public:
   void setForcedGapBytes(uint32_t B);
   const AdvisorConfig &config() const { return Config; }
 
+  // OptimizationAction: co-allocation removes misses at the source, so it
+  // outranks prefetching only by registration order -- their latency-bound
+  // scores tie by construction (2 * L1 rate), and the engine's
+  // registration-order tie-break prefers removal over hiding.
+  ActionKind kind() const override { return ActionKind::Coallocate; }
+  const char *actionName() const override { return "coalloc"; }
+  double score(const MethodBottleneck &B) const override {
+    switch (B.Label) {
+    case BottleneckLabel::LatencyBound:
+      return 2.0 * B.L1Rate;
+    case BottleneckLabel::BandwidthBound:
+      return 1.5 * B.L2Rate;
+    case BottleneckLabel::TlbBound:
+      // The paper's result: miss-driven placement does not fix page-level
+      // locality ("the DTLB-miss-driven approach does not improve
+      // performance"). Low, non-zero: still worth a guarded try when
+      // nothing else applies.
+      return 0.25 * B.TlbRate;
+    case BottleneckLabel::Unknown:
+    case BottleneckLabel::ComputeBound:
+      return 0.0;
+    }
+    return 0.0;
+  }
+  bool apply(MethodId M) override {
+    PolicyActive.insert(M);
+    Config.Enabled = true;
+    return true;
+  }
+  void revert(MethodId M) override {
+    PolicyActive.erase(M);
+    if (PolicyActive.empty())
+      Config.Enabled = false;
+  }
+
   /// The reference fields of \p Cls sorted by miss count, hottest first
   /// (exposed for diagnostics and tests).
   std::vector<std::pair<FieldId, uint64_t>> sortedFields(ClassId Cls) const;
@@ -85,6 +129,8 @@ private:
   /// Last hint field journaled per class, to journal only *changes* (the
   /// hint is recomputed on every cache invalidation but rarely moves).
   std::unordered_map<ClassId, FieldId> LastJournaledHint;
+  /// Methods whose policy-engine coalloc action is currently applied.
+  std::set<MethodId> PolicyActive;
   Counter *MHints = &Counter::sink();
   Counter *MNoHints = &Counter::sink();
   Counter *MCoallocations = &Counter::sink();

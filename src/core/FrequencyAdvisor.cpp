@@ -55,6 +55,27 @@ void FrequencyAdvisor::consumeBatch(std::span<const AttributedSample> Batch) {
   }
 }
 
+bool FrequencyAdvisor::apply(MethodId M) {
+  ensureMethod(M);
+  if (Reported[M])
+    return false; // Already reported (by either path); a noop for the
+                  // engine, which records it and moves on.
+  Reported[M] = 1;
+  ++HotReported;
+  MHotMethods->inc();
+  if (Journal)
+    Journal->append({.Ts = Vm.clock().now(),
+                     .Kind = DecisionKind::HotRecompile,
+                     .Consumer = "frequency",
+                     .Action = "note_hot_method",
+                     .Outcome = "reported_to_aos",
+                     .Method = M,
+                     .Rate = static_cast<double>(sampleCount(M)),
+                     .Value = HotMethodSamples});
+  Vm.aos().noteHpmHotMethod(M);
+  return true;
+}
+
 void FrequencyAdvisor::onPeriod(const PeriodContext &Ctx) {
   // Report methods whose sample frequency crossed the threshold to the
   // AOS, once each (in ascending method-id order). Under pseudo-adaptive

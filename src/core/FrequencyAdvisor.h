@@ -25,6 +25,7 @@
 #ifndef HPMVM_CORE_FREQUENCYADVISOR_H
 #define HPMVM_CORE_FREQUENCYADVISOR_H
 
+#include "core/OptimizationAction.h"
 #include "core/SampleConsumer.h"
 #include "heap/GcApi.h"
 #include "obs/Metrics.h"
@@ -40,8 +41,13 @@ class VirtualMachine;
 
 /// PlacementAdvisor driven by field *access* frequency (requires
 /// VmConfig::ProfileFieldAccess) and SampleConsumer reporting
-/// sample-frequent methods to the AOS.
-class FrequencyAdvisor : public PlacementAdvisor, public SampleConsumer {
+/// sample-frequent methods to the AOS. Also an OptimizationAction: the
+/// PolicyEngine's recompilation lever for compute-bound methods, reported
+/// to the AOS one method per apply. Recompilation is irreversible, so
+/// revert() is a no-op and the engine's blacklist alone prevents retries.
+class FrequencyAdvisor : public PlacementAdvisor,
+                         public SampleConsumer,
+                         public OptimizationAction {
 public:
   /// \p MinAccesses gates hotness, like the miss advisor's sample
   /// threshold (but on raw access counts, which are ~sampling-interval
@@ -75,6 +81,17 @@ public:
     return Id < MethodSamples.size() ? MethodSamples[Id] : 0;
   }
   uint64_t hotMethodsReported() const { return HotReported; }
+
+  // OptimizationAction: hot-recompilation for compute-bound methods (the
+  // miss-directed actions have nothing to fix there; frequency is exactly
+  // the right metric for "just make the code better").
+  ActionKind kind() const override { return ActionKind::HotRecompile; }
+  const char *actionName() const override { return "recompile"; }
+  double score(const MethodBottleneck &B) const override {
+    return B.Label == BottleneckLabel::ComputeBound ? B.SampleRate : 0.0;
+  }
+  bool apply(MethodId M) override;
+  void revert(MethodId) override {}
 
 private:
   void ensureMethod(MethodId Id) {

@@ -1,0 +1,118 @@
+//===-- core/OptimizationAction.h - Guarded action contract ----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common contract behind the policy engine's "different optimization
+/// step" menu (paper section 5.3: "either a different optimization step can
+/// be performed or it is possible to revert to the old code"). Each
+/// provider -- co-allocation, prefetch injection, hot-method recompilation
+/// -- scores its applicability to a classified bottleneck, applies itself
+/// to one method, and (where physically possible) reverts. The engine owns
+/// when to call each; providers own how.
+///
+/// Scores are deterministic functions of the classified window rates only,
+/// so the engine's choice (and therefore the DecisionJournal) is
+/// byte-identical across --jobs values. Ties are broken by action
+/// registration order, which the Experiment fixes as coalloc, prefetch,
+/// recompile -- removal of misses beats hiding them beats recompilation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_OPTIMIZATIONACTION_H
+#define HPMVM_CORE_OPTIMIZATIONACTION_H
+
+#include "support/Types.h"
+
+namespace hpmvm {
+
+/// The engine's action menu. Order is the deterministic tie-break rank
+/// (lower wins) and the blacklist key half.
+enum class ActionKind : uint8_t {
+  Coallocate,     ///< CoallocationAdvisor: move referents next to holders.
+  PrefetchInject, ///< PrefetchInjector: hide misses behind prefetches.
+  HotRecompile,   ///< FrequencyAdvisor: report the method hot to the AOS.
+};
+
+constexpr size_t kNumActionKinds = 3;
+
+inline const char *actionKindName(ActionKind K) {
+  switch (K) {
+  case ActionKind::Coallocate:
+    return "coalloc";
+  case ActionKind::PrefetchInject:
+    return "prefetch";
+  case ActionKind::HotRecompile:
+    return "recompile";
+  }
+  return "unknown";
+}
+
+/// What a hot method is bound on, per the classifier's taxonomy.
+enum class BottleneckLabel : uint8_t {
+  Unknown,        ///< Not yet classified (or demoted below the floor).
+  LatencyBound,   ///< L1D misses dominate; loads stall on latency.
+  BandwidthBound, ///< L2 misses dominate; traffic goes to memory.
+  TlbBound,       ///< DTLB misses dominate; page locality is the problem.
+  ComputeBound,   ///< Hot in samples but modest miss rates.
+};
+
+inline const char *bottleneckLabelName(BottleneckLabel L) {
+  switch (L) {
+  case BottleneckLabel::Unknown:
+    return "unknown";
+  case BottleneckLabel::LatencyBound:
+    return "latency_bound";
+  case BottleneckLabel::BandwidthBound:
+    return "bandwidth_bound";
+  case BottleneckLabel::TlbBound:
+    return "tlb_bound";
+  case BottleneckLabel::ComputeBound:
+    return "compute_bound";
+  }
+  return "unknown";
+}
+
+/// One classified hot method: the stable (hysteresis-filtered) label plus
+/// the per-window rates the label was derived from. The per-kind rates are
+/// estimated events per classification window (samples, duty-cycle
+/// corrected for multiplexing, times the kind's sampling interval);
+/// SampleRate is duty-corrected samples -- the frequency signal.
+struct MethodBottleneck {
+  MethodId Method = kInvalidId;
+  BottleneckLabel Label = BottleneckLabel::Unknown;
+  double L1Rate = 0.0;     ///< Estimated L1D misses this window.
+  double L2Rate = 0.0;     ///< Estimated L2 misses this window.
+  double TlbRate = 0.0;    ///< Estimated DTLB misses this window.
+  double SampleRate = 0.0; ///< Scaled samples this window (frequency).
+};
+
+/// A guarded optimization the PolicyEngine can apply per method.
+class OptimizationAction {
+public:
+  virtual ~OptimizationAction() = default;
+
+  virtual ActionKind kind() const = 0;
+  /// Journal name for this action ("coalloc", ...); a string literal.
+  virtual const char *actionName() const { return actionKindName(kind()); }
+
+  /// Expected benefit of applying this action to \p B, in comparable
+  /// scaled-samples units across actions. <= 0 means not applicable.
+  /// Must be pure: no side effects, no clock access.
+  virtual double score(const MethodBottleneck &B) const = 0;
+
+  /// Applies the action to \p Method. \returns false when nothing changed
+  /// (the engine records a noop and will not retry).
+  virtual bool apply(MethodId Method) = 0;
+
+  /// Rolls the action back for \p Method. Called only after a successful
+  /// apply(); providers whose effect is irreversible (recompilation)
+  /// implement this as a no-op -- the blacklist still prevents a retry.
+  virtual void revert(MethodId Method) = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_OPTIMIZATIONACTION_H

@@ -5,9 +5,6 @@
 #include "obs/Obs.h"
 #include "support/VirtualClock.h"
 
-#include <cassert>
-#include <numeric>
-
 using namespace hpmvm;
 
 void OptimizationController::attachObs(ObsContext &Obs,
@@ -21,83 +18,51 @@ void OptimizationController::attachObs(ObsContext &Obs,
 }
 
 OptimizationController::OptimizationController(const ControllerConfig &Config)
-    : Config(Config) {
-  assert(Config.BaselineWindow > 0 && Config.DecisionWindow > 0 &&
-         "windows must be non-empty");
-}
+    : Gate(Config) {}
 
 void OptimizationController::observePeriod(double Rate) {
-  if (Config.IgnoreZeroRatePeriods && Rate == 0.0)
+  switch (Gate.observe(Rate)) {
+  case RegressionGate::Verdict::None:
     return;
-  ++Observed;
-  switch (Current) {
-  case State::Monitoring:
-  case State::Accepted:
-  case State::Reverted: {
-    Window.push_back(Rate);
-    if (Window.size() > Config.BaselineWindow)
-      Window.erase(Window.begin());
-    Baseline = std::accumulate(Window.begin(), Window.end(), 0.0) /
-               static_cast<double>(Window.size());
+  case RegressionGate::Verdict::Reverted:
+    MReverts->inc();
+    if (Trace && Clock)
+      Trace->instant(Clock->now(), "controller.revert", "controller",
+                     "assessed_rate_x1000",
+                     static_cast<uint64_t>(Gate.assessed() * 1000.0));
+    if (Journal)
+      Journal->append({.Ts = Clock ? Clock->now() : 0,
+                       .Kind = DecisionKind::Revert,
+                       .Consumer = Subject,
+                       .Action = "assessment",
+                       .Outcome = "regression",
+                       .Rate = Gate.assessed(),
+                       .Baseline = Gate.decisionBaseline(),
+                       .Value = Gate.observed()});
+    if (Revert)
+      Revert();
     return;
-  }
-  case State::Warmup:
-    if (++Skipped >= Config.WarmupPeriods) {
-      Current = State::Assessing;
-      Window.clear();
-    }
+  case RegressionGate::Verdict::Accepted:
+    MAccepts->inc();
+    if (Trace && Clock)
+      Trace->instant(Clock->now(), "controller.accept", "controller",
+                     "assessed_rate_x1000",
+                     static_cast<uint64_t>(Gate.assessed() * 1000.0));
+    if (Journal)
+      Journal->append({.Ts = Clock ? Clock->now() : 0,
+                       .Kind = DecisionKind::Accept,
+                       .Consumer = Subject,
+                       .Action = "assessment",
+                       .Outcome = "no_regression",
+                       .Rate = Gate.assessed(),
+                       .Baseline = Gate.decisionBaseline(),
+                       .Value = Gate.observed()});
     return;
-  case State::Assessing: {
-    Window.push_back(Rate);
-    if (Window.size() < Config.DecisionWindow)
-      return;
-    Assessed = std::accumulate(Window.begin(), Window.end(), 0.0) /
-               static_cast<double>(Window.size());
-    BaselineAtDecision = Baseline;
-    if (Baseline > 0.0 && Assessed > Baseline * Config.RegressionFactor) {
-      Current = State::Reverted;
-      MReverts->inc();
-      if (Trace && Clock)
-        Trace->instant(Clock->now(), "controller.revert", "controller",
-                       "assessed_rate_x1000",
-                       static_cast<uint64_t>(Assessed * 1000.0));
-      if (Journal)
-        Journal->append({.Ts = Clock ? Clock->now() : 0,
-                         .Kind = DecisionKind::Revert,
-                         .Consumer = Subject,
-                         .Action = "assessment",
-                         .Outcome = "regression",
-                         .Rate = Assessed,
-                         .Baseline = BaselineAtDecision,
-                         .Value = Observed});
-      if (Revert)
-        Revert();
-    } else {
-      Current = State::Accepted;
-      MAccepts->inc();
-      if (Trace && Clock)
-        Trace->instant(Clock->now(), "controller.accept", "controller",
-                       "assessed_rate_x1000",
-                       static_cast<uint64_t>(Assessed * 1000.0));
-      if (Journal)
-        Journal->append({.Ts = Clock ? Clock->now() : 0,
-                         .Kind = DecisionKind::Accept,
-                         .Consumer = Subject,
-                         .Action = "assessment",
-                         .Outcome = "no_regression",
-                         .Rate = Assessed,
-                         .Baseline = BaselineAtDecision,
-                         .Value = Observed});
-    }
-    Window.clear();
-    return;
-  }
   }
 }
 
 void OptimizationController::notePolicyChange() {
-  Current = State::Warmup;
-  Skipped = 0;
+  Gate.noteChange();
   MPolicyChanges->inc();
   if (Trace && Clock)
     Trace->instant(Clock->now(), "controller.policy_change", "controller");
@@ -106,7 +71,6 @@ void OptimizationController::notePolicyChange() {
                      .Kind = DecisionKind::Assess,
                      .Consumer = Subject,
                      .Action = "policy_change",
-                     .Rate = Baseline,
-                     .Value = Observed});
-  // Baseline stays: it describes the pre-change behaviour.
+                     .Rate = Gate.baseline(),
+                     .Value = Gate.observed()});
 }

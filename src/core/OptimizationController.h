@@ -27,12 +27,12 @@
 #ifndef HPMVM_CORE_OPTIMIZATIONCONTROLLER_H
 #define HPMVM_CORE_OPTIMIZATIONCONTROLLER_H
 
+#include "core/RegressionGate.h"
 #include "obs/Metrics.h"
 #include "support/Types.h"
 
 #include <cstddef>
 #include <functional>
-#include <vector>
 
 namespace hpmvm {
 
@@ -41,31 +41,16 @@ class ObsContext;
 class TraceBuffer;
 class VirtualClock;
 
-/// Controller policy.
-struct ControllerConfig {
-  size_t BaselineWindow = 4;  ///< Periods averaged for the baseline.
-  size_t DecisionWindow = 4;  ///< Periods observed after a change.
-  /// Revert when post-change mean rate > baseline * this factor.
-  double RegressionFactor = 1.3;
-  /// Ignore this many periods right after the change (placement effects
-  /// only appear once the GC has promoted objects under the new policy).
-  size_t WarmupPeriods = 1;
-  /// Skip periods with a zero rate entirely (program phases with no
-  /// activity on the monitored class carry no information; deciding on
-  /// them would compare lulls against load).
-  bool IgnoreZeroRatePeriods = false;
-};
+/// Controller policy: historically defined here, now shared with the
+/// PolicyEngine's per-(method, action) gates as GateConfig.
+using ControllerConfig = GateConfig;
 
-/// Assesses one optimization decision via measured event rates.
+/// Assesses one optimization decision via measured event rates. A thin obs
+/// wrapper over RegressionGate: the gate decides, the controller journals,
+/// counts, traces, and fires the revert action.
 class OptimizationController {
 public:
-  enum class State : uint8_t {
-    Monitoring, ///< Maintaining the baseline.
-    Warmup,     ///< Change applied; skipping warm-up periods.
-    Assessing,  ///< Collecting the decision window.
-    Reverted,   ///< Regression detected; revert action fired.
-    Accepted,   ///< Change kept (no regression).
-  };
+  using State = RegressionGate::State;
 
   explicit OptimizationController(const ControllerConfig &Config = {});
 
@@ -90,23 +75,16 @@ public:
     Revert = std::move(Fn);
   }
 
-  State state() const { return Current; }
-  double baselineRate() const { return Baseline; }
-  double assessedRate() const { return Assessed; }
+  State state() const { return Gate.state(); }
+  double baselineRate() const { return Gate.baseline(); }
+  double assessedRate() const { return Gate.assessed(); }
   /// The baseline as it stood when the last verdict was reached (the
   /// running baseline keeps moving afterwards).
-  double decisionBaseline() const { return BaselineAtDecision; }
-  size_t periodsObserved() const { return Observed; }
+  double decisionBaseline() const { return Gate.decisionBaseline(); }
+  size_t periodsObserved() const { return Gate.observed(); }
 
 private:
-  ControllerConfig Config;
-  State Current = State::Monitoring;
-  std::vector<double> Window;
-  double Baseline = 0.0;
-  double Assessed = 0.0;
-  double BaselineAtDecision = 0.0;
-  size_t Observed = 0;
-  size_t Skipped = 0;
+  RegressionGate Gate;
   std::function<void()> Revert;
   Counter *MPolicyChanges = &Counter::sink();
   Counter *MReverts = &Counter::sink();

@@ -1,0 +1,197 @@
+//===-- core/PolicyEngine.cpp ---------------------------------------------===//
+
+#include "core/PolicyEngine.h"
+
+#include "obs/Obs.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+PolicyEngine::PolicyEngine(BottleneckClassifier &Classifier,
+                           const PolicyEngineConfig &Config)
+    : Config(Config), Classifier(Classifier) {}
+
+void PolicyEngine::attachObs(ObsContext &Obs) {
+  MApplies = &Obs.metrics().counter("policy.applies");
+  MNoops = &Obs.metrics().counter("policy.noops");
+  MAccepts = &Obs.metrics().counter("policy.accepts");
+  MReverts = &Obs.metrics().counter("policy.reverts");
+  MBlacklists = &Obs.metrics().counter("policy.blacklists");
+  Journal = &Obs.journal();
+}
+
+PolicyEngine::MethodState &PolicyEngine::stateFor(MethodId M) {
+  if (M >= States.size())
+    States.resize(M + 1);
+  return States[M];
+}
+
+void PolicyEngine::onPeriod(const PeriodContext &Ctx) {
+  if (!Classifier.windowClosed())
+    return;
+
+  // 1. Feed every tracked method's fresh window rate into its gate; the
+  //    pre-change windows build the baseline, the post-change windows fill
+  //    the decision window. MethodId-ascending order keeps the journal
+  //    deterministic.
+  for (MethodId M = 0; M < States.size(); ++M) {
+    MethodState &St = States[M];
+    if (!St.Tracked)
+      continue;
+    bool WasBusy = St.Gate.busy();
+    RegressionGate::Verdict V = St.Gate.observe(Classifier.windowRate(M));
+    if (V != RegressionGate::Verdict::None) {
+      assert(St.Pending && "verdict without a pending action");
+      handleVerdict(M, St, V, Ctx.Now);
+    }
+    if (WasBusy && !St.Gate.busy())
+      --BusyGates;
+  }
+
+  // 2. Consider a new action for each classified hot method with no
+  //    assessment in flight.
+  for (const MethodBottleneck &B : Classifier.hotMethods()) {
+    MethodState &St = stateFor(B.Method);
+    if (!St.Tracked) {
+      // First sighting: start the gate on this window's rate so the
+      // baseline exists before any action is considered.
+      St.Tracked = true;
+      St.Gate = RegressionGate(Config.Gate);
+      St.Gate.observe(Classifier.windowRate(B.Method));
+      continue;
+    }
+    if (St.Done || St.Gate.busy() || B.Label == BottleneckLabel::Unknown)
+      continue;
+    if (St.Gate.observed() < Config.MinBaselineWindows)
+      continue;
+    if (BusyGates >= Config.MaxConcurrentAssessments)
+      continue;
+    considerMethod(B, St, Ctx.Now);
+  }
+}
+
+void PolicyEngine::considerMethod(const MethodBottleneck &B, MethodState &St,
+                                  Cycles Now) {
+  // Score every action still on the table, in registration order.
+  struct Candidate {
+    OptimizationAction *A;
+    double Score;
+  };
+  std::vector<Candidate> Cands;
+  for (OptimizationAction *A : Actions) {
+    if (St.AttemptedMask & bit(A->kind()))
+      continue;
+    double S = A->score(B);
+    if (S > 0.0)
+      Cands.push_back({A, S});
+  }
+  if (Cands.empty())
+    return;
+
+  // Strictly-greater comparison: on a tie the earlier-registered action
+  // wins, making the pick deterministic and documented.
+  size_t Best = 0;
+  for (size_t I = 1; I < Cands.size(); ++I)
+    if (Cands[I].Score > Cands[Best].Score)
+      Best = I;
+
+  if (Journal)
+    for (size_t I = 0; I < Cands.size(); ++I)
+      Journal->append({.Ts = Now,
+                       .Kind = DecisionKind::Score,
+                       .Consumer = "policy",
+                       .Action = Cands[I].A->actionName(),
+                       .Outcome = I == Best ? "chosen" : "ranked",
+                       .Method = B.Method,
+                       .Rate = Cands[I].Score,
+                       .Value = Classifier.windowsCompleted()});
+
+  // Apply the winner; a noop apply (nothing to rewrite, method already
+  // reported, ...) is recorded, never retried, and falls through to the
+  // next-best candidate in the same window.
+  for (size_t Round = 0; Round < Cands.size(); ++Round) {
+    OptimizationAction *A = Cands[Best].A;
+    bool Applied = A->apply(B.Method);
+    St.AttemptedMask |= bit(A->kind());
+    if (Applied) {
+      ++NApplies;
+      MApplies->inc();
+    } else {
+      MNoops->inc();
+    }
+    if (Journal)
+      Journal->append({.Ts = Now,
+                       .Kind = DecisionKind::Apply,
+                       .Consumer = "policy",
+                       .Action = A->actionName(),
+                       .Outcome = Applied ? "applied" : "noop",
+                       .Method = B.Method,
+                       .Rate = Cands[Best].Score,
+                       .Baseline = St.Gate.baseline(),
+                       .Value = Classifier.windowsCompleted()});
+    if (Applied) {
+      St.Gate.noteChange();
+      St.Pending = A;
+      ++BusyGates;
+      return;
+    }
+    // Pick the next-best not-yet-attempted candidate.
+    size_t Next = Cands.size();
+    for (size_t I = 0; I < Cands.size(); ++I) {
+      if (St.AttemptedMask & bit(Cands[I].A->kind()))
+        continue;
+      if (Next == Cands.size() || Cands[I].Score > Cands[Next].Score)
+        Next = I;
+    }
+    if (Next == Cands.size())
+      return;
+    Best = Next;
+  }
+}
+
+void PolicyEngine::handleVerdict(MethodId M, MethodState &St,
+                                 RegressionGate::Verdict V, Cycles Now) {
+  OptimizationAction *A = St.Pending;
+  St.Pending = nullptr;
+  if (V == RegressionGate::Verdict::Accepted) {
+    ++NAccepts;
+    MAccepts->inc();
+    St.Done = true;
+    if (Journal)
+      Journal->append({.Ts = Now,
+                       .Kind = DecisionKind::Accept,
+                       .Consumer = "policy",
+                       .Action = A->actionName(),
+                       .Outcome = "no_regression",
+                       .Method = M,
+                       .Rate = St.Gate.assessed(),
+                       .Baseline = St.Gate.decisionBaseline(),
+                       .Value = Classifier.windowsCompleted()});
+    return;
+  }
+  ++NReverts;
+  MReverts->inc();
+  if (Journal)
+    Journal->append({.Ts = Now,
+                     .Kind = DecisionKind::Revert,
+                     .Consumer = "policy",
+                     .Action = A->actionName(),
+                     .Outcome = "regression",
+                     .Method = M,
+                     .Rate = St.Gate.assessed(),
+                     .Baseline = St.Gate.decisionBaseline(),
+                     .Value = Classifier.windowsCompleted()});
+  A->revert(M);
+  St.BlacklistMask |= bit(A->kind());
+  ++NBlacklists;
+  MBlacklists->inc();
+  if (Journal)
+    Journal->append({.Ts = Now,
+                     .Kind = DecisionKind::Blacklist,
+                     .Consumer = "policy",
+                     .Action = A->actionName(),
+                     .Outcome = "blacklisted",
+                     .Method = M,
+                     .Value = Classifier.windowsCompleted()});
+}

@@ -1,0 +1,155 @@
+//===-- core/PolicyEngine.h - Guarded optimization policy engine -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "classify -> optimize only when empirically verified" half of the
+/// roadmap's policy loop, generalizing the paper's one-shot coalloc-specific
+/// assess-and-revert (section 5.3) to a menu of actions. At every
+/// classification window boundary the engine:
+///
+///   1. feeds each tracked method's window sample rate into that method's
+///      RegressionGate and handles verdicts: Accept keeps the action and
+///      retires the method; Revert rolls the action back and blacklists the
+///      (method, action) pair forever;
+///   2. for each stably-classified hot method with no assessment in
+///      flight, scores every non-blacklisted, not-yet-attempted action
+///      against the method's bottleneck, applies the best-scoring one
+///      (ties break by registration order: coalloc, prefetch, recompile),
+///      and arms the gate.
+///
+/// Every step lands in the DecisionJournal -- Classify (by the classifier),
+/// Score, Apply, Accept/Revert, Blacklist -- so `hpmvm_report` can render
+/// the full causal chain record by record. All decisions are pure functions
+/// of the deterministic sample stream, so policy-mode journals are
+/// byte-identical across --jobs values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_POLICYENGINE_H
+#define HPMVM_CORE_POLICYENGINE_H
+
+#include "core/BottleneckClassifier.h"
+#include "core/OptimizationAction.h"
+#include "core/RegressionGate.h"
+#include "core/SampleConsumer.h"
+#include "obs/Metrics.h"
+#include "support/Types.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+class DecisionJournal;
+class ObsContext;
+
+/// Engine policy knobs. Carries the classifier's config too, so
+/// RunConfig::Policy is one self-contained block.
+struct PolicyEngineConfig {
+  ClassifierConfig Classifier;
+  /// Per-method regression gate, in units of classification windows (not
+  /// raw periods: under multiplexing a single period sees one event kind,
+  /// so per-period rates oscillate with the rotation). Zero-rate windows
+  /// are skipped -- an idle method carries no verdict information.
+  /// Windows are short-run friendly: 2 baseline + 1 warmup + 2 decision
+  /// windows resolve a verdict within the benches' ~20 measurement
+  /// periods at the default 3-period window. The regression factor is
+  /// tighter than the legacy controller's 1.3 because it compares
+  /// window *means* (already smoothed over WindowPeriods periods), not
+  /// single-period rates: a genuine pessimization only has to clear 5%.
+  GateConfig Gate = {.BaselineWindow = 2,
+                     .DecisionWindow = 2,
+                     .RegressionFactor = 1.05,
+                     .WarmupPeriods = 1,
+                     .IgnoreZeroRatePeriods = true};
+  /// Windows a method must have been observed before its first action
+  /// (a one-window baseline would make verdicts noise).
+  size_t MinBaselineWindows = 2;
+  /// Cap on simultaneously assessing methods; further candidates wait for
+  /// a verdict. Keeps concurrent changes from confounding each other's
+  /// gates.
+  size_t MaxConcurrentAssessments = 4;
+};
+
+/// Drives OptimizationActions from BottleneckClassifier labels, guarded by
+/// per-method regression gates with a per-(method, action) blacklist.
+class PolicyEngine : public SampleConsumer {
+public:
+  /// \p Classifier must be registered on the pipeline *before* the engine,
+  /// so the engine's onPeriod sees the freshly closed window.
+  PolicyEngine(BottleneckClassifier &Classifier,
+               const PolicyEngineConfig &Config = {});
+
+  /// Registers an action provider (not owned). Registration order is the
+  /// deterministic score tie-break, best first.
+  void addAction(OptimizationAction &A) { Actions.push_back(&A); }
+
+  // SampleConsumer: period-driven only; the classifier already aggregates
+  // the samples.
+  const char *name() const override { return "policy"; }
+  bool wantsKind(HpmEventKind) const override { return false; }
+  void onSample(const AttributedSample &) override {}
+  void onPeriod(const PeriodContext &Ctx) override;
+
+  /// Registers policy.applies / noops / accepts / reverts / blacklists and
+  /// journals Score/Apply/Accept/Revert/Blacklist decisions.
+  void attachObs(ObsContext &Obs) override;
+
+  /// True when \p M 's \p K was reverted and must never be retried.
+  bool blacklisted(MethodId M, ActionKind K) const {
+    return M < States.size() &&
+           (States[M].BlacklistMask & (1u << static_cast<unsigned>(K)));
+  }
+  /// True when an accepted action retired \p M from further optimization.
+  bool accepted(MethodId M) const {
+    return M < States.size() && States[M].Done;
+  }
+
+  uint64_t applies() const { return NApplies; }
+  uint64_t accepts() const { return NAccepts; }
+  uint64_t reverts() const { return NReverts; }
+  uint64_t blacklists() const { return NBlacklists; }
+
+  const PolicyEngineConfig &config() const { return Config; }
+
+private:
+  struct MethodState {
+    RegressionGate Gate;
+    OptimizationAction *Pending = nullptr; ///< Action under assessment.
+    bool Tracked = false;
+    bool Done = false;        ///< An action was accepted; method retired.
+    uint8_t AttemptedMask = 0; ///< Applied or noop'd; never re-attempted.
+    uint8_t BlacklistMask = 0; ///< Reverted; never retried.
+  };
+
+  static uint8_t bit(ActionKind K) {
+    return static_cast<uint8_t>(1u << static_cast<unsigned>(K));
+  }
+  MethodState &stateFor(MethodId M);
+  void handleVerdict(MethodId M, MethodState &St, RegressionGate::Verdict V,
+                     Cycles Now);
+  void considerMethod(const MethodBottleneck &B, MethodState &St,
+                      Cycles Now);
+
+  PolicyEngineConfig Config;
+  BottleneckClassifier &Classifier;
+  std::vector<OptimizationAction *> Actions;
+  std::vector<MethodState> States;
+  size_t BusyGates = 0;
+  uint64_t NApplies = 0;
+  uint64_t NAccepts = 0;
+  uint64_t NReverts = 0;
+  uint64_t NBlacklists = 0;
+  Counter *MApplies = &Counter::sink();
+  Counter *MNoops = &Counter::sink();
+  Counter *MAccepts = &Counter::sink();
+  Counter *MReverts = &Counter::sink();
+  Counter *MBlacklists = &Counter::sink();
+  DecisionJournal *Journal = nullptr;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_POLICYENGINE_H

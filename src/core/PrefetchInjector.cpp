@@ -70,6 +70,33 @@ MachineFunction rewriteWithPrefetches(const MachineFunction &F,
   return Out;
 }
 
+/// Reference fields of \p Vm with at least \p MinMisses sampled misses.
+std::set<FieldId> hotRefFields(const VirtualMachine &Vm,
+                               const FieldMissTable &Table,
+                               uint64_t MinMisses) {
+  std::set<FieldId> HotFields;
+  const ClassRegistry &Classes = Vm.classes();
+  for (size_t F = 0; F != Classes.numFields(); ++F)
+    if (Classes.field(static_cast<FieldId>(F)).IsRef &&
+        Table.misses(static_cast<FieldId>(F)) >= MinMisses)
+      HotFields.insert(static_cast<FieldId>(F));
+  return HotFields;
+}
+
+/// Idempotence check: true when \p F has a hot load not already followed
+/// by a Prefetch (a previous pass handled the rest).
+bool needsPrefetchWork(const MachineFunction &F,
+                       const std::set<FieldId> &HotFields) {
+  for (size_t I = 0; I != F.Insts.size(); ++I) {
+    const MachineInst &MI = F.Insts[I];
+    if (MI.Op == MOp::LoadField && MI.DstIsRef &&
+        HotFields.count(static_cast<FieldId>(MI.Imm)) &&
+        (I + 1 == F.Insts.size() || F.Insts[I + 1].Op != MOp::Prefetch))
+      return true;
+  }
+  return false;
+}
+
 } // namespace
 
 PrefetchInjectionStats PrefetchInjector::injectHotPrefetches(
@@ -77,12 +104,7 @@ PrefetchInjectionStats PrefetchInjector::injectHotPrefetches(
     std::vector<std::pair<MethodId, MachineFunction>> *SavedOriginals) {
   PrefetchInjectionStats Stats;
 
-  std::set<FieldId> HotFields;
-  const ClassRegistry &Classes = Vm.classes();
-  for (size_t F = 0; F != Classes.numFields(); ++F)
-    if (Classes.field(static_cast<FieldId>(F)).IsRef &&
-        Table.misses(static_cast<FieldId>(F)) >= MinMisses)
-      HotFields.insert(static_cast<FieldId>(F));
+  std::set<FieldId> HotFields = hotRefFields(Vm, Table, MinMisses);
   if (HotFields.empty())
     return Stats;
 
@@ -92,20 +114,7 @@ PrefetchInjectionStats PrefetchInjector::injectHotPrefetches(
       continue;
     Method &M = Vm.method(ConstM.Id);
     const MachineFunction &F = Vm.compiledCode(M.OptIndex);
-    // Idempotence: skip bodies that already prefetch every current hot
-    // load (a previous pass handled them).
-    bool NeedsWork = false;
-    for (size_t I = 0; I != F.Insts.size(); ++I) {
-      const MachineInst &MI = F.Insts[I];
-      if (MI.Op == MOp::LoadField && MI.DstIsRef &&
-          HotFields.count(static_cast<FieldId>(MI.Imm)) &&
-          (I + 1 == F.Insts.size() ||
-           F.Insts[I + 1].Op != MOp::Prefetch)) {
-        NeedsWork = true;
-        break;
-      }
-    }
-    if (!NeedsWork)
+    if (!needsPrefetchWork(F, HotFields))
       continue;
 
     uint32_t Inserted = 0;
@@ -165,6 +174,60 @@ void PrefetchInjector::onPeriod(const PeriodContext &Ctx) {
                        .Value = S.PrefetchesInserted});
   if (Controller && S.MethodsRewritten)
     Controller->notePolicyChange();
+}
+
+bool PrefetchInjector::apply(MethodId MId) {
+  const FieldMissTable &Src = MissSource ? *MissSource : Table;
+  std::set<FieldId> HotFields = hotRefFields(Vm, Src, Config.MinMisses);
+  if (HotFields.empty())
+    return false;
+  Method &M = Vm.method(MId);
+  if (!M.isOptCompiled() || M.IsVmInternal)
+    return false;
+  const MachineFunction &F = Vm.compiledCode(M.OptIndex);
+  if (!needsPrefetchWork(F, HotFields))
+    return false;
+  uint32_t Inserted = 0;
+  MachineFunction NewF = rewriteWithPrefetches(F, HotFields, Inserted);
+  if (Inserted == 0)
+    return false;
+  SavedOriginals.emplace_back(MId, F);
+  Vm.installCompiledCode(M, std::move(NewF));
+  ++Total.MethodsRewritten;
+  Total.PrefetchesInserted += Inserted;
+  MRewritten->inc();
+  MInserted->inc(Inserted);
+  if (Journal)
+    Journal->append({.Ts = Vm.clock().now(),
+                     .Kind = DecisionKind::PrefetchInject,
+                     .Consumer = "prefetch",
+                     .Action = "rewrite_method",
+                     .Outcome = "applied",
+                     .Method = MId,
+                     .Rate = static_cast<double>(Src.totalMisses()),
+                     .Value = Inserted});
+  return true;
+}
+
+void PrefetchInjector::revert(MethodId MId) {
+  // Reinstall just this method's saved original (the per-method
+  // counterpart of the consumer-mode wholesale revert() below).
+  for (auto It = SavedOriginals.begin(); It != SavedOriginals.end(); ++It) {
+    if (It->first != MId)
+      continue;
+    MReverts->inc();
+    if (Journal)
+      Journal->append({.Ts = Vm.clock().now(),
+                       .Kind = DecisionKind::Revert,
+                       .Consumer = "prefetch",
+                       .Action = "reinstall_original",
+                       .Outcome = "reverted",
+                       .Method = MId,
+                       .Value = 1});
+    Vm.installCompiledCode(Vm.method(MId), std::move(It->second));
+    SavedOriginals.erase(It);
+    return;
+  }
 }
 
 void PrefetchInjector::revert() {

@@ -30,6 +30,7 @@
 #define HPMVM_CORE_PREFETCHINJECTOR_H
 
 #include "core/FieldMissTable.h"
+#include "core/OptimizationAction.h"
 #include "core/SampleConsumer.h"
 #include "obs/Metrics.h"
 #include "support/Types.h"
@@ -60,8 +61,11 @@ struct PrefetchInjectorConfig {
   uint64_t MinMisses = 4;
 };
 
-/// Rewrites compiled code to prefetch hot fields' referents.
-class PrefetchInjector : public SampleConsumer {
+/// Rewrites compiled code to prefetch hot fields' referents. Also an
+/// OptimizationAction: under the PolicyEngine a single method is rewritten
+/// per apply (against the monitor's shared miss table, see
+/// setMissSource) and individually revertible.
+class PrefetchInjector : public SampleConsumer, public OptimizationAction {
 public:
   PrefetchInjector(VirtualMachine &Vm,
                    const PrefetchInjectorConfig &Config = {});
@@ -112,12 +116,42 @@ public:
   /// The consumer's private miss profile.
   const FieldMissTable &missProfile() const { return Table; }
 
+  /// Miss table the per-method action path reads hot fields from (the
+  /// monitor's shared table, in policy-engine mode). Defaults to the
+  /// consumer's private profile.
+  void setMissSource(const FieldMissTable *T) { MissSource = T; }
+
+  // OptimizationAction: per-method injection, guarded by the engine.
+  ActionKind kind() const override { return ActionKind::PrefetchInject; }
+  const char *actionName() const override { return "prefetch"; }
+  double score(const MethodBottleneck &B) const override {
+    switch (B.Label) {
+    case BottleneckLabel::LatencyBound:
+      // Deliberately ties coalloc's latency score; the engine's
+      // registration-order tie-break prefers removing misses over hiding
+      // them, so prefetching is the fallback once coalloc is blacklisted.
+      return 2.0 * B.L1Rate;
+    case BottleneckLabel::BandwidthBound:
+      // "Software prefetching must be used consciously": under bandwidth
+      // pressure extra fetches compete for the same memory pipe.
+      return 0.5 * B.L2Rate;
+    case BottleneckLabel::Unknown:
+    case BottleneckLabel::TlbBound:
+    case BottleneckLabel::ComputeBound:
+      return 0.0;
+    }
+    return 0.0;
+  }
+  bool apply(MethodId M) override;
+  void revert(MethodId M) override;
+
 private:
   void revert();
 
   VirtualMachine &Vm;
   PrefetchInjectorConfig Config;
   FieldMissTable Table; ///< Private profile; not shared with the monitor.
+  const FieldMissTable *MissSource = nullptr; ///< Action-path hot fields.
   OptimizationController *Controller = nullptr;
   std::vector<std::pair<MethodId, MachineFunction>> SavedOriginals;
   PrefetchInjectionStats Total;

@@ -1,0 +1,47 @@
+//===-- core/RegressionGate.cpp -------------------------------------------===//
+
+#include "core/RegressionGate.h"
+
+#include <numeric>
+
+using namespace hpmvm;
+
+RegressionGate::Verdict RegressionGate::observe(double Rate) {
+  if (Config.IgnoreZeroRatePeriods && Rate == 0.0)
+    return Verdict::None;
+  ++Observed;
+  switch (Current) {
+  case State::Monitoring:
+  case State::Accepted:
+  case State::Reverted: {
+    Window.push_back(Rate);
+    if (Window.size() > Config.BaselineWindow)
+      Window.erase(Window.begin());
+    Baseline = std::accumulate(Window.begin(), Window.end(), 0.0) /
+               static_cast<double>(Window.size());
+    return Verdict::None;
+  }
+  case State::Warmup:
+    if (++Skipped >= Config.WarmupPeriods) {
+      Current = State::Assessing;
+      Window.clear();
+    }
+    return Verdict::None;
+  case State::Assessing: {
+    Window.push_back(Rate);
+    if (Window.size() < Config.DecisionWindow)
+      return Verdict::None;
+    Assessed = std::accumulate(Window.begin(), Window.end(), 0.0) /
+               static_cast<double>(Window.size());
+    BaselineAtDecision = Baseline;
+    Window.clear();
+    if (Baseline > 0.0 && Assessed > Baseline * Config.RegressionFactor) {
+      Current = State::Reverted;
+      return Verdict::Reverted;
+    }
+    Current = State::Accepted;
+    return Verdict::Accepted;
+  }
+  }
+  return Verdict::None;
+}

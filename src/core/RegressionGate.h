@@ -1,0 +1,106 @@
+//===-- core/RegressionGate.h - Reusable assess-and-revert gate -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pure state machine behind the paper's assess-and-revert loop,
+/// extracted from OptimizationController so the PolicyEngine can run one
+/// gate per guarded (method, action) pair. The gate maintains a sliding
+/// baseline of the observed rate; after noteChange() it skips a warm-up,
+/// collects a decision window, and delivers a Reverted or Accepted verdict
+/// by comparing the post-change mean against baseline * RegressionFactor.
+///
+/// The gate is observation-only: it fires no actions and writes no journal
+/// records. OptimizationController wraps one gate and adds the obs plumbing
+/// (metrics, trace instants, journal records, the revert callback);
+/// PolicyEngine does the same for a whole fleet of gates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_CORE_REGRESSIONGATE_H
+#define HPMVM_CORE_REGRESSIONGATE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hpmvm {
+
+/// Gate policy. (OptimizationController aliases this as ControllerConfig;
+/// the fields predate the extraction.)
+struct GateConfig {
+  size_t BaselineWindow = 4;  ///< Periods averaged for the baseline.
+  size_t DecisionWindow = 4;  ///< Periods observed after a change.
+  /// Revert when post-change mean rate > baseline * this factor.
+  double RegressionFactor = 1.3;
+  /// Ignore this many periods right after the change (placement effects
+  /// only appear once the GC has promoted objects under the new policy).
+  size_t WarmupPeriods = 1;
+  /// Skip periods with a zero rate entirely (program phases with no
+  /// activity on the monitored class carry no information; deciding on
+  /// them would compare lulls against load).
+  bool IgnoreZeroRatePeriods = false;
+};
+
+/// Tracks one guarded change from baseline through verdict.
+class RegressionGate {
+public:
+  enum class State : uint8_t {
+    Monitoring, ///< Maintaining the baseline.
+    Warmup,     ///< Change applied; skipping warm-up periods.
+    Assessing,  ///< Collecting the decision window.
+    Reverted,   ///< Regression detected.
+    Accepted,   ///< Change kept (no regression).
+  };
+
+  /// What observe() concluded this period (None until a decision window
+  /// fills).
+  enum class Verdict : uint8_t { None, Reverted, Accepted };
+
+  explicit RegressionGate(const GateConfig &Config = {}) : Config(Config) {
+    assert(Config.BaselineWindow > 0 && Config.DecisionWindow > 0 &&
+           "windows must be non-empty");
+  }
+
+  /// Feeds one measurement period's event rate (events per period or per
+  /// second -- any consistent unit). \returns the verdict reached this
+  /// period, if any.
+  Verdict observe(double Rate);
+
+  /// Declares that a policy change was just applied; assessment starts.
+  /// The baseline stays: it describes the pre-change behaviour.
+  void noteChange() {
+    Current = State::Warmup;
+    Skipped = 0;
+  }
+
+  State state() const { return Current; }
+  double baseline() const { return Baseline; }
+  double assessed() const { return Assessed; }
+  /// The baseline as it stood when the last verdict was reached (the
+  /// running baseline keeps moving afterwards).
+  double decisionBaseline() const { return BaselineAtDecision; }
+  size_t observed() const { return Observed; }
+  /// True while a change is under warm-up or assessment (a second change
+  /// fed into such a gate would muddy the verdict).
+  bool busy() const {
+    return Current == State::Warmup || Current == State::Assessing;
+  }
+
+private:
+  GateConfig Config;
+  State Current = State::Monitoring;
+  std::vector<double> Window;
+  double Baseline = 0.0;
+  double Assessed = 0.0;
+  double BaselineAtDecision = 0.0;
+  size_t Observed = 0;
+  size_t Skipped = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_CORE_REGRESSIONGATE_H

@@ -19,6 +19,13 @@ Experiment::Experiment(const RunConfig &Config)
   }
   assert((!Config.Coallocation || Config.Monitoring) &&
          "co-allocation needs the monitoring system's miss data");
+  assert((!Config.PolicyEngine || Config.Monitoring) &&
+         "the policy engine needs the monitoring system");
+  assert((!Config.PolicyEngine ||
+          (!Config.Coallocation && !Config.PrefetchConsumer &&
+           !Config.FrequencyConsumer)) &&
+         "policy-engine mode owns the decision layer; the autonomous "
+         "consumer flags must stay off");
 
   HeapBytes = Config.HeapBytesOverride
                   ? Config.HeapBytesOverride
@@ -49,7 +56,13 @@ Experiment::Experiment(const RunConfig &Config)
     Vm->aos().applyCompilationPlan(Prog.CompilationPlan);
 
   if (Config.Monitoring) {
-    Monitor = std::make_unique<HpmMonitor>(*Vm, Config.Monitor);
+    // Classification needs every event kind flowing; default a three-kind
+    // multiplexer rotation in policy mode unless the caller chose one.
+    if (Config.PolicyEngine && Config.Monitor.Events.size() < 2)
+      this->Config.Monitor.Events = {{HpmEventKind::L1DMiss, 5000},
+                                     {HpmEventKind::L2Miss, 1000},
+                                     {HpmEventKind::DtlbMiss, 500}};
+    Monitor = std::make_unique<HpmMonitor>(*Vm, this->Config.Monitor);
     Monitor->attach();
     Monitor->advisor().setEnabled(Config.Coallocation);
     if (Config.PhaseConsumer) {
@@ -72,6 +85,34 @@ Experiment::Experiment(const RunConfig &Config)
       Freq->setHotMethodSamples(Config.FrequencyHotSamples);
       Monitor->addConsumer(*Freq);
     }
+    if (Config.PolicyEngine) {
+      // The classifier compares event kinds, so it needs each kind's
+      // events-per-sample weight -- the mux slot's sampling interval.
+      for (const MultiplexerConfig::Slot &S : this->Config.Monitor.Events)
+        this->Config.Policy.Classifier
+            .KindWeight[static_cast<size_t>(S.Kind)] =
+            static_cast<double>(S.Interval);
+      // Classifier before engine: pipeline onPeriod runs in registration
+      // order, so the engine always reads the freshly closed window.
+      Classifier = std::make_unique<BottleneckClassifier>(
+          this->Config.Policy.Classifier);
+      Monitor->addConsumer(*Classifier);
+      Engine = std::make_unique<class PolicyEngine>(*Classifier,
+                                                    Config.Policy);
+      // Action providers: not pipeline consumers here -- the engine alone
+      // decides when they act. The advisor starts disabled (the engine's
+      // coalloc action enables it); the injector reads hot fields from
+      // the monitor's shared miss table. Registration order is the score
+      // tie-break: coalloc, prefetch, recompile.
+      Prefetcher = std::make_unique<PrefetchInjector>(*Vm, Config.Prefetch);
+      Prefetcher->setMissSource(&Monitor->missTable());
+      Freq = std::make_unique<FrequencyAdvisor>(*Vm);
+      Freq->setHotMethodSamples(Config.FrequencyHotSamples);
+      Engine->addAction(Monitor->advisor());
+      Engine->addAction(*Prefetcher);
+      Engine->addAction(*Freq);
+      Monitor->addConsumer(*Engine);
+    }
   } else {
     assert(!Config.PhaseConsumer && !Config.PrefetchConsumer &&
            !Config.FrequencyConsumer &&
@@ -87,6 +128,12 @@ Experiment::Experiment(const RunConfig &Config)
     Monitor->attachObs(Obs);
   if (PrefetchCtl)
     PrefetchCtl->attachObs(Obs, &Vm->clock());
+  if (Config.PolicyEngine) {
+    // The policy-mode action providers are not pipeline consumers, so the
+    // pipeline does not wire their telemetry; do it here.
+    Prefetcher->attachObs(Obs);
+    Freq->attachObs(Obs);
+  }
 }
 
 Experiment::~Experiment() = default;

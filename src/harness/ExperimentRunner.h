@@ -22,10 +22,12 @@
 #ifndef HPMVM_HARNESS_EXPERIMENTRUNNER_H
 #define HPMVM_HARNESS_EXPERIMENTRUNNER_H
 
+#include "core/BottleneckClassifier.h"
 #include "core/FrequencyAdvisor.h"
 #include "core/HpmMonitor.h"
 #include "core/OptimizationController.h"
 #include "core/PhaseDetector.h"
+#include "core/PolicyEngine.h"
 #include "core/PrefetchInjector.h"
 #include "gc/GenCopyPlan.h"
 #include "gc/GenMSPlan.h"
@@ -80,6 +82,15 @@ struct RunConfig {
   /// Sample threshold for the frequency consumer's AOS hot-method
   /// reports.
   uint64_t FrequencyHotSamples = 16;
+  /// Policy-engine mode (requires Monitoring; mutually exclusive with the
+  /// autonomous Prefetch/Frequency consumers and the always-on
+  /// Coallocation flag): a BottleneckClassifier labels hot methods and a
+  /// PolicyEngine drives coalloc / prefetch / recompile as guarded,
+  /// revertible, blacklistable actions. When Monitor.Events is left empty
+  /// a default three-kind multiplexer rotation is installed, since
+  /// classification needs all event kinds.
+  bool PolicyEngine = false;
+  PolicyEngineConfig Policy;
   /// Telemetry: export paths, log level, trace capacity. Fields left at
   /// their defaults inherit the process-wide config set by the
   /// --metrics-out/--trace-out/--log-level flags (see obs/Obs.h).
@@ -128,6 +139,8 @@ public:
   PrefetchInjector *prefetchInjector() { return Prefetcher.get(); }
   FrequencyAdvisor *frequencyAdvisor() { return Freq.get(); }
   OptimizationController *prefetchController() { return PrefetchCtl.get(); }
+  BottleneckClassifier *bottleneckClassifier() { return Classifier.get(); }
+  PolicyEngine *policyEngine() { return Engine.get(); }
   const WorkloadProgram &program() const { return Prog; }
   const WorkloadSpec &spec() const { return *Spec; }
   uint32_t heapBytes() const { return HeapBytes; }
@@ -144,6 +157,8 @@ private:
   std::unique_ptr<PrefetchInjector> Prefetcher;
   std::unique_ptr<OptimizationController> PrefetchCtl;
   std::unique_ptr<FrequencyAdvisor> Freq;
+  std::unique_ptr<BottleneckClassifier> Classifier;
+  std::unique_ptr<class PolicyEngine> Engine;
   WorkloadProgram Prog;
   bool Ran = false;
 };

@@ -27,6 +27,14 @@ const char *DecisionJournal::kindName(DecisionKind K) {
     return "Revert";
   case DecisionKind::Accept:
     return "Accept";
+  case DecisionKind::Classify:
+    return "Classify";
+  case DecisionKind::Score:
+    return "Score";
+  case DecisionKind::Apply:
+    return "Apply";
+  case DecisionKind::Blacklist:
+    return "Blacklist";
   }
   return "Unknown";
 }

@@ -49,6 +49,10 @@ enum class DecisionKind : uint8_t {
   Assess,         ///< OptimizationController began assessing a policy change.
   Revert,         ///< A guarded optimization was rolled back.
   Accept,         ///< A guarded optimization passed assessment.
+  Classify,       ///< BottleneckClassifier (re)labelled a hot method.
+  Score,          ///< PolicyEngine scored a candidate action for a method.
+  Apply,          ///< PolicyEngine applied the best-scoring action.
+  Blacklist,      ///< PolicyEngine blacklisted a reverted (method, action).
 };
 
 /// One journaled decision. All strings must be literals (or otherwise

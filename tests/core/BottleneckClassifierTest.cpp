@@ -1,0 +1,194 @@
+//===-- tests/core/BottleneckClassifierTest.cpp ---------------------------===//
+//
+// The classify half of the policy loop: window accounting, the
+// four-label taxonomy over weighted per-kind rates, the hotness floor,
+// and hysteresis exactly at window boundaries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BottleneckClassifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// No multiplexer: scale() is 1.0, so estimated events == raw counts
+/// (KindWeight defaults to 1), and thresholds read in plain sample counts.
+ClassifierConfig unitConfig() {
+  ClassifierConfig C;
+  C.WindowPeriods = 1;
+  C.MinWindowSamples = 1.0;
+  C.TlbFraction = 0.4;
+  C.BandwidthFraction = 0.5;
+  C.LatencyRate = 50.0;
+  C.Hysteresis = 1;
+  return C;
+}
+
+void feed(BottleneckClassifier &C, MethodId M, HpmEventKind K, int N) {
+  AttributedSample S;
+  S.Kind = K;
+  S.Method = M;
+  for (int I = 0; I != N; ++I)
+    C.onSample(S);
+}
+
+void closePeriod(BottleneckClassifier &C, Cycles Now = 1000) {
+  PeriodContext Ctx;
+  Ctx.Now = Now;
+  C.onPeriod(Ctx);
+}
+
+TEST(BottleneckClassifier, WindowClosesOnlyAtTheConfiguredPeriod) {
+  ClassifierConfig Cfg = unitConfig();
+  Cfg.WindowPeriods = 3;
+  BottleneckClassifier C(Cfg);
+  feed(C, 1, HpmEventKind::L1DMiss, 60);
+  closePeriod(C);
+  EXPECT_FALSE(C.windowClosed());
+  EXPECT_EQ(C.windowsCompleted(), 0u);
+  closePeriod(C);
+  EXPECT_FALSE(C.windowClosed());
+  closePeriod(C);
+  EXPECT_TRUE(C.windowClosed());
+  EXPECT_EQ(C.windowsCompleted(), 1u);
+  // The flag is per-pass: the next period resets it.
+  closePeriod(C);
+  EXPECT_FALSE(C.windowClosed());
+}
+
+TEST(BottleneckClassifier, CountsAccumulateAcrossTheWholeWindow) {
+  ClassifierConfig Cfg = unitConfig();
+  Cfg.WindowPeriods = 2;
+  BottleneckClassifier C(Cfg);
+  feed(C, 1, HpmEventKind::L1DMiss, 30);
+  closePeriod(C);
+  feed(C, 1, HpmEventKind::L1DMiss, 30);
+  closePeriod(C);
+  ASSERT_TRUE(C.windowClosed());
+  EXPECT_DOUBLE_EQ(C.windowRate(1), 60.0);
+  EXPECT_EQ(C.label(1), BottleneckLabel::LatencyBound) << "60 >= 50";
+}
+
+TEST(BottleneckClassifier, TaxonomyLabelsEachRegime) {
+  BottleneckClassifier C(unitConfig());
+  // m1: DTLB dominates (7 of 17 scaled events = 41% >= 40%).
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::DtlbMiss, 7);
+  // m2: L2/L1 = 0.6 >= 0.5, DTLB share 0.
+  feed(C, 2, HpmEventKind::L1DMiss, 10);
+  feed(C, 2, HpmEventKind::L2Miss, 6);
+  // m3: pure L1 at 60 >= LatencyRate 50.
+  feed(C, 3, HpmEventKind::L1DMiss, 60);
+  // m4: hot enough to classify, but modest misses on every axis.
+  feed(C, 4, HpmEventKind::L1DMiss, 10);
+  closePeriod(C);
+  EXPECT_EQ(C.label(1), BottleneckLabel::TlbBound);
+  EXPECT_EQ(C.label(2), BottleneckLabel::BandwidthBound);
+  EXPECT_EQ(C.label(3), BottleneckLabel::LatencyBound);
+  EXPECT_EQ(C.label(4), BottleneckLabel::ComputeBound);
+  // hotMethods() lists them MethodId-ascending with their window rates.
+  ASSERT_EQ(C.hotMethods().size(), 4u);
+  EXPECT_EQ(C.hotMethods()[0].Method, 1u);
+  EXPECT_EQ(C.hotMethods()[2].Label, BottleneckLabel::LatencyBound);
+  EXPECT_DOUBLE_EQ(C.hotMethods()[2].L1Rate, 60.0);
+}
+
+TEST(BottleneckClassifier, KindWeightTurnsSampleCountsIntoEvents) {
+  // A DTLB slot sampled 10x as densely must not look 10x as important:
+  // with weights matching the sampling intervals, 5 DTLB samples at
+  // weight 100 (500 events) lose to 10 L1 samples at weight 1000
+  // (10000 events) -- share 4.8%, nowhere near TlbFraction.
+  ClassifierConfig Cfg = unitConfig();
+  Cfg.KindWeight[static_cast<size_t>(HpmEventKind::L1DMiss)] = 1000.0;
+  Cfg.KindWeight[static_cast<size_t>(HpmEventKind::DtlbMiss)] = 100.0;
+  Cfg.LatencyRate = 5000.0;
+  BottleneckClassifier C(Cfg);
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::DtlbMiss, 5);
+  closePeriod(C);
+  EXPECT_EQ(C.label(1), BottleneckLabel::LatencyBound);
+  EXPECT_DOUBLE_EQ(C.windowRate(1), 10500.0);
+}
+
+TEST(BottleneckClassifier, BelowTheFloorKeepsTheLabelButIsNotHot) {
+  ClassifierConfig Cfg = unitConfig();
+  Cfg.MinWindowSamples = 5.0;
+  BottleneckClassifier C(Cfg);
+  feed(C, 1, HpmEventKind::L1DMiss, 60);
+  closePeriod(C);
+  ASSERT_EQ(C.label(1), BottleneckLabel::LatencyBound);
+  // Next window: only 2 samples -- under the floor.
+  feed(C, 1, HpmEventKind::L1DMiss, 2);
+  closePeriod(C);
+  EXPECT_TRUE(C.hotMethods().empty());
+  EXPECT_EQ(C.label(1), BottleneckLabel::LatencyBound)
+      << "a quiet window must not erase an established label";
+}
+
+TEST(BottleneckClassifier, HysteresisHoldsTheLabelAtAWindowBoundary) {
+  ClassifierConfig Cfg = unitConfig();
+  Cfg.Hysteresis = 2;
+  BottleneckClassifier C(Cfg);
+  // Window 1 establishes latency-bound (first classification is
+  // immediate).
+  feed(C, 1, HpmEventKind::L1DMiss, 60);
+  closePeriod(C);
+  ASSERT_EQ(C.label(1), BottleneckLabel::LatencyBound);
+  // Window 2 looks bandwidth-bound -- one window is not enough to flip.
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::L2Miss, 8);
+  closePeriod(C);
+  EXPECT_EQ(C.label(1), BottleneckLabel::LatencyBound);
+  // Window 3 agrees with window 2: the replacement wins its second
+  // consecutive window and flips exactly at this boundary.
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::L2Miss, 8);
+  closePeriod(C);
+  EXPECT_EQ(C.label(1), BottleneckLabel::BandwidthBound);
+}
+
+TEST(BottleneckClassifier, AnInterruptedStreakDoesNotFlip) {
+  ClassifierConfig Cfg = unitConfig();
+  Cfg.Hysteresis = 2;
+  BottleneckClassifier C(Cfg);
+  feed(C, 1, HpmEventKind::L1DMiss, 60);
+  closePeriod(C);
+  ASSERT_EQ(C.label(1), BottleneckLabel::LatencyBound);
+  // bandwidth, latency, bandwidth: no two consecutive wins, no flip.
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::L2Miss, 8);
+  closePeriod(C);
+  feed(C, 1, HpmEventKind::L1DMiss, 60);
+  closePeriod(C);
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::L2Miss, 8);
+  closePeriod(C);
+  EXPECT_EQ(C.label(1), BottleneckLabel::LatencyBound);
+  // A second consecutive bandwidth window finally flips it.
+  feed(C, 1, HpmEventKind::L1DMiss, 10);
+  feed(C, 1, HpmEventKind::L2Miss, 8);
+  closePeriod(C);
+  EXPECT_EQ(C.label(1), BottleneckLabel::BandwidthBound);
+}
+
+TEST(BottleneckClassifier, BatchAndScalarDeliveryAgree) {
+  BottleneckClassifier A(unitConfig()), B(unitConfig());
+  std::vector<AttributedSample> Batch(12);
+  for (size_t I = 0; I != Batch.size(); ++I) {
+    Batch[I].Kind = HpmEventKind::L2Miss;
+    Batch[I].Method = static_cast<MethodId>(1 + I % 2);
+  }
+  A.consumeBatch(Batch);
+  for (const AttributedSample &S : Batch)
+    B.onSample(S);
+  closePeriod(A);
+  closePeriod(B);
+  EXPECT_DOUBLE_EQ(A.windowRate(1), B.windowRate(1));
+  EXPECT_DOUBLE_EQ(A.windowRate(2), B.windowRate(2));
+  EXPECT_EQ(A.label(1), B.label(1));
+}
+
+} // namespace

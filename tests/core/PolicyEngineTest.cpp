@@ -1,0 +1,225 @@
+//===-- tests/core/PolicyEngineTest.cpp -----------------------------------===//
+//
+// The optimize half of the policy loop, driven through a fake action
+// double: deterministic scoring and tie-breaks, the accept path, the
+// revert -> blacklist path (and that a blacklist survives a workload
+// shift), noop fall-through, and the concurrent-assessment cap.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Scriptable action: fixed score, recorded applies/reverts.
+struct FakeAction final : OptimizationAction {
+  ActionKind K;
+  double Score;
+  bool ApplyResult = true;
+  std::vector<MethodId> Applied;
+  std::vector<MethodId> Reverted;
+
+  FakeAction(ActionKind K, double Score) : K(K), Score(Score) {}
+  ActionKind kind() const override { return K; }
+  double score(const MethodBottleneck &) const override { return Score; }
+  bool apply(MethodId M) override {
+    Applied.push_back(M);
+    return ApplyResult;
+  }
+  void revert(MethodId M) override { Reverted.push_back(M); }
+};
+
+/// One-period windows, one-window gate phases: a verdict resolves four
+/// windows after a method is first seen (seed, apply, warm-up, decide).
+PolicyEngineConfig testConfig() {
+  PolicyEngineConfig C;
+  C.Classifier.WindowPeriods = 1;
+  C.Classifier.MinWindowSamples = 1.0;
+  C.Classifier.LatencyRate = 5.0;
+  C.Classifier.Hysteresis = 1;
+  C.Gate.BaselineWindow = 1;
+  C.Gate.DecisionWindow = 1;
+  C.Gate.WarmupPeriods = 1;
+  C.Gate.RegressionFactor = 1.05;
+  C.Gate.IgnoreZeroRatePeriods = true;
+  C.MinBaselineWindows = 1;
+  return C;
+}
+
+/// Classifier + engine wired the way the pipeline registers them:
+/// classifier first, so the engine's onPeriod sees the closed window.
+struct Rig {
+  explicit Rig(const PolicyEngineConfig &Cfg = testConfig())
+      : Classifier(Cfg.Classifier), Engine(Classifier, Cfg) {}
+
+  /// One classification window: N L1D samples per method, then a period.
+  void window(std::initializer_list<std::pair<MethodId, int>> Load) {
+    AttributedSample S;
+    S.Kind = HpmEventKind::L1DMiss;
+    for (const auto &[M, N] : Load) {
+      S.Method = M;
+      for (int I = 0; I != N; ++I)
+        Classifier.onSample(S);
+    }
+    PeriodContext Ctx;
+    Ctx.Now = (Now += 100);
+    Classifier.onPeriod(Ctx);
+    Engine.onPeriod(Ctx);
+  }
+
+  BottleneckClassifier Classifier;
+  PolicyEngine Engine;
+  Cycles Now = 0;
+};
+
+TEST(PolicyEngine, TieBreaksToTheEarlierRegisteredAction) {
+  FakeAction Coalloc(ActionKind::Coallocate, 10.0);
+  FakeAction Prefetch(ActionKind::PrefetchInject, 10.0);
+  Rig R;
+  R.Engine.addAction(Coalloc);
+  R.Engine.addAction(Prefetch);
+  R.window({{1, 20}}); // Seed the gate.
+  R.window({{1, 20}}); // Baseline ready: score and apply.
+  ASSERT_EQ(Coalloc.Applied, std::vector<MethodId>{1});
+  EXPECT_TRUE(Prefetch.Applied.empty())
+      << "equal scores must resolve by registration order";
+  EXPECT_EQ(R.Engine.applies(), 1u);
+}
+
+TEST(PolicyEngine, HigherScoreBeatsRegistrationOrder) {
+  FakeAction Coalloc(ActionKind::Coallocate, 5.0);
+  FakeAction Prefetch(ActionKind::PrefetchInject, 10.0);
+  Rig R;
+  R.Engine.addAction(Coalloc);
+  R.Engine.addAction(Prefetch);
+  R.window({{1, 20}});
+  R.window({{1, 20}});
+  ASSERT_EQ(Prefetch.Applied, std::vector<MethodId>{1});
+  EXPECT_TRUE(Coalloc.Applied.empty());
+}
+
+TEST(PolicyEngine, AcceptRetiresTheMethod) {
+  FakeAction Coalloc(ActionKind::Coallocate, 10.0);
+  FakeAction Prefetch(ActionKind::PrefetchInject, 5.0);
+  Rig R;
+  R.Engine.addAction(Coalloc);
+  R.Engine.addAction(Prefetch);
+  R.window({{1, 20}}); // Seed.
+  R.window({{1, 20}}); // Apply coalloc; baseline 20.
+  R.window({{1, 20}}); // Warm-up.
+  R.window({{1, 20}}); // Decision: 20 <= 20 * 1.05 -> accept.
+  EXPECT_EQ(R.Engine.accepts(), 1u);
+  EXPECT_EQ(R.Engine.reverts(), 0u);
+  EXPECT_TRUE(R.Engine.accepted(1));
+  EXPECT_TRUE(Coalloc.Reverted.empty());
+  // Retired: later hot windows trigger nothing further, even with a
+  // second untried action registered.
+  R.window({{1, 20}});
+  R.window({{1, 20}});
+  EXPECT_EQ(Coalloc.Applied.size(), 1u);
+  EXPECT_TRUE(Prefetch.Applied.empty());
+  EXPECT_EQ(R.Engine.applies(), 1u);
+}
+
+TEST(PolicyEngine, RevertBlacklistsAcrossAWorkloadShift) {
+  FakeAction Coalloc(ActionKind::Coallocate, 10.0);
+  FakeAction Prefetch(ActionKind::PrefetchInject, 5.0);
+  Rig R;
+  R.Engine.addAction(Coalloc);
+  R.Engine.addAction(Prefetch);
+  R.window({{1, 20}}); // Seed.
+  R.window({{1, 20}}); // Apply coalloc; baseline 20.
+  R.window({{1, 20}}); // Warm-up.
+  R.window({{1, 30}}); // Decision: 30 > 20 * 1.05 -> revert.
+  EXPECT_EQ(R.Engine.reverts(), 1u);
+  EXPECT_EQ(R.Engine.blacklists(), 1u);
+  ASSERT_EQ(Coalloc.Reverted, std::vector<MethodId>{1});
+  EXPECT_TRUE(R.Engine.blacklisted(1, ActionKind::Coallocate));
+  EXPECT_FALSE(R.Engine.blacklisted(1, ActionKind::PrefetchInject));
+  EXPECT_FALSE(R.Engine.accepted(1));
+  // The verdict window itself falls through to the runner-up (the
+  // ablation's forced-gap run shows exactly this revert -> next-action
+  // chain); it inherits the pre-change baseline, so the still-elevated
+  // rate reverts it too.
+  ASSERT_EQ(Prefetch.Applied, std::vector<MethodId>{1});
+  R.window({{1, 30}}); // Warm-up.
+  R.window({{1, 30}}); // Decision: 30 > 20 * 1.05 -> revert prefetch.
+  EXPECT_EQ(R.Engine.reverts(), 2u);
+  EXPECT_TRUE(R.Engine.blacklisted(1, ActionKind::PrefetchInject));
+
+  // The workload shifts to triple the rate. The method stays hot and is
+  // reconsidered every window, but every action is blacklisted: nothing
+  // is ever retried, no matter how the profile changes.
+  R.window({{1, 60}});
+  R.window({{1, 60}});
+  R.window({{1, 60}});
+  EXPECT_EQ(Coalloc.Applied.size(), 1u)
+      << "blacklisted action re-applied after the shift";
+  EXPECT_EQ(Prefetch.Applied.size(), 1u)
+      << "blacklisted action re-applied after the shift";
+  EXPECT_EQ(R.Engine.applies(), 2u);
+  EXPECT_EQ(R.Engine.accepts(), 0u);
+  EXPECT_TRUE(R.Engine.blacklisted(1, ActionKind::Coallocate));
+  EXPECT_FALSE(R.Engine.accepted(1));
+}
+
+TEST(PolicyEngine, NoopApplyFallsThroughToTheNextBest) {
+  FakeAction Coalloc(ActionKind::Coallocate, 10.0);
+  Coalloc.ApplyResult = false; // Nothing to rewrite for this method.
+  FakeAction Prefetch(ActionKind::PrefetchInject, 5.0);
+  Rig R;
+  R.Engine.addAction(Coalloc);
+  R.Engine.addAction(Prefetch);
+  R.window({{1, 20}});
+  R.window({{1, 20}});
+  // Both ran in the same window: the winner noop'd and the runner-up was
+  // applied; only the successful apply counts.
+  ASSERT_EQ(Coalloc.Applied, std::vector<MethodId>{1});
+  ASSERT_EQ(Prefetch.Applied, std::vector<MethodId>{1});
+  EXPECT_EQ(R.Engine.applies(), 1u);
+  // The gate is armed for the prefetch: it can still be accepted.
+  R.window({{1, 20}});
+  R.window({{1, 20}});
+  EXPECT_EQ(R.Engine.accepts(), 1u);
+  EXPECT_TRUE(R.Engine.accepted(1));
+}
+
+TEST(PolicyEngine, MinBaselineWindowsDelaysTheFirstAction) {
+  PolicyEngineConfig Cfg = testConfig();
+  Cfg.MinBaselineWindows = 3;
+  FakeAction Coalloc(ActionKind::Coallocate, 10.0);
+  Rig R(Cfg);
+  R.Engine.addAction(Coalloc);
+  R.window({{1, 20}});
+  R.window({{1, 20}});
+  EXPECT_TRUE(Coalloc.Applied.empty()) << "2 observed windows < 3 required";
+  R.window({{1, 20}});
+  EXPECT_EQ(Coalloc.Applied.size(), 1u);
+}
+
+TEST(PolicyEngine, ConcurrentAssessmentCapSerializesMethods) {
+  PolicyEngineConfig Cfg = testConfig();
+  Cfg.MaxConcurrentAssessments = 1;
+  FakeAction Coalloc(ActionKind::Coallocate, 10.0);
+  Rig R(Cfg);
+  R.Engine.addAction(Coalloc);
+  R.window({{1, 20}, {2, 20}}); // Both seeded.
+  R.window({{1, 20}, {2, 20}}); // Method 1 applies; method 2 must wait.
+  ASSERT_EQ(Coalloc.Applied, std::vector<MethodId>{1});
+  R.window({{1, 20}, {2, 20}}); // Method 1 warm-up; method 2 still waits.
+  EXPECT_EQ(Coalloc.Applied.size(), 1u);
+  R.window({{1, 20}, {2, 20}}); // Method 1 accepted; slot frees; method 2
+                                // applies in the same window.
+  EXPECT_EQ(R.Engine.accepts(), 1u);
+  ASSERT_EQ(Coalloc.Applied, (std::vector<MethodId>{1, 2}));
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===-- tests/core/RegressionGateTest.cpp ---------------------------------===//
+//
+// The extracted assess-and-revert state machine on its own: baseline
+// maintenance, warm-up skipping, decision windows, and both verdicts.
+// OptimizationControllerTest covers the same semantics through the legacy
+// wrapper; these tests pin the gate as the PolicyEngine drives it -- one
+// observation per classification window, zero-rate windows skipped.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RegressionGate.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+using Verdict = RegressionGate::Verdict;
+using State = RegressionGate::State;
+
+GateConfig tight() {
+  GateConfig C;
+  C.BaselineWindow = 2;
+  C.DecisionWindow = 2;
+  C.RegressionFactor = 1.05;
+  C.WarmupPeriods = 1;
+  C.IgnoreZeroRatePeriods = true;
+  return C;
+}
+
+TEST(RegressionGate, BaselineIsTheSlidingMeanWhileMonitoring) {
+  RegressionGate G(tight());
+  EXPECT_EQ(G.observe(100.0), Verdict::None);
+  EXPECT_DOUBLE_EQ(G.baseline(), 100.0);
+  EXPECT_EQ(G.observe(200.0), Verdict::None);
+  EXPECT_DOUBLE_EQ(G.baseline(), 150.0);
+  // Window is 2: a third observation slides the first out.
+  EXPECT_EQ(G.observe(400.0), Verdict::None);
+  EXPECT_DOUBLE_EQ(G.baseline(), 300.0);
+  EXPECT_EQ(G.state(), State::Monitoring);
+  EXPECT_FALSE(G.busy());
+}
+
+TEST(RegressionGate, AcceptWhenAssessedStaysWithinFactor) {
+  RegressionGate G(tight());
+  G.observe(100.0);
+  G.observe(100.0);
+  G.noteChange();
+  EXPECT_TRUE(G.busy());
+  EXPECT_EQ(G.observe(500.0), Verdict::None) << "warm-up period skipped";
+  EXPECT_EQ(G.observe(101.0), Verdict::None) << "decision window filling";
+  EXPECT_EQ(G.observe(103.0), Verdict::Accepted);
+  EXPECT_EQ(G.state(), State::Accepted);
+  EXPECT_DOUBLE_EQ(G.assessed(), 102.0);
+  EXPECT_DOUBLE_EQ(G.decisionBaseline(), 100.0);
+  EXPECT_FALSE(G.busy());
+}
+
+TEST(RegressionGate, RevertWhenAssessedExceedsFactor) {
+  RegressionGate G(tight());
+  G.observe(100.0);
+  G.observe(100.0);
+  G.noteChange();
+  G.observe(100.0); // Warm-up.
+  G.observe(110.0);
+  EXPECT_EQ(G.observe(110.0), Verdict::Reverted) << "110 > 100 * 1.05";
+  EXPECT_EQ(G.state(), State::Reverted);
+  EXPECT_DOUBLE_EQ(G.assessed(), 110.0);
+}
+
+TEST(RegressionGate, ZeroRatePeriodsCarryNoVerdictInformation) {
+  RegressionGate G(tight());
+  G.observe(100.0);
+  G.observe(0.0); // Idle window: skipped, baseline untouched.
+  EXPECT_DOUBLE_EQ(G.baseline(), 100.0);
+  G.noteChange();
+  G.observe(100.0); // Warm-up.
+  G.observe(0.0);   // Idle window mid-assessment: also skipped.
+  G.observe(101.0);
+  EXPECT_EQ(G.observe(101.0), Verdict::Accepted);
+}
+
+TEST(RegressionGate, ObservedCountsEveryFedPeriod) {
+  RegressionGate G(tight());
+  G.observe(1.0);
+  G.observe(2.0);
+  G.observe(3.0);
+  EXPECT_EQ(G.observed(), 3u);
+}
+
+TEST(RegressionGate, VerdictIsFinalUntilTheNextChange) {
+  RegressionGate G(tight());
+  G.observe(100.0);
+  G.noteChange();
+  G.observe(100.0);
+  G.observe(200.0);
+  ASSERT_EQ(G.observe(200.0), Verdict::Reverted);
+  // Post-verdict observations rebuild the baseline; no spurious verdicts.
+  EXPECT_EQ(G.observe(300.0), Verdict::None);
+  EXPECT_EQ(G.observe(300.0), Verdict::None);
+  // A fresh noteChange starts a new assessment against the new baseline.
+  G.noteChange();
+  G.observe(300.0); // Warm-up.
+  G.observe(301.0);
+  EXPECT_EQ(G.observe(301.0), Verdict::Accepted);
+}
+
+} // namespace

@@ -179,6 +179,48 @@ TEST(ParallelRunner, MultiConsumerPipelineIsJobCountInvariant) {
   }
 }
 
+TEST(ParallelRunner, PolicyEngineJournalIsJobCountInvariant) {
+  // Policy mode's whole value is the causal chain in the journal; it must
+  // be byte-identical across job counts, record by record, or a triage
+  // journal from a parallel suite could not be trusted.
+  SuiteSpec S;
+  S.Workloads = {"db"};
+  S.HeapFactors = {1.0, 2.0};
+  S.Params.ScalePercent = 20;
+  S.Params.Seed = 17;
+  S.Variants = {{"policy", [](RunConfig &C) {
+                   C.Monitoring = true;
+                   C.PolicyEngine = true;
+                 }}};
+  SuiteOptions Serial;
+  Serial.Jobs = 1;
+  SuiteOptions Parallel;
+  Parallel.Jobs = 4;
+  SuiteResults A = runSuite(S, Serial);
+  SuiteResults B = runSuite(S, Parallel);
+  ASSERT_EQ(A.numExecuted(), S.numCells());
+  for (const SuiteRun &Run : A.runs()) {
+    const RunResult &RA = A.at(Run.W, Run.H, Run.C, Run.V, Run.Rep);
+    const RunResult &RB = B.at(Run.W, Run.H, Run.C, Run.V, Run.Rep);
+    expectIdentical(RA, RB, Run.Label);
+    EXPECT_GT(RA.Metrics.counter("classify.windows"), 0u) << Run.Label;
+    ASSERT_EQ(RA.Journal.size(), RB.Journal.size()) << Run.Label;
+    for (size_t D = 0; D != RA.Journal.size(); ++D) {
+      const DecisionRecord &X = RA.Journal[D];
+      const DecisionRecord &Y = RB.Journal[D];
+      const std::string At = Run.Label + " record " + std::to_string(D);
+      EXPECT_EQ(X.Ts, Y.Ts) << At;
+      EXPECT_EQ(static_cast<int>(X.Kind), static_cast<int>(Y.Kind)) << At;
+      EXPECT_STREQ(X.Consumer, Y.Consumer) << At;
+      EXPECT_STREQ(X.Action, Y.Action) << At;
+      EXPECT_EQ(X.Method, Y.Method) << At;
+      EXPECT_EQ(X.Rate, Y.Rate) << At;
+      EXPECT_EQ(X.Baseline, Y.Baseline) << At;
+      EXPECT_EQ(X.Value, Y.Value) << At;
+    }
+  }
+}
+
 TEST(ParallelRunner, FilteredCellsDoNotRun) {
   SuiteSpec S = smallGrid();
   SuiteOptions Opts;

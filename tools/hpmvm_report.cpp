@@ -13,7 +13,10 @@
 // snapshot (object with "counters"), and --journal/--journal-b JSONL
 // files written by --journal-out (attached to the single selected run, or
 // standing alone). --run <substr> selects runs by label; --top <n> bounds
-// the counter tables. Exits 2 on usage, I/O or parse errors.
+// the counter tables; --verdicts <consumer> narrows the timeline and the
+// decision summaries to one consumer's records (e.g. "policy"). Journals
+// from policy-engine runs additionally get a per-(method, action)
+// blacklist table. Exits 2 on usage, I/O or parse errors.
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +42,7 @@ struct Options {
   std::string JournalPath;         ///< --journal.
   std::string JournalBPath;        ///< --journal-b.
   std::string RunFilter;           ///< --run label substring.
+  std::string VerdictsConsumer;    ///< --verdicts consumer filter.
   size_t Top = 12;                 ///< --top.
 };
 
@@ -55,7 +59,8 @@ struct RunData {
   fprintf(stderr,
           "usage: hpmvm_report [<run.json>] [<run-b.json>]\n"
           "                    [--journal <a.jsonl>] [--journal-b <b.jsonl>]\n"
-          "                    [--run <label-substring>] [--top <n>]\n");
+          "                    [--run <label-substring>] [--top <n>]\n"
+          "                    [--verdicts <consumer>]\n");
   exit(2);
 }
 
@@ -233,26 +238,77 @@ void printTimeline(const std::vector<json::ValuePtr> &Decisions) {
 }
 
 void printVerdicts(const std::vector<json::ValuePtr> &Decisions) {
-  // consumer -> {applied policies, reverts, accepts}.
-  std::map<std::string, std::array<uint64_t, 3>> PerConsumer;
+  // consumer -> {other decisions, applies, accepts, reverts, blacklists}.
+  std::map<std::string, std::array<uint64_t, 5>> PerConsumer;
   for (const json::ValuePtr &D : Decisions) {
     std::string Kind = D->str("kind");
-    std::array<uint64_t, 3> &Row = PerConsumer[D->str("consumer")];
-    if (Kind == "Revert")
+    std::array<uint64_t, 5> &Row = PerConsumer[D->str("consumer")];
+    if (Kind == "Apply")
       ++Row[1];
     else if (Kind == "Accept")
       ++Row[2];
+    else if (Kind == "Revert")
+      ++Row[3];
+    else if (Kind == "Blacklist")
+      ++Row[4];
     else if (Kind != "Assess" && Kind != "PhaseChange")
       ++Row[0];
   }
   if (PerConsumer.empty())
     return;
-  TableWriter T({"consumer", "decisions", "reverts", "accepts"});
+  TableWriter T({"consumer", "decisions", "applies", "accepts", "reverts",
+                 "blacklists"});
   for (const auto &[Consumer, Row] : PerConsumer)
     T.addRow({Consumer, formatCount(Row[0]), formatCount(Row[1]),
-              formatCount(Row[2])});
+              formatCount(Row[2]), formatCount(Row[3]),
+              formatCount(Row[4])});
   printf("Decisions by consumer:\n");
   T.print(stdout);
+}
+
+/// The policy engine's per-(method, action) blacklist as of the end of the
+/// journal: every Blacklist record, with the revert that caused it.
+void printBlacklist(const std::vector<json::ValuePtr> &Decisions) {
+  TableWriter T({"t (ms)", "method", "action", "assessed", "baseline"});
+  size_t N = 0;
+  for (size_t I = 0; I != Decisions.size(); ++I) {
+    const json::ValuePtr &D = Decisions[I];
+    if (D->str("kind") != "Blacklist")
+      continue;
+    // The matching Revert directly precedes its Blacklist; pull its rates
+    // so the table shows *why* the pair is banned.
+    std::string Assessed, Baseline;
+    if (I > 0) {
+      const json::ValuePtr &Prev = Decisions[I - 1];
+      if (Prev->str("kind") == "Revert" &&
+          Prev->num("method") == D->num("method")) {
+        Assessed = Prev->get("rate") ? formatNum(Prev->num("rate")) : "";
+        Baseline =
+            Prev->get("baseline") ? formatNum(Prev->num("baseline")) : "";
+      }
+    }
+    T.addRow({formatTsMs(D->num("ts")),
+              formatCount(static_cast<uint64_t>(D->num("method"))),
+              D->str("action"), Assessed, Baseline});
+    ++N;
+  }
+  if (!N)
+    return;
+  printf("\nBlacklisted (method, action) pairs (%zu):\n", N);
+  T.print(stdout);
+}
+
+/// Applies the --verdicts consumer filter to a record list.
+std::vector<json::ValuePtr>
+filterConsumer(const std::vector<json::ValuePtr> &Decisions,
+               const std::string &Consumer) {
+  if (Consumer.empty())
+    return Decisions;
+  std::vector<json::ValuePtr> Out;
+  for (const json::ValuePtr &D : Decisions)
+    if (D->str("consumer") == Consumer)
+      Out.push_back(D);
+  return Out;
 }
 
 void reportOneRun(const RunData &Run, size_t Top) {
@@ -262,6 +318,7 @@ void reportOneRun(const RunData &Run, size_t Top) {
   printTimeline(Run.Decisions);
   printf("\n");
   printVerdicts(Run.Decisions);
+  printBlacklist(Run.Decisions);
 }
 
 void reportDelta(const RunData &A, const RunData &B, size_t Top) {
@@ -320,8 +377,10 @@ void reportDelta(const RunData &A, const RunData &B, size_t Top) {
 
   printf("\n-- A: %s --\n", A.Label.c_str());
   printVerdicts(A.Decisions);
+  printBlacklist(A.Decisions);
   printf("\n-- B: %s --\n", B.Label.c_str());
   printVerdicts(B.Decisions);
+  printBlacklist(B.Decisions);
 }
 
 } // namespace
@@ -340,6 +399,8 @@ int main(int Argc, char **Argv) {
       Opts.JournalBPath = Value("--journal-b");
     else if (strcmp(Argv[I], "--run") == 0)
       Opts.RunFilter = Value("--run");
+    else if (strcmp(Argv[I], "--verdicts") == 0)
+      Opts.VerdictsConsumer = Value("--verdicts");
     else if (strcmp(Argv[I], "--top") == 0) {
       std::string V = Value("--top");
       char *End = nullptr;
@@ -361,17 +422,21 @@ int main(int Argc, char **Argv) {
 
   // Journal-only mode: a timeline straight off the JSONL file(s).
   if (Opts.Inputs.empty()) {
-    std::vector<json::ValuePtr> A = loadJournal(Opts.JournalPath);
+    std::vector<json::ValuePtr> A =
+        filterConsumer(loadJournal(Opts.JournalPath), Opts.VerdictsConsumer);
     printf("== Journal: %s ==\n", Opts.JournalPath.c_str());
     printTimeline(A);
     printf("\n");
     printVerdicts(A);
+    printBlacklist(A);
     if (!Opts.JournalBPath.empty()) {
-      std::vector<json::ValuePtr> B = loadJournal(Opts.JournalBPath);
+      std::vector<json::ValuePtr> B = filterConsumer(
+          loadJournal(Opts.JournalBPath), Opts.VerdictsConsumer);
       printf("\n== Journal: %s ==\n", Opts.JournalBPath.c_str());
       printTimeline(B);
       printf("\n");
       printVerdicts(B);
+      printBlacklist(B);
     }
     return 0;
   }
@@ -382,6 +447,8 @@ int main(int Argc, char **Argv) {
       usage("--journal attaches to a single run; narrow with --run");
     A[0].Decisions = loadJournal(Opts.JournalPath);
   }
+  for (RunData &R : A)
+    R.Decisions = filterConsumer(R.Decisions, Opts.VerdictsConsumer);
 
   if (Opts.Inputs.size() == 1) {
     for (size_t I = 0; I != A.size(); ++I) {
@@ -398,6 +465,8 @@ int main(int Argc, char **Argv) {
       usage("--journal-b attaches to a single run; narrow with --run");
     B[0].Decisions = loadJournal(Opts.JournalBPath);
   }
+  for (RunData &R : B)
+    R.Decisions = filterConsumer(R.Decisions, Opts.VerdictsConsumer);
 
   // Pair runs by label; fall back to positional pairing when the label
   // sets are disjoint (e.g. comparing two different benches).
