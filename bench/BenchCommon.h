@@ -41,10 +41,10 @@
 #include "harness/ParallelRunner.h"
 #include "harness/Suite.h"
 #include "obs/Obs.h"
+#include "support/Flags.h"
 #include "support/Format.h"
 #include "support/TableWriter.h"
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,19 +61,10 @@ struct BenchOptions {
   std::string JsonOutPath; ///< --json-out.
 };
 
-/// Strict unsigned parse: the whole string must be a decimal number.
-/// (atoi/atoll silently turn garbage into 0 -- a mistyped HPMVM_SEED would
-/// quietly change every result.)
+/// Strict unsigned parse, shared with every flag-taking binary (see
+/// support/Flags.h for why strictness matters).
 inline bool parseUint(const char *Text, uint64_t &Out) {
-  if (!Text || !*Text)
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  unsigned long long V = strtoull(Text, &End, 10);
-  if (errno || End == Text || *End != '\0' || strchr(Text, '-'))
-    return false;
-  Out = V;
-  return true;
+  return flags::parseUint(Text, Out);
 }
 
 /// Splits a comma-separated workload list, validating every name against
@@ -172,78 +163,34 @@ selectedWorkloads(const std::string &Filter = "") {
 /// stripped). \returns false (with a message) on malformed or unknown
 /// flags; argc/argv are compacted in place.
 inline bool parseBenchFlags(int &Argc, char **Argv, BenchOptions &Opts) {
-  int Out = 1;
-  bool Ok = true;
-
-  auto Take = [&](int &I, const char *Flag, std::string &Value) {
-    size_t FlagLen = strlen(Flag);
-    if (strncmp(Argv[I], Flag, FlagLen) != 0)
-      return false;
-    if (Argv[I][FlagLen] == '=') {
-      Value = Argv[I] + FlagLen + 1;
-      return true;
-    }
-    if (Argv[I][FlagLen] != '\0')
-      return false;
-    if (I + 1 >= Argc) {
-      fprintf(stderr, "error: %s requires a value\n", Flag);
-      Ok = false;
-      return true;
-    }
-    Value = Argv[++I];
-    return true;
-  };
-
-  auto TakeUint = [&](int &I, const char *Flag, uint64_t Max,
-                      uint64_t &Slot) {
-    std::string Value;
-    if (!Take(I, Flag, Value))
-      return false;
-    uint64_t V = 0;
-    if (!Ok)
-      return true;
-    if (!parseUint(Value.c_str(), V) || V > Max) {
-      fprintf(stderr, "error: %s wants an unsigned integer <= %llu, got "
-                      "'%s'\n",
-              Flag, static_cast<unsigned long long>(Max), Value.c_str());
-      Ok = false;
-      return true;
-    }
-    Slot = V;
-    return true;
-  };
-
-  for (int I = 1; I < Argc; ++I) {
+  flags::ArgScanner S(Argc, Argv);
+  while (S.next()) {
     std::string Value;
     uint64_t V = 0;
-    if (TakeUint(I, "--jobs", 1024, V)) {
+    if (S.takeUint("--jobs", 1024, V)) {
       Opts.Jobs = static_cast<unsigned>(V);
-    } else if (TakeUint(I, "--repeat", 1000, V)) {
-      if (Ok && V == 0) {
+    } else if (S.takeUint("--repeat", 1000, V)) {
+      if (S.ok() && V == 0) {
         fprintf(stderr, "error: --repeat wants at least 1\n");
-        Ok = false;
+        S.fail();
       }
       Opts.Repeat = static_cast<uint32_t>(V);
-    } else if (Take(I, "--filter", Value)) {
+    } else if (S.take("--filter", Value)) {
       Opts.Filter = Value;
-    } else if (Take(I, "--json-out", Value)) {
-      if (Ok && !ensureParentDir(Value)) {
+    } else if (S.take("--json-out", Value)) {
+      if (S.ok() && !ensureParentDir(Value)) {
         fprintf(stderr,
                 "error: --json-out: cannot create output directory for "
                 "'%s'\n",
                 Value.c_str());
-        Ok = false;
+        S.fail();
       }
       Opts.JsonOutPath = Value;
     } else {
-      fprintf(stderr, "error: unknown argument '%s'\n", Argv[I]);
-      Ok = false;
-      Argv[Out++] = Argv[I];
+      S.keepUnknown();
     }
   }
-  Argc = Out;
-  Argv[Argc] = nullptr;
-  return Ok;
+  return S.ok();
 }
 
 /// Standard bench main() entry: strips the obs flags into the process-wide

@@ -1,0 +1,225 @@
+//===-- bench/fleet_scaling.cpp - Multi-tenant fleet scaling --------------===//
+//
+// Fleet scaling: N servermix tenants under request traffic, sharing one
+// PEBS unit through the PmuArbiter, with the policy engine making guarded
+// per-tenant decisions from duty-cycle- and tenant-share-corrected rates.
+//
+// Sweeps the shard count (default 1, 4, 16, 64; override with
+// --shards 1,8,32) x {nohpm, policy} and reports, per shard count, the
+// per-tenant payoff of keeping the monitoring + policy loop on as the PMU
+// is divided N ways: accepted optimizations per tenant, L1 misses per
+// access vs the unmonitored fleet, and how the arbiter split the PMU.
+//
+// Each fleet is one sequential discrete-event run; --jobs parallelism is
+// across (shards, variant) cells only, so all output -- including the
+// --json-out document with per-tenant and fleet-wide rows -- is
+// bit-identical for every job count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "harness/Fleet.h"
+
+using namespace hpmvm;
+using namespace hpmvm::bench;
+
+namespace {
+
+struct Cell {
+  uint32_t Shards = 1;
+  bool Policy = false;
+  std::string Label; ///< "s16/policy"
+  FleetResult Result;
+};
+
+FleetConfig cellConfig(const Cell &C, uint32_t Scale) {
+  FleetConfig F;
+  F.Shards = C.Shards;
+  F.Base.Workload = "servermix";
+  F.Base.Params.ScalePercent = Scale;
+  F.Base.Params.Seed = envSeed();
+  F.Base.HeapFactor = 2.0;
+  if (C.Policy) {
+    F.Base.Monitoring = true;
+    F.Base.PolicyEngine = true; // Default 3-kind mux rotation.
+    // Request-serving runs drain samples in many small safepoint batches,
+    // so classifier windows close far slower than in batch runs; shorten
+    // them so the gate reaches verdicts within the traffic run.
+    F.Base.Policy.Classifier.WindowPeriods = 2;
+    F.Base.Policy.Classifier.MinWindowSamples = 2.0;
+    // The miss rate climbs while the GC promotes the session table out of
+    // the nursery; hold the first apply until the baseline reflects the
+    // post-promotion plateau, or every action looks like a regression.
+    // With a 1/N PMU share each window spans ~N times more virtual time,
+    // so a short baseline already covers the ramp -- insisting on four
+    // windows at 16 shards would push the verdict past the end of the run.
+    F.Base.Policy.MinBaselineWindows = C.Shards >= 8 ? 2 : 4;
+    // Same logic for the gate's post-apply warm-up: at 1/N duty one
+    // classifier window is already far longer than a GC promotion cycle,
+    // so the placement effect is visible in the first post-apply window.
+    if (C.Shards >= 8)
+      F.Base.Policy.Gate.WarmupPeriods = 0;
+    // At 1/64 of the PMU the default mux intervals yield so few samples
+    // per tenant that classification windows stop closing. A fleet
+    // operator's countermeasure is denser sampling while the tenant holds
+    // the unit -- the duty-cycle x tenant-share correction keeps the
+    // estimated rates unbiased, and the overhead stays bounded because
+    // sampling only runs during the tenant's small share.
+    if (C.Shards >= 32)
+      F.Base.Monitor.Events = {{HpmEventKind::L1DMiss, 1250},
+                               {HpmEventKind::L2Miss, 250},
+                               {HpmEventKind::DtlbMiss, 125}};
+  }
+  // Enough per-tenant busy time for the policy gates to resolve verdicts
+  // (baseline + warmup + decision windows), at high utilization so the
+  // PMU actually contends. Large fleets see fewer samples per tenant, so
+  // their windows span more requests; give them proportionally more
+  // traffic or the verdicts never land inside the run.
+  F.TrafficCfg.RequestsPerTenant = C.Shards >= 8 ? 6144 : 4096;
+  F.TrafficCfg.ArrivalRatePerSec = 200000.0;
+  return F;
+}
+
+uint64_t countAccepts(const std::vector<DecisionRecord> &Journal) {
+  uint64_t N = 0;
+  for (const DecisionRecord &R : Journal)
+    N += R.Kind == DecisionKind::Accept;
+  return N;
+}
+
+double l1PerKAccess(const RunResult &R) {
+  return R.Memory.Accesses ? 1e3 * static_cast<double>(R.Memory.L1Misses) /
+                                 static_cast<double>(R.Memory.Accesses)
+                           : 0.0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // --shards is this bench's own axis; strip it before the uniform flags
+  // (bench::init rejects anything it does not know).
+  std::vector<uint32_t> ShardCounts = {1, 4, 16, 64};
+  {
+    flags::ArgScanner S(Argc, Argv);
+    std::string Value;
+    while (S.next()) {
+      if (S.take("--shards", Value)) {
+        if (!S.ok())
+          break;
+        ShardCounts.clear();
+        size_t Pos = 0;
+        while (Pos <= Value.size()) {
+          size_t Comma = Value.find(',', Pos);
+          size_t End = Comma == std::string::npos ? Value.size() : Comma;
+          std::string Item = Value.substr(Pos, End - Pos);
+          uint64_t V = 0;
+          if (!flags::parseUint(Item.c_str(), V) || V == 0 || V > 256) {
+            fprintf(stderr,
+                    "error: --shards wants a comma list of 1..256, got "
+                    "'%s'\n",
+                    Value.c_str());
+            S.fail();
+            break;
+          }
+          ShardCounts.push_back(static_cast<uint32_t>(V));
+          if (Comma == std::string::npos)
+            break;
+          Pos = Comma + 1;
+        }
+      } else {
+        S.keep();
+      }
+    }
+    if (!S.ok())
+      return 2;
+  }
+  BenchOptions Opts = bench::init(Argc, Argv);
+  uint32_t Scale = envScale(60);
+  banner("Fleet scaling: multi-tenant shards under shared PEBS",
+         "section 6 outlook: one monitoring facility, many clients "
+         "(fleet extension; no single paper figure)",
+         Scale,
+         "per-tenant accepts stay positive and the policy fleet keeps an "
+         "L1 miss-rate edge over nohpm even as the PMU is split 64 ways");
+
+  std::vector<Cell> Cells;
+  for (uint32_t N : ShardCounts)
+    for (bool Policy : {false, true}) {
+      Cell C;
+      C.Shards = N;
+      C.Policy = Policy;
+      C.Label = formatString("s%u/%s", N, Policy ? "policy" : "nohpm");
+      Cells.push_back(std::move(C));
+    }
+
+  parallelFor(Cells.size(), Opts.Jobs, [&](size_t I) {
+    FleetConfig F = cellConfig(Cells[I], Scale);
+    // Resolve the process-wide export paths and tag them with the cell
+    // index before the fleet adds its per-shard ".runNNN" suffix:
+    // otherwise shard 0 of every cell would write the same path, racily
+    // under --jobs. Cell indexes are fixed by the sweep order, so the
+    // exported file set is identical at any job count.
+    F.Base.Obs = resolveObsConfig(F.Base.Obs);
+    if (F.Base.Obs.exportsAnything())
+      F.Base.Obs = uniquifySuiteObsPaths(F.Base.Obs, I);
+    Cells[I].Result = runFleet(F);
+  });
+
+  TableWriter T({"config", "tenants", "requests", "makespan ms", "accepts",
+                 "acc/tenant", "l1/1Kacc", "vs nohpm", "pmu rot",
+                 "granted %"});
+  for (size_t I = 0; I != Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    const FleetResult &R = C.Result;
+    uint64_t Reqs = 0, Accepts = 0;
+    double GrantedSum = 0.0;
+    for (const FleetTenantResult &TR : R.Tenants) {
+      Reqs += TR.Requests;
+      Accepts += countAccepts(TR.Run.Journal);
+      GrantedSum += TR.Share.Executed
+                        ? static_cast<double>(TR.Share.Granted) /
+                              static_cast<double>(TR.Share.Executed)
+                        : 1.0;
+    }
+    double L1 = l1PerKAccess(R.Aggregate);
+    // The nohpm cell for the same shard count precedes the policy cell.
+    std::string Delta = "-";
+    if (C.Policy) {
+      double Base = l1PerKAccess(Cells[I - 1].Result.Aggregate);
+      if (Base > 0.0)
+        Delta = pct(L1 / Base);
+    }
+    T.addRow({C.Label, formatString("%zu", R.Tenants.size()),
+              withThousandsSep(Reqs),
+              formatString("%.2f",
+                           VirtualClock::toSeconds(R.MakespanCycles) * 1e3),
+              withThousandsSep(Accepts),
+              formatString("%.1f", R.Tenants.empty()
+                                       ? 0.0
+                                       : static_cast<double>(Accepts) /
+                                             static_cast<double>(
+                                                 R.Tenants.size())),
+              formatString("%.2f", L1), Delta,
+              withThousandsSep(R.PmuRotations),
+              formatString("%.1f", 100.0 * GrantedSum /
+                                       static_cast<double>(
+                                           R.Tenants.empty()
+                                               ? 1
+                                               : R.Tenants.size()))});
+  }
+  emit(T, "fleet_scaling");
+
+  // JSON: per-tenant rows then the fleet-wide aggregate, per cell, in cell
+  // order -- stable at any --jobs.
+  std::vector<LabeledResult> Runs;
+  for (const Cell &C : Cells) {
+    for (const FleetTenantResult &TR : C.Result.Tenants)
+      Runs.push_back({formatString("%s/tenant%03u", C.Label.c_str(),
+                                   TR.Tenant),
+                      TR.Run});
+    Runs.push_back({C.Label + "/fleet", C.Result.Aggregate});
+  }
+  maybeWriteJson(Opts, "fleet_scaling", Runs);
+  return 0;
+}

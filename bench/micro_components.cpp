@@ -17,6 +17,7 @@
 #include "hpm/PerfmonModule.h"
 #include "memsim/MemoryHierarchy.h"
 #include "obs/Metrics.h"
+#include "support/Flags.h"
 #include "support/Random.h"
 #include "vm/AdaptiveOptimizationSystem.h"
 #include "vm/BytecodeBuilder.h"
@@ -334,10 +335,11 @@ BENCHMARK(BM_DrainBatch);
 // loudly instead of silently benchmarking the wrong thing.
 int main(int Argc, char **Argv) {
   benchmark::Initialize(&Argc, Argv);
-  if (Argc > 1) {
-    fprintf(stderr, "error: unknown argument '%s'\n", Argv[1]);
+  hpmvm::flags::ArgScanner S(Argc, Argv);
+  while (S.next())
+    S.keepUnknown();
+  if (!S.ok())
     return 2;
-  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -19,6 +19,7 @@ HpmMonitor::HpmMonitor(VirtualMachine &Vm, const MonitorConfig &Config)
     this->Config.SamplingInterval = this->Config.Events[0].Interval;
     this->Config.Events.clear();
   }
+  Native.setTenant(this->Config.Tenant);
   Collector = std::make_unique<SampleCollector>(Native, Vm.clock(),
                                                 Config.Collector);
   Resolver = std::make_unique<SampleResolver>(Vm);
@@ -145,6 +146,7 @@ bool HpmMonitor::attribute(const ResolvedSample &R, Address DataAddr,
   }
   A = AttributedSample{};
   A.Kind = Kind;
+  A.Tenant = Config.Tenant;
   A.Method = R.Method;
   A.Flavor = R.Flavor;
   A.InstIdx = R.InstIdx;
@@ -246,6 +248,17 @@ void HpmMonitor::processBatch(const PebsSample *Samples, size_t N) {
   PeriodContext Ctx;
   Ctx.Now = Vm.clock().now();
   Ctx.Mux = Mux.get();
+  // Under a shared PMU, fold this period's granted share into the rate
+  // correction. Outside fleet mode pmuShare() never advances and the
+  // share stays at its neutral 1.0.
+  PmuShare Share = Perfmon.pmuShare();
+  if (Share.Executed > LastPmuShare.Executed) {
+    double S = static_cast<double>(Share.Granted - LastPmuShare.Granted) /
+               static_cast<double>(Share.Executed - LastPmuShare.Executed);
+    if (S > 0.0)
+      Ctx.TenantShare = S;
+  }
+  LastPmuShare = Share;
   Pipeline.endPeriod(Ctx);
   if (PeriodObserver)
     PeriodObserver();

@@ -95,6 +95,10 @@ struct MonitorConfig {
                                      // paper's.
                                      .PollCost = 2500};
   uint64_t Seed = 0x5eed;
+  /// Fleet runs: the VM shard this monitor belongs to. Stamped into every
+  /// attributed sample and every sample batch; 0 (and invisible) outside
+  /// fleet mode.
+  TenantId Tenant = 0;
 };
 
 /// Monitoring-side statistics.
@@ -192,6 +196,9 @@ private:
   /// handed to dispatchBatch (allocated once, reused every poll).
   ResolvedBatch Resolved;
   std::vector<AttributedSample> AttrBatch;
+  /// Last reading of the shared-PMU tenancy; successive readings diff into
+  /// the per-period tenant share folded into PeriodContext::scale.
+  PmuShare LastPmuShare;
   std::function<void()> PeriodObserver;
   MonitorStats Stats;
   bool Attached = false;

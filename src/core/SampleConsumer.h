@@ -64,6 +64,10 @@ struct AttributedSample {
   uint32_t OptIndex = kInvalidId;
   /// The faulting data address (the PEBS record's EAX).
   Address DataAddr = 0;
+  /// The VM shard this sample belongs to (0 outside fleet runs). Each
+  /// shard runs its own pipeline, so consumers normally see one tenant;
+  /// the id keeps records auditable once they are merged fleet-wide.
+  TenantId Tenant = 0;
 };
 
 /// Per-period context handed to every consumer at period boundaries.
@@ -72,10 +76,17 @@ struct PeriodContext {
   Cycles Now = 0;
   /// The monitor's multiplexer, or null in single-event mode.
   const EventMultiplexer *Mux = nullptr;
+  /// Fraction of this period's executed cycles the owning tenant held the
+  /// shared PMU for (PmuArbiter grant). 1.0 outside fleet runs and for a
+  /// 1-shard fleet, so single-VM results are untouched.
+  double TenantShare = 1.0;
 
-  /// Duty-cycle correction factor for \p Kind: multiply a per-period
-  /// sample count by this to estimate what a dedicated (non-multiplexed)
-  /// counter would have seen. 1.0 in single-event mode.
+  /// Correction factor for \p Kind: multiply a per-period sample count by
+  /// this to estimate what a dedicated (non-multiplexed, non-shared)
+  /// counter would have seen. Folds the multiplexer's per-kind duty cycle
+  /// with the tenant's PMU share, so BottleneckClassifier rate estimates
+  /// stay unbiased as the sampling facility is divided N ways. 1.0 in
+  /// single-event single-tenant mode.
   double scale(HpmEventKind Kind) const;
 };
 

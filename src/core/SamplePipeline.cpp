@@ -11,7 +11,13 @@
 using namespace hpmvm;
 
 double PeriodContext::scale(HpmEventKind Kind) const {
-  return Mux ? Mux->dutyCycleScale(Kind) : 1.0;
+  double DutyCycle = Mux ? Mux->dutyCycleScale(Kind) : 1.0;
+  // A tenant holding the shared PMU for share s of its executed cycles saw
+  // only ~s of the events a dedicated counter would have sampled; scale
+  // the other 1/s back in. TenantShare is 1.0 outside fleet runs, keeping
+  // single-VM results bit-identical.
+  return TenantShare > 0.0 && TenantShare < 1.0 ? DutyCycle / TenantShare
+                                                : DutyCycle;
 }
 
 void SamplePipeline::addConsumer(SampleConsumer &C) {

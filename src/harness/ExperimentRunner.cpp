@@ -139,14 +139,22 @@ Experiment::Experiment(const RunConfig &Config)
 Experiment::~Experiment() = default;
 
 void Experiment::run() {
+  beginRun();
+  Vm->run(Prog.Main);
+  finishRun();
+}
+
+void Experiment::beginRun() {
   assert(!Ran && "experiment ran twice");
   Ran = true;
-  Cycles Start = Vm->clock().now();
-  SelfProfiler &Prof = Obs.selfProfiler();
-  uint64_t WallT0 = Prof.enabled() ? SelfProfiler::nowNs() : 0;
-  Vm->run(Prog.Main);
+  RunStart = Vm->clock().now();
+  WallT0 = Obs.selfProfiler().enabled() ? SelfProfiler::nowNs() : 0;
+}
+
+void Experiment::finishRun() {
   if (Monitor)
     Monitor->finish();
+  SelfProfiler &Prof = Obs.selfProfiler();
   if (Prof.enabled()) {
     // Extrapolate the sampled per-stage timings to the whole run and
     // report the monitor's host-side share of it in parts per million.
@@ -161,8 +169,8 @@ void Experiment::run() {
         .gauge("monitor.self_overhead_frac_ppm")
         .set(static_cast<uint64_t>(Frac * 1e6));
   }
-  Obs.trace().complete(Start, Vm->clock().now() - Start, "experiment.run",
-                       "harness");
+  Obs.trace().complete(RunStart, Vm->clock().now() - RunStart,
+                       "experiment.run", "harness");
   if (Obs.config().exportsAnything())
     Obs.exportAll();
 }

@@ -126,6 +126,15 @@ public:
   /// Runs the workload to completion (and finishes the monitor).
   void run();
 
+  /// Split-phase run, for drivers that interleave their own execution
+  /// between start and finish (the fleet's request traffic loop):
+  /// beginRun() marks the start (and arms the self-profiler), the caller
+  /// invokes whatever it wants on vm(), and finishRun() drains/stops the
+  /// monitor and exports telemetry. run() is exactly beginRun() +
+  /// Vm->run(Main) + finishRun().
+  void beginRun();
+  void finishRun();
+
   RunResult result();
 
   VirtualMachine &vm() { return *Vm; }
@@ -161,6 +170,9 @@ private:
   std::unique_ptr<class PolicyEngine> Engine;
   WorkloadProgram Prog;
   bool Ran = false;
+  /// Split-phase run state (set by beginRun, consumed by finishRun).
+  Cycles RunStart = 0;
+  uint64_t WallT0 = 0;
 };
 
 /// Convenience: configure, run, return the result.

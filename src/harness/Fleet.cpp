@@ -1,0 +1,241 @@
+//===-- harness/Fleet.cpp -------------------------------------------------===//
+
+#include "harness/Fleet.h"
+
+#include "harness/Suite.h"
+#include "obs/Log.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+using namespace hpmvm;
+
+Fleet::Fleet(const FleetConfig &Config)
+    : Config(Config), Arbiter(Config.Arbiter) {
+  assert(Config.Shards >= 1 && "a fleet needs at least one shard");
+  Shards.reserve(Config.Shards);
+  Requests.assign(Config.Shards, 0);
+  Busy.assign(Config.Shards, 0);
+  for (uint32_t S = 0; S != Config.Shards; ++S) {
+    RunConfig C = Config.Base;
+    // Per-shard seeds: deterministic, scheduling-independent, and shard 0
+    // of a 1-shard fleet runs the base config verbatim.
+    C.Params.Seed = Config.Base.Params.Seed + S;
+    C.Monitor.Seed = Config.Base.Monitor.Seed + S;
+    C.Monitor.Tenant = S;
+    C.Obs = resolveObsConfig(C.Obs);
+    if (Config.Shards > 1 && C.Obs.exportsAnything())
+      C.Obs = uniquifySuiteObsPaths(C.Obs, S);
+    Shards.push_back(std::make_unique<Experiment>(C));
+    // The shared PMU exists only where shards interleave. Classic mode is
+    // N dedicated machines; joining the arbiter there would close every
+    // non-granted shard's sample gate for its entire (unshared) run.
+    if (Config.Traffic && Shards.back()->monitor()) {
+      TenantId T =
+          Shards.back()->monitor()->perfmon().joinArbiter(Arbiter);
+      (void)T;
+      assert(T == S && "arbiter tenant ids must match shard order");
+    }
+  }
+  if (Arbiter.tenants())
+    Arbiter.start();
+}
+
+Fleet::~Fleet() = default;
+
+void Fleet::run() {
+  assert(!Ran && "fleet ran twice");
+  Ran = true;
+  if (Config.Traffic)
+    runTraffic();
+  else
+    runClassic();
+}
+
+void Fleet::runClassic() {
+  for (std::unique_ptr<Experiment> &E : Shards)
+    E->run();
+}
+
+void Fleet::runTraffic() {
+  const FleetTrafficConfig &TC = Config.TrafficCfg;
+  const size_t N = Shards.size();
+  const bool Shared = Arbiter.tenants() != 0;
+
+  // Independent per-tenant traffic streams: each tenant's arrivals and
+  // handler picks consume its own SplitMix64 in request order, so the
+  // schedule never depends on how tenants happen to interleave.
+  const double CyclesPerMs = static_cast<double>(VirtualClock::fromMillis(1));
+  const double MeanGap = CyclesPerMs * 1000.0 / TC.ArrivalRatePerSec;
+  const double HalfBurst =
+      TC.BurstPeriodMs > 0 ? CyclesPerMs * TC.BurstPeriodMs / 2.0 : 0.0;
+  std::vector<SplitMix64> Rngs;
+  std::vector<double> Phase(N, 0.0), NextArrival(N, 0.0);
+  Rngs.reserve(N);
+  for (size_t T = 0; T != N; ++T) {
+    Rngs.emplace_back(TC.Seed + 0x9e3779b97f4a7c15ull *
+                                    (static_cast<uint64_t>(T) + 1));
+    if (HalfBurst > 0.0)
+      Phase[T] = Rngs.back().nextDouble() * 2.0 * HalfBurst;
+  }
+  // Exponential interarrival with piecewise-constant bursty rate: the
+  // instantaneous rate is (1 +/- BurstAmplitude) x mean, alternating every
+  // half burst period, phase-shifted per tenant.
+  auto drawGap = [&](size_t T, double At) {
+    double U = 1.0 - Rngs[T].nextDouble(); // (0, 1]
+    double Mult = 1.0;
+    if (HalfBurst > 0.0 && TC.BurstAmplitude > 0.0) {
+      uint64_t Half = static_cast<uint64_t>((At + Phase[T]) / HalfBurst);
+      Mult = (Half & 1) ? 1.0 - TC.BurstAmplitude : 1.0 + TC.BurstAmplitude;
+      if (Mult <= 0.0)
+        Mult = 0.05;
+    }
+    return MeanGap * -std::log(U) / Mult;
+  };
+  // 60/30/10 lookup/insert/report mix, rotated by tenant id so tenants
+  // stress different paths.
+  auto pickHandler = [&](size_t T, size_t NumHandlers) {
+    uint64_t D = Rngs[T].nextBelow(10);
+    size_t Idx = D < 6 ? 0 : D < 9 ? 1 : 2;
+    return (Idx + T) % NumHandlers;
+  };
+
+  // Session setup, one quantum per shard, in shard order.
+  for (size_t T = 0; T != N; ++T) {
+    Experiment &E = *Shards[T];
+    if (E.program().RequestHandlers.empty()) {
+      logError("harness",
+               "fleet traffic mode needs a server workload; '%s' has no "
+               "request handlers",
+               E.spec().Name.c_str());
+      abort();
+    }
+    E.beginRun();
+    if (Shared)
+      Arbiter.beginQuantum(static_cast<TenantId>(T));
+    Cycles C0 = E.vm().clock().now();
+    if (E.program().Setup != kInvalidId)
+      E.vm().invoke(E.program().Setup, {});
+    E.vm().safepoint();
+    if (Shared)
+      Arbiter.endQuantum(static_cast<TenantId>(T),
+                         E.vm().clock().now() - C0);
+    NextArrival[T] = static_cast<double>(E.vm().clock().now()) +
+                     drawGap(T, static_cast<double>(E.vm().clock().now()));
+  }
+
+  // The discrete-event request loop: always serve the tenant whose next
+  // request starts earliest (its arrival, or now if it has a backlog);
+  // ties break to the lowest shard id. One request = one PMU quantum.
+  std::vector<uint32_t> Served(N, 0);
+  for (;;) {
+    size_t Pick = N;
+    double PickStart = 0.0;
+    for (size_t T = 0; T != N; ++T) {
+      if (Served[T] >= TC.RequestsPerTenant)
+        continue;
+      double Start =
+          std::max(static_cast<double>(Shards[T]->vm().clock().now()),
+                   NextArrival[T]);
+      if (Pick == N || Start < PickStart) {
+        Pick = T;
+        PickStart = Start;
+      }
+    }
+    if (Pick == N)
+      break;
+    Experiment &E = *Shards[Pick];
+    VirtualClock &Clock = E.vm().clock();
+    Cycles Arr = static_cast<Cycles>(NextArrival[Pick]);
+    if (Clock.now() < Arr)
+      Clock.advance(Arr - Clock.now()); // Open-loop: idle until arrival.
+    const std::vector<MethodId> &H = E.program().RequestHandlers;
+    size_t Idx = pickHandler(Pick, H.size());
+    if (Shared)
+      Arbiter.beginQuantum(static_cast<TenantId>(Pick));
+    Cycles C0 = Clock.now();
+    E.vm().invoke(H[Idx], {});
+    E.vm().safepoint(); // Poll so tail samples are not stranded.
+    Cycles Delta = Clock.now() - C0;
+    if (Shared)
+      Arbiter.endQuantum(static_cast<TenantId>(Pick), Delta);
+    Busy[Pick] += Delta;
+    ++Requests[Pick];
+    ++Served[Pick];
+    NextArrival[Pick] += drawGap(Pick, NextArrival[Pick]);
+  }
+
+  // Drain and export, in shard order. The fleet gauges ride in each
+  // tenant's metrics snapshot so runs-JSON and hpmvm_report see them
+  // without any format change.
+  for (size_t T = 0; T != N; ++T) {
+    Experiment &E = *Shards[T];
+    E.obs().metrics().gauge("fleet.requests").set(Requests[T]);
+    E.obs().metrics().gauge("fleet.busy_cycles").set(Busy[T]);
+    if (Shared)
+      E.obs()
+          .metrics()
+          .gauge("fleet.pmu_granted_ppm")
+          .set(static_cast<uint64_t>(
+              Arbiter.grantedFraction(static_cast<TenantId>(T)) * 1e6));
+    E.finishRun();
+  }
+}
+
+FleetResult Fleet::result() {
+  FleetResult R;
+  R.PmuRotations = Arbiter.rotations();
+  R.Tenants.reserve(Shards.size());
+  RunResult &A = R.Aggregate;
+  for (size_t T = 0; T != Shards.size(); ++T) {
+    FleetTenantResult TR;
+    TR.Tenant = static_cast<TenantId>(T);
+    TR.Run = Shards[T]->result();
+    if (Arbiter.tenants())
+      TR.Share = Arbiter.shareOf(static_cast<TenantId>(T));
+    TR.Requests = Requests[T];
+    TR.BusyCycles = Busy[T];
+
+    const RunResult &Run = TR.Run;
+    R.MakespanCycles = std::max(R.MakespanCycles, Run.TotalCycles);
+    A.GcCycles += Run.GcCycles;
+    A.MonitorOverheadCycles += Run.MonitorOverheadCycles;
+    A.SamplesTaken += Run.SamplesTaken;
+    A.CoallocatedPairs += Run.CoallocatedPairs;
+    A.HeapBytes += Run.HeapBytes;
+    A.Memory.Accesses += Run.Memory.Accesses;
+    A.Memory.L1Misses += Run.Memory.L1Misses;
+    A.Memory.L2Misses += Run.Memory.L2Misses;
+    A.Memory.TlbMisses += Run.Memory.TlbMisses;
+    A.Gc.MinorCollections += Run.Gc.MinorCollections;
+    A.Gc.MajorCollections += Run.Gc.MajorCollections;
+    A.Gc.ObjectsPromoted += Run.Gc.ObjectsPromoted;
+    A.Vm.BytecodesInterpreted += Run.Vm.BytecodesInterpreted;
+    A.Vm.MachineInstsExecuted += Run.Vm.MachineInstsExecuted;
+    A.Vm.ObjectsAllocated += Run.Vm.ObjectsAllocated;
+    A.Vm.BytesAllocated += Run.Vm.BytesAllocated;
+    for (DecisionRecord D : Run.Journal) {
+      D.Tenant = static_cast<TenantId>(T);
+      A.Journal.push_back(D);
+    }
+    R.Tenants.push_back(std::move(TR));
+  }
+  A.TotalCycles = R.MakespanCycles;
+  // Merge the per-tenant journals into one timeline; stable sort keeps
+  // same-timestamp records in tenant order, so the merged JSONL is a pure
+  // function of the per-tenant journals.
+  std::stable_sort(A.Journal.begin(), A.Journal.end(),
+                   [](const DecisionRecord &X, const DecisionRecord &Y) {
+                     return X.Ts < Y.Ts;
+                   });
+  return R;
+}
+
+FleetResult hpmvm::runFleet(const FleetConfig &Config) {
+  Fleet F(Config);
+  F.run();
+  return F.result();
+}

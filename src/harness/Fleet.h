@@ -1,0 +1,139 @@
+//===-- harness/Fleet.h - Multi-tenant sharded VM fleet ---------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet harness lifts the one-Experiment-one-VM assumption: N tenant
+/// shards, each a full Experiment (own heap, AOS, sample pipeline and
+/// policy engine), served request traffic while one *physical* PMU is
+/// time-multiplexed across them through a PmuArbiter (per-shard PebsUnits
+/// are the saved counter contexts; only the granted shard's sample gate is
+/// open, all shards' counters always count).
+///
+/// Two modes:
+///   - Traffic (default): a discrete-event loop drives open-loop
+///     Poisson/bursty request arrivals per tenant against the shard's
+///     server workload handlers. One request = one PMU quantum (context
+///     switches happen at request boundaries, like a CPU scheduler). The
+///     loop is sequential and fully deterministic: each tenant's arrival
+///     and handler-mix stream is an independent seeded SplitMix64, so the
+///     schedule is a pure function of the config -- any host-side
+///     parallelism lives *above* the fleet (one fleet per ParallelRunner
+///     job), never inside it.
+///   - Classic (Traffic = false): each shard runs its whole program
+///     back-to-back with a dedicated PMU -- a suite of N runs packaged as
+///     one fleet. A 1-shard classic fleet reproduces a plain Experiment
+///     bit-for-bit (the equivalence test asserts exactly that).
+///
+/// Per-tenant duty: shard s executes with seed Base.Seed + s (workload and
+/// PEBS streams both), and under the shared PMU its per-period granted
+/// share flows through PeriodContext::scale so BottleneckClassifier rates
+/// stay unbiased at any shard count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HARNESS_FLEET_H
+#define HPMVM_HARNESS_FLEET_H
+
+#include "harness/ExperimentRunner.h"
+#include "hpm/PmuArbiter.h"
+
+#include <memory>
+#include <vector>
+
+namespace hpmvm {
+
+/// Open-loop request traffic, all in virtual time.
+struct FleetTrafficConfig {
+  /// Requests served per tenant (the run length).
+  uint32_t RequestsPerTenant = 256;
+  /// Mean per-tenant arrival rate (requests per virtual second). Arrivals
+  /// are open-loop: a request that finds its shard busy queues, and the
+  /// shard works through its backlog.
+  double ArrivalRatePerSec = 20000.0;
+  /// Bursty modulation: the instantaneous rate alternates between
+  /// (1+A) and (1-A) times the mean every half BurstPeriodMs, with a
+  /// deterministic per-tenant phase shift so tenants' bursts interleave.
+  /// 0 = plain Poisson.
+  double BurstAmplitude = 0.5;
+  double BurstPeriodMs = 4.0;
+  /// Seed of the traffic streams (arrivals + handler mix). Each tenant
+  /// derives an independent stream from it, so per-tenant schedules do not
+  /// depend on how tenants interleave.
+  uint64_t Seed = 0x7ea0f1ee;
+};
+
+/// Full configuration of one fleet run.
+struct FleetConfig {
+  /// Per-shard base config; shard s runs it with Params.Seed + s,
+  /// Monitor.Seed + s and Monitor.Tenant = s. In traffic mode the
+  /// workload must be a server workload (non-empty RequestHandlers).
+  RunConfig Base;
+  uint32_t Shards = 1;
+  /// Request-driven discrete-event mode (shared PMU); false = classic
+  /// back-to-back whole-program shards (dedicated PMUs).
+  bool Traffic = true;
+  FleetTrafficConfig TrafficCfg;
+  PmuArbiterConfig Arbiter;
+};
+
+/// One tenant's outcome.
+struct FleetTenantResult {
+  TenantId Tenant = 0;
+  RunResult Run;
+  /// Cumulative shared-PMU tenancy (zeros in classic mode).
+  PmuShare Share;
+  uint64_t Requests = 0;
+  /// Cycles spent executing requests (excludes open-loop idle waits).
+  Cycles BusyCycles = 0;
+};
+
+/// Fleet-wide outcome: per-tenant results plus an aggregate row.
+struct FleetResult {
+  std::vector<FleetTenantResult> Tenants;
+  uint64_t PmuRotations = 0;
+  /// Max tenant clock -- the fleet's makespan.
+  Cycles MakespanCycles = 0;
+  /// Headline sums across tenants (TotalCycles = makespan; Metrics left
+  /// empty -- per-tenant snapshots stay with each tenant). The journal is
+  /// the tenants' journals merged by timestamp with each record stamped
+  /// with its tenant, so one fleet-wide JSONL stays auditable.
+  RunResult Aggregate;
+};
+
+/// Owns the N shard Experiments and the shared-PMU arbiter.
+class Fleet {
+public:
+  explicit Fleet(const FleetConfig &Config);
+  ~Fleet();
+
+  /// Runs the whole fleet to completion (setup, traffic, drain).
+  void run();
+
+  FleetResult result();
+
+  size_t shards() const { return Shards.size(); }
+  Experiment &shard(size_t I) { return *Shards[I]; }
+  PmuArbiter &arbiter() { return Arbiter; }
+  const FleetConfig &config() const { return Config; }
+
+private:
+  void runClassic();
+  void runTraffic();
+
+  FleetConfig Config;
+  PmuArbiter Arbiter;
+  std::vector<std::unique_ptr<Experiment>> Shards;
+  std::vector<uint64_t> Requests;
+  std::vector<Cycles> Busy;
+  bool Ran = false;
+};
+
+/// Convenience: configure, run, return the result.
+FleetResult runFleet(const FleetConfig &Config);
+
+} // namespace hpmvm
+
+#endif // HPMVM_HARNESS_FLEET_H

@@ -64,7 +64,12 @@ public:
 
   /// Zero-copy view over the samples the last readIntoArray() marshalled;
   /// invalidated by the next readIntoArray().
-  SampleBatch batch() const { return SampleBatch{Buffer.data(), ValidSamples}; }
+  SampleBatch batch() const {
+    return SampleBatch{Buffer.data(), ValidSamples, Tenant};
+  }
+
+  /// Tags batches with the owning VM shard (fleet runs; 0 otherwise).
+  void setTenant(TenantId T) { Tenant = T; }
 
   /// Decodes sample \p I from the buffer. Pre: I < arrayedSamples().
   PebsSample decode(size_t I) const;
@@ -96,6 +101,7 @@ private:
   /// as typed records so drains are a single kernel-side fill).
   std::vector<PebsSample> Buffer;
   size_t ValidSamples = 0;
+  TenantId Tenant = 0;
   std::function<void(bool)> GcLock;
   VirtualClock *Clock = nullptr;
   NativeLibraryCosts Costs;

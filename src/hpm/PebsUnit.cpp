@@ -50,7 +50,7 @@ uint64_t PebsUnit::nextCountdown() {
 
 void PebsUnit::onMemoryEvent(HpmEventKind Kind, Address Pc, Address DataAddr) {
   ++EventCounts[static_cast<size_t>(Kind)];
-  if (!Running || Kind != Config.SelectedEvent)
+  if (!Running || !GateOpen || Kind != Config.SelectedEvent)
     return;
   assert(Countdown > 0 && "countdown must be armed while running");
   if (--Countdown != 0)

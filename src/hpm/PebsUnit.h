@@ -71,6 +71,15 @@ public:
   void setInterval(uint64_t Interval);
   uint64_t interval() const { return Config.Interval; }
 
+  /// Shared-PMU sample gate. When closed, the event detectors keep
+  /// counting (totals stay exact) but the sampling countdown is frozen --
+  /// the unit models a PMU context that is currently switched out while
+  /// another tenant holds the one physical sampling facility. Open by
+  /// default, so single-VM runs never see the gate; the PmuArbiter opens
+  /// exactly one tenant's gate at a time in fleet runs.
+  void setSampleGate(bool Open) { GateOpen = Open; }
+  bool sampleGateOpen() const { return GateOpen; }
+
   /// If set, microcode sample-store cycles advance this clock directly.
   void setClock(VirtualClock *C) { Clock = C; }
 
@@ -109,6 +118,7 @@ private:
   SplitMix64 Rng;
   VirtualClock *Clock = nullptr;
   bool Running = false;
+  bool GateOpen = true;
   uint64_t Countdown = 0;
   std::vector<PebsSample> Buffer;
   bool InterruptPending = false;

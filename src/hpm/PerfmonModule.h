@@ -17,6 +17,7 @@
 #define HPMVM_HPM_PERFMONMODULE_H
 
 #include "hpm/PebsUnit.h"
+#include "hpm/PmuArbiter.h"
 #include "hpm/Sample.h"
 
 #include <deque>
@@ -29,6 +30,26 @@ class ObsContext;
 class PerfmonModule {
 public:
   explicit PerfmonModule(PebsUnit &Unit) : Unit(Unit) {}
+
+  /// Shared-PMU (fleet) mode: joins \p A, which from now on owns the
+  /// unit's sample gate. This module keeps programming its tenant's PMU
+  /// *context* (event selection, interval) exactly as in single-VM mode;
+  /// whether that context is loaded into the physical PMU is the
+  /// arbiter's round-robin decision. \returns the assigned tenant id.
+  TenantId joinArbiter(PmuArbiter &A) {
+    Arbiter = &A;
+    Tenant = A.add(Unit);
+    return Tenant;
+  }
+
+  /// The owning tenant's cumulative PMU tenancy; zeros outside fleet mode
+  /// (monitors treat a non-advancing share as "fully granted").
+  PmuShare pmuShare() const {
+    return Arbiter ? Arbiter->shareOf(Tenant) : PmuShare{};
+  }
+
+  TenantId tenant() const { return Tenant; }
+  PmuArbiter *arbiter() { return Arbiter; }
 
   /// Programs and starts sampling of \p Kind every \p Interval events.
   /// Mirrors pfm_self_start(); the platform-specific MSR programming is
@@ -63,6 +84,8 @@ private:
   void serviceInterrupt();
 
   PebsUnit &Unit;
+  PmuArbiter *Arbiter = nullptr;
+  TenantId Tenant = 0;
   std::deque<PebsSample> KernelBuffer;
   std::vector<PebsSample> DrainScratch;
   uint64_t TotalDelivered = 0;

@@ -1,0 +1,61 @@
+//===-- hpm/PmuArbiter.cpp ------------------------------------------------===//
+
+#include "hpm/PmuArbiter.h"
+
+#include "hpm/PebsUnit.h"
+
+#include <cassert>
+
+using namespace hpmvm;
+
+PmuArbiter::PmuArbiter(const PmuArbiterConfig &Config) : Config(Config) {
+  assert(Config.SliceMs > 0 && "grant slice must be positive");
+  SliceCycles = VirtualClock::fromMillis(Config.SliceMs);
+  if (SliceCycles == 0)
+    SliceCycles = 1;
+}
+
+TenantId PmuArbiter::add(PebsUnit &Unit) {
+  assert(!Started && "tenants join before arbitration starts");
+  Units.push_back(&Unit);
+  Shares.push_back({});
+  return static_cast<TenantId>(Units.size() - 1);
+}
+
+void PmuArbiter::start() {
+  assert(!Units.empty() && "arbitrating zero tenants");
+  Started = true;
+  Current = 0;
+  SliceUsed = 0;
+  for (TenantId T = 0; T != Units.size(); ++T)
+    Units[T]->setSampleGate(granted(T));
+}
+
+bool PmuArbiter::beginQuantum(TenantId T) {
+  assert(Started && T < Units.size());
+  bool G = granted(T);
+  Units[T]->setSampleGate(G);
+  return G;
+}
+
+void PmuArbiter::endQuantum(TenantId T, Cycles Delta) {
+  assert(Started && T < Units.size());
+  Shares[T].Executed += Delta;
+  if (granted(T))
+    Shares[T].Granted += Delta;
+  if (Units.size() <= 1)
+    return;
+  SliceUsed += Delta;
+  while (SliceUsed >= SliceCycles) {
+    SliceUsed -= SliceCycles;
+    Current = (Current + 1) % static_cast<TenantId>(Units.size());
+    ++Rotations;
+  }
+}
+
+double PmuArbiter::grantedFraction(TenantId T) const {
+  const PmuShare &S = Shares[T];
+  return S.Executed ? static_cast<double>(S.Granted) /
+                          static_cast<double>(S.Executed)
+                    : 1.0;
+}

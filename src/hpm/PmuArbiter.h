@@ -1,0 +1,112 @@
+//===-- hpm/PmuArbiter.h - One physical PMU, N tenants ----------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Time-multiplexes the one physical sampling facility across the VM
+/// shards of a fleet run. Each tenant keeps its own PebsUnit -- its saved
+/// PMU context: event selection, interval counter, debug-store buffer --
+/// and the arbiter decides whose context is *loaded*, i.e. whose sample
+/// gate is open. The grant rotates fair round-robin after every
+/// SliceMs of executed fleet time; context switches happen only at quantum
+/// (request) boundaries, like per-thread PMU virtualization at kernel
+/// scheduling points.
+///
+/// Event *counting* is per-tenant and always on (the simulated detectors
+/// are free), so only sampling is contended -- which is exactly the
+/// scaling question: do HPM-guided optimizations still pay off when a
+/// tenant sees only 1/N of the sampling bandwidth? To keep downstream rate
+/// estimates unbiased, the arbiter tracks per-tenant executed vs.
+/// PMU-granted cycles; monitors fold the per-period granted share into
+/// PeriodContext::scale alongside the per-kind duty-cycle correction.
+///
+/// This layer sits *under* the per-kind EventMultiplexer: the mux rotates
+/// which event kind a tenant samples while its gate is open; the arbiter
+/// rotates which tenant's gate is open at all.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_HPM_PMUARBITER_H
+#define HPMVM_HPM_PMUARBITER_H
+
+#include "support/Types.h"
+#include "support/VirtualClock.h"
+
+#include <vector>
+
+namespace hpmvm {
+
+class PebsUnit;
+
+/// Cumulative PMU tenancy of one tenant: how many of its executed cycles
+/// it held the sampling grant for. Monitors diff successive readings to
+/// get an exact per-period share.
+struct PmuShare {
+  Cycles Granted = 0;
+  Cycles Executed = 0;
+};
+
+struct PmuArbiterConfig {
+  /// Grant slice in virtual milliseconds of *executed* fleet time (all
+  /// tenants pooled); after each slice the grant moves to the next tenant.
+  double SliceMs = 0.2;
+};
+
+/// Fair round-robin owner of the sampling grant.
+class PmuArbiter {
+public:
+  explicit PmuArbiter(const PmuArbiterConfig &Config = {});
+
+  /// Adds a tenant's PMU context. \returns the tenant's id (registration
+  /// order; fleets register shards in shard order, so ids coincide).
+  /// Gates are not touched until start().
+  TenantId add(PebsUnit &Unit);
+
+  /// Grants tenant 0 and closes every other gate. With a single tenant
+  /// the arbiter degenerates to always-granted: a 1-shard fleet samples
+  /// exactly like a plain single-VM run.
+  void start();
+
+  /// Whether \p T currently holds the grant.
+  bool granted(TenantId T) const {
+    return Units.size() <= 1 || Current == T;
+  }
+  TenantId current() const { return Current; }
+
+  /// Applies \p T's gate for the execution quantum it is about to run and
+  /// \returns whether it holds the PMU for it. The grant is held for whole
+  /// quanta: the context switch cost model is "switch at request
+  /// boundaries", not per event.
+  bool beginQuantum(TenantId T);
+
+  /// Charges \p T's just-finished quantum of \p Delta executed cycles and
+  /// rotates the grant once per fully used slice.
+  void endQuantum(TenantId T, Cycles Delta);
+
+  /// Cumulative tenancy of \p T (see PmuShare).
+  PmuShare shareOf(TenantId T) const { return Shares[T]; }
+
+  /// Lifetime granted fraction of \p T's executed cycles (1.0 before it
+  /// executed anything).
+  double grantedFraction(TenantId T) const;
+
+  size_t tenants() const { return Units.size(); }
+  uint64_t rotations() const { return Rotations; }
+  const PmuArbiterConfig &config() const { return Config; }
+
+private:
+  PmuArbiterConfig Config;
+  Cycles SliceCycles;
+  Cycles SliceUsed = 0;
+  TenantId Current = 0;
+  uint64_t Rotations = 0;
+  bool Started = false;
+  std::vector<PebsUnit *> Units;
+  std::vector<PmuShare> Shares;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_HPM_PMUARBITER_H

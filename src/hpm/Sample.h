@@ -45,6 +45,10 @@ inline constexpr size_t kSampleInts = sizeof(PebsSample) / sizeof(uint32_t);
 struct SampleBatch {
   const PebsSample *Data = nullptr;
   size_t N = 0;
+  /// The VM shard whose PMU context produced this batch (0 outside fleet
+  /// runs). Carried on the batch view, not in the 40-byte hardware record:
+  /// the debug-store buffer is per-tenant, so a batch never mixes tenants.
+  TenantId Tenant = 0;
 
   const PebsSample *data() const { return Data; }
   size_t size() const { return N; }

@@ -56,6 +56,8 @@ void DecisionJournal::writeRecordJson(FILE *Out, const DecisionRecord &R) {
   if (R.Baseline >= 0.0)
     fprintf(Out, ", \"baseline\": %.6g", R.Baseline);
   fprintf(Out, ", \"value\": %llu", static_cast<unsigned long long>(R.Value));
+  if (R.Tenant != kInvalidId)
+    fprintf(Out, ", \"tenant\": %u", R.Tenant);
   if (R.Outcome) {
     fputs(", \"outcome\": ", Out);
     writeJsonStringEscaped(Out, R.Outcome);

@@ -70,6 +70,8 @@ struct DecisionRecord {
   double Baseline = -1.0;         ///< Comparison baseline (negative = absent).
   uint64_t Value = 0;             ///< Kind-specific payload (count, interval,
                                   ///< gap bytes, phase number, ...).
+  TenantId Tenant = kInvalidId;   ///< Owning VM shard in fleet runs;
+                                  ///< kInvalidId (omitted) otherwise.
 };
 
 /// Bounded append-only decision log. Appends take a mutex (decisions are

@@ -2,6 +2,8 @@
 
 #include "obs/Obs.h"
 
+#include "support/Flags.h"
+
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -112,66 +114,60 @@ ObsConfig hpmvm::resolveObsConfig(const ObsConfig &C) {
 
 bool hpmvm::parseObsFlags(int &Argc, char **Argv) {
   ObsConfig C = ProcessConfig;
-  int Out = 1;
-  bool Ok = true;
+  flags::ArgScanner S(Argc, Argv);
 
-  auto Take = [&](int &I, const char *Flag, std::string &Value) {
-    size_t FlagLen = strlen(Flag);
-    if (strncmp(Argv[I], Flag, FlagLen) != 0)
+  // The obs layer reports through its own log sink, so flags are matched
+  // with the scanner's non-printing tryTake primitive.
+  auto Take = [&](const char *Flag, std::string &Value) {
+    switch (S.tryTake(Flag, Value)) {
+    case flags::TakeResult::NoMatch:
       return false;
-    if (Argv[I][FlagLen] == '=') {
-      Value = Argv[I] + FlagLen + 1;
-      return true;
-    }
-    if (Argv[I][FlagLen] != '\0')
-      return false;
-    if (I + 1 >= Argc) {
+    case flags::TakeResult::MissingValue:
       logError("obs", "%s requires a value", Flag);
-      Ok = false;
+      S.fail();
+      return true;
+    case flags::TakeResult::Value:
       return true;
     }
-    Value = Argv[++I];
-    return true;
+    return false;
   };
 
   // Create missing output directories at parse time so a bad path fails
   // here, naming the flag and path, rather than silently at run end.
-  auto TakePath = [&](int &I, const char *Flag, std::string &Dest) {
+  auto TakePath = [&](const char *Flag, std::string &Dest) {
     std::string Value;
-    if (!Take(I, Flag, Value))
+    if (!Take(Flag, Value))
       return false;
     if (!Value.empty() && !ensureParentDir(Value)) {
       logError("obs", "%s: cannot create output directory for '%s'", Flag,
                Value.c_str());
-      Ok = false;
+      S.fail();
     }
     Dest = Value;
     return true;
   };
 
-  for (int I = 1; I < Argc; ++I) {
+  while (S.next()) {
     std::string Value;
-    if (TakePath(I, "--metrics-out", C.MetricsOutPath)) {
-    } else if (TakePath(I, "--trace-out", C.TraceOutPath)) {
-    } else if (TakePath(I, "--journal-out", C.JournalOutPath)) {
-    } else if (strcmp(Argv[I], "--self-profile") == 0) {
+    if (TakePath("--metrics-out", C.MetricsOutPath)) {
+    } else if (TakePath("--trace-out", C.TraceOutPath)) {
+    } else if (TakePath("--journal-out", C.JournalOutPath)) {
+    } else if (S.takeSwitch("--self-profile")) {
       C.SelfProfile = true;
-    } else if (Take(I, "--log-level", Value)) {
+    } else if (Take("--log-level", Value)) {
       if (!Value.empty() && !parseLogLevel(Value, C.Level)) {
         logError("obs",
                  "unknown log level '%s' (want trace|debug|info|warn|"
                  "error|off)",
                  Value.c_str());
-        Ok = false;
+        S.fail();
       }
     } else {
-      Argv[Out++] = Argv[I];
+      S.keep();
     }
   }
-  Argc = Out;
-  Argv[Argc] = nullptr;
 
   setProcessObsConfig(C);
   Log::setLevel(C.Level);
-  return Ok;
+  return S.ok();
 }

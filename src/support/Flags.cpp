@@ -1,0 +1,93 @@
+//===-- support/Flags.cpp -------------------------------------------------===//
+
+#include "support/Flags.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace hpmvm;
+using namespace hpmvm::flags;
+
+bool hpmvm::flags::parseUint(const char *Text, uint64_t &Out) {
+  if (!Text || !*Text)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = strtoull(Text, &End, 10);
+  if (errno || End == Text || *End != '\0' || strchr(Text, '-'))
+    return false;
+  Out = V;
+  return true;
+}
+
+bool ArgScanner::next() {
+  ++I;
+  if (I < Argc)
+    return true;
+  if (!Done) {
+    Done = true;
+    Argc = Out;
+    Argv[Argc] = nullptr;
+  }
+  return false;
+}
+
+TakeResult ArgScanner::tryTake(const char *Flag, std::string &Value) {
+  size_t FlagLen = strlen(Flag);
+  if (strncmp(Argv[I], Flag, FlagLen) != 0)
+    return TakeResult::NoMatch;
+  if (Argv[I][FlagLen] == '=') {
+    Value = Argv[I] + FlagLen + 1;
+    return TakeResult::Value;
+  }
+  if (Argv[I][FlagLen] != '\0')
+    return TakeResult::NoMatch;
+  if (I + 1 >= Argc)
+    return TakeResult::MissingValue;
+  Value = Argv[++I];
+  return TakeResult::Value;
+}
+
+bool ArgScanner::take(const char *Flag, std::string &Value) {
+  switch (tryTake(Flag, Value)) {
+  case TakeResult::NoMatch:
+    return false;
+  case TakeResult::MissingValue:
+    fprintf(stderr, "error: %s requires a value\n", Flag);
+    Ok = false;
+    return true;
+  case TakeResult::Value:
+    return true;
+  }
+  return false;
+}
+
+bool ArgScanner::takeUint(const char *Flag, uint64_t Max, uint64_t &Slot) {
+  std::string Value;
+  if (!take(Flag, Value))
+    return false;
+  if (!Ok)
+    return true; // The missing value was already diagnosed.
+  uint64_t V = 0;
+  if (!parseUint(Value.c_str(), V) || V > Max) {
+    fprintf(stderr,
+            "error: %s wants an unsigned integer <= %llu, got '%s'\n", Flag,
+            static_cast<unsigned long long>(Max), Value.c_str());
+    Ok = false;
+    return true;
+  }
+  Slot = V;
+  return true;
+}
+
+bool ArgScanner::takeSwitch(const char *Flag) {
+  return strcmp(Argv[I], Flag) == 0;
+}
+
+void ArgScanner::keepUnknown() {
+  fprintf(stderr, "error: unknown argument '%s'\n", Argv[I]);
+  Ok = false;
+  keep();
+}

@@ -1,0 +1,118 @@
+//===-- support/Flags.h - Shared command-line flag scanning ----*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one implementation of the repo-wide flag conventions, shared by the
+/// obs flag parser, every bench binary (via bench::init) and the
+/// hpmvm_report tool:
+///
+///   - "--flag value" and "--flag=value" are both accepted;
+///   - numeric values parse strictly (the whole string must be a decimal
+///     unsigned integer; atoi-style silent truncation to 0 is a bug, not a
+///     convenience);
+///   - malformed input produces an error message *naming the flag*, and the
+///     caller exits 2 -- a typo'd sweep script must fail loudly instead of
+///     silently benchmarking the wrong thing;
+///   - arguments the caller does not recognize are compacted to the front
+///     of argv so parsers can be chained (obs flags first, then bench
+///     flags, then bench-specific extras).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_FLAGS_H
+#define HPMVM_SUPPORT_FLAGS_H
+
+#include <cstdint>
+#include <string>
+
+namespace hpmvm::flags {
+
+/// Strict unsigned parse: the whole string must be a decimal number.
+/// (atoi/atoll silently turn garbage into 0 -- a mistyped HPMVM_SEED would
+/// quietly change every result.)
+bool parseUint(const char *Text, uint64_t &Out);
+
+/// What matching the current argument against a flag yielded.
+enum class TakeResult {
+  NoMatch,      ///< The argument is not this flag.
+  Value,        ///< Matched; the value was extracted.
+  MissingValue, ///< Matched as "--flag" at the end of argv: no value.
+};
+
+/// In-place argv scanner implementing the conventions above. Usage:
+///
+///   flags::ArgScanner S(Argc, Argv);
+///   while (S.next()) {
+///     uint64_t V = 0;
+///     std::string Value;
+///     if (S.takeUint("--jobs", 1024, V))
+///       Opts.Jobs = static_cast<unsigned>(V);
+///     else if (S.take("--filter", Value))
+///       Opts.Filter = Value;
+///     else
+///       S.keepUnknown();   // or S.keep() for chained parsers
+///   }
+///   return S.ok();
+///
+/// When next() returns false the scanner has compacted argc/argv down to
+/// the kept arguments (argv[0] plus every keep()), NUL-terminated like the
+/// original vector.
+class ArgScanner {
+public:
+  ArgScanner(int &Argc, char **Argv) : Argc(Argc), Argv(Argv) {}
+
+  /// Advances to the next argument; false at the end (which finalizes the
+  /// argv compaction).
+  bool next();
+
+  /// The current argument (valid between a true next() and the following
+  /// next()).
+  const char *arg() const { return Argv[I]; }
+
+  /// Low-level match of the current argument against \p Flag; fills
+  /// \p Value on TakeResult::Value, consuming the following argument in
+  /// the "--flag value" form. Emits no diagnostics -- for callers with
+  /// their own error sink.
+  TakeResult tryTake(const char *Flag, std::string &Value);
+
+  /// Convenience: tryTake + an "error: <flag> requires a value" stderr
+  /// diagnostic on MissingValue (which also marks the scan failed).
+  /// \returns true when the argument matched the flag at all.
+  bool take(const char *Flag, std::string &Value);
+
+  /// take() + strict unsigned parse bounded by \p Max; diagnoses and marks
+  /// the scan failed on garbage, leaving \p Slot untouched.
+  bool takeUint(const char *Flag, uint64_t Max, uint64_t &Slot);
+
+  /// A bare valueless switch ("--self-profile").
+  bool takeSwitch(const char *Flag);
+
+  /// Keeps the current argument for a later parser in the chain.
+  void keep() { Argv[Out++] = Argv[I]; }
+
+  /// Diagnoses the current argument as unknown, marks the scan failed, and
+  /// keeps it (mirroring the historical bench behavior, where the bad
+  /// argument stays visible to whatever inspects argv after the failure).
+  void keepUnknown();
+
+  /// True while every taken flag parsed cleanly.
+  bool ok() const { return Ok; }
+
+  /// Marks the scan failed (for caller-side validation of a taken value).
+  void fail() { Ok = false; }
+
+private:
+  int &Argc;
+  char **Argv;
+  int I = 0;
+  int Out = 1;
+  bool Ok = true;
+  bool Done = false;
+};
+
+} // namespace hpmvm::flags
+
+#endif // HPMVM_SUPPORT_FLAGS_H

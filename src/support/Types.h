@@ -38,6 +38,11 @@ using FieldId = uint32_t;
 /// Identifier of a VM method.
 using MethodId = uint32_t;
 
+/// Identifier of one VM shard (tenant) in a fleet run. Single-VM runs are
+/// tenant 0 throughout; kInvalidId marks "no tenant" where the distinction
+/// matters (e.g. journal records of non-fleet runs).
+using TenantId = uint32_t;
+
 /// Sentinel for "no class" / "no field" / "no method".
 inline constexpr uint32_t kInvalidId = 0xffffffffu;
 

@@ -1,0 +1,234 @@
+//===-- workloads/ServerMix.cpp - Request-serving tenant workload ---------===//
+//
+// The fleet harness's tenant program: a db-style session store served by
+// request handlers instead of one batch main. Session state is a table of
+// Record objects with small char[] payloads (the paper's headline
+// co-allocation shape), and three handlers model a service's request mix:
+//
+//   lookup   read-mostly point queries over shuffled indices -- the
+//            L1-miss-heavy path co-allocation helps;
+//   insert   replaces random records with fresh ones -- nursery churn and
+//            promotion pressure that keeps the GC (and placement
+//            decisions) active;
+//   report   a short sort-and-scan pass -- mixed access, the "analytics"
+//            tail of the mix.
+//
+// Handlers take no arguments and read everything from globals, so the
+// fleet's traffic driver can invoke them directly. Main runs setup plus a
+// fixed round-robin request schedule, so the workload also runs (and is
+// testable) under the plain one-VM Experiment harness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/PatternKernels.h"
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+using namespace hpmvm;
+
+namespace hpmvm::workloads {
+WorkloadProgram buildServerMix(VirtualMachine &, const WorkloadParams &);
+} // namespace hpmvm::workloads
+
+WorkloadProgram hpmvm::workloads::buildServerMix(VirtualMachine &Vm,
+                                                 const WorkloadParams &P) {
+  const uint32_t NumRecords = scaled(6000, P);
+  const uint32_t MinChars = 8, MaxChars = 24, TouchChars = 8;
+  const uint32_t LookupProbes = scaled(400, P);
+  const uint32_t InsertCount = scaled(120, P);
+  const uint32_t ReportWindow = scaled(200, P);
+  const uint32_t GarbageChars = 24;
+  /// Fixed batch schedule for Main: rounds of lookup,lookup,insert,report.
+  const uint32_t MainRounds = 8;
+
+  ClassRegistry &C = Vm.classes();
+  const std::string Px = "srv";
+
+  ClassId Rec = C.defineClass(Px + "Record", {{"value", true},
+                                              {"len", false},
+                                              {"hash", false},
+                                              {"pad", false}});
+  ClassId Chars = C.defineArrayClass(Px + "char[]", ElemKind::I16);
+  ClassId RecArr = C.defineArrayClass(Px + "Record[]", ElemKind::Ref);
+  FieldId FValue = C.fieldId(Rec, "value");
+  FieldId FLen = C.fieldId(Rec, "len");
+  FieldId FHash = C.fieldId(Rec, "hash");
+
+  uint32_t GTable = Vm.addGlobal(ValKind::Ref);
+  uint32_t GSize = Vm.addGlobal(ValKind::Int);
+
+  // --- makeRecord(len) -> Record -----------------------------------------
+  MethodId MkRec;
+  {
+    BytecodeBuilder B(Px + ".makeRecord");
+    uint32_t L = B.addParam(ValKind::Int);
+    uint32_t R = B.newLocal(), A = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Ref);
+    B.newObj(Rec).astore(R);
+    B.iload(L).newArray(Chars).astore(A);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(L).ifICmp(CondKind::Ge, Done);
+    B.aload(A).iload(I).iconst(26).rand().iconst(65).iadd().astoreI();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done);
+    B.aload(R).aload(A).putfield(FValue);
+    B.aload(R).iload(L).putfield(FLen);
+    B.aload(R).iconst(1000000).rand().putfield(FHash);
+    B.aload(R).aret();
+    MkRec = Vm.addMethod(B.build());
+  }
+
+  WorkloadProgram Prog;
+
+  // --- setup(): session table of NumRecords records -----------------------
+  {
+    BytecodeBuilder B(Px + ".setup");
+    uint32_t T = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.iconst(static_cast<int32_t>(NumRecords)).gput(GSize);
+    B.iconst(static_cast<int32_t>(NumRecords)).newArray(RecArr).astore(T);
+    B.aload(T).gput(GTable);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(static_cast<int32_t>(NumRecords))
+        .ifICmp(CondKind::Ge, Done);
+    B.aload(T).iload(I);
+    B.iconst(static_cast<int32_t>(MaxChars - MinChars + 1))
+        .rand()
+        .iconst(static_cast<int32_t>(MinChars))
+        .iadd();
+    B.call(MkRec).astoreR();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).ret();
+    Prog.Setup = Vm.addMethod(B.build());
+  }
+
+  // --- lookup(): LookupProbes random point queries -------------------------
+  MethodId Lookup;
+  {
+    BytecodeBuilder B(Px + ".lookup");
+    uint32_t T = B.newLocal(), N = B.newLocal(), I = B.newLocal(),
+             R = B.newLocal(), V = B.newLocal(), L = B.newLocal(),
+             K = B.newLocal(), Acc = B.newLocal();
+    B.returns(RetKind::Void);
+    B.gget(GTable).astore(T).gget(GSize).istore(N);
+    B.iconst(0).istore(Acc);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(static_cast<int32_t>(LookupProbes))
+        .ifICmp(CondKind::Ge, Done);
+    // r = table[rand(n)]
+    B.aload(T).iload(N).rand().aloadR().astore(R);
+    B.aload(R).getfield(FHash).iload(Acc).iadd().istore(Acc);
+    B.aload(R).getfield(FValue).astore(V);
+    B.aload(R).getfield(FLen).istore(L);
+    Label ClampOk = B.label();
+    B.iload(L).iconst(static_cast<int32_t>(TouchChars))
+        .ifICmp(CondKind::Le, ClampOk);
+    B.iconst(static_cast<int32_t>(TouchChars)).istore(L);
+    B.bind(ClampOk);
+    Label KHead = B.label(), KDone = B.label();
+    B.iconst(0).istore(K);
+    B.bind(KHead).iload(K).iload(L).ifICmp(CondKind::Ge, KDone);
+    B.aload(V).iload(K).aloadI().iload(Acc).iadd().istore(Acc);
+    B.iinc(K, 1).jump(KHead);
+    B.bind(KDone);
+    if (GarbageChars) {
+      // Short-lived response temporaries, every 8th probe.
+      Label SkipG = B.label();
+      B.iload(I).iconst(8).irem().ifZ(CondKind::Ne, SkipG);
+      B.iconst(static_cast<int32_t>(GarbageChars)).newArray(Chars).popv();
+      B.bind(SkipG);
+    }
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).ret();
+    Lookup = Vm.addMethod(B.build());
+  }
+
+  // --- insert(): InsertCount random record replacements --------------------
+  MethodId Insert;
+  {
+    BytecodeBuilder B(Px + ".insert");
+    uint32_t T = B.newLocal(), N = B.newLocal(), I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.gget(GTable).astore(T).gget(GSize).istore(N);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(static_cast<int32_t>(InsertCount))
+        .ifICmp(CondKind::Ge, Done);
+    // table[rand(n)] = makeRecord(rand-length)
+    B.aload(T).iload(N).rand();
+    B.iconst(static_cast<int32_t>(MaxChars - MinChars + 1))
+        .rand()
+        .iconst(static_cast<int32_t>(MinChars))
+        .iadd();
+    B.call(MkRec).astoreR();
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).ret();
+    Insert = Vm.addMethod(B.build());
+  }
+
+  // --- report(): one bubble pass + scan over a ReportWindow prefix ---------
+  MethodId Report;
+  {
+    BytecodeBuilder B(Px + ".report");
+    uint32_t T = B.newLocal(), N = B.newLocal(), W = B.newLocal(),
+             I = B.newLocal(), R1 = B.newLocal(), R2 = B.newLocal(),
+             C1 = B.newLocal(), C2 = B.newLocal(), Acc = B.newLocal();
+    B.returns(RetKind::Void);
+    B.gget(GTable).astore(T).gget(GSize).istore(N);
+    B.iconst(static_cast<int32_t>(ReportWindow)).istore(W);
+    Label WOk = B.label();
+    B.iload(W).iload(N).ifICmp(CondKind::Le, WOk);
+    B.iload(N).istore(W);
+    B.bind(WOk);
+    // Bubble pass comparing first payload chars of adjacent records.
+    Label Head = B.label(), Done = B.label(), NoSwap = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iload(W).iconst(1).isub()
+        .ifICmp(CondKind::Ge, Done);
+    B.aload(T).iload(I).aloadR().astore(R1);
+    B.aload(T).iload(I).iconst(1).iadd().aloadR().astore(R2);
+    B.aload(R1).getfield(FValue).iconst(0).aloadI().istore(C1);
+    B.aload(R2).getfield(FValue).iconst(0).aloadI().istore(C2);
+    B.iload(C1).iload(C2).ifICmp(CondKind::Le, NoSwap);
+    B.aload(T).iload(I).aload(R2).astoreR();
+    B.aload(T).iload(I).iconst(1).iadd().aload(R1).astoreR();
+    B.bind(NoSwap).iinc(I, 1).jump(Head);
+    B.bind(Done);
+    // Scan the window, accumulating hashes.
+    Label SHead = B.label(), SDone = B.label();
+    B.iconst(0).istore(Acc);
+    B.iconst(0).istore(I);
+    B.bind(SHead).iload(I).iload(W).ifICmp(CondKind::Ge, SDone);
+    B.aload(T).iload(I).aloadR().getfield(FHash).iload(Acc).iadd()
+        .istore(Acc);
+    B.iinc(I, 1).jump(SHead);
+    B.bind(SDone).ret();
+    Report = Vm.addMethod(B.build());
+  }
+
+  Prog.RequestHandlers = {Lookup, Insert, Report};
+
+  // --- main: setup + fixed round-robin schedule ----------------------------
+  {
+    BytecodeBuilder B(Px + ".main");
+    uint32_t I = B.newLocal();
+    B.returns(RetKind::Void);
+    B.call(Prog.Setup);
+    Label Head = B.label(), Done = B.label();
+    B.iconst(0).istore(I);
+    B.bind(Head).iload(I).iconst(static_cast<int32_t>(MainRounds))
+        .ifICmp(CondKind::Ge, Done);
+    B.call(Lookup).call(Lookup).call(Insert).call(Report);
+    B.iinc(I, 1).jump(Head);
+    B.bind(Done).ret();
+    Prog.Main = Vm.addMethod(B.build());
+  }
+
+  Prog.CompilationPlan = {Px + ".makeRecord", Px + ".setup", Px + ".lookup",
+                          Px + ".insert", Px + ".report", Px + ".main"};
+  return Prog;
+}

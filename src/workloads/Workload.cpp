@@ -23,6 +23,7 @@ WorkloadProgram buildLuindex(VirtualMachine &, const WorkloadParams &);
 WorkloadProgram buildLusearch(VirtualMachine &, const WorkloadParams &);
 WorkloadProgram buildPmd(VirtualMachine &, const WorkloadParams &);
 WorkloadProgram buildPseudoJbb(VirtualMachine &, const WorkloadParams &);
+WorkloadProgram buildServerMix(VirtualMachine &, const WorkloadParams &);
 } // namespace hpmvm::workloads
 
 const std::vector<WorkloadSpec> &hpmvm::allWorkloads() {
@@ -64,8 +65,21 @@ const std::vector<WorkloadSpec> &hpmvm::allWorkloads() {
   return Specs;
 }
 
+const std::vector<WorkloadSpec> &hpmvm::serverWorkloads() {
+  using namespace hpmvm::workloads;
+  static const std::vector<WorkloadSpec> Specs = {
+      {"servermix", "Server",
+       "request-serving tenant: lookup/insert/report session mix",
+       3 * 1024 * 1024, buildServerMix},
+  };
+  return Specs;
+}
+
 const WorkloadSpec *hpmvm::findWorkload(const std::string &Name) {
   for (const WorkloadSpec &S : allWorkloads())
+    if (S.Name == Name)
+      return &S;
+  for (const WorkloadSpec &S : serverWorkloads())
     if (S.Name == Name)
       return &S;
   return nullptr;

@@ -43,6 +43,14 @@ struct WorkloadProgram {
   /// The pre-generated compilation plan (paper: pseudo-adaptive mode
   /// compiles exactly these methods).
   std::vector<std::string> CompilationPlan;
+  /// Request-level entry points, set only by server workloads: Setup
+  /// builds the tenant's session state once, and each RequestHandler is a
+  /// no-argument method the fleet's traffic driver invokes per request.
+  /// Batch workloads leave these empty and are driven through Main (which
+  /// server workloads also provide -- a fixed request schedule -- so every
+  /// workload still runs under the plain Experiment harness).
+  MethodId Setup = kInvalidId;
+  std::vector<MethodId> RequestHandlers;
 };
 
 /// Registry entry for one benchmark.
@@ -58,7 +66,12 @@ struct WorkloadSpec {
 /// All benchmarks, in the paper's Table 1 order.
 const std::vector<WorkloadSpec> &allWorkloads();
 
-/// \returns the spec named \p Name, or nullptr.
+/// Request-serving workloads for the multi-tenant fleet harness. Kept out
+/// of allWorkloads() so the paper's Table 1 grid (and everything keyed to
+/// its 16 entries) is unchanged; findWorkload() searches both registries.
+const std::vector<WorkloadSpec> &serverWorkloads();
+
+/// \returns the spec named \p Name (batch or server), or nullptr.
 const WorkloadSpec *findWorkload(const std::string &Name);
 
 /// Minimum heap for \p Spec at the given scale (live set scales with the

@@ -1,0 +1,214 @@
+//===-- tests/harness/FleetTest.cpp ---------------------------------------===//
+
+#include "harness/Fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace hpmvm;
+
+namespace {
+
+/// Field-by-field journal record equality (the struct carries C strings,
+/// so memcmp would compare pointers).
+void expectJournalEq(const std::vector<DecisionRecord> &A,
+                     const std::vector<DecisionRecord> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    SCOPED_TRACE(I);
+    EXPECT_EQ(A[I].Ts, B[I].Ts);
+    EXPECT_EQ(A[I].Kind, B[I].Kind);
+    EXPECT_STREQ(A[I].Consumer, B[I].Consumer);
+    EXPECT_STREQ(A[I].Action, B[I].Action);
+    EXPECT_EQ(A[I].Outcome == nullptr, B[I].Outcome == nullptr);
+    if (A[I].Outcome && B[I].Outcome) {
+      EXPECT_STREQ(A[I].Outcome, B[I].Outcome);
+    }
+    EXPECT_EQ(A[I].Method, B[I].Method);
+    EXPECT_EQ(A[I].Field, B[I].Field);
+    EXPECT_EQ(A[I].Rate, B[I].Rate);
+    EXPECT_EQ(A[I].Baseline, B[I].Baseline);
+    EXPECT_EQ(A[I].Value, B[I].Value);
+    EXPECT_EQ(A[I].Tenant, B[I].Tenant);
+  }
+}
+
+/// Bit-for-bit equality of two run results: every headline stat, the full
+/// metrics snapshot (via its canonical JSON), and the journal.
+void expectRunEq(const RunResult &A, const RunResult &B) {
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.GcCycles, B.GcCycles);
+  EXPECT_EQ(A.MonitorOverheadCycles, B.MonitorOverheadCycles);
+  EXPECT_EQ(A.SamplesTaken, B.SamplesTaken);
+  EXPECT_EQ(A.CoallocatedPairs, B.CoallocatedPairs);
+  EXPECT_EQ(A.HeapBytes, B.HeapBytes);
+  EXPECT_EQ(A.Memory.Accesses, B.Memory.Accesses);
+  EXPECT_EQ(A.Memory.L1Misses, B.Memory.L1Misses);
+  EXPECT_EQ(A.Memory.L2Misses, B.Memory.L2Misses);
+  EXPECT_EQ(A.Memory.TlbMisses, B.Memory.TlbMisses);
+  EXPECT_EQ(A.Gc.MinorCollections, B.Gc.MinorCollections);
+  EXPECT_EQ(A.Gc.MajorCollections, B.Gc.MajorCollections);
+  EXPECT_EQ(A.Gc.ObjectsPromoted, B.Gc.ObjectsPromoted);
+  EXPECT_EQ(A.Vm.BytecodesInterpreted, B.Vm.BytecodesInterpreted);
+  EXPECT_EQ(A.Vm.MachineInstsExecuted, B.Vm.MachineInstsExecuted);
+  EXPECT_EQ(A.Vm.ObjectsAllocated, B.Vm.ObjectsAllocated);
+  EXPECT_EQ(A.Vm.BytesAllocated, B.Vm.BytesAllocated);
+  EXPECT_EQ(A.Metrics.toJson(), B.Metrics.toJson());
+  expectJournalEq(A.Journal, B.Journal);
+}
+
+/// A small traffic-mode fleet config over servermix.
+FleetConfig trafficConfig(uint32_t Shards, bool Policy, uint64_t Seed) {
+  FleetConfig F;
+  F.Shards = Shards;
+  F.Base.Workload = "servermix";
+  F.Base.Params.ScalePercent = 10;
+  F.Base.Params.Seed = Seed;
+  F.Base.HeapFactor = 2.0;
+  if (Policy) {
+    F.Base.Monitoring = true;
+    F.Base.PolicyEngine = true;
+  }
+  F.TrafficCfg.RequestsPerTenant = 48;
+  F.TrafficCfg.ArrivalRatePerSec = 100000.0;
+  return F;
+}
+
+} // namespace
+
+// The tentpole equivalence: a 1-shard classic fleet IS a plain Experiment.
+// Randomized over seeds and monitoring configurations -- shard 0 derives
+// seed Base+0 and tenant id 0, both of which must be invisible.
+class FleetEquivalenceTest
+    : public testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(FleetEquivalenceTest, OneShardClassicFleetMatchesPlainExperiment) {
+  auto [Seed, Policy] = GetParam();
+  RunConfig Base;
+  Base.Workload = "db";
+  Base.Params.ScalePercent = 10;
+  Base.Params.Seed = Seed;
+  if (Policy) {
+    Base.Monitoring = true;
+    Base.PolicyEngine = true;
+  }
+
+  FleetConfig F;
+  F.Base = Base;
+  F.Shards = 1;
+  F.Traffic = false; // Classic: the shard runs its whole program.
+  FleetResult Fleet = runFleet(F);
+  RunResult Plain = runExperiment(Base);
+
+  ASSERT_EQ(Fleet.Tenants.size(), 1u);
+  expectRunEq(Fleet.Tenants[0].Run, Plain);
+  // The aggregate of one tenant is that tenant (journal unstamped rule:
+  // stamps only exist in the merged fleet journal).
+  EXPECT_EQ(Fleet.MakespanCycles, Plain.TotalCycles);
+  EXPECT_EQ(Fleet.Aggregate.Memory.L1Misses, Plain.Memory.L1Misses);
+  for (const DecisionRecord &D : Fleet.Tenants[0].Run.Journal)
+    EXPECT_EQ(D.Tenant, kInvalidId);
+  // Classic mode never shares the PMU.
+  EXPECT_EQ(Fleet.PmuRotations, 0u);
+  EXPECT_EQ(Fleet.Tenants[0].Share.Executed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FleetEquivalenceTest,
+    testing::Combine(testing::Values(0x1ull, 0xabcdull, 0xfeedbeefull),
+                     testing::Bool()),
+    [](const testing::TestParamInfo<std::tuple<uint64_t, bool>> &I) {
+      return "seed" + std::to_string(std::get<0>(I.param)) +
+             (std::get<1>(I.param) ? "_policy" : "_nohpm");
+    });
+
+TEST(Fleet, TrafficRunIsDeterministic) {
+  FleetConfig F = trafficConfig(3, /*Policy=*/true, 0x5eed);
+  FleetResult A = runFleet(F);
+  FleetResult B = runFleet(F);
+  ASSERT_EQ(A.Tenants.size(), B.Tenants.size());
+  EXPECT_EQ(A.MakespanCycles, B.MakespanCycles);
+  EXPECT_EQ(A.PmuRotations, B.PmuRotations);
+  for (size_t T = 0; T != A.Tenants.size(); ++T) {
+    SCOPED_TRACE(T);
+    expectRunEq(A.Tenants[T].Run, B.Tenants[T].Run);
+    EXPECT_EQ(A.Tenants[T].Requests, B.Tenants[T].Requests);
+    EXPECT_EQ(A.Tenants[T].BusyCycles, B.Tenants[T].BusyCycles);
+    EXPECT_EQ(A.Tenants[T].Share.Granted, B.Tenants[T].Share.Granted);
+    EXPECT_EQ(A.Tenants[T].Share.Executed, B.Tenants[T].Share.Executed);
+  }
+  expectJournalEq(A.Aggregate.Journal, B.Aggregate.Journal);
+}
+
+TEST(Fleet, TenantScheduleIndependentOfFleetSize) {
+  // Per-tenant traffic streams are seeded independently of the shard
+  // count, and without monitoring the PMU grant cannot perturb execution:
+  // tenant 0 of a 3-shard fleet must reproduce the 1-shard fleet's tenant
+  // bit for bit. This is the scheduling-independence guarantee that makes
+  // per-tenant results comparable across fleet sizes.
+  FleetConfig One = trafficConfig(1, /*Policy=*/false, 0x77);
+  FleetConfig Three = trafficConfig(3, /*Policy=*/false, 0x77);
+  FleetResult A = runFleet(One);
+  FleetResult B = runFleet(Three);
+  ASSERT_EQ(B.Tenants.size(), 3u);
+  EXPECT_EQ(A.Tenants[0].Requests, B.Tenants[0].Requests);
+  EXPECT_EQ(A.Tenants[0].BusyCycles, B.Tenants[0].BusyCycles);
+  expectRunEq(A.Tenants[0].Run, B.Tenants[0].Run);
+}
+
+TEST(Fleet, AggregateSumsTenantsAndStampsMergedJournal) {
+  FleetConfig F = trafficConfig(4, /*Policy=*/true, 0x90210);
+  FleetResult R = runFleet(F);
+  ASSERT_EQ(R.Tenants.size(), 4u);
+
+  uint64_t Accesses = 0, L1 = 0, Bytecodes = 0, JournalSize = 0;
+  Cycles MaxTotal = 0;
+  for (const FleetTenantResult &T : R.Tenants) {
+    EXPECT_EQ(T.Requests, F.TrafficCfg.RequestsPerTenant);
+    Accesses += T.Run.Memory.Accesses;
+    L1 += T.Run.Memory.L1Misses;
+    Bytecodes += T.Run.Vm.BytecodesInterpreted;
+    JournalSize += T.Run.Journal.size();
+    MaxTotal = std::max(MaxTotal, T.Run.TotalCycles);
+    // Per-tenant journals stay unstamped (they are the tenant's own
+    // first-person record); only the merged fleet journal is stamped.
+    for (const DecisionRecord &D : T.Run.Journal)
+      EXPECT_EQ(D.Tenant, kInvalidId);
+  }
+  EXPECT_EQ(R.Aggregate.Memory.Accesses, Accesses);
+  EXPECT_EQ(R.Aggregate.Memory.L1Misses, L1);
+  EXPECT_EQ(R.Aggregate.Vm.BytecodesInterpreted, Bytecodes);
+  EXPECT_EQ(R.Aggregate.Journal.size(), JournalSize);
+  EXPECT_EQ(R.MakespanCycles, MaxTotal);
+  EXPECT_EQ(R.Aggregate.TotalCycles, MaxTotal);
+
+  Cycles LastTs = 0;
+  for (const DecisionRecord &D : R.Aggregate.Journal) {
+    EXPECT_NE(D.Tenant, kInvalidId);
+    EXPECT_LT(D.Tenant, 4u);
+    EXPECT_GE(D.Ts, LastTs) << "merged journal must be time-ordered";
+    LastTs = D.Ts;
+  }
+}
+
+TEST(Fleet, SharedPmuSplitsGrantAcrossTenants) {
+  FleetConfig F = trafficConfig(4, /*Policy=*/true, 0xabc);
+  Fleet Fl(F);
+  Fl.run();
+  FleetResult R = Fl.result();
+  // Every tenant executed, none held the PMU the whole time, and the
+  // grant actually rotated.
+  EXPECT_GT(R.PmuRotations, 0u);
+  double FractionSum = 0.0;
+  for (const FleetTenantResult &T : R.Tenants) {
+    EXPECT_GT(T.Share.Executed, 0u);
+    EXPECT_LT(T.Share.Granted, T.Share.Executed);
+    FractionSum += static_cast<double>(T.Share.Granted) /
+                   static_cast<double>(T.Share.Executed);
+  }
+  // Shares are fractions of *each tenant's own* executed cycles; with
+  // comparable per-tenant load they sum to roughly 1 PMU's worth.
+  EXPECT_GT(FractionSum, 0.5);
+  EXPECT_LT(FractionSum, 2.0);
+}

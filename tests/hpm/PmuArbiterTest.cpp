@@ -1,0 +1,147 @@
+//===-- tests/hpm/PmuArbiterTest.cpp --------------------------------------===//
+
+#include "hpm/PmuArbiter.h"
+
+#include "hpm/PebsUnit.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+PebsConfig l1Config(uint64_t Interval) {
+  PebsConfig C;
+  C.SelectedEvent = HpmEventKind::L1DMiss;
+  C.Interval = Interval;
+  C.RandomizeLowBits = false;
+  return C;
+}
+
+void fire(PebsUnit &U, uint64_t N) {
+  for (uint64_t I = 0; I != N; ++I)
+    U.onMemoryEvent(HpmEventKind::L1DMiss, 0x100 + static_cast<Address>(I),
+                    0x40000000 + I);
+}
+
+/// Arbiter over \p N fresh sampling units, started.
+struct Fixture {
+  explicit Fixture(size_t N, double SliceMs = 0.2)
+      : Arbiter(PmuArbiterConfig{SliceMs}), Units(N) {
+    for (PebsUnit &U : Units) {
+      U.configure(l1Config(1));
+      U.start();
+      Ids.push_back(Arbiter.add(U));
+    }
+    Arbiter.start();
+  }
+  PmuArbiter Arbiter;
+  std::vector<PebsUnit> Units;
+  std::vector<TenantId> Ids;
+};
+
+} // namespace
+
+TEST(PmuArbiter, RegistrationOrderAssignsIds) {
+  Fixture F(3);
+  EXPECT_EQ(F.Ids, (std::vector<TenantId>{0, 1, 2}));
+  EXPECT_EQ(F.Arbiter.tenants(), 3u);
+}
+
+TEST(PmuArbiter, SingleTenantIsAlwaysGranted) {
+  Fixture F(1);
+  EXPECT_TRUE(F.Arbiter.granted(0));
+  EXPECT_TRUE(F.Arbiter.beginQuantum(0));
+  F.Arbiter.endQuantum(0, VirtualClock::fromMillis(10.0));
+  // No amount of executed time rotates a 1-tenant arbiter, and the gate
+  // stays open -- a 1-shard fleet samples exactly like a plain VM.
+  EXPECT_TRUE(F.Arbiter.granted(0));
+  EXPECT_EQ(F.Arbiter.rotations(), 0u);
+  EXPECT_TRUE(F.Units[0].sampleGateOpen());
+  EXPECT_DOUBLE_EQ(F.Arbiter.grantedFraction(0), 1.0);
+}
+
+TEST(PmuArbiter, OnlyGrantedTenantsGateIsOpen) {
+  Fixture F(3);
+  EXPECT_TRUE(F.Arbiter.beginQuantum(0));
+  EXPECT_FALSE(F.Arbiter.beginQuantum(1));
+  EXPECT_FALSE(F.Arbiter.beginQuantum(2));
+  EXPECT_TRUE(F.Units[0].sampleGateOpen());
+  EXPECT_FALSE(F.Units[1].sampleGateOpen());
+  EXPECT_FALSE(F.Units[2].sampleGateOpen());
+}
+
+TEST(PmuArbiter, ClosedGateCountsButDoesNotSample) {
+  Fixture F(2);
+  F.Arbiter.beginQuantum(1); // Tenant 1 not granted -> gate closed.
+  fire(F.Units[1], 50);
+  EXPECT_EQ(F.Units[1].eventCount(HpmEventKind::L1DMiss), 50u);
+  EXPECT_EQ(F.Units[1].samplesTaken(), 0u);
+  F.Arbiter.beginQuantum(0);
+  fire(F.Units[0], 50);
+  EXPECT_EQ(F.Units[0].samplesTaken(), 50u);
+}
+
+TEST(PmuArbiter, GrantRotatesRoundRobinPerSlice) {
+  Fixture F(3, /*SliceMs=*/0.2);
+  Cycles Slice = VirtualClock::fromMillis(0.2);
+  EXPECT_EQ(F.Arbiter.current(), 0u);
+  F.Arbiter.beginQuantum(0);
+  F.Arbiter.endQuantum(0, Slice);
+  EXPECT_EQ(F.Arbiter.current(), 1u);
+  F.Arbiter.beginQuantum(1);
+  F.Arbiter.endQuantum(1, Slice);
+  EXPECT_EQ(F.Arbiter.current(), 2u);
+  F.Arbiter.beginQuantum(2);
+  F.Arbiter.endQuantum(2, Slice);
+  EXPECT_EQ(F.Arbiter.current(), 0u);
+  EXPECT_EQ(F.Arbiter.rotations(), 3u);
+}
+
+TEST(PmuArbiter, OversizedQuantumRotatesMultipleTimes) {
+  Fixture F(4, /*SliceMs=*/0.2);
+  Cycles Slice = VirtualClock::fromMillis(0.2);
+  // One long quantum spanning 2.5 slices advances the grant twice; the
+  // half-used slice carries over.
+  F.Arbiter.beginQuantum(0);
+  F.Arbiter.endQuantum(0, 2 * Slice + Slice / 2);
+  EXPECT_EQ(F.Arbiter.current(), 2u);
+  EXPECT_EQ(F.Arbiter.rotations(), 2u);
+  F.Arbiter.beginQuantum(2);
+  F.Arbiter.endQuantum(2, Slice / 2);
+  EXPECT_EQ(F.Arbiter.current(), 3u);
+}
+
+TEST(PmuArbiter, ShareAccountingSplitsGrantedAndExecuted) {
+  Fixture F(2, /*SliceMs=*/0.2);
+  Cycles Slice = VirtualClock::fromMillis(0.2);
+  // Tenant 0 executes one slice while granted, tenant 1 one slice while
+  // not granted, then the grant flips and they swap roles.
+  F.Arbiter.beginQuantum(0);
+  F.Arbiter.endQuantum(0, Slice); // granted -> rotation to tenant 1
+  F.Arbiter.beginQuantum(1);
+  F.Arbiter.endQuantum(1, Slice); // granted -> rotation to tenant 0
+  F.Arbiter.beginQuantum(1);
+  F.Arbiter.endQuantum(1, Slice); // not granted
+  PmuShare S0 = F.Arbiter.shareOf(0), S1 = F.Arbiter.shareOf(1);
+  EXPECT_EQ(S0.Executed, Slice);
+  EXPECT_EQ(S0.Granted, Slice);
+  EXPECT_EQ(S1.Executed, 2 * Slice);
+  EXPECT_EQ(S1.Granted, Slice);
+  EXPECT_DOUBLE_EQ(F.Arbiter.grantedFraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(F.Arbiter.grantedFraction(1), 0.5);
+}
+
+TEST(PmuArbiter, FairnessOverManyEqualQuanta) {
+  // 4 tenants served round-robin with equal quanta converge to a quarter
+  // of the PMU each.
+  Fixture F(4, /*SliceMs=*/0.2);
+  Cycles Q = VirtualClock::fromMillis(0.05); // Quarter slice per request.
+  for (int Round = 0; Round != 400; ++Round)
+    for (TenantId T = 0; T != 4; ++T) {
+      F.Arbiter.beginQuantum(T);
+      F.Arbiter.endQuantum(T, Q);
+    }
+  for (TenantId T = 0; T != 4; ++T)
+    EXPECT_NEAR(F.Arbiter.grantedFraction(T), 0.25, 0.02) << "tenant " << T;
+}

@@ -1,0 +1,107 @@
+//===-- tests/workloads/ServerMixTest.cpp ---------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "gc/GenMSPlan.h"
+#include "harness/ExperimentRunner.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+using namespace hpmvm;
+
+namespace {
+
+/// A VM + collector pair big enough to build and run servermix.
+struct VmFixture {
+  VmFixture() : Vm(config()), Gc(Vm.objects(), Vm.clock(), gcConfig()) {
+    Vm.setCollector(&Gc);
+  }
+  static VmConfig config() {
+    VmConfig C;
+    C.HeapBytes = 16 * 1024 * 1024;
+    return C;
+  }
+  static CollectorConfig gcConfig() {
+    return CollectorConfig{.HeapBytes = 16 * 1024 * 1024};
+  }
+  VirtualMachine Vm;
+  GenMSPlan Gc;
+};
+
+} // namespace
+
+TEST(ServerMix, RegisteredAsServerWorkloadNotInTableOne) {
+  // The paper's Table 1 registry must stay untouched: servermix lives in
+  // the separate server registry so every Table-1-driven bench and test
+  // keeps its exact workload set.
+  EXPECT_EQ(allWorkloads().size(), 16u);
+  for (const WorkloadSpec &S : allWorkloads())
+    EXPECT_NE(S.Name, "servermix");
+
+  ASSERT_EQ(serverWorkloads().size(), 1u);
+  const WorkloadSpec &Srv = serverWorkloads().front();
+  EXPECT_EQ(Srv.Name, "servermix");
+  EXPECT_EQ(Srv.Suite, "Server");
+  EXPECT_NE(Srv.Build, nullptr);
+  // findWorkload spans both registries.
+  EXPECT_EQ(findWorkload("servermix"), &Srv);
+}
+
+TEST(ServerMix, ProgramHasSetupAndRequestHandlers) {
+  VmFixture F;
+  WorkloadParams P;
+  P.ScalePercent = 10;
+  WorkloadProgram Prog = findWorkload("servermix")->Build(F.Vm, P);
+
+  ASSERT_NE(Prog.Main, kInvalidId);
+  ASSERT_NE(Prog.Setup, kInvalidId);
+  ASSERT_EQ(Prog.RequestHandlers.size(), 3u);
+  // Setup and every handler must be directly invocable by the traffic
+  // driver: no parameters, void return.
+  std::vector<MethodId> Invocable = Prog.RequestHandlers;
+  Invocable.push_back(Prog.Setup);
+  for (MethodId M : Invocable) {
+    ASSERT_NE(M, kInvalidId);
+    const Method &Meth = F.Vm.method(M);
+    EXPECT_EQ(Meth.NumParams, 0u);
+    EXPECT_EQ(Meth.Return, RetKind::Void);
+  }
+  for (const std::string &Name : Prog.CompilationPlan)
+    EXPECT_NE(F.Vm.findMethod(Name), kInvalidId)
+        << "compilation plan names unknown method '" << Name << "'";
+}
+
+TEST(ServerMix, HandlersRunStandaloneAfterSetup) {
+  VmFixture F;
+  WorkloadParams P;
+  P.ScalePercent = 10;
+  WorkloadProgram Prog = findWorkload("servermix")->Build(F.Vm, P);
+
+  F.Vm.run(Prog.Setup);
+  uint64_t AfterSetup = F.Vm.stats().BytecodesInterpreted;
+  EXPECT_GT(AfterSetup, 0u);
+  for (MethodId H : Prog.RequestHandlers) {
+    uint64_t Before = F.Vm.stats().BytecodesInterpreted;
+    F.Vm.run(H);
+    EXPECT_GT(F.Vm.stats().BytecodesInterpreted, Before)
+        << "handler did no work";
+  }
+}
+
+TEST(ServerMix, RunsUnderPlainExperimentDeterministically) {
+  // servermix's main is setup + a fixed request schedule, so it must also
+  // work -- reproducibly -- as an ordinary one-VM experiment.
+  RunConfig C;
+  C.Workload = "servermix";
+  C.Params.ScalePercent = 10;
+  C.Params.Seed = 0xfeedface;
+  RunResult A = runExperiment(C);
+  RunResult B = runExperiment(C);
+  EXPECT_GT(A.Vm.ObjectsAllocated, 0u);
+  EXPECT_GT(A.Memory.Accesses, 0u);
+  EXPECT_EQ(A.TotalCycles, B.TotalCycles);
+  EXPECT_EQ(A.Memory.L1Misses, B.Memory.L1Misses);
+  EXPECT_EQ(A.Gc.MinorCollections, B.Gc.MinorCollections);
+  EXPECT_EQ(A.Vm.BytecodesInterpreted, B.Vm.BytecodesInterpreted);
+}

@@ -18,8 +18,15 @@
 // from policy-engine runs additionally get a per-(method, action)
 // blacklist table. Exits 2 on usage, I/O or parse errors.
 //
+// Fleet runs: per-tenant rows in a fleet bench document are plain runs
+// labeled ".../tenantNNN", and merged fleet journals stamp each record
+// with its tenant. --tenant <id> narrows both (runs by label tag, journal
+// records by their "tenant" field), and any journal whose records carry
+// tenants gets a decisions-by-tenant table next to the per-consumer one.
+//
 //===----------------------------------------------------------------------===//
 
+#include "support/Flags.h"
 #include "support/Json.h"
 #include "support/TableWriter.h"
 #include "support/VirtualClock.h"
@@ -28,7 +35,6 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +50,8 @@ struct Options {
   std::string RunFilter;           ///< --run label substring.
   std::string VerdictsConsumer;    ///< --verdicts consumer filter.
   size_t Top = 12;                 ///< --top.
+  bool HasTenant = false;          ///< --tenant given.
+  uint32_t Tenant = 0;             ///< --tenant id.
 };
 
 /// One run's worth of triage data, whatever file shape it came from.
@@ -60,7 +68,7 @@ struct RunData {
           "usage: hpmvm_report [<run.json>] [<run-b.json>]\n"
           "                    [--journal <a.jsonl>] [--journal-b <b.jsonl>]\n"
           "                    [--run <label-substring>] [--top <n>]\n"
-          "                    [--verdicts <consumer>]\n");
+          "                    [--verdicts <consumer>] [--tenant <id>]\n");
   exit(2);
 }
 
@@ -212,13 +220,27 @@ void printCounters(const RunData &Run, size_t Top) {
   T.print(stdout);
 }
 
+/// True when any record in the list is tenant-stamped (a merged fleet
+/// journal); plain per-VM journals carry no tenant field.
+bool hasTenants(const std::vector<json::ValuePtr> &Decisions) {
+  for (const json::ValuePtr &D : Decisions)
+    if (D->get("tenant"))
+      return true;
+  return false;
+}
+
 void printTimeline(const std::vector<json::ValuePtr> &Decisions) {
   if (Decisions.empty()) {
     printf("Decision timeline: (empty)\n");
     return;
   }
-  TableWriter T({"t (ms)", "kind", "consumer", "action", "subject", "rate",
-                 "baseline", "outcome"});
+  bool Tenants = hasTenants(Decisions);
+  std::vector<std::string> Cols = {"t (ms)", "kind",     "consumer",
+                                   "action", "subject",  "rate",
+                                   "baseline", "outcome"};
+  if (Tenants)
+    Cols.insert(Cols.begin() + 1, "tenant");
+  TableWriter T(Cols);
   for (const json::ValuePtr &D : Decisions) {
     std::string Subject;
     if (D->get("method"))
@@ -227,11 +249,18 @@ void printTimeline(const std::vector<json::ValuePtr> &Decisions) {
     else if (D->get("field"))
       Subject =
           "field " + formatCount(static_cast<uint64_t>(D->num("field")));
-    T.addRow({formatTsMs(D->num("ts")), D->str("kind"), D->str("consumer"),
-              D->str("action"), Subject,
-              D->get("rate") ? formatNum(D->num("rate")) : "",
-              D->get("baseline") ? formatNum(D->num("baseline")) : "",
-              D->str("outcome")});
+    std::vector<std::string> Row = {
+        formatTsMs(D->num("ts")), D->str("kind"), D->str("consumer"),
+        D->str("action"), Subject,
+        D->get("rate") ? formatNum(D->num("rate")) : "",
+        D->get("baseline") ? formatNum(D->num("baseline")) : "",
+        D->str("outcome")};
+    if (Tenants)
+      Row.insert(Row.begin() + 1,
+                 D->get("tenant")
+                     ? formatCount(static_cast<uint64_t>(D->num("tenant")))
+                     : "");
+    T.addRow(Row);
   }
   printf("Decision timeline (%zu records):\n", Decisions.size());
   T.print(stdout);
@@ -263,6 +292,40 @@ void printVerdicts(const std::vector<json::ValuePtr> &Decisions) {
               formatCount(Row[2]), formatCount(Row[3]),
               formatCount(Row[4])});
   printf("Decisions by consumer:\n");
+  T.print(stdout);
+}
+
+/// Fleet-journal companion to printVerdicts: the same verdict funnel,
+/// grouped by the tenant stamp so per-shard behaviour is comparable at a
+/// glance. Silent on journals without tenant stamps.
+void printTenantVerdicts(const std::vector<json::ValuePtr> &Decisions) {
+  std::map<uint64_t, std::array<uint64_t, 5>> PerTenant;
+  for (const json::ValuePtr &D : Decisions) {
+    if (!D->get("tenant"))
+      continue;
+    std::string Kind = D->str("kind");
+    std::array<uint64_t, 5> &Row =
+        PerTenant[static_cast<uint64_t>(D->num("tenant"))];
+    if (Kind == "Apply")
+      ++Row[1];
+    else if (Kind == "Accept")
+      ++Row[2];
+    else if (Kind == "Revert")
+      ++Row[3];
+    else if (Kind == "Blacklist")
+      ++Row[4];
+    else if (Kind != "Assess" && Kind != "PhaseChange")
+      ++Row[0];
+  }
+  if (PerTenant.empty())
+    return;
+  TableWriter T({"tenant", "decisions", "applies", "accepts", "reverts",
+                 "blacklists"});
+  for (const auto &[Tenant, Row] : PerTenant)
+    T.addRow({formatCount(Tenant), formatCount(Row[0]), formatCount(Row[1]),
+              formatCount(Row[2]), formatCount(Row[3]),
+              formatCount(Row[4])});
+  printf("\nDecisions by tenant:\n");
   T.print(stdout);
 }
 
@@ -311,6 +374,57 @@ filterConsumer(const std::vector<json::ValuePtr> &Decisions,
   return Out;
 }
 
+/// Applies the --tenant filter: keeps records stamped with that tenant.
+/// A list with no tenant stamps at all (a plain per-VM journal, or a
+/// tenant row's own journal) passes through untouched -- it is already
+/// single-tenant context, narrowed by run selection.
+std::vector<json::ValuePtr>
+filterTenant(const std::vector<json::ValuePtr> &Decisions, bool HasTenant,
+             uint32_t Tenant) {
+  if (!HasTenant || !hasTenants(Decisions))
+    return Decisions;
+  std::vector<json::ValuePtr> Out;
+  for (const json::ValuePtr &D : Decisions)
+    if (D->get("tenant") &&
+        static_cast<uint64_t>(D->num("tenant")) == Tenant)
+      Out.push_back(D);
+  return Out;
+}
+
+/// The label tag fleet benches give tenant rows ("s16/policy/tenant003").
+std::string tenantTag(uint32_t Tenant) {
+  char Buf[16];
+  snprintf(Buf, sizeof(Buf), "tenant%03u", Tenant);
+  return Buf;
+}
+
+/// Applies --tenant to a loaded run list: when the document carries
+/// per-tenant rows, narrow to the asked-for tenant's. Documents without
+/// any tenant rows (plain benches) pass through untouched -- there the
+/// flag only means journal-record filtering.
+void filterTenantRuns(std::vector<RunData> &Runs, const std::string &Path,
+                      bool HasTenant, uint32_t Tenant) {
+  if (!HasTenant)
+    return;
+  bool AnyTenantRow = false;
+  for (const RunData &R : Runs)
+    if (R.Label.find("tenant") != std::string::npos)
+      AnyTenantRow = true;
+  if (!AnyTenantRow)
+    return;
+  std::string Tag = tenantTag(Tenant);
+  std::vector<RunData> Kept;
+  for (RunData &R : Runs)
+    if (R.Label.find(Tag) != std::string::npos)
+      Kept.push_back(std::move(R));
+  if (Kept.empty()) {
+    fprintf(stderr, "error: no run in '%s' matches --tenant %u\n",
+            Path.c_str(), Tenant);
+    exit(2);
+  }
+  Runs = std::move(Kept);
+}
+
 void reportOneRun(const RunData &Run, size_t Top) {
   printf("== Run: %s ==\n", Run.Label.c_str());
   printCounters(Run, Top);
@@ -318,6 +432,7 @@ void reportOneRun(const RunData &Run, size_t Top) {
   printTimeline(Run.Decisions);
   printf("\n");
   printVerdicts(Run.Decisions);
+  printTenantVerdicts(Run.Decisions);
   printBlacklist(Run.Decisions);
 }
 
@@ -377,9 +492,11 @@ void reportDelta(const RunData &A, const RunData &B, size_t Top) {
 
   printf("\n-- A: %s --\n", A.Label.c_str());
   printVerdicts(A.Decisions);
+  printTenantVerdicts(A.Decisions);
   printBlacklist(A.Decisions);
   printf("\n-- B: %s --\n", B.Label.c_str());
   printVerdicts(B.Decisions);
+  printTenantVerdicts(B.Decisions);
   printBlacklist(B.Decisions);
 }
 
@@ -387,34 +504,34 @@ void reportDelta(const RunData &A, const RunData &B, size_t Top) {
 
 int main(int Argc, char **Argv) {
   Options Opts;
-  for (int I = 1; I < Argc; ++I) {
-    auto Value = [&](const char *Flag) -> std::string {
-      if (I + 1 >= Argc)
-        usage((std::string(Flag) + " requires a value").c_str());
-      return Argv[++I];
-    };
-    if (strcmp(Argv[I], "--journal") == 0)
-      Opts.JournalPath = Value("--journal");
-    else if (strcmp(Argv[I], "--journal-b") == 0)
-      Opts.JournalBPath = Value("--journal-b");
-    else if (strcmp(Argv[I], "--run") == 0)
-      Opts.RunFilter = Value("--run");
-    else if (strcmp(Argv[I], "--verdicts") == 0)
-      Opts.VerdictsConsumer = Value("--verdicts");
-    else if (strcmp(Argv[I], "--top") == 0) {
-      std::string V = Value("--top");
-      char *End = nullptr;
-      unsigned long N = strtoul(V.c_str(), &End, 10);
-      if (!End || *End || N == 0)
+  flags::ArgScanner S(Argc, Argv);
+  std::string Value;
+  uint64_t N = 0;
+  while (S.next()) {
+    if (S.take("--journal", Value))
+      Opts.JournalPath = Value;
+    else if (S.take("--journal-b", Value))
+      Opts.JournalBPath = Value;
+    else if (S.take("--run", Value))
+      Opts.RunFilter = Value;
+    else if (S.take("--verdicts", Value))
+      Opts.VerdictsConsumer = Value;
+    else if (S.takeUint("--top", 1u << 20, N)) {
+      if (S.ok() && N == 0)
         usage("--top wants a positive integer");
       Opts.Top = N;
-    } else if (strcmp(Argv[I], "--help") == 0 || strcmp(Argv[I], "-h") == 0)
+    } else if (S.takeUint("--tenant", kInvalidId - 1, N)) {
+      Opts.HasTenant = true;
+      Opts.Tenant = static_cast<uint32_t>(N);
+    } else if (S.takeSwitch("--help") || S.takeSwitch("-h"))
       usage(nullptr);
-    else if (Argv[I][0] == '-')
-      usage((std::string("unknown flag '") + Argv[I] + "'").c_str());
+    else if (S.arg()[0] == '-')
+      usage((std::string("unknown flag '") + S.arg() + "'").c_str());
     else
-      Opts.Inputs.push_back(Argv[I]);
+      Opts.Inputs.push_back(S.arg());
   }
+  if (!S.ok())
+    exit(2);
   if (Opts.Inputs.size() > 2)
     usage("at most two run files");
   if (Opts.Inputs.empty() && Opts.JournalPath.empty())
@@ -422,33 +539,41 @@ int main(int Argc, char **Argv) {
 
   // Journal-only mode: a timeline straight off the JSONL file(s).
   if (Opts.Inputs.empty()) {
-    std::vector<json::ValuePtr> A =
-        filterConsumer(loadJournal(Opts.JournalPath), Opts.VerdictsConsumer);
+    std::vector<json::ValuePtr> A = filterTenant(
+        filterConsumer(loadJournal(Opts.JournalPath), Opts.VerdictsConsumer),
+        Opts.HasTenant, Opts.Tenant);
     printf("== Journal: %s ==\n", Opts.JournalPath.c_str());
     printTimeline(A);
     printf("\n");
     printVerdicts(A);
+    printTenantVerdicts(A);
     printBlacklist(A);
     if (!Opts.JournalBPath.empty()) {
-      std::vector<json::ValuePtr> B = filterConsumer(
-          loadJournal(Opts.JournalBPath), Opts.VerdictsConsumer);
+      std::vector<json::ValuePtr> B = filterTenant(
+          filterConsumer(loadJournal(Opts.JournalBPath),
+                         Opts.VerdictsConsumer),
+          Opts.HasTenant, Opts.Tenant);
       printf("\n== Journal: %s ==\n", Opts.JournalBPath.c_str());
       printTimeline(B);
       printf("\n");
       printVerdicts(B);
+      printTenantVerdicts(B);
       printBlacklist(B);
     }
     return 0;
   }
 
   std::vector<RunData> A = loadRuns(Opts.Inputs[0], Opts.RunFilter);
+  filterTenantRuns(A, Opts.Inputs[0], Opts.HasTenant, Opts.Tenant);
   if (!Opts.JournalPath.empty()) {
     if (A.size() != 1)
       usage("--journal attaches to a single run; narrow with --run");
     A[0].Decisions = loadJournal(Opts.JournalPath);
   }
   for (RunData &R : A)
-    R.Decisions = filterConsumer(R.Decisions, Opts.VerdictsConsumer);
+    R.Decisions = filterTenant(
+        filterConsumer(R.Decisions, Opts.VerdictsConsumer), Opts.HasTenant,
+        Opts.Tenant);
 
   if (Opts.Inputs.size() == 1) {
     for (size_t I = 0; I != A.size(); ++I) {
@@ -460,13 +585,16 @@ int main(int Argc, char **Argv) {
   }
 
   std::vector<RunData> B = loadRuns(Opts.Inputs[1], Opts.RunFilter);
+  filterTenantRuns(B, Opts.Inputs[1], Opts.HasTenant, Opts.Tenant);
   if (!Opts.JournalBPath.empty()) {
     if (B.size() != 1)
       usage("--journal-b attaches to a single run; narrow with --run");
     B[0].Decisions = loadJournal(Opts.JournalBPath);
   }
   for (RunData &R : B)
-    R.Decisions = filterConsumer(R.Decisions, Opts.VerdictsConsumer);
+    R.Decisions = filterTenant(
+        filterConsumer(R.Decisions, Opts.VerdictsConsumer), Opts.HasTenant,
+        Opts.Tenant);
 
   // Pair runs by label; fall back to positional pairing when the label
   // sets are disjoint (e.g. comparing two different benches).
