@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+#===-- scripts/lint.sh - Run the full static-analysis gate locally -------===//
+#
+# Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+#
+# Runs exactly what CI's `lint` job runs, in the same order and with the
+# same arguments, so a clean `scripts/lint.sh` means a green lint gate:
+#
+#   1. Build hpmvm_lint and run it over src/ bench/ tools/ tests/ with the
+#      checked-in suppression file and --error-on-new (exit 1 on findings).
+#   2. Validate lint.supp hygiene: every entry must carry a "# Why:"
+#      justification (--check-supp, exit 2 on violations).
+#   3. If clang-tidy is installed, run it over the compilation database
+#      (CMAKE_EXPORT_COMPILE_COMMANDS is on by default); otherwise skip
+#      with a notice -- the container image ships only gcc, CI has both.
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+#
+#===----------------------------------------------------------------------===//
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+cd "$REPO_ROOT"
+
+echo "== hpmvm_lint =="
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" >/dev/null
+cmake --build "$BUILD_DIR" --target hpmvm_lint -j >/dev/null
+"$BUILD_DIR/tools/hpmvm_lint" --supp lint.supp --error-on-new \
+    src bench tools tests
+
+echo "== lint.supp hygiene =="
+"$BUILD_DIR/tools/hpmvm_lint" --check-supp lint.supp
+
+echo "== clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The compile_commands.json lives in the build tree; -p points clang-tidy
+  # at it. Checks and severities come from the checked-in .clang-tidy.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "$REPO_ROOT/src" \
+        "$REPO_ROOT/bench" "$REPO_ROOT/tools"
+  else
+    # Fallback without the parallel driver: lint the library sources.
+    find src bench tools -name '*.cpp' -print0 |
+      xargs -0 clang-tidy -p "$BUILD_DIR" --quiet
+  fi
+else
+  echo "clang-tidy not installed; skipping (CI runs it)."
+fi
+
+echo "lint.sh: all gates passed."

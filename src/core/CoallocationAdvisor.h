@@ -23,8 +23,8 @@
 #include "heap/GcApi.h"
 #include "support/Types.h"
 
+#include <map>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 namespace hpmvm {
@@ -121,14 +121,17 @@ private:
   const ClassRegistry &Classes;
   const FieldMissTable &Table;
   AdvisorConfig Config;
-  /// Hint cache, invalidated when the table's version moves.
-  std::unordered_map<ClassId, CoallocationHint> Cache;
+  /// Hint cache, invalidated when the table's version moves. Ordered maps
+  /// (the advisor journals, so it is on an export path; lint rule R2):
+  /// all three are keyed by small dense ids and touched only on cache
+  /// misses and hint changes, so the log-time lookup is invisible.
+  std::map<ClassId, CoallocationHint> Cache;
   uint64_t CacheVersion = ~0ull;
   uint64_t TotalCoallocations = 0;
-  std::unordered_map<FieldId, uint64_t> PerField;
+  std::map<FieldId, uint64_t> PerField;
   /// Last hint field journaled per class, to journal only *changes* (the
   /// hint is recomputed on every cache invalidation but rarely moves).
-  std::unordered_map<ClassId, FieldId> LastJournaledHint;
+  std::map<ClassId, FieldId> LastJournaledHint;
   /// Methods whose policy-engine coalloc action is currently applied.
   std::set<MethodId> PolicyActive;
   Counter *MHints = &Counter::sink();

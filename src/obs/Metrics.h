@@ -41,9 +41,9 @@
 #include <bit>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace hpmvm {
@@ -198,12 +198,15 @@ public:
 
 private:
   // Deques give pointer stability; the maps only serve (cold) registration.
+  // Ordered maps, not hash maps: the registry sits on the export path, and
+  // the determinism linter (R2) bans hash-iteration order anywhere it
+  // could leak into output -- ordered lookups cost nothing at wiring time.
   std::deque<std::pair<std::string, Counter>> Counters;
   std::deque<std::pair<std::string, Gauge>> Gauges;
   std::deque<std::pair<std::string, Histogram>> Histograms;
-  std::unordered_map<std::string, Counter *> CounterIdx;
-  std::unordered_map<std::string, Gauge *> GaugeIdx;
-  std::unordered_map<std::string, Histogram *> HistogramIdx;
+  std::map<std::string, Counter *> CounterIdx;
+  std::map<std::string, Gauge *> GaugeIdx;
+  std::map<std::string, Histogram *> HistogramIdx;
 };
 
 } // namespace hpmvm

@@ -1,0 +1,64 @@
+//===-- vm/IntOps.h - Defined-overflow int32 arithmetic --------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's integer semantics: IAdd/ISub/IMul/INeg wrap modulo 2^32
+/// (two's complement), IDiv/IRem define the INT32_MIN / -1 edge as
+/// (INT32_MIN, 0) instead of trapping. Both execution engines -- the
+/// interpreter and the machine-code executor -- must route their integer
+/// ops through these helpers so randomized equivalence tests compare
+/// defined behavior, not whatever the host compiler does with signed
+/// overflow (which UBSan rightly rejects).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_VM_INTOPS_H
+#define HPMVM_VM_INTOPS_H
+
+#include <cstdint>
+
+namespace hpmvm {
+namespace intops {
+
+/// Signed wrap-around add: compute in uint32_t (defined), cast back.
+inline int32_t add(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) +
+                              static_cast<uint32_t>(B));
+}
+
+inline int32_t sub(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) -
+                              static_cast<uint32_t>(B));
+}
+
+inline int32_t mul(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) *
+                              static_cast<uint32_t>(B));
+}
+
+inline int32_t neg(int32_t A) {
+  return static_cast<int32_t>(0u - static_cast<uint32_t>(A));
+}
+
+/// Quotient with the lone overflowing case INT32_MIN / -1 pinned to
+/// INT32_MIN (the wrapped result). Caller still traps on B == 0.
+inline int32_t div(int32_t A, int32_t B) {
+  if (A == INT32_MIN && B == -1)
+    return INT32_MIN;
+  return A / B;
+}
+
+/// Remainder matching div(): INT32_MIN % -1 is 0. Caller traps on B == 0.
+inline int32_t rem(int32_t A, int32_t B) {
+  if (A == INT32_MIN && B == -1)
+    return 0;
+  return A % B;
+}
+
+} // namespace intops
+} // namespace hpmvm
+
+#endif // HPMVM_VM_INTOPS_H

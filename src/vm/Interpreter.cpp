@@ -3,6 +3,7 @@
 #include "vm/Interpreter.h"
 
 #include "vm/AdaptiveOptimizationSystem.h"
+#include "vm/IntOps.h"
 #include "vm/VirtualMachine.h"
 
 #include <cassert>
@@ -96,7 +97,7 @@ Value Interpreter::run(VirtualMachine &Vm, Method &M,
       F.Locals[I.A] = Pop();
       break;
     case Op::IInc:
-      F.Locals[I.A] = Value::makeInt(F.Locals[I.A].asInt() + I.B);
+      F.Locals[I.A] = Value::makeInt(intops::add(F.Locals[I.A].asInt(), I.B));
       break;
 
     case Op::IAdd: case Op::ISub: case Op::IMul: case Op::IDiv:
@@ -106,18 +107,18 @@ Value Interpreter::run(VirtualMachine &Vm, Method &M,
       int32_t A = Pop().asInt();
       int32_t R = 0;
       switch (I.Opcode) {
-      case Op::IAdd: R = A + B; break;
-      case Op::ISub: R = A - B; break;
-      case Op::IMul: R = A * B; break;
+      case Op::IAdd: R = intops::add(A, B); break;
+      case Op::ISub: R = intops::sub(A, B); break;
+      case Op::IMul: R = intops::mul(A, B); break;
       case Op::IDiv:
         if (B == 0)
           Vm.trap("division by zero");
-        R = A / B;
+        R = intops::div(A, B);
         break;
       case Op::IRem:
         if (B == 0)
           Vm.trap("division by zero (rem)");
-        R = A % B;
+        R = intops::rem(A, B);
         break;
       case Op::IAnd: R = A & B; break;
       case Op::IOr:  R = A | B; break;
@@ -130,7 +131,7 @@ Value Interpreter::run(VirtualMachine &Vm, Method &M,
       break;
     }
     case Op::INeg:
-      Push(Value::makeInt(-Pop().asInt()));
+      Push(Value::makeInt(intops::neg(Pop().asInt())));
       break;
 
     case Op::Goto:

@@ -3,6 +3,7 @@
 #include "vm/MachineExecutor.h"
 
 #include "vm/Interpreter.h" // evalCond
+#include "vm/IntOps.h"
 #include "vm/VirtualMachine.h"
 
 #include <cassert>
@@ -68,18 +69,18 @@ Value MachineExecutor::run(VirtualMachine &Vm, Method &M,
     case MOp::Mov:
       R[I.Dst] = R[I.SrcA];
       break;
-    case MOp::Add: SetInt(I.Dst, Int(I.SrcA) + Int(I.SrcB)); break;
-    case MOp::Sub: SetInt(I.Dst, Int(I.SrcA) - Int(I.SrcB)); break;
-    case MOp::Mul: SetInt(I.Dst, Int(I.SrcA) * Int(I.SrcB)); break;
+    case MOp::Add: SetInt(I.Dst, intops::add(Int(I.SrcA), Int(I.SrcB))); break;
+    case MOp::Sub: SetInt(I.Dst, intops::sub(Int(I.SrcA), Int(I.SrcB))); break;
+    case MOp::Mul: SetInt(I.Dst, intops::mul(Int(I.SrcA), Int(I.SrcB))); break;
     case MOp::Div:
       if (Int(I.SrcB) == 0)
         Vm.trap("division by zero");
-      SetInt(I.Dst, Int(I.SrcA) / Int(I.SrcB));
+      SetInt(I.Dst, intops::div(Int(I.SrcA), Int(I.SrcB)));
       break;
     case MOp::Rem:
       if (Int(I.SrcB) == 0)
         Vm.trap("division by zero (rem)");
-      SetInt(I.Dst, Int(I.SrcA) % Int(I.SrcB));
+      SetInt(I.Dst, intops::rem(Int(I.SrcA), Int(I.SrcB)));
       break;
     case MOp::And: SetInt(I.Dst, Int(I.SrcA) & Int(I.SrcB)); break;
     case MOp::Or:  SetInt(I.Dst, Int(I.SrcA) | Int(I.SrcB)); break;
@@ -87,10 +88,10 @@ Value MachineExecutor::run(VirtualMachine &Vm, Method &M,
     case MOp::Shl: SetInt(I.Dst, Int(I.SrcA) << (Int(I.SrcB) & 31)); break;
     case MOp::Shr: SetInt(I.Dst, Int(I.SrcA) >> (Int(I.SrcB) & 31)); break;
     case MOp::AddImm:
-      SetInt(I.Dst, Int(I.SrcA) + I.Imm);
+      SetInt(I.Dst, intops::add(Int(I.SrcA), I.Imm));
       break;
     case MOp::Neg:
-      SetInt(I.Dst, -Int(I.SrcA));
+      SetInt(I.Dst, intops::neg(Int(I.SrcA)));
       break;
 
     case MOp::Br:

@@ -1,0 +1,326 @@
+//===-- tests/lint/LintTest.cpp - hpmvm_lint engine and gate tests --------===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+// Three layers of coverage for the determinism linter (DESIGN.md sec. 14):
+//
+//   1. Fixture corpus: every rule R1-R6 has one minimal violating and one
+//      conforming fixture under tests/lint/fixtures/; the violating set is
+//      asserted down to exact (rule, line) pairs, the conforming set down
+//      to zero findings. Fixtures are linted in process under *virtual
+//      paths* so the path-scoped rules (R3's allowlist, R5's bench/tools
+//      restriction) see the layout they scope on.
+//   2. Suppression machinery: parse errors, the mandatory "# Why:"
+//      justification, component-boundary path matching, line pinning.
+//   3. The real tree and the real binary: `hpmvm_lint` over the repo's
+//      src/bench/tools/tests with the checked-in lint.supp must report
+//      zero unsuppressed findings, and --error-on-new must fail (exit 1)
+//      on the seeded fixture violations -- the CI gate, demonstrated.
+//
+// Paths come in via compile definitions: HPMVM_LINT_FIXTURES (the corpus),
+// HPMVM_LINT_REPO_ROOT (scan roots + lint.supp), HPMVM_LINT_BIN (the
+// built binary).
+//
+//===----------------------------------------------------------------------===//
+
+#include "LintEngine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <vector>
+
+using namespace hpmvm;
+using namespace hpmvm::lint;
+
+namespace {
+
+std::string readFixture(const std::string &Name) {
+  std::string Path = std::string(HPMVM_LINT_FIXTURES) + "/" + Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot read fixture " << Path;
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  return Ss.str();
+}
+
+/// Lints fixture \p Name as if it lived at \p VirtualPath; returns
+/// (rule, line) pairs in report order.
+std::vector<std::pair<std::string, unsigned>>
+lintFixture(const std::string &Name, const std::string &VirtualPath) {
+  std::vector<std::pair<std::string, unsigned>> Out;
+  for (const Finding &F : lintSource(VirtualPath, readFixture(Name)))
+    Out.emplace_back(F.Rule, F.Line);
+  return Out;
+}
+
+using Expected = std::vector<std::pair<std::string, unsigned>>;
+
+/// Runs a command line, captures stdout+stderr, returns the exit code.
+int runTool(const std::string &Cmd, std::string &Output) {
+  FILE *P = popen((Cmd + " 2>&1").c_str(), "r");
+  EXPECT_NE(P, nullptr) << "popen failed for: " << Cmd;
+  if (!P)
+    return -1;
+  char Buf[4096];
+  Output.clear();
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Output.append(Buf, N);
+  int Status = pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// 1. Fixture corpus: exact findings on the violating set
+//===----------------------------------------------------------------------===//
+
+TEST(LintFixtures, R1WallClockAndRandomness) {
+  EXPECT_EQ(lintFixture("r1_bad.cpp", "src/core/R1Fixture.cpp"),
+            (Expected{{"R1", 10}, {"R1", 15}, {"R1", 19}}));
+  EXPECT_EQ(lintFixture("r1_ok.cpp", "src/core/R1Fixture.cpp"), Expected{});
+}
+
+TEST(LintFixtures, R2UnorderedContainersOnExportPath) {
+  EXPECT_EQ(lintFixture("r2_bad.cpp", "src/obs/R2Fixture.cpp"),
+            (Expected{{"R2", 13}, {"R2", 14}}));
+  EXPECT_EQ(lintFixture("r2_ok.cpp", "src/obs/R2Fixture.cpp"), Expected{});
+  // The content marker (DecisionJournal) puts journal-writing files in
+  // scope wherever they live, not just under the export directories.
+  EXPECT_EQ(lintFixture("r2_bad.cpp", "src/core/R2Fixture.cpp"),
+            (Expected{{"R2", 13}, {"R2", 14}}));
+}
+
+TEST(LintFixtures, R3RawConsoleOutput) {
+  EXPECT_EQ(lintFixture("r3_bad.cpp", "src/core/R3Fixture.cpp"),
+            (Expected{{"R3", 10}, {"R3", 11}, {"R3", 12}}));
+  EXPECT_EQ(lintFixture("r3_ok.cpp", "src/core/R3Fixture.cpp"), Expected{});
+  // The same raw prints are legal in a bench main: bench/ and tools/ are
+  // the user interface and sit on the R3 allowlist.
+  EXPECT_EQ(lintFixture("r3_bad.cpp", "bench/R3Fixture.cpp"), Expected{});
+}
+
+TEST(LintFixtures, R4PointerKeysAndPointerFormatting) {
+  EXPECT_EQ(lintFixture("r4_bad.cpp", "src/obs/R4Fixture.cpp"),
+            (Expected{{"R4", 14}, {"R4", 18}}));
+  EXPECT_EQ(lintFixture("r4_ok.cpp", "src/obs/R4Fixture.cpp"), Expected{});
+}
+
+TEST(LintFixtures, R5BenchMainsValidateFlags) {
+  EXPECT_EQ(lintFixture("r5_bad.cpp", "bench/R5Fixture.cpp"),
+            (Expected{{"R5", 4}}));
+  EXPECT_EQ(lintFixture("r5_ok.cpp", "bench/R5Fixture.cpp"), Expected{});
+  EXPECT_EQ(lintFixture("r5_bad.cpp", "tools/R5Fixture.cpp"),
+            (Expected{{"R5", 4}}));
+  // Outside bench/ and tools/ the rule does not apply (tests and examples
+  // have mains the suite layer owns).
+  EXPECT_EQ(lintFixture("r5_bad.cpp", "src/core/R5Fixture.cpp"),
+            Expected{});
+}
+
+TEST(LintFixtures, R6OutFlagsUseEnsureParentDir) {
+  EXPECT_EQ(lintFixture("r6_bad.cpp", "bench/R6Fixture.cpp"),
+            (Expected{{"R6", 14}}));
+  EXPECT_EQ(lintFixture("r6_ok.cpp", "bench/R6Fixture.cpp"), Expected{});
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer edge cases: rules must not fire inside comments or literals
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexer, CommentsAndLiteralsAreInvisible) {
+  const char *Text = "// steady_clock rand() printf\n"
+                     "/* std::unordered_map<int,int> cerr */\n"
+                     "const char *S = \"rand() time(0) %d\";\n"
+                     "int X = 1'000;\n";
+  EXPECT_TRUE(lintSource("src/obs/Edge.cpp", Text).empty());
+}
+
+TEST(LintLexer, IncludeHeaderNamesAreNotCode) {
+  // <random> and <unordered_map> may be *named*; only their use violates.
+  const char *Text = "#include <random>\n#include <unordered_map>\n"
+                     "#include <chrono>\nint x = 0;\n";
+  EXPECT_TRUE(lintSource("src/obs/Edge.cpp", Text).empty());
+}
+
+TEST(LintLexer, MemberAndQualifiedCallsAreScoped) {
+  // Member calls and non-std qualification are legal; std:: is not.
+  EXPECT_TRUE(lintSource("src/core/E.cpp", "int y = B.rand();").empty());
+  EXPECT_TRUE(
+      lintSource("src/core/E.cpp", "int y = Builder::rand();").empty());
+  EXPECT_EQ(lintSource("src/core/E.cpp", "int y = std::rand();").size(),
+            1u);
+}
+
+//===----------------------------------------------------------------------===//
+// 2. Suppression machinery
+//===----------------------------------------------------------------------===//
+
+TEST(LintSupp, JustifiedEntriesParse) {
+  SuppFile S = parseSuppressions("# Why: sanctioned host-clock site.\n"
+                                 "R1 src/obs/SelfProfiler.h:66\n");
+  ASSERT_TRUE(S.Errors.empty());
+  ASSERT_EQ(S.Entries.size(), 1u);
+  EXPECT_EQ(S.Entries[0].Rule, "R1");
+  EXPECT_EQ(S.Entries[0].PathSuffix, "src/obs/SelfProfiler.h");
+  EXPECT_EQ(S.Entries[0].Line, 66u);
+  EXPECT_TRUE(S.Entries[0].Justified);
+}
+
+TEST(LintSupp, UnjustifiedEntryIsAnError) {
+  SuppFile S = parseSuppressions("R1 src/obs/SelfProfiler.h\n");
+  ASSERT_EQ(S.Errors.size(), 1u);
+  EXPECT_NE(S.Errors[0].find("Why:"), std::string::npos);
+}
+
+TEST(LintSupp, BlankLineEndsJustificationBlock) {
+  // The "# Why:" must sit directly above its entries; a blank line in
+  // between orphans the entry.
+  SuppFile S = parseSuppressions("# Why: something.\n\nR1 src/a.cpp\n");
+  ASSERT_EQ(S.Errors.size(), 1u);
+}
+
+TEST(LintSupp, MalformedAndUnknownRulesAreErrors) {
+  EXPECT_EQ(parseSuppressions("# Why: x.\nR1\n").Errors.size(), 1u);
+  EXPECT_EQ(parseSuppressions("# Why: x.\nR9 src/a.cpp\n").Errors.size(),
+            1u);
+}
+
+TEST(LintSupp, MatchingIsComponentAndLineExact) {
+  std::vector<Finding> Fs = {
+      {"src/obs/SelfProfiler.h", 66, "R1", "m", false},
+      {"src/obs/SelfProfiler.h", 70, "R1", "m", false},
+      {"src/obs/NotSelfProfiler.h", 66, "R1", "m", false},
+  };
+  SuppFile S = parseSuppressions("# Why: x.\nR1 SelfProfiler.h:66\n");
+  applySuppressions(Fs, S);
+  EXPECT_TRUE(Fs[0].Suppressed);  // Exact file + line.
+  EXPECT_FALSE(Fs[1].Suppressed); // Line pin excludes other lines.
+  // "SelfProfiler.h" must not match inside "NotSelfProfiler.h".
+  EXPECT_FALSE(Fs[2].Suppressed);
+  EXPECT_TRUE(S.Entries[0].Used);
+}
+
+//===----------------------------------------------------------------------===//
+// 3. The real tree and the real binary
+//===----------------------------------------------------------------------===//
+
+TEST(LintTree, RepoIsCleanUnderCheckedInSuppressions) {
+  std::string Root(HPMVM_LINT_REPO_ROOT);
+  std::vector<std::string> Files;
+  std::string Error;
+  for (const char *Sub : {"/src", "/bench", "/tools", "/tests"})
+    ASSERT_TRUE(collectFiles(Root + Sub, Files, Error)) << Error;
+  ASSERT_GT(Files.size(), 200u) << "scan missed most of the tree";
+
+  std::ifstream In(Root + "/lint.supp");
+  ASSERT_TRUE(In.good()) << "missing checked-in lint.supp";
+  std::ostringstream Ss;
+  Ss << In.rdbuf();
+  SuppFile Supp = parseSuppressions(Ss.str());
+  ASSERT_TRUE(Supp.Errors.empty())
+      << "lint.supp rejected: " << Supp.Errors[0];
+
+  std::vector<Finding> All;
+  for (const std::string &File : Files) {
+    std::ifstream F(File);
+    std::ostringstream Fs;
+    Fs << F.rdbuf();
+    for (Finding &Fd : lintSource(File, Fs.str()))
+      All.push_back(std::move(Fd));
+  }
+  applySuppressions(All, Supp);
+  for (const Finding &F : All)
+    EXPECT_TRUE(F.Suppressed) << F.File << ":" << F.Line << ": " << F.Rule
+                              << ": " << F.Message;
+  for (const SuppEntry &E : Supp.Entries)
+    EXPECT_TRUE(E.Used) << "stale lint.supp entry: " << E.Rule << " "
+                        << E.PathSuffix;
+}
+
+TEST(LintTree, FixtureCorpusIsExcludedFromTreeScans) {
+  // The deliberately violating corpus must never taint a tree scan: the
+  // walker skips tests/lint/fixtures (and any build*/ directory).
+  std::vector<std::string> Files;
+  std::string Error;
+  ASSERT_TRUE(
+      collectFiles(std::string(HPMVM_LINT_REPO_ROOT) + "/tests", Files,
+                   Error))
+      << Error;
+  for (const std::string &F : Files)
+    EXPECT_EQ(F.find("lint/fixtures"), std::string::npos) << F;
+}
+
+TEST(LintBinary, ErrorOnNewFailsOnSeededViolation) {
+  // The CI gate, demonstrated end to end: pointed at the violating
+  // corpus, --error-on-new must exit 1 and name rules and lines.
+  std::string Out;
+  int Rc = runTool(std::string(HPMVM_LINT_BIN) + " --error-on-new " +
+                       HPMVM_LINT_FIXTURES,
+                   Out);
+  EXPECT_EQ(Rc, 1) << Out;
+  EXPECT_NE(Out.find("r1_bad.cpp:10: R1:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("r6_bad.cpp:14: R6:"), std::string::npos) << Out;
+}
+
+TEST(LintBinary, CleanTreeExitsZeroUnderGate) {
+  std::string Root(HPMVM_LINT_REPO_ROOT);
+  std::string Out;
+  int Rc = runTool(std::string(HPMVM_LINT_BIN) + " --supp " + Root +
+                       "/lint.supp --error-on-new " + Root + "/src " +
+                       Root + "/bench " + Root + "/tools " + Root +
+                       "/tests",
+                   Out);
+  EXPECT_EQ(Rc, 0) << Out;
+  EXPECT_NE(Out.find(" 0 findings"), std::string::npos) << Out;
+}
+
+TEST(LintBinary, NonexistentAndEmptyRootsExitTwo) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(HPMVM_LINT_BIN) +
+                        " --error-on-new /nonexistent/scan/root",
+                    Out),
+            2);
+  EXPECT_NE(Out.find("does not exist"), std::string::npos) << Out;
+
+  std::string Empty = ::testing::TempDir() + "hpmvm_lint_empty_scan";
+  mkdir(Empty.c_str(), 0777);
+  EXPECT_EQ(runTool(std::string(HPMVM_LINT_BIN) + " " + Empty, Out), 2);
+  EXPECT_NE(Out.find("no lintable files"), std::string::npos) << Out;
+}
+
+TEST(LintBinary, UnknownFlagsAndUnjustifiedSuppExitTwo) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(HPMVM_LINT_BIN) + " --frobnicate", Out),
+            2);
+  EXPECT_NE(Out.find("--frobnicate"), std::string::npos) << Out;
+
+  // --check-supp: accepts the checked-in file, rejects one whose entry
+  // has no justification (the CI supp-hygiene step).
+  std::string Root(HPMVM_LINT_REPO_ROOT);
+  EXPECT_EQ(runTool(std::string(HPMVM_LINT_BIN) + " --check-supp " +
+                        Root + "/lint.supp",
+                    Out),
+            0);
+  std::string Bad = ::testing::TempDir() + "hpmvm_lint_bad.supp";
+  std::ofstream(Bad) << "R1 src/obs/SelfProfiler.h\n";
+  EXPECT_EQ(runTool(std::string(HPMVM_LINT_BIN) + " --check-supp " + Bad,
+                    Out),
+            2);
+  EXPECT_NE(Out.find("Why:"), std::string::npos) << Out;
+}
+
+TEST(LintBinary, ListRulesPrintsTheCatalog) {
+  std::string Out;
+  EXPECT_EQ(runTool(std::string(HPMVM_LINT_BIN) + " --list-rules", Out),
+            0);
+  for (const RuleInfo &R : rules())
+    EXPECT_NE(Out.find(R.Id), std::string::npos) << Out;
+}

@@ -1,0 +1,22 @@
+// R1 fixture: wall-clock reads and ambient randomness. The lint test
+// scans this file under the virtual path "src/core/R1Fixture.cpp" and
+// expects exactly three R1 findings, at the lines marked below.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long hostNow() {
+  auto T = std::chrono::steady_clock::now(); // line 10: R1 (steady_clock)
+  return T.time_since_epoch().count();
+}
+
+int ambientRoll() {
+  return std::rand() % 6; // line 15: R1 (rand)
+}
+
+long wallSeconds() {
+  return time(nullptr); // line 19: R1 (time)
+}
+
+} // namespace fixture

@@ -1,0 +1,30 @@
+// R1 conforming fixture: seeded SplitMix64 and the virtual clock. Member
+// calls named like libc functions (Vm.clock(), builder .rand()) are legal
+// -- only free-function wall-clock/randomness calls violate R1.
+namespace fixture {
+
+struct SplitMix64 {
+  unsigned long long State;
+  explicit SplitMix64(unsigned long long Seed) : State(Seed) {}
+  unsigned long long next() { return State += 0x9e3779b97f4a7c15ull; }
+};
+
+struct Clock {
+  unsigned long long Now = 0;
+  unsigned long long now() const { return Now; }
+};
+
+struct Vm {
+  Clock C;
+  const Clock &clock() const { return C; }
+  Vm &rand() { return *this; } // A seeded bytecode op, not libc rand.
+};
+
+unsigned long long roll(unsigned long long Seed) {
+  SplitMix64 Rng(Seed);
+  Vm Machine;
+  Machine.rand();
+  return Rng.next() + Machine.clock().now();
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// R2 fixture: unordered containers in a file on the export path (the
+// DecisionJournal mention below puts it in scope regardless of its
+// directory). Two R2 findings expected, at the marked lines.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class DecisionJournal; // Export-path marker: this file journals.
+
+struct HintState {
+  std::unordered_map<int, long> PerField;     // line 13: R2
+  std::unordered_set<std::string> SeenLabels; // line 14: R2
+  DecisionJournal *Journal = nullptr;
+};
+
+} // namespace fixture

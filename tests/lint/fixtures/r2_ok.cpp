@@ -1,0 +1,17 @@
+// R2 conforming fixture: same export-path file shape, but with ordered
+// containers, so emission order is the key order -- deterministic.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+class DecisionJournal; // Export-path marker: this file journals.
+
+struct HintState {
+  std::map<int, long> PerField;
+  std::set<std::string> SeenLabels;
+  DecisionJournal *Journal = nullptr;
+};
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// R3 fixture: raw console output from library code (scanned under a
+// src/core virtual path, which is not on the R3 allowlist). Three R3
+// findings expected: printf, fprintf(stderr), and std::cerr.
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+void reportProgress(int Done) {
+  printf("done: %d\n", Done);
+  fprintf(stderr, "warning: slow path\n");
+  std::cerr << "still running\n";
+}
+
+} // namespace fixture

@@ -1,0 +1,15 @@
+// R3 conforming fixture: diagnostics through the Log sink, data through
+// an explicitly opened FILE* (the export-writer shape) -- fprintf to a
+// named stream is legal everywhere; only console streams are not.
+#include <cstdio>
+
+namespace fixture {
+
+void logInfo(const char *Component, const char *Message);
+
+void exportRows(FILE *Out, int Rows) {
+  logInfo("exporter", "writing rows");
+  fprintf(Out, "{\"rows\": %d}\n", Rows);
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// R4 fixture: pointer-keyed container and pointer-value formatting in an
+// export-writing file (the TableWriter mention is the scope marker). Two
+// R4 findings expected.
+#include <cstdio>
+#include <map>
+
+namespace fixture {
+
+class TableWriter; // Export-path marker: this file writes tables.
+
+struct Method;
+
+struct HotSet {
+  std::map<Method *, long> Samples; // pointer-keyed: ASLR-ordered
+};
+
+inline void dump(FILE *Out, const Method *M) {
+  fprintf(Out, "method at %p\n", static_cast<const void *>(M));
+}
+
+} // namespace fixture

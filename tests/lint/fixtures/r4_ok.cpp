@@ -1,0 +1,20 @@
+// R4 conforming fixture: stable integer ids as keys and in output; the
+// percent sign in ordinary format strings ("%llu", "100%") is fine.
+#include <cstdio>
+#include <map>
+
+namespace fixture {
+
+class TableWriter; // Export-path marker: this file writes tables.
+
+using MethodId = unsigned;
+
+struct HotSet {
+  std::map<MethodId, long> Samples;
+};
+
+inline void dump(FILE *Out, MethodId M, unsigned long long N) {
+  fprintf(Out, "method %u: %llu samples (100%% of window)\n", M, N);
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// R5 fixture: a bench-style main (scanned under a bench/ virtual path)
+// that consumes argv by hand -- no flags::ArgScanner, no bench::init, so
+// a typo'd flag would be silently ignored. One R5 finding expected.
+int main(int Argc, char **Argv) {
+  int Scale = 100;
+  for (int I = 1; I < Argc; ++I) {
+    // Hand-rolled matching: unknown flags fall through silently.
+    if (Argv[I][0] == '-' && Argv[I][1] == 's')
+      Scale = 25;
+  }
+  return Scale == 0;
+}

@@ -1,0 +1,19 @@
+// R5 conforming fixture: the bench-main shape -- every argument goes
+// through flags::ArgScanner, and anything unknown fails the scan, which
+// the caller turns into exit 2.
+namespace hpmvm::flags {
+class ArgScanner {
+public:
+  ArgScanner(int &Argc, char **Argv);
+  bool next();
+  void keepUnknown();
+  bool ok() const;
+};
+} // namespace hpmvm::flags
+
+int main(int Argc, char **Argv) {
+  hpmvm::flags::ArgScanner S(Argc, Argv);
+  while (S.next())
+    S.keepUnknown();
+  return S.ok() ? 0 : 2;
+}

@@ -1,0 +1,18 @@
+// R6 fixture: an output-path flag ("--report-out") parsed without the
+// shared ensureParentDir mkdir-or-exit-2 helper anywhere in the file.
+// One R6 finding expected, on the literal's line.
+#include <string>
+
+namespace fixture {
+
+struct Scanner {
+  bool take(const char *Flag, std::string &Value);
+};
+
+inline std::string parseOutPath(Scanner &S) {
+  std::string Path;
+  S.take("--report-out", Path); // No ensureParentDir in this file.
+  return Path;
+}
+
+} // namespace fixture

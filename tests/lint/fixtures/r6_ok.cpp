@@ -1,0 +1,22 @@
+// R6 conforming fixture: the out-path flag's value goes through the
+// shared ensureParentDir helper, so a bad path fails at parse time with
+// exit 2 instead of at run end.
+#include <string>
+
+namespace fixture {
+
+bool ensureParentDir(const std::string &Path);
+
+struct Scanner {
+  bool take(const char *Flag, std::string &Value);
+  void fail();
+};
+
+inline std::string parseOutPath(Scanner &S) {
+  std::string Path;
+  if (S.take("--report-out", Path) && !ensureParentDir(Path))
+    S.fail(); // Caller exits 2, naming the path.
+  return Path;
+}
+
+} // namespace fixture

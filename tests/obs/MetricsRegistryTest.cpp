@@ -62,7 +62,9 @@ TEST(Histogram, PercentilesAreExactForUniformValues) {
   Histogram &H = R.histogram("h");
   for (int I = 0; I != 100; ++I)
     H.record(10); // One bucket; upper edge 15 clamps to Max = 10.
-  const MetricsSnapshot::HistogramData *D = R.snapshot().histogram("h");
+  // Keep the snapshot alive: histogram() points into the snapshot object.
+  MetricsSnapshot S = R.snapshot();
+  const MetricsSnapshot::HistogramData *D = S.histogram("h");
   ASSERT_NE(D, nullptr);
   EXPECT_EQ(D->P50, 10u);
   EXPECT_EQ(D->P95, 10u);
@@ -76,7 +78,8 @@ TEST(Histogram, PercentilesSeparateBimodalPopulations) {
     H.record(1);
   for (int I = 0; I != 50; ++I)
     H.record(1000);
-  const MetricsSnapshot::HistogramData *D = R.snapshot().histogram("h");
+  MetricsSnapshot S = R.snapshot();
+  const MetricsSnapshot::HistogramData *D = S.histogram("h");
   ASSERT_NE(D, nullptr);
   // Nearest-rank: rank 50 of 100 still lands in the low bucket.
   EXPECT_EQ(D->P50, 1u);

@@ -1,0 +1,709 @@
+//===-- tools/LintEngine.cpp ----------------------------------------------===//
+
+#include "LintEngine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <set>
+
+using namespace hpmvm;
+using namespace hpmvm::lint;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One lexical token. Comments vanish; string/char literals keep only
+/// their inner text (so identifier rules never fire inside literals, and
+/// literal rules never fire on code).
+struct Tok {
+  enum Kind { Ident, Str, Num, Punct };
+  Kind K;
+  std::string Text;
+  unsigned Line;
+};
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Tokenizes \p Text. Line-aware, comment-aware, literal-aware; raw
+/// strings and `#include` header-names are consumed without producing
+/// identifier tokens. This is deliberately not a full C++ lexer -- just
+/// enough fidelity that the rules below see code, and only code.
+std::vector<Tok> lex(const std::string &Text) {
+  std::vector<Tok> Toks;
+  size_t I = 0, N = Text.size();
+  unsigned Line = 1;
+  bool AtLineStart = true;
+
+  auto peek = [&](size_t Off) -> char {
+    return I + Off < N ? Text[I + Off] : '\0';
+  };
+
+  while (I < N) {
+    char C = Text[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      AtLineStart = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+
+    // Preprocessor: only #include needs special handling (its <header>
+    // operand would otherwise lex as identifiers); every other directive
+    // body is scanned like code so a macro wrapping printf still trips R3.
+    if (C == '#' && AtLineStart) {
+      size_t J = I + 1;
+      while (J < N && std::isspace(static_cast<unsigned char>(Text[J])) &&
+             Text[J] != '\n')
+        ++J;
+      if (Text.compare(J, 7, "include") == 0) {
+        while (I < N && Text[I] != '\n')
+          ++I;
+        continue;
+      }
+      ++I;
+      AtLineStart = false;
+      continue;
+    }
+    AtLineStart = false;
+
+    // Comments.
+    if (C == '/' && peek(1) == '/') {
+      while (I < N && Text[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      I += 2;
+      while (I < N && !(Text[I] == '*' && peek(1) == '/')) {
+        if (Text[I] == '\n')
+          ++Line;
+        ++I;
+      }
+      I = std::min(I + 2, N);
+      continue;
+    }
+
+    // String and character literals (with prefixes and raw strings).
+    size_t LitStart = I;
+    if (isIdentStart(C)) {
+      size_t J = I;
+      while (J < N && isIdentChar(Text[J]))
+        ++J;
+      std::string Word = Text.substr(I, J - I);
+      bool RawPrefix = !Word.empty() && Word.back() == 'R';
+      bool LitPrefix = Word == "u8" || Word == "u" || Word == "U" ||
+                       Word == "L" || Word == "R" || Word == "u8R" ||
+                       Word == "uR" || Word == "UR" || Word == "LR";
+      if (LitPrefix && (peek(J - I) == '"' || peek(J - I) == '\'')) {
+        I = J; // Fall through to the literal scan below.
+        C = Text[I];
+        if (RawPrefix && C == '"') {
+          // Raw string: R"delim( ... )delim".
+          size_t DStart = I + 1;
+          size_t Paren = Text.find('(', DStart);
+          if (Paren == std::string::npos) {
+            ++I;
+            continue;
+          }
+          std::string Close =
+              ")" + Text.substr(DStart, Paren - DStart) + "\"";
+          size_t End = Text.find(Close, Paren + 1);
+          if (End == std::string::npos)
+            End = N;
+          std::string Inner = Text.substr(Paren + 1, End - Paren - 1);
+          Toks.push_back({Tok::Str, Inner, Line});
+          for (size_t K = LitStart; K < std::min(End + Close.size(), N); ++K)
+            if (Text[K] == '\n')
+              ++Line;
+          I = std::min(End + Close.size(), N);
+          continue;
+        }
+      } else {
+        unsigned TokLine = Line;
+        Toks.push_back({Tok::Ident, Word, TokLine});
+        I = J;
+        continue;
+      }
+    }
+
+    if (C == '"' || C == '\'') {
+      char Quote = C;
+      size_t J = I + 1;
+      std::string Inner;
+      while (J < N && Text[J] != Quote) {
+        if (Text[J] == '\\' && J + 1 < N) {
+          Inner += Text[J];
+          Inner += Text[J + 1];
+          J += 2;
+          continue;
+        }
+        if (Text[J] == '\n')
+          ++Line; // Unterminated literal; keep line counts sane.
+        Inner += Text[J];
+        ++J;
+      }
+      if (Quote == '"')
+        Toks.push_back({Tok::Str, Inner, Line});
+      I = std::min(J + 1, N);
+      continue;
+    }
+
+    // Numbers (incl. hex and digit separators -- 1'000 must not open a
+    // character literal).
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t J = I;
+      while (J < N && (isIdentChar(Text[J]) || Text[J] == '\'' ||
+                       Text[J] == '.'))
+        ++J;
+      Toks.push_back({Tok::Num, Text.substr(I, J - I), Line});
+      I = J;
+      continue;
+    }
+
+    // Punctuation; :: and -> matter to the rules, so keep them whole.
+    if (C == ':' && peek(1) == ':') {
+      Toks.push_back({Tok::Punct, "::", Line});
+      I += 2;
+      continue;
+    }
+    if (C == '-' && peek(1) == '>') {
+      Toks.push_back({Tok::Punct, "->", Line});
+      I += 2;
+      continue;
+    }
+    Toks.push_back({Tok::Punct, std::string(1, C), Line});
+    ++I;
+  }
+  return Toks;
+}
+
+//===----------------------------------------------------------------------===//
+// Path scoping
+//===----------------------------------------------------------------------===//
+
+std::string normalize(const std::string &Path) {
+  std::string P = Path;
+  std::replace(P.begin(), P.end(), '\\', '/');
+  return P;
+}
+
+/// True when \p Path lives under directory \p Dir ("src/obs", "bench").
+bool inDir(const std::string &Path, const std::string &Dir) {
+  std::string P = normalize(Path);
+  if (P.rfind(Dir + "/", 0) == 0)
+    return true;
+  return P.find("/" + Dir + "/") != std::string::npos;
+}
+
+/// True when \p Path names file \p Stem with any extension, e.g.
+/// stem "src/obs/Log" matches ".../src/obs/Log.cpp" and "src/obs/Log.h".
+bool isFileStem(const std::string &Path, const std::string &Stem) {
+  std::string P = normalize(Path);
+  size_t Pos = P.rfind(Stem + ".");
+  if (Pos == std::string::npos)
+    return false;
+  return Pos == 0 || P[Pos - 1] == '/';
+}
+
+//===----------------------------------------------------------------------===//
+// Token-stream helpers
+//===----------------------------------------------------------------------===//
+
+bool hasIdent(const std::vector<Tok> &Toks, const std::string &Name) {
+  for (const Tok &T : Toks)
+    if (T.K == Tok::Ident && T.Text == Name)
+      return true;
+  return false;
+}
+
+/// True when identifier sequence A :: B appears anywhere.
+bool hasQualified(const std::vector<Tok> &Toks, const std::string &A,
+                  const std::string &B) {
+  for (size_t I = 0; I + 2 < Toks.size(); ++I)
+    if (Toks[I].K == Tok::Ident && Toks[I].Text == A &&
+        Toks[I + 1].K == Tok::Punct && Toks[I + 1].Text == "::" &&
+        Toks[I + 2].K == Tok::Ident && Toks[I + 2].Text == B)
+      return true;
+  return false;
+}
+
+void addFinding(std::vector<Finding> &Out, const std::string &Path,
+                unsigned Line, const char *Rule, std::string Message) {
+  Out.push_back({Path, Line, Rule, std::move(Message), false});
+}
+
+//===----------------------------------------------------------------------===//
+// R1: wall clocks and ambient randomness
+//===----------------------------------------------------------------------===//
+
+void checkR1(const std::string &Path, const std::vector<Tok> &Toks,
+             std::vector<Finding> &Out) {
+  // Identifiers that are nondeterministic wherever they appear.
+  static const std::set<std::string> BannedIdents = {
+      "system_clock",    "steady_clock", "high_resolution_clock",
+      "random_device",   "mt19937",      "mt19937_64",
+      "default_random_engine",           "gettimeofday",
+      "clock_gettime",   "localtime",    "gmtime",
+      "strftime",        "drand48",      "rdtsc",
+      "__rdtsc",         "__builtin_ia32_rdtsc"};
+  // Libc calls banned only as free-function calls: `X.rand()` is the VM's
+  // seeded bytecode op, `Vm.clock()` the virtual clock accessor -- member
+  // access and non-std qualification stay legal.
+  static const std::set<std::string> BannedCalls = {"rand",  "srand", "time",
+                                                    "clock", "random"};
+
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Tok &T = Toks[I];
+    if (T.K != Tok::Ident)
+      continue;
+    if (BannedIdents.count(T.Text)) {
+      addFinding(Out, Path, T.Line, "R1",
+                 "nondeterministic time/randomness source '" + T.Text +
+                     "'; use the virtual clock or a seeded SplitMix64");
+      continue;
+    }
+    if (!BannedCalls.count(T.Text))
+      continue;
+    if (I + 1 >= Toks.size() || Toks[I + 1].Text != "(")
+      continue;
+    if (I > 0) {
+      const Tok &Prev = Toks[I - 1];
+      // Member access / address-of declarations / non-std qualification.
+      if (Prev.Text == "." || Prev.Text == "->" || Prev.Text == "&" ||
+          Prev.Text == "*")
+        continue;
+      if (Prev.Text == "::" &&
+          !(I >= 2 && Toks[I - 2].K == Tok::Ident && Toks[I - 2].Text == "std"))
+        continue;
+    }
+    addFinding(Out, Path, T.Line, "R1",
+               "call to '" + T.Text +
+                   "()' is nondeterministic; use the virtual clock or a "
+                   "seeded SplitMix64");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R2/R4 shared scope: files that write exports, journals, or tables
+//===----------------------------------------------------------------------===//
+
+bool onExportPath(const std::string &Path, const std::vector<Tok> &Toks) {
+  if (inDir(Path, "src/obs") || inDir(Path, "src/harness") ||
+      inDir(Path, "bench") || inDir(Path, "tools") ||
+      isFileStem(Path, "src/support/TableWriter"))
+    return true;
+  // Content scope: anything touching the journal or a table/JSON writer
+  // is on an export path no matter where it lives (the core consumers
+  // journal their decisions).
+  static const std::set<std::string> Markers = {
+      "DecisionJournal", "TableWriter", "writeJson", "writeSuiteJsonFile",
+      "writeRunsJsonFile"};
+  for (const Tok &T : Toks)
+    if (T.K == Tok::Ident && Markers.count(T.Text))
+      return true;
+  return false;
+}
+
+void checkR2(const std::string &Path, const std::vector<Tok> &Toks,
+             std::vector<Finding> &Out) {
+  if (!onExportPath(Path, Toks))
+    return;
+  for (const Tok &T : Toks) {
+    if (T.K != Tok::Ident)
+      continue;
+    if (T.Text == "unordered_map" || T.Text == "unordered_set")
+      addFinding(Out, Path, T.Line, "R2",
+                 "'" + T.Text +
+                     "' in an export-writing file; hash-iteration order can "
+                     "leak into output -- use sorted emission or a "
+                     "dense/ordered container");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R3: raw console output
+//===----------------------------------------------------------------------===//
+
+bool r3Allowlisted(const std::string &Path) {
+  // Bench and tool binaries are the user interface; the Log sink, the
+  // table writer, and the flag parser are the sanctioned output layers.
+  return inDir(Path, "bench") || inDir(Path, "tools") ||
+         isFileStem(Path, "src/obs/Log") ||
+         isFileStem(Path, "src/support/TableWriter") ||
+         isFileStem(Path, "src/support/Flags");
+}
+
+void checkR3(const std::string &Path, const std::vector<Tok> &Toks,
+             std::vector<Finding> &Out) {
+  if (r3Allowlisted(Path))
+    return;
+  static const std::set<std::string> PrintCalls = {"printf", "vprintf",
+                                                   "puts", "putchar"};
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Tok &T = Toks[I];
+    if (T.K != Tok::Ident)
+      continue;
+    if (T.Text == "cout" || T.Text == "cerr") {
+      addFinding(Out, Path, T.Line, "R3",
+                 "raw std::" + T.Text +
+                     " output; route diagnostics through obs/Log and data "
+                     "through TableWriter/JSON exporters");
+      continue;
+    }
+    bool IsPlainPrint = PrintCalls.count(T.Text) != 0;
+    bool IsFPrint = T.Text == "fprintf" || T.Text == "vfprintf";
+    if (!IsPlainPrint && !IsFPrint)
+      continue;
+    if (I + 1 >= Toks.size() || Toks[I + 1].Text != "(")
+      continue;
+    if (I > 0 && (Toks[I - 1].Text == "." || Toks[I - 1].Text == "->"))
+      continue; // A method that happens to share the name.
+    if (IsFPrint) {
+      // fprintf to an explicitly opened FILE* is the export path and is
+      // fine; only the console streams are rule violations.
+      if (I + 2 < Toks.size() && Toks[I + 2].K == Tok::Ident &&
+          (Toks[I + 2].Text == "stderr" || Toks[I + 2].Text == "stdout"))
+        addFinding(Out, Path, T.Line, "R3",
+                   "raw " + T.Text + "(" + Toks[I + 2].Text +
+                       ", ...); route diagnostics through obs/Log");
+      continue;
+    }
+    addFinding(Out, Path, T.Line, "R3",
+               "raw " + T.Text +
+                   "() output; route diagnostics through obs/Log and data "
+                   "through TableWriter/JSON exporters");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R4: pointer-keyed containers and pointer-value formatting on export paths
+//===----------------------------------------------------------------------===//
+
+void checkR4(const std::string &Path, const std::vector<Tok> &Toks,
+             std::vector<Finding> &Out) {
+  if (!onExportPath(Path, Toks))
+    return;
+  static const std::set<std::string> Containers = {
+      "map", "multimap", "set", "multiset", "unordered_map",
+      "unordered_set"};
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Tok &T = Toks[I];
+    if (T.K == Tok::Str) {
+      // Pointer-value format specifier inside a literal: addresses are
+      // ASLR-dependent, so they must never reach exported bytes.
+      const std::string &S = T.Text;
+      for (size_t C = 0; C + 1 < S.size(); ++C) {
+        if (S[C] != '%' || S[C + 1] != 'p')
+          continue;
+        if (C + 2 < S.size() &&
+            std::isalnum(static_cast<unsigned char>(S[C + 2])))
+          continue; // "%pa..." style false positives ("50%passed").
+        addFinding(Out, Path, T.Line, "R4",
+                   "pointer-value format specifier in an export-writing "
+                   "file; print a stable id, not an address");
+        break;
+      }
+      continue;
+    }
+    if (T.K != Tok::Ident || !Containers.count(T.Text))
+      continue;
+    if (I + 1 >= Toks.size() || Toks[I + 1].Text != "<")
+      continue;
+    // Scan the first template argument (to the top-level comma or the
+    // matching close); a '*' there means pointer keys, whose ordering is
+    // the allocator's business, not the run's.
+    int Depth = 1;
+    bool PointerKey = false;
+    for (size_t J = I + 2; J < Toks.size() && J < I + 64; ++J) {
+      const std::string &P = Toks[J].Text;
+      if (P == "<")
+        ++Depth;
+      else if (P == ">") {
+        if (--Depth == 0)
+          break;
+      } else if (P == "," && Depth == 1)
+        break;
+      else if (P == "*")
+        PointerKey = true;
+      else if (P == ";" || P == "{" || P == ")")
+        break; // Not a template after all (comparison expression).
+    }
+    if (PointerKey)
+      addFinding(Out, Path, T.Line, "R4",
+                 "pointer-keyed '" + T.Text +
+                     "' in an export-writing file; key by a stable id "
+                     "(MethodId/FieldId/ClassId), not an address");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R5: bench/tool mains must validate flags via ArgScanner
+//===----------------------------------------------------------------------===//
+
+void checkR5(const std::string &Path, const std::vector<Tok> &Toks,
+             std::vector<Finding> &Out) {
+  if (!inDir(Path, "bench") && !inDir(Path, "tools"))
+    return;
+  for (size_t I = 0; I + 2 < Toks.size(); ++I) {
+    if (Toks[I].K != Tok::Ident || Toks[I].Text != "int" ||
+        Toks[I + 1].K != Tok::Ident || Toks[I + 1].Text != "main" ||
+        Toks[I + 2].Text != "(")
+      continue;
+    if (hasIdent(Toks, "ArgScanner") || hasQualified(Toks, "bench", "init"))
+      return;
+    addFinding(Out, Path, Toks[I + 1].Line, "R5",
+               "bench/tool main() must validate flags via flags::ArgScanner "
+               "(directly or through bench::init) and exit 2 on unknown "
+               "flags");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// R6: --*-out path flags go through ensureParentDir
+//===----------------------------------------------------------------------===//
+
+bool isOutFlagLiteral(const std::string &S) {
+  if (S.size() < 7 || S.compare(0, 2, "--") != 0)
+    return false;
+  if (S.compare(S.size() - 4, 4, "-out") != 0)
+    return false;
+  for (size_t I = 2; I != S.size(); ++I) {
+    char C = S[I];
+    if (!std::islower(static_cast<unsigned char>(C)) &&
+        !std::isdigit(static_cast<unsigned char>(C)) && C != '-')
+      return false;
+  }
+  return true;
+}
+
+void checkR6(const std::string &Path, const std::vector<Tok> &Toks,
+             std::vector<Finding> &Out) {
+  bool HasHelper = hasIdent(Toks, "ensureParentDir");
+  for (const Tok &T : Toks) {
+    if (T.K != Tok::Str || !isOutFlagLiteral(T.Text))
+      continue;
+    if (HasHelper)
+      return; // The file wires its out-paths through the shared helper.
+    addFinding(Out, Path, T.Line, "R6",
+               "output-path flag '" + T.Text +
+                   "' must go through the shared ensureParentDir "
+                   "mkdir-or-exit-2 helper before use");
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+const std::vector<RuleInfo> &lint::rules() {
+  static const std::vector<RuleInfo> Rules = {
+      {"R1", "no wall-clock or ambient randomness; virtual clock + seeded "
+             "SplitMix64 only"},
+      {"R2", "no unordered containers in export-writing files (iteration "
+             "order leaks into output)"},
+      {"R3", "no raw console output outside obs/Log, TableWriter, Flags, "
+             "and bench/tool binaries"},
+      {"R4", "no pointer-keyed containers or pointer-value formatting on "
+             "export paths"},
+      {"R5", "bench/tool mains validate flags via flags::ArgScanner and "
+             "exit 2 on unknown flags"},
+      {"R6", "every --*-out path flag goes through the shared "
+             "ensureParentDir helper"},
+  };
+  return Rules;
+}
+
+bool lint::isKnownRule(const std::string &Rule) {
+  for (const RuleInfo &R : rules())
+    if (Rule == R.Id)
+      return true;
+  return false;
+}
+
+std::vector<Finding> lint::lintSource(const std::string &Path,
+                                      const std::string &Text) {
+  std::vector<Tok> Toks = lex(Text);
+  std::vector<Finding> Out;
+  checkR1(Path, Toks, Out);
+  checkR2(Path, Toks, Out);
+  checkR3(Path, Toks, Out);
+  checkR4(Path, Toks, Out);
+  checkR5(Path, Toks, Out);
+  checkR6(Path, Toks, Out);
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const Finding &A, const Finding &B) {
+                     if (A.Line != B.Line)
+                       return A.Line < B.Line;
+                     return A.Rule < B.Rule;
+                   });
+  return Out;
+}
+
+bool lint::collectFiles(const std::string &Root,
+                        std::vector<std::string> &Out, std::string &Error) {
+  namespace fs = std::filesystem;
+  auto lintable = [](const fs::path &P) {
+    std::string Ext = P.extension().string();
+    return Ext == ".h" || Ext == ".hpp" || Ext == ".cpp" || Ext == ".cc" ||
+           Ext == ".cxx";
+  };
+
+  std::error_code Ec;
+  fs::file_status St = fs::status(Root, Ec);
+  if (Ec || !fs::exists(St)) {
+    Error = "scan root '" + Root + "' does not exist";
+    return false;
+  }
+  if (fs::is_regular_file(St)) {
+    if (!lintable(Root)) {
+      Error = "'" + Root + "' is not a lintable C++ source file";
+      return false;
+    }
+    Out.push_back(Root);
+    return true;
+  }
+
+  size_t Before = Out.size();
+  fs::recursive_directory_iterator It(Root, Ec), End;
+  if (Ec) {
+    Error = "cannot read scan root '" + Root + "': " + Ec.message();
+    return false;
+  }
+  for (; It != End; It.increment(Ec)) {
+    if (Ec) {
+      Error = "error walking '" + Root + "': " + Ec.message();
+      return false;
+    }
+    const fs::path &P = It->path();
+    std::string Name = P.filename().string();
+    if (It->is_directory()) {
+      // Build trees, VCS metadata, and the linter's own deliberately
+      // violating fixture corpus are never part of the scan.
+      bool IsFixtures =
+          Name == "fixtures" && P.parent_path().filename() == "lint";
+      if (Name.rfind("build", 0) == 0 || Name == ".git" || IsFixtures)
+        It.disable_recursion_pending();
+      continue;
+    }
+    if (It->is_regular_file() && lintable(P))
+      Out.push_back(P.generic_string());
+  }
+  if (Out.size() == Before) {
+    Error = "scan root '" + Root +
+            "' contains no lintable files (.h/.hpp/.cpp/.cc/.cxx)";
+    return false;
+  }
+  std::sort(Out.begin() + static_cast<long>(Before), Out.end());
+  return true;
+}
+
+SuppFile lint::parseSuppressions(const std::string &Text) {
+  SuppFile Result;
+  bool PendingWhy = false;
+  unsigned LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string Raw = Text.substr(
+        Pos, Nl == std::string::npos ? std::string::npos : Nl - Pos);
+    ++LineNo;
+    Pos = Nl == std::string::npos ? Text.size() + 1 : Nl + 1;
+
+    // Trim.
+    size_t B = Raw.find_first_not_of(" \t\r");
+    size_t E = Raw.find_last_not_of(" \t\r");
+    std::string L =
+        B == std::string::npos ? std::string() : Raw.substr(B, E - B + 1);
+
+    if (L.empty()) {
+      // A blank line ends the justification block: "# Why:" must sit
+      // directly above the entries it justifies.
+      PendingWhy = false;
+      continue;
+    }
+    if (L[0] == '#') {
+      if (L.find("Why:") != std::string::npos)
+        PendingWhy = true;
+      continue;
+    }
+
+    // Entry: "<rule> <path>[:line]".
+    size_t Sp = L.find_first_of(" \t");
+    if (Sp == std::string::npos) {
+      Result.Errors.push_back("lint.supp:" + std::to_string(LineNo) +
+                              ": malformed entry '" + L +
+                              "' (want '<rule> <path>[:line]')");
+      continue;
+    }
+    SuppEntry Entry;
+    Entry.Rule = L.substr(0, Sp);
+    size_t RestPos = L.find_first_not_of(" \t", Sp);
+    if (RestPos == std::string::npos) {
+      Result.Errors.push_back("lint.supp:" + std::to_string(LineNo) +
+                              ": malformed entry '" + L +
+                              "' (want '<rule> <path>[:line]')");
+      continue;
+    }
+    std::string Rest = L.substr(RestPos);
+    if (!isKnownRule(Entry.Rule)) {
+      Result.Errors.push_back("lint.supp:" + std::to_string(LineNo) +
+                              ": unknown rule '" + Entry.Rule + "'");
+      continue;
+    }
+    size_t Colon = Rest.rfind(':');
+    if (Colon != std::string::npos && Colon + 1 < Rest.size() &&
+        Rest.find_first_not_of("0123456789", Colon + 1) ==
+            std::string::npos) {
+      Entry.Line =
+          static_cast<unsigned>(std::stoul(Rest.substr(Colon + 1)));
+      Rest = Rest.substr(0, Colon);
+    }
+    Entry.PathSuffix = normalize(Rest);
+    Entry.SuppLine = LineNo;
+    Entry.Justified = PendingWhy;
+    if (!Entry.Justified)
+      Result.Errors.push_back(
+          "lint.supp:" + std::to_string(LineNo) + ": entry '" + L +
+          "' lacks a '# Why:' justification comment directly above it");
+    Result.Entries.push_back(Entry);
+  }
+  return Result;
+}
+
+void lint::applySuppressions(std::vector<Finding> &Findings,
+                             SuppFile &Supp) {
+  for (Finding &F : Findings) {
+    std::string Path = normalize(F.File);
+    for (SuppEntry &E : Supp.Entries) {
+      if (E.Rule != F.Rule)
+        continue;
+      if (Path.size() < E.PathSuffix.size())
+        continue;
+      size_t Off = Path.size() - E.PathSuffix.size();
+      if (Path.compare(Off, std::string::npos, E.PathSuffix) != 0)
+        continue;
+      if (Off != 0 && Path[Off - 1] != '/')
+        continue; // Suffix must start at a path-component boundary.
+      if (E.Line != 0 && E.Line != F.Line)
+        continue;
+      F.Suppressed = true;
+      E.Used = true;
+    }
+  }
+}

@@ -1,0 +1,122 @@
+//===-- tools/LintEngine.h - hpmvm determinism/conventions linter -*-C++-*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rule engine behind the `hpmvm_lint` tool (DESIGN.md section 14): a
+/// comment/string-aware token scanner that enforces the repo's determinism
+/// and observability conventions as named, suppressible rules. Every
+/// figure, table, and journal this repo emits must be byte-identical
+/// across `--jobs` and across refactors; these rules reject the usual
+/// nondeterminism sources (wall-clock reads, unordered-container
+/// iteration feeding exports, unseeded randomness, pointer-value output)
+/// at build time instead of leaving them for the CI `cmp` gates to catch
+/// after the fact.
+///
+/// Rule catalog:
+///   R1  no wall-clock or ambient randomness (std::chrono system/steady
+///       clocks, rand, random_device, time(), ...); SplitMix64 with an
+///       explicit seed is the sanctioned RNG
+///   R2  no unordered_map/unordered_set in export-writing files, where
+///       hash-iteration order can leak into user-visible output
+///   R3  no raw console output (printf, std::cout/cerr, fprintf to
+///       stdout/stderr) outside the obs Log, TableWriter, Flags, and
+///       bench/tool mains; fprintf to an explicitly opened FILE* (the
+///       export writers) is allowed
+///   R4  no pointer-keyed containers or pointer-value format specifiers
+///       on export paths (addresses differ run to run under ASLR)
+///   R5  every bench/tool main validates flags through flags::ArgScanner
+///       (directly or via bench::init) so unknown flags exit 2
+///   R6  every "--*-out" path flag goes through the shared
+///       ensureParentDir mkdir-or-exit-2 helper
+///
+/// Findings print as `file:line: ruleId: message`. Suppressions live in a
+/// checked-in `lint.supp`; every entry must carry a `# Why:` justification
+/// comment or the file is rejected (exit 2 in the tool).
+///
+/// The engine is deliberately self-contained (no libclang): a lexer plus
+/// token-pattern rules is enough for conventions of this shape, builds in
+/// milliseconds, and keeps the gate runnable everywhere the repo builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_TOOLS_LINTENGINE_H
+#define HPMVM_TOOLS_LINTENGINE_H
+
+#include <string>
+#include <vector>
+
+namespace hpmvm::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string File;    ///< Path as scanned (relative to the scan cwd).
+  unsigned Line = 0;   ///< 1-based line of the offending token.
+  std::string Rule;    ///< "R1".."R6".
+  std::string Message; ///< Human-readable explanation.
+  bool Suppressed = false; ///< Matched a lint.supp entry.
+};
+
+/// Rule metadata for --list-rules and the docs.
+struct RuleInfo {
+  const char *Id;
+  const char *Summary;
+};
+
+/// The full catalog, in rule order.
+const std::vector<RuleInfo> &rules();
+
+/// True when \p Rule is a known rule id ("R1".."R6").
+bool isKnownRule(const std::string &Rule);
+
+/// Lints one translation unit. \p Path decides path-scoped rules (R2/R3/
+/// R4 scope, R5's bench/tool restriction), so callers may pass a virtual
+/// path for in-memory sources (the fixture tests do). Findings come back
+/// ordered by line.
+std::vector<Finding> lintSource(const std::string &Path,
+                                const std::string &Text);
+
+/// Recursively collects lintable files (.h/.hpp/.cpp/.cc/.cxx) under
+/// \p Root into \p Out, skipping build trees (any directory whose name
+/// starts with "build"), VCS metadata, and the linter's own violation
+/// corpus (tests/lint/fixtures). \p Root may also be a single file.
+/// \returns false with \p Error set when the root does not exist or
+/// contains nothing lintable -- a scan over zero files looks exactly like
+/// a clean scan, so it must be a hard error.
+bool collectFiles(const std::string &Root, std::vector<std::string> &Out,
+                  std::string &Error);
+
+/// One parsed suppression entry:
+///   # Why: <justification for the exemption>
+///   R1 src/obs/SelfProfiler.h[:line]
+struct SuppEntry {
+  std::string Rule;       ///< Rule id the entry silences.
+  std::string PathSuffix; ///< Path, matched as a whole-component suffix.
+  unsigned Line = 0;      ///< Optional source line (0 = whole file).
+  unsigned SuppLine = 0;  ///< Line in the suppression file (diagnostics).
+  bool Justified = false; ///< A "# Why:" comment directly precedes it.
+  bool Used = false;      ///< Matched at least one finding this scan.
+};
+
+/// Parse result for a suppression file. Malformed lines and entries
+/// without a justification land in Errors; an entry list with any error
+/// must be rejected by the caller.
+struct SuppFile {
+  std::vector<SuppEntry> Entries;
+  std::vector<std::string> Errors;
+};
+
+/// Parses suppression text (see SuppEntry for the format). Blank lines
+/// reset the pending justification, so the "# Why:" comment must sit
+/// directly above the entries it covers.
+SuppFile parseSuppressions(const std::string &Text);
+
+/// Marks findings matched by \p Supp as suppressed and the matching
+/// entries as used.
+void applySuppressions(std::vector<Finding> &Findings, SuppFile &Supp);
+
+} // namespace hpmvm::lint
+
+#endif // HPMVM_TOOLS_LINTENGINE_H

@@ -1,0 +1,210 @@
+//===-- tools/hpmvm_lint.cpp - Determinism/conventions static checker -----===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+// Project-specific static analysis (DESIGN.md section 14): scans the given
+// roots token-by-token and enforces the repo's determinism and
+// observability conventions as named rules R1-R6 (see tools/LintEngine.h
+// for the catalog).
+//
+//   hpmvm_lint [options] <root>...          lint files/trees
+//   hpmvm_lint --list-rules                 print the rule catalog
+//   hpmvm_lint --check-supp <file>          validate a suppression file
+//
+// Options:
+//   --supp <file>       suppression file (entries need '# Why:' comments)
+//   --error-on-new      exit 1 when any unsuppressed finding remains
+//   --rules <R1,R3,..>  restrict reporting to a rule subset
+//   --show-suppressed   also print findings silenced by the supp file
+//
+// Output: one `file:line: ruleId: message` line per finding, sorted by
+// path, then a summary. Exit codes: 0 clean (or report-only), 1 findings
+// under --error-on-new, 2 usage/IO errors, nonexistent or empty scan
+// roots, and malformed or unjustified suppression files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "LintEngine.h"
+
+#include "support/Flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+[[noreturn]] void usage(const char *Msg) {
+  if (Msg)
+    fprintf(stderr, "error: %s\n", Msg);
+  fprintf(stderr,
+          "usage: hpmvm_lint [--supp <file>] [--error-on-new]\n"
+          "                  [--rules <R1,R2,...>] [--show-suppressed]\n"
+          "                  <root>...\n"
+          "       hpmvm_lint --list-rules\n"
+          "       hpmvm_lint --check-supp <file>\n");
+  exit(2);
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  FILE *F = fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  char Buf[64 * 1024];
+  size_t N;
+  Out.clear();
+  while ((N = fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  bool Ok = !ferror(F);
+  fclose(F);
+  return Ok;
+}
+
+/// Loads and validates a suppression file; exits 2 on I/O errors,
+/// malformed entries, or entries without a '# Why:' justification.
+lint::SuppFile loadSupp(const std::string &Path) {
+  std::string Text;
+  if (!readFile(Path, Text)) {
+    fprintf(stderr, "error: cannot read suppression file '%s'\n",
+            Path.c_str());
+    exit(2);
+  }
+  lint::SuppFile Supp = lint::parseSuppressions(Text);
+  if (!Supp.Errors.empty()) {
+    for (const std::string &E : Supp.Errors)
+      fprintf(stderr, "error: %s\n", E.c_str());
+    exit(2);
+  }
+  return Supp;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SuppPath;
+  std::string CheckSuppPath;
+  std::string RulesArg;
+  bool ErrorOnNew = false;
+  bool ShowSuppressed = false;
+  bool ListRules = false;
+  std::vector<std::string> Roots;
+
+  flags::ArgScanner S(Argc, Argv);
+  while (S.next()) {
+    std::string Value;
+    if (S.take("--supp", Value))
+      SuppPath = Value;
+    else if (S.take("--check-supp", Value))
+      CheckSuppPath = Value;
+    else if (S.take("--rules", Value))
+      RulesArg = Value;
+    else if (S.takeSwitch("--error-on-new"))
+      ErrorOnNew = true;
+    else if (S.takeSwitch("--show-suppressed"))
+      ShowSuppressed = true;
+    else if (S.takeSwitch("--list-rules"))
+      ListRules = true;
+    else if (S.takeSwitch("--help") || S.takeSwitch("-h"))
+      usage(nullptr);
+    else if (S.arg()[0] == '-')
+      usage((std::string("unknown flag '") + S.arg() + "'").c_str());
+    else
+      Roots.push_back(S.arg());
+  }
+  if (!S.ok())
+    exit(2);
+
+  if (ListRules) {
+    for (const lint::RuleInfo &R : lint::rules())
+      printf("%s  %s\n", R.Id, R.Summary);
+    return 0;
+  }
+  if (!CheckSuppPath.empty()) {
+    lint::SuppFile Supp = loadSupp(CheckSuppPath);
+    printf("%s: %zu entries, all justified\n", CheckSuppPath.c_str(),
+           Supp.Entries.size());
+    return 0;
+  }
+  if (Roots.empty())
+    usage("no scan roots given");
+
+  std::set<std::string> RuleFilter;
+  if (!RulesArg.empty()) {
+    size_t Pos = 0;
+    while (Pos <= RulesArg.size()) {
+      size_t Comma = RulesArg.find(',', Pos);
+      size_t End = Comma == std::string::npos ? RulesArg.size() : Comma;
+      std::string R = RulesArg.substr(Pos, End - Pos);
+      if (!R.empty()) {
+        if (!lint::isKnownRule(R))
+          usage(("unknown rule '" + R + "' in --rules").c_str());
+        RuleFilter.insert(R);
+      }
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+    if (RuleFilter.empty())
+      usage("--rules selects nothing");
+  }
+
+  std::vector<std::string> Files;
+  for (const std::string &Root : Roots) {
+    std::string Error;
+    if (!lint::collectFiles(Root, Files, Error)) {
+      fprintf(stderr, "error: %s\n", Error.c_str());
+      exit(2);
+    }
+  }
+
+  lint::SuppFile Supp;
+  if (!SuppPath.empty())
+    Supp = loadSupp(SuppPath);
+
+  std::vector<lint::Finding> All;
+  for (const std::string &File : Files) {
+    std::string Text;
+    if (!readFile(File, Text)) {
+      fprintf(stderr, "error: cannot read '%s'\n", File.c_str());
+      exit(2);
+    }
+    for (lint::Finding &F : lint::lintSource(File, Text)) {
+      if (!RuleFilter.empty() && !RuleFilter.count(F.Rule))
+        continue;
+      All.push_back(std::move(F));
+    }
+  }
+  lint::applySuppressions(All, Supp);
+
+  size_t NumSuppressed = 0, NumActive = 0;
+  for (const lint::Finding &F : All) {
+    if (F.Suppressed) {
+      ++NumSuppressed;
+      if (ShowSuppressed)
+        printf("%s:%u: %s: %s [suppressed]\n", F.File.c_str(), F.Line,
+               F.Rule.c_str(), F.Message.c_str());
+      continue;
+    }
+    ++NumActive;
+    printf("%s:%u: %s: %s\n", F.File.c_str(), F.Line, F.Rule.c_str(),
+           F.Message.c_str());
+  }
+
+  // Stale suppressions are advisory: a subset --rules run legitimately
+  // leaves entries unmatched, so they warn rather than fail.
+  if (RuleFilter.empty())
+    for (const lint::SuppEntry &E : Supp.Entries)
+      if (!E.Used)
+        fprintf(stderr,
+                "warning: unused suppression '%s %s' (line %u) -- the "
+                "violation it silenced is gone; remove the entry\n",
+                E.Rule.c_str(), E.PathSuffix.c_str(), E.SuppLine);
+
+  printf("hpmvm_lint: %zu files scanned, %zu finding%s (%zu suppressed)\n",
+         Files.size(), NumActive, NumActive == 1 ? "" : "s", NumSuppressed);
+  return ErrorOnNew && NumActive > 0 ? 1 : 0;
+}
