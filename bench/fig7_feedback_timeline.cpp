@@ -22,6 +22,8 @@
 #include "core/PhaseDetector.h"
 #include "support/Statistics.h"
 
+#include <string_view>
+
 using namespace hpmvm;
 using namespace hpmvm::bench;
 
@@ -46,7 +48,8 @@ TimelineRun runTimeline(uint32_t Scale, bool Coalloc, size_t RunIndex) {
   // Track the headline field: dbRecord::value.
   FieldId F = kInvalidId;
   for (size_t I = 0; I != E.vm().classes().numFields(); ++I)
-    if (E.vm().classes().field(static_cast<FieldId>(I)).Name ==
+    if (std::string_view(
+            E.vm().classes().field(static_cast<FieldId>(I)).Name) ==
         "dbRecord::value")
       F = static_cast<FieldId>(I);
   E.monitor()->missTable().trackField(F);

@@ -1,0 +1,99 @@
+//===-- bench/fleet_step.cpp - Arbiter-free fleet step trajectory ---------===//
+//
+// Fleet step throughput harness: N servermix tenants under open-loop
+// request traffic with NO shared PMU (the arbiter-free configuration the
+// intra-run worker pool accelerates). All reported quantities are
+// simulated -- per-tenant requests, busy cycles, makespan -- so the
+// --json-out document and per-shard journals are byte-identical at every
+// --fleet-jobs value; CI runs --fleet-jobs 1 vs 4 and cmps, then diffs
+// the pinned bench/baselines/BENCH_fleet_step.json. Host-time speedup of
+// the worker pool is gated separately by BM_FleetStep in micro_components
+// (it needs a multi-core runner; this binary gates only correctness).
+//
+// Flags beyond the uniform set:
+//   --shards <n>       tenant count (default 16)
+//   --fleet-jobs <n>   intra-fleet worker threads (default 1; 0 = one per
+//                      hardware thread)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "harness/Fleet.h"
+
+using namespace hpmvm;
+using namespace hpmvm::bench;
+
+int main(int Argc, char **Argv) {
+  // Bench-specific axes; strip before the uniform flags.
+  uint64_t Shards = 16;
+  uint64_t FleetJobs = 1;
+  {
+    flags::ArgScanner S(Argc, Argv);
+    while (S.next()) {
+      if (S.takeUint("--shards", 256, Shards)) {
+        if (S.ok() && Shards == 0) {
+          fprintf(stderr, "error: --shards wants at least 1\n");
+          S.fail();
+        }
+      } else if (S.takeUint("--fleet-jobs", 1024, FleetJobs)) {
+        // 0 = hardware concurrency, matching --jobs.
+      } else {
+        S.keep();
+      }
+    }
+    if (!S.ok())
+      return 2;
+  }
+  BenchOptions Opts = bench::init(Argc, Argv);
+  uint32_t Scale = envScale(40);
+  banner("Fleet step: arbiter-free tenants on the intra-run worker pool",
+         "fleet extension (PEBS-at-scale outlook); jobs-invariance harness "
+         "for the parallel traffic engine",
+         Scale,
+         "all counters are simulated: output is byte-identical at every "
+         "--fleet-jobs; CI diffs bench/baselines/BENCH_fleet_step.json");
+
+  FleetConfig F;
+  F.Shards = static_cast<uint32_t>(Shards);
+  F.Jobs = static_cast<unsigned>(FleetJobs);
+  F.Base.Workload = "servermix";
+  F.Base.Params.ScalePercent = Scale;
+  F.Base.Params.Seed = envSeed();
+  F.Base.HeapFactor = 2.0;
+  // No Monitoring / PolicyEngine: the fleet stays arbiter-free, which is
+  // the precondition for the parallel traffic engine.
+  F.TrafficCfg.RequestsPerTenant = 512;
+  F.TrafficCfg.ArrivalRatePerSec = 200000.0;
+  F.Base.Obs = resolveObsConfig(F.Base.Obs);
+
+  FleetResult R = runFleet(F);
+
+  TableWriter T({"tenant", "requests", "busy ms", "total ms", "l1/1Kacc"});
+  for (const FleetTenantResult &TR : R.Tenants) {
+    double L1PerK =
+        TR.Run.Memory.Accesses
+            ? 1e3 * static_cast<double>(TR.Run.Memory.L1Misses) /
+                  static_cast<double>(TR.Run.Memory.Accesses)
+            : 0.0;
+    T.addRow({formatString("t%03u", TR.Tenant),
+              withThousandsSep(TR.Requests),
+              formatString("%.2f",
+                           VirtualClock::toSeconds(TR.BusyCycles) * 1e3),
+              formatString("%.2f",
+                           VirtualClock::toSeconds(TR.Run.TotalCycles) * 1e3),
+              formatString("%.2f", L1PerK)});
+  }
+  T.addRow({"fleet", "-", "-",
+            formatString("%.2f",
+                         VirtualClock::toSeconds(R.MakespanCycles) * 1e3),
+            "-"});
+  emit(T, "fleet_step");
+
+  std::vector<LabeledResult> Runs;
+  for (const FleetTenantResult &TR : R.Tenants)
+    Runs.push_back({formatString("tenant%03u", TR.Tenant), TR.Run});
+  Runs.push_back({"fleet", R.Aggregate});
+  maybeWriteJson(Opts, "fleet_step", Runs);
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===-- bench/memsim_trace.cpp - Memsim behavior trajectory ---------------===//
+//
+// Deterministic memory-hierarchy trajectory: replays a pinned synthetic
+// access trace (stream + hot-set reuse + uniform noise, SplitMix64-driven)
+// through MemoryHierarchy across a sweep of cache/TLB geometries and
+// reports the *simulated* counters -- accesses, miss ladder, prefetch
+// fills, and total penalty cycles. Everything here is virtual-machine
+// state, not host time, so the --json-out document is byte-reproducible
+// and bench/baselines/BENCH_memsim.json pins it: any behavioral drift in
+// the memsim fast path (tag encoding, LRU order, stream prefetcher, line
+// walk) shows up as a cmp failure in CI, with hpmvm_report rendering the
+// per-counter diff. Host-time performance is gated separately by
+// BM_MemsimAccess* in micro_components.
+//
+// NOTE: this file includes memsim/ headers, so the hot-path string lint
+// (R7) applies -- no std::string members or parameters in this file.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "memsim/MemoryHierarchy.h"
+#include "support/Random.h"
+
+using namespace hpmvm;
+using namespace hpmvm::bench;
+
+namespace {
+
+/// One geometry cell of the sweep. Pointers, not std::string: R7.
+struct Cell {
+  const char *Label;
+  MemoryHierarchyConfig Config;
+};
+
+MemoryHierarchyConfig geometry(uint32_t L1Size, uint32_t L1Line,
+                               uint32_t L1Ways, uint32_t L2Size,
+                               uint32_t L2Line, uint32_t L2Ways,
+                               uint32_t TlbEntries) {
+  MemoryHierarchyConfig C;
+  C.L1 = {L1Size, L1Line, L1Ways};
+  C.L2 = {L2Size, L2Line, L2Ways};
+  C.Dtlb = {TlbEntries, 4096};
+  return C;
+}
+
+/// The pinned trace: a 75/15/10 mix of hot-set reuse, ascending stream,
+/// and uniform noise over a 4 MiB window, sizes 4 or 8 bytes (8-byte
+/// accesses at line-1 offsets exercise the two-line walk). The draw
+/// sequence is fixed, so the resulting counter trajectory is a pure
+/// function of (seed, geometry).
+RunResult replayTrace(const MemoryHierarchyConfig &Config, uint64_t Seed,
+                      uint32_t Accesses) {
+  MemoryHierarchy M(Config);
+  SplitMix64 Rng(Seed);
+  Address Stream = 0x40000000;
+  Cycles Penalty = 0;
+  for (uint32_t I = 0; I != Accesses; ++I) {
+    uint64_t D = Rng.nextBelow(100);
+    Address A;
+    if (D < 75) {
+      // 32 hot lines, skewed toward the first few.
+      uint64_t Line = Rng.nextBelow(32);
+      Line = Line < 24 ? Line % 8 : Line;
+      A = 0x50000000 + static_cast<Address>(Line) * 128 +
+          static_cast<Address>(Rng.nextBelow(120));
+    } else if (D < 90) {
+      Stream += 64;
+      A = Stream;
+    } else {
+      A = 0x60000000 + static_cast<Address>(Rng.next() & 0x3fffff);
+    }
+    uint32_t Size = (Rng.nextBelow(4) == 0) ? 8 : 4;
+    bool IsWrite = Rng.nextBelow(3) == 0;
+    Penalty +=
+        M.access(A, Size, IsWrite, 0x20000000 + (I % 4096) * 4).Penalty;
+  }
+  RunResult R;
+  R.Memory = M.stats();
+  R.TotalCycles = Penalty;
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = bench::init(Argc, Argv);
+  uint32_t Scale = envScale(100);
+  // 400k accesses at 100% scale; the trajectory is pinned per scale.
+  uint32_t Accesses = 4000 * Scale;
+  banner("Memsim trajectory: pinned trace through the cache/TLB sweep",
+         "substrate fidelity check (no single paper figure; guards the "
+         "branch-free memsim rewrite)",
+         Scale,
+         "counters are simulated and byte-reproducible; CI diffs them "
+         "against bench/baselines/BENCH_memsim.json");
+
+  const Cell Cells[] = {
+      {"default", geometry(16384, 128, 8, 1048576, 128, 8, 64)},
+      {"small-l1", geometry(4096, 64, 2, 262144, 64, 8, 64)},
+      {"direct-mapped", geometry(8192, 64, 1, 262144, 64, 1, 64)},
+      {"wide-assoc", geometry(16384, 64, 16, 524288, 64, 16, 64)},
+      {"tiny-tlb", geometry(16384, 128, 8, 1048576, 128, 8, 8)},
+  };
+
+  TableWriter T({"geometry", "accesses", "l1 miss", "l2 miss", "tlb miss",
+                 "hw prefetch", "penalty cycles"});
+  std::vector<LabeledResult> Runs;
+  for (const Cell &C : Cells) {
+    RunResult R = replayTrace(C.Config, envSeed(), Accesses);
+    T.addRow({C.Label, withThousandsSep(R.Memory.Accesses),
+              withThousandsSep(R.Memory.L1Misses),
+              withThousandsSep(R.Memory.L2Misses),
+              withThousandsSep(R.Memory.TlbMisses),
+              withThousandsSep(R.Memory.PrefetchFills),
+              withThousandsSep(R.TotalCycles)});
+    Runs.push_back({C.Label, R});
+  }
+  emit(T, "memsim_trace");
+  maybeWriteJson(Opts, "memsim_trace", Runs);
+  return 0;
+}

@@ -2,16 +2,109 @@
 
 #include "harness/Fleet.h"
 
+#include "harness/ParallelRunner.h"
 #include "harness/Suite.h"
 #include "obs/Log.h"
+#include "obs/Obs.h"
 #include "support/Random.h"
+#include "support/SpscQueue.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
+#include <thread>
 
 using namespace hpmvm;
+
+namespace {
+
+/// Traffic-shape constants shared by every tenant stream.
+struct TrafficShape {
+  double MeanGap;
+  double HalfBurst;
+  double Amplitude;
+
+  explicit TrafficShape(const FleetTrafficConfig &TC) {
+    const double CyclesPerMs =
+        static_cast<double>(VirtualClock::fromMillis(1));
+    MeanGap = CyclesPerMs * 1000.0 / TC.ArrivalRatePerSec;
+    HalfBurst =
+        TC.BurstPeriodMs > 0 ? CyclesPerMs * TC.BurstPeriodMs / 2.0 : 0.0;
+    Amplitude = TC.BurstAmplitude;
+  }
+};
+
+/// One tenant's independent arrival + handler-mix stream. Consumes its
+/// SplitMix64 in a fixed order -- burst phase at construction, then
+/// first-arrival gap, then one handler pick and one gap per request -- so
+/// the sequential and parallel engines see identical schedules no matter
+/// which thread runs the stream.
+class TrafficStream {
+public:
+  TrafficStream(const TrafficShape &Shape, uint64_t Seed, size_t Tenant)
+      : Shape(Shape), Tenant(Tenant),
+        Rng(Seed +
+            0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Tenant) + 1)) {
+    if (Shape.HalfBurst > 0.0)
+      Phase = Rng.nextDouble() * 2.0 * Shape.HalfBurst;
+  }
+
+  /// Exponential interarrival with piecewise-constant bursty rate: the
+  /// instantaneous rate is (1 +/- BurstAmplitude) x mean, alternating every
+  /// half burst period, phase-shifted per tenant.
+  double drawGap(double At) {
+    double U = 1.0 - Rng.nextDouble(); // (0, 1]
+    double Mult = 1.0;
+    if (Shape.HalfBurst > 0.0 && Shape.Amplitude > 0.0) {
+      uint64_t Half = static_cast<uint64_t>((At + Phase) / Shape.HalfBurst);
+      Mult = (Half & 1) ? 1.0 - Shape.Amplitude : 1.0 + Shape.Amplitude;
+      if (Mult <= 0.0)
+        Mult = 0.05;
+    }
+    return Shape.MeanGap * -std::log(U) / Mult;
+  }
+
+  /// 60/30/10 lookup/insert/report mix, rotated by tenant id so tenants
+  /// stress different paths.
+  size_t pickHandler(size_t NumHandlers) {
+    uint64_t D = Rng.nextBelow(10);
+    size_t Idx = D < 6 ? 0 : D < 9 ? 1 : 2;
+    return (Idx + Tenant) % NumHandlers;
+  }
+
+private:
+  TrafficShape Shape;
+  size_t Tenant;
+  SplitMix64 Rng;
+  double Phase = 0.0;
+};
+
+/// One finished quantum, published worker -> coordinator. Start is the
+/// value the sequential pick loop would have computed for this quantum
+/// (max of the shard clock before serving and the arrival time); the setup
+/// quantum uses -1 so every setup commits before any request, in shard
+/// order, exactly like the sequential engine's setup pass.
+struct QuantumRecord {
+  double Start;
+  Cycles Delta;
+};
+
+constexpr double kSetupStart = -1.0;
+
+void requireServerWorkload(Experiment &E) {
+  if (E.program().RequestHandlers.empty()) {
+    logError("harness",
+             "fleet traffic mode needs a server workload; '%s' has no "
+             "request handlers",
+             E.spec().Name.c_str());
+    abort();
+  }
+}
+
+} // namespace
 
 Fleet::Fleet(const FleetConfig &Config)
     : Config(Config), Arbiter(Config.Arbiter) {
@@ -56,63 +149,39 @@ void Fleet::run() {
 }
 
 void Fleet::runClassic() {
-  for (std::unique_ptr<Experiment> &E : Shards)
-    E->run();
+  // Classic shards are N dedicated machines; the pool contract is the same
+  // as runExperiments (results collected by index, so any job count yields
+  // identical output).
+  parallelFor(Shards.size(), effectiveJobs(Config.Jobs),
+              [&](size_t I) { Shards[I]->run(); });
 }
 
 void Fleet::runTraffic() {
+  const bool Shared = Arbiter.tenants() != 0;
+  unsigned Jobs = effectiveJobs(Config.Jobs);
+  if (!Shared && Jobs > 1 && Shards.size() > 1) {
+    runTrafficParallel(
+        std::min<unsigned>(Jobs, static_cast<unsigned>(Shards.size())));
+    return;
+  }
+
   const FleetTrafficConfig &TC = Config.TrafficCfg;
   const size_t N = Shards.size();
-  const bool Shared = Arbiter.tenants() != 0;
 
   // Independent per-tenant traffic streams: each tenant's arrivals and
   // handler picks consume its own SplitMix64 in request order, so the
   // schedule never depends on how tenants happen to interleave.
-  const double CyclesPerMs = static_cast<double>(VirtualClock::fromMillis(1));
-  const double MeanGap = CyclesPerMs * 1000.0 / TC.ArrivalRatePerSec;
-  const double HalfBurst =
-      TC.BurstPeriodMs > 0 ? CyclesPerMs * TC.BurstPeriodMs / 2.0 : 0.0;
-  std::vector<SplitMix64> Rngs;
-  std::vector<double> Phase(N, 0.0), NextArrival(N, 0.0);
-  Rngs.reserve(N);
-  for (size_t T = 0; T != N; ++T) {
-    Rngs.emplace_back(TC.Seed + 0x9e3779b97f4a7c15ull *
-                                    (static_cast<uint64_t>(T) + 1));
-    if (HalfBurst > 0.0)
-      Phase[T] = Rngs.back().nextDouble() * 2.0 * HalfBurst;
-  }
-  // Exponential interarrival with piecewise-constant bursty rate: the
-  // instantaneous rate is (1 +/- BurstAmplitude) x mean, alternating every
-  // half burst period, phase-shifted per tenant.
-  auto drawGap = [&](size_t T, double At) {
-    double U = 1.0 - Rngs[T].nextDouble(); // (0, 1]
-    double Mult = 1.0;
-    if (HalfBurst > 0.0 && TC.BurstAmplitude > 0.0) {
-      uint64_t Half = static_cast<uint64_t>((At + Phase[T]) / HalfBurst);
-      Mult = (Half & 1) ? 1.0 - TC.BurstAmplitude : 1.0 + TC.BurstAmplitude;
-      if (Mult <= 0.0)
-        Mult = 0.05;
-    }
-    return MeanGap * -std::log(U) / Mult;
-  };
-  // 60/30/10 lookup/insert/report mix, rotated by tenant id so tenants
-  // stress different paths.
-  auto pickHandler = [&](size_t T, size_t NumHandlers) {
-    uint64_t D = Rngs[T].nextBelow(10);
-    size_t Idx = D < 6 ? 0 : D < 9 ? 1 : 2;
-    return (Idx + T) % NumHandlers;
-  };
+  TrafficShape Shape(TC);
+  std::vector<TrafficStream> Streams;
+  std::vector<double> NextArrival(N, 0.0);
+  Streams.reserve(N);
+  for (size_t T = 0; T != N; ++T)
+    Streams.emplace_back(Shape, TC.Seed, T);
 
   // Session setup, one quantum per shard, in shard order.
   for (size_t T = 0; T != N; ++T) {
     Experiment &E = *Shards[T];
-    if (E.program().RequestHandlers.empty()) {
-      logError("harness",
-               "fleet traffic mode needs a server workload; '%s' has no "
-               "request handlers",
-               E.spec().Name.c_str());
-      abort();
-    }
+    requireServerWorkload(E);
     E.beginRun();
     if (Shared)
       Arbiter.beginQuantum(static_cast<TenantId>(T));
@@ -123,8 +192,9 @@ void Fleet::runTraffic() {
     if (Shared)
       Arbiter.endQuantum(static_cast<TenantId>(T),
                          E.vm().clock().now() - C0);
-    NextArrival[T] = static_cast<double>(E.vm().clock().now()) +
-                     drawGap(T, static_cast<double>(E.vm().clock().now()));
+    NextArrival[T] =
+        static_cast<double>(E.vm().clock().now()) +
+        Streams[T].drawGap(static_cast<double>(E.vm().clock().now()));
   }
 
   // The discrete-event request loop: always serve the tenant whose next
@@ -153,7 +223,7 @@ void Fleet::runTraffic() {
     if (Clock.now() < Arr)
       Clock.advance(Arr - Clock.now()); // Open-loop: idle until arrival.
     const std::vector<MethodId> &H = E.program().RequestHandlers;
-    size_t Idx = pickHandler(Pick, H.size());
+    size_t Idx = Streams[Pick].pickHandler(H.size());
     if (Shared)
       Arbiter.beginQuantum(static_cast<TenantId>(Pick));
     Cycles C0 = Clock.now();
@@ -165,7 +235,7 @@ void Fleet::runTraffic() {
     Busy[Pick] += Delta;
     ++Requests[Pick];
     ++Served[Pick];
-    NextArrival[Pick] += drawGap(Pick, NextArrival[Pick]);
+    NextArrival[Pick] += Streams[Pick].drawGap(NextArrival[Pick]);
   }
 
   // Drain and export, in shard order. The fleet gauges ride in each
@@ -181,6 +251,154 @@ void Fleet::runTraffic() {
           .gauge("fleet.pmu_granted_ppm")
           .set(static_cast<uint64_t>(
               Arbiter.grantedFraction(static_cast<TenantId>(T)) * 1e6));
+    E.finishRun();
+  }
+}
+
+void Fleet::runTrafficParallel(unsigned Jobs) {
+  // Only reachable for arbiter-free fleets: without the shared-PMU gate,
+  // the sequential loop's iterations touch nothing but the picked shard's
+  // own state, so each shard's request stream can run stand-alone on a
+  // worker while the coordinator below replays the exact sequential commit
+  // order from the published start times.
+  assert(Arbiter.tenants() == 0 && "parallel engine requires no shared PMU");
+  const FleetTrafficConfig &TC = Config.TrafficCfg;
+  const size_t N = Shards.size();
+  // Pre-flight the workload check (the sequential engine does it lazily in
+  // its setup pass) so workers cannot hit the abort path concurrently.
+  for (size_t T = 0; T != N; ++T)
+    requireServerWorkload(*Shards[T]);
+
+  TrafficShape Shape(TC);
+
+  // One queue per shard, sized so a worker can never block: a shard
+  // publishes exactly RequestsPerTenant + 1 quanta (setup included), and
+  // bounded queues with whole-shard worker assignments plus a strict merge
+  // would otherwise deadlock (the coordinator may need shard X's head
+  // while X's worker is wedged pushing an earlier shard's overflow).
+  const uint32_t PerShard = TC.RequestsPerTenant + 1;
+  std::vector<std::unique_ptr<SpscQueue<QuantumRecord>>> Queues;
+  Queues.reserve(N);
+  for (size_t T = 0; T != N; ++T)
+    Queues.push_back(std::make_unique<SpscQueue<QuantumRecord>>(PerShard));
+
+  // Same contract as parallelFor: the obs layer is frozen before any
+  // worker exists, and the first worker exception is rethrown after join.
+  freezeProcessObsConfig();
+  std::atomic<bool> Failed{false};
+  std::exception_ptr FirstError;
+  std::mutex ErrorLock;
+
+  // Runs one shard's entire stream -- setup plus every request in arrival
+  // order -- publishing each finished quantum. Start times reproduce the
+  // sequential pick loop's values exactly.
+  auto runShard = [&](size_t T) {
+    Experiment &E = *Shards[T];
+    SpscQueue<QuantumRecord> &Q = *Queues[T];
+    TrafficStream Stream(Shape, TC.Seed, T);
+    VirtualClock &Clock = E.vm().clock();
+    E.beginRun();
+    if (E.program().Setup != kInvalidId)
+      E.vm().invoke(E.program().Setup, {});
+    E.vm().safepoint();
+    bool Pushed = Q.tryPush({kSetupStart, 0});
+    assert(Pushed && "quantum queue sized to never fill");
+    double Next = static_cast<double>(Clock.now()) +
+                  Stream.drawGap(static_cast<double>(Clock.now()));
+    const std::vector<MethodId> &H = E.program().RequestHandlers;
+    for (uint32_t R = 0; R != TC.RequestsPerTenant; ++R) {
+      double Start = std::max(static_cast<double>(Clock.now()), Next);
+      Cycles Arr = static_cast<Cycles>(Next);
+      if (Clock.now() < Arr)
+        Clock.advance(Arr - Clock.now()); // Open-loop: idle until arrival.
+      size_t Idx = Stream.pickHandler(H.size());
+      Cycles C0 = Clock.now();
+      E.vm().invoke(H[Idx], {});
+      E.vm().safepoint(); // Poll so tail samples are not stranded.
+      Pushed = Q.tryPush({Start, Clock.now() - C0});
+      assert(Pushed && "quantum queue sized to never fill");
+      Next += Stream.drawGap(Next);
+    }
+    (void)Pushed;
+  };
+
+  // Static round-robin shard ownership: worker W serves shards W, W+Jobs,
+  // ... sequentially. The coordinator's merge tolerates any per-worker
+  // pacing; ownership never moves, preserving SPSC.
+  std::vector<std::thread> Workers;
+  Workers.reserve(Jobs);
+  for (unsigned W = 0; W != Jobs; ++W) {
+    Workers.emplace_back([&, W] {
+      try {
+        for (size_t T = W; T < N; T += Jobs)
+          runShard(T);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> Lock(ErrorLock);
+          if (!FirstError)
+            FirstError = std::current_exception();
+        }
+        Failed.store(true);
+      }
+    });
+  }
+
+  // Deterministic commit: a k-way merge over the queue heads replays the
+  // sequential engine's earliest-start/lowest-id order (each shard's start
+  // sequence is non-decreasing, so heads suffice). Stalls until every
+  // unfinished shard has a visible head; commits accumulate the fleet
+  // counters in exactly the Jobs=1 order.
+  std::vector<uint32_t> Committed(N, 0);
+  std::vector<double> LastStart(N, kSetupStart);
+  size_t TotalQuanta = N * static_cast<size_t>(PerShard);
+  for (size_t Done = 0; Done != TotalQuanta;) {
+    size_t Pick = N;
+    double PickStart = 0.0;
+    bool AllHeadsVisible = true;
+    for (size_t T = 0; T != N; ++T) {
+      if (Committed[T] == PerShard)
+        continue;
+      const QuantumRecord *Head = Queues[T]->peek();
+      if (!Head) {
+        AllHeadsVisible = false;
+        break;
+      }
+      if (Pick == N || Head->Start < PickStart) {
+        Pick = T;
+        PickStart = Head->Start;
+      }
+    }
+    if (!AllHeadsVisible) {
+      if (Failed.load())
+        break;
+      std::this_thread::yield();
+      continue;
+    }
+    QuantumRecord Rec = *Queues[Pick]->peek();
+    Queues[Pick]->pop();
+    assert(Rec.Start >= LastStart[Pick] &&
+           "per-shard start times must be non-decreasing");
+    LastStart[Pick] = Rec.Start;
+    if (Rec.Start != kSetupStart) {
+      Busy[Pick] += Rec.Delta;
+      ++Requests[Pick];
+    }
+    ++Committed[Pick];
+    ++Done;
+  }
+
+  for (std::thread &W : Workers)
+    W.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+
+  // Drain and export, in shard order on this thread -- identical to the
+  // sequential engine's drain pass (no shared PMU here, so no granted-share
+  // gauge).
+  for (size_t T = 0; T != N; ++T) {
+    Experiment &E = *Shards[T];
+    E.obs().metrics().gauge("fleet.requests").set(Requests[T]);
+    E.obs().metrics().gauge("fleet.busy_cycles").set(Busy[T]);
     E.finishRun();
   }
 }

@@ -17,11 +17,15 @@
 ///     Poisson/bursty request arrivals per tenant against the shard's
 ///     server workload handlers. One request = one PMU quantum (context
 ///     switches happen at request boundaries, like a CPU scheduler). The
-///     loop is sequential and fully deterministic: each tenant's arrival
-///     and handler-mix stream is an independent seeded SplitMix64, so the
-///     schedule is a pure function of the config -- any host-side
-///     parallelism lives *above* the fleet (one fleet per ParallelRunner
-///     job), never inside it.
+///     schedule is fully deterministic: each tenant's arrival and
+///     handler-mix stream is an independent seeded SplitMix64, so it is a
+///     pure function of the config. When the fleet is arbiter-free,
+///     FleetConfig::Jobs can additionally run shard streams on a worker
+///     pool *inside* the run -- workers publish finished quanta through
+///     lock-free SPSC queues and a coordinator commits them in the
+///     sequential earliest-start/lowest-id order, keeping every output
+///     byte-identical to Jobs=1. Shared-PMU fleets always run the
+///     sequential engine (the arbiter couples every quantum's timing).
 ///   - Classic (Traffic = false): each shard runs its whole program
 ///     back-to-back with a dedicated PMU -- a suite of N runs packaged as
 ///     one fleet. A 1-shard classic fleet reproduces a plain Experiment
@@ -77,6 +81,18 @@ struct FleetConfig {
   bool Traffic = true;
   FleetTrafficConfig TrafficCfg;
   PmuArbiterConfig Arbiter;
+  /// Intra-fleet worker threads (--fleet-jobs; 0 = one per hardware
+  /// thread). Classic mode runs whole shards on the pool. Traffic mode runs
+  /// each shard's request stream on a worker and commits finished quanta
+  /// through per-shard SPSC queues in the sequential engine's
+  /// earliest-start/lowest-id order, so schedules, journals, and metrics
+  /// are byte-identical at any value -- see DESIGN.md sec. 15. Fleets whose
+  /// shards share a PMU (an arbiter with tenants) always use the
+  /// sequential engine: the arbiter's grant gate feeds each quantum's
+  /// sampling overhead back into the virtual clock, so quantum k+1 depends
+  /// on every earlier quantum fleet-wide and the schedule admits no
+  /// intra-run parallelism.
+  unsigned Jobs = 1;
 };
 
 /// One tenant's outcome.
@@ -122,6 +138,9 @@ public:
 private:
   void runClassic();
   void runTraffic();
+  /// Arbiter-free traffic fleets only: shard streams on \p Jobs workers,
+  /// quanta committed in the sequential order (byte-identical results).
+  void runTrafficParallel(unsigned Jobs);
 
   FleetConfig Config;
   PmuArbiter Arbiter;

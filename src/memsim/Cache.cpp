@@ -32,91 +32,98 @@ Cache::Cache(const CacheConfig &Config) : Config(Config) {
   uint32_t NumSets = Config.numSets();
   assert(NumSets != 0 && (NumSets & (NumSets - 1)) == 0 &&
          "set count must be a power of two");
+  assert(Config.Associativity != 0 && "associativity must be nonzero");
   LineShift = log2Exact(Config.LineBytes);
   SetMask = NumSets - 1;
-  Ways.resize(static_cast<size_t>(NumSets) * Config.Associativity);
-}
-
-void Cache::split(Address Addr, uint32_t &SetIdx, uint64_t &Tag) const {
-  uint64_t Line = Addr >> LineShift;
-  SetIdx = static_cast<uint32_t>(Line) & SetMask;
-  Tag = Line >> log2Exact(SetMask + 1);
-}
-
-Cache::Way *Cache::findWay(uint32_t SetIdx, uint64_t Tag) {
-  Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
-  for (uint32_t W = 0; W != Config.Associativity; ++W)
-    if (Set[W].Valid && Set[W].Tag == Tag)
-      return &Set[W];
-  return nullptr;
-}
-
-const Cache::Way *Cache::findWay(uint32_t SetIdx, uint64_t Tag) const {
-  return const_cast<Cache *>(this)->findWay(SetIdx, Tag);
-}
-
-bool Cache::access(Address Addr) {
-  uint32_t SetIdx;
-  uint64_t Tag;
-  split(Addr, SetIdx, Tag);
-  ++UseTick;
-  if (Way *Hit = findWay(SetIdx, Tag)) {
-    Hit->LastUse = UseTick;
-    ++Hits;
-    return true;
-  }
-  ++Misses;
-  // Fill: evict the LRU way (or use an invalid one).
-  Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
-  Way *Victim = &Set[0];
-  for (uint32_t W = 0; W != Config.Associativity; ++W) {
-    if (!Set[W].Valid) {
-      Victim = &Set[W];
-      break;
-    }
-    if (Set[W].LastUse < Victim->LastUse)
-      Victim = &Set[W];
-  }
-  Victim->Valid = true;
-  Victim->Tag = Tag;
-  Victim->LastUse = UseTick;
-  return false;
-}
-
-bool Cache::contains(Address Addr) const {
-  uint32_t SetIdx;
-  uint64_t Tag;
-  split(Addr, SetIdx, Tag);
-  return findWay(SetIdx, Tag) != nullptr;
-}
-
-bool Cache::prefetch(Address Addr) {
-  uint32_t SetIdx;
-  uint64_t Tag;
-  split(Addr, SetIdx, Tag);
-  if (findWay(SetIdx, Tag))
-    return false;
-  // Insert with the current tick but do not count a miss: prefetch fills are
-  // not demand misses.
-  Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
-  Way *Victim = &Set[0];
-  for (uint32_t W = 0; W != Config.Associativity; ++W) {
-    if (!Set[W].Valid) {
-      Victim = &Set[W];
-      break;
-    }
-    if (Set[W].LastUse < Victim->LastUse)
-      Victim = &Set[W];
-  }
-  ++UseTick;
-  Victim->Valid = true;
-  Victim->Tag = Tag;
-  Victim->LastUse = UseTick;
-  return true;
+  TagShift = log2Exact(NumSets);
+  Packed = Config.Associativity <= kPackedSlots;
+  uint32_t Slots = Packed ? kPackedSlots : Config.Associativity;
+  Tags.resize(static_cast<size_t>(NumSets) * Slots);
+  if (Packed)
+    RankBits.resize(NumSets);
+  else
+    Ranks.resize(static_cast<size_t>(NumSets) * Config.Associativity);
+  flush();
 }
 
 void Cache::flush() {
-  for (Way &W : Ways)
-    W.Valid = false;
-  UseTick = 0;
+  uint32_t NumSets = SetMask + 1;
+  if (Packed) {
+    for (uint32_t S = 0; S != NumSets; ++S) {
+      uint64_t *Slot = &Tags[static_cast<size_t>(S) * kPackedSlots];
+      for (uint32_t W = 0; W != kPackedSlots; ++W)
+        Slot[W] = W < Config.Associativity ? 0 : kPadSentinel;
+      RankBits[S] = kIdentityRanks;
+    }
+    return;
+  }
+  for (uint64_t &T : Tags)
+    T = 0;
+  for (uint32_t S = 0; S != NumSets; ++S)
+    for (uint32_t W = 0; W != Config.Associativity; ++W)
+      Ranks[static_cast<size_t>(S) * Config.Associativity + W] =
+          static_cast<uint8_t>(W);
+}
+
+bool Cache::accessGeneric(uint64_t LineNum) {
+  uint64_t Enc = encode(LineNum >> TagShift);
+  uint32_t SetIdx = static_cast<uint32_t>(LineNum) & SetMask;
+  uint64_t *Slot = &Tags[static_cast<size_t>(SetIdx) * Config.Associativity];
+  uint8_t *R = &Ranks[static_cast<size_t>(SetIdx) * Config.Associativity];
+  for (uint32_t W = 0; W != Config.Associativity; ++W) {
+    if (Slot[W] == Enc) {
+      ++Hits;
+      uint8_t Rank = R[W];
+      for (uint32_t J = 0; J != Config.Associativity; ++J)
+        R[J] += R[J] < Rank;
+      R[W] = 0;
+      return true;
+    }
+  }
+  ++Misses;
+  fillGeneric(SetIdx, Enc);
+  return false;
+}
+
+bool Cache::containsGeneric(uint64_t LineNum) const {
+  uint64_t Enc = encode(LineNum >> TagShift);
+  uint32_t SetIdx = static_cast<uint32_t>(LineNum) & SetMask;
+  const uint64_t *Slot =
+      &Tags[static_cast<size_t>(SetIdx) * Config.Associativity];
+  for (uint32_t W = 0; W != Config.Associativity; ++W)
+    if (Slot[W] == Enc)
+      return true;
+  return false;
+}
+
+bool Cache::prefetchGeneric(uint64_t LineNum) {
+  if (containsGeneric(LineNum))
+    return false;
+  uint64_t Enc = encode(LineNum >> TagShift);
+  uint32_t SetIdx = static_cast<uint32_t>(LineNum) & SetMask;
+  fillGeneric(SetIdx, Enc);
+  return true;
+}
+
+void Cache::fillGeneric(uint32_t SetIdx, uint64_t Enc) {
+  uint64_t *Slot = &Tags[static_cast<size_t>(SetIdx) * Config.Associativity];
+  uint8_t *R = &Ranks[static_cast<size_t>(SetIdx) * Config.Associativity];
+  uint32_t Way = Config.Associativity;
+  for (uint32_t W = 0; W != Config.Associativity; ++W) {
+    if (Slot[W] == 0) {
+      Way = W; // First free way, as in the old first-invalid victim scan.
+      break;
+    }
+  }
+  if (Way == Config.Associativity) {
+    uint8_t Lru = static_cast<uint8_t>(Config.Associativity - 1);
+    for (uint32_t W = 0; W != Config.Associativity; ++W)
+      if (R[W] == Lru)
+        Way = W;
+  }
+  Slot[Way] = Enc;
+  uint8_t Rank = R[Way];
+  for (uint32_t J = 0; J != Config.Associativity; ++J)
+    R[J] += R[J] < Rank;
+  R[Way] = 0;
 }

@@ -9,6 +9,34 @@
 /// follow the paper's platform: a Pentium 4 with a 16 KB L1 data cache and a
 /// 1 MB unified L2, both with 128-byte lines.
 ///
+/// The storage is struct-of-arrays: one contiguous block of encoded tags per
+/// set (padded to eight slots so the probe is a fixed-trip-count branchless
+/// compare loop the compiler can vectorize) plus one packed rank word per
+/// set holding true-LRU order as one byte per way. This replaces the old
+/// Way{Tag,LastUse,Valid} array-of-structs whose linear scans and per-way
+/// 64-bit use ticks dominated the simulator's per-access cost. The replaced
+/// model is preserved verbatim in ReferenceMemsim.h and the randomized
+/// equivalence tests in tests/memsim/ pin this implementation to it
+/// bit-for-bit (hits, misses, and eviction order).
+///
+/// Tag encoding: a valid way stores (Tag << 1) | 1, an empty way stores 0,
+/// and the pad slots beyond the real associativity store 2 -- even, so a pad
+/// can never equal an (always odd) encoded tag, and nonzero, so a pad never
+/// looks like a free way.
+///
+/// Rank encoding (associativity <= 8): byte W of the set's rank word is way
+/// W's LRU rank -- 0 is most recent, Associativity-1 is the eviction
+/// candidate. The word is initialized to 0x0706050403020100 and maintained
+/// with SWAR updates under the invariant that its bytes always form a
+/// permutation of 0..7 in which an empty way J holds rank J. That holds
+/// because the only invalidation is a whole-cache flush (which reinitializes
+/// the word) and fills always take the lowest-indexed empty way -- exactly
+/// the old model's first-invalid victim scan -- so when K ways are live they
+/// own ranks {0..K-1} and the empty and pad ways keep their identity ranks,
+/// which a promotion of rank R < K can never disturb. Associativities above
+/// eight fall back to an unpacked byte-per-way rank array with the same
+/// algebra.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_MEMSIM_CACHE_H
@@ -16,6 +44,7 @@
 
 #include "support/Types.h"
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -42,20 +71,84 @@ CacheConfig l2DefaultConfig();
 /// One level of set-associative cache with true-LRU replacement.
 class Cache {
 public:
+  /// Fixed slot count of the packed layout; real associativity may be lower
+  /// (pad slots hold the sentinel) but not higher without falling back to
+  /// the generic layout.
+  static constexpr uint32_t kPackedSlots = 8;
+
   explicit Cache(const CacheConfig &Config);
 
   /// Looks up the line containing \p Addr; on a miss, fills it (evicting the
   /// LRU way). \returns true on hit.
-  bool access(Address Addr);
+  bool access(Address Addr) { return accessLineNum(lineNumber(Addr)); }
 
   /// \returns true if the line containing \p Addr is present, without
   /// touching LRU state (for tests and the prefetcher).
-  bool contains(Address Addr) const;
+  bool contains(Address Addr) const { return containsLineNum(lineNumber(Addr)); }
 
   /// Inserts the line containing \p Addr if absent without counting a
   /// hit/miss (models a hardware prefetch fill). \returns true if the line
   /// was newly inserted.
-  bool prefetch(Address Addr);
+  bool prefetch(Address Addr) { return prefetchLineNum(lineNumber(Addr)); }
+
+  /// The same operations keyed by a precomputed line number
+  /// (address >> log2(LineBytes)). The fused MemoryHierarchy path splits
+  /// each address once and feeds every level from the shared line number
+  /// instead of re-deriving it per level.
+  bool accessLineNum(uint64_t LineNum) {
+    if (!Packed)
+      return accessGeneric(LineNum);
+    uint64_t Enc = encode(LineNum >> TagShift);
+    uint32_t SetIdx = static_cast<uint32_t>(LineNum) & SetMask;
+    const uint64_t *Slot = &Tags[static_cast<size_t>(SetIdx) * kPackedSlots];
+    uint32_t HitMask = 0, FreeMask = 0;
+    for (uint32_t W = 0; W != kPackedSlots; ++W) {
+      uint64_t T = Slot[W];
+      HitMask |= static_cast<uint32_t>(T == Enc) << W;
+      FreeMask |= static_cast<uint32_t>(T == 0) << W;
+    }
+    if (HitMask) {
+      ++Hits;
+      promotePacked(RankBits[SetIdx],
+                    static_cast<uint32_t>(std::countr_zero(HitMask)));
+      return true;
+    }
+    ++Misses;
+    fillPacked(SetIdx, FreeMask, Enc);
+    return false;
+  }
+
+  bool containsLineNum(uint64_t LineNum) const {
+    if (!Packed)
+      return containsGeneric(LineNum);
+    uint64_t Enc = encode(LineNum >> TagShift);
+    uint32_t SetIdx = static_cast<uint32_t>(LineNum) & SetMask;
+    const uint64_t *Slot = &Tags[static_cast<size_t>(SetIdx) * kPackedSlots];
+    bool Hit = false;
+    for (uint32_t W = 0; W != kPackedSlots; ++W)
+      Hit |= Slot[W] == Enc;
+    return Hit;
+  }
+
+  bool prefetchLineNum(uint64_t LineNum) {
+    if (!Packed)
+      return prefetchGeneric(LineNum);
+    uint64_t Enc = encode(LineNum >> TagShift);
+    uint32_t SetIdx = static_cast<uint32_t>(LineNum) & SetMask;
+    const uint64_t *Slot = &Tags[static_cast<size_t>(SetIdx) * kPackedSlots];
+    uint32_t HitMask = 0, FreeMask = 0;
+    for (uint32_t W = 0; W != kPackedSlots; ++W) {
+      uint64_t T = Slot[W];
+      HitMask |= static_cast<uint32_t>(T == Enc) << W;
+      FreeMask |= static_cast<uint32_t>(T == 0) << W;
+    }
+    // A line that is already present is NOT promoted (matching the old
+    // model, whose prefetch bailed out before assigning a use tick).
+    if (HitMask)
+      return false;
+    fillPacked(SetIdx, FreeMask, Enc);
+    return true;
+  }
 
   /// Invalidates all lines (e.g. between experiments).
   void flush();
@@ -65,29 +158,78 @@ public:
   uint64_t misses() const { return Misses; }
 
   /// \returns the address of the first byte of the line containing \p Addr.
-  Address lineBase(Address Addr) const {
-    return Addr & ~(Config.LineBytes - 1);
+  /// Templated so 64-bit callers keep their high half: the mask widens to
+  /// uint64_t before complementing, where the old `~(Config.LineBytes - 1)`
+  /// complemented in uint32_t and zeroed bits 32..63 of wider addresses.
+  template <typename AddrT> AddrT lineBase(AddrT Addr) const {
+    return static_cast<AddrT>(Addr &
+                              ~static_cast<uint64_t>(Config.LineBytes - 1));
   }
 
+  /// \returns Addr >> log2(LineBytes), the key of the LineNum entry points.
+  uint64_t lineNumber(uint64_t Addr) const { return Addr >> LineShift; }
+
+  uint32_t lineShift() const { return LineShift; }
+
 private:
-  struct Way {
-    uint64_t Tag = 0;
-    uint64_t LastUse = 0;
-    bool Valid = false;
-  };
+  static constexpr uint64_t kRepeatedOnes = 0x0101010101010101ull;
+  static constexpr uint64_t kHighBits = 0x8080808080808080ull;
+  static constexpr uint64_t kIdentityRanks = 0x0706050403020100ull;
+  static constexpr uint64_t kPadSentinel = 2;
 
-  /// \returns (set index, tag) for \p Addr.
-  void split(Address Addr, uint32_t &SetIdx, uint64_t &Tag) const;
+  static uint64_t encode(uint64_t Tag) { return (Tag << 1) | 1; }
 
-  /// \returns a pointer to the matching way in \p SetIdx, or nullptr.
-  Way *findWay(uint32_t SetIdx, uint64_t Tag);
-  const Way *findWay(uint32_t SetIdx, uint64_t Tag) const;
+  /// Makes \p Way the MRU of its set: every byte of \p R with a rank below
+  /// Way's current rank ages by one, then Way's byte drops to 0. All bytes
+  /// stay <= 8, so the SWAR add can never carry between lanes, and forcing
+  /// the high bit before subtracting the rank keeps the per-byte compare
+  /// borrow-free.
+  static void promotePacked(uint64_t &R, uint32_t Way) {
+    uint32_t Shift = Way * 8;
+    uint64_t Rank = (R >> Shift) & 0xff;
+    if (Rank == 0)
+      return; // Already MRU; common for repeated hits on one line.
+    uint64_t Below = ~((R | kHighBits) - Rank * kRepeatedOnes) & kHighBits;
+    R += Below >> 7;
+    R &= ~(0xffull << Shift);
+  }
+
+  /// Fills the first free way of \p SetIdx (or, when full, the way whose
+  /// rank byte equals Associativity-1, i.e. the true-LRU way) with \p Enc
+  /// and promotes it to MRU.
+  void fillPacked(uint32_t SetIdx, uint32_t FreeMask, uint64_t Enc) {
+    uint64_t &R = RankBits[SetIdx];
+    uint32_t Way;
+    if (FreeMask) {
+      Way = static_cast<uint32_t>(std::countr_zero(FreeMask));
+    } else {
+      // Locate the unique byte equal to Associativity-1 via zero-byte
+      // detection on the XOR; ranks are a permutation, so exactly one byte
+      // matches and the lowest-zero-byte position is exact.
+      uint64_t X = R ^ (static_cast<uint64_t>(Config.Associativity - 1) *
+                        kRepeatedOnes);
+      uint64_t Zero = (X - kRepeatedOnes) & ~X & kHighBits;
+      Way = static_cast<uint32_t>(std::countr_zero(Zero)) >> 3;
+    }
+    Tags[static_cast<size_t>(SetIdx) * kPackedSlots + Way] = Enc;
+    promotePacked(R, Way);
+  }
+
+  // Unpacked fallback for associativities above kPackedSlots; same rank
+  // algebra over a byte array.
+  bool accessGeneric(uint64_t LineNum);
+  bool containsGeneric(uint64_t LineNum) const;
+  bool prefetchGeneric(uint64_t LineNum);
+  void fillGeneric(uint32_t SetIdx, uint64_t Enc);
 
   CacheConfig Config;
   uint32_t LineShift;
   uint32_t SetMask;
-  std::vector<Way> Ways; // NumSets * Associativity, row-major by set.
-  uint64_t UseTick = 0;
+  uint32_t TagShift;
+  bool Packed;
+  std::vector<uint64_t> Tags;     // NumSets * slots, row-major by set.
+  std::vector<uint64_t> RankBits; // Packed layout: one rank word per set.
+  std::vector<uint8_t> Ranks;     // Generic layout: NumSets * Associativity.
   uint64_t Hits = 0;
   uint64_t Misses = 0;
 };

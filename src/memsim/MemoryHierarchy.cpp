@@ -2,31 +2,18 @@
 
 #include "memsim/MemoryHierarchy.h"
 
-#include <cassert>
-
 using namespace hpmvm;
 
 MemoryHierarchy::MemoryHierarchy(const MemoryHierarchyConfig &Config)
     : Config(Config), L1(Config.L1), L2(Config.L2), Dtlb(Config.Dtlb) {
   assert(Config.L1.LineBytes == Config.L2.LineBytes &&
          "the model assumes a uniform line size across levels");
+  LineShift = L1.lineShift();
+  LineNumMask = 0xffffffffu >> LineShift;
 }
 
-void MemoryHierarchy::accessLine(Address LineAddr, Address Pc,
-                                 AccessResult &Result) {
-  // TLB first: one translation per page touched. (A line never spans pages
-  // because line size divides page size.)
-  if (!Dtlb.access(LineAddr)) {
-    ++Result.TlbMisses;
-    ++Stats.TlbMisses;
-    Result.Penalty += Config.Latency.TlbMissPenalty;
-    if (Listener)
-      Listener->onMemoryEvent(HpmEventKind::DtlbMiss, Pc, LineAddr);
-  }
-
-  if (L1.access(LineAddr))
-    return;
-
+void MemoryHierarchy::accessLineL1Miss(uint32_t LineNum, Address LineAddr,
+                                       Address Pc, AccessResult &Result) {
   ++Result.L1Misses;
   ++Stats.L1Misses;
   if (Listener)
@@ -46,7 +33,7 @@ void MemoryHierarchy::accessLine(Address LineAddr, Address Pc,
     LastMissLine = LineAddr;
   }
 
-  if (L2.access(LineAddr)) {
+  if (L2.accessLineNum(LineNum)) {
     Result.Penalty += Config.Latency.L2HitPenalty;
     return;
   }
@@ -58,39 +45,23 @@ void MemoryHierarchy::accessLine(Address LineAddr, Address Pc,
     Listener->onMemoryEvent(HpmEventKind::L2Miss, Pc, LineAddr);
 }
 
-AccessResult MemoryHierarchy::access(Address Addr, uint32_t Size, bool IsWrite,
-                                     Address Pc) {
-  (void)IsWrite; // Write-allocate: reads and writes behave identically here.
-  assert(Size != 0 && "zero-sized access");
-  AccessResult Result;
-  ++Stats.Accesses;
-  uint32_t LineBytes = Config.L1.LineBytes;
-  Address First = L1.lineBase(Addr);
-  Address Last = L1.lineBase(Addr + Size - 1);
-  for (Address Line = First;; Line += LineBytes) {
-    accessLine(Line, Pc, Result);
-    if (Line == Last)
-      break;
-  }
-  return Result;
-}
-
 Cycles MemoryHierarchy::softwarePrefetch(Address Addr, Address Pc) {
   (void)Pc; // Prefetches are not precise-sampled; kept for symmetry.
   ++Stats.SwPrefetches;
-  Address Line = L1.lineBase(Addr);
+  uint32_t LineNum = Addr >> LineShift;
+  Address Line = static_cast<Address>(LineNum) << LineShift;
   Cycles Penalty = 0;
   // The prefetch still translates its address.
   Dtlb.access(Line);
-  if (L1.contains(Line))
+  if (L1.containsLineNum(LineNum))
     return Penalty;
-  if (L2.contains(Line)) {
+  if (L2.containsLineNum(LineNum)) {
     Penalty += Config.Latency.L2HitPenalty / 2;
   } else {
     Penalty += Config.Latency.MemoryPenalty / 2;
-    L2.prefetch(Line);
+    L2.prefetchLineNum(LineNum);
   }
-  L1.prefetch(Line);
+  L1.prefetchLineNum(LineNum);
   ++Stats.SwPrefetchFills;
   return Penalty;
 }

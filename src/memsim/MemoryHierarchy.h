@@ -12,6 +12,16 @@
 /// to. Every semantic heap access performed by the interpreter or by
 /// simulated optimized machine code goes through MemoryHierarchy::access.
 ///
+/// The access path is fused: the address is split into a line number once
+/// and every level is probed through the Cache/Tlb LineNum entry points, so
+/// the common TLB-hit + L1-hit case runs entirely inline with no per-level
+/// re-splitting (the old model recomputed set index and tag -- including a
+/// log2 loop -- inside each level on every probe). Only the L1-miss
+/// continuation (stream prefetcher, L2, memory) is out of line. Behavior is
+/// bit-identical to the level-by-level model preserved in
+/// ReferenceMemsim.h, including event order and the uint32_t wrap of the
+/// line walk, which the line-number loop reproduces via LineNumMask.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_MEMSIM_MEMORYHIERARCHY_H
@@ -21,6 +31,8 @@
 #include "memsim/MemoryEvent.h"
 #include "memsim/Tlb.h"
 #include "support/Types.h"
+
+#include <cassert>
 
 namespace hpmvm {
 
@@ -72,7 +84,29 @@ public:
   /// (the common case is 1 line; object headers and small fields never span
   /// more than 2). Fires one listener event per miss, tagged with \p Pc --
   /// this is the "precise" in precise event-based sampling.
-  AccessResult access(Address Addr, uint32_t Size, bool IsWrite, Address Pc);
+  AccessResult access(Address Addr, uint32_t Size, bool IsWrite, Address Pc) {
+    return accessFast(Addr, Size, IsWrite, Pc);
+  }
+
+  /// The fused implementation behind access(); named so the micro benches
+  /// can pit it against the ReferenceMemsim scalar model by name.
+  AccessResult accessFast(Address Addr, uint32_t Size, bool IsWrite,
+                          Address Pc) {
+    (void)IsWrite; // Write-allocate: reads and writes behave identically here.
+    assert(Size != 0 && "zero-sized access");
+    AccessResult Result;
+    ++Stats.Accesses;
+    uint32_t FirstNum = Addr >> LineShift;
+    uint32_t LastNum = static_cast<Address>(Addr + Size - 1) >> LineShift;
+    // Masked increment == the old Address-typed `Line += LineBytes` walk,
+    // wrap included.
+    for (uint32_t LineNum = FirstNum;; LineNum = (LineNum + 1) & LineNumMask) {
+      accessLineFast(LineNum, Pc, Result);
+      if (LineNum == LastNum)
+        break;
+    }
+    return Result;
+  }
 
   /// Issues a software prefetch for the line containing \p Addr (the
   /// JIT-inserted prefetch instructions of the prefetch-injection
@@ -95,8 +129,27 @@ public:
   const Tlb &dtlb() const { return Dtlb; }
 
 private:
-  /// Accesses a single line; updates \p Result.
-  void accessLine(Address LineAddr, Address Pc, AccessResult &Result);
+  /// Inline head of the per-line walk: TLB and L1, which absorb almost every
+  /// access. The L1-miss continuation is out of line.
+  void accessLineFast(uint32_t LineNum, Address Pc, AccessResult &Result) {
+    Address LineAddr = static_cast<Address>(LineNum) << LineShift;
+    // TLB first: one translation per page touched. (A line never spans pages
+    // because line size divides page size.)
+    if (!Dtlb.access(LineAddr)) {
+      ++Result.TlbMisses;
+      ++Stats.TlbMisses;
+      Result.Penalty += Config.Latency.TlbMissPenalty;
+      if (Listener)
+        Listener->onMemoryEvent(HpmEventKind::DtlbMiss, Pc, LineAddr);
+    }
+    if (L1.accessLineNum(LineNum))
+      return;
+    accessLineL1Miss(LineNum, LineAddr, Pc, Result);
+  }
+
+  /// Stream prefetcher + L2 + memory leg of a line access.
+  void accessLineL1Miss(uint32_t LineNum, Address LineAddr, Address Pc,
+                        AccessResult &Result);
 
   MemoryHierarchyConfig Config;
   Cache L1;
@@ -104,6 +157,8 @@ private:
   Tlb Dtlb;
   MemoryEventListener *Listener = nullptr;
   MemoryStats Stats;
+  uint32_t LineShift;   ///< log2(L1.LineBytes) == log2(L2.LineBytes).
+  uint32_t LineNumMask; ///< 0xffffffff >> LineShift: wrap of the line walk.
   Address LastMissLine = 0; ///< For the stream-prefetch heuristic.
 };
 

@@ -1,0 +1,344 @@
+//===-- memsim/ReferenceMemsim.h - Legacy scalar memsim oracle -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retired array-of-structs memsim implementation, kept verbatim as an
+/// executable oracle -- the same pattern as MonitorConfig::ScalarSamplePath
+/// on the sample path. The production Cache/Tlb/MemoryHierarchy moved to a
+/// struct-of-arrays layout with packed LRU ranks (see Cache.h); these
+/// classes preserve the original per-way scan semantics, including its two
+/// victim-selection quirks (Cache takes the FIRST invalid way, Tlb the
+/// LAST invalid entry), so the randomized equivalence tests and the
+/// BM_MemsimAccess scalar baseline have a bit-exact reference to diff
+/// against. The only deliberate divergence from the retired code is the
+/// 64-bit-safe line mask in lineBase()/split(): the old
+/// `~(Config.LineBytes - 1)` promoted through uint32_t and zeroed the high
+/// half of 64-bit addresses, and the production model fixed that, so the
+/// oracle must agree above 4 GiB too.
+///
+/// Not linked into the simulator proper: only the memsim tests and the
+/// micro benches include it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_MEMSIM_REFERENCEMEMSIM_H
+#define HPMVM_MEMSIM_REFERENCEMEMSIM_H
+
+#include "memsim/Cache.h"
+#include "memsim/MemoryEvent.h"
+#include "memsim/MemoryHierarchy.h"
+#include "memsim/Tlb.h"
+
+#include <cassert>
+#include <vector>
+
+namespace hpmvm::refmodel {
+
+/// The original array-of-structs set-associative LRU cache.
+class Cache {
+public:
+  explicit Cache(const CacheConfig &Config) : Config(Config) {
+    assert(Config.LineBytes != 0 &&
+           (Config.LineBytes & (Config.LineBytes - 1)) == 0 &&
+           "line size must be a power of two");
+    uint32_t NumSets = Config.numSets();
+    assert(NumSets != 0 && (NumSets & (NumSets - 1)) == 0 &&
+           "set count must be a power of two");
+    LineShift = log2Exact(Config.LineBytes);
+    SetMask = NumSets - 1;
+    Ways.resize(static_cast<size_t>(NumSets) * Config.Associativity);
+  }
+
+  bool access(uint64_t Addr) {
+    uint32_t SetIdx;
+    uint64_t Tag;
+    split(Addr, SetIdx, Tag);
+    ++UseTick;
+    if (Way *Hit = findWay(SetIdx, Tag)) {
+      Hit->LastUse = UseTick;
+      ++Hits;
+      return true;
+    }
+    ++Misses;
+    // Fill: evict the LRU way (or the FIRST invalid one).
+    Way *Victim = victimIn(SetIdx);
+    Victim->Valid = true;
+    Victim->Tag = Tag;
+    Victim->LastUse = UseTick;
+    return false;
+  }
+
+  bool contains(uint64_t Addr) const {
+    uint32_t SetIdx;
+    uint64_t Tag;
+    split(Addr, SetIdx, Tag);
+    return findWay(SetIdx, Tag) != nullptr;
+  }
+
+  bool prefetch(uint64_t Addr) {
+    uint32_t SetIdx;
+    uint64_t Tag;
+    split(Addr, SetIdx, Tag);
+    if (findWay(SetIdx, Tag))
+      return false;
+    Way *Victim = victimIn(SetIdx);
+    ++UseTick;
+    Victim->Valid = true;
+    Victim->Tag = Tag;
+    Victim->LastUse = UseTick;
+    return true;
+  }
+
+  void flush() {
+    for (Way &W : Ways)
+      W.Valid = false;
+    UseTick = 0;
+  }
+
+  const CacheConfig &config() const { return Config; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+  uint64_t lineBase(uint64_t Addr) const {
+    return Addr & ~static_cast<uint64_t>(Config.LineBytes - 1);
+  }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  static uint32_t log2Exact(uint32_t V) {
+    uint32_t Log = 0;
+    while (V > 1) {
+      V >>= 1;
+      ++Log;
+    }
+    return Log;
+  }
+
+  void split(uint64_t Addr, uint32_t &SetIdx, uint64_t &Tag) const {
+    uint64_t Line = Addr >> LineShift;
+    SetIdx = static_cast<uint32_t>(Line) & SetMask;
+    Tag = Line >> log2Exact(SetMask + 1);
+  }
+
+  Way *findWay(uint32_t SetIdx, uint64_t Tag) {
+    Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
+    for (uint32_t W = 0; W != Config.Associativity; ++W)
+      if (Set[W].Valid && Set[W].Tag == Tag)
+        return &Set[W];
+    return nullptr;
+  }
+
+  const Way *findWay(uint32_t SetIdx, uint64_t Tag) const {
+    return const_cast<Cache *>(this)->findWay(SetIdx, Tag);
+  }
+
+  Way *victimIn(uint32_t SetIdx) {
+    Way *Set = &Ways[static_cast<size_t>(SetIdx) * Config.Associativity];
+    Way *Victim = &Set[0];
+    for (uint32_t W = 0; W != Config.Associativity; ++W) {
+      if (!Set[W].Valid) {
+        Victim = &Set[W];
+        break;
+      }
+      if (Set[W].LastUse < Victim->LastUse)
+        Victim = &Set[W];
+    }
+    return Victim;
+  }
+
+  CacheConfig Config;
+  uint32_t LineShift;
+  uint32_t SetMask;
+  std::vector<Way> Ways;
+  uint64_t UseTick = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// The original fully-associative LRU TLB. Note the victim quirk this
+/// preserves: while invalid entries remain, the scan keeps overwriting the
+/// victim pointer, so the LAST invalid entry wins and the table fills from
+/// the highest index down.
+class Tlb {
+public:
+  explicit Tlb(const TlbConfig &Config) : Config(Config) {
+    assert(Config.PageBytes != 0 &&
+           (Config.PageBytes & (Config.PageBytes - 1)) == 0 &&
+           "page size must be a power of two");
+    PageShift = 0;
+    for (uint32_t V = Config.PageBytes; V > 1; V >>= 1)
+      ++PageShift;
+    Entries.resize(Config.Entries);
+  }
+
+  bool access(uint64_t Addr) {
+    uint64_t Page = Addr >> PageShift;
+    ++UseTick;
+    Entry *Victim = &Entries[0];
+    for (Entry &E : Entries) {
+      if (E.Valid && E.Page == Page) {
+        E.LastUse = UseTick;
+        ++Hits;
+        return true;
+      }
+      if (!E.Valid)
+        Victim = &E;
+      else if (Victim->Valid && E.LastUse < Victim->LastUse)
+        Victim = &E;
+    }
+    ++Misses;
+    Victim->Valid = true;
+    Victim->Page = Page;
+    Victim->LastUse = UseTick;
+    return false;
+  }
+
+  void flush() {
+    for (Entry &E : Entries)
+      E.Valid = false;
+    UseTick = 0;
+  }
+
+  const TlbConfig &config() const { return Config; }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  struct Entry {
+    uint64_t Page = 0;
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  TlbConfig Config;
+  uint32_t PageShift;
+  std::vector<Entry> Entries;
+  uint64_t UseTick = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// The original level-by-level MemoryHierarchy: re-splits the address per
+/// level and walks the AoS caches above. Mirrors MemoryHierarchy::access
+/// exactly (TLB -> L1 -> stream prefetch -> L2, same penalties, same event
+/// order) so whole-hierarchy traces can be diffed, listener events
+/// included.
+class MemoryHierarchy {
+public:
+  explicit MemoryHierarchy(const MemoryHierarchyConfig &Config = {})
+      : Config(Config), L1(Config.L1), L2(Config.L2), Dtlb(Config.Dtlb) {
+    assert(Config.L1.LineBytes == Config.L2.LineBytes &&
+           "the model assumes a uniform line size across levels");
+  }
+
+  AccessResult access(Address Addr, uint32_t Size, bool IsWrite, Address Pc) {
+    (void)IsWrite;
+    assert(Size != 0 && "zero-sized access");
+    AccessResult Result;
+    ++Stats.Accesses;
+    uint32_t LineBytes = Config.L1.LineBytes;
+    Address First = static_cast<Address>(L1.lineBase(Addr));
+    Address Last =
+        static_cast<Address>(L1.lineBase(static_cast<Address>(Addr + Size - 1)));
+    for (Address Line = First;; Line += LineBytes) {
+      accessLine(Line, Pc, Result);
+      if (Line == Last)
+        break;
+    }
+    return Result;
+  }
+
+  Cycles softwarePrefetch(Address Addr, Address Pc) {
+    (void)Pc;
+    ++Stats.SwPrefetches;
+    Address Line = static_cast<Address>(L1.lineBase(Addr));
+    Cycles Penalty = 0;
+    Dtlb.access(Line);
+    if (L1.contains(Line))
+      return Penalty;
+    if (L2.contains(Line)) {
+      Penalty += Config.Latency.L2HitPenalty / 2;
+    } else {
+      Penalty += Config.Latency.MemoryPenalty / 2;
+      L2.prefetch(Line);
+    }
+    L1.prefetch(Line);
+    ++Stats.SwPrefetchFills;
+    return Penalty;
+  }
+
+  void setListener(MemoryEventListener *L) { Listener = L; }
+
+  void reset() {
+    L1.flush();
+    L2.flush();
+    Dtlb.flush();
+    Stats = MemoryStats();
+    LastMissLine = 0;
+  }
+
+  const MemoryStats &stats() const { return Stats; }
+  const MemoryHierarchyConfig &config() const { return Config; }
+  const Cache &l1() const { return L1; }
+  const Cache &l2() const { return L2; }
+  const Tlb &dtlb() const { return Dtlb; }
+
+private:
+  void accessLine(Address LineAddr, Address Pc, AccessResult &Result) {
+    if (!Dtlb.access(LineAddr)) {
+      ++Result.TlbMisses;
+      ++Stats.TlbMisses;
+      Result.Penalty += Config.Latency.TlbMissPenalty;
+      if (Listener)
+        Listener->onMemoryEvent(HpmEventKind::DtlbMiss, Pc, LineAddr);
+    }
+
+    if (L1.access(LineAddr))
+      return;
+
+    ++Result.L1Misses;
+    ++Stats.L1Misses;
+    if (Listener)
+      Listener->onMemoryEvent(HpmEventKind::L1DMiss, Pc, LineAddr);
+
+    if (Config.StreamPrefetch) {
+      uint32_t LineBytes = Config.L2.LineBytes;
+      if (LineAddr == LastMissLine + LineBytes) {
+        if (L2.prefetch(static_cast<Address>(LineAddr + LineBytes)))
+          ++Stats.PrefetchFills;
+      }
+      LastMissLine = LineAddr;
+    }
+
+    if (L2.access(LineAddr)) {
+      Result.Penalty += Config.Latency.L2HitPenalty;
+      return;
+    }
+
+    ++Result.L2Misses;
+    ++Stats.L2Misses;
+    Result.Penalty += Config.Latency.MemoryPenalty;
+    if (Listener)
+      Listener->onMemoryEvent(HpmEventKind::L2Miss, Pc, LineAddr);
+  }
+
+  MemoryHierarchyConfig Config;
+  Cache L1;
+  Cache L2;
+  Tlb Dtlb;
+  MemoryEventListener *Listener = nullptr;
+  MemoryStats Stats;
+  Address LastMissLine = 0;
+};
+
+} // namespace hpmvm::refmodel
+
+#endif // HPMVM_MEMSIM_REFERENCEMEMSIM_H

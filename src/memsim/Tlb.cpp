@@ -14,36 +14,59 @@ Tlb::Tlb(const TlbConfig &Config) : Config(Config) {
   assert(Config.PageBytes != 0 &&
          (Config.PageBytes & (Config.PageBytes - 1)) == 0 &&
          "page size must be a power of two");
+  assert(Config.Entries != 0 && "TLB must have at least one entry");
+  assert(Config.Entries <= 256 && "byte-wide LRU ranks cap the entry count");
   PageShift = 0;
   for (uint32_t V = Config.PageBytes; V > 1; V >>= 1)
     ++PageShift;
-  Entries.resize(Config.Entries);
+  Pages.resize(Config.Entries);
+  Ranks.resize(Config.Entries);
+  flush();
 }
 
-bool Tlb::access(Address Addr) {
-  uint64_t Page = Addr >> PageShift;
-  ++UseTick;
-  Entry *Victim = &Entries[0];
-  for (Entry &E : Entries) {
-    if (E.Valid && E.Page == Page) {
-      E.LastUse = UseTick;
+bool Tlb::accessSlow(uint64_t Enc) {
+  uint32_t N = Config.Entries;
+  for (uint32_t J = 0; J != N; ++J) {
+    if (Pages[J] == Enc) {
       ++Hits;
+      uint8_t Rank = Ranks[J];
+      for (uint32_t K = 0; K != N; ++K)
+        Ranks[K] += Ranks[K] < Rank;
+      Ranks[J] = 0;
+      MruEnc = Enc;
       return true;
     }
-    if (!E.Valid)
-      Victim = &E;
-    else if (Victim->Valid && E.LastUse < Victim->LastUse)
-      Victim = &E;
   }
   ++Misses;
-  Victim->Valid = true;
-  Victim->Page = Page;
-  Victim->LastUse = UseTick;
+  uint32_t Victim;
+  uint8_t Rank;
+  if (ValidCount < N) {
+    // Fill top-down (see the header); the next free entry's rank is exactly
+    // ValidCount under the N-1-J identity initialization.
+    Victim = N - 1 - ValidCount;
+    Rank = static_cast<uint8_t>(ValidCount);
+    ++ValidCount;
+  } else {
+    Victim = 0;
+    Rank = static_cast<uint8_t>(N - 1);
+    for (uint32_t J = 0; J != N; ++J)
+      if (Ranks[J] == Rank)
+        Victim = J;
+  }
+  Pages[Victim] = Enc;
+  for (uint32_t K = 0; K != N; ++K)
+    Ranks[K] += Ranks[K] < Rank;
+  Ranks[Victim] = 0;
+  MruEnc = Enc;
   return false;
 }
 
 void Tlb::flush() {
-  for (Entry &E : Entries)
-    E.Valid = false;
-  UseTick = 0;
+  uint32_t N = Config.Entries;
+  for (uint32_t J = 0; J != N; ++J) {
+    Pages[J] = 0;
+    Ranks[J] = static_cast<uint8_t>(N - 1 - J);
+  }
+  ValidCount = 0;
+  MruEnc = 0;
 }

@@ -10,6 +10,20 @@
 /// infrastructure can monitor; the evaluation notes that driving
 /// co-allocation by TLB misses instead of L1 misses did not improve jbb.
 ///
+/// Storage is struct-of-arrays like Cache: a vector of encoded pages
+/// ((Page << 1) | 1; 0 marks an empty entry) plus a byte-per-entry LRU rank
+/// array (0 = most recent). Because memory accesses have strong page
+/// locality, the most-recently-used encoding is additionally memoized in a
+/// single word, so the overwhelmingly common repeat-hit resolves inline with
+/// one compare -- promoting a rank-0 entry is a no-op, which keeps the
+/// shortcut bit-identical to the old full scan.
+///
+/// Victim quirk, preserved from the old model: its scan kept overwriting the
+/// victim pointer while invalid entries remained (and the `Victim->Valid`
+/// guard made an invalid victim stick), so the LAST invalid entry won and
+/// the table filled from the highest index down. Hence ranks initialize to
+/// N-1-J and the not-full victim is entry N-1-ValidCount.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef HPMVM_MEMSIM_TLB_H
@@ -17,6 +31,7 @@
 
 #include "support/Types.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace hpmvm {
@@ -37,7 +52,14 @@ public:
 
   /// Looks up the page containing \p Addr, filling on a miss.
   /// \returns true on hit.
-  bool access(Address Addr);
+  bool access(Address Addr) {
+    uint64_t Enc = ((static_cast<uint64_t>(Addr) >> PageShift) << 1) | 1;
+    if (Enc == MruEnc) {
+      ++Hits;
+      return true;
+    }
+    return accessSlow(Enc);
+  }
 
   void flush();
 
@@ -46,16 +68,15 @@ public:
   uint64_t misses() const { return Misses; }
 
 private:
-  struct Entry {
-    uint64_t Page = 0;
-    uint64_t LastUse = 0;
-    bool Valid = false;
-  };
+  /// Scan + promote (hit) or fill (miss); updates the MRU memo.
+  bool accessSlow(uint64_t Enc);
 
   TlbConfig Config;
   uint32_t PageShift;
-  std::vector<Entry> Entries;
-  uint64_t UseTick = 0;
+  std::vector<uint64_t> Pages; ///< Encoded pages; 0 marks an empty entry.
+  std::vector<uint8_t> Ranks;  ///< LRU ranks, 0 = MRU.
+  uint32_t ValidCount = 0;
+  uint64_t MruEnc = 0; ///< Encoding of the rank-0 entry; 0 while empty.
   uint64_t Hits = 0;
   uint64_t Misses = 0;
 };

@@ -1,0 +1,104 @@
+//===-- support/SpscQueue.h - Lock-free SPSC ring buffer -------*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer ring buffer: one worker thread
+/// pushes, one coordinator thread pops, no locks. Used by the fleet layer
+/// to publish finished request-quanta from shard workers to the
+/// deterministic commit loop (see harness/Fleet.cpp), the same shape as the
+/// SampleBatch hand-off on the sample path.
+///
+/// Memory ordering is the textbook pair: the producer publishes a slot with
+/// a release store of Tail (making the slot write visible before the index
+/// moves), the consumer acquires Tail before reading the slot, and the
+/// mirror-image applies to Head for slot reuse. Indices are monotonically
+/// increasing and masked on use, so full/empty never ambiguate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_SPSCQUEUE_H
+#define HPMVM_SUPPORT_SPSCQUEUE_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace hpmvm {
+
+template <typename T> class SpscQueue {
+public:
+  /// \p MinCapacity is rounded up to a power of two (capacity is exact:
+  /// the queue holds up to that many elements).
+  explicit SpscQueue(size_t MinCapacity) {
+    size_t Cap = 1;
+    while (Cap < MinCapacity)
+      Cap <<= 1;
+    Slots.resize(Cap);
+    Mask = Cap - 1;
+  }
+
+  SpscQueue(const SpscQueue &) = delete;
+  SpscQueue &operator=(const SpscQueue &) = delete;
+
+  /// Producer side. \returns false when full (no blocking, no overwrite).
+  bool tryPush(const T &Value) {
+    size_t T0 = Tail.load(std::memory_order_relaxed);
+    if (T0 - Head.load(std::memory_order_acquire) > Mask)
+      return false;
+    Slots[T0 & Mask] = Value;
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. \returns false when empty.
+  bool tryPop(T &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    if (H == Tail.load(std::memory_order_acquire))
+      return false;
+    Out = Slots[H & Mask];
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: \returns a pointer to the front element without
+  /// consuming it, or nullptr when empty. Valid until the next pop.
+  const T *peek() const {
+    size_t H = Head.load(std::memory_order_relaxed);
+    if (H == Tail.load(std::memory_order_acquire))
+      return nullptr;
+    return &Slots[H & Mask];
+  }
+
+  /// Consumer side: drops the front element. Requires a prior successful
+  /// peek().
+  void pop() {
+    size_t H = Head.load(std::memory_order_relaxed);
+    assert(H != Tail.load(std::memory_order_acquire) && "pop on empty queue");
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Approximate from either side; exact when the other side is quiescent.
+  size_t size() const {
+    return Tail.load(std::memory_order_acquire) -
+           Head.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return Mask + 1; }
+
+private:
+  std::vector<T> Slots;
+  size_t Mask;
+  // Producer and consumer indices on separate cache lines so the two
+  // threads do not false-share.
+  alignas(64) std::atomic<size_t> Head{0};
+  alignas(64) std::atomic<size_t> Tail{0};
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_SPSCQUEUE_H

@@ -1,0 +1,79 @@
+//===-- support/StringInterner.cpp ----------------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace hpmvm;
+
+StringInterner::StringInterner() : Buckets(64, 0) {}
+
+uint64_t StringInterner::hash(std::string_view S) {
+  // FNV-1a, the same function the trace ring uses for label folding.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+const char *StringInterner::copyToArena(std::string_view S) {
+  size_t Need = S.size() + 1;
+  if (ChunkUsed + Need > ChunkSize) {
+    ChunkSize = Need > 4096 ? Need : 4096;
+    Chunks.push_back(std::make_unique<char[]>(ChunkSize));
+    ChunkUsed = 0;
+  }
+  char *Dst = Chunks.back().get() + ChunkUsed;
+  std::memcpy(Dst, S.data(), S.size());
+  Dst[S.size()] = '\0';
+  ChunkUsed += Need;
+  return Dst;
+}
+
+void StringInterner::grow() {
+  std::vector<uint32_t> Old = std::move(Buckets);
+  Buckets.assign(Old.size() * 2, 0);
+  size_t Mask = Buckets.size() - 1;
+  for (uint32_t Slot : Old) {
+    if (Slot == 0)
+      continue;
+    size_t B = hash(Texts[Slot - 1]) & Mask;
+    while (Buckets[B] != 0)
+      B = (B + 1) & Mask;
+    Buckets[B] = Slot;
+  }
+}
+
+uint32_t StringInterner::intern(std::string_view S) {
+  size_t Mask = Buckets.size() - 1;
+  size_t B = hash(S) & Mask;
+  while (Buckets[B] != 0) {
+    uint32_t Id = Buckets[B] - 1;
+    if (S == Texts[Id])
+      return Id;
+    B = (B + 1) & Mask;
+  }
+  uint32_t Id = static_cast<uint32_t>(Texts.size());
+  assert(Id != kNoId && "interner full");
+  Texts.push_back(copyToArena(S));
+  Buckets[B] = Id + 1;
+  // Keep load factor under ~70% so probe chains stay short.
+  if ((Texts.size() + 1) * 10 > Buckets.size() * 7)
+    grow();
+  return Id;
+}
+
+uint32_t StringInterner::find(std::string_view S) const {
+  size_t Mask = Buckets.size() - 1;
+  size_t B = hash(S) & Mask;
+  while (Buckets[B] != 0) {
+    uint32_t Id = Buckets[B] - 1;
+    if (S == Texts[Id])
+      return Id;
+    B = (B + 1) & Mask;
+  }
+  return kNoId;
+}

@@ -1,0 +1,66 @@
+//===-- support/StringInterner.h - Arena-backed string interning -*- C++ -*-===//
+//
+// Part of the hpmvm project (PLDI 2007 HPM-guided optimization repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into an arena once and hands out small integer ids and
+/// stable NUL-terminated pointers. Used for method and field labels on the
+/// sample-resolve path: labels are interned at (re)compile time, so batches
+/// and journal records can carry 4-byte ids instead of heap-allocated
+/// std::string copies per record.
+///
+/// Ids are dense and insertion-ordered (first intern wins), pointers remain
+/// valid for the interner's lifetime. Lookup is an open-addressing FNV-1a
+/// table -- no std::unordered_map, whose iteration order the determinism
+/// lint (R2) bans from decision paths and whose per-node allocations this
+/// class exists to avoid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef HPMVM_SUPPORT_STRINGINTERNER_H
+#define HPMVM_SUPPORT_STRINGINTERNER_H
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace hpmvm {
+
+class StringInterner {
+public:
+  static constexpr uint32_t kNoId = 0xffffffffu;
+
+  StringInterner();
+
+  /// \returns the id of \p S, interning it on first sight. Ids count up
+  /// from 0 in insertion order.
+  uint32_t intern(std::string_view S);
+
+  /// \returns the id of \p S if already interned, else kNoId. Never
+  /// allocates.
+  uint32_t find(std::string_view S) const;
+
+  /// \returns the stable NUL-terminated text of \p Id.
+  const char *text(uint32_t Id) const { return Texts[Id]; }
+
+  /// Number of distinct strings interned.
+  uint32_t size() const { return static_cast<uint32_t>(Texts.size()); }
+
+private:
+  static uint64_t hash(std::string_view S);
+  const char *copyToArena(std::string_view S);
+  void grow();
+
+  std::vector<const char *> Texts;     ///< Id -> arena text.
+  std::vector<uint32_t> Buckets;       ///< Id + 1; 0 marks an empty bucket.
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  size_t ChunkUsed = 0;
+  size_t ChunkSize = 0;
+};
+
+} // namespace hpmvm
+
+#endif // HPMVM_SUPPORT_STRINGINTERNER_H

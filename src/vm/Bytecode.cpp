@@ -103,15 +103,15 @@ std::string hpmvm::verifyMethod(const Method &M,
                                 const ClassRegistry &Classes,
                                 const std::vector<ValKind> &GlobalKinds) {
   auto Err = [&](uint32_t Pc, const std::string &Msg) {
-    return formatString("%s@%u: %s", M.Name.c_str(), Pc, Msg.c_str());
+    return formatString("%s@%u: %s", M.Name, Pc, Msg.c_str());
   };
 
   if (M.NumParams != M.ParamKinds.size())
-    return M.Name + ": NumParams disagrees with ParamKinds";
+    return std::string(M.Name) + ": NumParams disagrees with ParamKinds";
   if (M.NumLocals < M.NumParams)
-    return M.Name + ": fewer locals than parameters";
+    return std::string(M.Name) + ": fewer locals than parameters";
   if (M.Code.empty())
-    return M.Name + ": empty body";
+    return std::string(M.Name) + ": empty body";
 
   const uint32_t N = static_cast<uint32_t>(M.Code.size());
 
@@ -128,7 +128,7 @@ std::string hpmvm::verifyMethod(const Method &M,
   auto Flow = [&](uint32_t To, const AbsState &S) -> std::string {
     if (To >= N)
       return formatString("%s: branch/fallthrough to %u out of range",
-                          M.Name.c_str(), To);
+                          M.Name, To);
     if (!InStates[To]) {
       InStates[To] = S;
       Worklist.push_back(To);
@@ -137,7 +137,7 @@ std::string hpmvm::verifyMethod(const Method &M,
     bool Changed = false;
     if (!mergeInto(*InStates[To], S, Changed))
       return formatString("%s@%u: stack shape mismatch at merge",
-                          M.Name.c_str(), To);
+                          M.Name, To);
     if (Changed)
       Worklist.push_back(To);
     return "";

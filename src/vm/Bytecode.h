@@ -99,7 +99,12 @@ enum class ValKind : uint8_t { Int, Ref };
 /// A method: bytecode plus signature and compile-state metadata filled in
 /// by the VM as it runs.
 struct Method {
-  std::string Name;
+  /// Label for diagnostics and by-name lookup. Before the method enters a
+  /// VM the pointer is owned by the producer (BytecodeBuilder keeps it
+  /// alive); declareMethod/defineMethod re-intern it into the VM's label
+  /// arena, so inside a VM's method table it is always arena-backed and
+  /// stable for the VM's lifetime.
+  const char *Name = "";
   MethodId Id = kInvalidId;
   uint32_t NumParams = 0;
   std::vector<ValKind> ParamKinds;

@@ -4,7 +4,12 @@
 
 using namespace hpmvm;
 
-BytecodeBuilder::BytecodeBuilder(std::string Name) { M.Name = std::move(Name); }
+BytecodeBuilder::BytecodeBuilder(std::string Name)
+    : NameStorage(std::move(Name)) {
+  // The VM re-interns the label at declare/define time; until then the
+  // builder keeps it alive (build() contract: builder outlives the handoff).
+  M.Name = NameStorage.c_str();
+}
 
 uint32_t BytecodeBuilder::addParam(ValKind Kind) {
   assert(M.NumLocals == M.NumParams &&

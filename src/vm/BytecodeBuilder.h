@@ -129,6 +129,8 @@ private:
   BytecodeBuilder &emitBranch(Op O, int32_t A, Label L);
 
   Method M;
+  /// Owns the label text M.Name points at until the VM interns it.
+  std::string NameStorage;
   std::vector<int32_t> LabelPos;                   ///< -1 while unbound.
   std::vector<std::pair<uint32_t, uint32_t>> Fixups; ///< (insn, label).
   bool Built = false;

@@ -17,7 +17,7 @@ ClassId ClassRegistry::defineClass(const std::string &Name,
   FieldsByClass.resize(Table.size());
   for (size_t I = 0; I != Specs.size(); ++I) {
     FieldInfo Info;
-    Info.Name = Name + "::" + Specs[I].Name;
+    Info.Name = Names.text(Names.intern(Name + "::" + Specs[I].Name));
     Info.Owner = Cls;
     Info.Offset = objheader::kHeaderBytes + static_cast<uint32_t>(I) * 4;
     Info.IsRef = Specs[I].IsRef;
@@ -34,11 +34,15 @@ ClassId ClassRegistry::defineArrayClass(const std::string &Name,
   return Cls;
 }
 
-FieldId ClassRegistry::fieldId(ClassId Cls, const std::string &Field) const {
+FieldId ClassRegistry::fieldId(ClassId Cls, std::string_view Field) const {
   assert(Cls < FieldsByClass.size() && "unknown class id");
-  for (FieldId Id : FieldsByClass[Cls])
-    if (Fields[Id].Name.ends_with("::" + Field))
+  for (FieldId Id : FieldsByClass[Cls]) {
+    // Match "...::Field" (qualified names are "Class::field").
+    std::string_view Name(Fields[Id].Name);
+    if (Name.size() >= Field.size() + 2 && Name.ends_with(Field) &&
+        Name.substr(Name.size() - Field.size() - 2, 2) == "::")
       return Id;
+  }
   assert(false && "field not found in class");
   return kInvalidId;
 }

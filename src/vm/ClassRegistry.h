@@ -18,9 +18,11 @@
 #define HPMVM_VM_CLASSREGISTRY_H
 
 #include "heap/ObjectModel.h"
+#include "support/StringInterner.h"
 #include "support/Types.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hpmvm {
@@ -33,7 +35,10 @@ struct FieldSpec {
 
 /// Resolved information about one field.
 struct FieldInfo {
-  std::string Name;      ///< "Class::field" qualified name.
+  /// "Class::field" qualified name, interned into the registry's arena at
+  /// class-definition time (stable for the registry's lifetime). Sample
+  /// consumers keep FieldIds; this text is for diagnostics and reports.
+  const char *Name = "";
   ClassId Owner = kInvalidId;
   uint32_t Offset = 0;   ///< Byte offset from object start.
   bool IsRef = false;
@@ -51,7 +56,7 @@ public:
   ClassId defineArrayClass(const std::string &Name, ElemKind Elem);
 
   /// \returns the FieldId of \p Field in \p Cls; asserts if absent.
-  FieldId fieldId(ClassId Cls, const std::string &Field) const;
+  FieldId fieldId(ClassId Cls, std::string_view Field) const;
 
   const FieldInfo &field(FieldId Id) const {
     assert(Id < Fields.size() && "unknown field id");
@@ -78,6 +83,8 @@ private:
   HeapClassTable Table;
   std::vector<FieldInfo> Fields;
   std::vector<std::vector<FieldId>> FieldsByClass;
+  /// Arena for qualified field names; FieldInfo::Name points in here.
+  StringInterner Names;
 };
 
 } // namespace hpmvm

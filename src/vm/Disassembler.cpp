@@ -90,7 +90,7 @@ std::string hpmvm::disassembleMethod(const Method &M,
                                      const ClassRegistry &Classes,
                                      const std::vector<Method> &Methods) {
   std::string Out = formatString(
-      "method %s (%u params, %u locals, %zu bytecodes)\n", M.Name.c_str(),
+      "method %s (%u params, %u locals, %zu bytecodes)\n", M.Name,
       M.NumParams, M.NumLocals, M.Code.size());
   for (size_t I = 0; I != M.Code.size(); ++I)
     Out += formatString("  %4zu: %s\n", I,

@@ -21,18 +21,28 @@ VirtualMachine::VirtualMachine(const VmConfig &Config)
 
 VirtualMachine::~VirtualMachine() = default;
 
-MethodId VirtualMachine::declareMethod(const std::string &Name,
+MethodId VirtualMachine::declareMethod(std::string_view Name,
                                        std::vector<ValKind> Params,
                                        RetKind Ret) {
   Method M;
-  M.Name = Name;
   M.Id = static_cast<MethodId>(Methods.size());
+  M.Name = internLabel(Name, M.Id);
   M.NumParams = static_cast<uint32_t>(Params.size());
   M.ParamKinds = std::move(Params);
   M.NumLocals = M.NumParams;
   M.Return = Ret;
   Methods.push_back(std::move(M));
   return Methods.back().Id;
+}
+
+const char *VirtualMachine::internLabel(std::string_view Name, MethodId Id) {
+  uint32_t Lid = Labels.intern(Name);
+  if (Lid >= MethodByLabel.size())
+    MethodByLabel.resize(Lid + 1, kInvalidId);
+  // First declaration wins, matching the old linear findMethod scan.
+  if (MethodByLabel[Lid] == kInvalidId || Id < MethodByLabel[Lid])
+    MethodByLabel[Lid] = Id;
+  return Labels.text(Lid);
 }
 
 void VirtualMachine::defineMethod(MethodId Id, Method M) {
@@ -42,7 +52,9 @@ void VirtualMachine::defineMethod(MethodId Id, Method M) {
   assert(Slot.NumParams == M.NumParams && Slot.ParamKinds == M.ParamKinds &&
          Slot.Return == M.Return && "body signature disagrees with declaration");
   M.Id = Id;
-  M.Name = Slot.Name.empty() ? M.Name : Slot.Name;
+  // The declared label wins; a body-only label (declared anonymously, named
+  // at definition) is interned now so it is arena-backed and findable.
+  M.Name = *Slot.Name ? Slot.Name : internLabel(M.Name, Id);
   Slot = std::move(M);
   Slot.Id = Id;
 
@@ -77,11 +89,11 @@ Method &VirtualMachine::method(MethodId Id) {
   return Methods[Id];
 }
 
-MethodId VirtualMachine::findMethod(const std::string &Name) const {
-  for (const Method &M : Methods)
-    if (M.Name == Name)
-      return M.Id;
-  return kInvalidId;
+MethodId VirtualMachine::findMethod(std::string_view Name) const {
+  uint32_t Lid = Labels.find(Name);
+  if (Lid == StringInterner::kNoId || Lid >= MethodByLabel.size())
+    return kInvalidId;
+  return MethodByLabel[Lid];
 }
 
 void VirtualMachine::setCollector(GarbageCollector *C) {
@@ -249,10 +261,10 @@ void VirtualMachine::forEachRoot(const std::function<void(Address &)> &Fn) {
 Value VirtualMachine::getFieldOp(Address Ref, FieldId Fid, Address Pc) {
   if (Ref == kNullRef)
     trap("null pointer dereference (getfield " +
-         Registry.field(Fid).Name + ")");
+         std::string(Registry.field(Fid).Name) + ")");
   const FieldInfo &FI = Registry.field(Fid);
   if (Objects.classOf(Ref) != FI.Owner)
-    trap("getfield " + FI.Name + " on an object of class " +
+    trap("getfield " + std::string(FI.Name) + " on an object of class " +
          Registry.className(Objects.classOf(Ref)));
   if (Config.ProfileFieldAccess) {
     if (FieldAccessCounts.size() <= Fid)
@@ -269,10 +281,10 @@ void VirtualMachine::putFieldOp(Address Ref, FieldId Fid, Value V,
                                 Address Pc) {
   if (Ref == kNullRef)
     trap("null pointer dereference (putfield " +
-         Registry.field(Fid).Name + ")");
+         std::string(Registry.field(Fid).Name) + ")");
   const FieldInfo &FI = Registry.field(Fid);
   if (Objects.classOf(Ref) != FI.Owner)
-    trap("putfield " + FI.Name + " on an object of class " +
+    trap("putfield " + std::string(FI.Name) + " on an object of class " +
          Registry.className(Objects.classOf(Ref)));
   assert(V.IsRef == FI.IsRef && "field store kind mismatch");
   if (FI.IsRef)

@@ -28,6 +28,7 @@
 #include "heap/ObjectModel.h"
 #include "memsim/MemoryHierarchy.h"
 #include "support/Random.h"
+#include "support/StringInterner.h"
 #include "support/Types.h"
 #include "support/VirtualClock.h"
 #include "vm/Bytecode.h"
@@ -41,6 +42,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hpmvm {
@@ -95,9 +97,10 @@ public:
   const ClassRegistry &classes() const { return Registry; }
 
   /// Declares a method signature without a body (for mutual recursion);
-  /// provide the body later with defineMethod.
-  MethodId declareMethod(const std::string &Name,
-                         std::vector<ValKind> Params, RetKind Ret);
+  /// provide the body later with defineMethod. The label is interned into
+  /// the VM's arena (Method::Name stays valid for the VM's lifetime).
+  MethodId declareMethod(std::string_view Name, std::vector<ValKind> Params,
+                         RetKind Ret);
 
   /// Fills in the body of a declared method. \p M's signature must match.
   /// Verifies the bytecode (fatal on failure) and assigns baseline code
@@ -114,7 +117,16 @@ public:
   const std::vector<Method> &methods() const { return Methods; }
   const std::vector<ValKind> &globalKinds() const { return GlobalKinds; }
 
-  MethodId findMethod(const std::string &Name) const;
+  /// By-name lookup through the label interner: one hash probe plus an id
+  /// table read, no per-method string compares. First declaration wins for
+  /// duplicate names (matching the old linear scan).
+  MethodId findMethod(std::string_view Name) const;
+
+  /// The interned label of \p Id (arena-backed, stable).
+  const char *methodLabel(MethodId Id) const {
+    assert(Id < Methods.size() && "unknown method id");
+    return Methods[Id].Name;
+  }
 
   // --- Collector / monitor wiring ------------------------------------------
   void setCollector(GarbageCollector *C);
@@ -232,6 +244,10 @@ private:
 
   void chargeAllocation(Address Obj, uint32_t Bytes, Address Pc);
 
+  /// Interns \p Name into the label arena and records \p Id as its
+  /// findMethod winner (first declaration wins). \returns the arena text.
+  const char *internLabel(std::string_view Name, MethodId Id);
+
   VmConfig Config;
   VirtualClock Clock;
   MemoryHierarchy Mem;
@@ -252,6 +268,11 @@ private:
   VmRuntimeStats Stats;
   MethodId CurrentMethod = kInvalidId;
   std::vector<uint64_t> FieldAccessCounts;
+  /// Arena for method labels; Method::Name always points in here.
+  StringInterner Labels;
+  /// Interned label id -> lowest MethodId bearing that label (the
+  /// findMethod winner). Indexed by label id; kInvalidId when unmapped.
+  std::vector<MethodId> MethodByLabel;
 };
 
 } // namespace hpmvm

@@ -192,6 +192,85 @@ TEST(Fleet, AggregateSumsTenantsAndStampsMergedJournal) {
   }
 }
 
+// The parallel traffic engine's contract: any --fleet-jobs value yields
+// bit-identical results. Arbiter-free (nohpm) fleets actually exercise the
+// worker-pool + SPSC-merge path at Jobs > 1; the comparison covers every
+// headline stat, the full metrics snapshot, and both journals.
+TEST(Fleet, TrafficJobsInvariant) {
+  FleetConfig Seq = trafficConfig(4, /*Policy=*/false, 0x1057);
+  FleetConfig Par = Seq;
+  Par.Jobs = 4;
+  FleetResult A = runFleet(Seq);
+  FleetResult B = runFleet(Par);
+  ASSERT_EQ(A.Tenants.size(), B.Tenants.size());
+  EXPECT_EQ(A.MakespanCycles, B.MakespanCycles);
+  for (size_t T = 0; T != A.Tenants.size(); ++T) {
+    SCOPED_TRACE(T);
+    expectRunEq(A.Tenants[T].Run, B.Tenants[T].Run);
+    EXPECT_EQ(A.Tenants[T].Requests, B.Tenants[T].Requests);
+    EXPECT_EQ(A.Tenants[T].BusyCycles, B.Tenants[T].BusyCycles);
+  }
+  expectJournalEq(A.Aggregate.Journal, B.Aggregate.Journal);
+}
+
+// More workers than shards, and Jobs=0 (one per hardware thread): both
+// clamp and stay byte-identical.
+TEST(Fleet, TrafficJobsClampAndAutoDetect) {
+  FleetConfig Seq = trafficConfig(2, /*Policy=*/false, 0x2bad);
+  FleetConfig Wide = Seq;
+  Wide.Jobs = 16; // > shard count
+  FleetConfig Auto = Seq;
+  Auto.Jobs = 0; // hardware concurrency
+  FleetResult A = runFleet(Seq);
+  FleetResult B = runFleet(Wide);
+  FleetResult C = runFleet(Auto);
+  for (const FleetResult *R : {&B, &C}) {
+    ASSERT_EQ(A.Tenants.size(), R->Tenants.size());
+    for (size_t T = 0; T != A.Tenants.size(); ++T) {
+      SCOPED_TRACE(T);
+      expectRunEq(A.Tenants[T].Run, R->Tenants[T].Run);
+      EXPECT_EQ(A.Tenants[T].Requests, R->Tenants[T].Requests);
+      EXPECT_EQ(A.Tenants[T].BusyCycles, R->Tenants[T].BusyCycles);
+    }
+  }
+}
+
+// Shared-PMU fleets must ignore Jobs (the arbiter couples every quantum's
+// timing fleet-wide, so the sequential engine is the only correct one).
+TEST(Fleet, SharedPmuFleetIgnoresJobs) {
+  FleetConfig Seq = trafficConfig(3, /*Policy=*/true, 0x5eed);
+  FleetConfig Par = Seq;
+  Par.Jobs = 4;
+  FleetResult A = runFleet(Seq);
+  FleetResult B = runFleet(Par);
+  EXPECT_EQ(A.PmuRotations, B.PmuRotations);
+  ASSERT_EQ(A.Tenants.size(), B.Tenants.size());
+  for (size_t T = 0; T != A.Tenants.size(); ++T) {
+    SCOPED_TRACE(T);
+    expectRunEq(A.Tenants[T].Run, B.Tenants[T].Run);
+    EXPECT_EQ(A.Tenants[T].Share.Granted, B.Tenants[T].Share.Granted);
+    EXPECT_EQ(A.Tenants[T].Share.Executed, B.Tenants[T].Share.Executed);
+  }
+}
+
+// Classic mode runs whole shards on the pool; results are collected by
+// index, so any job count is invisible in the output.
+TEST(Fleet, ClassicJobsInvariant) {
+  FleetConfig Seq = trafficConfig(3, /*Policy=*/true, 0xc1a);
+  Seq.Traffic = false;
+  FleetConfig Par = Seq;
+  Par.Jobs = 3;
+  FleetResult A = runFleet(Seq);
+  FleetResult B = runFleet(Par);
+  ASSERT_EQ(A.Tenants.size(), B.Tenants.size());
+  EXPECT_EQ(A.MakespanCycles, B.MakespanCycles);
+  for (size_t T = 0; T != A.Tenants.size(); ++T) {
+    SCOPED_TRACE(T);
+    expectRunEq(A.Tenants[T].Run, B.Tenants[T].Run);
+  }
+  expectJournalEq(A.Aggregate.Journal, B.Aggregate.Journal);
+}
+
 TEST(Fleet, SharedPmuSplitsGrantAcrossTenants) {
   FleetConfig F = trafficConfig(4, /*Policy=*/true, 0xabc);
   Fleet Fl(F);

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 using namespace hpmvm;
 
 namespace {
@@ -44,7 +46,7 @@ TEST(EndToEnd, MonitoringAttributesMissesToHotField) {
   const ClassRegistry &Reg = E.vm().classes();
   FieldId Value = kInvalidId;
   for (size_t F = 0; F != Reg.numFields(); ++F)
-    if (Reg.field(F).Name == "dbRecord::value")
+    if (std::string_view(Reg.field(F).Name) == "dbRecord::value")
       Value = static_cast<FieldId>(F);
   ASSERT_NE(Value, kInvalidId);
   uint64_t ValueMisses = M->missTable().misses(Value);

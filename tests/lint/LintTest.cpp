@@ -131,6 +131,37 @@ TEST(LintFixtures, R6OutFlagsUseEnsureParentDir) {
   EXPECT_EQ(lintFixture("r6_ok.cpp", "bench/R6Fixture.cpp"), Expected{});
 }
 
+TEST(LintFixtures, R7HotPathStringMembersAndParams) {
+  // Scope is raw-text inclusion, so the same findings come back wherever
+  // the file lives; members and parameters violate, locals do not.
+  EXPECT_EQ(lintFixture("r7_bad.cpp", "src/core/R7Fixture.cpp"),
+            (Expected{{"R7", 9}, {"R7", 13}}));
+  EXPECT_EQ(lintFixture("r7_bad.cpp", "bench/R7Fixture.cpp"),
+            (Expected{{"R7", 9}, {"R7", 13}}));
+  EXPECT_EQ(lintFixture("r7_ok.cpp", "src/core/R7Fixture.cpp"), Expected{});
+}
+
+TEST(LintFixtures, R7ScopesOnRawIncludeText) {
+  // Without the memsim / SampleConsumer include, the identical
+  // declarations are out of scope: R7 is a hot-path rule, not a global
+  // std::string ban.
+  const char *NoInclude = "#include <string>\n"
+                          "struct R { std::string Label; };\n"
+                          "void f(const std::string &S);\n";
+  EXPECT_TRUE(lintSource("src/core/E.cpp", NoInclude).empty());
+  const char *Consumer = "#include \"core/SampleConsumer.h\"\n"
+                         "struct R { std::string Label; };\n";
+  EXPECT_EQ(lintSource("src/core/E.cpp", Consumer).size(), 1u);
+  // Function bodies -- locals, temporaries -- stay legal in scope, and
+  // template type parameters must not derail the scope tracker.
+  const char *Locals = "#include \"memsim/Cache.h\"\n"
+                       "template <class T> int f(T V) {\n"
+                       "  std::string S = name(V);\n"
+                       "  return static_cast<int>(S.size());\n"
+                       "}\n";
+  EXPECT_TRUE(lintSource("src/core/E.cpp", Locals).empty());
+}
+
 //===----------------------------------------------------------------------===//
 // Lexer edge cases: rules must not fire inside comments or literals
 //===----------------------------------------------------------------------===//

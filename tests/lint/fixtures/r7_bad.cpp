@@ -1,0 +1,20 @@
+// R7 violation corpus: this file "includes" a memsim header (the raw-text
+// scope trigger), so std::string members and parameters are hot-path
+// label plumbing and must be interned const char* / numeric ids instead.
+#include "memsim/MemoryHierarchy.h"
+
+#include <string>
+
+struct HotRecord {
+  std::string Label; // BAD: member on a memsim hot path.
+  int Id = 0;
+};
+
+void recordMiss(const std::string &Label, int Count); // BAD: parameter.
+
+int countFor(HotRecord &R) {
+  // Locals and temporaries stay legal: the rule bans persistent label
+  // plumbing, not scratch strings inside one function.
+  std::string Scratch = R.Label + "/miss";
+  return static_cast<int>(Scratch.size());
+}

@@ -1,0 +1,19 @@
+// R7 conforming twin: same memsim inclusion, but labels are interned
+// const char* and ids -- no std::string members or parameters. Locals are
+// fine even in scope.
+#include "memsim/MemoryHierarchy.h"
+
+#include <string>
+
+struct HotRecord {
+  const char *Label = ""; // Interned elsewhere; POD on the hot path.
+  int Id = 0;
+};
+
+void recordMiss(const char *Label, int Count);
+void recordMissById(unsigned LabelId, int Count);
+
+int countFor(HotRecord &R) {
+  std::string Scratch = std::string(R.Label) + "/miss"; // Local: legal.
+  return static_cast<int>(Scratch.size());
+}

@@ -164,3 +164,162 @@ TEST_P(CacheReferenceTest, MatchesReferenceModelOnRandomTrace) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheReferenceTest,
                          testing::Values(1, 22, 333, 4444, 55555));
+
+//===----------------------------------------------------------------------===//
+// Edge geometries, golden LRU order, and the 64-bit lineBase regression.
+// Scripted expectations run against BOTH the production SoA cache and the
+// legacy model preserved in ReferenceMemsim.h, so a behavior drift in either
+// implementation trips the same pin.
+//===----------------------------------------------------------------------===//
+
+#include "memsim/ReferenceMemsim.h"
+
+namespace {
+
+/// One scripted step: access \p Addr, expect \p Hit.
+struct Step {
+  Address Addr;
+  bool Hit;
+};
+
+template <typename CacheT>
+void runScript(CacheT &C, const Step *Steps, size_t N) {
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_EQ(C.access(Steps[I].Addr), Steps[I].Hit)
+        << "step " << I << " addr " << Steps[I].Addr;
+}
+
+template <size_t N>
+void runScriptBothPaths(const CacheConfig &Config, const Step (&Steps)[N]) {
+  Cache Fast(Config);
+  runScript(Fast, Steps, N);
+  refmodel::Cache Legacy(Config);
+  runScript(Legacy, Steps, N);
+}
+
+} // namespace
+
+TEST(CacheGeometry, DirectMappedConflictsImmediately) {
+  // Associativity 1: two lines in the same set always evict each other.
+  CacheConfig Config{/*SizeBytes=*/256, /*LineBytes=*/64, /*Associativity=*/1};
+  // 4 sets, set stride 256.
+  const Step Steps[] = {
+      {0x000, false}, {0x000, true},  // Fill then hit.
+      {0x100, false},                 // Same set, different tag: evicts.
+      {0x000, false},                 // Ping-pong back.
+      {0x100, false},
+      {0x040, false}, {0x040, true},  // Other sets unaffected.
+      {0x100, true},                  // Still resident; set 1 is separate.
+      {0x000, false},                 // Evicts 0x100 again.
+      {0x100, false},
+  };
+  runScriptBothPaths(Config, Steps);
+}
+
+TEST(CacheGeometry, SingleSetBehavesFullyAssociative) {
+  // numSets == 1: every line contends in one 4-way set.
+  CacheConfig Config{/*SizeBytes=*/256, /*LineBytes=*/64, /*Associativity=*/4};
+  ASSERT_EQ(Config.numSets(), 1u);
+  const Step Steps[] = {
+      {0x000, false}, {0x040, false}, {0x080, false}, {0x0c0, false},
+      {0x000, true},                  // Still resident; LRU is now 0x040.
+      {0x100, false},                 // Evicts 0x040.
+      {0x040, false},                 // Confirms eviction; evicts 0x080.
+      {0x0c0, true},  {0x000, true}, {0x100, true},
+  };
+  runScriptBothPaths(Config, Steps);
+}
+
+TEST(CacheGeometry, NonDefaultLineSizes) {
+  // 32-byte lines: adjacent 32-byte blocks are distinct lines.
+  CacheConfig Small{/*SizeBytes=*/512, /*LineBytes=*/32, /*Associativity=*/2};
+  const Step SmallSteps[] = {
+      {0x00, false}, {0x1f, true},  // Same 32-byte line.
+      {0x20, false},                // Next line.
+      {0x00, true},
+  };
+  runScriptBothPaths(Small, SmallSteps);
+
+  // 256-byte lines: a whole 256-byte block is one line.
+  CacheConfig Big{/*SizeBytes=*/2048, /*LineBytes=*/256, /*Associativity=*/2};
+  const Step BigSteps[] = {
+      {0x000, false}, {0x0ff, true}, // Same 256-byte line.
+      {0x100, false},                // Next line.
+  };
+  runScriptBothPaths(Big, BigSteps);
+}
+
+TEST(CacheGeometry, WideAssociativityGenericPath) {
+  // 16-way single set: beyond the packed 8-slot layout.
+  CacheConfig Config{/*SizeBytes=*/1024, /*LineBytes=*/64,
+                     /*Associativity=*/16};
+  ASSERT_EQ(Config.numSets(), 1u);
+  Cache C(Config);
+  for (Address A = 0; A != 16 * 64; A += 64)
+    EXPECT_FALSE(C.access(A));
+  for (Address A = 0; A != 16 * 64; A += 64)
+    EXPECT_TRUE(C.access(A)); // All 16 resident.
+  EXPECT_FALSE(C.access(16 * 64)); // Evicts line 0 (LRU).
+  EXPECT_FALSE(C.contains(0x0));
+  EXPECT_TRUE(C.contains(0x40));
+}
+
+TEST(CacheLruGolden, ExactEvictionSequenceFourWay) {
+  // One 4-way set; the full script pins the exact true-LRU eviction order,
+  // including promotions by hits and a prefetch fill.
+  CacheConfig Config{/*SizeBytes=*/256, /*LineBytes=*/64, /*Associativity=*/4};
+  auto Line = [](Address N) { return N * 64; };
+
+  for (int Path = 0; Path != 2; ++Path) {
+    Cache Fast(Config);
+    refmodel::Cache Legacy(Config);
+    auto Access = [&](Address N) {
+      return Path == 0 ? Fast.access(Line(N)) : Legacy.access(Line(N));
+    };
+    auto Contains = [&](Address N) {
+      return Path == 0 ? Fast.contains(Line(N)) : Legacy.contains(Line(N));
+    };
+    auto Prefetch = [&](Address N) {
+      return Path == 0 ? Fast.prefetch(Line(N)) : Legacy.prefetch(Line(N));
+    };
+
+    // Fill: LRU order (oldest first) is 0,1,2,3.
+    for (Address N = 0; N != 4; ++N)
+      EXPECT_FALSE(Access(N)) << "path " << Path;
+    // Promote 0 and 1: order is now 2,3,0,1.
+    EXPECT_TRUE(Access(0));
+    EXPECT_TRUE(Access(1));
+    // Miss on 4 evicts 2: order 3,0,1,4.
+    EXPECT_FALSE(Access(4));
+    EXPECT_FALSE(Contains(2)) << "path " << Path;
+    // Prefetch 5 evicts 3 and makes 5 MRU: order 0,1,4,5.
+    EXPECT_TRUE(Prefetch(5));
+    EXPECT_FALSE(Contains(3)) << "path " << Path;
+    // Prefetch of a resident line does NOT promote: order still 0,1,4,5.
+    EXPECT_FALSE(Prefetch(0));
+    // Miss on 6 evicts 0 (proving the prefetch above didn't touch LRU).
+    EXPECT_FALSE(Access(6));
+    EXPECT_FALSE(Contains(0)) << "path " << Path;
+    // Exact survivors, exact order 1,4,5,6: three more misses evict in
+    // precisely that order.
+    EXPECT_FALSE(Access(7));
+    EXPECT_FALSE(Contains(1)) << "path " << Path;
+    EXPECT_FALSE(Access(8));
+    EXPECT_FALSE(Contains(4)) << "path " << Path;
+    EXPECT_FALSE(Access(9));
+    EXPECT_FALSE(Contains(5)) << "path " << Path;
+    EXPECT_TRUE(Contains(6)) << "path " << Path;
+  }
+}
+
+TEST(Cache, LineBaseKeepsHighHalfOf64BitAddresses) {
+  // Regression: the old mask `~(Config.LineBytes - 1)` complemented in
+  // uint32_t, so a 64-bit address above 4 GiB lost bits 32..63.
+  Cache C(tinyConfig()); // 64-byte lines.
+  uint64_t Above4G = 0x240000123ull;
+  EXPECT_EQ(C.lineBase(Above4G), 0x240000100ull);
+  refmodel::Cache Legacy(tinyConfig());
+  EXPECT_EQ(Legacy.lineBase(Above4G), 0x240000100ull);
+  // 32-bit callers are unchanged.
+  EXPECT_EQ(C.lineBase(static_cast<Address>(0x1234)), 0x1200u);
+}

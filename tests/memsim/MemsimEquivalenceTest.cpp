@@ -1,0 +1,237 @@
+//===-- tests/memsim/MemsimEquivalenceTest.cpp ----------------------------===//
+//
+// Randomized old-vs-new lockstep: the production SoA memsim (Cache.h) must
+// be bit-identical -- hit/miss outcomes, eviction order, counters, event
+// streams -- to the retired array-of-structs model preserved in
+// ReferenceMemsim.h, across geometries (including direct-mapped, single-set,
+// non-default line sizes, and the >8-way generic fallback) and five seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "memsim/ReferenceMemsim.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+constexpr uint64_t kSeeds[] = {1, 22, 333, 4444, 55555};
+
+struct EventRec {
+  HpmEventKind Kind;
+  Address Pc;
+  Address Data;
+  bool operator==(const EventRec &O) const {
+    return Kind == O.Kind && Pc == O.Pc && Data == O.Data;
+  }
+};
+
+struct Recorder : public MemoryEventListener {
+  std::vector<EventRec> Events;
+  void onMemoryEvent(HpmEventKind Kind, Address Pc, Address Data) override {
+    Events.push_back({Kind, Pc, Data});
+  }
+};
+
+/// Draws addresses with a mix of set-local reuse, ascending streams (to
+/// trip the stream prefetcher), and uniform noise, so hits, misses,
+/// promotions, and evictions all occur frequently.
+Address drawAddress(SplitMix64 &Rng, Address &Cursor) {
+  switch (Rng.nextBelow(8)) {
+  case 0:
+  case 1:
+  case 2: // Local reuse inside a 1 MB window.
+    return 0x40000000u + static_cast<Address>(Rng.next() & 0xfffffu);
+  case 3:
+  case 4: // Ascending stream.
+    Cursor += 64 + static_cast<Address>(Rng.nextBelow(3)) * 64;
+    return Cursor;
+  case 5: // Tight reuse: small pool of hot lines.
+    return 0x50000000u + static_cast<Address>(Rng.nextBelow(32)) * 128;
+  default: // Uniform noise over the whole 32-bit space.
+    return static_cast<Address>(Rng.next());
+  }
+}
+
+void runCacheLockstep(const CacheConfig &CC, uint64_t Seed) {
+  Cache New(CC);
+  refmodel::Cache Old(CC);
+  SplitMix64 Rng(Seed);
+  Address Cursor = 0x60000000u;
+  for (int I = 0; I != 20000; ++I) {
+    Address A = drawAddress(Rng, Cursor);
+    uint64_t Op = Rng.nextBelow(100);
+    if (Op < 70) {
+      ASSERT_EQ(New.access(A), Old.access(A))
+          << "access diverged at op " << I << " addr " << A;
+    } else if (Op < 85) {
+      ASSERT_EQ(New.contains(A), Old.contains(A))
+          << "contains diverged at op " << I << " addr " << A;
+    } else if (Op < 99) {
+      ASSERT_EQ(New.prefetch(A), Old.prefetch(A))
+          << "prefetch diverged at op " << I << " addr " << A;
+    } else {
+      New.flush();
+      Old.flush();
+    }
+    ASSERT_EQ(New.hits(), Old.hits()) << "hit counters diverged at op " << I;
+    ASSERT_EQ(New.misses(), Old.misses())
+        << "miss counters diverged at op " << I;
+  }
+}
+
+void runTlbLockstep(const TlbConfig &TC, uint64_t Seed) {
+  Tlb New(TC);
+  refmodel::Tlb Old(TC);
+  SplitMix64 Rng(Seed);
+  Address Cursor = 0x60000000u;
+  for (int I = 0; I != 20000; ++I) {
+    Address A = drawAddress(Rng, Cursor);
+    if (Rng.nextBelow(100) < 99) {
+      ASSERT_EQ(New.access(A), Old.access(A))
+          << "TLB access diverged at op " << I << " addr " << A;
+    } else {
+      New.flush();
+      Old.flush();
+    }
+    ASSERT_EQ(New.hits(), Old.hits());
+    ASSERT_EQ(New.misses(), Old.misses());
+  }
+}
+
+void runHierarchyLockstep(const MemoryHierarchyConfig &C, uint64_t Seed) {
+  MemoryHierarchy New(C);
+  refmodel::MemoryHierarchy Old(C);
+  Recorder NewEvents, OldEvents;
+  New.setListener(&NewEvents);
+  Old.setListener(&OldEvents);
+  SplitMix64 Rng(Seed);
+  Address Cursor = 0x60000000u;
+  for (int I = 0; I != 20000; ++I) {
+    Address A = drawAddress(Rng, Cursor);
+    Address Pc = 0x1000u + static_cast<Address>(Rng.nextBelow(256)) * 4;
+    uint64_t Op = Rng.nextBelow(100);
+    if (Op < 90) {
+      uint32_t Size = 1 + static_cast<uint32_t>(Rng.nextBelow(16));
+      bool IsWrite = Rng.nextBelow(2) != 0;
+      AccessResult N = New.access(A, Size, IsWrite, Pc);
+      AccessResult O = Old.access(A, Size, IsWrite, Pc);
+      ASSERT_EQ(N.Penalty, O.Penalty) << "penalty diverged at op " << I;
+      ASSERT_EQ(N.L1Misses, O.L1Misses) << "L1 diverged at op " << I;
+      ASSERT_EQ(N.L2Misses, O.L2Misses) << "L2 diverged at op " << I;
+      ASSERT_EQ(N.TlbMisses, O.TlbMisses) << "TLB diverged at op " << I;
+    } else if (Op < 99) {
+      ASSERT_EQ(New.softwarePrefetch(A, Pc), Old.softwarePrefetch(A, Pc))
+          << "software prefetch diverged at op " << I;
+    } else {
+      New.reset();
+      Old.reset();
+    }
+    ASSERT_EQ(NewEvents.Events.size(), OldEvents.Events.size())
+        << "event counts diverged at op " << I;
+  }
+  const MemoryStats &N = New.stats();
+  const MemoryStats &O = Old.stats();
+  EXPECT_EQ(N.Accesses, O.Accesses);
+  EXPECT_EQ(N.L1Misses, O.L1Misses);
+  EXPECT_EQ(N.L2Misses, O.L2Misses);
+  EXPECT_EQ(N.TlbMisses, O.TlbMisses);
+  EXPECT_EQ(N.PrefetchFills, O.PrefetchFills);
+  EXPECT_EQ(N.SwPrefetches, O.SwPrefetches);
+  EXPECT_EQ(N.SwPrefetchFills, O.SwPrefetchFills);
+  EXPECT_EQ(New.l1().hits(), Old.l1().hits());
+  EXPECT_EQ(New.l1().misses(), Old.l1().misses());
+  EXPECT_EQ(New.l2().hits(), Old.l2().hits());
+  EXPECT_EQ(New.l2().misses(), Old.l2().misses());
+  EXPECT_EQ(New.dtlb().hits(), Old.dtlb().hits());
+  EXPECT_EQ(New.dtlb().misses(), Old.dtlb().misses());
+  ASSERT_EQ(NewEvents.Events.size(), OldEvents.Events.size());
+  for (size_t I = 0; I != NewEvents.Events.size(); ++I)
+    ASSERT_TRUE(NewEvents.Events[I] == OldEvents.Events[I])
+        << "event " << I << " diverged";
+}
+
+} // namespace
+
+TEST(MemsimEquivalence, CacheDefaultGeometry) {
+  for (uint64_t Seed : kSeeds)
+    runCacheLockstep(l1DefaultConfig(), Seed);
+}
+
+TEST(MemsimEquivalence, CacheTinyTwoWay) {
+  for (uint64_t Seed : kSeeds)
+    runCacheLockstep({/*SizeBytes=*/512, /*LineBytes=*/64,
+                      /*Associativity=*/2},
+                     Seed);
+}
+
+TEST(MemsimEquivalence, CacheDirectMapped) {
+  for (uint64_t Seed : kSeeds)
+    runCacheLockstep({/*SizeBytes=*/4096, /*LineBytes=*/64,
+                      /*Associativity=*/1},
+                     Seed);
+}
+
+TEST(MemsimEquivalence, CacheSingleSet) {
+  for (uint64_t Seed : kSeeds)
+    runCacheLockstep({/*SizeBytes=*/256, /*LineBytes=*/64,
+                      /*Associativity=*/4},
+                     Seed);
+}
+
+TEST(MemsimEquivalence, CacheNonDefaultLineSizes) {
+  for (uint64_t Seed : kSeeds) {
+    runCacheLockstep({/*SizeBytes=*/2048, /*LineBytes=*/32,
+                      /*Associativity=*/4},
+                     Seed);
+    runCacheLockstep({/*SizeBytes=*/8192, /*LineBytes=*/256,
+                      /*Associativity=*/2},
+                     Seed);
+  }
+}
+
+TEST(MemsimEquivalence, CacheWideAssociativityGenericPath) {
+  // 16-way exceeds the packed 8-slot layout and exercises the fallback.
+  for (uint64_t Seed : kSeeds)
+    runCacheLockstep({/*SizeBytes=*/4096, /*LineBytes=*/64,
+                      /*Associativity=*/16},
+                     Seed);
+}
+
+TEST(MemsimEquivalence, TlbDefaultAndTiny) {
+  for (uint64_t Seed : kSeeds) {
+    runTlbLockstep(dtlbDefaultConfig(), Seed);
+    runTlbLockstep({/*Entries=*/4, /*PageBytes=*/4096}, Seed);
+    runTlbLockstep({/*Entries=*/1, /*PageBytes=*/1024}, Seed);
+  }
+}
+
+TEST(MemsimEquivalence, HierarchyDefaultConfig) {
+  for (uint64_t Seed : kSeeds)
+    runHierarchyLockstep(MemoryHierarchyConfig{}, Seed);
+}
+
+TEST(MemsimEquivalence, HierarchySmallCachesNoPrefetch) {
+  // Small levels force constant evictions through both L1 and L2.
+  MemoryHierarchyConfig C;
+  C.L1 = {/*SizeBytes=*/1024, /*LineBytes=*/64, /*Associativity=*/2};
+  C.L2 = {/*SizeBytes=*/8192, /*LineBytes=*/64, /*Associativity=*/4};
+  C.Dtlb = {/*Entries=*/8, /*PageBytes=*/4096};
+  C.StreamPrefetch = false;
+  for (uint64_t Seed : kSeeds)
+    runHierarchyLockstep(C, Seed);
+}
+
+TEST(MemsimEquivalence, HierarchySmallCachesWithPrefetch) {
+  MemoryHierarchyConfig C;
+  C.L1 = {/*SizeBytes=*/1024, /*LineBytes=*/64, /*Associativity=*/2};
+  C.L2 = {/*SizeBytes=*/8192, /*LineBytes=*/64, /*Associativity=*/4};
+  C.Dtlb = {/*Entries=*/8, /*PageBytes=*/4096};
+  C.StreamPrefetch = true;
+  for (uint64_t Seed : kSeeds)
+    runHierarchyLockstep(C, Seed);
+}

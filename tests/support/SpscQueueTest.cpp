@@ -1,0 +1,118 @@
+//===-- tests/support/SpscQueueTest.cpp -----------------------------------===//
+
+#include "support/SpscQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+using namespace hpmvm;
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> Q(5);
+  EXPECT_EQ(Q.capacity(), 8u);
+  SpscQueue<int> Q2(8);
+  EXPECT_EQ(Q2.capacity(), 8u);
+  SpscQueue<int> Q3(1);
+  EXPECT_EQ(Q3.capacity(), 1u);
+}
+
+TEST(SpscQueue, PushPopFifoOrder) {
+  SpscQueue<int> Q(4);
+  EXPECT_TRUE(Q.empty());
+  for (int I = 0; I != 4; ++I)
+    EXPECT_TRUE(Q.tryPush(I));
+  EXPECT_FALSE(Q.tryPush(99)) << "queue should be full";
+  EXPECT_EQ(Q.size(), 4u);
+  for (int I = 0; I != 4; ++I) {
+    int V = -1;
+    EXPECT_TRUE(Q.tryPop(V));
+    EXPECT_EQ(V, I);
+  }
+  int V;
+  EXPECT_FALSE(Q.tryPop(V));
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(SpscQueue, PeekDoesNotConsume) {
+  SpscQueue<int> Q(4);
+  EXPECT_EQ(Q.peek(), nullptr);
+  Q.tryPush(7);
+  Q.tryPush(8);
+  const int *Front = Q.peek();
+  ASSERT_NE(Front, nullptr);
+  EXPECT_EQ(*Front, 7);
+  EXPECT_EQ(*Q.peek(), 7) << "peek must not consume";
+  Q.pop();
+  ASSERT_NE(Q.peek(), nullptr);
+  EXPECT_EQ(*Q.peek(), 8);
+  Q.pop();
+  EXPECT_EQ(Q.peek(), nullptr);
+}
+
+TEST(SpscQueue, WrapsAroundManyTimes) {
+  SpscQueue<uint64_t> Q(2);
+  for (uint64_t I = 0; I != 1000; ++I) {
+    EXPECT_TRUE(Q.tryPush(I));
+    uint64_t V = 0;
+    EXPECT_TRUE(Q.tryPop(V));
+    EXPECT_EQ(V, I);
+  }
+}
+
+// Cross-thread stress: one producer streams a counter, one consumer checks
+// order and completeness. Run under TSan in CI to validate the acquire/
+// release pairing.
+TEST(SpscQueue, TwoThreadStress) {
+  constexpr uint64_t kCount = 20000;
+  SpscQueue<uint64_t> Q(64);
+  std::thread Producer([&] {
+    for (uint64_t I = 0; I != kCount;) {
+      if (Q.tryPush(I))
+        ++I;
+      else
+        std::this_thread::yield(); // Single-core machines need the handoff.
+    }
+  });
+  uint64_t Expected = 0;
+  uint64_t Sum = 0;
+  while (Expected != kCount) {
+    uint64_t V;
+    if (!Q.tryPop(V)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(V, Expected) << "out-of-order delivery";
+    Sum += V;
+    ++Expected;
+  }
+  Producer.join();
+  EXPECT_EQ(Sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(Q.empty());
+}
+
+TEST(SpscQueue, TwoThreadPeekPopConsumer) {
+  constexpr uint64_t kCount = 10000;
+  SpscQueue<uint64_t> Q(16);
+  std::thread Producer([&] {
+    for (uint64_t I = 0; I != kCount;) {
+      if (Q.tryPush(I))
+        ++I;
+      else
+        std::this_thread::yield();
+    }
+  });
+  for (uint64_t Expected = 0; Expected != kCount;) {
+    const uint64_t *Front = Q.peek();
+    if (!Front) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(*Front, Expected);
+    Q.pop();
+    ++Expected;
+  }
+  Producer.join();
+}

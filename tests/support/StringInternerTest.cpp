@@ -1,0 +1,67 @@
+//===-- tests/support/StringInternerTest.cpp ------------------------------===//
+
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace hpmvm;
+
+TEST(StringInterner, IdsAreDenseAndInsertionOrdered) {
+  StringInterner In;
+  EXPECT_EQ(In.intern("alpha"), 0u);
+  EXPECT_EQ(In.intern("beta"), 1u);
+  EXPECT_EQ(In.intern("gamma"), 2u);
+  EXPECT_EQ(In.size(), 3u);
+  // Re-interning returns the original id.
+  EXPECT_EQ(In.intern("beta"), 1u);
+  EXPECT_EQ(In.size(), 3u);
+}
+
+TEST(StringInterner, TextRoundTrips) {
+  StringInterner In;
+  uint32_t A = In.intern("Item::next");
+  uint32_t B = In.intern("");
+  EXPECT_STREQ(In.text(A), "Item::next");
+  EXPECT_STREQ(In.text(B), "");
+}
+
+TEST(StringInterner, FindDoesNotIntern) {
+  StringInterner In;
+  EXPECT_EQ(In.find("missing"), StringInterner::kNoId);
+  EXPECT_EQ(In.size(), 0u);
+  uint32_t Id = In.intern("present");
+  EXPECT_EQ(In.find("present"), Id);
+  EXPECT_EQ(In.size(), 1u);
+}
+
+TEST(StringInterner, PointersStayStableAcrossGrowth) {
+  StringInterner In;
+  const char *First = In.text(In.intern("survivor"));
+  std::vector<const char *> Ptrs;
+  std::vector<std::string> Names;
+  // Push far past the initial table and several arena chunks.
+  for (int I = 0; I != 5000; ++I) {
+    Names.push_back("method_" + std::to_string(I));
+    Ptrs.push_back(In.text(In.intern(Names.back())));
+  }
+  EXPECT_STREQ(First, "survivor");
+  for (int I = 0; I != 5000; ++I) {
+    EXPECT_STREQ(Ptrs[I], Names[I].c_str());
+    EXPECT_EQ(In.intern(Names[I]), static_cast<uint32_t>(I + 1));
+  }
+  EXPECT_EQ(In.size(), 5001u);
+}
+
+TEST(StringInterner, LongStringsGetDedicatedChunks) {
+  StringInterner In;
+  std::string Long(10000, 'x');
+  uint32_t Id = In.intern(Long);
+  EXPECT_STREQ(In.text(Id), Long.c_str());
+  // Interleaved short strings still work.
+  uint32_t Short = In.intern("y");
+  EXPECT_STREQ(In.text(Short), "y");
+  EXPECT_EQ(In.intern(Long), Id);
+}

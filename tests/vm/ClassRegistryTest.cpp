@@ -15,7 +15,7 @@ TEST(ClassRegistry, FieldOffsetsInDeclarationOrder) {
   EXPECT_EQ(R.field(F1).Offset, objheader::kHeaderBytes + 4);
   EXPECT_TRUE(R.field(F0).IsRef);
   EXPECT_FALSE(R.field(F1).IsRef);
-  EXPECT_EQ(R.field(F0).Name, "Pair::first");
+  EXPECT_STREQ(R.field(F0).Name, "Pair::first");
   EXPECT_EQ(R.field(F0).Owner, C);
 }
 
@@ -51,7 +51,7 @@ TEST(ClassRegistry, FieldsOfListsOwnFieldsOnly) {
   ClassId C2 = R.defineClass("B", {{"r", true}});
   EXPECT_EQ(R.fieldsOf(C1).size(), 2u);
   EXPECT_EQ(R.fieldsOf(C2).size(), 1u);
-  EXPECT_EQ(R.field(R.fieldsOf(C2)[0]).Name, "B::r");
+  EXPECT_STREQ(R.field(R.fieldsOf(C2)[0]).Name, "B::r");
 }
 
 TEST(ClassRegistry, ClassName) {

@@ -1,0 +1,80 @@
+//===-- tests/vm/MethodLabelTest.cpp --------------------------------------===//
+//
+// Method-label interning: declareMethod/defineMethod re-intern labels into
+// the VM's arena, findMethod resolves through the interner (first
+// declaration wins), and Method::Name pointers stay stable while the
+// method table grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/BytecodeBuilder.h"
+#include "vm/VirtualMachine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace hpmvm;
+
+namespace {
+
+Method trivialBody(const std::string &Name) {
+  BytecodeBuilder B(Name);
+  B.ret();
+  return B.build();
+}
+
+} // namespace
+
+TEST(MethodLabel, FindMethodResolvesInternedLabels) {
+  VirtualMachine Vm;
+  MethodId A = Vm.addMethod(trivialBody("alpha"));
+  MethodId B = Vm.addMethod(trivialBody("beta"));
+  EXPECT_EQ(Vm.findMethod("alpha"), A);
+  EXPECT_EQ(Vm.findMethod("beta"), B);
+  EXPECT_EQ(Vm.findMethod("gamma"), kInvalidId);
+  EXPECT_STREQ(Vm.methodLabel(A), "alpha");
+  EXPECT_STREQ(Vm.methodLabel(B), "beta");
+}
+
+TEST(MethodLabel, FirstDeclarationWinsForDuplicateNames) {
+  VirtualMachine Vm;
+  MethodId First = Vm.addMethod(trivialBody("dup"));
+  MethodId Second = Vm.addMethod(trivialBody("dup"));
+  ASSERT_NE(First, Second);
+  // The old linear scan returned the lowest id; the interner map must too.
+  EXPECT_EQ(Vm.findMethod("dup"), First);
+  EXPECT_STREQ(Vm.methodLabel(Second), "dup");
+}
+
+TEST(MethodLabel, DeclaredLabelSurvivesDefineAndBuilderDeath) {
+  VirtualMachine Vm;
+  MethodId Id;
+  {
+    // The builder (which owns the pre-intern text) dies before define.
+    std::string Name = "declared.early";
+    Id = Vm.declareMethod(Name, {}, RetKind::Void);
+    Name.assign(Name.size(), 'x'); // Clobber the caller's buffer.
+  }
+  EXPECT_STREQ(Vm.methodLabel(Id), "declared.early");
+  Vm.defineMethod(Id, trivialBody("ignored.body.name"));
+  // defineMethod keeps the declared label (the historical quirk).
+  EXPECT_STREQ(Vm.methodLabel(Id), "declared.early");
+  EXPECT_EQ(Vm.findMethod("declared.early"), Id);
+}
+
+TEST(MethodLabel, PointersStayStableAsMethodTableGrows) {
+  VirtualMachine Vm;
+  std::vector<const char *> Ptrs;
+  std::vector<std::string> Names;
+  for (int I = 0; I != 300; ++I) {
+    Names.push_back("m" + std::to_string(I));
+    Ptrs.push_back(Vm.methodLabel(Vm.addMethod(trivialBody(Names.back()))));
+  }
+  for (int I = 0; I != 300; ++I) {
+    EXPECT_STREQ(Ptrs[I], Names[I].c_str());
+    EXPECT_EQ(Vm.methodLabel(static_cast<MethodId>(I)), Ptrs[I])
+        << "label pointer must not move as Methods reallocates";
+  }
+}

@@ -505,6 +505,105 @@ void checkR6(const std::string &Path, const std::vector<Tok> &Toks,
   }
 }
 
+//===----------------------------------------------------------------------===//
+// R7: std::string members/params on the memsim / sample-consumer hot paths
+//===----------------------------------------------------------------------===//
+
+/// R7 scopes on the RAW text, not tokens: the lexer swallows #include
+/// lines, but inclusion is exactly the signal -- any file that pulls in the
+/// memsim headers or the sample-consumer interface sits on a per-access /
+/// per-sample hot path where std::string members and parameters mean
+/// heap-allocating label plumbing. Labels there are interned const char*
+/// (support/StringInterner) or numeric ids.
+bool r7InScope(const std::string &Text) {
+  return Text.find("#include \"memsim/") != std::string::npos ||
+         Text.find("#include \"core/SampleConsumer.h\"") !=
+             std::string::npos;
+}
+
+void checkR7(const std::string &Path, const std::string &Text,
+             const std::vector<Tok> &Toks, std::vector<Finding> &Out) {
+  if (!r7InScope(Text))
+    return;
+  // Brace-scope tracker, just precise enough to tell declarations from
+  // code: members are std::string at class scope outside parens, params
+  // are std::string inside parens at declaration scope (file, namespace,
+  // class). Anything inside a function body -- locals, temporaries,
+  // lambda params -- is the function's own business and stays legal.
+  enum Scope { File, Namespace, Class, Function, Other };
+  std::vector<Scope> Stack;
+  int ParenDepth = 0;
+  bool PendingClass = false, PendingNamespace = false, PendingEnum = false;
+  bool SeenParenClose = false; // A ')' since the last ';'/'{'/'}'.
+  unsigned LastFlagged = 0;
+  for (size_t I = 0; I != Toks.size(); ++I) {
+    const Tok &T = Toks[I];
+    if (T.K == Tok::Ident) {
+      if (T.Text == "enum") {
+        PendingEnum = true;
+      } else if (T.Text == "class" || T.Text == "struct" ||
+                 T.Text == "union") {
+        // `template <class T>` introduces a type parameter, not a class
+        // head; the keyword there follows '<' or ','.
+        bool TemplateParam =
+            I > 0 && (Toks[I - 1].Text == "<" || Toks[I - 1].Text == ",");
+        if (!PendingEnum && !TemplateParam)
+          PendingClass = true;
+      } else if (T.Text == "namespace") {
+        PendingNamespace = true;
+      } else if (T.Text == "std" && I + 2 < Toks.size() &&
+                 Toks[I + 1].Text == "::" &&
+                 Toks[I + 2].K == Tok::Ident &&
+                 Toks[I + 2].Text == "string") {
+        Scope S = Stack.empty() ? File : Stack.back();
+        bool Member = S == Class && ParenDepth == 0;
+        bool Param = ParenDepth > 0 &&
+                     (S == File || S == Namespace || S == Class);
+        if ((Member || Param) && T.Line != LastFlagged) {
+          addFinding(Out, Path, T.Line, "R7",
+                     std::string("std::string ") +
+                         (Member ? "member" : "parameter") +
+                         " in a memsim/sample-consumer hot-path file; "
+                         "use an interned const char* label or a numeric "
+                         "id (support/StringInterner)");
+          LastFlagged = T.Line;
+        }
+      }
+      continue;
+    }
+    if (T.K != Tok::Punct)
+      continue;
+    const std::string &P = T.Text;
+    if (P == "(") {
+      ++ParenDepth;
+    } else if (P == ")") {
+      if (ParenDepth)
+        --ParenDepth;
+      SeenParenClose = true;
+    } else if (P == ";") {
+      PendingClass = PendingNamespace = PendingEnum = false;
+      SeenParenClose = false;
+    } else if (P == "{") {
+      Scope S = Other;
+      if (PendingEnum)
+        S = Other; // enum bodies hold no declarations R7 cares about.
+      else if (PendingClass)
+        S = Class;
+      else if (PendingNamespace)
+        S = Namespace;
+      else if (SeenParenClose)
+        S = Function;
+      Stack.push_back(S);
+      PendingClass = PendingNamespace = PendingEnum = false;
+      SeenParenClose = false;
+    } else if (P == "}") {
+      if (!Stack.empty())
+        Stack.pop_back();
+      SeenParenClose = false;
+    }
+  }
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -525,6 +624,8 @@ const std::vector<RuleInfo> &lint::rules() {
              "exit 2 on unknown flags"},
       {"R6", "every --*-out path flag goes through the shared "
              "ensureParentDir helper"},
+      {"R7", "no std::string members or parameters in files on the "
+             "memsim / sample-consumer hot paths; intern labels"},
   };
   return Rules;
 }
@@ -546,6 +647,7 @@ std::vector<Finding> lint::lintSource(const std::string &Path,
   checkR4(Path, Toks, Out);
   checkR5(Path, Toks, Out);
   checkR6(Path, Toks, Out);
+  checkR7(Path, Text, Toks, Out);
   std::stable_sort(Out.begin(), Out.end(),
                    [](const Finding &A, const Finding &B) {
                      if (A.Line != B.Line)

@@ -31,6 +31,11 @@
 ///       (directly or via bench::init) so unknown flags exit 2
 ///   R6  every "--*-out" path flag goes through the shared
 ///       ensureParentDir mkdir-or-exit-2 helper
+///   R7  no std::string members or parameters in files on the memsim or
+///       sample-consumer hot paths (raw text includes "memsim/" headers
+///       or "core/SampleConsumer.h"); labels there are interned
+///       const char* or numeric ids, so per-access/per-sample code never
+///       allocates for a name (locals stay legal)
 ///
 /// Findings print as `file:line: ruleId: message`. Suppressions live in a
 /// checked-in `lint.supp`; every entry must carry a `# Why:` justification
@@ -68,7 +73,7 @@ struct RuleInfo {
 /// The full catalog, in rule order.
 const std::vector<RuleInfo> &rules();
 
-/// True when \p Rule is a known rule id ("R1".."R6").
+/// True when \p Rule is a known rule id ("R1".."R7").
 bool isKnownRule(const std::string &Rule);
 
 /// Lints one translation unit. \p Path decides path-scoped rules (R2/R3/

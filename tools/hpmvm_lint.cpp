@@ -4,7 +4,7 @@
 //
 // Project-specific static analysis (DESIGN.md section 14): scans the given
 // roots token-by-token and enforces the repo's determinism and
-// observability conventions as named rules R1-R6 (see tools/LintEngine.h
+// observability conventions as named rules R1-R7 (see tools/LintEngine.h
 // for the catalog).
 //
 //   hpmvm_lint [options] <root>...          lint files/trees
